@@ -1,0 +1,223 @@
+//! Terminal visualizations (paper §4.2, Fig. 4): histograms, box plots,
+//! before/after distribution diffs and the OP-pipeline funnel — rendered as
+//! plain text so they work in logs, CI output and the benchmark harnesses.
+
+use crate::analyzer::ColumnSummary;
+
+/// Render an ASCII histogram of `values` with `bins` buckets.
+pub fn histogram(title: &str, values: &[f64], bins: usize, width: usize) -> String {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() || bins == 0 {
+        return format!("{title}: (no data)\n");
+    }
+    let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut counts = vec![0usize; bins];
+    if (max - min).abs() < f64::EPSILON {
+        counts[0] = finite.len();
+    } else {
+        for &v in &finite {
+            let idx = (((v - min) / (max - min)) * bins as f64) as usize;
+            counts[idx.min(bins - 1)] += 1;
+        }
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = format!("{title} (n={}, min={min:.3}, max={max:.3})\n", finite.len());
+    for (i, &c) in counts.iter().enumerate() {
+        let lo = min + (max - min) * i as f64 / bins as f64;
+        let bar_len = (c * width).div_ceil(peak).min(width);
+        let bar: String = "█".repeat(bar_len);
+        out.push_str(&format!("{lo:>10.3} | {bar:<width$} {c}\n"));
+    }
+    out
+}
+
+/// Render an ASCII box plot from a summary.
+pub fn box_plot(title: &str, s: &ColumnSummary, width: usize) -> String {
+    let span = (s.max - s.min).max(f64::EPSILON);
+    let pos = |v: f64| (((v - s.min) / span) * (width - 1) as f64) as usize;
+    let (p25, p50, p75) = (pos(s.q25), pos(s.median), pos(s.q75));
+    let mut row: Vec<char> = vec![' '; width];
+    for slot in row.iter_mut().take(p75 + 1).skip(p25) {
+        *slot = '─';
+    }
+    row[0] = '|';
+    row[width - 1] = '|';
+    row[p25] = '[';
+    row[p75] = ']';
+    row[p50] = '•';
+    format!(
+        "{title}\n  {}\n  min={:.3} q25={:.3} median={:.3} q75={:.3} max={:.3} mean={:.3} std={:.3}\n",
+        row.into_iter().collect::<String>(),
+        s.min, s.q25, s.median, s.q75, s.max, s.mean, s.std
+    )
+}
+
+/// Side-by-side distribution diff (Fig. 4(c)): histograms of the same
+/// dimension before and after processing, on a shared value axis.
+pub fn diff_histogram(
+    title: &str,
+    before: &[f64],
+    after: &[f64],
+    bins: usize,
+    width: usize,
+) -> String {
+    let all: Vec<f64> = before
+        .iter()
+        .chain(after)
+        .copied()
+        .filter(|v| v.is_finite())
+        .collect();
+    if all.is_empty() || bins == 0 {
+        return format!("{title}: (no data)\n");
+    }
+    let min = all.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = all.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(f64::EPSILON);
+    let bucketize = |vals: &[f64]| {
+        let mut counts = vec![0usize; bins];
+        for &v in vals.iter().filter(|v| v.is_finite()) {
+            let idx = (((v - min) / span) * bins as f64) as usize;
+            counts[idx.min(bins - 1)] += 1;
+        }
+        counts
+    };
+    let cb = bucketize(before);
+    let ca = bucketize(after);
+    let peak = cb.iter().chain(&ca).copied().max().unwrap_or(1).max(1);
+    let mut out = format!(
+        "{title}  [before n={} | after n={}]\n",
+        before.len(),
+        after.len()
+    );
+    for i in 0..bins {
+        let lo = min + span * i as f64 / bins as f64;
+        let bl = (cb[i] * width).div_ceil(peak).min(width);
+        let al = (ca[i] * width).div_ceil(peak).min(width);
+        out.push_str(&format!(
+            "{lo:>10.3} | {:<width$} | {:<width$}\n",
+            "▒".repeat(bl),
+            "█".repeat(al),
+        ));
+    }
+    out
+}
+
+/// The OP-pipeline funnel of Fig. 4(b): samples remaining after each OP.
+pub fn funnel(title: &str, stages: &[(String, usize)], width: usize) -> String {
+    let mut out = format!("{title}\n");
+    let peak = stages.iter().map(|(_, n)| *n).max().unwrap_or(1).max(1);
+    let name_w = stages.iter().map(|(n, _)| n.len()).max().unwrap_or(4).min(42);
+    for (name, n) in stages {
+        let bar_len = (n * width).div_ceil(peak).min(width);
+        let display: String = if name.len() > name_w {
+            format!("{}…", &name[..name_w.saturating_sub(1)])
+        } else {
+            name.clone()
+        };
+        out.push_str(&format!(
+            "{display:<name_w$} | {:<width$} {n}\n",
+            "█".repeat(bar_len),
+        ));
+    }
+    out
+}
+
+/// Two-ring diversity "pie" (Fig. 5), rendered as an indented tree:
+/// top verbs with counts, nested top objects.
+pub fn verb_noun_tree(
+    title: &str,
+    tops: &[(String, usize, Vec<(String, usize)>)],
+) -> String {
+    let mut out = format!("{title}\n");
+    let total: usize = tops.iter().map(|(_, c, _)| c).sum();
+    for (verb, count, objects) in tops {
+        let pct = if total > 0 {
+            100.0 * *count as f64 / total as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!("  {verb:<12} {count:>6} ({pct:>5.1}%)\n"));
+        for (obj, c) in objects {
+            out.push_str(&format!("    └─ {obj:<10} {c:>5}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_renders_all_bins() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = histogram("uniform", &values, 10, 30);
+        assert_eq!(h.lines().count(), 11); // title + 10 bins
+        assert!(h.contains("n=100"));
+        assert!(h.contains('█'));
+    }
+
+    #[test]
+    fn histogram_empty_and_constant() {
+        assert!(histogram("empty", &[], 10, 30).contains("no data"));
+        let h = histogram("const", &[5.0; 20], 4, 30);
+        assert!(h.contains("20")); // all in one bin
+    }
+
+    #[test]
+    fn box_plot_contains_markers() {
+        let values: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let s = ColumnSummary::from_values(&values).unwrap();
+        let b = box_plot("dim", &s, 40);
+        assert!(b.contains('['));
+        assert!(b.contains(']'));
+        assert!(b.contains('•'));
+        assert!(b.contains("median=50.000"));
+    }
+
+    #[test]
+    fn box_plot_survives_marker_collisions() {
+        // Heavily skewed data collapses q25/median onto one cell; the plot
+        // must still render without panicking.
+        let s = ColumnSummary::from_values(&[1.0, 2.0, 3.0, 4.0, 100.0]).unwrap();
+        let b = box_plot("skewed", &s, 40);
+        assert!(b.contains("median=3.000"));
+    }
+
+    #[test]
+    fn diff_histogram_shows_both_sides() {
+        let before: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let after: Vec<f64> = (0..25).map(|i| i as f64).collect();
+        let d = diff_histogram("text_len", &before, &after, 5, 20);
+        assert!(d.contains("before n=50"));
+        assert!(d.contains("after n=25"));
+        assert!(d.contains('▒') && d.contains('█'));
+    }
+
+    #[test]
+    fn funnel_is_monotone_text() {
+        let stages = vec![
+            ("load".to_string(), 1000),
+            ("filter_a".to_string(), 700),
+            ("dedup".to_string(), 500),
+        ];
+        let f = funnel("pipeline", &stages, 20);
+        assert!(f.contains("1000"));
+        assert!(f.contains("500"));
+        assert_eq!(f.lines().count(), 4);
+    }
+
+    #[test]
+    fn verb_noun_tree_renders() {
+        let tops = vec![(
+            "write".to_string(),
+            10,
+            vec![("story".to_string(), 6), ("poem".to_string(), 4)],
+        )];
+        let t = verb_noun_tree("diversity", &tops);
+        assert!(t.contains("write"));
+        assert!(t.contains("└─ story"));
+        assert!(t.contains("100.0%"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Dedup-method ablation (DESIGN.md #6): exact 128-bit hashing vs
+//! MinHash-LSH vs SimHash on a corpus seeded with exact and near
+//! duplicates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use dj_ops::{
+    run_dedup, DocumentDeduplicator, MinHashDeduplicator, SimHashDeduplicator,
+};
+use dj_synth::{web_corpus, WebNoise};
+
+fn bench_dedup(c: &mut Criterion) {
+    let data = web_corpus(
+        21,
+        400,
+        WebNoise {
+            dup_rate: 0.15,
+            near_dup_rate: 0.15,
+            ..WebNoise::default()
+        },
+    );
+    let mut group = c.benchmark_group("dedup_methods");
+    group.bench_function("exact_hash128", |b| {
+        let d = DocumentDeduplicator::new();
+        b.iter_batched(
+            || data.clone(),
+            |ds| run_dedup(&d, ds).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("minhash_lsh", |b| {
+        let d = MinHashDeduplicator::default_config();
+        b.iter_batched(
+            || data.clone(),
+            |ds| run_dedup(&d, ds).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("simhash", |b| {
+        let d = SimHashDeduplicator::new(3).unwrap();
+        b.iter_batched(
+            || data.clone(),
+            |ds| run_dedup(&d, ds).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(12);
+    targets = bench_dedup
+}
+criterion_main!(benches);

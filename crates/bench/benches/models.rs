@@ -1,0 +1,66 @@
+//! Model-substrate micro-benchmarks: BPE tokenization, n-gram perplexity,
+//! language id and quality-classifier inference — the per-sample costs that
+//! make the model-backed filters "expensive" in the reordering optimizer.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use dj_ops::models::{default_langid, default_perplexity_model, default_quality_classifier};
+use dj_synth::{web_corpus, WebNoise};
+use dj_text::BpeTokenizer;
+
+fn bench_models(c: &mut Criterion) {
+    let texts: Vec<String> = web_corpus(41, 100, WebNoise::default())
+        .iter()
+        .map(|s| s.text().to_string())
+        .collect();
+    let bytes: usize = texts.iter().map(String::len).sum();
+
+    let bpe = BpeTokenizer::train(&texts[..40], 1200);
+    let lm = default_perplexity_model();
+    let lid = default_langid();
+    let qc = default_quality_classifier();
+
+    let mut group = c.benchmark_group("model_inference");
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.bench_function("bpe_encode", |b| {
+        b.iter(|| {
+            texts
+                .iter()
+                .map(|t| bpe.count_tokens(t))
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("ngram_perplexity", |b| {
+        b.iter(|| {
+            texts
+                .iter()
+                .map(|t| lm.perplexity(t))
+                .filter(|p| p.is_finite())
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("language_id", |b| {
+        b.iter(|| texts.iter().map(|t| lid.classify(t).1).sum::<f64>())
+    });
+    group.bench_function("quality_classifier", |b| {
+        b.iter(|| texts.iter().map(|t| qc.score(t)).sum::<f64>())
+    });
+    group.finish();
+}
+
+fn bench_bpe_training(c: &mut Criterion) {
+    let texts: Vec<String> = web_corpus(42, 60, WebNoise::default())
+        .iter()
+        .map(|s| s.text().to_string())
+        .collect();
+    c.bench_function("bpe_train_800", |b| {
+        b.iter(|| BpeTokenizer::train(criterion::black_box(&texts), 800))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_models, bench_bpe_training
+}
+criterion_main!(benches);

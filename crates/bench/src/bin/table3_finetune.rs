@@ -1,0 +1,104 @@
+//! Table 3 — pairwise model comparisons with (simulated) GPT-4 scoring:
+//! win/tie tallies over 160 prompts for four matchups. The tuning datasets
+//! are actually built: candidate pools generated, competitor sets sampled
+//! randomly vs with Data-Juicer's recipe + diversity sampler.
+//!
+//! Paper reference (wins A / ties / wins DJ):
+//!   Alpaca 52k vs DJ 40k          : 16 / 100 / 44
+//!   Random(CFT,EN) vs DJ 40k      : 19 / 105 / 36
+//!   Belle 543k vs DJ 52k (ZH)     : 28 /  99 / 33
+//!   Random(CFT,ZH) vs DJ 52k      : 19 /  96 / 45
+
+use dj_analyze::{diversity_sample, random_sample};
+use dj_bench::{section, workloads};
+use dj_config::recipes;
+use dj_core::Dataset;
+use dj_eval::{measure_profile, Judge, TunedModel};
+use dj_exec::Executor;
+use dj_synth::{alpaca_cot_collection, ift_subset, IftSubsetSpec};
+
+fn tuned(name: &str, mut ds: Dataset) -> TunedModel {
+    let profile = measure_profile(&mut ds, 1.0);
+    TunedModel::new(name, profile)
+}
+
+fn dj_select(pool: &Dataset, recipe: dj_config::Recipe, n: usize) -> Dataset {
+    let ops = recipe
+        .build_ops(&dj_ops::builtin_registry())
+        .expect("recipe valid");
+    let (filtered, _) = Executor::new(ops).run(pool.clone()).expect("pipeline runs");
+    diversity_sample(&filtered, n.min(filtered.len()), 11)
+}
+
+fn report(label: &str, a: &TunedModel, b: &TunedModel, paper: (usize, usize, usize)) {
+    let out = Judge::default().compare(a, b);
+    println!(
+        "{label:<42} {:>4} wins | {:>4} ties | {:>4} wins   (paper: {} / {} / {})",
+        out.wins_a, out.ties, out.wins_b, paper.0, paper.1, paper.2
+    );
+    assert!(
+        out.wins_b > out.wins_a,
+        "{label}: Data-Juicer side must win more ({} vs {})",
+        out.wins_b,
+        out.wins_a
+    );
+}
+
+fn main() {
+    section("Table 3: pairwise model comparisons (simulated GPT-4 judge, 160 prompts)");
+    let scale = workloads::DEFAULT_SCALE / 6 + 4;
+
+    // --- English: candidate CFT pool (5 Alpaca-CoT subsets, §B.3.2). ---
+    let en_pool: Dataset = alpaca_cot_collection(31, scale)
+        .into_iter()
+        .filter(|(spec, _)| spec.language == "EN" && spec.usage.starts_with("CFT"))
+        .fold(Dataset::new(), |mut acc, (_, ds)| {
+            acc.extend(ds);
+            acc
+        });
+    let n_en = (en_pool.len() * 4 / 10).max(20);
+
+    // Alpaca-like: the raw low-diversity self-instruct set, larger volume.
+    let alpaca = ift_subset(
+        77,
+        &IftSubsetSpec::new("alpaca-52k", n_en * 13 / 10)
+            .diversity(0.35)
+            .junk_rate(0.18),
+    );
+    let dj_en = dj_select(&en_pool, recipes::finetune_en_cft(), n_en);
+    let random_en = random_sample(&en_pool, n_en, 3);
+
+    println!("EN pool {} samples; DJ selection {} samples\n", en_pool.len(), dj_en.len());
+    let m_alpaca = tuned("LLaMA-7B (Alpaca 52k)", alpaca);
+    let m_dj_en = tuned("LLaMA-7B (Data-Juicer 40k)", dj_en);
+    let m_rand_en = tuned("LLaMA-7B (Random CFT,EN 40k)", random_en);
+    report("Alpaca vs Data-Juicer (EN)", &m_alpaca, &m_dj_en, (16, 100, 44));
+    report("Random(CFT,EN) vs Data-Juicer", &m_rand_en, &m_dj_en, (19, 105, 36));
+
+    // --- Chinese: Belle-like raw pool vs DJ refined selection. ---
+    let belle = workloads::belle_like(41, scale * 3);
+    let zh_pool: Dataset = alpaca_cot_collection(43, scale)
+        .into_iter()
+        .filter(|(spec, _)| spec.language == "ZH")
+        .fold(Dataset::new(), |mut acc, (_, ds)| {
+            acc.extend(ds);
+            acc
+        });
+    let n_zh = (zh_pool.len() / 2).max(20);
+    let dj_zh = dj_select(&zh_pool, recipes::finetune_zh_cft(), n_zh);
+    let random_zh = random_sample(&zh_pool, n_zh, 13);
+
+    println!(
+        "\nZH: Belle-like pool {} samples; DJ selection {} samples ({}% reduction)\n",
+        belle.len(),
+        dj_zh.len(),
+        100 - 100 * dj_zh.len() / belle.len().max(1)
+    );
+    let m_belle = tuned("LLaMA2-7B (Belle 543k)", belle);
+    let m_dj_zh = tuned("LLaMA2-7B (Data-Juicer 52k)", dj_zh);
+    let m_rand_zh = tuned("LLaMA2-7B (Random CFT,ZH 52k)", random_zh);
+    report("Belle vs Data-Juicer (ZH)", &m_belle, &m_dj_zh, (28, 99, 33));
+    report("Random(CFT,ZH) vs Data-Juicer", &m_rand_zh, &m_dj_zh, (19, 96, 45));
+
+    println!("\nshape check PASSED: Data-Juicer selections win every matchup with fewer samples");
+}

@@ -1,0 +1,33 @@
+//! # dj-bench — benchmark harnesses reproducing every table and figure
+//!
+//! One binary per experiment (see DESIGN.md §3 for the full index):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `fig3_hpo` | Fig. 3 — HPO for data mixing (importance/correlation/interactions) |
+//! | `fig4_visualization` | Fig. 4 — tracer, OP funnel, before/after distribution diff |
+//! | `fig7_pretrain_curves` | Fig. 7 — avg score vs tokens for three recipes |
+//! | `fig8_end2end` | Fig. 8 — time & memory vs RedPajama/Dolma baselines |
+//! | `fig9_op_fusion` | Fig. 9 — time before/after OP fusion |
+//! | `fig10_scalability` | Fig. 10 — processing time vs node count (Ray/Beam) |
+//! | `table2_pretrain` | Table 2 — pre-trained model leaderboard |
+//! | `table3_finetune` | Table 3 — pairwise win/tie judging |
+//! | `table4_keep_ratio` | Table 4 — classifier keeping ratios |
+//! | `table5_classifier` | Table 5 — classifier precision/recall/F1 |
+//! | `table7_recipe` | Table 7 — pre-training recipe statistics |
+//! | `table8_ft_stats` | Table 8 — fine-tuning data categories |
+//! | `table9_helm_tasks` | Table 9 — per-task scores on 16 HELM tasks |
+//! | `appx_space_model` | Appendix A.2 — cache/checkpoint space model |
+//!
+//! Criterion micro-benches live in `benches/` (per-OP throughput, fusion
+//! on/off, dedup methods, codecs, tokenizer, classifier inference).
+
+pub mod baselines;
+pub mod workloads;
+
+/// Print a horizontal rule + section title (shared harness formatting).
+pub fn section(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}

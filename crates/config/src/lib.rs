@@ -1,0 +1,19 @@
+//! # dj-config — recipe configuration (paper §5.1)
+//!
+//! The all-in-one configuration layer:
+//!
+//! * [`yaml`] — a from-scratch YAML-subset parser/serializer for recipe
+//!   files (block maps/lists, scalars, comments);
+//! * [`recipe`] — the [`Recipe`] model with "subtraction"/"addition"
+//!   editing, registry validation, OP instantiation and stable
+//!   fingerprints (the executor's cache keys);
+//! * [`recipes`] — a catalog of 20+ built-in recipe templates covering
+//!   pre-training, fine-tuning, English, Chinese and domain-specific
+//!   scenarios.
+
+pub mod recipe;
+pub mod recipes;
+pub mod yaml;
+
+pub use recipe::{OpSpec, Recipe};
+pub use yaml::{parse_yaml, to_yaml};

@@ -1,0 +1,363 @@
+//! Data recipes: the all-in-one configuration of a processing pipeline
+//! (paper §5.1).
+//!
+//! A [`Recipe`] names the project, execution parameters and the ordered OP
+//! list with per-OP hyper-parameters. Recipes round-trip through the YAML
+//! subset, support the "subtraction"/"addition" editing workflows the paper
+//! recommends, and produce a stable fingerprint used as the cache key by the
+//! executor (§4.1).
+
+use dj_core::{DjError, OpParams, OpRegistry, Result, Value};
+
+use crate::yaml::{parse_yaml, to_yaml};
+
+/// One OP invocation in a recipe: name plus hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpSpec {
+    pub name: String,
+    pub params: OpParams,
+}
+
+impl OpSpec {
+    pub fn new(name: &str) -> OpSpec {
+        OpSpec {
+            name: name.to_string(),
+            params: OpParams::new(),
+        }
+    }
+
+    /// Builder-style parameter setting.
+    pub fn with(mut self, key: &str, value: impl Into<Value>) -> OpSpec {
+        self.params.insert(key.to_string(), value.into());
+        self
+    }
+}
+
+/// A complete, executable data recipe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recipe {
+    /// Project name (config traceability; shows up in cache paths).
+    pub project_name: String,
+    /// Number of worker processes/threads for the executor.
+    pub np: usize,
+    /// Default text field OPs process.
+    pub text_key: String,
+    /// The ordered OP pipeline.
+    pub process: Vec<OpSpec>,
+}
+
+impl Default for Recipe {
+    fn default() -> Self {
+        Recipe {
+            project_name: "data-juicer".to_string(),
+            np: 1,
+            text_key: "text".to_string(),
+            process: Vec::new(),
+        }
+    }
+}
+
+impl Recipe {
+    pub fn new(project_name: &str) -> Recipe {
+        Recipe {
+            project_name: project_name.to_string(),
+            ..Recipe::default()
+        }
+    }
+
+    /// Builder: append an OP.
+    pub fn then(mut self, op: OpSpec) -> Recipe {
+        self.process.push(op);
+        self
+    }
+
+    /// Builder: set worker count.
+    pub fn with_np(mut self, np: usize) -> Recipe {
+        self.np = np.max(1);
+        self
+    }
+
+    // ---- "subtraction"/"addition" editing (paper §5.1) -----------------
+
+    /// Remove every occurrence of an OP by name; returns how many were
+    /// removed ("subtraction" workflow).
+    pub fn remove_op(&mut self, name: &str) -> usize {
+        let before = self.process.len();
+        self.process.retain(|op| op.name != name);
+        before - self.process.len()
+    }
+
+    /// Insert an OP at `index` (clamped to the pipeline length).
+    pub fn insert_op(&mut self, index: usize, op: OpSpec) {
+        let idx = index.min(self.process.len());
+        self.process.insert(idx, op);
+    }
+
+    /// Move the OP at `from` to position `to` (reordering workflow).
+    pub fn move_op(&mut self, from: usize, to: usize) -> Result<()> {
+        if from >= self.process.len() || to >= self.process.len() {
+            return Err(DjError::Config(format!(
+                "move_op: index out of range ({from} -> {to}, len {})",
+                self.process.len()
+            )));
+        }
+        let op = self.process.remove(from);
+        self.process.insert(to, op);
+        Ok(())
+    }
+
+    /// Set a hyper-parameter on the first OP with the given name
+    /// (the Fig. 5 "refine parameters" step).
+    pub fn set_param(&mut self, op_name: &str, key: &str, value: Value) -> Result<()> {
+        let op = self
+            .process
+            .iter_mut()
+            .find(|op| op.name == op_name)
+            .ok_or_else(|| DjError::Config(format!("set_param: no op named `{op_name}`")))?;
+        op.params.insert(key.to_string(), value);
+        Ok(())
+    }
+
+    /// Find an OP by name.
+    pub fn op(&self, name: &str) -> Option<&OpSpec> {
+        self.process.iter().find(|op| op.name == name)
+    }
+
+    // ---- (De)serialization ---------------------------------------------
+
+    /// Parse a recipe from YAML-subset text.
+    pub fn from_yaml(text: &str) -> Result<Recipe> {
+        let v = parse_yaml(text)?;
+        Recipe::from_value(&v)
+    }
+
+    /// Parse a recipe from an already-parsed config value.
+    pub fn from_value(v: &Value) -> Result<Recipe> {
+        let mut recipe = Recipe::default();
+        if let Some(name) = v.get_path("project_name").and_then(Value::as_str) {
+            recipe.project_name = name.to_string();
+        }
+        if let Some(np) = v.get_path("np").and_then(Value::as_int) {
+            if np < 1 {
+                return Err(DjError::Config("np must be >= 1".into()));
+            }
+            recipe.np = np as usize;
+        }
+        if let Some(tk) = v.get_path("text_key").and_then(Value::as_str) {
+            recipe.text_key = tk.to_string();
+        }
+        let process = match v.get_path("process") {
+            None => Vec::new(),
+            Some(Value::List(items)) => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| parse_op_spec(item, i))
+                .collect::<Result<Vec<_>>>()?,
+            Some(other) => {
+                return Err(DjError::Config(format!(
+                    "`process` must be a list, got {}",
+                    other.kind()
+                )))
+            }
+        };
+        recipe.process = process;
+        Ok(recipe)
+    }
+
+    /// Serialize to the YAML subset.
+    pub fn to_yaml(&self) -> String {
+        to_yaml(&self.to_value())
+    }
+
+    /// Convert to a config [`Value`] tree.
+    pub fn to_value(&self) -> Value {
+        let mut root = Value::map();
+        root.set_path("project_name", Value::from(self.project_name.clone()))
+            .expect("map root");
+        root.set_path("np", Value::from(self.np)).expect("map root");
+        root.set_path("text_key", Value::from(self.text_key.clone()))
+            .expect("map root");
+        let ops: Vec<Value> = self
+            .process
+            .iter()
+            .map(|op| {
+                let mut m = Value::map();
+                let params = if op.params.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Map(op.params.clone())
+                };
+                m.set_path(&op.name, params).expect("map root");
+                m
+            })
+            .collect();
+        root.set_path("process", Value::List(ops)).expect("map root");
+        root
+    }
+
+    /// Validate every OP against a registry; returns the unknown names.
+    pub fn validate(&self, registry: &OpRegistry) -> Vec<String> {
+        self.process
+            .iter()
+            .filter(|op| !registry.contains(&op.name))
+            .map(|op| op.name.clone())
+            .collect()
+    }
+
+    /// Instantiate the pipeline against a registry.
+    pub fn build_ops(&self, registry: &OpRegistry) -> Result<Vec<dj_core::Op>> {
+        self.process
+            .iter()
+            .map(|spec| {
+                let mut params = spec.params.clone();
+                // Propagate the recipe-level text key unless the OP overrides.
+                if self.text_key != "text" && !params.contains_key("field") {
+                    params.insert("field".into(), Value::from(self.text_key.clone()));
+                }
+                registry.build(&spec.name, &params)
+            })
+            .collect()
+    }
+
+    /// Stable 64-bit fingerprint of the canonical serialization — the cache
+    /// key that lets the executor detect configuration changes (§4.1).
+    pub fn fingerprint(&self) -> u64 {
+        dj_hash_stable(self.to_yaml().as_bytes())
+    }
+}
+
+fn parse_op_spec(item: &Value, index: usize) -> Result<OpSpec> {
+    let map = item.as_map().ok_or_else(|| {
+        DjError::Config(format!("process[{index}] must be a map of op name to params"))
+    })?;
+    if map.len() != 1 {
+        return Err(DjError::Config(format!(
+            "process[{index}] must contain exactly one op, found {}",
+            map.len()
+        )));
+    }
+    let (name, params) = map.iter().next().expect("len checked");
+    let params = match params {
+        Value::Null => OpParams::new(),
+        Value::Map(m) => m.clone(),
+        other => {
+            return Err(DjError::Config(format!(
+                "params of `{name}` must be a map, got {}",
+                other.kind()
+            )))
+        }
+    };
+    Ok(OpSpec {
+        name: name.clone(),
+        params,
+    })
+}
+
+/// FNV-1a, inlined to keep dj-config free of the dj-hash dependency.
+fn dj_hash_stable(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_recipe() -> Recipe {
+        Recipe::new("refine-web")
+            .with_np(4)
+            .then(OpSpec::new("whitespace_normalization_mapper"))
+            .then(
+                OpSpec::new("word_repetition_filter")
+                    .with("rep_len", 10i64)
+                    .with("min_ratio", 0.0)
+                    .with("max_ratio", 0.5),
+            )
+            .then(OpSpec::new("document_deduplicator").with("lowercase", true))
+    }
+
+    #[test]
+    fn yaml_roundtrip() {
+        let r = sample_recipe();
+        let text = r.to_yaml();
+        let parsed = Recipe::from_yaml(&text).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn paper_style_yaml_parses() {
+        let y = r#"
+project_name: fig5-refined
+np: 2
+process:
+  - word_repetition_filter:
+      rep_len: 3
+      min_ratio: 0.0
+      max_ratio: 0.23
+  - special_characters_filter:
+      min_ratio: 0.07
+      max_ratio: 0.25
+"#;
+        let r = Recipe::from_yaml(y).unwrap();
+        assert_eq!(r.project_name, "fig5-refined");
+        assert_eq!(r.process.len(), 2);
+        assert_eq!(
+            r.op("word_repetition_filter").unwrap().params["max_ratio"].as_float(),
+            Some(0.23)
+        );
+    }
+
+    #[test]
+    fn subtraction_and_addition_editing() {
+        let mut r = sample_recipe();
+        assert_eq!(r.remove_op("whitespace_normalization_mapper"), 1);
+        assert_eq!(r.process.len(), 2);
+        r.insert_op(0, OpSpec::new("clean_links_mapper"));
+        assert_eq!(r.process[0].name, "clean_links_mapper");
+        r.set_param("word_repetition_filter", "max_ratio", Value::Float(0.23))
+            .unwrap();
+        assert_eq!(
+            r.op("word_repetition_filter").unwrap().params["max_ratio"].as_float(),
+            Some(0.23)
+        );
+        assert!(r.set_param("missing_op", "k", Value::Null).is_err());
+    }
+
+    #[test]
+    fn move_op_reorders() {
+        let mut r = sample_recipe();
+        r.move_op(2, 0).unwrap();
+        assert_eq!(r.process[0].name, "document_deduplicator");
+        assert!(r.move_op(9, 0).is_err());
+    }
+
+    #[test]
+    fn fingerprint_tracks_changes() {
+        let r = sample_recipe();
+        let fp1 = r.fingerprint();
+        assert_eq!(fp1, sample_recipe().fingerprint(), "deterministic");
+        let mut r2 = sample_recipe();
+        r2.set_param("word_repetition_filter", "max_ratio", Value::Float(0.4))
+            .unwrap();
+        assert_ne!(fp1, r2.fingerprint());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Recipe::from_yaml("np: 0\n").is_err());
+        assert!(Recipe::from_yaml("process: 5\n").is_err());
+        assert!(Recipe::from_yaml("process:\n  - 42\n").is_err());
+    }
+
+    #[test]
+    fn empty_recipe_defaults() {
+        let r = Recipe::from_yaml("").unwrap();
+        assert_eq!(r.np, 1);
+        assert_eq!(r.text_key, "text");
+        assert!(r.process.is_empty());
+    }
+}

@@ -1,0 +1,540 @@
+//! A YAML-subset parser for recipe configuration files.
+//!
+//! Data-Juicer recipes are YAML documents (paper §5.1, Fig. 5). This parser
+//! covers the subset those recipes use — block maps and lists by indentation,
+//! inline scalars, quoted strings, comments — and is implemented from scratch
+//! because no YAML crate is in the allowed dependency set (DESIGN.md).
+//!
+//! Supported:
+//! * nested block maps (`key:` + deeper indentation)
+//! * block lists (`- item`), including list-of-maps (`- key: value`)
+//! * scalars: null/~, true/false, integers, floats, single/double-quoted
+//!   and bare strings
+//! * the empty flow collections `[]` and `{}` (which have no block form)
+//! * `#` comments and blank lines
+//!
+//! Not supported (by design): anchors/aliases, non-empty flow `{}`/`[]`
+//! collections, multi-document streams, block scalars (`|`, `>`), tags.
+
+use dj_core::{DjError, Result, Value};
+
+/// Parse a YAML-subset document into a [`Value`].
+pub fn parse_yaml(input: &str) -> Result<Value> {
+    let lines: Vec<Line> = input
+        .lines()
+        .enumerate()
+        .filter_map(|(no, raw)| Line::new(no + 1, raw))
+        .collect();
+    if lines.is_empty() {
+        return Ok(Value::map());
+    }
+    let mut pos = 0;
+    let v = parse_block(&lines, &mut pos, lines[0].indent)?;
+    if pos != lines.len() {
+        return Err(DjError::Parse(format!(
+            "yaml: unexpected content at line {} (inconsistent indentation?)",
+            lines[pos].no
+        )));
+    }
+    Ok(v)
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    no: usize,
+    indent: usize,
+    content: String,
+}
+
+impl Line {
+    /// Returns None for blank / comment-only lines.
+    fn new(no: usize, raw: &str) -> Option<Line> {
+        if raw.contains('\t') {
+            // Normalize tabs to two spaces to be forgiving with hand edits.
+        }
+        let expanded = raw.replace('\t', "  ");
+        let indent = expanded.len() - expanded.trim_start_matches(' ').len();
+        let content = strip_comment(expanded[indent..].trim_end());
+        if content.is_empty() {
+            return None;
+        }
+        Some(Line {
+            no,
+            indent,
+            content,
+        })
+    }
+}
+
+/// Remove a trailing `#` comment that is not inside quotes.
+fn strip_comment(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut quote: Option<char> = None;
+    for c in s.chars() {
+        match quote {
+            Some(q) => {
+                out.push(c);
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => {
+                if c == '\'' || c == '"' {
+                    quote = Some(c);
+                    out.push(c);
+                } else if c == '#' {
+                    break;
+                } else {
+                    out.push(c);
+                }
+            }
+        }
+    }
+    out.trim_end().to_string()
+}
+
+fn parse_block(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value> {
+    if lines[*pos].content.starts_with('-') {
+        parse_list(lines, pos, indent)
+    } else {
+        parse_map(lines, pos, indent)
+    }
+}
+
+fn parse_map(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value> {
+    let mut map = std::collections::BTreeMap::new();
+    while *pos < lines.len() {
+        let line = &lines[*pos];
+        if line.indent < indent {
+            break;
+        }
+        if line.indent > indent {
+            return Err(DjError::Parse(format!(
+                "yaml line {}: unexpected deeper indentation",
+                line.no
+            )));
+        }
+        if line.content.starts_with("- ") || line.content == "-" {
+            break; // a list at this level belongs to the caller
+        }
+        let (key, rest) = split_key(&line.content, line.no)?;
+        *pos += 1;
+        let value = if rest.is_empty() {
+            // Nested block (if any) is more indented.
+            if *pos < lines.len() && lines[*pos].indent > indent {
+                parse_block(lines, pos, lines[*pos].indent)?
+            } else {
+                Value::Null
+            }
+        } else {
+            parse_scalar(&rest)
+        };
+        if map.insert(key.clone(), value).is_some() {
+            return Err(DjError::Parse(format!(
+                "yaml line {}: duplicate key `{key}`",
+                line.no
+            )));
+        }
+    }
+    Ok(Value::Map(map))
+}
+
+fn parse_list(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value> {
+    let mut items = Vec::new();
+    while *pos < lines.len() {
+        let line = &lines[*pos];
+        if line.indent != indent || !(line.content.starts_with("- ") || line.content == "-") {
+            if line.indent >= indent && !line.content.starts_with('-') {
+                break; // caller's map continues
+            }
+            if line.indent < indent {
+                break;
+            }
+            return Err(DjError::Parse(format!(
+                "yaml line {}: malformed list item",
+                line.no
+            )));
+        }
+        let inline = line.content[1..].trim_start().to_string();
+        let item_indent = line.indent + 2; // conventional two-space nesting
+        if inline.is_empty() {
+            *pos += 1;
+            if *pos < lines.len() && lines[*pos].indent > line.indent {
+                items.push(parse_block(lines, pos, lines[*pos].indent)?);
+            } else {
+                items.push(Value::Null);
+            }
+        } else if let Ok((key, rest)) = split_key(&inline, line.no) {
+            // List item that opens a map: `- key: value` or `- key:`.
+            let mut map = std::collections::BTreeMap::new();
+            *pos += 1;
+            let first = if rest.is_empty() {
+                if *pos < lines.len() && lines[*pos].indent > item_indent {
+                    parse_block(lines, pos, lines[*pos].indent)?
+                } else {
+                    Value::Null
+                }
+            } else {
+                parse_scalar(&rest)
+            };
+            map.insert(key, first);
+            // Further keys of the same item sit at item_indent.
+            while *pos < lines.len()
+                && lines[*pos].indent == item_indent
+                && !lines[*pos].content.starts_with("- ")
+            {
+                let l = &lines[*pos];
+                let (k, r) = split_key(&l.content, l.no)?;
+                *pos += 1;
+                let v = if r.is_empty() {
+                    if *pos < lines.len() && lines[*pos].indent > item_indent {
+                        parse_block(lines, pos, lines[*pos].indent)?
+                    } else {
+                        Value::Null
+                    }
+                } else {
+                    parse_scalar(&r)
+                };
+                if map.insert(k.clone(), v).is_some() {
+                    return Err(DjError::Parse(format!(
+                        "yaml line {}: duplicate key `{k}`",
+                        l.no
+                    )));
+                }
+            }
+            items.push(Value::Map(map));
+        } else {
+            // Plain scalar item.
+            items.push(parse_scalar(&inline));
+            *pos += 1;
+        }
+    }
+    Ok(Value::List(items))
+}
+
+/// Split `key: rest` (the colon must be followed by space or end-of-line).
+fn split_key(content: &str, no: usize) -> Result<(String, String)> {
+    let mut in_quote: Option<char> = None;
+    for (i, c) in content.char_indices() {
+        match in_quote {
+            Some(q) if c == q => in_quote = None,
+            Some(_) => {}
+            None if c == '\'' || c == '"' => in_quote = Some(c),
+            None if c == ':' => {
+                let after = &content[i + 1..];
+                if after.is_empty() || after.starts_with(' ') {
+                    let key = unquote(content[..i].trim());
+                    if key.is_empty() {
+                        return Err(DjError::Parse(format!("yaml line {no}: empty key")));
+                    }
+                    return Ok((key, after.trim().to_string()));
+                }
+            }
+            None => {}
+        }
+    }
+    Err(DjError::Parse(format!(
+        "yaml line {no}: expected `key: value`, got `{content}`"
+    )))
+}
+
+fn unquote(s: &str) -> String {
+    let b = s.as_bytes();
+    if b.len() >= 2 && (b[0] == b'"' || b[0] == b'\'') && b[b.len() - 1] == b[0] {
+        let inner = &s[1..s.len() - 1];
+        if b[0] == b'"' {
+            return inner
+                .replace("\\n", "\n")
+                .replace("\\t", "\t")
+                .replace("\\\"", "\"")
+                .replace("\\\\", "\\");
+        }
+        return inner.replace("''", "'");
+    }
+    s.to_string()
+}
+
+/// Parse a scalar token into the narrowest [`Value`].
+pub fn parse_scalar(s: &str) -> Value {
+    let t = s.trim();
+    if t.is_empty() || t == "~" || t == "null" {
+        return Value::Null;
+    }
+    // Flow syntax is supported only for the empty collections, which have
+    // no block representation.
+    if t == "[]" {
+        return Value::List(Vec::new());
+    }
+    if t == "{}" {
+        return Value::Map(std::collections::BTreeMap::new());
+    }
+    if t.starts_with('"') || t.starts_with('\'') {
+        return Value::Str(unquote(t));
+    }
+    match t {
+        "true" | "True" => return Value::Bool(true),
+        "false" | "False" => return Value::Bool(false),
+        _ => {}
+    }
+    if let Ok(i) = t.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = t.parse::<f64>() {
+        return Value::Float(f);
+    }
+    Value::Str(t.to_string())
+}
+
+/// Serialize a [`Value`] back to the YAML subset (inverse of [`parse_yaml`]
+/// for values produced by it).
+pub fn to_yaml(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, 0, false);
+    out
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize, inline_context: bool) {
+    match v {
+        Value::Map(m) if !inline_context => {
+            for (k, val) in m {
+                write_entry(out, k, val, indent);
+            }
+        }
+        _ => out.push_str(&scalar_to_yaml(v)),
+    }
+}
+
+fn write_entry(out: &mut String, key: &str, val: &Value, indent: usize) {
+    let pad = " ".repeat(indent);
+    match val {
+        Value::Map(m) if m.is_empty() => out.push_str(&format!("{pad}{key}: {{}}\n")),
+        Value::List(l) if l.is_empty() => out.push_str(&format!("{pad}{key}: []\n")),
+        Value::Map(m) => {
+            out.push_str(&format!("{pad}{key}:\n"));
+            for (k, v) in m {
+                write_entry(out, k, v, indent + 2);
+            }
+        }
+        Value::List(items) => {
+            out.push_str(&format!("{pad}{key}:\n"));
+            for item in items {
+                write_list_item(out, item, indent + 2);
+            }
+        }
+        scalar => out.push_str(&format!("{pad}{key}: {}\n", scalar_to_yaml(scalar))),
+    }
+}
+
+fn write_list_item(out: &mut String, item: &Value, indent: usize) {
+    let pad = " ".repeat(indent);
+    match item {
+        Value::Map(m) if m.is_empty() => out.push_str(&format!("{pad}- {{}}\n")),
+        Value::List(l) if l.is_empty() => out.push_str(&format!("{pad}- []\n")),
+        Value::Map(m) => {
+            let mut first = true;
+            for (k, v) in m {
+                if first {
+                    match v {
+                        Value::Map(m2) if m2.is_empty() => {
+                            out.push_str(&format!("{pad}- {k}: {{}}\n"))
+                        }
+                        Value::List(l2) if l2.is_empty() => {
+                            out.push_str(&format!("{pad}- {k}: []\n"))
+                        }
+                        Value::Map(_) | Value::List(_) => {
+                            out.push_str(&format!("{pad}- {k}:\n"));
+                            write_nested(out, v, indent + 4);
+                        }
+                        scalar => {
+                            out.push_str(&format!("{pad}- {k}: {}\n", scalar_to_yaml(scalar)))
+                        }
+                    }
+                    first = false;
+                } else {
+                    write_entry(out, k, v, indent + 2);
+                }
+            }
+            if first {
+                out.push_str(&format!("{pad}-\n")); // empty map item
+            }
+        }
+        Value::List(_) => {
+            out.push_str(&format!("{pad}-\n"));
+            write_nested(out, item, indent + 2);
+        }
+        scalar => out.push_str(&format!("{pad}- {}\n", scalar_to_yaml(scalar))),
+    }
+}
+
+fn write_nested(out: &mut String, v: &Value, indent: usize) {
+    match v {
+        Value::Map(m) if m.is_empty() => {
+            out.push_str(&format!("{}{{}}\n", " ".repeat(indent)))
+        }
+        Value::List(l) if l.is_empty() => {
+            out.push_str(&format!("{}[]\n", " ".repeat(indent)))
+        }
+        Value::Map(m) => {
+            for (k, val) in m {
+                write_entry(out, k, val, indent);
+            }
+        }
+        Value::List(items) => {
+            for item in items {
+                write_list_item(out, item, indent);
+            }
+        }
+        scalar => {
+            out.push_str(&format!("{}{}\n", " ".repeat(indent), scalar_to_yaml(scalar)));
+        }
+    }
+}
+
+fn scalar_to_yaml(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Str(s) => {
+            let needs_quoting = s.is_empty()
+                || s.contains(':')
+                || s.contains('#')
+                || s.contains('\n')
+                || s.starts_with(['-', '"', '\'', ' '])
+                || s.ends_with(' ')
+                || matches!(s.as_str(), "true" | "false" | "null" | "~")
+                || s.parse::<f64>().is_ok();
+            if needs_quoting {
+                format!(
+                    "\"{}\"",
+                    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+                )
+            } else {
+                s.clone()
+            }
+        }
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RECIPE: &str = r#"
+# Data-Juicer style recipe
+project_name: demo-recipe
+np: 4
+text_key: text
+process:
+  - whitespace_normalization_mapper:
+  - word_repetition_filter:
+      rep_len: 10
+      min_ratio: 0.0
+      max_ratio: 0.5
+  - special_characters_filter:
+      min_ratio: 0.0
+      max_ratio: 0.25
+  - document_deduplicator:
+      lowercase: true
+"#;
+
+    #[test]
+    fn parses_recipe_shape() {
+        let v = parse_yaml(RECIPE).unwrap();
+        assert_eq!(v.get_path("project_name").unwrap().as_str(), Some("demo-recipe"));
+        assert_eq!(v.get_path("np").unwrap().as_int(), Some(4));
+        let ops = v.get_path("process").unwrap().as_list().unwrap();
+        assert_eq!(ops.len(), 4);
+        assert!(ops[0].get_path("whitespace_normalization_mapper").unwrap() == &Value::Null);
+        assert_eq!(
+            ops[1]
+                .get_path("word_repetition_filter.rep_len")
+                .unwrap()
+                .as_int(),
+            Some(10)
+        );
+        assert_eq!(
+            ops[3]
+                .get_path("document_deduplicator.lowercase")
+                .unwrap()
+                .as_bool(),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn scalars_parse_to_narrowest_type() {
+        assert_eq!(parse_scalar("42"), Value::Int(42));
+        assert_eq!(parse_scalar("-3.5"), Value::Float(-3.5));
+        assert_eq!(parse_scalar("true"), Value::Bool(true));
+        assert_eq!(parse_scalar("~"), Value::Null);
+        assert_eq!(parse_scalar("hello world"), Value::Str("hello world".into()));
+        assert_eq!(parse_scalar("'quoted: str'"), Value::Str("quoted: str".into()));
+        assert_eq!(parse_scalar("\"a\\nb\""), Value::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn lists_of_scalars() {
+        let v = parse_yaml("tags:\n  - EN\n  - ZH\n  - 3\n").unwrap();
+        let tags = v.get_path("tags").unwrap().as_list().unwrap();
+        assert_eq!(tags.len(), 3);
+        assert_eq!(tags[2].as_int(), Some(3));
+    }
+
+    #[test]
+    fn nested_maps() {
+        let y = "a:\n  b:\n    c: 1\n  d: 2\ne: 3\n";
+        let v = parse_yaml(y).unwrap();
+        assert_eq!(v.get_path("a.b.c").unwrap().as_int(), Some(1));
+        assert_eq!(v.get_path("a.d").unwrap().as_int(), Some(2));
+        assert_eq!(v.get_path("e").unwrap().as_int(), Some(3));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let y = "# header\n\na: 1 # trailing\n\n# middle\nb: 'has # inside'\n";
+        let v = parse_yaml(y).unwrap();
+        assert_eq!(v.get_path("a").unwrap().as_int(), Some(1));
+        assert_eq!(v.get_path("b").unwrap().as_str(), Some("has # inside"));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_bad_shape() {
+        assert!(parse_yaml("a: 1\na: 2\n").is_err());
+        assert!(parse_yaml("just a bare scalar line\n").is_err());
+    }
+
+    #[test]
+    fn empty_document_is_empty_map() {
+        assert_eq!(parse_yaml("").unwrap(), Value::map());
+        assert_eq!(parse_yaml("# only comments\n\n").unwrap(), Value::map());
+    }
+
+    #[test]
+    fn roundtrip_recipe() {
+        let v = parse_yaml(RECIPE).unwrap();
+        let emitted = to_yaml(&v);
+        let reparsed = parse_yaml(&emitted).unwrap();
+        assert_eq!(reparsed, v, "roundtrip failed; emitted:\n{emitted}");
+    }
+
+    #[test]
+    fn roundtrip_tricky_strings() {
+        let mut v = Value::map();
+        v.set_path("a", Value::from("plain")).unwrap();
+        v.set_path("b", Value::from("with: colon")).unwrap();
+        v.set_path("c", Value::from("3.14")).unwrap();
+        v.set_path("d", Value::from("true")).unwrap();
+        v.set_path("e", Value::from("")).unwrap();
+        let reparsed = parse_yaml(&to_yaml(&v)).unwrap();
+        assert_eq!(reparsed, v);
+    }
+
+    #[test]
+    fn list_of_maps_with_multiple_keys() {
+        let y = "ops:\n  - name: alpha\n    weight: 0.5\n  - name: beta\n    weight: 1.5\n";
+        let v = parse_yaml(y).unwrap();
+        let ops = v.get_path("ops").unwrap().as_list().unwrap();
+        assert_eq!(ops[0].get_path("name").unwrap().as_str(), Some("alpha"));
+        assert_eq!(ops[1].get_path("weight").unwrap().as_float(), Some(1.5));
+    }
+}

@@ -1,0 +1,210 @@
+//! Context management: shared intermediate variables across operators.
+//!
+//! Many OPs derive the same intermediate views from a sample's text —
+//! segmented words, split lines, sentences (paper §6, "Optimized
+//! Computation"). A [`SampleContext`] memoizes those views for the text they
+//! were computed from, so fused operators reuse them instead of re-deriving
+//! them. The context is cleared after each (fused) OP to keep memory flat.
+
+/// Bit flags describing which derived views an operator consumes.
+///
+/// Two Filters are *fusible* when their context needs intersect (they share
+/// a computation sub-procedure, paper §6 / Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ContextNeeds(pub u8);
+
+impl ContextNeeds {
+    pub const NONE: ContextNeeds = ContextNeeds(0);
+    pub const WORDS: ContextNeeds = ContextNeeds(1);
+    pub const LINES: ContextNeeds = ContextNeeds(1 << 1);
+    pub const SENTENCES: ContextNeeds = ContextNeeds(1 << 2);
+    pub const CHARS: ContextNeeds = ContextNeeds(1 << 3);
+
+    /// Union of two need sets.
+    pub const fn union(self, other: ContextNeeds) -> ContextNeeds {
+        ContextNeeds(self.0 | other.0)
+    }
+
+    /// True when the two need sets share at least one view.
+    pub const fn intersects(self, other: ContextNeeds) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Memoized per-sample derived views, keyed by a version counter that the
+/// executor bumps whenever a Mapper rewrites the text.
+#[derive(Debug, Default)]
+pub struct SampleContext {
+    version: u64,
+    words: Option<(u64, Vec<String>)>,
+    lines: Option<(u64, Vec<String>)>,
+    sentences: Option<(u64, Vec<String>)>,
+    /// Count of (re)computations, exposed for the context-reuse ablation.
+    pub compute_count: u64,
+}
+
+impl SampleContext {
+    pub fn new() -> SampleContext {
+        SampleContext::default()
+    }
+
+    /// Invalidate all cached views (text was rewritten by a Mapper).
+    pub fn invalidate(&mut self) {
+        self.version += 1;
+    }
+
+    /// Drop cached views entirely (end of a fused OP; paper: "contexts of
+    /// each sample will be cleaned up after each fused OP").
+    pub fn clear(&mut self) {
+        self.words = None;
+        self.lines = None;
+        self.sentences = None;
+    }
+
+    /// Segmented words of `text`, computed at most once per text version.
+    ///
+    /// Word segmentation is Unicode-alphanumeric runs; CJK characters are
+    /// treated as single-character words, which matches how the paper's
+    /// Chinese OPs count tokens without a whitespace convention.
+    pub fn words(&mut self, text: &str) -> &[String] {
+        if self.words.as_ref().map(|(v, _)| *v) != Some(self.version) {
+            self.compute_count += 1;
+            self.words = Some((self.version, segment_words(text)));
+        }
+        &self.words.as_ref().expect("just set").1
+    }
+
+    /// Lines of `text` (split on `\n`), computed at most once per version.
+    pub fn lines(&mut self, text: &str) -> &[String] {
+        if self.lines.as_ref().map(|(v, _)| *v) != Some(self.version) {
+            self.compute_count += 1;
+            self.lines = Some((
+                self.version,
+                text.split('\n').map(str::to_string).collect(),
+            ));
+        }
+        &self.lines.as_ref().expect("just set").1
+    }
+
+    /// Sentences of `text` (split on `.!?` and CJK equivalents), memoized.
+    pub fn sentences(&mut self, text: &str) -> &[String] {
+        if self.sentences.as_ref().map(|(v, _)| *v) != Some(self.version) {
+            self.compute_count += 1;
+            self.sentences = Some((self.version, segment_sentences(text)));
+        }
+        &self.sentences.as_ref().expect("just set").1
+    }
+}
+
+/// Unicode-aware word segmentation shared by OPs and the analyzer.
+pub fn segment_words(text: &str) -> Vec<String> {
+    let mut words = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if is_cjk(c) {
+            if !cur.is_empty() {
+                words.push(std::mem::take(&mut cur));
+            }
+            words.push(c.to_string());
+        } else if c.is_alphanumeric() || c == '_' || c == '\'' {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            words.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        words.push(cur);
+    }
+    words
+}
+
+/// Sentence segmentation on terminal punctuation (ASCII + CJK).
+pub fn segment_sentences(text: &str) -> Vec<String> {
+    let mut sents = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        cur.push(c);
+        if matches!(c, '.' | '!' | '?' | '。' | '！' | '？') {
+            let t = cur.trim();
+            if !t.is_empty() {
+                sents.push(t.to_string());
+            }
+            cur.clear();
+        }
+    }
+    let t = cur.trim();
+    if !t.is_empty() {
+        sents.push(t.to_string());
+    }
+    sents
+}
+
+/// True for CJK unified ideographs and common fullwidth ranges.
+pub fn is_cjk(c: char) -> bool {
+    matches!(c as u32,
+        0x4E00..=0x9FFF      // CJK Unified Ideographs
+        | 0x3400..=0x4DBF    // Extension A
+        | 0x3000..=0x303F    // CJK punctuation
+        | 0xFF00..=0xFFEF    // fullwidth forms
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_are_memoized_until_invalidated() {
+        let mut ctx = SampleContext::new();
+        let text = "one two three";
+        assert_eq!(ctx.words(text).len(), 3);
+        assert_eq!(ctx.words(text).len(), 3);
+        assert_eq!(ctx.compute_count, 1);
+        ctx.invalidate();
+        assert_eq!(ctx.words("four five").len(), 2);
+        assert_eq!(ctx.compute_count, 2);
+    }
+
+    #[test]
+    fn segment_words_handles_cjk_and_contractions() {
+        assert_eq!(segment_words("don't stop"), vec!["don't", "stop"]);
+        assert_eq!(segment_words("数据处理"), vec!["数", "据", "处", "理"]);
+        assert_eq!(
+            segment_words("mix 数据 end"),
+            vec!["mix", "数", "据", "end"]
+        );
+        assert_eq!(segment_words(""), Vec::<String>::new());
+        assert_eq!(segment_words("  ,,  "), Vec::<String>::new());
+    }
+
+    #[test]
+    fn segment_sentences_splits_on_terminals() {
+        let s = segment_sentences("One. Two! Three? Four");
+        assert_eq!(s, vec!["One.", "Two!", "Three?", "Four"]);
+        let zh = segment_sentences("第一句。第二句！");
+        assert_eq!(zh, vec!["第一句。", "第二句！"]);
+    }
+
+    #[test]
+    fn needs_set_operations() {
+        let wl = ContextNeeds::WORDS.union(ContextNeeds::LINES);
+        assert!(wl.intersects(ContextNeeds::WORDS));
+        assert!(wl.intersects(ContextNeeds::LINES));
+        assert!(!wl.intersects(ContextNeeds::SENTENCES));
+        assert!(!ContextNeeds::NONE.intersects(wl));
+        assert!(ContextNeeds::NONE.is_empty());
+    }
+
+    #[test]
+    fn clear_forces_recompute() {
+        let mut ctx = SampleContext::new();
+        ctx.words("a b");
+        ctx.clear();
+        ctx.words("a b");
+        assert_eq!(ctx.compute_count, 2);
+    }
+}

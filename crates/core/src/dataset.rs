@@ -1,0 +1,299 @@
+//! In-memory dataset: the unified intermediate representation of §3.1.
+//!
+//! The interface deliberately mirrors the handful of Huggingface-`datasets`
+//! entry points Data-Juicer relies on — `map`, `filter`, column addition and
+//! whole-dataset passes — so the executor, cache layer and OP pool interact
+//! with datasets exactly the way the paper describes.
+
+use crate::error::Result;
+use crate::sample::Sample;
+use crate::value::Value;
+
+/// An ordered collection of [`Sample`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+}
+
+impl Dataset {
+    pub fn new() -> Dataset {
+        Dataset::default()
+    }
+
+    pub fn from_samples(samples: Vec<Sample>) -> Dataset {
+        Dataset { samples }
+    }
+
+    /// Build a dataset of plain-text samples.
+    pub fn from_texts<I, S>(texts: I) -> Dataset
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Dataset {
+            samples: texts.into_iter().map(|t| Sample::from_text(t)).collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    pub fn samples_mut(&mut self) -> &mut [Sample] {
+        &mut self.samples
+    }
+
+    pub fn into_samples(self) -> Vec<Sample> {
+        self.samples
+    }
+
+    pub fn get(&self, idx: usize) -> Option<&Sample> {
+        self.samples.get(idx)
+    }
+
+    pub fn push(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
+    /// Append all samples of `other` (dataset mixing / merging).
+    pub fn extend(&mut self, other: Dataset) {
+        self.samples.extend(other.samples);
+    }
+
+    /// `Dataset.map`: transform every sample in place, propagating errors.
+    pub fn map<F>(&mut self, mut f: F) -> Result<()>
+    where
+        F: FnMut(&mut Sample) -> Result<()>,
+    {
+        for s in &mut self.samples {
+            f(s)?;
+        }
+        Ok(())
+    }
+
+    /// `Dataset.filter`: retain samples for which the predicate returns true.
+    pub fn filter<F>(&mut self, mut f: F) -> Result<usize>
+    where
+        F: FnMut(&Sample) -> Result<bool>,
+    {
+        let mut keep = Vec::with_capacity(self.samples.len());
+        for s in &self.samples {
+            keep.push(f(s)?);
+        }
+        let before = self.samples.len();
+        let mut it = keep.into_iter();
+        self.samples.retain(|_| it.next().expect("mask length"));
+        Ok(before - self.samples.len())
+    }
+
+    /// Retain samples according to a precomputed boolean mask.
+    ///
+    /// Deduplicators produce such masks at dataset level; panics if the mask
+    /// length mismatches (an executor invariant, not user input).
+    pub fn retain_mask(&mut self, mask: &[bool]) {
+        assert_eq!(
+            mask.len(),
+            self.samples.len(),
+            "mask length must equal dataset length"
+        );
+        let mut it = mask.iter();
+        self.samples.retain(|_| *it.next().expect("mask length"));
+    }
+
+    /// Select a subset by indices (sampler support). Unknown indices skipped.
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            samples: indices
+                .iter()
+                .filter_map(|&i| self.samples.get(i).cloned())
+                .collect(),
+        }
+    }
+
+    /// Split off the first `n` samples into a new dataset (sharding support).
+    pub fn take(&self, n: usize) -> Dataset {
+        Dataset {
+            samples: self.samples.iter().take(n).cloned().collect(),
+        }
+    }
+
+    /// Partition into `n` contiguous shards of near-equal size.
+    ///
+    /// Used by the distributed backends for automatic data partitioning.
+    pub fn partition(self, n: usize) -> Vec<Dataset> {
+        assert!(n > 0, "partition count must be positive");
+        let len = self.samples.len();
+        let base = len / n;
+        let rem = len % n;
+        let mut shards = Vec::with_capacity(n);
+        let mut it = self.samples.into_iter();
+        for i in 0..n {
+            let size = base + usize::from(i < rem);
+            shards.push(Dataset {
+                samples: it.by_ref().take(size).collect(),
+            });
+        }
+        shards
+    }
+
+    /// Merge shards back into one dataset, preserving shard order.
+    pub fn concat(shards: Vec<Dataset>) -> Dataset {
+        let total = shards.iter().map(Dataset::len).sum();
+        let mut samples = Vec::with_capacity(total);
+        for s in shards {
+            samples.extend(s.samples);
+        }
+        Dataset { samples }
+    }
+
+    /// Add (or overwrite) a column: sets `path` on every sample.
+    pub fn add_column<F>(&mut self, path: &str, mut f: F) -> Result<()>
+    where
+        F: FnMut(&Sample) -> Value,
+    {
+        for s in &mut self.samples {
+            let v = f(s);
+            s.value_mut().set_path(path, v)?;
+        }
+        Ok(())
+    }
+
+    /// Collect the values of a numeric stats column that is present.
+    pub fn stat_column(&self, key: &str) -> Vec<f64> {
+        self.samples.iter().filter_map(|s| s.stat(key)).collect()
+    }
+
+    /// Total text bytes across all samples (throughput reporting).
+    pub fn text_bytes(&self) -> usize {
+        self.samples.iter().map(|s| s.text().len()).sum()
+    }
+
+    /// Approximate heap footprint of the whole dataset in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.samples.iter().map(Sample::approx_bytes).sum()
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Sample> {
+        self.samples.iter()
+    }
+}
+
+impl IntoIterator for Dataset {
+    type Item = Sample;
+    type IntoIter = std::vec::IntoIter<Sample>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a Sample;
+    type IntoIter = std::slice::Iter<'a, Sample>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+impl FromIterator<Sample> for Dataset {
+    fn from_iter<T: IntoIterator<Item = Sample>>(iter: T) -> Self {
+        Dataset {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        Dataset::from_texts(["alpha", "beta", "gamma", "delta", "epsilon"])
+    }
+
+    #[test]
+    fn map_transforms_every_sample() {
+        let mut d = ds();
+        d.map(|s| {
+            let up = s.text().to_uppercase();
+            s.set_text(up);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(d.get(0).unwrap().text(), "ALPHA");
+        assert_eq!(d.get(4).unwrap().text(), "EPSILON");
+    }
+
+    #[test]
+    fn filter_returns_removed_count() {
+        let mut d = ds();
+        let removed = d.filter(|s| Ok(s.text().len() > 4)).unwrap();
+        assert_eq!(removed, 1); // only "beta" is <= 4 chars
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn retain_mask_keeps_marked() {
+        let mut d = ds();
+        d.retain_mask(&[true, false, true, false, true]);
+        let texts: Vec<_> = d.iter().map(|s| s.text().to_string()).collect();
+        assert_eq!(texts, vec!["alpha", "gamma", "epsilon"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length")]
+    fn retain_mask_panics_on_length_mismatch() {
+        let mut d = ds();
+        d.retain_mask(&[true]);
+    }
+
+    #[test]
+    fn partition_concat_roundtrip() {
+        let d = ds();
+        let original = d.clone();
+        let shards = d.partition(3);
+        assert_eq!(shards.iter().map(Dataset::len).collect::<Vec<_>>(), vec![2, 2, 1]);
+        let merged = Dataset::concat(shards);
+        assert_eq!(merged, original);
+    }
+
+    #[test]
+    fn partition_with_more_shards_than_samples() {
+        let d = Dataset::from_texts(["a", "b"]);
+        let shards = d.partition(5);
+        assert_eq!(shards.len(), 5);
+        assert_eq!(shards.iter().map(Dataset::len).sum::<usize>(), 2);
+        assert!(shards[4].is_empty());
+    }
+
+    #[test]
+    fn add_column_and_stat_column() {
+        let mut d = ds();
+        d.add_column("stats.len", |s| Value::Float(s.text().len() as f64))
+            .unwrap();
+        let col = d.stat_column("len");
+        assert_eq!(col, vec![5.0, 4.0, 5.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn select_skips_out_of_range() {
+        let d = ds();
+        let sub = d.select(&[4, 0, 99]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.get(0).unwrap().text(), "epsilon");
+    }
+
+    #[test]
+    fn extend_merges_datasets() {
+        let mut d = Dataset::from_texts(["a"]);
+        d.extend(Dataset::from_texts(["b", "c"]));
+        assert_eq!(d.len(), 3);
+    }
+}

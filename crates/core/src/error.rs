@@ -1,0 +1,85 @@
+//! Error types shared across the Data-Juicer workspace.
+
+use std::fmt;
+
+/// Unified error type for all Data-Juicer operations.
+#[derive(Debug)]
+pub enum DjError {
+    /// Configuration is malformed or inconsistent (unknown OP, bad parameter...).
+    Config(String),
+    /// A parser failed (YAML/JSON recipe, JSONL dataset, ...).
+    Parse(String),
+    /// An operator failed while processing a sample or dataset.
+    Op { op: String, message: String },
+    /// Requested field/path is missing or has the wrong type.
+    Field(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Cache/checkpoint storage failure (corrupt file, version mismatch...).
+    Storage(String),
+}
+
+impl fmt::Display for DjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DjError::Config(m) => write!(f, "config error: {m}"),
+            DjError::Parse(m) => write!(f, "parse error: {m}"),
+            DjError::Op { op, message } => write!(f, "operator `{op}` failed: {message}"),
+            DjError::Field(m) => write!(f, "field error: {m}"),
+            DjError::Io(e) => write!(f, "io error: {e}"),
+            DjError::Storage(m) => write!(f, "storage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DjError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DjError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DjError {
+    fn from(e: std::io::Error) -> Self {
+        DjError::Io(e)
+    }
+}
+
+/// Convenience alias used across every crate in the workspace.
+pub type Result<T> = std::result::Result<T, DjError>;
+
+impl DjError {
+    /// Build an operator error with a display-able message.
+    pub fn op(op: impl Into<String>, message: impl fmt::Display) -> Self {
+        DjError::Op {
+            op: op.into(),
+            message: message.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = DjError::Config("missing key".into());
+        assert_eq!(e.to_string(), "config error: missing key");
+        let e = DjError::op("word_count_filter", "bad range");
+        assert_eq!(
+            e.to_string(),
+            "operator `word_count_filter` failed: bad range"
+        );
+    }
+
+    #[test]
+    fn io_error_converts_and_chains_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: DjError = io.into();
+        assert!(matches!(e, DjError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,311 @@
+//! A small, strict JSON parser producing [`Value`] trees.
+//!
+//! Serialization is `Value`'s `Display` impl; this module provides the
+//! inverse. Implemented from scratch because `serde_json` is outside the
+//! allowed dependency set (see DESIGN.md). Supports the full JSON grammar
+//! with `\uXXXX` escapes (including surrogate pairs).
+
+use std::collections::BTreeMap;
+
+use crate::error::{DjError, Result};
+use crate::value::Value;
+
+/// Parse a JSON document into a [`Value`].
+pub fn parse_json(input: &str) -> Result<Value> {
+    let mut p = Parser {
+        chars: input.chars().collect(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: &str) -> DjError {
+        DjError::Parse(format!("json: {msg} at offset {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        if self.bump() == Some(c) {
+            Ok(())
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            Err(self.err(&format!("expected `{c}`")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.parse_object(),
+            Some('[') => self.parse_array(),
+            Some('"') => Ok(Value::Str(self.parse_string()?)),
+            Some('t') => self.parse_literal("true", Value::Bool(true)),
+            Some('f') => self.parse_literal("false", Value::Bool(false)),
+            Some('n') => self.parse_literal("null", Value::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(self.err(&format!("unexpected character `{c}`"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, v: Value) -> Result<Value> {
+        for c in lit.chars() {
+            if self.bump() != Some(c) {
+                return Err(self.err(&format!("invalid literal, expected `{lit}`")));
+            }
+        }
+        Ok(v)
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect('{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(Value::Map(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(Value::Map(map)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected `,` or `}` in object"));
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(Value::List(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(Value::List(items)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected `,` or `]` in array"));
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let hi = self.parse_hex4()?;
+                        let c = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: require \uXXXX low surrogate.
+                            self.expect('\\')?;
+                            self.expect('u')?;
+                            let lo = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            let code =
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                            char::from_u32(code)
+                        } else {
+                            char::from_u32(hi)
+                        };
+                        out.push(c.ok_or_else(|| self.err("invalid unicode escape"))?);
+                    }
+                    _ => return Err(self.err("invalid escape sequence")),
+                },
+                Some(c) if (c as u32) < 0x20 => {
+                    return Err(self.err("raw control character in string"))
+                }
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| self.err("non-hex digit in \\u escape"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.bump();
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == Some('.') {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            is_float = true;
+            self.bump();
+            if matches!(self.peek(), Some('+' | '-')) {
+                self.bump();
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err("invalid float"))
+        } else {
+            // Fall back to float for integers beyond i64 range.
+            text.parse::<i64>().map(Value::Int).or_else(|_| {
+                text.parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| self.err("invalid number"))
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse_json("null").unwrap(), Value::Null);
+        assert_eq!(parse_json("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse_json("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse_json("42").unwrap(), Value::Int(42));
+        assert_eq!(parse_json("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse_json("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(parse_json("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(parse_json("\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse_json(r#"{"a": [1, {"b": "c"}, null], "d": {"e": 2.5}}"#).unwrap();
+        assert_eq!(v.get_path("d.e").unwrap().as_float(), Some(2.5));
+        let list = v.get_path("a").unwrap().as_list().unwrap();
+        assert_eq!(list.len(), 3);
+        assert_eq!(list[1].get_path("b").unwrap().as_str(), Some("c"));
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            parse_json(r#""a\"b\\c\nd\teA""#).unwrap(),
+            Value::Str("a\"b\\c\nd\teA".into())
+        );
+    }
+
+    #[test]
+    fn surrogate_pairs() {
+        assert_eq!(
+            parse_json(r#""😀""#).unwrap(),
+            Value::Str("😀".into())
+        );
+        assert!(parse_json(r#""\ud83d""#).is_err());
+        assert!(parse_json(r#""\ud83dx""#).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "01x", "\"unterminated",
+            "{\"a\":1} extra", "[1 2]", "nan",
+        ] {
+            assert!(parse_json(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_display_then_parse() {
+        let mut v = Value::map();
+        v.set_path("text", Value::from("line1\nline2\t\"quoted\"")).unwrap();
+        v.set_path("meta.count", Value::Int(5)).unwrap();
+        v.set_path("stats.ratio", Value::Float(0.25)).unwrap();
+        v.set_path("tags", Value::from(vec!["a", "b"])).unwrap();
+        let parsed = parse_json(&v.to_string()).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn big_integers_fall_back_to_float() {
+        let v = parse_json("99999999999999999999999").unwrap();
+        assert!(matches!(v, Value::Float(_)));
+    }
+
+    #[test]
+    fn whitespace_tolerance() {
+        let v = parse_json(" \n\t{ \"a\" :\r[ 1 , 2 ] } \n").unwrap();
+        assert_eq!(v.get_path("a").unwrap().as_list().unwrap().len(), 2);
+    }
+}

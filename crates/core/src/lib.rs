@@ -1,0 +1,40 @@
+//! # dj-core — unified data representation & operator abstractions
+//!
+//! The foundation crate of *data-juicer-rs*, a Rust reproduction of
+//! **Data-Juicer: A One-Stop Data Processing System for Large Language
+//! Models** (SIGMOD 2024).
+//!
+//! This crate provides:
+//!
+//! * [`Value`] — a dynamically-typed value tree with nested dotted-path
+//!   access (`"text.abstract"`, `"stats.word_count"`), the intermediate
+//!   representation of paper §3.1;
+//! * [`Sample`] — one record, conceptually split into `"text"`, `"meta"`
+//!   and `"stats"` parts;
+//! * [`Dataset`] — an ordered sample collection with `map`/`filter`/
+//!   partition/concat interfaces mirroring the Huggingface-datasets entry
+//!   points the original system builds on;
+//! * [`SampleContext`] — memoized derived views (words, lines, sentences)
+//!   that power the context-management optimization of §6;
+//! * the operator traits of Listing 1 ([`Formatter`], [`Mapper`],
+//!   [`Filter`], [`Deduplicator`]) together with the type-erased [`Op`]
+//!   and the [`OpRegistry`] extension point.
+
+pub mod context;
+pub mod dataset;
+pub mod error;
+pub mod json;
+pub mod op;
+pub mod sample;
+pub mod value;
+
+pub use context::{is_cjk, segment_sentences, segment_words, ContextNeeds, SampleContext};
+pub use dataset::Dataset;
+pub use error::{DjError, Result};
+pub use json::parse_json;
+pub use op::{
+    params, Deduplicator, Filter, Formatter, Mapper, Op, OpCost, OpFactory, OpKind, OpParams,
+    OpRegistry,
+};
+pub use sample::{Sample, META_KEY, STATS_KEY, TEXT_KEY};
+pub use value::Value;

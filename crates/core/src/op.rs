@@ -1,0 +1,373 @@
+//! Operator (OP) abstractions — the standardized pool interface of §3.
+//!
+//! Mirrors the base classes of the paper's Listing 1:
+//!
+//! * [`Formatter`]  — `load_dataset(...) -> Dataset`
+//! * [`Mapper`]     — `process(sample) -> sample` (in-place text editing)
+//! * [`Filter`]     — `compute_stats(sample)` then `process(sample) -> bool`
+//! * [`Deduplicator`] — `compute_hash(sample)` then dataset-level `process`
+//!
+//! The Filter split is the stats/decision decoupling the paper highlights:
+//! statistics land in the sample's `stats` column where the analyzer (and any
+//! later filter) can reuse them for the *entire* dataset, not the kept subset.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::context::{ContextNeeds, SampleContext};
+use crate::dataset::Dataset;
+use crate::error::{DjError, Result};
+use crate::sample::Sample;
+use crate::value::Value;
+
+/// Relative execution cost of an OP, used by the reordering optimizer:
+/// cheaper filters run first so expensive ones see fewer samples (§6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OpCost {
+    Cheap,
+    Moderate,
+    Expensive,
+}
+
+/// Formatter: unify a raw input into the intermediate representation.
+pub trait Formatter: Send + Sync {
+    fn name(&self) -> &'static str;
+
+    /// Parse raw input bytes/text into a dataset.
+    fn load_dataset(&self, raw: &str) -> Result<Dataset>;
+}
+
+/// Mapper: in-place text editing at single-sample granularity.
+pub trait Mapper: Send + Sync {
+    fn name(&self) -> &'static str;
+
+    /// Transform the sample in place. Must call `ctx.invalidate()` semantics
+    /// are handled by the executor: it invalidates the context whenever the
+    /// mapper reports it changed the text (returns `true`).
+    fn process(&self, sample: &mut Sample, ctx: &mut SampleContext) -> Result<bool>;
+
+    /// Derived views this mapper consumes (fusion grouping).
+    fn context_needs(&self) -> ContextNeeds {
+        ContextNeeds::NONE
+    }
+
+    fn cost(&self) -> OpCost {
+        OpCost::Cheap
+    }
+}
+
+/// Filter: conditional removal driven by recorded per-sample statistics.
+pub trait Filter: Send + Sync {
+    fn name(&self) -> &'static str;
+
+    /// Compute and record this filter's statistic(s) into `sample.stats`.
+    /// Implementations should early-return if the stat is already present so
+    /// precomputed analyzer passes are reused.
+    fn compute_stats(&self, sample: &mut Sample, ctx: &mut SampleContext) -> Result<()>;
+
+    /// Keep-decision from recorded stats only (no recomputation).
+    fn process(&self, sample: &Sample) -> Result<bool>;
+
+    /// The primary stats key this filter writes (analyzer dimension name).
+    fn stats_key(&self) -> &'static str;
+
+    /// Derived views consumed by `compute_stats` (fusion grouping).
+    fn context_needs(&self) -> ContextNeeds {
+        ContextNeeds::NONE
+    }
+
+    fn cost(&self) -> OpCost {
+        OpCost::Cheap
+    }
+}
+
+/// Deduplicator: whole-dataset duplicate removal in two decoupled phases.
+pub trait Deduplicator: Send + Sync {
+    fn name(&self) -> &'static str;
+
+    /// Per-sample fingerprint (hash signature) — parallelizable phase.
+    fn compute_hash(&self, sample: &Sample, ctx: &mut SampleContext) -> Result<Value>;
+
+    /// Dataset-level keep mask from all fingerprints. `mask[i]` is `true`
+    /// when sample `i` survives. Must be deterministic (first occurrence of a
+    /// duplicate cluster is kept).
+    fn keep_mask(&self, dataset: &Dataset, hashes: &[Value]) -> Result<Vec<bool>>;
+}
+
+/// A type-erased operator, the unit the executor schedules.
+#[derive(Clone)]
+pub enum Op {
+    Mapper(Arc<dyn Mapper>),
+    Filter(Arc<dyn Filter>),
+    Deduplicator(Arc<dyn Deduplicator>),
+}
+
+impl Op {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Mapper(m) => m.name(),
+            Op::Filter(f) => f.name(),
+            Op::Deduplicator(d) => d.name(),
+        }
+    }
+
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::Mapper(_) => OpKind::Mapper,
+            Op::Filter(_) => OpKind::Filter,
+            Op::Deduplicator(_) => OpKind::Deduplicator,
+        }
+    }
+
+    pub fn context_needs(&self) -> ContextNeeds {
+        match self {
+            Op::Mapper(m) => m.context_needs(),
+            Op::Filter(f) => f.context_needs(),
+            Op::Deduplicator(_) => ContextNeeds::NONE,
+        }
+    }
+
+    pub fn cost(&self) -> OpCost {
+        match self {
+            Op::Mapper(m) => m.cost(),
+            Op::Filter(f) => f.cost(),
+            Op::Deduplicator(_) => OpCost::Expensive,
+        }
+    }
+}
+
+impl std::fmt::Debug for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Op::{:?}({})", self.kind(), self.name())
+    }
+}
+
+/// The four primary OP categories of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    Formatter,
+    Mapper,
+    Filter,
+    Deduplicator,
+}
+
+/// Parameters handed to an OP factory: a map parsed from the recipe config.
+pub type OpParams = BTreeMap<String, Value>;
+
+/// Factory signature: build an [`Op`] from recipe parameters.
+pub type OpFactory = fn(&OpParams) -> Result<Op>;
+
+/// Registry mapping OP names to factories (advanced-extension entry point,
+/// paper §5.3: users "register their new OPs" by name).
+#[derive(Default)]
+pub struct OpRegistry {
+    factories: BTreeMap<String, OpFactory>,
+}
+
+impl OpRegistry {
+    pub fn new() -> OpRegistry {
+        OpRegistry::default()
+    }
+
+    /// Register a factory under `name`; replaces any previous registration.
+    pub fn register(&mut self, name: &str, factory: OpFactory) {
+        self.factories.insert(name.to_string(), factory);
+    }
+
+    /// Instantiate an OP by name with the given parameters.
+    pub fn build(&self, name: &str, params: &OpParams) -> Result<Op> {
+        let factory = self
+            .factories
+            .get(name)
+            .ok_or_else(|| DjError::Config(format!("unknown operator `{name}`")))?;
+        factory(params)
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(name)
+    }
+
+    /// Registered OP names in deterministic order.
+    pub fn names(&self) -> Vec<&str> {
+        self.factories.keys().map(String::as_str).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.factories.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.factories.is_empty()
+    }
+}
+
+/// Helpers for reading typed parameters out of [`OpParams`] with defaults.
+pub mod params {
+    use super::*;
+
+    pub fn f64_or(p: &OpParams, key: &str, default: f64) -> Result<f64> {
+        match p.get(key) {
+            None => Ok(default),
+            Some(v) => v.as_float().ok_or_else(|| {
+                DjError::Config(format!("parameter `{key}` must be numeric, got {}", v.kind()))
+            }),
+        }
+    }
+
+    pub fn usize_or(p: &OpParams, key: &str, default: usize) -> Result<usize> {
+        match p.get(key) {
+            None => Ok(default),
+            Some(v) => match v.as_int() {
+                Some(i) if i >= 0 => Ok(i as usize),
+                _ => Err(DjError::Config(format!(
+                    "parameter `{key}` must be a non-negative int, got {}",
+                    v.kind()
+                ))),
+            },
+        }
+    }
+
+    pub fn bool_or(p: &OpParams, key: &str, default: bool) -> Result<bool> {
+        match p.get(key) {
+            None => Ok(default),
+            Some(v) => v.as_bool().ok_or_else(|| {
+                DjError::Config(format!("parameter `{key}` must be a bool, got {}", v.kind()))
+            }),
+        }
+    }
+
+    pub fn str_or<'a>(p: &'a OpParams, key: &str, default: &'a str) -> Result<&'a str> {
+        match p.get(key) {
+            None => Ok(default),
+            Some(v) => v.as_str().ok_or_else(|| {
+                DjError::Config(format!("parameter `{key}` must be a string, got {}", v.kind()))
+            }),
+        }
+    }
+
+    pub fn str_list(p: &OpParams, key: &str) -> Result<Vec<String>> {
+        match p.get(key) {
+            None => Ok(Vec::new()),
+            Some(Value::List(l)) => l
+                .iter()
+                .map(|v| {
+                    v.as_str().map(str::to_string).ok_or_else(|| {
+                        DjError::Config(format!("`{key}` entries must be strings"))
+                    })
+                })
+                .collect(),
+            Some(v) => Err(DjError::Config(format!(
+                "parameter `{key}` must be a list, got {}",
+                v.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Upper;
+    impl Mapper for Upper {
+        fn name(&self) -> &'static str {
+            "upper_mapper"
+        }
+        fn process(&self, sample: &mut Sample, _ctx: &mut SampleContext) -> Result<bool> {
+            let t = sample.text().to_uppercase();
+            let changed = t != sample.text();
+            sample.set_text(t);
+            Ok(changed)
+        }
+    }
+
+    struct MinLen(usize);
+    impl Filter for MinLen {
+        fn name(&self) -> &'static str {
+            "min_len_filter"
+        }
+        fn compute_stats(&self, sample: &mut Sample, _ctx: &mut SampleContext) -> Result<()> {
+            if !sample.has_stat("text_len") {
+                sample.set_stat("text_len", sample.text().chars().count() as f64);
+            }
+            Ok(())
+        }
+        fn process(&self, sample: &Sample) -> Result<bool> {
+            Ok(sample.stat("text_len").unwrap_or(0.0) >= self.0 as f64)
+        }
+        fn stats_key(&self) -> &'static str {
+            "text_len"
+        }
+    }
+
+    fn upper_factory(_: &OpParams) -> Result<Op> {
+        Ok(Op::Mapper(Arc::new(Upper)))
+    }
+
+    #[test]
+    fn mapper_reports_change() {
+        let mut s = Sample::from_text("abc");
+        let mut ctx = SampleContext::new();
+        assert!(Upper.process(&mut s, &mut ctx).unwrap());
+        assert_eq!(s.text(), "ABC");
+        assert!(!Upper.process(&mut s, &mut ctx).unwrap());
+    }
+
+    #[test]
+    fn filter_decouples_stats_from_decision() {
+        let f = MinLen(4);
+        let mut s = Sample::from_text("abcde");
+        let mut ctx = SampleContext::new();
+        f.compute_stats(&mut s, &mut ctx).unwrap();
+        assert_eq!(s.stat("text_len"), Some(5.0));
+        assert!(f.process(&s).unwrap());
+        // Decision uses the recorded stat, not the text: clearing the text
+        // does not flip the decision.
+        s.set_text("");
+        assert!(f.process(&s).unwrap());
+    }
+
+    #[test]
+    fn filter_reuses_precomputed_stats() {
+        let f = MinLen(4);
+        let mut s = Sample::from_text("abcde");
+        s.set_stat("text_len", 1.0); // e.g. analyzer already wrote it
+        let mut ctx = SampleContext::new();
+        f.compute_stats(&mut s, &mut ctx).unwrap();
+        assert_eq!(s.stat("text_len"), Some(1.0));
+        assert!(!f.process(&s).unwrap());
+    }
+
+    #[test]
+    fn registry_builds_and_rejects_unknown() {
+        let mut reg = OpRegistry::new();
+        reg.register("upper_mapper", upper_factory);
+        assert!(reg.contains("upper_mapper"));
+        assert_eq!(reg.len(), 1);
+        let op = reg.build("upper_mapper", &OpParams::new()).unwrap();
+        assert_eq!(op.name(), "upper_mapper");
+        assert_eq!(op.kind(), OpKind::Mapper);
+        let err = reg.build("nope", &OpParams::new()).unwrap_err();
+        assert!(err.to_string().contains("unknown operator"));
+    }
+
+    #[test]
+    fn params_helpers_defaults_and_type_errors() {
+        let mut p = OpParams::new();
+        p.insert("ratio".into(), Value::Float(0.5));
+        p.insert("count".into(), Value::Int(7));
+        p.insert("flag".into(), Value::Bool(true));
+        p.insert("lang".into(), Value::from("en"));
+        p.insert("words".into(), Value::from(vec!["a", "b"]));
+
+        assert_eq!(params::f64_or(&p, "ratio", 0.0).unwrap(), 0.5);
+        assert_eq!(params::f64_or(&p, "count", 0.0).unwrap(), 7.0);
+        assert_eq!(params::f64_or(&p, "missing", 9.0).unwrap(), 9.0);
+        assert_eq!(params::usize_or(&p, "count", 0).unwrap(), 7);
+        assert!(params::bool_or(&p, "flag", false).unwrap());
+        assert_eq!(params::str_or(&p, "lang", "zh").unwrap(), "en");
+        assert_eq!(params::str_list(&p, "words").unwrap(), vec!["a", "b"]);
+        assert!(params::usize_or(&p, "ratio", 0).is_err());
+        assert!(params::bool_or(&p, "lang", false).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! # dj-eval — simulated LLM training & evaluation feedback (paper §4.3)
+//!
+//! The auto-evaluation side of the feedback loop, with LLM training
+//! replaced by a *documented proxy* (see DESIGN.md, "Substitutions"):
+//!
+//! * [`profile`] — measured data-quality coordinates (cleanliness,
+//!   diversity, duplication, token volume) over real pipeline outputs;
+//! * [`tasks`] — the 16 HELM core tasks of Table 9 with calibrated
+//!   response curves;
+//! * [`proxy`] — the proxy model: benchmark scores as a monotone function
+//!   of effective tokens × data quality, preserving recipe orderings;
+//! * [`judge`] — deterministic pairwise win/tie judging (the GPT-4 scorer
+//!   behind Table 3);
+//! * [`mod@reference`] — reference-model registry + leaderboard with the
+//!   published Falcon/Pythia baselines.
+
+pub mod judge;
+pub mod profile;
+pub mod proxy;
+pub mod reference;
+pub mod tasks;
+
+pub use judge::{Judge, PairwiseOutcome, TunedModel};
+pub use profile::{measure_profile, DataProfile};
+pub use proxy::{EvalResult, ProxyLlm};
+pub use reference::{Leaderboard, RankStrategy, ReferenceModel};
+pub use tasks::{helm_core_tasks, Task};

@@ -1,0 +1,180 @@
+//! Measured data profiles: the bridge between datasets and the proxy model.
+//!
+//! Training a 1.3B-parameter LLM per recipe is outside any reproduction
+//! budget, so — per the substitution policy in DESIGN.md — model quality is
+//! *simulated* as a documented, monotone function of measured data
+//! properties. This module measures those properties. Everything here is
+//! real measurement over the actual datasets produced by the pipelines;
+//! only the training step downstream is synthetic.
+
+use dj_analyze::Analyzer;
+use dj_core::Dataset;
+use dj_hash::{hash128, FxHashSet};
+use dj_text::tokenize::estimate_tokens;
+
+/// The data-quality coordinates the proxy model consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataProfile {
+    /// Estimated training tokens (billions, after the volume scale-up the
+    /// experiment assigns to the corpus).
+    pub tokens_b: f64,
+    /// Cleanliness in [0, 1]: 1 − noise (flagged words, repetition,
+    /// special-character excess).
+    pub cleanliness: f64,
+    /// Diversity in [0, 1]: normalized lexical + instruction-style entropy.
+    pub diversity: f64,
+    /// Exact-duplicate fraction in [0, 1].
+    pub dup_rate: f64,
+    /// Number of samples measured.
+    pub samples: usize,
+}
+
+impl DataProfile {
+    /// Composite quality multiplier in roughly [0.55, 1.15]: the factor the
+    /// proxy model applies to its learning-efficiency term. Monotone in
+    /// cleanliness and diversity, decreasing in duplication.
+    pub fn quality_multiplier(&self) -> f64 {
+        let q = 0.55 * self.cleanliness + 0.45 * self.diversity;
+        (0.55 + 0.6 * q) * (1.0 - 0.35 * self.dup_rate)
+    }
+
+    /// Tokens that actually contribute to learning: duplicates mostly
+    /// wasted (paper refs [47, 52]: duplication hurts).
+    pub fn effective_tokens_b(&self) -> f64 {
+        self.tokens_b * (1.0 - 0.5 * self.dup_rate)
+    }
+}
+
+/// Measure a dataset's profile. `token_scale` maps the measured corpus to
+/// the experiment's nominal token budget (our synthetic corpora are
+/// laptop-sized stand-ins for billion-token datasets; the scale factor is
+/// the documented substitution).
+pub fn measure_profile(dataset: &mut Dataset, token_scale: f64) -> DataProfile {
+    let samples = dataset.len();
+    if samples == 0 {
+        return DataProfile {
+            tokens_b: 0.0,
+            cleanliness: 0.0,
+            diversity: 0.0,
+            dup_rate: 0.0,
+            samples: 0,
+        };
+    }
+    let probe = Analyzer::new().probe(dataset);
+    let mean = |k: &str| probe.summaries.get(k).map(|s| s.mean).unwrap_or(0.0);
+
+    // Noise components, each in [0, 1].
+    let flagged = (mean("flagged_word_ratio") * 20.0).min(1.0);
+    let word_rep = (mean("word_rep_ratio") * 2.5).min(1.0);
+    let char_rep = (mean("char_rep_ratio") * 2.0).min(1.0);
+    let special_excess = ((mean("special_char_ratio") - 0.05).max(0.0) * 8.0).min(1.0);
+    let cleanliness =
+        (1.0 - (0.35 * flagged + 0.3 * word_rep + 0.2 * char_rep + 0.15 * special_excess))
+            .clamp(0.0, 1.0);
+
+    // Diversity: per-sample lexical entropy plus dataset-level
+    // instruction-style (verb-noun) entropy.
+    let lex = (mean("word_entropy") / 7.0).min(1.0);
+    let vn = (probe.verb_noun_entropy() / 6.0).min(1.0);
+    let diversity = (0.7 * lex + 0.3 * vn).clamp(0.0, 1.0);
+
+    // Exact duplicates.
+    let mut seen = FxHashSet::default();
+    let mut dups = 0usize;
+    let mut token_est = 0usize;
+    for s in dataset.iter() {
+        if !seen.insert(hash128(s.text().as_bytes())) {
+            dups += 1;
+        }
+        token_est += estimate_tokens(s.text(), 4.2);
+    }
+    DataProfile {
+        tokens_b: token_est as f64 * token_scale / 1e9,
+        cleanliness,
+        diversity,
+        dup_rate: dups as f64 / samples as f64,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_ds() -> Dataset {
+        Dataset::from_texts((0..40).map(|i| {
+            format!(
+                "The committee number {i} reviewed the annual research report and \
+                 concluded the methodology analysis was sound and comprehensive."
+            )
+        }))
+    }
+
+    fn noisy_ds() -> Dataset {
+        let mut texts: Vec<String> = (0..20)
+            .map(|i| format!("buy now buy now flagged{} winbig casino $$$ ### {i} {i} {i}", i % 10))
+            .collect();
+        // Exact duplicates.
+        for _ in 0..20 {
+            texts.push(texts[0].clone());
+        }
+        Dataset::from_texts(texts)
+    }
+
+    #[test]
+    fn clean_data_profiles_better() {
+        let pc = measure_profile(&mut clean_ds(), 1.0);
+        let pn = measure_profile(&mut noisy_ds(), 1.0);
+        assert!(pc.cleanliness > pn.cleanliness + 0.2, "{pc:?} vs {pn:?}");
+        assert!(pc.dup_rate < 0.01);
+        assert!(pn.dup_rate > 0.4);
+        assert!(pc.quality_multiplier() > pn.quality_multiplier());
+    }
+
+    #[test]
+    fn duplicates_shrink_effective_tokens() {
+        let p = DataProfile {
+            tokens_b: 100.0,
+            cleanliness: 1.0,
+            diversity: 1.0,
+            dup_rate: 0.5,
+            samples: 10,
+        };
+        assert!((p.effective_tokens_b() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quality_multiplier_bounds() {
+        let worst = DataProfile {
+            tokens_b: 1.0,
+            cleanliness: 0.0,
+            diversity: 0.0,
+            dup_rate: 1.0,
+            samples: 1,
+        };
+        let best = DataProfile {
+            tokens_b: 1.0,
+            cleanliness: 1.0,
+            diversity: 1.0,
+            dup_rate: 0.0,
+            samples: 1,
+        };
+        assert!(worst.quality_multiplier() > 0.3);
+        assert!(best.quality_multiplier() <= 1.2);
+        assert!(best.quality_multiplier() > worst.quality_multiplier());
+    }
+
+    #[test]
+    fn empty_dataset_profile_is_zero() {
+        let p = measure_profile(&mut Dataset::new(), 1.0);
+        assert_eq!(p.samples, 0);
+        assert_eq!(p.tokens_b, 0.0);
+    }
+
+    #[test]
+    fn token_scale_applies() {
+        let a = measure_profile(&mut clean_ds(), 1.0);
+        let b = measure_profile(&mut clean_ds(), 1000.0);
+        assert!((b.tokens_b / a.tokens_b - 1000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,276 @@
+//! Reference models and the data leaderboard (paper §4.3).
+//!
+//! "Reference Models ... are model checkpoints binding with traceable
+//! training data ... and corresponding evaluation results. They facilitate
+//! effortless comparison among different training configurations." The
+//! registry ships the published scores of the external baselines the paper
+//! compares against (Falcon-1.3B, Pythia-1.4B — Table 2/Table 9) and
+//! accepts locally evaluated models.
+
+use std::collections::BTreeMap;
+
+use crate::proxy::EvalResult;
+
+/// A registered reference model.
+#[derive(Debug, Clone)]
+pub struct ReferenceModel {
+    pub name: String,
+    pub training_data: String,
+    pub tokens_b: f64,
+    pub result: EvalResult,
+}
+
+/// The leaderboard: reference models ranked by a consolidation strategy
+/// ("ranking averaging, score-normalized averaging, or other customized
+/// strategies").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankStrategy {
+    /// Mean score across tasks.
+    MeanScore,
+    /// Mean of per-task ranks (lower rank = better), averaged.
+    MeanRank,
+    /// Mean of per-task z-scores (score-normalized averaging), so tasks
+    /// with wide score ranges don't dominate the consolidation.
+    NormalizedScore,
+}
+
+#[derive(Default)]
+pub struct Leaderboard {
+    models: Vec<ReferenceModel>,
+}
+
+impl Leaderboard {
+    pub fn new() -> Leaderboard {
+        Leaderboard::default()
+    }
+
+    /// The two external baselines of Table 2 with their published per-task
+    /// scores (Table 9 columns 1–2).
+    pub fn with_published_baselines() -> Leaderboard {
+        let mut lb = Leaderboard::new();
+        lb.register(ReferenceModel {
+            name: "Falcon-1.3B".into(),
+            training_data: "RefinedWeb".into(),
+            tokens_b: 350.0,
+            result: published(
+                "Falcon-1.3B",
+                &[
+                    24.7, 63.0, 32.1, 10.7, 50.0, 24.3, 67.0, 44.0, 19.0, 16.8, 33.5, 55.0, 5.7,
+                    4.0, 49.4, 44.3,
+                ],
+            ),
+        });
+        lb.register(ReferenceModel {
+            name: "Pythia-1.4B".into(),
+            training_data: "Pile".into(),
+            tokens_b: 300.0,
+            result: published(
+                "Pythia-1.4B",
+                &[
+                    26.0, 56.0, 31.5, 10.5, 49.8, 26.5, 57.0, 34.0, 21.0, 12.9, 27.4, 84.0, 6.5,
+                    8.4, 49.7, 42.3,
+                ],
+            ),
+        });
+        lb
+    }
+
+    pub fn register(&mut self, model: ReferenceModel) {
+        self.models.retain(|m| m.name != model.name);
+        self.models.push(model);
+    }
+
+    pub fn get(&self, name: &str) -> Option<&ReferenceModel> {
+        self.models.iter().find(|m| m.name == name)
+    }
+
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Rank all models under a strategy; best first.
+    pub fn ranking(&self, strategy: RankStrategy) -> Vec<(&ReferenceModel, f64)> {
+        match strategy {
+            RankStrategy::MeanScore => {
+                let mut v: Vec<(&ReferenceModel, f64)> = self
+                    .models
+                    .iter()
+                    .map(|m| (m, m.result.average()))
+                    .collect();
+                v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+                v
+            }
+            RankStrategy::MeanRank => {
+                // Per task, rank models (1 = best); average ranks.
+                let tasks: Vec<String> = self
+                    .models
+                    .first()
+                    .map(|m| m.result.task_scores.iter().map(|(n, _)| n.clone()).collect())
+                    .unwrap_or_default();
+                let mut rank_sum: BTreeMap<&str, f64> =
+                    self.models.iter().map(|m| (m.name.as_str(), 0.0)).collect();
+                for task in &tasks {
+                    let mut scores: Vec<(&str, f64)> = self
+                        .models
+                        .iter()
+                        .filter_map(|m| m.result.score_of(task).map(|s| (m.name.as_str(), s)))
+                        .collect();
+                    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+                    for (rank, (name, _)) in scores.iter().enumerate() {
+                        *rank_sum.get_mut(name).expect("registered") += (rank + 1) as f64;
+                    }
+                }
+                let n_tasks = tasks.len().max(1) as f64;
+                let mut v: Vec<(&ReferenceModel, f64)> = self
+                    .models
+                    .iter()
+                    .map(|m| (m, rank_sum[m.name.as_str()] / n_tasks))
+                    .collect();
+                v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")); // lower rank = better
+                v
+            }
+            RankStrategy::NormalizedScore => {
+                let tasks: Vec<String> = self
+                    .models
+                    .first()
+                    .map(|m| m.result.task_scores.iter().map(|(n, _)| n.clone()).collect())
+                    .unwrap_or_default();
+                let mut z_sum: BTreeMap<&str, f64> =
+                    self.models.iter().map(|m| (m.name.as_str(), 0.0)).collect();
+                for task in &tasks {
+                    let scores: Vec<f64> = self
+                        .models
+                        .iter()
+                        .filter_map(|m| m.result.score_of(task))
+                        .collect();
+                    let n = scores.len().max(1) as f64;
+                    let mean = scores.iter().sum::<f64>() / n;
+                    let std =
+                        (scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n).sqrt();
+                    for m in &self.models {
+                        if let Some(s) = m.result.score_of(task) {
+                            let z = if std > 0.0 { (s - mean) / std } else { 0.0 };
+                            *z_sum.get_mut(m.name.as_str()).expect("registered") += z;
+                        }
+                    }
+                }
+                let n_tasks = tasks.len().max(1) as f64;
+                let mut v: Vec<(&ReferenceModel, f64)> = self
+                    .models
+                    .iter()
+                    .map(|m| (m, z_sum[m.name.as_str()] / n_tasks))
+                    .collect();
+                v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+                v
+            }
+        }
+    }
+
+    /// Render the Table 2-style leaderboard.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Model                                    Training Data            #Tokens   Score\n",
+        );
+        for (m, score) in self.ranking(RankStrategy::MeanScore) {
+            out.push_str(&format!(
+                "{:<40} {:<24} {:>6.1}B  {:>6.2}\n",
+                m.name, m.training_data, m.tokens_b, score
+            ));
+        }
+        out
+    }
+}
+
+fn published(name: &str, scores: &[f64]) -> EvalResult {
+    let tasks = crate::tasks::helm_core_tasks();
+    assert_eq!(scores.len(), tasks.len());
+    EvalResult {
+        model_name: name.to_string(),
+        task_scores: tasks
+            .iter()
+            .zip(scores)
+            .map(|(t, &s)| (t.name.to_string(), s))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DataProfile;
+    use crate::proxy::ProxyLlm;
+
+    #[test]
+    fn published_baselines_match_paper_averages() {
+        let lb = Leaderboard::with_published_baselines();
+        let falcon = lb.get("Falcon-1.3B").unwrap();
+        let pythia = lb.get("Pythia-1.4B").unwrap();
+        // Table 2 reports 33.97 and 33.96.
+        assert!((falcon.result.average() - 33.97).abs() < 0.05, "falcon={}", falcon.result.average());
+        assert!((pythia.result.average() - 33.96).abs() < 0.05, "pythia={}", pythia.result.average());
+    }
+
+    #[test]
+    fn locally_evaluated_model_joins_leaderboard() {
+        let mut lb = Leaderboard::with_published_baselines();
+        let llm = ProxyLlm::new();
+        let profile = DataProfile {
+            tokens_b: 150.0,
+            cleanliness: 0.93,
+            diversity: 0.78,
+            dup_rate: 0.01,
+            samples: 100_000,
+        };
+        let result = llm.evaluate("LLaMA-1.3B (Data-Juicer)", &profile, 150.0);
+        lb.register(ReferenceModel {
+            name: "LLaMA-1.3B (Data-Juicer)".into(),
+            training_data: "Data-Juicer (RedPajama+Pile)".into(),
+            tokens_b: 150.0,
+            result,
+        });
+        assert_eq!(lb.len(), 3);
+        let table = lb.render();
+        assert!(table.contains("Falcon-1.3B"));
+        assert!(table.contains("Data-Juicer"));
+    }
+
+    #[test]
+    fn rank_strategies_agree_on_clear_winner() {
+        let mut lb = Leaderboard::with_published_baselines();
+        let llm = ProxyLlm::new();
+        let strong = DataProfile {
+            tokens_b: 150.0,
+            cleanliness: 0.99,
+            diversity: 0.95,
+            dup_rate: 0.0,
+            samples: 1,
+        };
+        lb.register(ReferenceModel {
+            name: "strong".into(),
+            training_data: "x".into(),
+            tokens_b: 500.0,
+            result: llm.evaluate("strong", &strong, 500.0),
+        });
+        let by_score = lb.ranking(RankStrategy::MeanScore);
+        let by_rank = lb.ranking(RankStrategy::MeanRank);
+        let by_z = lb.ranking(RankStrategy::NormalizedScore);
+        assert_eq!(by_score[0].0.name, "strong");
+        assert_eq!(by_rank[0].0.name, "strong");
+        assert_eq!(by_z[0].0.name, "strong");
+        // z-scores over the panel sum to ~0 per task, so the panel mean is ~0.
+        let total: f64 = by_z.iter().map(|(_, z)| z).sum();
+        assert!(total.abs() < 1e-9, "z-sum {total}");
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let mut lb = Leaderboard::with_published_baselines();
+        let falcon = lb.get("Falcon-1.3B").unwrap().clone();
+        lb.register(falcon);
+        assert_eq!(lb.len(), 2);
+    }
+}

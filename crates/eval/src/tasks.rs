@@ -1,0 +1,112 @@
+//! The 16 HELM core tasks of Table 9, with per-task response curves for the
+//! proxy model.
+//!
+//! Each task is parameterized by a floor (random/degenerate baseline), a
+//! gain (headroom good data can unlock), a half-saturation token budget,
+//! and sensitivities to the three data-profile coordinates. The constants
+//! are calibrated so a 1.3B-class proxy lands in the value ranges the
+//! paper's Table 9 reports (scores ≈ 4–67 depending on task).
+
+/// One benchmark task.
+#[derive(Debug, Clone)]
+pub struct Task {
+    pub name: &'static str,
+    /// Score with no useful training signal.
+    pub floor: f64,
+    /// Maximum incremental score good data can add.
+    pub gain: f64,
+    /// Token budget (billions) at which half the gain is realized.
+    pub half_sat_b: f64,
+    /// Sensitivity to cleanliness vs diversity (sums to 1 with `w_div`).
+    pub w_clean: f64,
+    pub w_div: f64,
+}
+
+impl Task {
+    /// Task score for a given (effective) token budget and quality
+    /// multiplier components.
+    pub fn score(&self, effective_tokens_b: f64, cleanliness: f64, diversity: f64) -> f64 {
+        let sat = effective_tokens_b / (effective_tokens_b + self.half_sat_b);
+        let qm = 0.55 + 0.6 * (self.w_clean * cleanliness + self.w_div * diversity);
+        (self.floor + self.gain * sat * qm).clamp(0.0, 100.0)
+    }
+}
+
+/// The 16 core tasks (names as in Table 9).
+pub fn helm_core_tasks() -> Vec<Task> {
+    // floor / gain / half-sat calibrated against the Table 9 column for
+    // LLaMA-1.3B (Data-Juicer): e.g. MMLU ≈ 26 (near floor), NarrativeQA ≈
+    // 38, IMDB ≈ 80, XSUM ≈ 5.
+    vec![
+        Task { name: "MMLU", floor: 24.0, gain: 6.0, half_sat_b: 120.0, w_clean: 0.5, w_div: 0.5 },
+        Task { name: "BoolQ", floor: 38.0, gain: 24.0, half_sat_b: 80.0, w_clean: 0.6, w_div: 0.4 },
+        Task { name: "NarrativeQA", floor: 18.0, gain: 38.0, half_sat_b: 70.0, w_clean: 0.5, w_div: 0.5 },
+        Task { name: "NaturalQuestions (closed-book)", floor: 6.0, gain: 9.0, half_sat_b: 100.0, w_clean: 0.5, w_div: 0.5 },
+        Task { name: "NaturalQuestions (open-book)", floor: 30.0, gain: 34.0, half_sat_b: 60.0, w_clean: 0.55, w_div: 0.45 },
+        Task { name: "QuAC", floor: 16.0, gain: 18.0, half_sat_b: 80.0, w_clean: 0.5, w_div: 0.5 },
+        Task { name: "HellaSwag", floor: 33.0, gain: 42.0, half_sat_b: 90.0, w_clean: 0.65, w_div: 0.35 },
+        Task { name: "OpenbookQA", floor: 26.0, gain: 26.0, half_sat_b: 75.0, w_clean: 0.5, w_div: 0.5 },
+        Task { name: "TruthfulQA", floor: 16.0, gain: 28.0, half_sat_b: 70.0, w_clean: 0.75, w_div: 0.25 },
+        Task { name: "MS MARCO (regular)", floor: 6.0, gain: 11.0, half_sat_b: 90.0, w_clean: 0.5, w_div: 0.5 },
+        Task { name: "MS MARCO (TREC)", floor: 16.0, gain: 20.0, half_sat_b: 90.0, w_clean: 0.5, w_div: 0.5 },
+        Task { name: "IMDB", floor: 48.0, gain: 52.0, half_sat_b: 50.0, w_clean: 0.45, w_div: 0.55 },
+        Task { name: "XSUM", floor: 3.0, gain: 4.5, half_sat_b: 110.0, w_clean: 0.5, w_div: 0.5 },
+        Task { name: "CNN/DailyMail", floor: 3.0, gain: 9.0, half_sat_b: 100.0, w_clean: 0.45, w_div: 0.55 },
+        Task { name: "CivilComments", floor: 46.0, gain: 7.0, half_sat_b: 90.0, w_clean: 0.8, w_div: 0.2 },
+        Task { name: "RAFT", floor: 32.0, gain: 18.0, half_sat_b: 85.0, w_clean: 0.4, w_div: 0.6 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_tasks_with_unit_weights() {
+        let tasks = helm_core_tasks();
+        assert_eq!(tasks.len(), 16);
+        for t in &tasks {
+            assert!((t.w_clean + t.w_div - 1.0).abs() < 1e-9, "{}", t.name);
+            assert!(t.floor >= 0.0 && t.gain > 0.0 && t.half_sat_b > 0.0);
+        }
+    }
+
+    #[test]
+    fn scores_increase_with_tokens() {
+        for t in helm_core_tasks() {
+            let s50 = t.score(50.0, 0.8, 0.6);
+            let s150 = t.score(150.0, 0.8, 0.6);
+            assert!(s150 > s50, "{}: {s50} !< {s150}", t.name);
+        }
+    }
+
+    #[test]
+    fn scores_increase_with_quality() {
+        for t in helm_core_tasks() {
+            let bad = t.score(150.0, 0.4, 0.3);
+            let good = t.score(150.0, 0.9, 0.8);
+            assert!(good > bad, "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn scores_bounded_0_100() {
+        for t in helm_core_tasks() {
+            assert!(t.score(0.0, 0.0, 0.0) >= 0.0);
+            assert!(t.score(1e9, 1.0, 1.0) <= 100.0);
+        }
+    }
+
+    #[test]
+    fn average_lands_in_table2_range() {
+        // A decent mixed corpus at 150B tokens should average near the
+        // low-to-mid 30s as Table 2 reports for 1.3B-class models.
+        let tasks = helm_core_tasks();
+        let avg: f64 = tasks
+            .iter()
+            .map(|t| t.score(150.0, 0.8, 0.6))
+            .sum::<f64>()
+            / tasks.len() as f64;
+        assert!((28.0..40.0).contains(&avg), "avg={avg}");
+    }
+}

@@ -1,0 +1,555 @@
+//! The pipeline executor: parallel OP execution with context management,
+//! optional fusion/reordering, per-OP tracing and cache/checkpoint resume.
+
+use std::time::{Duration, Instant};
+
+use dj_core::{Dataset, Op, Result, Sample, SampleContext, Value};
+use dj_store::CacheManager;
+
+use crate::fusion::{plan_fused, plan_unfused, Plan, PlanStep};
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Number of worker threads (the recipe's `np`).
+    pub num_workers: usize,
+    /// Enable OP fusion + reordering (§6).
+    pub op_fusion: bool,
+    /// How many trace examples to keep per OP (0 disables tracing).
+    pub trace_examples: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            num_workers: 1,
+            op_fusion: true,
+            trace_examples: 0,
+        }
+    }
+}
+
+/// A recorded per-OP observation for the interactive tracer (§4.2).
+#[derive(Debug, Clone)]
+pub enum TraceEvent {
+    /// A sample a Filter discarded, with the stats that decided it.
+    Discarded { text: String, stats: Vec<(String, f64)> },
+    /// A Mapper edit: before/after pair.
+    Edited { before: String, after: String },
+    /// A Deduplicator drop: the dropped near-duplicate's text.
+    Duplicate { dropped: String },
+}
+
+/// Per-OP execution report.
+#[derive(Debug, Clone)]
+pub struct OpReport {
+    pub name: String,
+    pub samples_in: usize,
+    pub samples_out: usize,
+    /// Samples removed (filters/dedups) at this step.
+    pub removed: usize,
+    /// Samples whose text a mapper changed.
+    pub changed: usize,
+    pub duration: Duration,
+    pub fused: bool,
+    pub trace: Vec<TraceEvent>,
+}
+
+/// Whole-pipeline execution report (feeds the Fig. 4 visualizations and the
+/// Fig. 8/9 measurements).
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    pub ops: Vec<OpReport>,
+    pub total_duration: Duration,
+    pub initial_samples: usize,
+    pub final_samples: usize,
+    /// Peak approximate dataset heap footprint observed between steps.
+    pub peak_bytes: usize,
+    pub fused_groups: usize,
+    /// Steps that were resumed from cache instead of executed.
+    pub resumed_steps: usize,
+}
+
+impl RunReport {
+    /// The Fig. 4(b) funnel: `(op name, samples remaining after it)`.
+    pub fn funnel(&self) -> Vec<(String, usize)> {
+        self.ops
+            .iter()
+            .map(|r| (r.name.clone(), r.samples_out))
+            .collect()
+    }
+}
+
+/// Pipeline executor over a fixed OP list.
+pub struct Executor {
+    ops: Vec<Op>,
+    options: ExecOptions,
+}
+
+impl Executor {
+    pub fn new(ops: Vec<Op>) -> Executor {
+        Executor {
+            ops,
+            options: ExecOptions::default(),
+        }
+    }
+
+    pub fn with_options(mut self, options: ExecOptions) -> Executor {
+        self.options = options;
+        self
+    }
+
+    pub fn options(&self) -> &ExecOptions {
+        &self.options
+    }
+
+    /// The plan this executor will run (exposed for inspection/tests).
+    pub fn plan(&self) -> Plan {
+        if self.options.op_fusion {
+            plan_fused(&self.ops)
+        } else {
+            plan_unfused(&self.ops)
+        }
+    }
+
+    /// Execute the pipeline.
+    pub fn run(&self, dataset: Dataset) -> Result<(Dataset, RunReport)> {
+        self.run_inner(dataset, None)
+    }
+
+    /// Execute with cache/checkpoint support: resumes from the longest
+    /// cached prefix and saves after every step (§4.1.1).
+    pub fn run_with_cache(
+        &self,
+        dataset: Dataset,
+        cache: &CacheManager,
+    ) -> Result<(Dataset, RunReport)> {
+        self.run_inner(dataset, Some(cache))
+    }
+
+    fn run_inner(
+        &self,
+        mut dataset: Dataset,
+        cache: Option<&CacheManager>,
+    ) -> Result<(Dataset, RunReport)> {
+        let plan = self.plan();
+        let start = Instant::now();
+        let mut report = RunReport {
+            initial_samples: dataset.len(),
+            peak_bytes: dataset.approx_bytes(),
+            fused_groups: plan.fused_groups,
+            ..RunReport::default()
+        };
+
+        // Resume from the longest cached prefix. A corrupt or unreadable
+        // cache must never fail the run — fall back to fresh execution
+        // (the §4.1.1 resilience goal).
+        let mut first_step = 0;
+        if let Some(cm) = cache {
+            let keys: Vec<(usize, String)> = plan
+                .steps
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i, s.name()))
+                .collect();
+            if let Ok(Some((idx, cached))) = cm.latest_match(&keys) {
+                dataset = cached;
+                first_step = idx + 1;
+                report.resumed_steps = first_step;
+            }
+        }
+
+        for (i, step) in plan.steps.iter().enumerate().skip(first_step) {
+            let in_len = dataset.len();
+            let t0 = Instant::now();
+            let (removed, changed, trace) = self.run_step(step, &mut dataset)?;
+            let duration = t0.elapsed();
+            report.peak_bytes = report.peak_bytes.max(dataset.approx_bytes());
+            report.ops.push(OpReport {
+                name: step.name(),
+                samples_in: in_len,
+                samples_out: dataset.len(),
+                removed,
+                changed,
+                duration,
+                fused: step.is_fused(),
+                trace,
+            });
+            if let Some(cm) = cache {
+                cm.save(i, &step.name(), &dataset)?;
+            }
+        }
+        report.final_samples = dataset.len();
+        report.total_duration = start.elapsed();
+        Ok((dataset, report))
+    }
+
+    fn run_step(
+        &self,
+        step: &PlanStep,
+        dataset: &mut Dataset,
+    ) -> Result<(usize, usize, Vec<TraceEvent>)> {
+        let cap = self.options.trace_examples;
+        match step {
+            PlanStep::Mapper(m) => {
+                let results = par_map(
+                    dataset.samples_mut(),
+                    self.options.num_workers,
+                    |sample, ctx| {
+                        let before = if cap > 0 {
+                            Some(sample.text().to_string())
+                        } else {
+                            None
+                        };
+                        let changed = m.process(sample, ctx)?;
+                        if changed {
+                            ctx.invalidate();
+                        }
+                        Ok((changed, before))
+                    },
+                )?;
+                let mut changed = 0;
+                let mut trace = Vec::new();
+                for (i, (did_change, before)) in results.into_iter().enumerate() {
+                    if did_change {
+                        changed += 1;
+                        if trace.len() < cap {
+                            if let Some(b) = before {
+                                trace.push(TraceEvent::Edited {
+                                    before: snippet(&b),
+                                    after: snippet(dataset.get(i).expect("index valid").text()),
+                                });
+                            }
+                        }
+                    }
+                }
+                Ok((0, changed, trace))
+            }
+            PlanStep::Filters(filters) => {
+                // Phase 1 (parallel): compute stats for every member filter
+                // with one shared context per sample — this is where fusion
+                // pays: the words/lines views are derived once.
+                par_map(dataset.samples_mut(), self.options.num_workers, |sample, ctx| {
+                    for f in filters.iter() {
+                        f.compute_stats(sample, ctx)?;
+                    }
+                    // Fused-OP contract: contexts are cleaned after the op.
+                    ctx.clear();
+                    Ok(())
+                })?;
+                // Phase 2 (cheap): boolean decisions from recorded stats.
+                let mut mask = Vec::with_capacity(dataset.len());
+                let mut trace = Vec::new();
+                for sample in dataset.iter() {
+                    let mut keep = true;
+                    for f in filters.iter() {
+                        if !f.process(sample)? {
+                            keep = false;
+                            break;
+                        }
+                    }
+                    if !keep && trace.len() < cap {
+                        trace.push(TraceEvent::Discarded {
+                            text: snippet(sample.text()),
+                            stats: sample.stats(),
+                        });
+                    }
+                    mask.push(keep);
+                }
+                let removed = mask.iter().filter(|&&k| !k).count();
+                dataset.retain_mask(&mask);
+                Ok((removed, 0, trace))
+            }
+            PlanStep::Dedup(d) => {
+                let hashes: Vec<Value> =
+                    par_map(dataset.samples_mut(), self.options.num_workers, |sample, ctx| {
+                        let h = d.compute_hash(sample, ctx)?;
+                        ctx.clear();
+                        Ok(h)
+                    })?;
+                let mask = d.keep_mask(dataset, &hashes)?;
+                let mut trace = Vec::new();
+                for (i, &keep) in mask.iter().enumerate() {
+                    if !keep && trace.len() < cap {
+                        trace.push(TraceEvent::Duplicate {
+                            dropped: snippet(dataset.get(i).expect("index valid").text()),
+                        });
+                    }
+                }
+                let removed = mask.iter().filter(|&&k| !k).count();
+                dataset.retain_mask(&mask);
+                Ok((removed, 0, trace))
+            }
+        }
+    }
+}
+
+/// Parallel in-order map over samples with one [`SampleContext`] per sample.
+/// Results come back in sample order; the first error aborts the step.
+fn par_map<T, F>(samples: &mut [Sample], workers: usize, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(&mut Sample, &mut SampleContext) -> Result<T> + Sync,
+{
+    let workers = workers.max(1);
+    if workers == 1 || samples.len() < 2 {
+        let mut out = Vec::with_capacity(samples.len());
+        let mut ctx = SampleContext::new();
+        for s in samples.iter_mut() {
+            ctx.invalidate();
+            out.push(f(s, &mut ctx)?);
+        }
+        return Ok(out);
+    }
+    let chunk_size = samples.len().div_ceil(workers);
+    let f = &f;
+    let results: Vec<Result<Vec<T>>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = samples
+            .chunks_mut(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    let mut out = Vec::with_capacity(chunk.len());
+                    let mut ctx = SampleContext::new();
+                    for s in chunk.iter_mut() {
+                        ctx.invalidate();
+                        out.push(f(s, &mut ctx)?);
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+    let mut out = Vec::with_capacity(samples.len());
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+fn snippet(text: &str) -> String {
+    const MAX: usize = 120;
+    if text.chars().count() <= MAX {
+        text.to_string()
+    } else {
+        let cut: String = text.chars().take(MAX).collect();
+        format!("{cut}…")
+    }
+}
+
+/// Convenience: build an executor straight from a recipe + registry.
+pub fn executor_from_recipe(
+    recipe: &dj_config::Recipe,
+    registry: &dj_core::OpRegistry,
+    fusion: bool,
+) -> Result<Executor> {
+    let ops = recipe.build_ops(registry)?;
+    Ok(Executor::new(ops).with_options(ExecOptions {
+        num_workers: recipe.np,
+        op_fusion: fusion,
+        trace_examples: 0,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dj_core::{OpParams, OpRegistry, Value};
+    use dj_ops::builtin_registry;
+
+    fn ops(reg: &OpRegistry, names: &[(&str, OpParams)]) -> Vec<Op> {
+        names
+            .iter()
+            .map(|(n, p)| reg.build(n, p).unwrap())
+            .collect()
+    }
+
+    fn p(pairs: &[(&str, Value)]) -> OpParams {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    fn noisy_dataset() -> Dataset {
+        let mut texts = vec![
+            "The committee reviewed the annual report and found the analysis sound.".to_string(),
+            "  The committee   reviewed the annual report and found the analysis sound.".to_string(),
+            "short".to_string(),
+            "buy now buy now buy now buy now buy now buy now buy now buy now".to_string(),
+            "A completely different fluent document describing the budget process.".to_string(),
+        ];
+        for i in 0..20 {
+            texts.push(format!(
+                "Unique fluent document number {i} about the research methodology and results."
+            ));
+        }
+        Dataset::from_texts(texts)
+    }
+
+    fn pipeline(reg: &OpRegistry) -> Vec<Op> {
+        ops(
+            reg,
+            &[
+                ("whitespace_normalization_mapper", OpParams::new()),
+                (
+                    "text_length_filter",
+                    p(&[("min_len", Value::Float(20.0)), ("max_len", Value::Float(10000.0))]),
+                ),
+                (
+                    "word_num_filter",
+                    p(&[("min_num", Value::Float(5.0)), ("max_num", Value::Float(10000.0))]),
+                ),
+                (
+                    "word_repetition_filter",
+                    p(&[
+                        ("rep_len", Value::Int(3)),
+                        ("min_ratio", Value::Float(0.0)),
+                        ("max_ratio", Value::Float(0.3)),
+                    ]),
+                ),
+                ("document_deduplicator", p(&[("lowercase", Value::Bool(true))])),
+            ],
+        )
+    }
+
+    #[test]
+    fn pipeline_runs_and_reports() {
+        let reg = builtin_registry();
+        let exec = Executor::new(pipeline(&reg)).with_options(ExecOptions {
+            num_workers: 1,
+            op_fusion: false,
+            trace_examples: 4,
+        });
+        let (out, report) = exec.run(noisy_dataset()).unwrap();
+        assert_eq!(report.initial_samples, 25);
+        assert_eq!(report.final_samples, out.len());
+        // "short" and the spam line removed; whitespace-variant deduped.
+        assert!(out.len() <= 23);
+        assert!(report.ops.iter().any(|r| r.removed > 0));
+        assert!(report.ops[0].changed >= 1, "whitespace mapper edited");
+        assert!(report.peak_bytes > 0);
+        // Funnel is monotone non-increasing.
+        let funnel = report.funnel();
+        assert!(funnel.windows(2).all(|w| w[1].1 <= w[0].1));
+    }
+
+    #[test]
+    fn fused_and_unfused_produce_identical_output() {
+        let reg = builtin_registry();
+        let base = noisy_dataset();
+        let unfused = Executor::new(pipeline(&reg)).with_options(ExecOptions {
+            num_workers: 1,
+            op_fusion: false,
+            trace_examples: 0,
+        });
+        let fused = Executor::new(pipeline(&reg)).with_options(ExecOptions {
+            num_workers: 1,
+            op_fusion: true,
+            trace_examples: 0,
+        });
+        let (a, ra) = unfused.run(base.clone()).unwrap();
+        let (b, rb) = fused.run(base).unwrap();
+        // Same surviving texts (order preserved).
+        let ta: Vec<_> = a.iter().map(|s| s.text().to_string()).collect();
+        let tb: Vec<_> = b.iter().map(|s| s.text().to_string()).collect();
+        assert_eq!(ta, tb);
+        assert_eq!(ra.fused_groups, 0);
+        assert!(rb.fused_groups >= 1);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let reg = builtin_registry();
+        let base = noisy_dataset();
+        let serial = Executor::new(pipeline(&reg)).with_options(ExecOptions {
+            num_workers: 1,
+            ..ExecOptions::default()
+        });
+        let parallel = Executor::new(pipeline(&reg)).with_options(ExecOptions {
+            num_workers: 4,
+            ..ExecOptions::default()
+        });
+        let (a, _) = serial.run(base.clone()).unwrap();
+        let (b, _) = parallel.run(base).unwrap();
+        assert_eq!(
+            a.iter().map(|s| s.text()).collect::<Vec<_>>(),
+            b.iter().map(|s| s.text()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn trace_captures_events() {
+        let reg = builtin_registry();
+        let exec = Executor::new(pipeline(&reg)).with_options(ExecOptions {
+            num_workers: 1,
+            op_fusion: false,
+            trace_examples: 8,
+        });
+        let (_, report) = exec.run(noisy_dataset()).unwrap();
+        let edited = report
+            .ops
+            .iter()
+            .flat_map(|r| &r.trace)
+            .any(|e| matches!(e, TraceEvent::Edited { .. }));
+        let discarded = report
+            .ops
+            .iter()
+            .flat_map(|r| &r.trace)
+            .any(|e| matches!(e, TraceEvent::Discarded { .. }));
+        let dup = report
+            .ops
+            .iter()
+            .flat_map(|r| &r.trace)
+            .any(|e| matches!(e, TraceEvent::Duplicate { .. }));
+        assert!(edited && discarded && dup);
+    }
+
+    #[test]
+    fn cache_resume_skips_completed_steps() {
+        let reg = builtin_registry();
+        let dir = std::env::temp_dir().join(format!("dj-exec-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = CacheManager::new(&dir, 777, dj_store::CacheMode::Cache);
+        let exec = Executor::new(pipeline(&reg)).with_options(ExecOptions {
+            num_workers: 1,
+            op_fusion: false,
+            trace_examples: 0,
+        });
+        let (out1, r1) = exec.run_with_cache(noisy_dataset(), &cache).unwrap();
+        assert_eq!(r1.resumed_steps, 0);
+        let (out2, r2) = exec.run_with_cache(noisy_dataset(), &cache).unwrap();
+        assert_eq!(r2.resumed_steps, 5, "all steps cached");
+        assert!(r2.ops.is_empty());
+        assert_eq!(
+            out1.iter().map(|s| s.text()).collect::<Vec<_>>(),
+            out2.iter().map(|s| s.text()).collect::<Vec<_>>()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn executor_from_recipe_builds() {
+        let reg = builtin_registry();
+        let recipe = dj_config::recipes::by_name("minimal-clean").unwrap();
+        let exec = executor_from_recipe(&recipe, &reg, true).unwrap();
+        let (out, _) = exec.run(Dataset::from_texts(["hello   world"])).unwrap();
+        assert_eq!(out.get(0).unwrap().text(), "hello world");
+    }
+
+    #[test]
+    fn empty_dataset_and_empty_pipeline() {
+        let exec = Executor::new(vec![]);
+        let (out, report) = exec.run(Dataset::new()).unwrap();
+        assert!(out.is_empty());
+        assert!(report.ops.is_empty());
+        let reg = builtin_registry();
+        let exec2 = Executor::new(pipeline(&reg));
+        let (out2, _) = exec2.run(Dataset::new()).unwrap();
+        assert!(out2.is_empty());
+    }
+}

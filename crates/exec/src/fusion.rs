@@ -1,0 +1,279 @@
+//! OP fusion and reordering (paper §6, Fig. 6).
+//!
+//! The optimizer walks the OP list and:
+//!
+//! 1. **Finds filter groups** — maximal runs of consecutive Filters
+//!    (Filters are commutative with each other; Mappers and Deduplicators
+//!    break groups because they are not).
+//! 2. **Fuses** the filters inside a group whose context needs intersect
+//!    (they share derived views such as segmented words) into a single
+//!    fused OP that computes each shared view once per sample.
+//! 3. **Reorders** each group so cheap non-fused filters run first and the
+//!    fused (time-consuming) OP runs last, shrinking its input: "these
+//!    time-consuming OPs only need to handle fewer samples because the
+//!    preceding operators have filtered out some of them".
+
+use std::sync::Arc;
+
+use dj_core::{ContextNeeds, Filter, Mapper, Op, OpCost};
+
+/// One executable step of a planned pipeline.
+#[derive(Clone)]
+pub enum PlanStep {
+    Mapper(Arc<dyn Mapper>),
+    /// One or more filters executed with a shared per-sample context.
+    /// `len() > 1` means the step is a fused OP.
+    Filters(Vec<Arc<dyn Filter>>),
+    Dedup(Arc<dyn dj_core::Deduplicator>),
+}
+
+impl PlanStep {
+    /// Display name: fused steps list their member OPs.
+    pub fn name(&self) -> String {
+        match self {
+            PlanStep::Mapper(m) => m.name().to_string(),
+            PlanStep::Filters(fs) if fs.len() == 1 => fs[0].name().to_string(),
+            PlanStep::Filters(fs) => format!(
+                "fused({})",
+                fs.iter().map(|f| f.name()).collect::<Vec<_>>().join("+")
+            ),
+            PlanStep::Dedup(d) => d.name().to_string(),
+        }
+    }
+
+    pub fn is_fused(&self) -> bool {
+        matches!(self, PlanStep::Filters(fs) if fs.len() > 1)
+    }
+}
+
+impl std::fmt::Debug for PlanStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// An execution plan plus bookkeeping about what fusion did.
+#[derive(Debug)]
+pub struct Plan {
+    pub steps: Vec<PlanStep>,
+    /// Number of fused groups created.
+    pub fused_groups: usize,
+    /// Number of filters folded into fused steps.
+    pub fused_ops: usize,
+}
+
+/// Build an execution plan without fusion: one step per OP, original order.
+pub fn plan_unfused(ops: &[Op]) -> Plan {
+    let steps = ops
+        .iter()
+        .map(|op| match op {
+            Op::Mapper(m) => PlanStep::Mapper(Arc::clone(m)),
+            Op::Filter(f) => PlanStep::Filters(vec![Arc::clone(f)]),
+            Op::Deduplicator(d) => PlanStep::Dedup(Arc::clone(d)),
+        })
+        .collect();
+    Plan {
+        steps,
+        fused_groups: 0,
+        fused_ops: 0,
+    }
+}
+
+/// Build a fused & reordered execution plan (the Fig. 6 procedure).
+pub fn plan_fused(ops: &[Op]) -> Plan {
+    let mut steps = Vec::with_capacity(ops.len());
+    let mut fused_groups = 0;
+    let mut fused_ops = 0;
+    let mut group: Vec<Arc<dyn Filter>> = Vec::new();
+
+    let flush = |group: &mut Vec<Arc<dyn Filter>>,
+                     steps: &mut Vec<PlanStep>,
+                     fused_groups: &mut usize,
+                     fused_ops: &mut usize| {
+        if group.is_empty() {
+            return;
+        }
+        let (fusible, contextless): (Vec<_>, Vec<_>) = group
+            .drain(..)
+            .partition(|f| !f.context_needs().is_empty());
+        // Cluster fusible filters into connected components under the
+        // "shares a derived view" relation (transitively merged).
+        let mut components: Vec<(ContextNeeds, Vec<Arc<dyn Filter>>)> = Vec::new();
+        for f in fusible {
+            let needs = f.context_needs();
+            let hits: Vec<usize> = components
+                .iter()
+                .enumerate()
+                .filter(|(_, (u, _))| u.intersects(needs))
+                .map(|(i, _)| i)
+                .collect();
+            match hits.split_first() {
+                None => components.push((needs, vec![f])),
+                Some((&first, rest)) => {
+                    // Merge every intersecting component into the first.
+                    for &i in rest.iter().rev() {
+                        let (u, mut fs) = components.remove(i);
+                        components[first].0 = components[first].0.union(u);
+                        components[first].1.append(&mut fs);
+                    }
+                    components[first].0 = components[first].0.union(needs);
+                    components[first].1.push(f);
+                }
+            }
+        }
+        // Reorder: contextless (cheap) filters first by ascending cost,
+        // then singleton fusibles, then fused components by ascending size
+        // — the most expensive fused OP sees the fewest samples.
+        let mut cheap: Vec<Arc<dyn Filter>> = contextless;
+        cheap.sort_by_key(|f| f.cost());
+        for f in cheap {
+            steps.push(PlanStep::Filters(vec![f]));
+        }
+        let (singletons, mut fused): (Vec<_>, Vec<_>) =
+            components.into_iter().partition(|(_, fs)| fs.len() == 1);
+        for (_, fs) in singletons {
+            steps.push(PlanStep::Filters(fs)); // "reorder the only 1 fusible OP"
+        }
+        fused.sort_by_key(|(_, fs)| fs.len());
+        for (_, fs) in fused {
+            *fused_groups += 1;
+            *fused_ops += fs.len();
+            steps.push(PlanStep::Filters(fs));
+        }
+    };
+
+    for op in ops {
+        match op {
+            Op::Filter(f) => group.push(Arc::clone(f)),
+            Op::Mapper(m) => {
+                flush(&mut group, &mut steps, &mut fused_groups, &mut fused_ops);
+                steps.push(PlanStep::Mapper(Arc::clone(m)));
+            }
+            Op::Deduplicator(d) => {
+                flush(&mut group, &mut steps, &mut fused_groups, &mut fused_ops);
+                steps.push(PlanStep::Dedup(Arc::clone(d)));
+            }
+        }
+    }
+    flush(&mut group, &mut steps, &mut fused_groups, &mut fused_ops);
+    Plan {
+        steps,
+        fused_groups,
+        fused_ops,
+    }
+}
+
+/// Costs ordered: `Cheap < Moderate < Expensive` (used by reordering).
+pub fn cost_rank(c: OpCost) -> u8 {
+    match c {
+        OpCost::Cheap => 0,
+        OpCost::Moderate => 1,
+        OpCost::Expensive => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dj_ops::builtin_registry;
+    use dj_core::OpParams;
+
+    fn build(names: &[&str]) -> Vec<Op> {
+        let reg = builtin_registry();
+        names
+            .iter()
+            .map(|n| reg.build(n, &OpParams::new()).unwrap())
+            .collect()
+    }
+
+    /// The Fig. 9 pipeline shape: 5 mappers, 8 filters, 1 dedup.
+    fn fig9_ops() -> Vec<Op> {
+        build(&[
+            "whitespace_normalization_mapper",
+            "fix_unicode_mapper",
+            "clean_links_mapper",
+            "clean_email_mapper",
+            "remove_long_words_mapper",
+            "alphanumeric_ratio_filter",
+            "text_length_filter",
+            "word_num_filter",          // fusible (WORDS)
+            "word_repetition_filter",   // fusible (WORDS)
+            "stopwords_filter",         // fusible (WORDS)
+            "flagged_words_filter",     // fusible (WORDS)
+            "special_characters_filter",
+            "average_line_length_filter", // fusible (LINES)? separate view
+            "document_deduplicator",
+        ])
+    }
+
+    #[test]
+    fn unfused_plan_preserves_order() {
+        let ops = fig9_ops();
+        let plan = plan_unfused(&ops);
+        assert_eq!(plan.steps.len(), ops.len());
+        assert_eq!(plan.fused_groups, 0);
+        for (step, op) in plan.steps.iter().zip(&ops) {
+            assert_eq!(step.name(), op.name());
+        }
+    }
+
+    #[test]
+    fn fused_plan_groups_word_filters() {
+        let ops = fig9_ops();
+        let plan = plan_fused(&ops);
+        assert!(plan.fused_groups >= 1);
+        assert!(plan.fused_ops >= 4, "fused {} ops", plan.fused_ops);
+        // A fused step covering the WORDS-sharing filters exists.
+        let word_fused = plan
+            .steps
+            .iter()
+            .filter(|s| s.is_fused())
+            .find(|s| s.name().contains("word_num_filter"))
+            .expect("has a WORDS fused step");
+        assert!(word_fused.name().contains("stopwords_filter"));
+        assert!(word_fused.name().contains("flagged_words_filter"));
+        // Mappers and dedup survive in order.
+        assert_eq!(plan.steps[0].name(), "whitespace_normalization_mapper");
+        assert_eq!(
+            plan.steps.last().unwrap().name(),
+            "document_deduplicator"
+        );
+    }
+
+    #[test]
+    fn cheap_filters_run_before_fused_op() {
+        let ops = fig9_ops();
+        let plan = plan_fused(&ops);
+        let fused_idx = plan.steps.iter().position(|s| s.is_fused()).unwrap();
+        let cheap_idx = plan
+            .steps
+            .iter()
+            .position(|s| s.name() == "text_length_filter")
+            .unwrap();
+        assert!(cheap_idx < fused_idx, "cheap filter should precede fused op");
+    }
+
+    #[test]
+    fn mapper_breaks_filter_group() {
+        let ops = build(&[
+            "word_num_filter",
+            "lowercase_mapper", // breaks the group
+            "word_repetition_filter",
+        ]);
+        let plan = plan_fused(&ops);
+        // No group has 2 filters, so nothing is fused.
+        assert_eq!(plan.fused_groups, 0);
+        assert_eq!(plan.steps.len(), 3);
+        assert_eq!(plan.steps[1].name(), "lowercase_mapper");
+    }
+
+    #[test]
+    fn empty_and_single_op_plans() {
+        assert!(plan_fused(&[]).steps.is_empty());
+        let one = build(&["word_num_filter"]);
+        let plan = plan_fused(&one);
+        assert_eq!(plan.steps.len(), 1);
+        assert_eq!(plan.fused_groups, 0);
+        assert!(!plan.steps[0].is_fused());
+    }
+}

@@ -1,0 +1,15 @@
+//! # dj-exec — pipeline executor & system optimizations (paper §6)
+//!
+//! * [`fusion`] — the OP fusion & reordering procedure of Fig. 6: filter
+//!   groups, fused OPs with shared contexts, cheap-first reordering;
+//! * [`executor`] — parallel pipeline execution with per-sample context
+//!   management, per-OP reports (funnel counts, timings, trace events),
+//!   and cache/checkpoint resume via `dj-store`.
+
+pub mod executor;
+pub mod fusion;
+
+pub use executor::{
+    executor_from_recipe, ExecOptions, Executor, OpReport, RunReport, TraceEvent,
+};
+pub use fusion::{plan_fused, plan_unfused, Plan, PlanStep};

@@ -1,0 +1,24 @@
+//! # dj-hash — hashing & similarity substrate
+//!
+//! Everything Data-Juicer's Deduplicators need (paper §3.2, Table 1: "compare
+//! with hash-based and vector-based deduplication methods"):
+//!
+//! * [`fxhash`] — fast 64/128-bit non-cryptographic hashing plus
+//!   `FxHashMap`/`FxHashSet` aliases (the perf-book recommendation for
+//!   hot, HashDoS-immune hash tables);
+//! * [`minhash`] — min-wise independent permutations + LSH banding
+//!   (hash-based near-dedup);
+//! * [`simhash`] — Charikar fingerprints + Hamming-budget index
+//!   (vector-based near-dedup);
+//! * [`unionfind`] — duplicate-pair clustering with deterministic
+//!   first-occurrence retention.
+
+pub mod fxhash;
+pub mod minhash;
+pub mod simhash;
+pub mod unionfind;
+
+pub use fxhash::{hash128, hash64, hash64_seeded, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use minhash::{LshIndex, MinHasher};
+pub use simhash::{hamming, simhash_tokens, simhash_weighted, SimHashIndex};
+pub use unionfind::UnionFind;

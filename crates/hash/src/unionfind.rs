@@ -1,0 +1,142 @@
+//! Disjoint-set forest for duplicate clustering.
+//!
+//! Near-duplicate detection produces candidate *pairs*; deduplication keeps
+//! one representative per connected component. This union-find (path halving
+//! + union by size) turns pairs into components in near-constant amortized
+//! time.
+
+/// Union-find over `0..n` with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    pub fn new(n: usize) -> UnionFind {
+        assert!(n <= u32::MAX as usize, "element count exceeds u32 range");
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of connected components.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Representative of `x`'s component (with path halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        loop {
+            let p = self.parent[x] as usize;
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p];
+            self.parent[x] = gp;
+            x = gp as usize;
+        }
+    }
+
+    /// Merge the components of `a` and `b`; returns true if they were
+    /// previously separate.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        self.components -= 1;
+        true
+    }
+
+    /// True when `a` and `b` share a component.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of `x`'s component.
+    pub fn component_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+
+    /// Keep mask retaining exactly the smallest index of each component —
+    /// the deterministic "first occurrence wins" rule of the deduplicators.
+    pub fn first_occurrence_mask(&mut self) -> Vec<bool> {
+        let n = self.len();
+        let mut first = vec![usize::MAX; n];
+        for i in 0..n {
+            let r = self.find(i);
+            if first[r] == usize::MAX {
+                first[r] = i;
+            }
+        }
+        (0..n).map(|i| first[self.find(i)] == i).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0), "already merged");
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 3));
+        assert_eq!(uf.component_size(4), 2);
+    }
+
+    #[test]
+    fn transitive_union() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert!(uf.connected(0, 2));
+        assert_eq!(uf.component_size(0), 3);
+    }
+
+    #[test]
+    fn first_occurrence_mask_keeps_min_index() {
+        let mut uf = UnionFind::new(6);
+        uf.union(4, 1); // component {1,4} → keep 1
+        uf.union(5, 2); // component {2,5} → keep 2
+        let mask = uf.first_occurrence_mask();
+        assert_eq!(mask, vec![true, true, true, true, false, false]);
+    }
+
+    #[test]
+    fn mask_of_all_singletons_is_all_true() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.first_occurrence_mask(), vec![true, true, true]);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+        assert!(uf.first_occurrence_mask().is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! Post-sweep analysis: parameter importance, linear correlation and
+//! pairwise interactions — the three panels of the paper's Fig. 3
+//! ("the importance, correlation and interaction of w_i for the quality
+//! score are estimated and plotted").
+
+use std::collections::BTreeMap;
+
+use crate::space::SearchSpace;
+use crate::sweep::SweepResult;
+
+/// Per-parameter analysis record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamAnalysis {
+    /// Pearson correlation of the (normalized) parameter with the score.
+    pub correlation: f64,
+    /// Normalized importance in [0, 1] (|correlation| share).
+    pub importance: f64,
+}
+
+/// Full sweep analysis.
+#[derive(Debug, Clone, Default)]
+pub struct SweepAnalysis {
+    pub params: BTreeMap<String, ParamAnalysis>,
+    /// Pairwise interaction strength: correlation of the *product* of two
+    /// normalized parameters with the score (the "high-order correlation"
+    /// panel of Fig. 3), keyed `"a×b"`.
+    pub interactions: BTreeMap<String, f64>,
+}
+
+impl SweepAnalysis {
+    /// Parameters ranked by importance (descending).
+    pub fn ranked(&self) -> Vec<(&str, f64)> {
+        let mut v: Vec<(&str, f64)> = self
+            .params
+            .iter()
+            .map(|(k, a)| (k.as_str(), a.importance))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(b.0)));
+        v
+    }
+
+    /// Render a Fig. 3-style text report.
+    pub fn render(&self) -> String {
+        let mut out = String::from("parameter importance / correlation\n");
+        for (name, imp) in self.ranked() {
+            let corr = self.params[name].correlation;
+            let bar = "█".repeat((imp * 30.0).round() as usize);
+            out.push_str(&format!("  {name:<16} {bar:<30} imp={imp:.3} corr={corr:+.3}\n"));
+        }
+        if !self.interactions.is_empty() {
+            out.push_str("pairwise interactions (|corr| of products)\n");
+            let mut pairs: Vec<_> = self.interactions.iter().collect();
+            pairs.sort_by(|a, b| {
+                b.1.abs()
+                    .partial_cmp(&a.1.abs())
+                    .expect("finite")
+                    .then(a.0.cmp(b.0))
+            });
+            for (pair, c) in pairs.into_iter().take(10) {
+                out.push_str(&format!("  {pair:<24} corr={c:+.3}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Analyze a sweep against its search space.
+pub fn analyze(space: &SearchSpace, sweep: &SweepResult) -> SweepAnalysis {
+    let names: Vec<&String> = space.params().keys().collect();
+    let rows: Vec<(Vec<f64>, f64)> = sweep
+        .trials
+        .iter()
+        .filter(|t| t.score.is_finite())
+        .map(|t| (space.coordinates(&t.trial), t.score))
+        .collect();
+    if rows.len() < 2 {
+        return SweepAnalysis::default();
+    }
+    let scores: Vec<f64> = rows.iter().map(|(_, s)| *s).collect();
+    let mut correlations = Vec::with_capacity(names.len());
+    for i in 0..names.len() {
+        let xs: Vec<f64> = rows.iter().map(|(c, _)| c[i]).collect();
+        correlations.push(pearson(&xs, &scores));
+    }
+    let total_abs: f64 = correlations.iter().map(|c| c.abs()).sum();
+    let params = names
+        .iter()
+        .zip(&correlations)
+        .map(|(name, &corr)| {
+            (
+                (*name).clone(),
+                ParamAnalysis {
+                    correlation: corr,
+                    importance: if total_abs > 0.0 {
+                        corr.abs() / total_abs
+                    } else {
+                        0.0
+                    },
+                },
+            )
+        })
+        .collect();
+    let mut interactions = BTreeMap::new();
+    for i in 0..names.len() {
+        for j in i + 1..names.len() {
+            let xs: Vec<f64> = rows.iter().map(|(c, _)| c[i] * c[j]).collect();
+            interactions.insert(format!("{}×{}", names[i], names[j]), pearson(&xs, &scores));
+        }
+    }
+    SweepAnalysis {
+        params,
+        interactions,
+    }
+}
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SearchSpace;
+    use crate::sweep::random_search;
+
+    #[test]
+    fn pearson_known_values() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-9);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-9);
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn important_parameter_dominates() {
+        let space = SearchSpace::new()
+            .uniform("strong", 0.0, 1.0)
+            .unwrap()
+            .uniform("weak", 0.0, 1.0)
+            .unwrap()
+            .uniform("noise", 0.0, 1.0)
+            .unwrap();
+        let sweep = random_search(&space, 300, 11, |t| {
+            10.0 * t["strong"].as_float().unwrap() + 0.5 * t["weak"].as_float().unwrap()
+        });
+        let analysis = analyze(&space, &sweep);
+        let ranked = analysis.ranked();
+        assert_eq!(ranked[0].0, "strong");
+        assert!(analysis.params["strong"].importance > 0.7);
+        assert!(analysis.params["strong"].correlation > 0.9);
+        assert!(analysis.params["noise"].importance < 0.15);
+        // Importances sum to ~1.
+        let total: f64 = analysis.params.values().map(|p| p.importance).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_correlation_detected() {
+        let space = SearchSpace::new().uniform("x", 0.0, 1.0).unwrap();
+        let sweep = random_search(&space, 100, 3, |t| -t["x"].as_float().unwrap());
+        let analysis = analyze(&space, &sweep);
+        assert!(analysis.params["x"].correlation < -0.95);
+    }
+
+    #[test]
+    fn interaction_of_multiplicative_objective() {
+        let space = SearchSpace::new()
+            .uniform("a", 0.0, 1.0)
+            .unwrap()
+            .uniform("b", 0.0, 1.0)
+            .unwrap();
+        let sweep = random_search(&space, 400, 17, |t| {
+            t["a"].as_float().unwrap() * t["b"].as_float().unwrap()
+        });
+        let analysis = analyze(&space, &sweep);
+        let inter = analysis.interactions["a×b"];
+        assert!(inter > 0.9, "interaction={inter}");
+        let report = analysis.render();
+        assert!(report.contains("a×b"));
+    }
+
+    #[test]
+    fn degenerate_sweeps_yield_empty_analysis() {
+        let space = SearchSpace::new().uniform("x", 0.0, 1.0).unwrap();
+        let empty = analyze(&space, &SweepResult::default());
+        assert!(empty.params.is_empty());
+    }
+}

@@ -1,0 +1,17 @@
+//! # dj-hpo — hyper-parameter optimization for data recipes (paper §4.1.2)
+//!
+//! * [`space`] — search-space definition (uniform / log-uniform / int /
+//!   choice domains) with normalized coordinates;
+//! * [`sweep`] — random search, grid search, SMBO (a k-NN-surrogate
+//!   stand-in for Bayesian optimization) and Hyperband-style successive
+//!   halving for early-stopping expensive recipe evaluations;
+//! * [`analysis`] — per-parameter importance, linear correlation and
+//!   pairwise interaction estimation (the three panels of Fig. 3).
+
+pub mod analysis;
+pub mod space;
+pub mod sweep;
+
+pub use analysis::{analyze, pearson, ParamAnalysis, SweepAnalysis};
+pub use space::{ParamSpec, SearchSpace, Trial};
+pub use sweep::{grid_search, random_search, smbo, successive_halving, SweepResult, TrialResult};

@@ -1,0 +1,323 @@
+//! Search-space definition for data-recipe HPO (paper §4.1.2).
+//!
+//! A [`SearchSpace`] maps hyper-parameter names (e.g. a mixture weight
+//! `w_books`, or a filter's `max_ratio`) to [`ParamSpec`] domains. Trials
+//! are concrete assignments sampled from the space.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use dj_core::{DjError, Result, Value};
+
+/// Domain of one hyper-parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamSpec {
+    /// Uniform float in `[low, high]`.
+    Uniform { low: f64, high: f64 },
+    /// Log-uniform float in `[low, high]` (both positive).
+    LogUniform { low: f64, high: f64 },
+    /// Uniform integer in `[low, high]` inclusive.
+    Int { low: i64, high: i64 },
+    /// Categorical choice.
+    Choice(Vec<String>),
+}
+
+impl ParamSpec {
+    fn validate(&self, name: &str) -> Result<()> {
+        let bad = |m: String| Err(DjError::Config(format!("param `{name}`: {m}")));
+        match self {
+            ParamSpec::Uniform { low, high } if low > high => {
+                bad(format!("low {low} > high {high}"))
+            }
+            ParamSpec::LogUniform { low, high } => {
+                if *low <= 0.0 || *high <= 0.0 {
+                    bad("log-uniform bounds must be positive".into())
+                } else if low > high {
+                    bad(format!("low {low} > high {high}"))
+                } else {
+                    Ok(())
+                }
+            }
+            ParamSpec::Int { low, high } if low > high => bad(format!("low {low} > high {high}")),
+            ParamSpec::Choice(options) if options.is_empty() => {
+                bad("choice list must be non-empty".into())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Draw one value.
+    pub fn sample(&self, rng: &mut StdRng) -> Value {
+        match self {
+            ParamSpec::Uniform { low, high } => {
+                if low == high {
+                    Value::Float(*low)
+                } else {
+                    Value::Float(rng.gen_range(*low..*high))
+                }
+            }
+            ParamSpec::LogUniform { low, high } => {
+                if low == high {
+                    Value::Float(*low)
+                } else {
+                    let v = rng.gen_range(low.ln()..high.ln());
+                    Value::Float(v.exp())
+                }
+            }
+            ParamSpec::Int { low, high } => Value::Int(rng.gen_range(*low..=*high)),
+            ParamSpec::Choice(options) => {
+                Value::Str(options[rng.gen_range(0..options.len())].clone())
+            }
+        }
+    }
+
+    /// Evenly spaced grid of (at most) `steps` values.
+    pub fn grid(&self, steps: usize) -> Vec<Value> {
+        let steps = steps.max(1);
+        match self {
+            ParamSpec::Uniform { low, high } => (0..steps)
+                .map(|i| {
+                    let t = if steps == 1 {
+                        0.5
+                    } else {
+                        i as f64 / (steps - 1) as f64
+                    };
+                    Value::Float(low + (high - low) * t)
+                })
+                .collect(),
+            ParamSpec::LogUniform { low, high } => (0..steps)
+                .map(|i| {
+                    let t = if steps == 1 {
+                        0.5
+                    } else {
+                        i as f64 / (steps - 1) as f64
+                    };
+                    Value::Float((low.ln() + (high.ln() - low.ln()) * t).exp())
+                })
+                .collect(),
+            ParamSpec::Int { low, high } => {
+                let n = ((high - low + 1) as usize).min(steps);
+                (0..n)
+                    .map(|i| {
+                        let t = if n == 1 {
+                            0.0
+                        } else {
+                            i as f64 / (n - 1) as f64
+                        };
+                        Value::Int(low + ((high - low) as f64 * t).round() as i64)
+                    })
+                    .collect()
+            }
+            ParamSpec::Choice(options) => options
+                .iter()
+                .take(steps.max(options.len()))
+                .map(|o| Value::Str(o.clone()))
+                .collect(),
+        }
+    }
+
+    /// Map a value to a numeric coordinate in \[0,1\] (for the surrogate and
+    /// correlation analyses).
+    pub fn normalize(&self, v: &Value) -> f64 {
+        match (self, v) {
+            (ParamSpec::Uniform { low, high }, v) => {
+                let x = v.as_float().unwrap_or(*low);
+                if high > low {
+                    (x - low) / (high - low)
+                } else {
+                    0.5
+                }
+            }
+            (ParamSpec::LogUniform { low, high }, v) => {
+                let x = v.as_float().unwrap_or(*low).max(f64::MIN_POSITIVE);
+                if high > low {
+                    (x.ln() - low.ln()) / (high.ln() - low.ln())
+                } else {
+                    0.5
+                }
+            }
+            (ParamSpec::Int { low, high }, v) => {
+                let x = v.as_float().unwrap_or(*low as f64);
+                if high > low {
+                    (x - *low as f64) / (*high - *low) as f64
+                } else {
+                    0.5
+                }
+            }
+            (ParamSpec::Choice(options), Value::Str(s)) => {
+                match options.iter().position(|o| o == s) {
+                    Some(i) if options.len() > 1 => i as f64 / (options.len() - 1) as f64,
+                    _ => 0.0,
+                }
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// A concrete hyper-parameter assignment.
+pub type Trial = BTreeMap<String, Value>;
+
+/// Named collection of parameter domains.
+#[derive(Debug, Clone, Default)]
+pub struct SearchSpace {
+    params: BTreeMap<String, ParamSpec>,
+}
+
+impl SearchSpace {
+    pub fn new() -> SearchSpace {
+        SearchSpace::default()
+    }
+
+    pub fn add(mut self, name: &str, spec: ParamSpec) -> Result<SearchSpace> {
+        spec.validate(name)?;
+        self.params.insert(name.to_string(), spec);
+        Ok(self)
+    }
+
+    pub fn uniform(self, name: &str, low: f64, high: f64) -> Result<SearchSpace> {
+        self.add(name, ParamSpec::Uniform { low, high })
+    }
+
+    pub fn log_uniform(self, name: &str, low: f64, high: f64) -> Result<SearchSpace> {
+        self.add(name, ParamSpec::LogUniform { low, high })
+    }
+
+    pub fn int(self, name: &str, low: i64, high: i64) -> Result<SearchSpace> {
+        self.add(name, ParamSpec::Int { low, high })
+    }
+
+    pub fn choice(self, name: &str, options: &[&str]) -> Result<SearchSpace> {
+        self.add(
+            name,
+            ParamSpec::Choice(options.iter().map(|s| s.to_string()).collect()),
+        )
+    }
+
+    pub fn params(&self) -> &BTreeMap<String, ParamSpec> {
+        &self.params
+    }
+
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Draw one trial.
+    pub fn sample(&self, rng: &mut StdRng) -> Trial {
+        self.params
+            .iter()
+            .map(|(k, spec)| (k.clone(), spec.sample(rng)))
+            .collect()
+    }
+
+    /// Normalized coordinates of a trial, in parameter-name order.
+    pub fn coordinates(&self, trial: &Trial) -> Vec<f64> {
+        self.params
+            .iter()
+            .map(|(k, spec)| trial.get(k).map(|v| spec.normalize(v)).unwrap_or(0.5))
+            .collect()
+    }
+
+    /// Full Cartesian grid with `steps` per parameter (use sparingly).
+    pub fn grid(&self, steps: usize) -> Vec<Trial> {
+        let mut trials: Vec<Trial> = vec![Trial::new()];
+        for (name, spec) in &self.params {
+            let values = spec.grid(steps);
+            let mut next = Vec::with_capacity(trials.len() * values.len());
+            for t in &trials {
+                for v in &values {
+                    let mut t2 = t.clone();
+                    t2.insert(name.clone(), v.clone());
+                    next.push(t2);
+                }
+            }
+            trials = next;
+        }
+        trials
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new()
+            .uniform("w", 0.0, 1.0)
+            .unwrap()
+            .log_uniform("lr", 1e-4, 1e-1)
+            .unwrap()
+            .int("n", 1, 10)
+            .unwrap()
+            .choice("mode", &["a", "b", "c"])
+            .unwrap()
+    }
+
+    #[test]
+    fn sampling_respects_domains() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let t = s.sample(&mut rng);
+            let w = t["w"].as_float().unwrap();
+            assert!((0.0..1.0).contains(&w));
+            let lr = t["lr"].as_float().unwrap();
+            assert!((1e-4..=1e-1).contains(&lr));
+            let n = t["n"].as_int().unwrap();
+            assert!((1..=10).contains(&n));
+            assert!(["a", "b", "c"].contains(&t["mode"].as_str().unwrap()));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_domains() {
+        assert!(SearchSpace::new().uniform("x", 1.0, 0.0).is_err());
+        assert!(SearchSpace::new().log_uniform("x", -1.0, 1.0).is_err());
+        assert!(SearchSpace::new().int("x", 5, 1).is_err());
+        assert!(SearchSpace::new().choice("x", &[]).is_err());
+    }
+
+    #[test]
+    fn grid_has_cartesian_size() {
+        let s = SearchSpace::new()
+            .uniform("a", 0.0, 1.0)
+            .unwrap()
+            .int("b", 0, 1)
+            .unwrap();
+        let g = s.grid(3);
+        assert_eq!(g.len(), 6); // 3 × 2
+        assert!(g.iter().any(|t| t["a"].as_float() == Some(0.0)));
+        assert!(g.iter().any(|t| t["a"].as_float() == Some(1.0)));
+    }
+
+    #[test]
+    fn normalize_maps_to_unit_interval() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let t = s.sample(&mut rng);
+            for c in s.coordinates(&t) {
+                assert!((0.0..=1.0).contains(&c), "coord {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn log_uniform_is_log_spread() {
+        let s = SearchSpace::new().log_uniform("lr", 1e-4, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let small = (0..2000)
+            .map(|_| s.sample(&mut rng)["lr"].as_float().unwrap())
+            .filter(|&v| v < 1e-2)
+            .count();
+        // Log-uniform puts half the mass below 1e-2 (the geometric midpoint).
+        assert!((800..1200).contains(&small), "small={small}");
+    }
+}

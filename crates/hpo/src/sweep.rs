@@ -1,0 +1,255 @@
+//! Sweep runners: random search, grid search, SMBO, and Hyperband
+//! early stopping (paper §4.1.2 — "advanced HPO algorithms such as Bayesian
+//! optimization \[and\] progressive early-stop strategies, such as the
+//! Hyperband algorithm").
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::space::{SearchSpace, Trial};
+
+/// One completed evaluation.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    pub trial: Trial,
+    pub score: f64,
+}
+
+/// A finished sweep: all trials plus the incumbent.
+#[derive(Debug, Clone, Default)]
+pub struct SweepResult {
+    pub trials: Vec<TrialResult>,
+}
+
+impl SweepResult {
+    /// Best trial (maximization). `None` for empty sweeps.
+    pub fn best(&self) -> Option<&TrialResult> {
+        self.trials
+            .iter()
+            .filter(|t| t.score.is_finite())
+            .max_by(|a, b| a.score.partial_cmp(&b.score).expect("finite"))
+    }
+
+    pub fn len(&self) -> usize {
+        self.trials.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.trials.is_empty()
+    }
+}
+
+/// Random search: `n_trials` independent draws.
+pub fn random_search<F>(space: &SearchSpace, n_trials: usize, seed: u64, mut objective: F) -> SweepResult
+where
+    F: FnMut(&Trial) -> f64,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = SweepResult::default();
+    for _ in 0..n_trials {
+        let trial = space.sample(&mut rng);
+        let score = objective(&trial);
+        out.trials.push(TrialResult { trial, score });
+    }
+    out
+}
+
+/// Exhaustive grid search with `steps` values per parameter.
+pub fn grid_search<F>(space: &SearchSpace, steps: usize, mut objective: F) -> SweepResult
+where
+    F: FnMut(&Trial) -> f64,
+{
+    let mut out = SweepResult::default();
+    for trial in space.grid(steps) {
+        let score = objective(&trial);
+        out.trials.push(TrialResult { trial, score });
+    }
+    out
+}
+
+/// Sequential model-based optimization: after `n_init` random trials, each
+/// round draws `candidates` random points and evaluates the one whose
+/// surrogate value (k-NN mean score + distance-scaled exploration bonus) is
+/// highest. A lightweight stand-in for Bayesian optimization with the same
+/// explore/exploit structure.
+pub fn smbo<F>(
+    space: &SearchSpace,
+    n_trials: usize,
+    n_init: usize,
+    candidates: usize,
+    seed: u64,
+    mut objective: F,
+) -> SweepResult
+where
+    F: FnMut(&Trial) -> f64,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = SweepResult::default();
+    let n_init = n_init.min(n_trials).max(1);
+    for _ in 0..n_init {
+        let trial = space.sample(&mut rng);
+        let score = objective(&trial);
+        out.trials.push(TrialResult { trial, score });
+    }
+    let k = 3usize;
+    while out.trials.len() < n_trials {
+        let coords: Vec<(Vec<f64>, f64)> = out
+            .trials
+            .iter()
+            .map(|t| (space.coordinates(&t.trial), t.score))
+            .collect();
+        let mut best_cand: Option<(Trial, f64)> = None;
+        for _ in 0..candidates.max(1) {
+            let cand = space.sample(&mut rng);
+            let c = space.coordinates(&cand);
+            // k nearest completed trials.
+            let mut dists: Vec<(f64, f64)> = coords
+                .iter()
+                .map(|(x, s)| (euclid(&c, x), *s))
+                .collect();
+            dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+            let near = &dists[..k.min(dists.len())];
+            let mean = near.iter().map(|(_, s)| s).sum::<f64>() / near.len() as f64;
+            let nearest = near.first().map(|(d, _)| *d).unwrap_or(1.0);
+            let acq = mean + 0.5 * nearest; // exploration bonus
+            if best_cand.as_ref().map_or(true, |(_, a)| acq > *a) {
+                best_cand = Some((cand, acq));
+            }
+        }
+        let (trial, _) = best_cand.expect("candidates >= 1");
+        let score = objective(&trial);
+        out.trials.push(TrialResult { trial, score });
+    }
+    out
+}
+
+fn euclid(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).powi(2))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Hyperband-style successive halving: start `n` configurations at the
+/// minimum budget, keep the best `1/eta` fraction each rung, multiplying
+/// the budget by `eta`, until `max_budget`. The objective receives
+/// `(trial, budget)` — budgets model "tokens trained" or "samples
+/// processed" so bad recipes are abandoned early (§4.3's early-stop goal).
+pub fn successive_halving<F>(
+    space: &SearchSpace,
+    n: usize,
+    min_budget: f64,
+    max_budget: f64,
+    eta: usize,
+    seed: u64,
+    mut objective: F,
+) -> SweepResult
+where
+    F: FnMut(&Trial, f64) -> f64,
+{
+    assert!(eta >= 2, "eta must be >= 2");
+    assert!(min_budget > 0.0 && max_budget >= min_budget);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut survivors: Vec<Trial> = (0..n.max(1)).map(|_| space.sample(&mut rng)).collect();
+    let mut out = SweepResult::default();
+    let mut budget = min_budget;
+    loop {
+        let mut scored: Vec<TrialResult> = survivors
+            .iter()
+            .map(|t| TrialResult {
+                trial: t.clone(),
+                score: objective(t, budget),
+            })
+            .collect();
+        scored.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite"));
+        out.trials.extend(scored.iter().cloned());
+        if budget >= max_budget || scored.len() == 1 {
+            break;
+        }
+        let keep = (scored.len() / eta).max(1);
+        survivors = scored.into_iter().take(keep).map(|t| t.trial).collect();
+        budget = (budget * eta as f64).min(max_budget);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SearchSpace;
+
+    fn quadratic_space() -> SearchSpace {
+        SearchSpace::new()
+            .uniform("x", 0.0, 1.0)
+            .unwrap()
+            .uniform("y", 0.0, 1.0)
+            .unwrap()
+    }
+
+    /// Peak at (0.7, 0.3), value 1.0.
+    fn objective(t: &Trial) -> f64 {
+        let x = t["x"].as_float().unwrap();
+        let y = t["y"].as_float().unwrap();
+        1.0 - ((x - 0.7).powi(2) + (y - 0.3).powi(2))
+    }
+
+    #[test]
+    fn random_search_finds_decent_point() {
+        let space = quadratic_space();
+        let sweep = random_search(&space, 200, 42, objective);
+        assert_eq!(sweep.len(), 200);
+        let best = sweep.best().unwrap();
+        assert!(best.score > 0.95, "best={}", best.score);
+    }
+
+    #[test]
+    fn grid_search_enumerates() {
+        let space = quadratic_space();
+        let sweep = grid_search(&space, 5, objective);
+        assert_eq!(sweep.len(), 25);
+        assert!(sweep.best().unwrap().score > 0.9);
+    }
+
+    #[test]
+    fn smbo_beats_or_matches_random_at_small_budget() {
+        let space = quadratic_space();
+        let n = 40;
+        let smbo_best = smbo(&space, n, 8, 32, 7, objective).best().unwrap().score;
+        let rand_best = random_search(&space, n, 7, objective).best().unwrap().score;
+        assert!(
+            smbo_best >= rand_best - 0.02,
+            "smbo={smbo_best} random={rand_best}"
+        );
+        assert!(smbo_best > 0.93);
+    }
+
+    #[test]
+    fn successive_halving_prunes_to_budget() {
+        let space = quadratic_space();
+        let mut full_evals = 0usize;
+        let sweep = successive_halving(&space, 27, 1.0, 27.0, 3, 5, |t, budget| {
+            if budget >= 27.0 {
+                full_evals += 1;
+            }
+            // Budget-dependent noisy view of the true objective.
+            objective(t) * (budget / 27.0).sqrt()
+        });
+        // 27 + 9 + 3 + 1 evaluations recorded.
+        assert_eq!(sweep.len(), 27 + 9 + 3 + 1);
+        assert_eq!(full_evals, 1, "only the final survivor gets full budget");
+    }
+
+    #[test]
+    fn empty_sweep_has_no_best() {
+        assert!(SweepResult::default().best().is_none());
+    }
+
+    #[test]
+    fn sweeps_are_deterministic_per_seed() {
+        let space = quadratic_space();
+        let a = random_search(&space, 20, 9, objective);
+        let b = random_search(&space, 20, 9, objective);
+        assert_eq!(a.best().unwrap().score, b.best().unwrap().score);
+    }
+}

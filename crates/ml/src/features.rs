@@ -1,0 +1,153 @@
+//! HashingTF feature extraction.
+//!
+//! The GPT-3 quality classifier pipeline the paper reproduces (§5.2, §B.1)
+//! is `tokenizer → HashingTF → logistic regression` in PySpark. HashingTF
+//! maps each token to one of `num_features` buckets by hashing and counts
+//! occurrences; no vocabulary is stored, so the transform is stateless and
+//! streaming-friendly.
+
+use dj_hash::hash64;
+
+/// Sparse feature vector: sorted (index, value) pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVec {
+    pub indices: Vec<u32>,
+    pub values: Vec<f32>,
+}
+
+impl SparseVec {
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Dot product with a dense weight vector.
+    pub fn dot(&self, dense: &[f32]) -> f32 {
+        self.indices
+            .iter()
+            .zip(&self.values)
+            .map(|(&i, &v)| dense[i as usize] * v)
+            .sum()
+    }
+
+    /// L2 norm of the sparse values.
+    pub fn norm(&self) -> f32 {
+        self.values.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Scale all values in place (e.g. TF normalization).
+    pub fn scale(&mut self, k: f32) {
+        for v in &mut self.values {
+            *v *= k;
+        }
+    }
+}
+
+/// Hashing term-frequency extractor over pre-tokenized input.
+#[derive(Debug, Clone)]
+pub struct HashingTf {
+    num_features: u32,
+    /// When true, term frequencies are L2-normalized per document, which
+    /// stabilizes SGD on documents of wildly different lengths.
+    normalize: bool,
+}
+
+impl HashingTf {
+    pub fn new(num_features: u32) -> HashingTf {
+        assert!(num_features > 0, "need at least one feature bucket");
+        HashingTf {
+            num_features,
+            normalize: true,
+        }
+    }
+
+    pub fn with_normalize(mut self, normalize: bool) -> HashingTf {
+        self.normalize = normalize;
+        self
+    }
+
+    pub fn num_features(&self) -> u32 {
+        self.num_features
+    }
+
+    /// Transform tokens to a sparse TF vector.
+    pub fn transform<S: AsRef<str>>(&self, tokens: &[S]) -> SparseVec {
+        let mut pairs: Vec<(u32, f32)> = Vec::with_capacity(tokens.len());
+        for t in tokens {
+            let idx = (hash64(t.as_ref().as_bytes()) % self.num_features as u64) as u32;
+            pairs.push((idx, 1.0));
+        }
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        let mut indices = Vec::with_capacity(pairs.len());
+        let mut values: Vec<f32> = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            if indices.last() == Some(&i) {
+                *values.last_mut().expect("non-empty") += v;
+            } else {
+                indices.push(i);
+                values.push(v);
+            }
+        }
+        let mut out = SparseVec { indices, values };
+        if self.normalize {
+            let n = out.norm();
+            if n > 0.0 {
+                out.scale(1.0 / n);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_per_bucket() {
+        let tf = HashingTf::new(1 << 16).with_normalize(false);
+        let v = tf.transform(&["a", "b", "a", "a"]);
+        assert_eq!(v.nnz(), 2);
+        assert!(v.values.contains(&3.0));
+        assert!(v.values.contains(&1.0));
+    }
+
+    #[test]
+    fn indices_sorted_and_bounded() {
+        let tf = HashingTf::new(128);
+        let tokens: Vec<String> = (0..500).map(|i| format!("tok{i}")).collect();
+        let v = tf.transform(&tokens);
+        assert!(v.indices.windows(2).all(|w| w[0] < w[1]));
+        assert!(v.indices.iter().all(|&i| i < 128));
+    }
+
+    #[test]
+    fn normalization_yields_unit_norm() {
+        let tf = HashingTf::new(1 << 10);
+        let v = tf.transform(&["x", "y", "z", "x"]);
+        assert!((v.norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_input_is_empty_vector() {
+        let tf = HashingTf::new(64);
+        let v = tf.transform::<&str>(&[]);
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.norm(), 0.0);
+    }
+
+    #[test]
+    fn dot_product_matches_manual() {
+        let v = SparseVec {
+            indices: vec![1, 3],
+            values: vec![2.0, 0.5],
+        };
+        let dense = vec![10.0, 1.0, 10.0, 4.0];
+        assert_eq!(v.dot(&dense), 2.0 + 2.0);
+    }
+
+    #[test]
+    fn transform_is_deterministic() {
+        let tf = HashingTf::new(1 << 12);
+        assert_eq!(tf.transform(&["a", "b"]), tf.transform(&["a", "b"]));
+    }
+}

@@ -1,0 +1,20 @@
+//! # dj-ml — machine-learning substrate
+//!
+//! The model stack behind Data-Juicer's auxiliary-model OPs and tools:
+//!
+//! * [`features`] — HashingTF sparse feature extraction (the PySpark
+//!   `HashingTF` of the GPT-3 quality-classifier pipeline, §5.2);
+//! * [`logreg`] — binary logistic regression with mini-batch SGD;
+//! * [`metrics`] — precision/recall/F1 evaluation (Table 5);
+//! * [`quality`] — the GPT-3-reproduction quality classifier with Chinese
+//!   and Code variants, plus the `label`/`pareto` keeping rules (Table 4).
+
+pub mod features;
+pub mod logreg;
+pub mod metrics;
+pub mod quality;
+
+pub use features::{HashingTf, SparseVec};
+pub use logreg::{LogisticRegression, TrainConfig};
+pub use metrics::Confusion;
+pub use quality::{pareto_sample, KeepMethod, QualityClassifier, QualityTokenizer};

@@ -1,0 +1,108 @@
+//! Binary-classification evaluation metrics (Table 5 reports precision,
+//! recall and F1 for the three quality classifiers).
+
+/// Confusion-matrix counts for a binary classifier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    pub tp: usize,
+    pub fp: usize,
+    pub tn: usize,
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tally predictions against gold labels.
+    pub fn from_pairs(pairs: &[(bool, bool)]) -> Confusion {
+        let mut c = Confusion::default();
+        for &(pred, gold) in pairs {
+            match (pred, gold) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let c = Confusion::from_pairs(&[(true, true), (false, false), (true, true)]);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn known_confusion_values() {
+        // tp=3 fp=1 fn=2 tn=4
+        let c = Confusion {
+            tp: 3,
+            fp: 1,
+            tn: 4,
+            fn_: 2,
+        };
+        assert!((c.precision() - 0.75).abs() < 1e-9);
+        assert!((c.recall() - 0.6).abs() < 1e-9);
+        assert!((c.f1() - 2.0 * 0.75 * 0.6 / 1.35).abs() < 1e-9);
+        assert!((c.accuracy() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_cases_return_zero() {
+        let c = Confusion::default();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn all_negative_predictions() {
+        let c = Confusion::from_pairs(&[(false, true), (false, false)]);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.tn, 1);
+        assert_eq!(c.fn_, 1);
+    }
+}

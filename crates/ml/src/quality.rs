@@ -1,0 +1,260 @@
+//! Text quality classifiers — the reproduction of the GPT-3 quality scorer
+//! (§5.2, Appendix B.1) with Chinese and Code variants (Table 6).
+//!
+//! Pipeline: tokenizer (standard word tokenizer or BPE "sentencepiece"
+//! substitute) → HashingTF → binary logistic regression. Two keeping rules
+//! are supported (Table 4):
+//!
+//! * `label`  — keep iff `doc_score > 0.5`
+//! * `pareto` — keep iff `doc_score > 1 - pareto_sample(α = 9)` (GPT-3's
+//!   noisy thresholding that retains a slice of lower-scored docs)
+
+use rand::Rng;
+
+use dj_text::{standard_tokenize, BpeTokenizer};
+
+use crate::features::HashingTf;
+use crate::logreg::{LogisticRegression, TrainConfig};
+use crate::metrics::Confusion;
+
+/// Tokenizer backing a quality classifier (Table 6's "Tokenizer" column).
+#[derive(Clone)]
+pub enum QualityTokenizer {
+    /// PySpark-style standard word tokenizer (GPT-3 classifier).
+    Standard,
+    /// Subword tokenizer (SentencePiece substitute; Chinese/Code classifiers).
+    Subword(BpeTokenizer),
+}
+
+impl QualityTokenizer {
+    fn tokenize(&self, text: &str) -> Vec<String> {
+        match self {
+            QualityTokenizer::Standard => standard_tokenize(text),
+            QualityTokenizer::Subword(bpe) => bpe
+                .encode(text)
+                .into_iter()
+                .map(|id| format!("▁{id}"))
+                .collect(),
+        }
+    }
+}
+
+/// Keeping rule applied on top of the document score (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeepMethod {
+    /// `doc_score > 0.5`
+    Label,
+    /// `doc_score > 1 - pareto(α)`, GPT-3's Pareto-noise rule.
+    Pareto,
+}
+
+/// A trained quality classifier.
+pub struct QualityClassifier {
+    name: String,
+    tokenizer: QualityTokenizer,
+    tf: HashingTf,
+    model: LogisticRegression,
+    pareto_alpha: f64,
+}
+
+impl QualityClassifier {
+    /// Train a classifier from positive (high-quality) and negative
+    /// (low-quality) corpora, mirroring Table 6's Wikipedia-vs-CommonCrawl
+    /// style splits.
+    pub fn train<S: AsRef<str>>(
+        name: &str,
+        tokenizer: QualityTokenizer,
+        positives: &[S],
+        negatives: &[S],
+        num_features: u32,
+    ) -> QualityClassifier {
+        let tf = HashingTf::new(num_features);
+        let mut data = Vec::with_capacity(positives.len() + negatives.len());
+        for p in positives {
+            data.push((tf.transform(&tokenizer.tokenize(p.as_ref())), true));
+        }
+        for n in negatives {
+            data.push((tf.transform(&tokenizer.tokenize(n.as_ref())), false));
+        }
+        let model = LogisticRegression::train(&data, num_features as usize, &TrainConfig::default());
+        QualityClassifier {
+            name: name.to_string(),
+            tokenizer,
+            tf,
+            model,
+            pareto_alpha: 9.0,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Document quality score in [0, 1].
+    pub fn score(&self, text: &str) -> f64 {
+        let tokens = self.tokenizer.tokenize(text);
+        self.model.predict_proba(&self.tf.transform(&tokens)) as f64
+    }
+
+    /// Apply a keeping rule; `rng` is only consulted for [`KeepMethod::Pareto`].
+    pub fn keep<R: Rng>(&self, text: &str, method: KeepMethod, rng: &mut R) -> bool {
+        let s = self.score(text);
+        match method {
+            KeepMethod::Label => s > 0.5,
+            KeepMethod::Pareto => s > 1.0 - pareto_sample(rng, self.pareto_alpha),
+        }
+    }
+
+    /// Fraction of `docs` kept under `method` (Table 4's "keeping ratio").
+    pub fn keeping_ratio<S: AsRef<str>, R: Rng>(
+        &self,
+        docs: &[S],
+        method: KeepMethod,
+        rng: &mut R,
+    ) -> f64 {
+        if docs.is_empty() {
+            return 0.0;
+        }
+        let kept = docs
+            .iter()
+            .filter(|d| self.keep(d.as_ref(), method, rng))
+            .count();
+        kept as f64 / docs.len() as f64
+    }
+
+    /// Evaluate on a labelled split, producing the Table 5 metrics.
+    pub fn evaluate<S: AsRef<str>>(&self, positives: &[S], negatives: &[S]) -> Confusion {
+        let mut pairs = Vec::with_capacity(positives.len() + negatives.len());
+        for p in positives {
+            pairs.push((self.score(p.as_ref()) > 0.5, true));
+        }
+        for n in negatives {
+            pairs.push((self.score(n.as_ref()) > 0.5, false));
+        }
+        Confusion::from_pairs(&pairs)
+    }
+}
+
+/// Sample from `numpy.random.pareto(α)`: `(1 - U)^(-1/α) - 1`.
+pub fn pareto_sample<R: Rng>(rng: &mut R, alpha: f64) -> f64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    (1.0 - u).powf(-1.0 / alpha) - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn clean_docs() -> Vec<String> {
+        (0..60)
+            .map(|i| {
+                format!(
+                    "The committee reviewed the annual report number {i} and concluded that \
+                     the proposed research methodology was sound and the findings were \
+                     consistent with previous academic literature on the subject."
+                )
+            })
+            .collect()
+    }
+
+    fn noisy_docs() -> Vec<String> {
+        (0..60)
+            .map(|i| {
+                format!(
+                    "click here {i} !!! FREE casino jackpot winbig $$$ buy now buy now \
+                     hotdeal {i} {i} {i} xxxad clickbait zzz qqq ### @@@ winbig winbig"
+                )
+            })
+            .collect()
+    }
+
+    fn trained() -> QualityClassifier {
+        QualityClassifier::train(
+            "gpt3-repro",
+            QualityTokenizer::Standard,
+            &clean_docs(),
+            &noisy_docs(),
+            1 << 14,
+        )
+    }
+
+    #[test]
+    fn scores_separate_clean_from_noisy() {
+        let qc = trained();
+        let clean = "The research committee concluded the methodology was sound.";
+        let noisy = "FREE jackpot winbig buy now clickbait casino $$$";
+        assert!(qc.score(clean) > 0.7, "clean score {}", qc.score(clean));
+        assert!(qc.score(noisy) < 0.3, "noisy score {}", qc.score(noisy));
+    }
+
+    #[test]
+    fn label_keeping_follows_threshold() {
+        let qc = trained();
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(qc.keep(
+            "The committee reviewed the annual academic report.",
+            KeepMethod::Label,
+            &mut rng
+        ));
+        assert!(!qc.keep("casino jackpot winbig clickbait", KeepMethod::Label, &mut rng));
+    }
+
+    #[test]
+    fn pareto_keeps_more_than_label_on_mixed_corpus() {
+        // Pareto thresholding admits some low-score docs, so on a corpus
+        // dominated by noise its keeping ratio is at least the label ratio.
+        let qc = trained();
+        let mut corpus = noisy_docs();
+        corpus.extend(clean_docs().into_iter().take(6));
+        let mut rng = StdRng::seed_from_u64(11);
+        let label = qc.keeping_ratio(&corpus, KeepMethod::Label, &mut rng);
+        let pareto = qc.keeping_ratio(&corpus, KeepMethod::Pareto, &mut rng);
+        assert!(pareto >= label, "pareto={pareto} label={label}");
+    }
+
+    #[test]
+    fn evaluation_metrics_high_on_separable_data() {
+        let qc = trained();
+        let c = qc.evaluate(&clean_docs()[..20], &noisy_docs()[..20]);
+        assert!(c.f1() > 0.9, "f1={}", c.f1());
+        assert!(c.precision() > 0.9);
+        assert!(c.recall() > 0.9);
+    }
+
+    #[test]
+    fn pareto_sample_distribution_sanity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| pareto_sample(&mut rng, 9.0)).sum::<f64>() / n as f64;
+        // E[pareto(9)] = 1/(9-1) = 0.125
+        assert!((mean - 0.125).abs() < 0.01, "mean={mean}");
+        assert!((0..100).all(|_| pareto_sample(&mut rng, 9.0) >= 0.0));
+    }
+
+    #[test]
+    fn subword_tokenizer_variant_trains() {
+        let corpus: Vec<String> = clean_docs().into_iter().take(20).collect();
+        let bpe = BpeTokenizer::train(&corpus, 300);
+        let qc = QualityClassifier::train(
+            "code",
+            QualityTokenizer::Subword(bpe),
+            &clean_docs()[..30],
+            &noisy_docs()[..30],
+            1 << 12,
+        );
+        let c = qc.evaluate(&clean_docs()[30..50], &noisy_docs()[30..50]);
+        assert!(c.accuracy() > 0.8, "acc={}", c.accuracy());
+    }
+
+    #[test]
+    fn keeping_ratio_empty_corpus_is_zero() {
+        let qc = trained();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            qc.keeping_ratio::<&str, _>(&[], KeepMethod::Label, &mut rng),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,436 @@
+//! Deduplicator OPs: whole-dataset duplicate removal (Table 1, "compare
+//! with hash-based and vector-based deduplication methods").
+//!
+//! All deduplicators follow the two-phase protocol of Listing 1:
+//! `compute_hash` produces a per-sample fingerprint [`Value`] (parallelizable)
+//! and `keep_mask` clusters fingerprints at dataset level, retaining the
+//! first occurrence of each duplicate cluster.
+
+use dj_core::{Dataset, Deduplicator, DjError, Result, Sample, SampleContext, Value, TEXT_KEY};
+use dj_hash::{
+    hash128, simhash_tokens, LshIndex, MinHasher, SimHashIndex, UnionFind,
+};
+
+/// Exact document deduplication by 128-bit content hash
+/// (`document_deduplicator`).
+#[derive(Debug, Clone)]
+pub struct DocumentDeduplicator {
+    pub field: String,
+    /// Compare case-insensitively.
+    pub lowercase: bool,
+    /// Strip non-alphanumeric characters before hashing (catches trivially
+    /// reformatted duplicates).
+    pub ignore_non_alnum: bool,
+}
+
+impl Default for DocumentDeduplicator {
+    fn default() -> Self {
+        DocumentDeduplicator {
+            field: TEXT_KEY.to_string(),
+            lowercase: false,
+            ignore_non_alnum: false,
+        }
+    }
+}
+
+impl DocumentDeduplicator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn normalized() -> Self {
+        DocumentDeduplicator {
+            field: TEXT_KEY.to_string(),
+            lowercase: true,
+            ignore_non_alnum: true,
+        }
+    }
+
+    fn canonical(&self, text: &str) -> String {
+        let mut t = if self.lowercase {
+            text.to_lowercase()
+        } else {
+            text.to_string()
+        };
+        if self.ignore_non_alnum {
+            t.retain(|c| c.is_alphanumeric());
+        }
+        t
+    }
+}
+
+impl Deduplicator for DocumentDeduplicator {
+    fn name(&self) -> &'static str {
+        "document_deduplicator"
+    }
+
+    fn compute_hash(&self, sample: &Sample, _ctx: &mut SampleContext) -> Result<Value> {
+        let canon = self.canonical(sample.text_at(&self.field));
+        let h = hash128(canon.as_bytes());
+        // 128-bit hash stored as two i64 limbs (Value has no u128).
+        Ok(Value::List(vec![
+            Value::Int((h >> 64) as u64 as i64),
+            Value::Int(h as u64 as i64),
+        ]))
+    }
+
+    fn keep_mask(&self, dataset: &Dataset, hashes: &[Value]) -> Result<Vec<bool>> {
+        check_len(self.name(), dataset, hashes)?;
+        let mut seen = dj_hash::FxHashSet::default();
+        let mut mask = Vec::with_capacity(hashes.len());
+        for h in hashes {
+            let key = limbs(h, self.name())?;
+            mask.push(seen.insert(key));
+        }
+        Ok(mask)
+    }
+}
+
+/// MinHash-LSH near-duplicate removal (`document_minhash_deduplicator`).
+#[derive(Debug, Clone)]
+pub struct MinHashDeduplicator {
+    pub field: String,
+    pub jaccard_threshold: f64,
+    pub bands: usize,
+    pub rows: usize,
+    pub shingle_size: usize,
+    hasher: MinHasher,
+}
+
+impl MinHashDeduplicator {
+    /// `bands * rows` hash functions; the candidate S-curve midpoint is
+    /// approximately `(1/bands)^(1/rows)`.
+    pub fn new(jaccard_threshold: f64, bands: usize, rows: usize, shingle_size: usize) -> Result<Self> {
+        if !(0.0..=1.0).contains(&jaccard_threshold) {
+            return Err(DjError::Config(
+                "minhash: jaccard_threshold must be in [0,1]".into(),
+            ));
+        }
+        if bands == 0 || rows == 0 || shingle_size == 0 {
+            return Err(DjError::Config(
+                "minhash: bands, rows and shingle_size must be positive".into(),
+            ));
+        }
+        Ok(MinHashDeduplicator {
+            field: TEXT_KEY.to_string(),
+            jaccard_threshold,
+            bands,
+            rows,
+            shingle_size,
+            hasher: MinHasher::new(bands * rows, shingle_size),
+        })
+    }
+
+    /// The paper-style default: threshold 0.7, 16 bands × 8 rows, 5-shingles.
+    pub fn default_config() -> Self {
+        Self::new(0.7, 16, 8, 5).expect("valid defaults")
+    }
+}
+
+impl Deduplicator for MinHashDeduplicator {
+    fn name(&self) -> &'static str {
+        "document_minhash_deduplicator"
+    }
+
+    fn compute_hash(&self, sample: &Sample, ctx: &mut SampleContext) -> Result<Value> {
+        let text = sample.text_at(&self.field).to_string();
+        let sig = self.hasher.signature(ctx.words(&text));
+        Ok(Value::List(
+            sig.into_iter().map(|v| Value::Int(v as i64)).collect(),
+        ))
+    }
+
+    fn keep_mask(&self, dataset: &Dataset, hashes: &[Value]) -> Result<Vec<bool>> {
+        check_len(self.name(), dataset, hashes)?;
+        let sigs: Vec<Vec<u64>> = hashes
+            .iter()
+            .map(|h| signature(h, self.name()))
+            .collect::<Result<_>>()?;
+        let mut index = LshIndex::new(self.bands, self.rows);
+        let mut uf = UnionFind::new(sigs.len());
+        for (i, sig) in sigs.iter().enumerate() {
+            for cand in index.insert(i, sig) {
+                if MinHasher::similarity(sig, &sigs[cand]) >= self.jaccard_threshold {
+                    uf.union(i, cand);
+                }
+            }
+        }
+        Ok(uf.first_occurrence_mask())
+    }
+}
+
+/// SimHash near-duplicate removal (`document_simhash_deduplicator`),
+/// the vector-based comparison method.
+#[derive(Debug, Clone)]
+pub struct SimHashDeduplicator {
+    pub field: String,
+    pub max_distance: u32,
+}
+
+impl SimHashDeduplicator {
+    pub fn new(max_distance: u32) -> Result<Self> {
+        if max_distance > 16 {
+            return Err(DjError::Config(
+                "simhash: max_distance above 16 makes everything a duplicate".into(),
+            ));
+        }
+        Ok(SimHashDeduplicator {
+            field: TEXT_KEY.to_string(),
+            max_distance,
+        })
+    }
+}
+
+impl Deduplicator for SimHashDeduplicator {
+    fn name(&self) -> &'static str {
+        "document_simhash_deduplicator"
+    }
+
+    fn compute_hash(&self, sample: &Sample, ctx: &mut SampleContext) -> Result<Value> {
+        let text = sample.text_at(&self.field).to_string();
+        let fp = simhash_tokens(ctx.words(&text));
+        Ok(Value::Int(fp as i64))
+    }
+
+    fn keep_mask(&self, dataset: &Dataset, hashes: &[Value]) -> Result<Vec<bool>> {
+        check_len(self.name(), dataset, hashes)?;
+        let mut index = SimHashIndex::new(self.max_distance);
+        let mut uf = UnionFind::new(hashes.len());
+        for (i, h) in hashes.iter().enumerate() {
+            let fp = h
+                .as_int()
+                .ok_or_else(|| DjError::op(self.name(), "fingerprint must be an int"))?
+                as u64;
+            for cand in index.insert(i, fp) {
+                uf.union(i, cand);
+            }
+        }
+        Ok(uf.first_occurrence_mask())
+    }
+}
+
+/// Paragraph-level exact dedup across the dataset: a sample is dropped when
+/// all of its paragraphs have already been seen in kept samples
+/// (`paragraph_deduplicator` — the "multiple views" comparison of Table 1).
+#[derive(Debug, Clone)]
+pub struct ParagraphDeduplicator {
+    pub field: String,
+}
+
+impl Default for ParagraphDeduplicator {
+    fn default() -> Self {
+        ParagraphDeduplicator {
+            field: TEXT_KEY.to_string(),
+        }
+    }
+}
+
+impl ParagraphDeduplicator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Deduplicator for ParagraphDeduplicator {
+    fn name(&self) -> &'static str {
+        "paragraph_deduplicator"
+    }
+
+    fn compute_hash(&self, sample: &Sample, _ctx: &mut SampleContext) -> Result<Value> {
+        let hashes: Vec<Value> = sample
+            .text_at(&self.field)
+            .split("\n\n")
+            .filter(|p| !p.trim().is_empty())
+            .map(|p| Value::Int(dj_hash::hash64(p.trim().as_bytes()) as i64))
+            .collect();
+        Ok(Value::List(hashes))
+    }
+
+    fn keep_mask(&self, dataset: &Dataset, hashes: &[Value]) -> Result<Vec<bool>> {
+        check_len(self.name(), dataset, hashes)?;
+        let mut seen = dj_hash::FxHashSet::default();
+        let mut mask = Vec::with_capacity(hashes.len());
+        for h in hashes {
+            let paras = h
+                .as_list()
+                .ok_or_else(|| DjError::op(self.name(), "expected list fingerprint"))?;
+            if paras.is_empty() {
+                mask.push(true); // nothing to compare; keep
+                continue;
+            }
+            let mut any_new = false;
+            for p in paras {
+                let key = p
+                    .as_int()
+                    .ok_or_else(|| DjError::op(self.name(), "expected int paragraph hash"))?;
+                if seen.insert(key) {
+                    any_new = true;
+                }
+            }
+            mask.push(any_new);
+        }
+        Ok(mask)
+    }
+}
+
+fn check_len(op: &str, dataset: &Dataset, hashes: &[Value]) -> Result<()> {
+    if dataset.len() != hashes.len() {
+        return Err(DjError::op(
+            op,
+            format!("{} hashes for {} samples", hashes.len(), dataset.len()),
+        ));
+    }
+    Ok(())
+}
+
+fn limbs(v: &Value, op: &str) -> Result<(i64, i64)> {
+    let l = v
+        .as_list()
+        .filter(|l| l.len() == 2)
+        .ok_or_else(|| DjError::op(op, "expected 2-limb fingerprint"))?;
+    match (l[0].as_int(), l[1].as_int()) {
+        (Some(a), Some(b)) => Ok((a, b)),
+        _ => Err(DjError::op(op, "fingerprint limbs must be ints")),
+    }
+}
+
+fn signature(v: &Value, op: &str) -> Result<Vec<u64>> {
+    v.as_list()
+        .ok_or_else(|| DjError::op(op, "expected signature list"))?
+        .iter()
+        .map(|x| {
+            x.as_int()
+                .map(|i| i as u64)
+                .ok_or_else(|| DjError::op(op, "signature entries must be ints"))
+        })
+        .collect()
+}
+
+/// Run a deduplicator end-to-end on a dataset (hash phase then mask phase),
+/// returning the deduplicated dataset and the number of removed samples.
+pub fn run_dedup(dedup: &dyn Deduplicator, mut dataset: Dataset) -> Result<(Dataset, usize)> {
+    let mut ctx = SampleContext::new();
+    let mut hashes = Vec::with_capacity(dataset.len());
+    for s in dataset.iter() {
+        ctx.invalidate();
+        hashes.push(dedup.compute_hash(s, &mut ctx)?);
+    }
+    let mask = dedup.keep_mask(&dataset, &hashes)?;
+    let removed = mask.iter().filter(|&&k| !k).count();
+    dataset.retain_mask(&mask);
+    Ok((dataset, removed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(texts: &[&str]) -> Dataset {
+        Dataset::from_texts(texts.iter().copied())
+    }
+
+    #[test]
+    fn exact_dedup_keeps_first_occurrence() {
+        let d = ds(&["a", "b", "a", "c", "b"]);
+        let (out, removed) = run_dedup(&DocumentDeduplicator::new(), d).unwrap();
+        assert_eq!(removed, 2);
+        let texts: Vec<_> = out.iter().map(|s| s.text()).collect();
+        assert_eq!(texts, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn normalized_dedup_catches_reformatted() {
+        let d = ds(&["Hello, World!", "hello world", "different"]);
+        let (out, removed) = run_dedup(&DocumentDeduplicator::normalized(), d).unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(out.len(), 2);
+        // Exact mode keeps both variants.
+        let d2 = ds(&["Hello, World!", "hello world", "different"]);
+        let (out2, _) = run_dedup(&DocumentDeduplicator::new(), d2).unwrap();
+        assert_eq!(out2.len(), 3);
+    }
+
+    const LONG_BASE: &str =
+        "the data juicer system processes massive heterogeneous corpora for \
+         large language model pretraining with composable operators and tools \
+         the pipeline applies filters mappers and deduplicators in sequence \
+         producing refined recipes that improve downstream model quality";
+
+    #[test]
+    fn minhash_catches_near_duplicates() {
+        let base = LONG_BASE;
+        let near = format!("{base} indeed truly");
+        let far = "completely unrelated text about gardening tomatoes in the greenhouse \
+                   with notes on watering schedules and soil acidity levels for beginners";
+        let d = ds(&[base, &near, far]);
+        let (out, removed) = run_dedup(&MinHashDeduplicator::default_config(), d).unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.get(0).unwrap().text(), base);
+    }
+
+    #[test]
+    fn simhash_catches_near_duplicates() {
+        let base = LONG_BASE;
+        let near = format!("{base} indeed truly");
+        let far = "gardening tomatoes greenhouse watering schedule soil acidity compost \
+                   seeds sunlight harvest pruning fertilizer mulch irrigation beds";
+        let d = ds(&[base, &near, far]);
+        let (out, removed) = run_dedup(&SimHashDeduplicator::new(3).unwrap(), d).unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn paragraph_dedup_drops_fully_seen_docs() {
+        let d = ds(&[
+            "para one\n\npara two",
+            "para two\n\npara three", // has a new paragraph → kept
+            "para one\n\npara three", // all paragraphs already seen → dropped
+            "",                        // empty → kept
+        ]);
+        let (out, removed) = run_dedup(&ParagraphDeduplicator::new(), d).unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn dedup_on_large_duplicated_corpus() {
+        // 200 docs, every 4th is a duplicate of doc i-4.
+        let texts: Vec<String> = (0..200)
+            .map(|i| {
+                if i % 4 == 3 {
+                    format!("unique document number {} with some padding words", i - 3)
+                } else {
+                    format!("unique document number {i} with some padding words")
+                }
+            })
+            .collect();
+        let d = Dataset::from_texts(texts);
+        let (out, removed) = run_dedup(&DocumentDeduplicator::new(), d).unwrap();
+        assert_eq!(removed, 50);
+        assert_eq!(out.len(), 150);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(MinHashDeduplicator::new(1.5, 4, 4, 3).is_err());
+        assert!(MinHashDeduplicator::new(0.5, 0, 4, 3).is_err());
+        assert!(SimHashDeduplicator::new(40).is_err());
+    }
+
+    #[test]
+    fn mask_length_mismatch_is_error() {
+        let dedup = DocumentDeduplicator::new();
+        let d = ds(&["a", "b"]);
+        let err = dedup.keep_mask(&d, &[]).unwrap_err();
+        assert!(err.to_string().contains("0 hashes for 2 samples"));
+    }
+
+    #[test]
+    fn empty_dataset_roundtrip() {
+        let (out, removed) = run_dedup(&DocumentDeduplicator::new(), Dataset::new()).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(removed, 0);
+    }
+}

@@ -1,0 +1,471 @@
+//! Formatter OPs: unify raw inputs into the intermediate representation
+//! (Table 1: "Load and unify dataset-hub, txt, json, md, codes, html, pdf,
+//! docx, ...").
+//!
+//! Each formatter parses one raw payload (the content of one file) into a
+//! [`Dataset`] whose samples carry `text` plus whatever `meta` the source
+//! format provides.
+
+use dj_core::{parse_json, Dataset, DjError, Formatter, Result, Sample, Value};
+use dj_text::normalize;
+
+/// JSON-Lines formatter: one JSON object per line (`jsonl_formatter`).
+///
+/// Each object becomes a sample; a configurable key (default `"text"`)
+/// supplies the text payload, all other keys land under `meta`.
+#[derive(Debug, Clone)]
+pub struct JsonlFormatter {
+    pub text_key: String,
+}
+
+impl Default for JsonlFormatter {
+    fn default() -> Self {
+        JsonlFormatter {
+            text_key: "text".to_string(),
+        }
+    }
+}
+
+impl JsonlFormatter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_text_key(key: &str) -> Self {
+        JsonlFormatter {
+            text_key: key.to_string(),
+        }
+    }
+}
+
+impl Formatter for JsonlFormatter {
+    fn name(&self) -> &'static str {
+        "jsonl_formatter"
+    }
+
+    fn load_dataset(&self, raw: &str) -> Result<Dataset> {
+        let mut ds = Dataset::new();
+        for (lineno, line) in raw.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = parse_json(line).map_err(|e| {
+                DjError::Parse(format!("jsonl line {}: {e}", lineno + 1))
+            })?;
+            let obj = v
+                .as_map()
+                .ok_or_else(|| DjError::Parse(format!("jsonl line {}: not an object", lineno + 1)))?;
+            let mut s = Sample::new();
+            for (k, val) in obj {
+                if k == &self.text_key {
+                    if let Some(t) = val.as_str() {
+                        s.set_text(t);
+                    } else {
+                        return Err(DjError::Parse(format!(
+                            "jsonl line {}: `{}` is not a string",
+                            lineno + 1,
+                            self.text_key
+                        )));
+                    }
+                } else {
+                    s.set_meta(k, val.clone());
+                }
+            }
+            ds.push(s);
+        }
+        Ok(ds)
+    }
+}
+
+/// Plain-text formatter (`text_formatter`): the whole payload becomes one
+/// sample, or one sample per blank-line-separated block in `split` mode.
+#[derive(Debug, Clone, Default)]
+pub struct TextFormatter {
+    pub split_paragraphs: bool,
+}
+
+impl TextFormatter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn splitting() -> Self {
+        TextFormatter {
+            split_paragraphs: true,
+        }
+    }
+}
+
+impl Formatter for TextFormatter {
+    fn name(&self) -> &'static str {
+        "text_formatter"
+    }
+
+    fn load_dataset(&self, raw: &str) -> Result<Dataset> {
+        if !self.split_paragraphs {
+            return Ok(Dataset::from_texts([raw]));
+        }
+        Ok(Dataset::from_texts(
+            raw.split("\n\n").filter(|p| !p.trim().is_empty()).map(str::trim),
+        ))
+    }
+}
+
+/// CSV/TSV formatter (`csv_formatter`): first row is the header; a
+/// configurable column supplies the text, the rest land in `meta`.
+/// Handles quoted fields with embedded delimiters/quotes.
+#[derive(Debug, Clone)]
+pub struct CsvFormatter {
+    pub delimiter: char,
+    pub text_column: String,
+}
+
+impl CsvFormatter {
+    pub fn csv(text_column: &str) -> Self {
+        CsvFormatter {
+            delimiter: ',',
+            text_column: text_column.to_string(),
+        }
+    }
+
+    pub fn tsv(text_column: &str) -> Self {
+        CsvFormatter {
+            delimiter: '\t',
+            text_column: text_column.to_string(),
+        }
+    }
+
+    fn split_row(&self, line: &str) -> Vec<String> {
+        let mut fields = Vec::new();
+        let mut cur = String::new();
+        let mut in_quotes = false;
+        let mut chars = line.chars().peekable();
+        while let Some(c) = chars.next() {
+            if in_quotes {
+                if c == '"' {
+                    if chars.peek() == Some(&'"') {
+                        cur.push('"');
+                        chars.next();
+                    } else {
+                        in_quotes = false;
+                    }
+                } else {
+                    cur.push(c);
+                }
+            } else if c == '"' && cur.is_empty() {
+                in_quotes = true;
+            } else if c == self.delimiter {
+                fields.push(std::mem::take(&mut cur));
+            } else {
+                cur.push(c);
+            }
+        }
+        fields.push(cur);
+        fields
+    }
+}
+
+impl Formatter for CsvFormatter {
+    fn name(&self) -> &'static str {
+        "csv_formatter"
+    }
+
+    fn load_dataset(&self, raw: &str) -> Result<Dataset> {
+        let mut lines = raw.lines().filter(|l| !l.trim().is_empty());
+        let header = match lines.next() {
+            Some(h) => self.split_row(h),
+            None => return Ok(Dataset::new()),
+        };
+        let text_idx = header
+            .iter()
+            .position(|c| c == &self.text_column)
+            .ok_or_else(|| {
+                DjError::Parse(format!("csv: missing text column `{}`", self.text_column))
+            })?;
+        let mut ds = Dataset::new();
+        for (lineno, line) in lines.enumerate() {
+            let row = self.split_row(line);
+            if row.len() != header.len() {
+                return Err(DjError::Parse(format!(
+                    "csv row {}: {} fields, header has {}",
+                    lineno + 2,
+                    row.len(),
+                    header.len()
+                )));
+            }
+            let mut s = Sample::new();
+            for (col, val) in header.iter().zip(&row) {
+                if header[text_idx] == *col {
+                    s.set_text(val.clone());
+                } else {
+                    s.set_meta(col, Value::from(val.clone()));
+                }
+            }
+            ds.push(s);
+        }
+        Ok(ds)
+    }
+}
+
+/// Markdown formatter (`md_formatter`): strips headings/emphasis/links/code
+/// fences, keeping prose.
+#[derive(Debug, Clone, Default)]
+pub struct MarkdownFormatter;
+
+impl MarkdownFormatter {
+    pub fn new() -> Self {
+        MarkdownFormatter
+    }
+}
+
+impl Formatter for MarkdownFormatter {
+    fn name(&self) -> &'static str {
+        "md_formatter"
+    }
+
+    fn load_dataset(&self, raw: &str) -> Result<Dataset> {
+        let mut out = String::with_capacity(raw.len());
+        let mut in_fence = false;
+        for line in raw.lines() {
+            let trimmed = line.trim_start();
+            if trimmed.starts_with("```") {
+                in_fence = !in_fence;
+                continue;
+            }
+            if in_fence {
+                continue;
+            }
+            let stripped = trimmed
+                .trim_start_matches('#')
+                .trim_start_matches('>')
+                .trim_start_matches("- ")
+                .trim_start_matches("* ")
+                .trim();
+            if stripped.is_empty() {
+                out.push('\n');
+                continue;
+            }
+            // Inline markup: links [text](url) → text; emphasis markers dropped.
+            let mut cleaned = String::with_capacity(stripped.len());
+            let mut chars = stripped.chars().peekable();
+            while let Some(c) = chars.next() {
+                match c {
+                    '*' | '_' | '`' => {}
+                    '[' => {
+                        let mut label = String::new();
+                        for lc in chars.by_ref() {
+                            if lc == ']' {
+                                break;
+                            }
+                            label.push(lc);
+                        }
+                        if chars.peek() == Some(&'(') {
+                            chars.next();
+                            for uc in chars.by_ref() {
+                                if uc == ')' {
+                                    break;
+                                }
+                            }
+                        }
+                        cleaned.push_str(&label);
+                    }
+                    c => cleaned.push(c),
+                }
+            }
+            out.push_str(cleaned.trim());
+            out.push('\n');
+        }
+        let mut s = Sample::from_text(normalize::normalize_whitespace(&out));
+        s.set_meta("suffix", "md");
+        Ok(Dataset::from_samples(vec![s]))
+    }
+}
+
+/// HTML formatter (`html_formatter`): tag-stripped text with entity decoding.
+#[derive(Debug, Clone, Default)]
+pub struct HtmlFormatter;
+
+impl HtmlFormatter {
+    pub fn new() -> Self {
+        HtmlFormatter
+    }
+}
+
+impl Formatter for HtmlFormatter {
+    fn name(&self) -> &'static str {
+        "html_formatter"
+    }
+
+    fn load_dataset(&self, raw: &str) -> Result<Dataset> {
+        let mut s = Sample::from_text(normalize::strip_html(raw));
+        s.set_meta("suffix", "html");
+        Ok(Dataset::from_samples(vec![s]))
+    }
+}
+
+/// LaTeX formatter (`tex_formatter`): header-stripped body text.
+#[derive(Debug, Clone, Default)]
+pub struct LatexFormatter;
+
+impl LatexFormatter {
+    pub fn new() -> Self {
+        LatexFormatter
+    }
+}
+
+impl Formatter for LatexFormatter {
+    fn name(&self) -> &'static str {
+        "tex_formatter"
+    }
+
+    fn load_dataset(&self, raw: &str) -> Result<Dataset> {
+        let mut s = Sample::from_text(normalize::strip_latex_header(raw));
+        s.set_meta("suffix", "tex");
+        Ok(Dataset::from_samples(vec![s]))
+    }
+}
+
+/// Code formatter (`code_formatter`): whole file as text with a language
+/// suffix inferred from a shebang or content heuristics.
+#[derive(Debug, Clone, Default)]
+pub struct CodeFormatter;
+
+impl CodeFormatter {
+    pub fn new() -> Self {
+        CodeFormatter
+    }
+
+    fn infer_suffix(raw: &str) -> &'static str {
+        let head = raw.lines().next().unwrap_or("");
+        if head.starts_with("#!") {
+            if head.contains("python") {
+                return "py";
+            }
+            if head.contains("sh") {
+                return "sh";
+            }
+        }
+        if raw.contains("fn ") && raw.contains("->") || raw.contains("let mut") {
+            "rs"
+        } else if raw.contains("def ") || raw.contains("import ") {
+            "py"
+        } else if raw.contains("#include") {
+            "c"
+        } else {
+            "txt"
+        }
+    }
+}
+
+impl Formatter for CodeFormatter {
+    fn name(&self) -> &'static str {
+        "code_formatter"
+    }
+
+    fn load_dataset(&self, raw: &str) -> Result<Dataset> {
+        let mut s = Sample::from_text(raw);
+        s.set_meta("suffix", Self::infer_suffix(raw));
+        Ok(Dataset::from_samples(vec![s]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_loads_text_and_meta() {
+        let raw = "{\"text\": \"doc one\", \"lang\": \"en\", \"stars\": 5}\n\n{\"text\": \"doc two\", \"lang\": \"zh\"}";
+        let ds = JsonlFormatter::new().load_dataset(raw).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.get(0).unwrap().text(), "doc one");
+        assert_eq!(ds.get(0).unwrap().meta("stars").unwrap().as_int(), Some(5));
+        assert_eq!(ds.get(1).unwrap().meta("lang").unwrap().as_str(), Some("zh"));
+    }
+
+    #[test]
+    fn jsonl_custom_text_key() {
+        let raw = "{\"content\": \"hello\"}";
+        let ds = JsonlFormatter::with_text_key("content").load_dataset(raw).unwrap();
+        assert_eq!(ds.get(0).unwrap().text(), "hello");
+    }
+
+    #[test]
+    fn jsonl_rejects_bad_lines() {
+        assert!(JsonlFormatter::new().load_dataset("not json").is_err());
+        assert!(JsonlFormatter::new().load_dataset("[1,2]").is_err());
+        assert!(JsonlFormatter::new()
+            .load_dataset("{\"text\": 42}")
+            .is_err());
+    }
+
+    #[test]
+    fn text_formatter_modes() {
+        let raw = "para one\n\npara two\n\n\n\npara three";
+        assert_eq!(TextFormatter::new().load_dataset(raw).unwrap().len(), 1);
+        let split = TextFormatter::splitting().load_dataset(raw).unwrap();
+        assert_eq!(split.len(), 3);
+        assert_eq!(split.get(2).unwrap().text(), "para three");
+    }
+
+    #[test]
+    fn csv_with_quotes() {
+        let raw = "id,text,source\n1,\"hello, world\",web\n2,\"say \"\"hi\"\"\",book";
+        let ds = CsvFormatter::csv("text").load_dataset(raw).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.get(0).unwrap().text(), "hello, world");
+        assert_eq!(ds.get(1).unwrap().text(), "say \"hi\"");
+        assert_eq!(ds.get(0).unwrap().meta("source").unwrap().as_str(), Some("web"));
+    }
+
+    #[test]
+    fn csv_errors() {
+        assert!(CsvFormatter::csv("missing")
+            .load_dataset("a,b\n1,2")
+            .is_err());
+        assert!(CsvFormatter::csv("a").load_dataset("a,b\n1").is_err());
+        assert_eq!(CsvFormatter::csv("a").load_dataset("").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn tsv_variant() {
+        let raw = "text\tlabel\nhello\tpos";
+        let ds = CsvFormatter::tsv("text").load_dataset(raw).unwrap();
+        assert_eq!(ds.get(0).unwrap().text(), "hello");
+    }
+
+    #[test]
+    fn markdown_stripped() {
+        let raw = "# Title\n\nSome *emphasis* and a [link](http://x.y).\n\n```\ncode block\n```\n\n- item one";
+        let ds = MarkdownFormatter::new().load_dataset(raw).unwrap();
+        let text = ds.get(0).unwrap().text().to_string();
+        assert!(text.contains("Title"));
+        assert!(text.contains("Some emphasis and a link."));
+        assert!(!text.contains("code block"));
+        assert!(text.contains("item one"));
+    }
+
+    #[test]
+    fn html_and_latex_formatters() {
+        let ds = HtmlFormatter::new()
+            .load_dataset("<html><body><h1>T</h1><p>Body &amp; soul</p></body></html>")
+            .unwrap();
+        assert!(ds.get(0).unwrap().text().contains("Body & soul"));
+        let ds = LatexFormatter::new()
+            .load_dataset("\\documentclass{a}\n\\begin{document}\nHello\n\\end{document}")
+            .unwrap();
+        assert_eq!(ds.get(0).unwrap().text(), "Hello");
+    }
+
+    #[test]
+    fn code_suffix_inference() {
+        let py = CodeFormatter::new().load_dataset("def f():\n    return 1").unwrap();
+        assert_eq!(py.get(0).unwrap().meta("suffix").unwrap().as_str(), Some("py"));
+        let rs = CodeFormatter::new()
+            .load_dataset("fn main() -> i32 { 0 }")
+            .unwrap();
+        assert_eq!(rs.get(0).unwrap().meta("suffix").unwrap().as_str(), Some("rs"));
+        let c = CodeFormatter::new().load_dataset("#include <x.h>").unwrap();
+        assert_eq!(c.get(0).unwrap().meta("suffix").unwrap().as_str(), Some("c"));
+    }
+}

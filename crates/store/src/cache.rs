@@ -1,0 +1,320 @@
+//! Cache & checkpoint management (paper §4.1.1).
+//!
+//! The executor stores the dataset after each OP under a directory keyed by
+//! the recipe fingerprint. Two modes mirror the paper's space/time
+//! trade-off:
+//!
+//! * **Cache mode** — every OP's output is kept, so a re-run with a
+//!   modified recipe resumes from the longest shared prefix of the OP list
+//!   (small adjustments re-execute only the tail).
+//! * **Checkpoint mode** — only the most recent OP's output is kept; older
+//!   entries are cleaned up after each successful save (Appendix A.2's
+//!   3×S peak-space pipeline).
+//!
+//! Entries are optionally compressed with a [`Codec`].
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use dj_core::{Dataset, Result};
+
+use crate::codec::{compress, decompress, Codec};
+use crate::serialize::{from_bytes, to_bytes};
+
+/// Cache retention policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Keep every OP's output (max storage, min re-execution).
+    Cache,
+    /// Keep only the latest OP's output (min storage, more re-execution).
+    Checkpoint,
+    /// Keep nothing (baseline / benchmark mode).
+    Disabled,
+}
+
+/// Directory-backed cache of per-OP dataset snapshots.
+pub struct CacheManager {
+    root: PathBuf,
+    mode: CacheMode,
+    codec: Codec,
+    recipe_fingerprint: u64,
+}
+
+impl CacheManager {
+    /// Create a manager rooted at `dir` for a recipe with the given
+    /// fingerprint. The directory is created on demand.
+    pub fn new(dir: impl Into<PathBuf>, recipe_fingerprint: u64, mode: CacheMode) -> CacheManager {
+        CacheManager {
+            root: dir.into(),
+            mode,
+            codec: Codec::Djz,
+            recipe_fingerprint,
+        }
+    }
+
+    pub fn with_codec(mut self, codec: Codec) -> CacheManager {
+        self.codec = codec;
+        self
+    }
+
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+
+    fn dir(&self) -> PathBuf {
+        self.root.join(format!("recipe-{:016x}", self.recipe_fingerprint))
+    }
+
+    fn entry_path(&self, op_index: usize, op_name: &str) -> PathBuf {
+        self.dir().join(format!("{op_index:04}-{op_name}.djc"))
+    }
+
+    /// Persist the dataset state after OP `op_index`. In checkpoint mode,
+    /// earlier entries are removed *after* the new entry is safely written
+    /// (so a crash can at worst leave one extra file, never zero).
+    pub fn save(&self, op_index: usize, op_name: &str, dataset: &Dataset) -> Result<PathBuf> {
+        if self.mode == CacheMode::Disabled {
+            return Ok(PathBuf::new());
+        }
+        let dir = self.dir();
+        fs::create_dir_all(&dir)?;
+        let path = self.entry_path(op_index, op_name);
+        let tmp = path.with_extension("tmp");
+        let frame = compress(&to_bytes(dataset), self.codec);
+        fs::write(&tmp, &frame)?;
+        fs::rename(&tmp, &path)?;
+        if self.mode == CacheMode::Checkpoint {
+            for entry in list_entries(&dir)? {
+                if entry.op_index != op_index {
+                    let _ = fs::remove_file(&entry.path);
+                }
+            }
+        }
+        Ok(path)
+    }
+
+    /// Load the dataset state after OP `op_index`, if cached.
+    pub fn load(&self, op_index: usize, op_name: &str) -> Result<Option<Dataset>> {
+        let path = self.entry_path(op_index, op_name);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let frame = fs::read(&path)?;
+        let bytes = decompress(&frame)?;
+        Ok(Some(from_bytes(&bytes)?))
+    }
+
+    /// The most recent cached state whose `(index, name)` matches a prefix
+    /// of `ops`: returns `(op_index, dataset)` for the longest usable
+    /// entry, enabling resume-after-change (§4.1.1).
+    pub fn latest_match(&self, ops: &[(usize, String)]) -> Result<Option<(usize, Dataset)>> {
+        let dir = self.dir();
+        if !dir.exists() {
+            return Ok(None);
+        }
+        let entries = list_entries(&dir)?;
+        for (idx, name) in ops.iter().rev() {
+            if let Some(e) = entries
+                .iter()
+                .find(|e| e.op_index == *idx && e.op_name == *name)
+            {
+                let frame = fs::read(&e.path)?;
+                let ds = from_bytes(&decompress(&frame)?)?;
+                return Ok(Some((*idx, ds)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Total bytes used by this recipe's cache entries.
+    pub fn disk_usage(&self) -> Result<u64> {
+        let dir = self.dir();
+        if !dir.exists() {
+            return Ok(0);
+        }
+        let mut total = 0;
+        for e in list_entries(&dir)? {
+            total += fs::metadata(&e.path)?.len();
+        }
+        Ok(total)
+    }
+
+    /// Number of stored entries.
+    pub fn entry_count(&self) -> Result<usize> {
+        let dir = self.dir();
+        if !dir.exists() {
+            return Ok(0);
+        }
+        Ok(list_entries(&dir)?.len())
+    }
+
+    /// Remove every entry for this recipe.
+    pub fn clear(&self) -> Result<()> {
+        let dir = self.dir();
+        if dir.exists() {
+            fs::remove_dir_all(&dir)?;
+        }
+        Ok(())
+    }
+}
+
+struct Entry {
+    op_index: usize,
+    op_name: String,
+    path: PathBuf,
+}
+
+fn list_entries(dir: &Path) -> Result<Vec<Entry>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(stem) = name.strip_suffix(".djc") else {
+            continue;
+        };
+        let Some((idx, op_name)) = stem.split_once('-') else {
+            continue;
+        };
+        let Ok(op_index) = idx.parse::<usize>() else {
+            continue;
+        };
+        out.push(Entry {
+            op_index,
+            op_name: op_name.to_string(),
+            path,
+        });
+    }
+    out.sort_by_key(|e| e.op_index);
+    Ok(out)
+}
+
+/// Best-effort removal of a whole cache root (test/bench hygiene).
+pub fn remove_cache_root(root: &Path) {
+    let _ = fs::remove_dir_all(root);
+}
+
+impl Drop for CacheManager {
+    fn drop(&mut self) {
+        // Nothing: entries intentionally outlive the manager so later runs
+        // can resume. Call `clear()` for explicit cleanup.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dj_core::Sample;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dj-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn ds(n: usize) -> Dataset {
+        Dataset::from_samples(
+            (0..n)
+                .map(|i| Sample::from_text(format!("document number {i} with body text")))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let cm = CacheManager::new(&dir, 0xABCD, CacheMode::Cache);
+        let d = ds(10);
+        cm.save(0, "op_a", &d).unwrap();
+        let loaded = cm.load(0, "op_a").unwrap().unwrap();
+        assert_eq!(loaded, d);
+        assert!(cm.load(1, "op_b").unwrap().is_none());
+        remove_cache_root(&dir);
+    }
+
+    #[test]
+    fn cache_mode_keeps_all_checkpoint_keeps_last() {
+        let dir = tmpdir("modes");
+        let cache = CacheManager::new(&dir, 1, CacheMode::Cache);
+        for i in 0..4 {
+            cache.save(i, "op", &ds(5)).unwrap();
+        }
+        assert_eq!(cache.entry_count().unwrap(), 4);
+
+        let ckpt = CacheManager::new(&dir, 2, CacheMode::Checkpoint);
+        for i in 0..4 {
+            ckpt.save(i, "op", &ds(5)).unwrap();
+        }
+        assert_eq!(ckpt.entry_count().unwrap(), 1);
+        assert!(ckpt.load(3, "op").unwrap().is_some());
+        assert!(ckpt.load(2, "op").unwrap().is_none());
+        remove_cache_root(&dir);
+    }
+
+    #[test]
+    fn disabled_mode_writes_nothing() {
+        let dir = tmpdir("disabled");
+        let cm = CacheManager::new(&dir, 3, CacheMode::Disabled);
+        cm.save(0, "op", &ds(5)).unwrap();
+        assert_eq!(cm.entry_count().unwrap(), 0);
+        remove_cache_root(&dir);
+    }
+
+    #[test]
+    fn latest_match_resumes_from_prefix() {
+        let dir = tmpdir("resume");
+        let cm = CacheManager::new(&dir, 4, CacheMode::Cache);
+        cm.save(0, "clean", &ds(10)).unwrap();
+        cm.save(1, "filter", &ds(8)).unwrap();
+        cm.save(2, "dedup", &ds(6)).unwrap();
+        // Recipe changed after index 1: only the prefix matches.
+        let ops = vec![
+            (0usize, "clean".to_string()),
+            (1, "filter".to_string()),
+            (2, "different_op".to_string()),
+        ];
+        let (idx, d) = cm.latest_match(&ops).unwrap().unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(d.len(), 8);
+        remove_cache_root(&dir);
+    }
+
+    #[test]
+    fn different_fingerprints_are_isolated() {
+        let dir = tmpdir("fingerprints");
+        let a = CacheManager::new(&dir, 10, CacheMode::Cache);
+        let b = CacheManager::new(&dir, 11, CacheMode::Cache);
+        a.save(0, "op", &ds(3)).unwrap();
+        assert!(b.load(0, "op").unwrap().is_none());
+        remove_cache_root(&dir);
+    }
+
+    #[test]
+    fn disk_usage_and_clear() {
+        let dir = tmpdir("usage");
+        let cm = CacheManager::new(&dir, 12, CacheMode::Cache);
+        assert_eq!(cm.disk_usage().unwrap(), 0);
+        cm.save(0, "op", &ds(50)).unwrap();
+        assert!(cm.disk_usage().unwrap() > 0);
+        cm.clear().unwrap();
+        assert_eq!(cm.entry_count().unwrap(), 0);
+        remove_cache_root(&dir);
+    }
+
+    #[test]
+    fn compression_reduces_cache_size() {
+        let dir = tmpdir("codec");
+        let raw = CacheManager::new(&dir, 13, CacheMode::Cache).with_codec(Codec::None);
+        let packed = CacheManager::new(&dir, 14, CacheMode::Cache).with_codec(Codec::Djz);
+        // Repetitive dataset → compressible.
+        let d = Dataset::from_texts((0..100).map(|_| "repeat repeat repeat repeat".to_string()));
+        raw.save(0, "op", &d).unwrap();
+        packed.save(0, "op", &d).unwrap();
+        assert!(packed.disk_usage().unwrap() < raw.disk_usage().unwrap() / 2);
+        // And still loads correctly.
+        assert_eq!(packed.load(0, "op").unwrap().unwrap(), d);
+        remove_cache_root(&dir);
+    }
+}

@@ -1,0 +1,21 @@
+//! # dj-store — storage substrate (paper §4.1.1, §6)
+//!
+//! * [`codec`] — from-scratch cache-file compression (RLE and the LZ77-family
+//!   "djz" codec standing in for zstd/LZ4);
+//! * [`serialize`] — compact binary dataset format + JSONL import/export;
+//! * [`cache`] — per-OP cache & checkpoint management with resume-from-
+//!   longest-prefix, the backbone of the feedback-loop acceleration;
+//! * [`space`] — the Appendix A.2 space-usage model and the automatic
+//!   cache/checkpoint deployment policy.
+
+pub mod cache;
+pub mod codec;
+pub mod serialize;
+pub mod space;
+
+pub use cache::{remove_cache_root, CacheManager, CacheMode};
+pub use codec::{compress, decompress, Codec};
+pub use serialize::{from_bytes, from_jsonl, to_bytes, to_jsonl};
+pub use space::{
+    cache_mode_bytes, checkpoint_mode_peak_bytes, plan_storage, PipelineShape, StoragePlan,
+};

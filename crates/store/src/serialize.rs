@@ -1,0 +1,256 @@
+//! Dataset (de)serialization: a compact binary format for cache files and
+//! JSONL for interchange (the exporter/importer the paper's pipelines end
+//! with).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use dj_core::{parse_json, Dataset, DjError, Result, Sample, Value};
+
+const FORMAT_VERSION: u8 = 1;
+
+/// Serialize a dataset to the binary cache format.
+pub fn to_bytes(dataset: &Dataset) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(dataset.approx_bytes() / 2 + 64);
+    buf.put_u8(FORMAT_VERSION);
+    buf.put_u64_le(dataset.len() as u64);
+    for s in dataset.iter() {
+        write_value(&mut buf, s.value());
+    }
+    buf.to_vec()
+}
+
+/// Deserialize a dataset from the binary cache format.
+pub fn from_bytes(data: &[u8]) -> Result<Dataset> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 9 {
+        return Err(DjError::Storage("dataset frame too short".into()));
+    }
+    let version = buf.get_u8();
+    if version != FORMAT_VERSION {
+        return Err(DjError::Storage(format!(
+            "unsupported dataset format version {version}"
+        )));
+    }
+    let n = buf.get_u64_le() as usize;
+    let mut samples = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let v = read_value(&mut buf)?;
+        samples.push(Sample::from_value(v)?);
+    }
+    if buf.has_remaining() {
+        return Err(DjError::Storage("trailing bytes after dataset".into()));
+    }
+    Ok(Dataset::from_samples(samples))
+}
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL_FALSE: u8 = 1;
+const TAG_BOOL_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_FLOAT: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_LIST: u8 = 6;
+const TAG_MAP: u8 = 7;
+
+fn write_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(TAG_NULL),
+        Value::Bool(false) => buf.put_u8(TAG_BOOL_FALSE),
+        Value::Bool(true) => buf.put_u8(TAG_BOOL_TRUE),
+        Value::Int(i) => {
+            buf.put_u8(TAG_INT);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(TAG_FLOAT);
+            buf.put_f64_le(*f);
+        }
+        Value::Str(s) => {
+            buf.put_u8(TAG_STR);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::List(items) => {
+            buf.put_u8(TAG_LIST);
+            buf.put_u32_le(items.len() as u32);
+            for item in items {
+                write_value(buf, item);
+            }
+        }
+        Value::Map(m) => {
+            buf.put_u8(TAG_MAP);
+            buf.put_u32_le(m.len() as u32);
+            for (k, val) in m {
+                buf.put_u32_le(k.len() as u32);
+                buf.put_slice(k.as_bytes());
+                write_value(buf, val);
+            }
+        }
+    }
+}
+
+fn read_value(buf: &mut Bytes) -> Result<Value> {
+    if !buf.has_remaining() {
+        return Err(DjError::Storage("truncated value".into()));
+    }
+    let tag = buf.get_u8();
+    Ok(match tag {
+        TAG_NULL => Value::Null,
+        TAG_BOOL_FALSE => Value::Bool(false),
+        TAG_BOOL_TRUE => Value::Bool(true),
+        TAG_INT => {
+            ensure(buf, 8)?;
+            Value::Int(buf.get_i64_le())
+        }
+        TAG_FLOAT => {
+            ensure(buf, 8)?;
+            Value::Float(buf.get_f64_le())
+        }
+        TAG_STR => Value::Str(read_string(buf)?),
+        TAG_LIST => {
+            ensure(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            let mut items = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                items.push(read_value(buf)?);
+            }
+            Value::List(items)
+        }
+        TAG_MAP => {
+            ensure(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            let mut m = std::collections::BTreeMap::new();
+            for _ in 0..n {
+                let k = read_string(buf)?;
+                let v = read_value(buf)?;
+                m.insert(k, v);
+            }
+            Value::Map(m)
+        }
+        other => return Err(DjError::Storage(format!("unknown value tag {other}"))),
+    })
+}
+
+fn read_string(buf: &mut Bytes) -> Result<String> {
+    ensure(buf, 4)?;
+    let n = buf.get_u32_le() as usize;
+    ensure(buf, n)?;
+    let bytes = buf.split_to(n);
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| DjError::Storage("invalid utf8 in string".into()))
+}
+
+fn ensure(buf: &Bytes, n: usize) -> Result<()> {
+    if buf.remaining() < n {
+        return Err(DjError::Storage("truncated frame".into()));
+    }
+    Ok(())
+}
+
+/// Export a dataset as JSON-Lines text.
+pub fn to_jsonl(dataset: &Dataset) -> String {
+    let mut out = String::with_capacity(dataset.approx_bytes());
+    for s in dataset.iter() {
+        out.push_str(&s.value().to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Import a dataset from JSON-Lines text.
+pub fn from_jsonl(text: &str) -> Result<Dataset> {
+    let mut samples = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse_json(line)
+            .map_err(|e| DjError::Parse(format!("jsonl line {}: {e}", no + 1)))?;
+        samples.push(Sample::from_value(v)?);
+    }
+    Ok(Dataset::from_samples(samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rich_dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        let mut s = Sample::from_text("hello\nworld \"quoted\"");
+        s.set_meta("language", "EN");
+        s.set_meta("stars", 42i64);
+        s.set_meta("tags", Value::from(vec!["a", "b"]));
+        s.set_stat("word_count", 2.0);
+        ds.push(s);
+        ds.push(Sample::from_text("中文文本"));
+        ds.push(Sample::new());
+        ds
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let ds = rich_dataset();
+        let bytes = to_bytes(&ds);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let ds = rich_dataset();
+        let text = to_jsonl(&ds);
+        let back = from_jsonl(&text).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn empty_dataset_roundtrips() {
+        let ds = Dataset::new();
+        assert_eq!(from_bytes(&to_bytes(&ds)).unwrap(), ds);
+        assert_eq!(from_jsonl(&to_jsonl(&ds)).unwrap(), ds);
+    }
+
+    #[test]
+    fn corrupt_binary_rejected() {
+        assert!(from_bytes(&[]).is_err());
+        assert!(from_bytes(&[9, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        let mut bytes = to_bytes(&rich_dataset());
+        bytes.truncate(bytes.len() / 2);
+        assert!(from_bytes(&bytes).is_err());
+        let mut extra = to_bytes(&rich_dataset());
+        extra.push(0);
+        assert!(from_bytes(&extra).is_err());
+    }
+
+    #[test]
+    fn corrupt_jsonl_rejected() {
+        assert!(from_jsonl("{\"ok\": 1}\nnot json\n").is_err());
+        assert!(from_jsonl("[1, 2, 3]\n").is_err()); // root must be a map
+    }
+
+    proptest! {
+        #[test]
+        fn prop_binary_roundtrip(texts in proptest::collection::vec(".*", 0..20)) {
+            let mut ds = Dataset::new();
+            for (i, t) in texts.iter().enumerate() {
+                let mut s = Sample::from_text(t.clone());
+                s.set_stat("idx", i as f64);
+                ds.push(s);
+            }
+            let back = from_bytes(&to_bytes(&ds)).unwrap();
+            prop_assert_eq!(back, ds);
+        }
+
+        #[test]
+        fn prop_jsonl_roundtrip_no_nan(texts in proptest::collection::vec("[a-zA-Z0-9 \\n\"\\\\]{0,60}", 0..10)) {
+            let mut ds = Dataset::new();
+            for t in &texts {
+                ds.push(Sample::from_text(t.clone()));
+            }
+            let back = from_jsonl(&to_jsonl(&ds)).unwrap();
+            prop_assert_eq!(back, ds);
+        }
+    }
+}

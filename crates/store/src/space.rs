@@ -1,0 +1,140 @@
+//! The space-usage model of Appendix A.2.
+//!
+//! With M Mappers, F Filters, D Deduplicators and an input dataset of size
+//! S, the paper derives:
+//!
+//! * cache mode:      `(1 + M + F + 𝟙(F>0) + D) × S`
+//! * checkpoint mode: `3 × S` peak (new entry + previous entry + original)
+//!
+//! These formulas drive the automatic decision of whether to enable caches
+//! given available disk space (§4.1.1: "actively monitors disk space usage
+//! ... automatically determines if, and when, checkpoints and cache should
+//! be deployed").
+
+use dj_core::OpKind;
+
+/// Pipeline shape: counts of each transforming OP kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineShape {
+    pub mappers: usize,
+    pub filters: usize,
+    pub deduplicators: usize,
+}
+
+impl PipelineShape {
+    pub fn from_kinds(kinds: &[OpKind]) -> PipelineShape {
+        let mut s = PipelineShape::default();
+        for k in kinds {
+            match k {
+                OpKind::Mapper => s.mappers += 1,
+                OpKind::Filter => s.filters += 1,
+                OpKind::Deduplicator => s.deduplicators += 1,
+                OpKind::Formatter => {}
+            }
+        }
+        s
+    }
+
+    pub fn total_ops(&self) -> usize {
+        self.mappers + self.filters + self.deduplicators
+    }
+}
+
+/// Predicted cache-mode disk usage in bytes:
+/// `(1 + M + F + 𝟙(F>0) + D) × S`.
+pub fn cache_mode_bytes(shape: PipelineShape, dataset_bytes: u64) -> u64 {
+    let sets = 1 // the loaded original
+        + shape.mappers
+        + shape.filters
+        + usize::from(shape.filters > 0) // extra copy when the stats column is added
+        + shape.deduplicators;
+    sets as u64 * dataset_bytes
+}
+
+/// Predicted checkpoint-mode *peak* disk usage in bytes: `3 × S`.
+pub fn checkpoint_mode_peak_bytes(dataset_bytes: u64) -> u64 {
+    3 * dataset_bytes
+}
+
+/// Storage decision given available disk space (the automatic deployment
+/// policy of §4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoragePlan {
+    /// Enough room for per-OP caches.
+    FullCache,
+    /// Only the rolling checkpoint fits.
+    CheckpointOnly,
+    /// Not even 3×S available: run without persistence.
+    NoPersistence,
+}
+
+/// Choose a storage plan from the predicted footprints.
+pub fn plan_storage(
+    shape: PipelineShape,
+    dataset_bytes: u64,
+    available_bytes: u64,
+) -> StoragePlan {
+    if cache_mode_bytes(shape, dataset_bytes) <= available_bytes {
+        StoragePlan::FullCache
+    } else if checkpoint_mode_peak_bytes(dataset_bytes) <= available_bytes {
+        StoragePlan::CheckpointOnly
+    } else {
+        StoragePlan::NoPersistence
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_formula_cache_mode() {
+        // M=5, F=8, D=1, S=1 → (1+5+8+1+1) = 16 sets.
+        let shape = PipelineShape {
+            mappers: 5,
+            filters: 8,
+            deduplicators: 1,
+        };
+        assert_eq!(cache_mode_bytes(shape, 1), 16);
+        // No filters → no extra stats copy.
+        let no_f = PipelineShape {
+            mappers: 2,
+            filters: 0,
+            deduplicators: 1,
+        };
+        assert_eq!(cache_mode_bytes(no_f, 10), 40);
+    }
+
+    #[test]
+    fn checkpoint_peak_is_3s() {
+        assert_eq!(checkpoint_mode_peak_bytes(100), 300);
+    }
+
+    #[test]
+    fn shape_from_kinds() {
+        use OpKind::*;
+        let shape = PipelineShape::from_kinds(&[Mapper, Filter, Filter, Deduplicator, Formatter]);
+        assert_eq!(
+            shape,
+            PipelineShape {
+                mappers: 1,
+                filters: 2,
+                deduplicators: 1
+            }
+        );
+        assert_eq!(shape.total_ops(), 4);
+    }
+
+    #[test]
+    fn storage_plan_thresholds() {
+        let shape = PipelineShape {
+            mappers: 1,
+            filters: 1,
+            deduplicators: 0,
+        }; // cache = 4×S
+        assert_eq!(plan_storage(shape, 100, 400), StoragePlan::FullCache);
+        assert_eq!(plan_storage(shape, 100, 399), StoragePlan::CheckpointOnly);
+        assert_eq!(plan_storage(shape, 100, 300), StoragePlan::CheckpointOnly);
+        assert_eq!(plan_storage(shape, 100, 299), StoragePlan::NoPersistence);
+    }
+}

@@ -1,0 +1,334 @@
+//! Document-level generators for each corpus family the paper's experiments
+//! draw on: web crawl (CommonCrawl/C4), curated encyclopedic text
+//! (Wikipedia/Pile), books, arXiv/LaTeX, code (GitHub/TheStack), dialog
+//! (StackExchange) and Chinese web text.
+//!
+//! Each generator emits [`Sample`]s with `meta.source` set, plus controllable
+//! defect knobs (noise, duplication, toxicity) so downstream experiments see
+//! the same statistical contrasts as the real corpora.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dj_core::{Dataset, Sample};
+
+use crate::words::{
+    chinese_sentence, english_paragraph, english_sentence, pick, spam_fragment, SPAM_WORDS,
+};
+
+/// Defect knobs for web-style generation.
+#[derive(Debug, Clone, Copy)]
+pub struct WebNoise {
+    /// Probability a document is mostly spam/boilerplate.
+    pub spam_rate: f64,
+    /// Probability a document carries flagged (toxic placeholder) words.
+    pub toxic_rate: f64,
+    /// Probability a document is an exact duplicate of an earlier one.
+    pub dup_rate: f64,
+    /// Probability a document is a near-duplicate (light edits) of an
+    /// earlier one.
+    pub near_dup_rate: f64,
+    /// Probability of embedded links / emails / boilerplate lines.
+    pub boilerplate_rate: f64,
+}
+
+impl Default for WebNoise {
+    fn default() -> Self {
+        WebNoise {
+            spam_rate: 0.25,
+            toxic_rate: 0.08,
+            dup_rate: 0.08,
+            near_dup_rate: 0.07,
+            boilerplate_rate: 0.35,
+        }
+    }
+}
+
+/// CommonCrawl-style noisy web documents.
+pub fn web_corpus(seed: u64, n: usize, noise: WebNoise) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut docs: Vec<String> = Vec::with_capacity(n);
+    for i in 0..n {
+        // Duplicates reference earlier docs.
+        if i > 10 && rng.gen_bool(noise.dup_rate) {
+            let j = rng.gen_range(0..docs.len());
+            docs.push(docs[j].clone());
+            continue;
+        }
+        if i > 10 && rng.gen_bool(noise.near_dup_rate) {
+            let j = rng.gen_range(0..docs.len());
+            docs.push(perturb(&mut rng, &docs[j]));
+            continue;
+        }
+        let doc = if rng.gen_bool(noise.spam_rate) {
+            let flag = if rng.gen_bool(noise.toxic_rate / noise.spam_rate.max(1e-9)) {
+                0.3
+            } else {
+                0.0
+            };
+            let len = rng.gen_range(30..120);
+            spam_fragment(&mut rng, len, flag)
+        } else {
+            let topic = rng.gen_range(0..6);
+            let n_sent = rng.gen_range(3..9);
+            let mut body = english_paragraph(&mut rng, topic, n_sent);
+            if rng.gen_bool(noise.boilerplate_rate) {
+                body = format!(
+                    "Home | About | Contact\n{}\nvisit https://example{}.com/page now\nCopyright 2023 All Rights Reserved",
+                    body,
+                    rng.gen_range(0..500)
+                );
+            }
+            if rng.gen_bool(noise.toxic_rate) {
+                body.push_str(&format!(" flagged{} toxicword", rng.gen_range(0..10)));
+            }
+            body
+        };
+        docs.push(doc);
+    }
+    tag(docs, "commoncrawl")
+}
+
+/// Wikipedia-style clean encyclopedic documents.
+pub fn wiki_corpus(seed: u64, n: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let docs = (0..n)
+        .map(|i| {
+            let topic = rng.gen_range(0..6);
+            let (n1, n2) = (rng.gen_range(4..9), rng.gen_range(3..7));
+            format!(
+                "Article {i}.\n\n{}\n\n{}",
+                english_paragraph(&mut rng, topic, n1),
+                english_paragraph(&mut rng, topic, n2),
+            )
+        })
+        .collect();
+    tag(docs, "wikipedia")
+}
+
+/// Book-style long-form documents (thousands of words, low noise).
+pub fn book_corpus(seed: u64, n: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let docs = (0..n)
+        .map(|_| {
+            let topic = 4; // literature topic
+            let paras = rng.gen_range(10..25);
+            (0..paras)
+                .map(|_| {
+                    let n = rng.gen_range(5..12);
+                    english_paragraph(&mut rng, topic, n)
+                })
+                .collect::<Vec<_>>()
+                .join("\n\n")
+        })
+        .collect();
+    tag(docs, "books")
+}
+
+/// arXiv/LaTeX-style documents with preambles and comments to strip.
+pub fn arxiv_corpus(seed: u64, n: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let docs = (0..n)
+        .map(|i| {
+            let n = rng.gen_range(6..14);
+            let body = english_paragraph(&mut rng, 0, n);
+            format!(
+                "\\documentclass{{article}}\n\\usepackage{{amsmath}}\n% draft {i}\n\\begin{{document}}\n\\section{{Introduction}}\n{}\n\\begin{{equation}} y = \\alpha x + \\beta \\end{{equation}}\n{}\n\\end{{document}}\n",
+                body,
+                {
+                    let n = rng.gen_range(4..9);
+                    english_paragraph(&mut rng, 0, n)
+                },
+            )
+        })
+        .collect();
+    tag(docs, "arxiv")
+}
+
+/// GitHub-style code documents with star metadata.
+pub fn code_corpus(seed: u64, n: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::new();
+    for i in 0..n {
+        let lang = *pick(&mut rng, &["py", "rs", "c"]);
+        let funcs = rng.gen_range(2..8);
+        let mut code = String::new();
+        for f in 0..funcs {
+            match lang {
+                "py" => code.push_str(&format!(
+                    "def func_{i}_{f}(x, y):\n    # compute value\n    total = x * {f} + y\n    return total\n\n"
+                )),
+                "rs" => code.push_str(&format!(
+                    "fn func_{i}_{f}(x: i64, y: i64) -> i64 {{\n    // compute value\n    x * {f} + y\n}}\n\n"
+                )),
+                _ => code.push_str(&format!(
+                    "int func_{i}_{f}(int x, int y) {{\n    /* compute value */\n    return x * {f} + y;\n}}\n\n"
+                )),
+            }
+        }
+        let mut s = Sample::from_text(code);
+        s.set_meta("source", "github");
+        s.set_meta("lang", lang);
+        s.set_meta("stars", rng.gen_range(0..3000) as i64);
+        ds.push(s);
+    }
+    ds
+}
+
+/// StackExchange-style Q&A dialog documents.
+pub fn dialog_corpus(seed: u64, n: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let docs = (0..n)
+        .map(|_| {
+            let topic = 3;
+            let (nq, na1, na2) = (
+                rng.gen_range(8..16),
+                rng.gen_range(2..5),
+                rng.gen_range(1..4),
+            );
+            format!(
+                "Q: {}\nA: {}\nA: {}",
+                english_sentence(&mut rng, topic, nq),
+                english_paragraph(&mut rng, topic, na1),
+                english_paragraph(&mut rng, topic, na2),
+            )
+        })
+        .collect();
+    tag(docs, "stackexchange")
+}
+
+/// Chinese web documents (mix of clean and spammy).
+pub fn chinese_corpus(seed: u64, n: usize, spam_rate: f64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::new();
+    for _ in 0..n {
+        let text = if rng.gen_bool(spam_rate) {
+            // Chinese spam: heavy repetition of a short phrase.
+            let phrase = chinese_sentence(&mut rng, 4);
+            (0..rng.gen_range(6..15))
+                .map(|_| phrase.clone())
+                .collect::<Vec<_>>()
+                .join("")
+        } else {
+            let n = rng.gen_range(3..9);
+            (0..n)
+                .map(|_| {
+                    let len = rng.gen_range(12..30);
+                    chinese_sentence(&mut rng, len)
+                })
+                .collect::<Vec<_>>()
+                .join("")
+        };
+        let mut s = Sample::from_text(text);
+        s.set_meta("source", "chinese_web");
+        s.set_meta("language", "ZH");
+        ds.push(s);
+    }
+    ds
+}
+
+/// Lightly edit a document to create a near-duplicate.
+fn perturb(rng: &mut StdRng, doc: &str) -> String {
+    let mut words: Vec<&str> = doc.split(' ').collect();
+    let edits = (words.len() / 30).max(1);
+    for _ in 0..edits {
+        if words.is_empty() {
+            break;
+        }
+        let i = rng.gen_range(0..words.len());
+        match rng.gen_range(0..3) {
+            0 => {
+                words[i] = *pick(rng, SPAM_WORDS);
+            }
+            1 => {
+                words.remove(i);
+            }
+            _ => {
+                words.insert(i, "indeed");
+            }
+        }
+    }
+    words.join(" ")
+}
+
+fn tag(docs: Vec<String>, source: &str) -> Dataset {
+    let mut ds = Dataset::new();
+    for d in docs {
+        let mut s = Sample::from_text(d);
+        s.set_meta("source", source);
+        ds.push(s);
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dj_hash::FxHashSet;
+
+    #[test]
+    fn web_corpus_is_deterministic() {
+        let a = web_corpus(9, 50, WebNoise::default());
+        let b = web_corpus(9, 50, WebNoise::default());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn web_corpus_contains_requested_defects() {
+        let ds = web_corpus(1, 400, WebNoise::default());
+        let texts: Vec<&str> = ds.iter().map(|s| s.text()).collect();
+        let unique: FxHashSet<&str> = texts.iter().copied().collect();
+        assert!(unique.len() < texts.len(), "expected exact duplicates");
+        assert!(texts.iter().any(|t| t.contains("flagged")), "expected toxic docs");
+        assert!(texts.iter().any(|t| t.contains("https://")), "expected links");
+        assert!(
+            ds.iter().all(|s| s.meta("source").unwrap().as_str() == Some("commoncrawl"))
+        );
+    }
+
+    #[test]
+    fn clean_corpora_have_no_spam() {
+        for ds in [wiki_corpus(2, 30), book_corpus(3, 5)] {
+            assert!(ds.iter().all(|s| !s.text().contains("casino")));
+            assert!(ds.iter().all(|s| !s.text().contains("flagged")));
+        }
+    }
+
+    #[test]
+    fn books_are_long() {
+        let ds = book_corpus(4, 5);
+        assert!(ds.iter().all(|s| s.text().split_whitespace().count() > 300));
+    }
+
+    #[test]
+    fn arxiv_has_latex_structure() {
+        let ds = arxiv_corpus(5, 10);
+        assert!(ds
+            .iter()
+            .all(|s| s.text().contains("\\begin{document}") && s.text().contains("\\usepackage")));
+    }
+
+    #[test]
+    fn code_has_star_metadata() {
+        let ds = code_corpus(6, 20);
+        assert!(ds.iter().all(|s| s.meta("stars").is_some()));
+        assert!(ds.iter().any(|s| s.text().contains("def ")
+            || s.text().contains("fn ")
+            || s.text().contains("int ")));
+    }
+
+    #[test]
+    fn chinese_corpus_is_cjk_heavy() {
+        let ds = chinese_corpus(7, 30, 0.3);
+        for s in ds.iter() {
+            assert!(dj_text::cjk_ratio(s.text()) > 0.8);
+        }
+    }
+
+    #[test]
+    fn dialog_has_qa_shape() {
+        let ds = dialog_corpus(8, 10);
+        assert!(ds.iter().all(|s| s.text().starts_with("Q: ")));
+    }
+}

@@ -1,0 +1,18 @@
+//! # dj-synth — synthetic corpus generators
+//!
+//! Seeded, deterministic stand-ins for the corpora the paper's experiments
+//! use (CommonCrawl, C4, Wikipedia, Books, arXiv, GitHub, StackExchange,
+//! Chinese web, and the Alpaca-CoT fine-tuning collection). Every generator
+//! exposes defect knobs — spam rate, duplication rate, toxicity, diversity —
+//! so experiments observe the same statistical contrasts as the real data
+//! (see DESIGN.md, "Substitutions").
+
+pub mod corpora;
+pub mod ift;
+pub mod words;
+
+pub use corpora::{
+    arxiv_corpus, book_corpus, chinese_corpus, code_corpus, dialog_corpus, web_corpus,
+    wiki_corpus, WebNoise,
+};
+pub use ift::{alpaca_cot_collection, ift_subset, IftSubsetSpec};

@@ -1,0 +1,171 @@
+//! Word pools and sentence construction for the synthetic generators.
+//!
+//! All generation is driven by a seeded RNG so every experiment in the
+//! benchmark harness is exactly reproducible.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Common English function words (high-frequency glue).
+pub const FUNCTION_WORDS: &[&str] = &[
+    "the", "a", "an", "of", "to", "in", "and", "or", "for", "with", "on", "at", "by", "from",
+    "that", "this", "is", "are", "was", "were", "be", "as", "it", "its", "their", "which",
+];
+
+/// Topical content words, grouped loosely so documents look coherent.
+pub const TOPICS: &[&[&str]] = &[
+    &[
+        "research", "method", "results", "analysis", "experiment", "model", "data", "evaluation",
+        "baseline", "approach", "performance", "accuracy", "training", "benchmark", "metric",
+    ],
+    &[
+        "government", "policy", "election", "committee", "budget", "report", "minister",
+        "parliament", "decision", "public", "citizens", "reform", "economy", "taxes", "debate",
+    ],
+    &[
+        "river", "mountain", "forest", "climate", "species", "habitat", "ocean", "weather",
+        "ecosystem", "wildlife", "conservation", "temperature", "rainfall", "glacier", "valley",
+    ],
+    &[
+        "software", "system", "network", "server", "database", "protocol", "algorithm",
+        "interface", "library", "framework", "deployment", "latency", "throughput", "cache",
+        "pipeline",
+    ],
+    &[
+        "novel", "character", "story", "chapter", "author", "narrative", "poetry", "drama",
+        "literature", "reader", "plot", "theme", "metaphor", "dialogue", "manuscript",
+    ],
+    &[
+        "market", "company", "investment", "revenue", "profit", "shares", "trading", "finance",
+        "customers", "product", "strategy", "growth", "startup", "merger", "quarterly",
+    ],
+];
+
+/// Spam/boilerplate vocabulary for noisy web documents; includes the
+/// flagged placeholder tokens recognized by `dj_text::lexicon::flagged_words`.
+pub const SPAM_WORDS: &[&str] = &[
+    "click", "here", "free", "casino", "jackpot", "winbig", "hotdeal", "clickbait", "buy",
+    "now", "subscribe", "offer", "discount", "limited", "freemoney", "xxxad", "spamword",
+    "scamword", "toxicword",
+];
+
+/// Common simplified-Chinese characters for ZH text generation.
+pub const HANZI: &[char] = &[
+    '的', '一', '是', '了', '我', '不', '人', '在', '他', '有', '这', '个', '上', '们', '来',
+    '到', '时', '大', '地', '为', '子', '中', '你', '说', '生', '国', '年', '着', '就', '那',
+    '和', '要', '她', '出', '也', '得', '里', '后', '自', '以', '会', '家', '可', '下', '而',
+    '过', '天', '去', '能', '对', '小', '多', '然', '于', '心', '学', '么', '之', '都', '好',
+    '看', '起', '发', '当', '没', '成', '只', '如', '事', '把', '还', '用', '第', '样', '道',
+    '想', '作', '种', '开', '美', '总', '从', '无', '情', '己', '面', '最', '女', '但', '现',
+    '前', '些', '所', '同', '日', '手', '又', '行', '意', '动', '方', '期', '它', '头', '经',
+];
+
+/// Pick a random element of a slice.
+pub fn pick<'a, T>(rng: &mut StdRng, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+/// Build one fluent English sentence of `len` words on topic `topic_idx`.
+pub fn english_sentence(rng: &mut StdRng, topic_idx: usize, len: usize) -> String {
+    let topic = TOPICS[topic_idx % TOPICS.len()];
+    let mut words = Vec::with_capacity(len);
+    for i in 0..len {
+        // Roughly alternate function and content words like real prose.
+        let w = if i % 2 == 0 && rng.gen_bool(0.6) {
+            *pick(rng, FUNCTION_WORDS)
+        } else {
+            *pick(rng, topic)
+        };
+        words.push(w.to_string());
+    }
+    if let Some(first) = words.first_mut() {
+        let mut c = first.chars();
+        if let Some(f) = c.next() {
+            *first = f.to_uppercase().collect::<String>() + c.as_str();
+        }
+    }
+    let mut s = words.join(" ");
+    s.push('.');
+    s
+}
+
+/// Build an English paragraph of `sentences` sentences.
+pub fn english_paragraph(rng: &mut StdRng, topic_idx: usize, sentences: usize) -> String {
+    (0..sentences)
+        .map(|_| {
+            let len = rng.gen_range(8..18);
+            english_sentence(rng, topic_idx, len)
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Build a Chinese sentence of `len` characters.
+pub fn chinese_sentence(rng: &mut StdRng, len: usize) -> String {
+    let mut s: String = (0..len).map(|_| *pick(rng, HANZI)).collect();
+    s.push('。');
+    s
+}
+
+/// Build a spammy fragment of `len` tokens, optionally salted with flagged
+/// words at `flag_rate`.
+pub fn spam_fragment(rng: &mut StdRng, len: usize, flag_rate: f64) -> String {
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        if rng.gen_bool(flag_rate) {
+            out.push(format!("flagged{}", rng.gen_range(0..10)));
+        } else {
+            out.push(pick(rng, SPAM_WORDS).to_string());
+        }
+        // Spam repeats itself.
+        if rng.gen_bool(0.25) {
+            let last = out.last().cloned().expect("just pushed");
+            out.push(last);
+        }
+    }
+    out.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_generation() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        assert_eq!(english_sentence(&mut a, 0, 10), english_sentence(&mut b, 0, 10));
+    }
+
+    #[test]
+    fn sentence_has_requested_length_and_capitalization() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = english_sentence(&mut rng, 1, 12);
+        assert_eq!(s.split_whitespace().count(), 12);
+        assert!(s.ends_with('.'));
+        assert!(s.chars().next().unwrap().is_uppercase());
+    }
+
+    #[test]
+    fn chinese_sentence_is_cjk() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = chinese_sentence(&mut rng, 20);
+        assert_eq!(s.chars().count(), 21); // +period
+        assert!(s.chars().take(20).all(dj_core::is_cjk));
+    }
+
+    #[test]
+    fn spam_contains_flags_at_high_rate() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = spam_fragment(&mut rng, 200, 0.5);
+        assert!(s.contains("flagged"));
+    }
+
+    #[test]
+    fn paragraph_joins_sentences() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = english_paragraph(&mut rng, 0, 4);
+        assert_eq!(p.matches('.').count(), 4);
+    }
+}

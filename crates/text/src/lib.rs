@@ -1,0 +1,27 @@
+//! # dj-text — text-processing substrate
+//!
+//! The NLP machinery Data-Juicer's OPs depend on, built from scratch:
+//!
+//! * [`tokenize`] — standard word tokenization + a trainable byte-level BPE
+//!   subword tokenizer (the SentencePiece substitute used for token counts);
+//! * [`ngram`] — interpolated n-gram language model (the KenLM substitute
+//!   behind the perplexity filter);
+//! * [`langid`] — char-n-gram naive-Bayes language identification (the
+//!   fastText substitute), with built-in English/Chinese/code profiles;
+//! * [`stats`] — per-sample text statistics (alnum/special-char ratios,
+//!   repetition ratios, line stats, lexicon ratios, entropy);
+//! * [`normalize`] — whitespace/punctuation/mojibake repair and HTML, LaTeX,
+//!   link/email/IP removal transforms;
+//! * [`lexicon`] — embedded stopword/flagged-word/verb/noun lists plus the
+//!   verb-noun diversity probe of the paper's Fig. 5.
+
+pub mod langid;
+pub mod lexicon;
+pub mod ngram;
+pub mod normalize;
+pub mod stats;
+pub mod tokenize;
+
+pub use langid::{cjk_ratio, LangIdModel};
+pub use ngram::NgramModel;
+pub use tokenize::{standard_tokenize, BpeTokenizer};

@@ -1,0 +1,355 @@
+//! Text normalization and repair utilities backing the Mapper OPs:
+//! whitespace unification, unicode punctuation fixing, mojibake ("messy
+//! code") repair, and removals of headers/links/emails/IPs — the in-place
+//! text-editing functions of Table 1.
+
+/// Collapse runs of spaces/tabs, normalize newlines, trim trailing spaces.
+pub fn normalize_whitespace(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut pending_space = false;
+    let mut pending_newlines = 0usize;
+    for c in text.replace("\r\n", "\n").replace('\r', "\n").chars() {
+        match c {
+            '\n' => {
+                pending_space = false;
+                pending_newlines += 1;
+            }
+            c if c == ' ' || c == '\t' || c == '\u{a0}' || c == '\u{3000}' => {
+                pending_space = true;
+            }
+            c => {
+                if pending_newlines > 0 {
+                    // At most one blank line is kept (paragraph break).
+                    out.push('\n');
+                    if pending_newlines > 1 {
+                        out.push('\n');
+                    }
+                    pending_newlines = 0;
+                } else if pending_space && !out.is_empty() {
+                    out.push(' ');
+                }
+                pending_space = false;
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Map fullwidth/typographic unicode punctuation to ASCII equivalents
+/// (the `punctuation_normalization_mapper`).
+pub fn normalize_punctuation(text: &str) -> String {
+    text.chars()
+        .map(|c| match c {
+            '“' | '”' | '„' | '«' | '»' => '"',
+            '‘' | '’' | '‚' | '`' => '\'',
+            '—' | '–' | '―' => '-',
+            '…' => '.',
+            '，' => ',',
+            '。' => '.',
+            '！' => '!',
+            '？' => '?',
+            '：' => ':',
+            '；' => ';',
+            '（' => '(',
+            '）' => ')',
+            c => c,
+        })
+        .collect()
+}
+
+/// Repair common UTF-8-decoded-as-Latin-1 mojibake sequences ("fix messy
+/// codes" in Table 1). Only a conservative, high-precision table is applied.
+pub fn fix_mojibake(text: &str) -> String {
+    const TABLE: &[(&str, &str)] = &[
+        ("â€™", "'"),
+        ("â€œ", "\""),
+        ("â€\u{9d}", "\""),
+        ("â€“", "-"),
+        ("â€”", "-"),
+        ("â€¦", "..."),
+        ("Ã©", "é"),
+        ("Ã¨", "è"),
+        ("Ã¼", "ü"),
+        ("Ã¶", "ö"),
+        ("Ã¤", "ä"),
+        ("Ã±", "ñ"),
+        ("Â ", " "),
+        ("\u{fffd}", ""),
+    ];
+    let mut out = text.to_string();
+    for (bad, good) in TABLE {
+        if out.contains(bad) {
+            out = out.replace(bad, good);
+        }
+    }
+    out
+}
+
+/// Remove http(s)/ftp links, replacing them with nothing.
+pub fn remove_links(text: &str) -> String {
+    remove_token_matches(text, |tok| {
+        tok.starts_with("http://")
+            || tok.starts_with("https://")
+            || tok.starts_with("ftp://")
+            || tok.starts_with("www.")
+    })
+}
+
+/// Remove email addresses (token contains '@' with a dot after it).
+pub fn remove_emails(text: &str) -> String {
+    remove_token_matches(text, |tok| {
+        let t = tok.trim_matches(|c: char| !c.is_alphanumeric() && c != '@' && c != '.');
+        match t.split_once('@') {
+            Some((user, host)) => {
+                !user.is_empty() && host.contains('.') && !host.ends_with('.')
+            }
+            None => false,
+        }
+    })
+}
+
+/// Remove IPv4-looking tokens.
+pub fn remove_ips(text: &str) -> String {
+    remove_token_matches(text, |tok| {
+        let t = tok.trim_matches(|c: char| !c.is_ascii_digit() && c != '.');
+        let parts: Vec<&str> = t.split('.').collect();
+        parts.len() == 4 && parts.iter().all(|p| !p.is_empty() && p.len() <= 3 && p.chars().all(|c| c.is_ascii_digit()))
+    })
+}
+
+fn remove_token_matches(text: &str, pred: impl Fn(&str) -> bool) -> String {
+    let mut out = String::with_capacity(text.len());
+    for (i, line) in text.split('\n').enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        let mut first = true;
+        for tok in line.split(' ') {
+            if pred(tok) {
+                continue;
+            }
+            if !first {
+                out.push(' ');
+            }
+            first = false;
+            out.push_str(tok);
+        }
+    }
+    out
+}
+
+/// Strip LaTeX preamble/headers: drops everything before `\begin{document}`
+/// (if present), removes comment lines and common header commands
+/// (the `remove_header_mapper` for LaTeX sources).
+pub fn strip_latex_header(text: &str) -> String {
+    let body = match text.find("\\begin{document}") {
+        Some(pos) => &text[pos + "\\begin{document}".len()..],
+        None => text,
+    };
+    let mut out = String::with_capacity(body.len());
+    for line in body.split('\n') {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with('%') {
+            continue;
+        }
+        if trimmed.starts_with("\\documentclass")
+            || trimmed.starts_with("\\usepackage")
+            || trimmed.starts_with("\\end{document}")
+        {
+            continue;
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.trim().to_string()
+}
+
+/// Strip HTML tags, unescaping the few common entities.
+pub fn strip_html(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_tag = false;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '<' => in_tag = true,
+            '>' if in_tag => {
+                in_tag = false;
+                // Tags often imply breaks; preserve word separation.
+                if !out.ends_with(' ') && !out.ends_with('\n') && !out.is_empty() {
+                    out.push(' ');
+                }
+            }
+            _ if in_tag => {}
+            '&' => {
+                let mut entity = String::from("&");
+                let mut matched = false;
+                for _ in 0..6 {
+                    match chars.peek() {
+                        Some(&e) if e.is_ascii_alphanumeric() || e == '#' => {
+                            entity.push(e);
+                            chars.next();
+                        }
+                        Some(&';') => {
+                            chars.next();
+                            matched = true;
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+                match (matched, entity.as_str()) {
+                    (true, "&amp") => out.push('&'),
+                    (true, "&lt") => out.push('<'),
+                    (true, "&gt") => out.push('>'),
+                    (true, "&quot") => out.push('"'),
+                    (true, "&nbsp") => out.push(' '),
+                    (true, "&#39") => out.push('\''),
+                    _ => out.push_str(&entity),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    normalize_whitespace(&out)
+}
+
+/// Remove code comments (`//`, `#`, `/* */`) — `remove_comments_mapper`.
+pub fn strip_code_comments(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_block = false;
+    for line in text.split('\n') {
+        let mut kept = String::with_capacity(line.len());
+        let bytes: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            if in_block {
+                if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    in_block = false;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                in_block = true;
+                i += 2;
+                continue;
+            }
+            if bytes[i] == '/' && bytes.get(i + 1) == Some(&'/') {
+                break;
+            }
+            if bytes[i] == '#' {
+                break;
+            }
+            kept.push(bytes[i]);
+            i += 1;
+        }
+        if !kept.trim().is_empty() {
+            out.push_str(kept.trim_end());
+            out.push('\n');
+        }
+    }
+    out.trim_end().to_string()
+}
+
+/// Deduplicate consecutive identical lines (boilerplate collapse).
+pub fn dedup_consecutive_lines(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut prev: Option<&str> = None;
+    for line in text.split('\n') {
+        if prev == Some(line) && !line.trim().is_empty() {
+            continue;
+        }
+        if prev.is_some() {
+            out.push('\n');
+        }
+        out.push_str(line);
+        prev = Some(line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whitespace_collapses_runs() {
+        assert_eq!(normalize_whitespace("a   b\t\tc"), "a b c");
+        assert_eq!(normalize_whitespace("a\r\nb\rc"), "a\nb\nc");
+        assert_eq!(normalize_whitespace("a\n\n\n\nb"), "a\n\nb");
+        assert_eq!(normalize_whitespace("  leading"), "leading");
+        assert_eq!(normalize_whitespace(""), "");
+    }
+
+    #[test]
+    fn punctuation_normalized() {
+        assert_eq!(normalize_punctuation("“quote”—and…"), "\"quote\"-and.");
+        assert_eq!(normalize_punctuation("你好。"), "你好.");
+    }
+
+    #[test]
+    fn mojibake_fixed() {
+        assert_eq!(fix_mojibake("donâ€™t"), "don't");
+        assert_eq!(fix_mojibake("cafÃ©"), "café");
+        assert_eq!(fix_mojibake("clean text"), "clean text");
+    }
+
+    #[test]
+    fn links_removed() {
+        assert_eq!(
+            remove_links("see https://example.com/page for info"),
+            "see for info"
+        );
+        assert_eq!(remove_links("no links here"), "no links here");
+    }
+
+    #[test]
+    fn emails_removed() {
+        assert_eq!(remove_emails("mail me at bob@example.com today"), "mail me at today");
+        assert_eq!(remove_emails("not@anemail"), "not@anemail");
+        assert_eq!(remove_emails("a @ b"), "a @ b");
+    }
+
+    #[test]
+    fn ips_removed() {
+        assert_eq!(remove_ips("server at 192.168.0.1 down"), "server at down");
+        assert_eq!(remove_ips("version 1.2.3 ok"), "version 1.2.3 ok");
+    }
+
+    #[test]
+    fn latex_header_stripped() {
+        let src = "\\documentclass{article}\n\\usepackage{amsmath}\n% comment\n\\begin{document}\nBody text.\n\\end{document}";
+        assert_eq!(strip_latex_header(src), "Body text.");
+        assert_eq!(strip_latex_header("plain text"), "plain text");
+    }
+
+    #[test]
+    fn html_stripped_and_entities_unescaped() {
+        assert_eq!(
+            strip_html("<p>Hello &amp; <b>world</b></p>"),
+            "Hello & world"
+        );
+        assert_eq!(strip_html("a &lt; b"), "a < b");
+        assert_eq!(strip_html("no tags"), "no tags");
+    }
+
+    #[test]
+    fn code_comments_stripped() {
+        let src = "let x = 1; // count\n# python note\ncode(); /* block\nstill block */ more();";
+        let out = strip_code_comments(src);
+        assert!(out.contains("let x = 1;"));
+        assert!(!out.contains("count"));
+        assert!(!out.contains("python"));
+        assert!(out.contains("more();"));
+        assert!(!out.contains("block"));
+    }
+
+    #[test]
+    fn consecutive_line_dedup() {
+        assert_eq!(dedup_consecutive_lines("a\na\nb\na"), "a\nb\na");
+        assert_eq!(dedup_consecutive_lines("\n\n"), "\n\n"); // blank lines kept
+    }
+}

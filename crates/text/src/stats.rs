@@ -1,0 +1,283 @@
+//! Per-sample text statistics backing the Filter OPs and the analyzer's
+//! default 13 dimensions (paper §4.2: "the summary of per-sample statistics
+//! covers 13 dimensions ... sample perplexity, word count, flagged word
+//! percentage, and paragraph length, among others").
+
+use dj_core::segment_words;
+use dj_hash::{FxHashMap, FxHashSet};
+
+/// Ratio of alphanumeric characters to all characters (0 for empty text).
+pub fn alnum_ratio(text: &str) -> f64 {
+    ratio(text, |c| c.is_alphanumeric())
+}
+
+/// Ratio of "special" characters: neither alphanumeric, whitespace, nor
+/// common punctuation.
+pub fn special_char_ratio(text: &str) -> f64 {
+    ratio(text, |c| {
+        !(c.is_alphanumeric()
+            || c.is_whitespace()
+            || matches!(
+                c,
+                '.' | ',' | '!' | '?' | ';' | ':' | '\'' | '"' | '-' | '(' | ')'
+                    | '。' | '，' | '！' | '？' | '；' | '：'
+            ))
+    })
+}
+
+/// Ratio of whitespace characters.
+pub fn whitespace_ratio(text: &str) -> f64 {
+    ratio(text, char::is_whitespace)
+}
+
+/// Ratio of uppercase among alphabetic characters.
+pub fn uppercase_ratio(text: &str) -> f64 {
+    let (mut upper, mut alpha) = (0usize, 0usize);
+    for c in text.chars() {
+        if c.is_alphabetic() {
+            alpha += 1;
+            if c.is_uppercase() {
+                upper += 1;
+            }
+        }
+    }
+    if alpha == 0 {
+        0.0
+    } else {
+        upper as f64 / alpha as f64
+    }
+}
+
+/// Ratio of digit characters.
+pub fn digit_ratio(text: &str) -> f64 {
+    ratio(text, |c| c.is_ascii_digit())
+}
+
+fn ratio(text: &str, pred: impl Fn(char) -> bool) -> f64 {
+    let mut total = 0usize;
+    let mut hits = 0usize;
+    for c in text.chars() {
+        total += 1;
+        if pred(c) {
+            hits += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// Character-level n-gram repetition ratio: fraction of n-gram occurrences
+/// belonging to n-grams that appear more than once. High values indicate
+/// boilerplate/spam (mirrors `character_repetition_filter`).
+pub fn char_rep_ratio(text: &str, n: usize) -> f64 {
+    let chars: Vec<char> = text.chars().collect();
+    if chars.len() < n || n == 0 {
+        return 0.0;
+    }
+    let mut counts: FxHashMap<u64, u32> = FxHashMap::default();
+    let mut buf = String::with_capacity(n * 4);
+    for win in chars.windows(n) {
+        buf.clear();
+        buf.extend(win.iter());
+        *counts.entry(dj_hash::hash64(buf.as_bytes())).or_insert(0) += 1;
+    }
+    let total: u64 = counts.values().map(|&c| c as u64).sum();
+    let repeated: u64 = counts
+        .values()
+        .filter(|&&c| c > 1)
+        .map(|&c| c as u64)
+        .sum();
+    repeated as f64 / total as f64
+}
+
+/// Word-level n-gram repetition ratio (mirrors `word_repetition_filter`,
+/// the `rep_len` parameter of the paper's Fig. 5 recipe).
+pub fn word_rep_ratio(words: &[String], n: usize) -> f64 {
+    if words.len() < n || n == 0 {
+        return 0.0;
+    }
+    let mut counts: FxHashMap<u64, u32> = FxHashMap::default();
+    let mut buf = String::new();
+    for win in words.windows(n) {
+        buf.clear();
+        for w in win {
+            buf.push_str(w);
+            buf.push('\u{1}');
+        }
+        *counts.entry(dj_hash::hash64(buf.as_bytes())).or_insert(0) += 1;
+    }
+    let total: u64 = counts.values().map(|&c| c as u64).sum();
+    let repeated: u64 = counts
+        .values()
+        .filter(|&&c| c > 1)
+        .map(|&c| c as u64)
+        .sum();
+    repeated as f64 / total as f64
+}
+
+/// Mean line length in characters (0 for empty text).
+pub fn avg_line_length(lines: &[String]) -> f64 {
+    if lines.is_empty() {
+        return 0.0;
+    }
+    lines.iter().map(|l| l.chars().count()).sum::<usize>() as f64 / lines.len() as f64
+}
+
+/// Longest line length in characters.
+pub fn max_line_length(lines: &[String]) -> f64 {
+    lines
+        .iter()
+        .map(|l| l.chars().count())
+        .max()
+        .unwrap_or(0) as f64
+}
+
+/// Mean word length in characters.
+pub fn avg_word_length(words: &[String]) -> f64 {
+    if words.is_empty() {
+        return 0.0;
+    }
+    words.iter().map(|w| w.chars().count()).sum::<usize>() as f64 / words.len() as f64
+}
+
+/// Fraction of words found in `lexicon` (case-insensitive). Backs both the
+/// stopword-ratio filter (fluency signal) and the flagged-words filter
+/// (toxicity signal).
+pub fn lexicon_ratio(words: &[String], lexicon: &FxHashSet<String>) -> f64 {
+    if words.is_empty() {
+        return 0.0;
+    }
+    let hits = words
+        .iter()
+        .filter(|w| lexicon.contains(&w.to_lowercase()))
+        .count();
+    hits as f64 / words.len() as f64
+}
+
+/// Count of paragraphs (blank-line separated blocks).
+pub fn paragraph_count(text: &str) -> usize {
+    text.split("\n\n").filter(|p| !p.trim().is_empty()).count()
+}
+
+/// Shannon entropy (bits) of the word distribution — the analyzer's
+/// linguistic-diversity dimension.
+pub fn word_entropy(words: &[String]) -> f64 {
+    if words.is_empty() {
+        return 0.0;
+    }
+    let mut counts: FxHashMap<&str, u32> = FxHashMap::default();
+    for w in words {
+        *counts.entry(w.as_str()).or_insert(0) += 1;
+    }
+    let n = words.len() as f64;
+    -counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            p * p.log2()
+        })
+        .sum::<f64>()
+}
+
+/// Convenience: word count of raw text.
+pub fn word_count(text: &str) -> usize {
+    segment_words(text).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(s: &str) -> Vec<String> {
+        segment_words(s)
+    }
+
+    #[test]
+    fn ratios_on_empty_text_are_zero() {
+        assert_eq!(alnum_ratio(""), 0.0);
+        assert_eq!(special_char_ratio(""), 0.0);
+        assert_eq!(whitespace_ratio(""), 0.0);
+        assert_eq!(uppercase_ratio(""), 0.0);
+        assert_eq!(digit_ratio(""), 0.0);
+    }
+
+    #[test]
+    fn alnum_ratio_mixed() {
+        // "ab12##" → 4 alnum of 6 chars
+        assert!((alnum_ratio("ab12##") - 4.0 / 6.0).abs() < 1e-9);
+        assert_eq!(alnum_ratio("abcd"), 1.0);
+    }
+
+    #[test]
+    fn special_chars_detected() {
+        assert_eq!(special_char_ratio("hello world."), 0.0);
+        assert!(special_char_ratio("░▒▓█▓▒░") > 0.9);
+    }
+
+    #[test]
+    fn uppercase_ratio_ignores_non_alpha() {
+        assert!((uppercase_ratio("AbC1!") - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn char_rep_detects_spam() {
+        let clean = "every word here differs from neighbours around";
+        let spam = "buy now buy now buy now buy now buy now buy now";
+        assert!(char_rep_ratio(spam, 5) > char_rep_ratio(clean, 5) + 0.3);
+        assert_eq!(char_rep_ratio("", 5), 0.0);
+        assert_eq!(char_rep_ratio("ab", 5), 0.0);
+    }
+
+    #[test]
+    fn word_rep_detects_repeated_ngrams() {
+        let clean = w("the quick brown fox jumps over a lazy dog today");
+        let spam = w("click here click here click here click here");
+        assert_eq!(word_rep_ratio(&clean, 2), 0.0);
+        assert!(word_rep_ratio(&spam, 2) > 0.7);
+        assert_eq!(word_rep_ratio(&[], 2), 0.0);
+    }
+
+    #[test]
+    fn line_stats() {
+        let lines: Vec<String> = vec!["ab".into(), "abcd".into(), "".into()];
+        assert!((avg_line_length(&lines) - 2.0).abs() < 1e-9);
+        assert_eq!(max_line_length(&lines), 4.0);
+        assert_eq!(avg_line_length(&[]), 0.0);
+        assert_eq!(max_line_length(&[]), 0.0);
+    }
+
+    #[test]
+    fn lexicon_ratio_case_insensitive() {
+        let mut lex = FxHashSet::default();
+        lex.insert("the".to_string());
+        lex.insert("a".to_string());
+        let words = w("The cat saw a dog");
+        assert!((lexicon_ratio(&words, &lex) - 2.0 / 5.0).abs() < 1e-9);
+        assert_eq!(lexicon_ratio(&[], &lex), 0.0);
+    }
+
+    #[test]
+    fn paragraph_count_skips_blank_blocks() {
+        assert_eq!(paragraph_count("a\n\nb\n\n\n\nc"), 3);
+        assert_eq!(paragraph_count(""), 0);
+        assert_eq!(paragraph_count("single paragraph"), 1);
+    }
+
+    #[test]
+    fn entropy_higher_for_diverse_text() {
+        let diverse = w("alpha beta gamma delta epsilon zeta eta theta");
+        let repetitive = w("spam spam spam spam spam spam spam spam");
+        assert!(word_entropy(&diverse) > 2.9);
+        assert_eq!(word_entropy(&repetitive), 0.0);
+        assert_eq!(word_entropy(&[]), 0.0);
+    }
+
+    #[test]
+    fn word_count_counts_cjk_chars() {
+        assert_eq!(word_count("hello world"), 2);
+        assert_eq!(word_count("你好世界"), 4);
+    }
+}

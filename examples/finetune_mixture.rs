@@ -1,0 +1,71 @@
+//! Fine-tuning data mixture: filter a tagged Alpaca-CoT-style collection by
+//! meta tags, refine it, diversity-sample a compact subset, and confirm via
+//! the pairwise judge that the refined subset beats a random one — the
+//! Table 3 workflow end to end.
+//!
+//! Run with: `cargo run --example finetune_mixture`
+
+use data_juicer::analyze::{diversity_sample, random_sample};
+use data_juicer::config::recipes;
+use data_juicer::eval::{measure_profile, Judge, TunedModel};
+use data_juicer::prelude::*;
+use data_juicer::synth::alpaca_cot_collection;
+
+fn main() -> Result<()> {
+    // The candidate pool: 17 tagged subsets (Table 8's taxonomy).
+    let collection = alpaca_cot_collection(7, 40);
+    let mut pool = Dataset::new();
+    for (spec, ds) in collection {
+        println!(
+            "  subset {:<22} lang={:<12} usage={:<7} {:>5} samples",
+            spec.name,
+            spec.language,
+            spec.usage,
+            ds.len()
+        );
+        pool.extend(ds);
+    }
+    // Real collections republish each other and carry junky scrapes:
+    // pollute the pool the same way.
+    pool.extend(pool.take(pool.len() / 4));
+    pool.extend(data_juicer::synth::ift_subset(
+        17,
+        &data_juicer::synth::IftSubsetSpec::new("scraped-junk", pool.len() / 4)
+            .diversity(0.05)
+            .junk_rate(0.8),
+    ));
+    println!("pool (with republished + junk subsets): {} samples\n", pool.len());
+
+    // Data-Juicer selection: built-in CFT-EN recipe, tightened after a
+    // probe the way Fig. 5 prescribes (junk responses are short).
+    let mut recipe = recipes::finetune_en_cft();
+    recipe.set_param("text_length_filter", "min_len", Value::Float(90.0))?;
+    let ops = recipe.build_ops(&builtin_registry())?;
+    let (filtered, report) = Executor::new(ops).run(pool.clone())?;
+    let target = filtered.len() * 6 / 10;
+    let mut dj_subset = diversity_sample(&filtered, target, 11);
+    println!(
+        "Data-Juicer selection: {} -> {} (filtered) -> {} (diversity-sampled)",
+        report.initial_samples,
+        filtered.len(),
+        dj_subset.len()
+    );
+
+    // Naive competitor: same size, random draw from the raw pool.
+    let mut random_subset = random_sample(&pool, dj_subset.len(), 3);
+
+    // Judge the two "fine-tuned models" pairwise (160 prompts).
+    let dj_model = TunedModel::new("dj-selection", measure_profile(&mut dj_subset, 1.0));
+    let random_model = TunedModel::new("random", measure_profile(&mut random_subset, 1.0));
+    let outcome = Judge::default().compare(&random_model, &dj_model);
+    println!(
+        "\npairwise judge over {} prompts: random {} wins | {} ties | Data-Juicer {} wins",
+        outcome.total(),
+        outcome.wins_a,
+        outcome.ties,
+        outcome.wins_b
+    );
+    assert!(outcome.wins_b > outcome.wins_a, "refined selection must win");
+    println!("Data-Juicer selection wins with the same sample budget — the Table 3 effect.");
+    Ok(())
+}

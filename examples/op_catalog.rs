@@ -1,0 +1,90 @@
+//! OP catalog: enumerate every built-in operator, grouped by Table 1
+//! category, and demonstrate the advanced-extension path by registering a
+//! custom OP at runtime (the paper's §5.3 "Advanced Extension").
+//!
+//! Run with: `cargo run --example op_catalog`
+
+use std::sync::Arc;
+
+use data_juicer::core::{OpKind, OpParams};
+use data_juicer::ops::{build_formatter, builtin_registry, formatter_names};
+use data_juicer::prelude::*;
+
+/// A user-defined mapper, registered the way §5.3 describes: derive from
+/// the base trait, implement `process()`, register by name.
+struct EmojiStripMapper;
+
+impl data_juicer::core::Mapper for EmojiStripMapper {
+    fn name(&self) -> &'static str {
+        "emoji_strip_mapper"
+    }
+    fn process(
+        &self,
+        sample: &mut Sample,
+        _ctx: &mut data_juicer::core::SampleContext,
+    ) -> data_juicer::core::Result<bool> {
+        let cleaned: String = sample
+            .text()
+            .chars()
+            .filter(|c| {
+                !matches!(*c as u32,
+                    0x1F300..=0x1FAFF          // emoji blocks
+                    | 0x2600..=0x27BF          // misc symbols
+                    | 0xFE00..=0xFE0F)         // variation selectors
+            })
+            .collect();
+        let changed = cleaned != sample.text();
+        sample.set_text(cleaned);
+        Ok(changed)
+    }
+}
+
+fn main() -> data_juicer::core::Result<()> {
+    let mut registry = builtin_registry();
+
+    println!("formatters ({}):", formatter_names().len());
+    for name in formatter_names() {
+        // Each formatter is constructible and handles empty input.
+        let f = build_formatter(name)?;
+        let _ = f.load_dataset("")?;
+        println!("  {name}");
+    }
+
+    let mut by_kind: std::collections::BTreeMap<&str, Vec<String>> = Default::default();
+    for name in registry.names() {
+        let op = registry.build(name, &OpParams::new())?;
+        let kind = match op.kind() {
+            OpKind::Mapper => "mappers",
+            OpKind::Filter => "filters",
+            OpKind::Deduplicator => "deduplicators",
+            OpKind::Formatter => "formatters",
+        };
+        by_kind.entry(kind).or_default().push(format!(
+            "{name} (cost: {:?})",
+            op.cost()
+        ));
+    }
+    let mut total = formatter_names().len();
+    for (kind, names) in &by_kind {
+        println!("\n{kind} ({}):", names.len());
+        for n in names {
+            println!("  {n}");
+        }
+        total += names.len();
+    }
+    println!("\ntotal built-in OPs: {total} (paper: \"over 50\")");
+    assert!(total > 50);
+
+    // Advanced extension: register and immediately use a custom OP.
+    registry.register("emoji_strip_mapper", |_params| {
+        Ok(data_juicer::core::Op::Mapper(Arc::new(EmojiStripMapper)))
+    });
+    let recipe = Recipe::new("custom-op-demo")
+        .then(OpSpec::new("emoji_strip_mapper"))
+        .then(OpSpec::new("whitespace_normalization_mapper"));
+    let ops = recipe.build_ops(&registry)?;
+    let (out, _) = Executor::new(ops).run(Dataset::from_texts(["clean 🎉 me ☀️ up"]))?;
+    println!("\ncustom OP demo: {:?}", out.get(0).unwrap().text());
+    assert_eq!(out.get(0).unwrap().text(), "clean me up");
+    Ok(())
+}

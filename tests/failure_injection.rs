@@ -1,0 +1,165 @@
+//! Failure-injection tests: operator errors must propagate cleanly through
+//! serial and parallel execution; corrupt caches must degrade to fresh
+//! execution instead of failing the run.
+
+use std::sync::Arc;
+
+use data_juicer::config::{OpSpec, Recipe};
+use data_juicer::core::{
+    DjError, Filter, Mapper, Op, Result, Sample, SampleContext,
+};
+use data_juicer::exec::{ExecOptions, Executor};
+use data_juicer::ops::builtin_registry;
+use data_juicer::store::{CacheManager, CacheMode};
+use data_juicer::synth::{web_corpus, WebNoise};
+
+/// A mapper that fails on any sample containing a trigger token.
+struct FailingMapper;
+
+impl Mapper for FailingMapper {
+    fn name(&self) -> &'static str {
+        "failing_mapper"
+    }
+    fn process(&self, sample: &mut Sample, _ctx: &mut SampleContext) -> Result<bool> {
+        if sample.text().contains("poison") {
+            return Err(DjError::op("failing_mapper", "hit poison sample"));
+        }
+        Ok(false)
+    }
+}
+
+/// A filter whose compute_stats fails past a sample-count threshold.
+struct FailingFilter;
+
+impl Filter for FailingFilter {
+    fn name(&self) -> &'static str {
+        "failing_filter"
+    }
+    fn compute_stats(&self, sample: &mut Sample, _ctx: &mut SampleContext) -> Result<()> {
+        if sample.text().contains("poison") {
+            return Err(DjError::op("failing_filter", "stats blew up"));
+        }
+        sample.set_stat("ok", 1.0);
+        Ok(())
+    }
+    fn process(&self, _sample: &Sample) -> Result<bool> {
+        Ok(true)
+    }
+    fn stats_key(&self) -> &'static str {
+        "ok"
+    }
+}
+
+fn poisoned_dataset() -> data_juicer::core::Dataset {
+    let mut ds = web_corpus(1, 40, WebNoise::default());
+    ds.push(Sample::from_text("this sample is poison for the pipeline"));
+    ds.extend(web_corpus(2, 40, WebNoise::default()));
+    ds
+}
+
+#[test]
+fn mapper_error_propagates_serial_and_parallel() {
+    for np in [1usize, 4] {
+        let exec = Executor::new(vec![Op::Mapper(Arc::new(FailingMapper))]).with_options(
+            ExecOptions {
+                num_workers: np,
+                op_fusion: false,
+                trace_examples: 0,
+            },
+        );
+        let err = exec.run(poisoned_dataset()).unwrap_err();
+        assert!(
+            err.to_string().contains("failing_mapper"),
+            "np={np}: {err}"
+        );
+    }
+}
+
+#[test]
+fn filter_error_propagates_through_fused_plan() {
+    let reg = builtin_registry();
+    let word_filter = {
+        let Op::Filter(f) = reg
+            .build("word_num_filter", &data_juicer::core::OpParams::new())
+            .unwrap()
+        else {
+            panic!("expected filter")
+        };
+        f
+    };
+    let ops = vec![
+        Op::Filter(word_filter),
+        Op::Filter(Arc::new(FailingFilter)),
+    ];
+    let exec = Executor::new(ops).with_options(ExecOptions {
+        num_workers: 2,
+        op_fusion: true,
+        trace_examples: 0,
+    });
+    let err = exec.run(poisoned_dataset()).unwrap_err();
+    assert!(err.to_string().contains("failing_filter"), "{err}");
+}
+
+#[test]
+fn corrupt_cache_entry_falls_back_to_fresh_execution() {
+    let registry = builtin_registry();
+    let recipe = Recipe::new("corrupt-cache")
+        .then(OpSpec::new("whitespace_normalization_mapper"))
+        .then(OpSpec::new("document_deduplicator"));
+    let ops = recipe.build_ops(&registry).unwrap();
+    let data = web_corpus(9, 50, WebNoise::default());
+
+    let dir = std::env::temp_dir().join(format!("dj-it-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = CacheManager::new(&dir, recipe.fingerprint(), CacheMode::Cache);
+
+    let exec = Executor::new(ops).with_options(ExecOptions {
+        num_workers: 1,
+        op_fusion: false,
+        trace_examples: 0,
+    });
+    let (expected, _) = exec.run_with_cache(data.clone(), &cache).unwrap();
+
+    // Corrupt every cache file.
+    for entry in std::fs::read_dir(
+        std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path(),
+    )
+    .unwrap()
+    {
+        let p = entry.unwrap().path();
+        std::fs::write(&p, b"corrupted garbage").unwrap();
+    }
+
+    // The run must still succeed (fresh execution) and match.
+    let (out, report) = exec.run_with_cache(data, &cache).unwrap();
+    assert_eq!(report.resumed_steps, 0, "corrupt cache must not be resumed from");
+    assert_eq!(
+        out.iter().map(|s| s.text()).collect::<Vec<_>>(),
+        expected.iter().map(|s| s.text()).collect::<Vec<_>>()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_op_in_recipe_is_a_config_error() {
+    let registry = builtin_registry();
+    let recipe = Recipe::new("bad").then(OpSpec::new("nonexistent_op"));
+    let err = recipe.build_ops(&registry).unwrap_err();
+    assert!(matches!(err, DjError::Config(_)), "{err}");
+    assert_eq!(recipe.validate(&registry), vec!["nonexistent_op".to_string()]);
+}
+
+#[test]
+fn filter_process_before_compute_stats_is_an_op_error() {
+    // The executor always computes stats first; calling process directly on
+    // an unprepared sample must produce a descriptive error, not a panic.
+    let reg = builtin_registry();
+    let Op::Filter(f) = reg
+        .build("perplexity_filter", &data_juicer::core::OpParams::new())
+        .unwrap()
+    else {
+        panic!("expected filter")
+    };
+    let err = f.process(&Sample::from_text("anything")).unwrap_err();
+    assert!(err.to_string().contains("missing stat"), "{err}");
+}

@@ -1,0 +1,167 @@
+//! Cross-crate property tests on the core invariants DESIGN.md calls out:
+//! nested-path laws, JSON/YAML round-trips, BPE round-trips, MinHash ≈
+//! Jaccard, union-find vs naive connectivity, and normalization
+//! idempotence.
+
+use proptest::prelude::*;
+
+use data_juicer::config::yaml::{parse_yaml, to_yaml};
+use data_juicer::core::{parse_json, Value};
+use data_juicer::hash::{MinHasher, UnionFind};
+use data_juicer::text::normalize;
+use data_juicer::text::BpeTokenizer;
+
+/// Strategy for recipe-like Value trees (no NaN floats, map keys that the
+/// YAML subset can carry).
+fn value_tree() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1_000_000i64..1_000_000).prop_map(Value::Int),
+        (-1.0e6..1.0e6f64).prop_map(|f| Value::Float((f * 1000.0).round() / 1000.0)),
+        "[a-zA-Z0-9_ .:#-]{0,24}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
+            proptest::collection::btree_map("[a-z][a-z0-9_]{0,10}", inner, 0..4)
+                .prop_map(Value::Map),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// set_path then get_path returns exactly what was written.
+    #[test]
+    fn prop_set_get_path_law(
+        segs in proptest::collection::vec("[a-z]{1,6}", 1..4),
+        v in value_tree(),
+    ) {
+        let path = segs.join(".");
+        let mut root = Value::map();
+        root.set_path(&path, v.clone()).unwrap();
+        prop_assert_eq!(root.get_path(&path), Some(&v));
+        // remove_path returns it and leaves the path vacant.
+        let removed = root.remove_path(&path).unwrap();
+        prop_assert!(removed.structural_eq(&v));
+        prop_assert!(root.get_path(&path).is_none());
+    }
+
+    /// Display (JSON) followed by parse_json is the identity on value trees.
+    #[test]
+    fn prop_json_roundtrip(v in value_tree()) {
+        let mut root = Value::map();
+        root.set_path("payload", v).unwrap();
+        let parsed = parse_json(&root.to_string()).unwrap();
+        prop_assert_eq!(parsed, root);
+    }
+
+    /// to_yaml followed by parse_yaml is the identity on map-rooted trees
+    /// (the recipe-config contract).
+    #[test]
+    fn prop_yaml_roundtrip(
+        m in proptest::collection::btree_map("[a-z][a-z0-9_]{0,10}", value_tree(), 1..5)
+    ) {
+        let root = Value::Map(m);
+        let emitted = to_yaml(&root);
+        let parsed = parse_yaml(&emitted)
+            .unwrap_or_else(|e| panic!("emitted YAML failed to parse: {e}\n{emitted}"));
+        prop_assert_eq!(parsed, root);
+    }
+
+    /// BPE encode→decode is the identity on space-joined word text.
+    #[test]
+    fn prop_bpe_roundtrip(words in proptest::collection::vec("[a-z]{1,8}", 1..12)) {
+        let corpus: Vec<String> = (0..10).map(|i| format!("training text number {i} with words")).collect();
+        let tok = BpeTokenizer::train(&corpus, 400);
+        let text = words.join(" ");
+        let ids = tok.encode(&text);
+        prop_assert_eq!(tok.decode(&ids), text);
+    }
+
+    /// MinHash similarity approximates true Jaccard within statistical
+    /// tolerance on unigram shingles.
+    #[test]
+    fn prop_minhash_estimates_jaccard(
+        shared in proptest::collection::hash_set("[a-f]{3,6}", 2..20),
+        only_a in proptest::collection::hash_set("[g-m]{3,6}", 0..10),
+        only_b in proptest::collection::hash_set("[n-t]{3,6}", 0..10),
+    ) {
+        let a: Vec<String> = shared.iter().chain(&only_a).cloned().collect();
+        let b: Vec<String> = shared.iter().chain(&only_b).cloned().collect();
+        let union = shared.len() + only_a.len() + only_b.len();
+        let true_jaccard = shared.len() as f64 / union as f64;
+        let mh = MinHasher::new(512, 1);
+        let est = MinHasher::similarity(&mh.signature(&a), &mh.signature(&b));
+        // 512 hashes → std error ≈ sqrt(p(1-p)/512) ≤ 0.023; allow 5 sigma.
+        prop_assert!((est - true_jaccard).abs() < 0.12, "est={est} true={true_jaccard}");
+    }
+
+    /// Union-find connectivity matches a naive reachability check.
+    #[test]
+    fn prop_unionfind_matches_naive(
+        n in 2usize..24,
+        edges in proptest::collection::vec((0usize..24, 0usize..24), 0..30),
+    ) {
+        let edges: Vec<(usize, usize)> = edges
+            .into_iter()
+            .map(|(a, b)| (a % n, b % n))
+            .collect();
+        let mut uf = UnionFind::new(n);
+        for &(a, b) in &edges {
+            uf.union(a, b);
+        }
+        // Naive reachability via adjacency + BFS.
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in &edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let reachable = |start: usize| {
+            let mut seen = vec![false; n];
+            let mut stack = vec![start];
+            while let Some(x) = stack.pop() {
+                if std::mem::replace(&mut seen[x], true) {
+                    continue;
+                }
+                stack.extend(adj[x].iter().copied());
+            }
+            seen
+        };
+        for i in 0..n {
+            let from_i = reachable(i);
+            for (j, &r) in from_i.iter().enumerate() {
+                prop_assert_eq!(uf.connected(i, j), r, "pair ({}, {})", i, j);
+            }
+        }
+        // The first-occurrence mask keeps exactly one index per component.
+        let mask = uf.first_occurrence_mask();
+        prop_assert_eq!(
+            mask.iter().filter(|&&k| k).count(),
+            uf.component_count()
+        );
+    }
+
+    /// Whitespace and punctuation normalization are idempotent.
+    #[test]
+    fn prop_normalization_idempotent(text in "[ -~\\n\\t\u{201c}\u{201d}\u{2014}]{0,120}") {
+        let w1 = normalize::normalize_whitespace(&text);
+        prop_assert_eq!(normalize::normalize_whitespace(&w1), w1.clone());
+        let p1 = normalize::normalize_punctuation(&text);
+        prop_assert_eq!(normalize::normalize_punctuation(&p1), p1);
+    }
+
+    /// Dataset partition/concat is the identity for any shard count.
+    #[test]
+    fn prop_partition_concat_identity(
+        texts in proptest::collection::vec(".{0,30}", 0..30),
+        shards in 1usize..8,
+    ) {
+        let ds = data_juicer::core::Dataset::from_texts(texts);
+        let original = ds.clone();
+        let rebuilt = data_juicer::core::Dataset::concat(ds.partition(shards));
+        prop_assert_eq!(rebuilt, original);
+    }
+}
