@@ -118,9 +118,13 @@ pub struct DataProbe {
     pub sample_count: usize,
 }
 
+/// One entry of the Fig. 5 two-ring pie: a verb, its count, and its top
+/// direct objects with counts.
+pub type VerbObjects = (String, usize, Vec<(String, usize)>);
+
 impl DataProbe {
     /// Top root verbs with their top direct objects (Fig. 5's two-ring pie).
-    pub fn top_verbs(&self, top_n: usize, objects_per_verb: usize) -> Vec<(String, usize, Vec<(String, usize)>)> {
+    pub fn top_verbs(&self, top_n: usize, objects_per_verb: usize) -> Vec<VerbObjects> {
         let mut by_verb: BTreeMap<&str, (usize, BTreeMap<&str, usize>)> = BTreeMap::new();
         for ((v, o), c) in &self.verb_noun {
             let e = by_verb.entry(v).or_default();

@@ -162,7 +162,11 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.len(), 10);
         assert_ne!(a, random_sample(&ds, 10, 8));
-        assert_eq!(random_sample(&ds, 1000, 1).len(), 100, "clamped to dataset size");
+        assert_eq!(
+            random_sample(&ds, 1000, 1).len(),
+            100,
+            "clamped to dataset size"
+        );
     }
 
     #[test]
@@ -211,8 +215,14 @@ mod tests {
         }
         let out = diversity_sample(&ds, 12, 9);
         assert_eq!(out.len(), 12);
-        let explain = out.iter().filter(|s| s.text().starts_with("Explain")).count();
-        let translate = out.iter().filter(|s| s.text().starts_with("Translate")).count();
+        let explain = out
+            .iter()
+            .filter(|s| s.text().starts_with("Explain"))
+            .count();
+        let translate = out
+            .iter()
+            .filter(|s| s.text().starts_with("Translate"))
+            .count();
         // Round-robin across buckets keeps minority styles represented
         // far above their 5% base rate.
         assert!(explain >= 3, "explain={explain}");

@@ -9,7 +9,10 @@ use dj_core::{Dataset, Op, Result, SampleContext};
 #[derive(Debug, Clone, PartialEq)]
 pub enum Effect {
     /// Filter would discard sample `index`; `stats` shows the deciding values.
-    Discard { index: usize, stats: Vec<(String, f64)> },
+    Discard {
+        index: usize,
+        stats: Vec<(String, f64)>,
+    },
     /// Mapper would rewrite sample `index`.
     Edit {
         index: usize,
@@ -59,9 +62,16 @@ impl TraceReport {
                 Effect::Discard { index, stats } => {
                     let stats_str: Vec<String> =
                         stats.iter().map(|(k, v)| format!("{k}={v:.3}")).collect();
-                    out.push_str(&format!("  - discard #{index} [{}]\n", stats_str.join(", ")));
+                    out.push_str(&format!(
+                        "  - discard #{index} [{}]\n",
+                        stats_str.join(", ")
+                    ));
                 }
-                Effect::Edit { index, before, after } => {
+                Effect::Edit {
+                    index,
+                    before,
+                    after,
+                } => {
                     out.push_str(&format!(
                         "  - edit #{index}: {:?} -> {:?}\n",
                         truncate(before),
@@ -167,19 +177,28 @@ mod tests {
         let report = trace_op(&op, &ds).unwrap();
         assert_eq!(ds, before, "tracing must not mutate");
         assert_eq!(report.removed(), 1);
-        assert!(matches!(report.effects[0], Effect::Discard { index: 0, .. }));
+        assert!(matches!(
+            report.effects[0],
+            Effect::Discard { index: 0, .. }
+        ));
         assert!(report.render(10).contains("discard #0"));
     }
 
     #[test]
     fn traces_mapper_edits() {
         let reg = builtin_registry();
-        let op = reg.build("whitespace_normalization_mapper", &OpParams::new()).unwrap();
+        let op = reg
+            .build("whitespace_normalization_mapper", &OpParams::new())
+            .unwrap();
         let ds = Dataset::from_texts(["a   b", "clean"]);
         let report = trace_op(&op, &ds).unwrap();
         assert_eq!(report.edited(), 1);
         match &report.effects[0] {
-            Effect::Edit { index, before, after } => {
+            Effect::Edit {
+                index,
+                before,
+                after,
+            } => {
                 assert_eq!(*index, 0);
                 assert_eq!(before, "a   b");
                 assert_eq!(after, "a b");
@@ -191,12 +210,17 @@ mod tests {
     #[test]
     fn traces_duplicate_pairs() {
         let reg = builtin_registry();
-        let op = reg.build("document_deduplicator", &OpParams::new()).unwrap();
+        let op = reg
+            .build("document_deduplicator", &OpParams::new())
+            .unwrap();
         let ds = Dataset::from_texts(["same", "other", "same"]);
         let report = trace_op(&op, &ds).unwrap();
         assert_eq!(
             report.effects,
-            vec![Effect::DuplicatePair { kept: 0, dropped: 2 }]
+            vec![Effect::DuplicatePair {
+                kept: 0,
+                dropped: 2
+            }]
         );
         assert!(report.render(5).contains("dup #2"));
     }

@@ -107,7 +107,12 @@ pub fn diff_histogram(
 pub fn funnel(title: &str, stages: &[(String, usize)], width: usize) -> String {
     let mut out = format!("{title}\n");
     let peak = stages.iter().map(|(_, n)| *n).max().unwrap_or(1).max(1);
-    let name_w = stages.iter().map(|(n, _)| n.len()).max().unwrap_or(4).min(42);
+    let name_w = stages
+        .iter()
+        .map(|(n, _)| n.len())
+        .max()
+        .unwrap_or(4)
+        .min(42);
     for (name, n) in stages {
         let bar_len = (n * width).div_ceil(peak).min(width);
         let display: String = if name.len() > name_w {
@@ -125,10 +130,7 @@ pub fn funnel(title: &str, stages: &[(String, usize)], width: usize) -> String {
 
 /// Two-ring diversity "pie" (Fig. 5), rendered as an indented tree:
 /// top verbs with counts, nested top objects.
-pub fn verb_noun_tree(
-    title: &str,
-    tops: &[(String, usize, Vec<(String, usize)>)],
-) -> String {
+pub fn verb_noun_tree(title: &str, tops: &[crate::analyzer::VerbObjects]) -> String {
     let mut out = format!("{title}\n");
     let total: usize = tops.iter().map(|(_, c, _)| c).sum();
     for (verb, count, objects) in tops {

@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-use dj_ops::{
-    run_dedup, DocumentDeduplicator, MinHashDeduplicator, SimHashDeduplicator,
-};
+use dj_ops::{run_dedup, DocumentDeduplicator, MinHashDeduplicator, SimHashDeduplicator};
 use dj_synth::{web_corpus, WebNoise};
 
 fn bench_dedup(c: &mut Criterion) {

@@ -9,8 +9,16 @@ use dj_synth::{web_corpus, WebNoise};
 
 fn word_filter_recipe() -> Recipe {
     Recipe::new("fusion-bench")
-        .then(OpSpec::new("word_num_filter").with("min_num", 3.0).with("max_num", 1e9))
-        .then(OpSpec::new("word_repetition_filter").with("rep_len", 5i64).with("max_ratio", 0.6))
+        .then(
+            OpSpec::new("word_num_filter")
+                .with("min_num", 3.0)
+                .with("max_num", 1e9),
+        )
+        .then(
+            OpSpec::new("word_repetition_filter")
+                .with("rep_len", 5i64)
+                .with("max_ratio", 0.6),
+        )
         .then(OpSpec::new("stopwords_filter").with("min_ratio", 0.0))
         .then(OpSpec::new("flagged_words_filter").with("max_ratio", 1.0))
 }
@@ -26,6 +34,7 @@ fn bench_fusion(c: &mut Criterion) {
             num_workers: 1,
             op_fusion: fusion,
             trace_examples: 0,
+            shard_size: None,
         });
         group.bench_function(label, |b| {
             b.iter_batched(
@@ -49,6 +58,7 @@ fn bench_parallelism(c: &mut Criterion) {
             num_workers: np,
             op_fusion: true,
             trace_examples: 0,
+            shard_size: None,
         });
         group.bench_function(format!("np{np}"), |b| {
             b.iter_batched(

@@ -23,12 +23,7 @@ fn bench_models(c: &mut Criterion) {
     let mut group = c.benchmark_group("model_inference");
     group.throughput(Throughput::Bytes(bytes as u64));
     group.bench_function("bpe_encode", |b| {
-        b.iter(|| {
-            texts
-                .iter()
-                .map(|t| bpe.count_tokens(t))
-                .sum::<usize>()
-        })
+        b.iter(|| texts.iter().map(|t| bpe.count_tokens(t)).sum::<usize>())
     });
     group.bench_function("ngram_perplexity", |b| {
         b.iter(|| {

@@ -22,7 +22,9 @@ fn bench_mappers(c: &mut Criterion) {
         "remove_long_words_mapper",
     ] {
         let op = reg.build(name, &OpParams::new()).unwrap();
-        let dj_core::Op::Mapper(m) = op else { unreachable!() };
+        let dj_core::Op::Mapper(m) = op else {
+            unreachable!()
+        };
         group.bench_function(name, |b| {
             b.iter_batched(
                 || samples(50),
@@ -53,7 +55,9 @@ fn bench_filters(c: &mut Criterion) {
         ("perplexity_filter", OpParams::new()),
     ] {
         let op = reg.build(name, &p).unwrap();
-        let dj_core::Op::Filter(f) = op else { unreachable!() };
+        let dj_core::Op::Filter(f) = op else {
+            unreachable!()
+        };
         group.bench_function(name, |b| {
             b.iter_batched(
                 || samples(50),
@@ -75,8 +79,12 @@ fn bench_filters(c: &mut Criterion) {
 /// Ablation: decision with precomputed stats vs stats+decision.
 fn bench_stats_reuse(c: &mut Criterion) {
     let reg = builtin_registry();
-    let op = reg.build("word_repetition_filter", &OpParams::new()).unwrap();
-    let dj_core::Op::Filter(f) = op else { unreachable!() };
+    let op = reg
+        .build("word_repetition_filter", &OpParams::new())
+        .unwrap();
+    let dj_core::Op::Filter(f) = op else {
+        unreachable!()
+    };
     let mut precomputed = samples(100);
     let mut ctx = SampleContext::new();
     for s in &mut precomputed {

@@ -87,7 +87,10 @@ fn dicts_bytes(docs: &[DictDoc]) -> usize {
 }
 
 fn from_dicts(docs: Vec<DictDoc>) -> Dataset {
-    Dataset::from_texts(docs.into_iter().map(|mut d| d.remove("text").unwrap_or_default()))
+    Dataset::from_texts(
+        docs.into_iter()
+            .map(|mut d| d.remove("text").unwrap_or_default()),
+    )
 }
 
 /// RedPajama-style monolithic processing.
@@ -111,7 +114,9 @@ impl RedPajamaStyle {
             .iter()
             .map(|d| {
                 let mut nd = d.clone();
-                let t = normalize::normalize_whitespace(d.get("text").map(String::as_str).unwrap_or(""));
+                let t = normalize::normalize_whitespace(
+                    d.get("text").map(String::as_str).unwrap_or(""),
+                );
                 nd.insert("text".into(), t);
                 nd
             })
@@ -167,7 +172,11 @@ impl RedPajamaStyle {
         let mut seen = dj_hash::FxHashSet::default();
         let deduped: Vec<DictDoc> = survivors
             .iter()
-            .filter(|d| seen.insert(hash128(d.get("text").map(String::as_str).unwrap_or("").as_bytes())))
+            .filter(|d| {
+                seen.insert(hash128(
+                    d.get("text").map(String::as_str).unwrap_or("").as_bytes(),
+                ))
+            })
             .cloned()
             .collect();
         peak = peak.max(dicts_bytes(&survivors) + dicts_bytes(&deduped));
@@ -202,7 +211,8 @@ impl DolmaStyle {
 
         // Phase 1: taggers — every attribute written to a separate record
         // store, one tokenization per tagger.
-        let mut tagged_shards: Vec<(Vec<DictDoc>, Vec<HashMap<String, f64>>)> = Vec::new();
+        type TaggedShard = (Vec<DictDoc>, Vec<HashMap<String, f64>>);
+        let mut tagged_shards: Vec<TaggedShard> = Vec::new();
         for shard in &shards {
             let docs = to_dicts(shard);
             let attrs: Vec<HashMap<String, f64>> = docs
@@ -214,10 +224,7 @@ impl DolmaStyle {
                         .unwrap_or_default();
                     let mut a = HashMap::new();
                     a.insert("len".to_string(), t.chars().count() as f64);
-                    a.insert(
-                        "words".to_string(),
-                        dj_core::segment_words(&t).len() as f64,
-                    );
+                    a.insert("words".to_string(), dj_core::segment_words(&t).len() as f64);
                     a.insert("alnum".to_string(), tstats::alnum_ratio(&t));
                     a.insert("special".to_string(), tstats::special_char_ratio(&t));
                     let words = dj_core::segment_words(&t);
@@ -347,6 +354,7 @@ mod tests {
                 num_workers: 1,
                 op_fusion: true,
                 trace_examples: 0,
+                shard_size: None,
             })
             .run(data.clone())
             .unwrap()
@@ -362,9 +370,7 @@ mod tests {
         let p = MatchedPipeline::default();
         let data = workload();
         let rp = RedPajamaStyle::new(p).run(&data);
-        let (_, report) = Executor::new(matched_dj_ops(p))
-            .run(data.clone())
-            .unwrap();
+        let (_, report) = Executor::new(matched_dj_ops(p)).run(data.clone()).unwrap();
         assert!(
             rp.peak_bytes > report.peak_bytes,
             "redpajama {} !> dj {}",

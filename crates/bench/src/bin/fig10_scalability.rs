@@ -16,8 +16,16 @@ fn pipeline() -> Vec<dj_core::Op> {
     Recipe::new("fig10")
         .then(OpSpec::new("whitespace_normalization_mapper"))
         .then(OpSpec::new("clean_links_mapper"))
-        .then(OpSpec::new("text_length_filter").with("min_len", 20.0).with("max_len", 1e9))
-        .then(OpSpec::new("word_repetition_filter").with("rep_len", 5i64).with("max_ratio", 0.6))
+        .then(
+            OpSpec::new("text_length_filter")
+                .with("min_len", 20.0)
+                .with("max_len", 1e9),
+        )
+        .then(
+            OpSpec::new("word_repetition_filter")
+                .with("rep_len", 5i64)
+                .with("max_ratio", 0.6),
+        )
         .then(OpSpec::new("document_deduplicator"))
         .build_ops(&dj_ops::builtin_registry())
         .expect("recipe valid")
@@ -33,10 +41,7 @@ fn main() {
     let node_counts = [1usize, 2, 4, 8, 16];
 
     for (name, data) in &corpora {
-        println!(
-            "\n{name} ({:.1} MB input)",
-            data.text_bytes() as f64 / 1e6
-        );
+        println!("\n{name} ({:.1} MB input)", data.text_bytes() as f64 / 1e6);
         println!(
             "{:>6} {:>14} {:>14} {:>16}",
             "nodes", "Ray wall (s)", "Beam wall (s)", "Beam load (s)"
@@ -51,7 +56,8 @@ fn main() {
                 single_stream_mbps: 20.0,
                 ..ClusterSpec::paper_platform(n)
             };
-            let (_, ray) = run_distributed(&ops, data.clone(), spec, Backend::Ray).expect("ray runs");
+            let (_, ray) =
+                run_distributed(&ops, data.clone(), spec, Backend::Ray).expect("ray runs");
             let (_, beam) =
                 run_distributed(&ops, data.clone(), spec, Backend::Beam).expect("beam runs");
             println!(
@@ -62,10 +68,7 @@ fn main() {
             beam_walls.push(beam.modeled_wall_s);
         }
         let ray_reduction = 1.0 - ray_walls.last().unwrap() / ray_walls[0];
-        let beam_spread = (beam_walls
-            .iter()
-            .cloned()
-            .fold(f64::MIN, f64::max)
+        let beam_spread = (beam_walls.iter().cloned().fold(f64::MIN, f64::max)
             - beam_walls.iter().cloned().fold(f64::MAX, f64::min))
             / beam_walls[0];
         println!(

@@ -14,14 +14,24 @@ use dj_hpo::{analyze, smbo, SearchSpace, Trial};
 use dj_ops::models::default_quality_classifier;
 use dj_ops::run_dedup;
 use dj_ops::DocumentDeduplicator;
-use dj_synth::{book_corpus, code_corpus, web_corpus, wiki_corpus, dialog_corpus, WebNoise};
+use dj_synth::{book_corpus, code_corpus, dialog_corpus, web_corpus, wiki_corpus, WebNoise};
 use dj_text::tokenize::estimate_tokens;
 
 const SOURCES: [&str; 5] = ["web", "wiki", "books", "code", "dialog"];
 
 fn sources() -> Vec<(&'static str, Dataset)> {
     vec![
-        ("web", web_corpus(301, 240, WebNoise { spam_rate: 0.5, ..WebNoise::default() })),
+        (
+            "web",
+            web_corpus(
+                301,
+                240,
+                WebNoise {
+                    spam_rate: 0.5,
+                    ..WebNoise::default()
+                },
+            ),
+        ),
         ("wiki", wiki_corpus(302, 160)),
         ("books", book_corpus(303, 12)),
         ("code", code_corpus(304, 120)),
@@ -34,20 +44,28 @@ fn main() {
     let pools = sources();
     let total_tokens: usize = pools
         .iter()
-        .map(|(_, d)| d.iter().map(|s| estimate_tokens(s.text(), 4.2)).sum::<usize>())
+        .map(|(_, d)| {
+            d.iter()
+                .map(|s| estimate_tokens(s.text(), 4.2))
+                .sum::<usize>()
+        })
         .sum();
     let classifier = default_quality_classifier();
 
     let mut space = SearchSpace::new();
     for s in SOURCES {
-        space = space.uniform(&format!("w_{s}"), 0.0, 1.0).expect("valid bounds");
+        space = space
+            .uniform(&format!("w_{s}"), 0.0, 1.0)
+            .expect("valid bounds");
     }
 
     let objective = |trial: &Trial| -> f64 {
         // Step 3: draw the mixture by weight.
         let mut mixed = Dataset::new();
         for (i, (name, pool)) in pools.iter().enumerate() {
-            let w = trial[&format!("w_{name}")].as_float().expect("float weight");
+            let w = trial[&format!("w_{name}")]
+                .as_float()
+                .expect("float weight");
             let take = (pool.len() as f64 * w) as usize;
             mixed.extend(random_sample(pool, take, 1000 + i as u64));
         }

@@ -21,6 +21,7 @@ fn main() {
         num_workers: 2,
         op_fusion: true,
         trace_examples: 3,
+        shard_size: None,
     });
     let (out, report) = exec.run(data).expect("pipeline runs");
     let mut after = out;
@@ -54,7 +55,10 @@ fn main() {
     section("Figure 4(b): effect of the OP pipeline (number of samples)");
     let mut funnel = vec![("input".to_string(), report.initial_samples)];
     funnel.extend(report.funnel());
-    print!("{}", visualize::funnel("samples remaining after each OP", &funnel, 40));
+    print!(
+        "{}",
+        visualize::funnel("samples remaining after each OP", &funnel, 40)
+    );
 
     section("Figure 4(c): data distribution diff (alnum_ratio, before vs after)");
     let dims = ["alnum_ratio", "flagged_word_ratio", "word_rep_ratio"];
@@ -73,9 +77,20 @@ fn main() {
 
     // Shape checks.
     assert!(report.final_samples < report.initial_samples);
-    let edited = report.ops.iter().flat_map(|o| &o.trace).any(|e| matches!(e, TraceEvent::Edited { .. }));
-    let discarded = report.ops.iter().flat_map(|o| &o.trace).any(|e| matches!(e, TraceEvent::Discarded { .. }));
-    assert!(edited && discarded, "tracer must capture edits and discards");
+    let edited = report
+        .ops
+        .iter()
+        .flat_map(|o| &o.trace)
+        .any(|e| matches!(e, TraceEvent::Edited { .. }));
+    let discarded = report
+        .ops
+        .iter()
+        .flat_map(|o| &o.trace)
+        .any(|e| matches!(e, TraceEvent::Discarded { .. }));
+    assert!(
+        edited && discarded,
+        "tracer must capture edits and discards"
+    );
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     assert!(
         mean(&probe_after.columns["flagged_word_ratio"])

@@ -38,7 +38,10 @@ fn main() {
     }
 
     let llm = ProxyLlm::new();
-    println!("\n{:<30} {:>8} {:>8} {:>8}", "recipe", "50B", "100B", "150B");
+    println!(
+        "\n{:<30} {:>8} {:>8} {:>8}",
+        "recipe", "50B", "100B", "150B"
+    );
     let mut rows = Vec::new();
     for (name, profile) in &profiles {
         let scores: Vec<f64> = [50.0, 100.0, 150.0]
@@ -60,10 +63,7 @@ fn main() {
         dj_row.iter().zip(pile_row).all(|(d, p)| d > p),
         "Data-Juicer recipe must dominate RedPajama+Pile at every budget"
     );
-    assert!(
-        pile_row[2] > rp_row[2],
-        "adding Pile must help at 150B"
-    );
+    assert!(pile_row[2] > rp_row[2], "adding Pile must help at 150B");
     assert!(
         rows.iter().all(|(_, s)| s[0] < s[1] && s[1] < s[2]),
         "all curves rise with tokens"

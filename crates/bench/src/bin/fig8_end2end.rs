@@ -21,6 +21,35 @@ struct Row {
     seconds: f64,
     mem_mb: f64,
     out_len: usize,
+    in_len: usize,
+}
+
+/// Emit machine-readable results so the perf trajectory is tracked across
+/// PRs: one record per (dataset, np, system) with samples/sec throughput.
+fn write_bench_json(rows: &[Row], path: &str) {
+    let mut out = String::from("{\n  \"benchmark\": \"fig8_end2end\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let samples_per_sec = r.in_len as f64 / r.seconds.max(1e-9);
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"np\": {}, \"system\": \"{}\", \
+             \"seconds\": {:.6}, \"mem_mb\": {:.3}, \"samples_in\": {}, \
+             \"samples_out\": {}, \"samples_per_sec\": {:.1}}}{}\n",
+            r.dataset,
+            r.np,
+            r.system,
+            r.seconds,
+            r.mem_mb,
+            r.in_len,
+            r.out_len,
+            samples_per_sec,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
 }
 
 fn main() {
@@ -43,6 +72,7 @@ fn main() {
                 num_workers: np,
                 op_fusion: true,
                 trace_examples: 0,
+                shard_size: None,
             });
             let t0 = Instant::now();
             let (out, report) = exec.run(data.clone()).expect("pipeline runs");
@@ -53,6 +83,7 @@ fn main() {
                 seconds: t0.elapsed().as_secs_f64(),
                 mem_mb: report.peak_bytes as f64 / 1e6,
                 out_len: out.len(),
+                in_len: data.len(),
             });
 
             // RedPajama-style (np is irrelevant to its whole-dataset copies;
@@ -66,6 +97,7 @@ fn main() {
                 seconds: t0.elapsed().as_secs_f64(),
                 mem_mb: rp.peak_bytes as f64 / 1e6,
                 out_len: rp.output.len(),
+                in_len: data.len(),
             });
 
             // Dolma-style (requires pre-sharding to np shards).
@@ -78,6 +110,7 @@ fn main() {
                 seconds: t0.elapsed().as_secs_f64(),
                 mem_mb: dol.peak_bytes as f64 / 1e6,
                 out_len: dol.output.len(),
+                in_len: data.len(),
             });
         }
     }
@@ -126,6 +159,12 @@ fn main() {
         time_savings.iter().cloned().fold(f64::MIN, f64::max) * 100.0,
         mem_savings.iter().cloned().fold(f64::MIN, f64::max) * 100.0
     );
-    assert!(avg(&mem_savings) > 0.0, "Data-Juicer must save memory on average");
+    // Record the measurement before the shape assertion so a regression
+    // still leaves the true numbers on disk, not the previous run's.
+    write_bench_json(&rows, "BENCH_exec.json");
+    assert!(
+        avg(&mem_savings) > 0.0,
+        "Data-Juicer must save memory on average"
+    );
     println!("shape check PASSED: identical outputs, Data-Juicer leaner on memory");
 }

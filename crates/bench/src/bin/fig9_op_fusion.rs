@@ -20,14 +20,34 @@ fn fig9_recipe() -> Recipe {
         .then(OpSpec::new("clean_links_mapper"))
         .then(OpSpec::new("clean_email_mapper"))
         .then(OpSpec::new("remove_long_words_mapper").with("max_len", 40i64))
-        .then(OpSpec::new("alphanumeric_ratio_filter").with("min_ratio", 0.2).with("max_ratio", 1.0))
-        .then(OpSpec::new("text_length_filter").with("min_len", 20.0).with("max_len", 1e9))
-        .then(OpSpec::new("word_num_filter").with("min_num", 5.0).with("max_num", 1e9))
-        .then(OpSpec::new("word_repetition_filter").with("rep_len", 5i64).with("max_ratio", 0.5))
+        .then(
+            OpSpec::new("alphanumeric_ratio_filter")
+                .with("min_ratio", 0.2)
+                .with("max_ratio", 1.0),
+        )
+        .then(
+            OpSpec::new("text_length_filter")
+                .with("min_len", 20.0)
+                .with("max_len", 1e9),
+        )
+        .then(
+            OpSpec::new("word_num_filter")
+                .with("min_num", 5.0)
+                .with("max_num", 1e9),
+        )
+        .then(
+            OpSpec::new("word_repetition_filter")
+                .with("rep_len", 5i64)
+                .with("max_ratio", 0.5),
+        )
         .then(OpSpec::new("stopwords_filter").with("min_ratio", 0.02))
         .then(OpSpec::new("flagged_words_filter").with("max_ratio", 0.05))
         .then(OpSpec::new("special_characters_filter").with("max_ratio", 0.4))
-        .then(OpSpec::new("average_line_length_filter").with("min_len", 5.0).with("max_len", 1e9))
+        .then(
+            OpSpec::new("average_line_length_filter")
+                .with("min_len", 5.0)
+                .with("max_len", 1e9),
+        )
         .then(OpSpec::new("document_deduplicator"))
 }
 
@@ -46,6 +66,7 @@ fn run(data: Dataset, np: usize, fusion: bool) -> (f64, f64, usize) {
         num_workers: np,
         op_fusion: fusion,
         trace_examples: 0,
+        shard_size: None,
     });
     let t0 = Instant::now();
     let (out, report) = exec.run(data).expect("pipeline runs");
@@ -70,7 +91,14 @@ fn main() {
 
     println!(
         "{:<10} {:>3} {:>12} {:>12} {:>8} {:>14} {:>14} {:>8}",
-        "dataset", "np", "total-unf(s)", "total-fus(s)", "saved%", "fusible-unf(s)", "fusible-fus(s)", "saved%"
+        "dataset",
+        "np",
+        "total-unf(s)",
+        "total-fus(s)",
+        "saved%",
+        "fusible-unf(s)",
+        "fusible-fus(s)",
+        "saved%"
     );
     let mut any_total_saving = false;
     for (name, docs, np) in configs {

@@ -22,10 +22,14 @@ fn main() {
     let mut lb = Leaderboard::with_published_baselines();
 
     // Data-Juicer pre-training recipe at 150B.
-    let mut dj = workloads::dj_refine(workloads::redpajama_plus_pile(7, scale), 4)
-        .expect("refinement runs");
+    let mut dj =
+        workloads::dj_refine(workloads::redpajama_plus_pile(7, scale), 4).expect("refinement runs");
     let dj_profile = measure_profile(&mut dj, token_scale);
-    let dj_result = llm.evaluate("LLaMA-1.3B Data-Juicer (RedPajama+Pile)", &dj_profile, 150.0);
+    let dj_result = llm.evaluate(
+        "LLaMA-1.3B Data-Juicer (RedPajama+Pile)",
+        &dj_profile,
+        150.0,
+    );
     lb.register(ReferenceModel {
         name: "LLaMA-1.3B Data-Juicer (RedPajama+Pile)".into(),
         training_data: "Data-Juicer (RedPajama+Pile)".into(),

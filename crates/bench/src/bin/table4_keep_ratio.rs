@@ -19,7 +19,10 @@ fn main() {
 
     // Train the English GPT-3 reproduction: Wikipedia-style positives vs
     // CommonCrawl negatives (Table 6's split).
-    let positives: Vec<String> = wiki_corpus(1, 400).iter().map(|s| s.text().to_string()).collect();
+    let positives: Vec<String> = wiki_corpus(1, 400)
+        .iter()
+        .map(|s| s.text().to_string())
+        .collect();
     let negatives: Vec<String> = web_corpus(
         2,
         400,
@@ -32,12 +35,30 @@ fn main() {
     .iter()
     .map(|s| s.text().to_string())
     .collect();
-    let gpt3 = QualityClassifier::train("our-gpt3", QualityTokenizer::Standard, &positives, &negatives, 1 << 15);
+    let gpt3 = QualityClassifier::train(
+        "our-gpt3",
+        QualityTokenizer::Standard,
+        &positives,
+        &negatives,
+        1 << 15,
+    );
 
     // Chinese classifier: clean zh positives vs spammy zh negatives.
-    let zh_pos: Vec<String> = chinese_corpus(3, 400, 0.0).iter().map(|s| s.text().to_string()).collect();
-    let zh_neg: Vec<String> = chinese_corpus(4, 400, 1.0).iter().map(|s| s.text().to_string()).collect();
-    let zh = QualityClassifier::train("chinese", QualityTokenizer::Standard, &zh_pos, &zh_neg, 1 << 15);
+    let zh_pos: Vec<String> = chinese_corpus(3, 400, 0.0)
+        .iter()
+        .map(|s| s.text().to_string())
+        .collect();
+    let zh_neg: Vec<String> = chinese_corpus(4, 400, 1.0)
+        .iter()
+        .map(|s| s.text().to_string())
+        .collect();
+    let zh = QualityClassifier::train(
+        "chinese",
+        QualityTokenizer::Standard,
+        &zh_pos,
+        &zh_neg,
+        1 << 15,
+    );
 
     // Evaluation crawls: mostly junk, a sliver of quality — the
     // CommonCrawl regime where GPT-3 kept ~1-3%.
@@ -65,14 +86,28 @@ fn main() {
     let pareto = gpt3.keeping_ratio(&crawl, KeepMethod::Pareto, &mut rng);
     let zh_label = zh.keeping_ratio(&zh_crawl, KeepMethod::Label, &mut rng);
 
-    println!("{:<22} {:>16} {:>16}", "Quality Classifier", "Keep @ label", "Keep @ pareto");
-    println!("{:<22} {:>15.2}% {:>15.2}%", "Our GPT-3 (repro)", label * 100.0, pareto * 100.0);
+    println!(
+        "{:<22} {:>16} {:>16}",
+        "Quality Classifier", "Keep @ label", "Keep @ pareto"
+    );
+    println!(
+        "{:<22} {:>15.2}% {:>15.2}%",
+        "Our GPT-3 (repro)",
+        label * 100.0,
+        pareto * 100.0
+    );
     println!("{:<22} {:>15.2}% {:>16}", "Chinese", zh_label * 100.0, "-");
     println!("\npaper reference: our GPT-3 label 3.22%, pareto 1.41%; Chinese label 1.81%");
 
-    assert!(label < 0.25, "crawl must be overwhelmingly rejected (label={label:.3})");
+    assert!(
+        label < 0.25,
+        "crawl must be overwhelmingly rejected (label={label:.3})"
+    );
     assert!(zh_label < 0.25, "zh crawl must be overwhelmingly rejected");
-    assert!(pareto <= label * 1.5 + 0.02, "pareto is the stricter rule overall");
+    assert!(
+        pareto <= label * 1.5 + 0.02,
+        "pareto is the stricter rule overall"
+    );
     assert!(
         (zh_label - label).abs() < 0.15,
         "Chinese keep ratio comparable to English (paper §7.2.3)"

@@ -46,7 +46,13 @@ fn main() {
         ..WebNoise::default()
     };
     let (neg_tr, neg_ev) = split(texts(&web_corpus(22, 500, noisy)));
-    let gpt3 = QualityClassifier::train("gpt3", QualityTokenizer::Standard, &pos_tr, &neg_tr, 1 << 15);
+    let gpt3 = QualityClassifier::train(
+        "gpt3",
+        QualityTokenizer::Standard,
+        &pos_tr,
+        &neg_tr,
+        1 << 15,
+    );
     let c_gpt3 = gpt3.evaluate(&pos_ev, &neg_ev);
     row("GPT-3", &c_gpt3, (96.82, 98.14, 97.47));
 
@@ -95,8 +101,16 @@ fn main() {
     row("Code", &c_code, (71.23, 54.21, 61.56));
 
     println!();
-    assert!(c_gpt3.f1() > 0.9, "GPT-3 repro must be strong: F1={:.3}", c_gpt3.f1());
-    assert!(c_zh.f1() > 0.9, "Chinese must be strong: F1={:.3}", c_zh.f1());
+    assert!(
+        c_gpt3.f1() > 0.9,
+        "GPT-3 repro must be strong: F1={:.3}",
+        c_gpt3.f1()
+    );
+    assert!(
+        c_zh.f1() > 0.9,
+        "Chinese must be strong: F1={:.3}",
+        c_zh.f1()
+    );
     assert!(
         c_code.f1() < c_gpt3.f1() - 0.2,
         "Code classifier must be markedly weaker (star labels ≠ content): {:.3}",

@@ -53,7 +53,10 @@ fn main() {
     }
     let weighted_total: f64 = rows.iter().map(|(_, t, e)| *t as f64 * e).sum();
 
-    println!("{:<18} {:>14} {:>8} {:>14}", "Component", "#Tokens", "Epochs", "Sampling prop.");
+    println!(
+        "{:<18} {:>14} {:>8} {:>14}",
+        "Component", "#Tokens", "Epochs", "Sampling prop."
+    );
     for (name, tokens, epochs) in &rows {
         let prop = *tokens as f64 * epochs / weighted_total * 100.0;
         println!("{name:<18} {tokens:>14} {epochs:>8.1} {prop:>13.2}%");
@@ -71,7 +74,10 @@ fn main() {
         "CommonCrawl must dominate (paper: 44.91% vs 22.64%)"
     );
     assert!(prop_of("C4") > prop_of("GitHub"));
-    assert!(prop_of("CommonCrawl") > 0.25, "CommonCrawl ≥ a quarter of the mixture");
+    assert!(
+        prop_of("CommonCrawl") > 0.25,
+        "CommonCrawl ≥ a quarter of the mixture"
+    );
     let total_prop: f64 = rows
         .iter()
         .map(|(_, t, e)| *t as f64 * e / weighted_total)

@@ -28,7 +28,11 @@ fn main() {
         total_samples += ds.len();
     }
 
-    println!("{} subsets, {} samples total\n", collection.len(), total_samples);
+    println!(
+        "{} subsets, {} samples total\n",
+        collection.len(),
+        total_samples
+    );
     let print_axis = |axis: &str, m: &BTreeMap<&str, usize>| {
         println!("{axis}:");
         for (k, v) in m {
@@ -42,10 +46,20 @@ fn main() {
 
     // Shape checks mirroring the paper's distribution.
     assert_eq!(collection.len(), 17);
-    assert!(by_lang["EN"] > by_lang["ZH"], "EN-majority like the paper (28 vs 14)");
+    assert!(
+        by_lang["EN"] > by_lang["ZH"],
+        "EN-majority like the paper (28 vs 14)"
+    );
     assert!(by_lang.contains_key("Multilingual"));
-    assert_eq!(by_usage.len(), 4, "all four usage tags present (incl. the new IFT/CFT tags)");
-    assert!(by_usage["CFT-SR"] >= by_usage["CFT-MR"], "single-round dominates multi-round");
+    assert_eq!(
+        by_usage.len(),
+        4,
+        "all four usage tags present (incl. the new IFT/CFT tags)"
+    );
+    assert!(
+        by_usage["CFT-SR"] >= by_usage["CFT-MR"],
+        "single-round dominates multi-round"
+    );
     assert!(by_task["Multi-Task"] > by_task["Task-Specific"]);
     assert!(by_gen.len() == 4);
     println!("\npaper reference: EN 28 / ZH 14 / Multi 3; IFT 17 / CFT-SR 23 / CFT-MR 2 / CFT-P 5");

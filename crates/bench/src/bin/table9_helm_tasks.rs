@@ -14,8 +14,8 @@ fn main() {
     let falcon = lb.get("Falcon-1.3B").expect("published").result.clone();
     let pythia = lb.get("Pythia-1.4B").expect("published").result.clone();
 
-    let mut dj = workloads::dj_refine(workloads::redpajama_plus_pile(7, scale), 4)
-        .expect("refinement runs");
+    let mut dj =
+        workloads::dj_refine(workloads::redpajama_plus_pile(7, scale), 4).expect("refinement runs");
     let dj_profile = measure_profile(&mut dj, token_scale);
     let dj_result = llm.evaluate("LLaMA-1.3B (Data-Juicer)", &dj_profile, 150.0);
 
@@ -49,7 +49,10 @@ fn main() {
         dj_result.average() > falcon.average().min(pythia.average()),
         "DJ @150B should compete with 300-350B baselines"
     );
-    assert!(ift_result.average() > dj_result.average(), "IFT continuation helps");
+    assert!(
+        ift_result.average() > dj_result.average(),
+        "IFT continuation helps"
+    );
     println!("\npaper reference averages: 33.97 / 33.96 / 34.21 / 36.76");
     println!("shape check PASSED: DJ competitive at half the tokens; IFT adds more");
 }

@@ -6,8 +6,8 @@ use dj_config::recipes;
 use dj_core::{Dataset, Result};
 use dj_exec::{ExecOptions, Executor};
 use dj_synth::{
-    arxiv_corpus, book_corpus, chinese_corpus, code_corpus, dialog_corpus, web_corpus,
-    wiki_corpus, WebNoise,
+    arxiv_corpus, book_corpus, chinese_corpus, code_corpus, dialog_corpus, web_corpus, wiki_corpus,
+    WebNoise,
 };
 
 /// Scale knob: number of base documents per source. The default keeps every
@@ -45,6 +45,7 @@ pub fn dj_refine(dataset: Dataset, np: usize) -> Result<Dataset> {
             num_workers: np,
             op_fusion: true,
             trace_examples: 0,
+            shard_size: None,
         })
         .run(dataset)?;
     Ok(out)

@@ -40,6 +40,9 @@ pub struct Recipe {
     pub project_name: String,
     /// Number of worker processes/threads for the executor.
     pub np: usize,
+    /// Target samples per shard for the pipelined executor; `None` lets the
+    /// executor auto-shard from `np` (morsel-driven over-partitioning).
+    pub shard_size: Option<usize>,
     /// Default text field OPs process.
     pub text_key: String,
     /// The ordered OP pipeline.
@@ -51,6 +54,7 @@ impl Default for Recipe {
         Recipe {
             project_name: "data-juicer".to_string(),
             np: 1,
+            shard_size: None,
             text_key: "text".to_string(),
             process: Vec::new(),
         }
@@ -74,6 +78,12 @@ impl Recipe {
     /// Builder: set worker count.
     pub fn with_np(mut self, np: usize) -> Recipe {
         self.np = np.max(1);
+        self
+    }
+
+    /// Builder: set the target shard size for the pipelined executor.
+    pub fn with_shard_size(mut self, shard_size: usize) -> Recipe {
+        self.shard_size = Some(shard_size.max(1));
         self
     }
 
@@ -143,6 +153,12 @@ impl Recipe {
             }
             recipe.np = np as usize;
         }
+        if let Some(sz) = v.get_path("shard_size").and_then(Value::as_int) {
+            if sz < 1 {
+                return Err(DjError::Config("shard_size must be >= 1".into()));
+            }
+            recipe.shard_size = Some(sz as usize);
+        }
         if let Some(tk) = v.get_path("text_key").and_then(Value::as_str) {
             recipe.text_key = tk.to_string();
         }
@@ -175,6 +191,10 @@ impl Recipe {
         root.set_path("project_name", Value::from(self.project_name.clone()))
             .expect("map root");
         root.set_path("np", Value::from(self.np)).expect("map root");
+        if let Some(sz) = self.shard_size {
+            root.set_path("shard_size", Value::from(sz))
+                .expect("map root");
+        }
         root.set_path("text_key", Value::from(self.text_key.clone()))
             .expect("map root");
         let ops: Vec<Value> = self
@@ -191,7 +211,8 @@ impl Recipe {
                 m
             })
             .collect();
-        root.set_path("process", Value::List(ops)).expect("map root");
+        root.set_path("process", Value::List(ops))
+            .expect("map root");
         root
     }
 
@@ -228,7 +249,9 @@ impl Recipe {
 
 fn parse_op_spec(item: &Value, index: usize) -> Result<OpSpec> {
     let map = item.as_map().ok_or_else(|| {
-        DjError::Config(format!("process[{index}] must be a map of op name to params"))
+        DjError::Config(format!(
+            "process[{index}] must be a map of op name to params"
+        ))
     })?;
     if map.len() != 1 {
         return Err(DjError::Config(format!(
@@ -357,7 +380,24 @@ process:
     fn empty_recipe_defaults() {
         let r = Recipe::from_yaml("").unwrap();
         assert_eq!(r.np, 1);
+        assert_eq!(r.shard_size, None);
         assert_eq!(r.text_key, "text");
         assert!(r.process.is_empty());
+    }
+
+    #[test]
+    fn shard_size_roundtrips_and_validates() {
+        let r = sample_recipe().with_shard_size(256);
+        assert_eq!(r.shard_size, Some(256));
+        let parsed = Recipe::from_yaml(&r.to_yaml()).unwrap();
+        assert_eq!(parsed, r);
+        assert_ne!(
+            r.fingerprint(),
+            sample_recipe().fingerprint(),
+            "shard_size participates in the cache key"
+        );
+        let y = Recipe::from_yaml("shard_size: 128\n").unwrap();
+        assert_eq!(y.shard_size, Some(128));
+        assert!(Recipe::from_yaml("shard_size: 0\n").is_err());
     }
 }

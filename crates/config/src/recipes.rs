@@ -80,8 +80,16 @@ pub fn commoncrawl_refine() -> Recipe {
         .then(OpSpec::new("clean_ip_mapper"))
         .then(OpSpec::new("whitespace_normalization_mapper"))
         .then(OpSpec::new("remove_long_words_mapper").with("max_len", 30i64))
-        .then(OpSpec::new("text_length_filter").with("min_len", 50.0).with("max_len", 200000.0))
-        .then(OpSpec::new("word_num_filter").with("min_num", 10.0).with("max_num", 100000.0))
+        .then(
+            OpSpec::new("text_length_filter")
+                .with("min_len", 50.0)
+                .with("max_len", 200000.0),
+        )
+        .then(
+            OpSpec::new("word_num_filter")
+                .with("min_num", 10.0)
+                .with("max_num", 100000.0),
+        )
         .then(
             OpSpec::new("character_repetition_filter")
                 .with("ngram", 10i64)
@@ -99,13 +107,14 @@ pub fn commoncrawl_refine() -> Recipe {
         )
         .then(OpSpec::new("stopwords_filter").with("min_ratio", 0.1))
         .then(OpSpec::new("flagged_words_filter").with("max_ratio", 0.01))
-        .then(OpSpec::new("language_id_score_filter").with("lang", "en").with("min_score", 0.4))
+        .then(
+            OpSpec::new("language_id_score_filter")
+                .with("lang", "en")
+                .with("min_score", 0.4),
+        )
         .then(OpSpec::new("perplexity_filter").with("max_ppl", 8000.0))
         .then(OpSpec::new("document_deduplicator").with("lowercase", true))
-        .then(
-            OpSpec::new("document_minhash_deduplicator")
-                .with("jaccard_threshold", 0.7),
-        )
+        .then(OpSpec::new("document_minhash_deduplicator").with("jaccard_threshold", 0.7))
 }
 
 /// C4-style refinement: lighter cleaning, same dedup.
@@ -123,7 +132,11 @@ pub fn wikipedia_refine() -> Recipe {
         .then(OpSpec::new("fix_unicode_mapper"))
         .then(OpSpec::new("whitespace_normalization_mapper"))
         .then(OpSpec::new("remove_table_text_mapper"))
-        .then(OpSpec::new("text_length_filter").with("min_len", 100.0).with("max_len", 500000.0))
+        .then(
+            OpSpec::new("text_length_filter")
+                .with("min_len", 100.0)
+                .with("max_len", 500000.0),
+        )
         .then(OpSpec::new("special_characters_filter").with("max_ratio", 0.2))
         .then(OpSpec::new("document_deduplicator"))
 }
@@ -132,8 +145,16 @@ pub fn books_refine() -> Recipe {
     Recipe::new("pretrain-books-refine")
         .then(OpSpec::new("fix_unicode_mapper"))
         .then(OpSpec::new("whitespace_normalization_mapper"))
-        .then(OpSpec::new("word_num_filter").with("min_num", 200.0).with("max_num", 2000000.0))
-        .then(OpSpec::new("average_word_length_filter").with("min_len", 2.5).with("max_len", 10.0))
+        .then(
+            OpSpec::new("word_num_filter")
+                .with("min_num", 200.0)
+                .with("max_num", 2000000.0),
+        )
+        .then(
+            OpSpec::new("average_word_length_filter")
+                .with("min_len", 2.5)
+                .with("max_len", 10.0),
+        )
         .then(OpSpec::new("document_simhash_deduplicator").with("max_distance", 4i64))
 }
 
@@ -144,7 +165,11 @@ pub fn arxiv_refine() -> Recipe {
         .then(OpSpec::new("remove_comments_mapper"))
         .then(OpSpec::new("remove_bibliography_mapper"))
         .then(OpSpec::new("whitespace_normalization_mapper"))
-        .then(OpSpec::new("text_length_filter").with("min_len", 200.0).with("max_len", 1000000.0))
+        .then(
+            OpSpec::new("text_length_filter")
+                .with("min_len", 200.0)
+                .with("max_len", 1000000.0),
+        )
         .then(OpSpec::new("document_deduplicator"))
 }
 
@@ -153,8 +178,16 @@ pub fn github_code_refine() -> Recipe {
         .then(OpSpec::new("fix_unicode_mapper"))
         .then(OpSpec::new("remove_long_words_mapper").with("max_len", 120i64))
         .then(OpSpec::new("star_count_filter").with("min_stars", 10i64))
-        .then(OpSpec::new("maximum_line_length_filter").with("min_len", 1.0).with("max_len", 1000.0))
-        .then(OpSpec::new("alphanumeric_ratio_filter").with("min_ratio", 0.3).with("max_ratio", 1.0))
+        .then(
+            OpSpec::new("maximum_line_length_filter")
+                .with("min_len", 1.0)
+                .with("max_len", 1000.0),
+        )
+        .then(
+            OpSpec::new("alphanumeric_ratio_filter")
+                .with("min_ratio", 0.3)
+                .with("max_ratio", 1.0),
+        )
         .then(OpSpec::new("document_deduplicator"))
 }
 
@@ -163,7 +196,11 @@ pub fn stackexchange_refine() -> Recipe {
         .then(OpSpec::new("clean_html_mapper"))
         .then(OpSpec::new("clean_links_mapper"))
         .then(OpSpec::new("whitespace_normalization_mapper"))
-        .then(OpSpec::new("word_num_filter").with("min_num", 10.0).with("max_num", 100000.0))
+        .then(
+            OpSpec::new("word_num_filter")
+                .with("min_num", 10.0)
+                .with("max_num", 100000.0),
+        )
         .then(OpSpec::new("document_deduplicator").with("lowercase", true))
 }
 
@@ -172,7 +209,11 @@ pub fn pile_merge() -> Recipe {
     Recipe::new("pretrain-pile-merge")
         .then(OpSpec::new("fix_unicode_mapper"))
         .then(OpSpec::new("whitespace_normalization_mapper"))
-        .then(OpSpec::new("text_length_filter").with("min_len", 50.0).with("max_len", 1000000.0))
+        .then(
+            OpSpec::new("text_length_filter")
+                .with("min_len", 50.0)
+                .with("max_len", 1000000.0),
+        )
         .then(OpSpec::new("flagged_words_filter").with("max_ratio", 0.02))
         .then(OpSpec::new("document_deduplicator").with("lowercase", true))
         .then(OpSpec::new("document_minhash_deduplicator").with("jaccard_threshold", 0.8))
@@ -191,23 +232,43 @@ pub fn chinese_web_refine() -> Recipe {
         .then(OpSpec::new("fix_unicode_mapper"))
         .then(OpSpec::new("punctuation_normalization_mapper"))
         .then(OpSpec::new("whitespace_normalization_mapper"))
-        .then(OpSpec::new("language_id_score_filter").with("lang", "zh").with("min_score", 0.4))
+        .then(
+            OpSpec::new("language_id_score_filter")
+                .with("lang", "zh")
+                .with("min_score", 0.4),
+        )
         .then(
             OpSpec::new("character_repetition_filter")
                 .with("ngram", 4i64)
                 .with("max_ratio", 0.4),
         )
-        .then(OpSpec::new("text_length_filter").with("min_len", 20.0).with("max_len", 100000.0))
+        .then(
+            OpSpec::new("text_length_filter")
+                .with("min_len", 20.0)
+                .with("max_len", 100000.0),
+        )
         .then(OpSpec::new("document_deduplicator"))
 }
 
 pub fn finetune_en_cft() -> Recipe {
     Recipe::new("finetune-en-cft")
-        .then(OpSpec::new("meta_tag_filter").with("key", "language").with("allowed", vec!["EN"]))
+        .then(
+            OpSpec::new("meta_tag_filter")
+                .with("key", "language")
+                .with("allowed", vec!["EN"]),
+        )
         .then(OpSpec::new("fix_unicode_mapper"))
         .then(OpSpec::new("whitespace_normalization_mapper"))
-        .then(OpSpec::new("text_length_filter").with("min_len", 20.0).with("max_len", 20000.0))
-        .then(OpSpec::new("word_num_filter").with("min_num", 5.0).with("max_num", 5000.0))
+        .then(
+            OpSpec::new("text_length_filter")
+                .with("min_len", 20.0)
+                .with("max_len", 20000.0),
+        )
+        .then(
+            OpSpec::new("word_num_filter")
+                .with("min_num", 5.0)
+                .with("max_num", 5000.0),
+        )
         .then(OpSpec::new("action_verb_filter").with("min_pairs", 1i64))
         .then(OpSpec::new("flagged_words_filter").with("max_ratio", 0.0))
         .then(OpSpec::new("document_deduplicator").with("lowercase", true))
@@ -219,17 +280,27 @@ pub fn finetune_en_ift() -> Recipe {
     r.remove_op("action_verb_filter");
     r.insert_op(
         0,
-        OpSpec::new("meta_tag_filter").with("key", "usage").with("allowed", vec!["IFT"]),
+        OpSpec::new("meta_tag_filter")
+            .with("key", "usage")
+            .with("allowed", vec!["IFT"]),
     );
     r
 }
 
 pub fn finetune_zh_cft() -> Recipe {
     Recipe::new("finetune-zh-cft")
-        .then(OpSpec::new("meta_tag_filter").with("key", "language").with("allowed", vec!["ZH"]))
+        .then(
+            OpSpec::new("meta_tag_filter")
+                .with("key", "language")
+                .with("allowed", vec!["ZH"]),
+        )
         .then(OpSpec::new("fix_unicode_mapper"))
         .then(OpSpec::new("punctuation_normalization_mapper"))
-        .then(OpSpec::new("text_length_filter").with("min_len", 10.0).with("max_len", 20000.0))
+        .then(
+            OpSpec::new("text_length_filter")
+                .with("min_len", 10.0)
+                .with("max_len", 20000.0),
+        )
         .then(
             OpSpec::new("character_repetition_filter")
                 .with("ngram", 4i64)
@@ -247,21 +318,37 @@ pub fn finetune_multilingual() -> Recipe {
         )
         .then(OpSpec::new("fix_unicode_mapper"))
         .then(OpSpec::new("whitespace_normalization_mapper"))
-        .then(OpSpec::new("text_length_filter").with("min_len", 10.0).with("max_len", 50000.0))
+        .then(
+            OpSpec::new("text_length_filter")
+                .with("min_len", 10.0)
+                .with("max_len", 50000.0),
+        )
         .then(OpSpec::new("document_deduplicator"))
 }
 
 pub fn finetune_dialog_multiround() -> Recipe {
     Recipe::new("finetune-dialog-multiround")
-        .then(OpSpec::new("meta_tag_filter").with("key", "usage").with("allowed", vec!["CFT-MR"]))
+        .then(
+            OpSpec::new("meta_tag_filter")
+                .with("key", "usage")
+                .with("allowed", vec!["CFT-MR"]),
+        )
         .then(OpSpec::new("whitespace_normalization_mapper"))
-        .then(OpSpec::new("word_num_filter").with("min_num", 10.0).with("max_num", 20000.0))
+        .then(
+            OpSpec::new("word_num_filter")
+                .with("min_num", 10.0)
+                .with("max_num", 20000.0),
+        )
         .then(OpSpec::new("document_deduplicator"))
 }
 
 pub fn finetune_preference() -> Recipe {
     Recipe::new("finetune-preference")
-        .then(OpSpec::new("meta_tag_filter").with("key", "usage").with("allowed", vec!["CFT-P"]))
+        .then(
+            OpSpec::new("meta_tag_filter")
+                .with("key", "usage")
+                .with("allowed", vec!["CFT-P"]),
+        )
         .then(OpSpec::new("whitespace_normalization_mapper"))
         .then(OpSpec::new("flagged_words_filter").with("max_ratio", 0.0))
         .then(OpSpec::new("document_deduplicator"))
@@ -273,23 +360,36 @@ pub fn domain_financial() -> Recipe {
     Recipe::new("domain-financial")
         .then(OpSpec::new("fix_unicode_mapper"))
         .then(OpSpec::new("whitespace_normalization_mapper"))
-        .then(OpSpec::new("spec_numerals_filter").with("min_ratio", 0.0).with("max_ratio", 0.6))
-        .then(OpSpec::new("text_length_filter").with("min_len", 30.0).with("max_len", 100000.0))
+        .then(
+            OpSpec::new("spec_numerals_filter")
+                .with("min_ratio", 0.0)
+                .with("max_ratio", 0.6),
+        )
+        .then(
+            OpSpec::new("text_length_filter")
+                .with("min_len", 30.0)
+                .with("max_len", 100000.0),
+        )
         .then(OpSpec::new("document_deduplicator"))
 }
 
 pub fn domain_medical() -> Recipe {
     let mut r = domain_financial();
     r.project_name = "domain-medical".into();
-    r.set_param("spec_numerals_filter", "max_ratio", 0.4.into()).expect("present");
-    r.insert_op(3, OpSpec::new("flagged_words_filter").with("max_ratio", 0.0));
+    r.set_param("spec_numerals_filter", "max_ratio", 0.4.into())
+        .expect("present");
+    r.insert_op(
+        3,
+        OpSpec::new("flagged_words_filter").with("max_ratio", 0.0),
+    );
     r
 }
 
 pub fn domain_legal() -> Recipe {
     let mut r = domain_financial();
     r.project_name = "domain-legal".into();
-    r.set_param("text_length_filter", "min_len", 100.0.into()).expect("present");
+    r.set_param("text_length_filter", "min_len", 100.0.into())
+        .expect("present");
     r
 }
 
@@ -299,9 +399,21 @@ pub fn domain_reading_assistant() -> Recipe {
     Recipe::new("domain-reading-assistant")
         .then(OpSpec::new("fix_unicode_mapper"))
         .then(OpSpec::new("whitespace_normalization_mapper"))
-        .then(OpSpec::new("word_num_filter").with("min_num", 500.0).with("max_num", 2000000.0))
-        .then(OpSpec::new("paragraph_count_filter").with("min_num", 3.0).with("max_num", 100000.0))
-        .then(OpSpec::new("word_entropy_filter").with("min_entropy", 3.0).with("max_entropy", 1000.0))
+        .then(
+            OpSpec::new("word_num_filter")
+                .with("min_num", 500.0)
+                .with("max_num", 2000000.0),
+        )
+        .then(
+            OpSpec::new("paragraph_count_filter")
+                .with("min_num", 3.0)
+                .with("max_num", 100000.0),
+        )
+        .then(
+            OpSpec::new("word_entropy_filter")
+                .with("min_entropy", 3.0)
+                .with("max_entropy", 1000.0),
+        )
         .then(OpSpec::new("document_deduplicator"))
 }
 
@@ -309,15 +421,27 @@ pub fn domain_reading_assistant() -> Recipe {
 pub fn domain_character_dialog() -> Recipe {
     Recipe::new("domain-character-dialog")
         .then(OpSpec::new("whitespace_normalization_mapper"))
-        .then(OpSpec::new("word_num_filter").with("min_num", 10.0).with("max_num", 50000.0))
-        .then(OpSpec::new("word_entropy_filter").with("min_entropy", 2.0).with("max_entropy", 1000.0))
+        .then(
+            OpSpec::new("word_num_filter")
+                .with("min_num", 10.0)
+                .with("max_num", 50000.0),
+        )
+        .then(
+            OpSpec::new("word_entropy_filter")
+                .with("min_entropy", 2.0)
+                .with("max_entropy", 1000.0),
+        )
         .then(OpSpec::new("flagged_words_filter").with("max_ratio", 0.0))
         .then(OpSpec::new("document_deduplicator").with("lowercase", true))
 }
 
 pub fn dedup_aggressive() -> Recipe {
     Recipe::new("dedup-aggressive")
-        .then(OpSpec::new("document_deduplicator").with("lowercase", true).with("ignore_non_alnum", true))
+        .then(
+            OpSpec::new("document_deduplicator")
+                .with("lowercase", true)
+                .with("ignore_non_alnum", true),
+        )
         .then(OpSpec::new("paragraph_deduplicator"))
         .then(OpSpec::new("document_minhash_deduplicator").with("jaccard_threshold", 0.6))
         .then(OpSpec::new("document_simhash_deduplicator").with("max_distance", 4i64))
@@ -335,7 +459,11 @@ pub fn quality_strict() -> Recipe {
 pub fn minimal_clean() -> Recipe {
     Recipe::new("minimal-clean")
         .then(OpSpec::new("whitespace_normalization_mapper"))
-        .then(OpSpec::new("text_length_filter").with("min_len", 1.0).with("max_len", 1e9))
+        .then(
+            OpSpec::new("text_length_filter")
+                .with("min_len", 1.0)
+                .with("max_len", 1e9),
+        )
 }
 
 #[cfg(test)]

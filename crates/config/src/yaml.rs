@@ -368,12 +368,8 @@ fn write_list_item(out: &mut String, item: &Value, indent: usize) {
 
 fn write_nested(out: &mut String, v: &Value, indent: usize) {
     match v {
-        Value::Map(m) if m.is_empty() => {
-            out.push_str(&format!("{}{{}}\n", " ".repeat(indent)))
-        }
-        Value::List(l) if l.is_empty() => {
-            out.push_str(&format!("{}[]\n", " ".repeat(indent)))
-        }
+        Value::Map(m) if m.is_empty() => out.push_str(&format!("{}{{}}\n", " ".repeat(indent))),
+        Value::List(l) if l.is_empty() => out.push_str(&format!("{}[]\n", " ".repeat(indent))),
         Value::Map(m) => {
             for (k, val) in m {
                 write_entry(out, k, val, indent);
@@ -385,7 +381,11 @@ fn write_nested(out: &mut String, v: &Value, indent: usize) {
             }
         }
         scalar => {
-            out.push_str(&format!("{}{}\n", " ".repeat(indent), scalar_to_yaml(scalar)));
+            out.push_str(&format!(
+                "{}{}\n",
+                " ".repeat(indent),
+                scalar_to_yaml(scalar)
+            ));
         }
     }
 }
@@ -405,7 +405,9 @@ fn scalar_to_yaml(v: &Value) -> String {
             if needs_quoting {
                 format!(
                     "\"{}\"",
-                    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+                    s.replace('\\', "\\\\")
+                        .replace('"', "\\\"")
+                        .replace('\n', "\\n")
                 )
             } else {
                 s.clone()
@@ -440,7 +442,10 @@ process:
     #[test]
     fn parses_recipe_shape() {
         let v = parse_yaml(RECIPE).unwrap();
-        assert_eq!(v.get_path("project_name").unwrap().as_str(), Some("demo-recipe"));
+        assert_eq!(
+            v.get_path("project_name").unwrap().as_str(),
+            Some("demo-recipe")
+        );
         assert_eq!(v.get_path("np").unwrap().as_int(), Some(4));
         let ops = v.get_path("process").unwrap().as_list().unwrap();
         assert_eq!(ops.len(), 4);
@@ -467,8 +472,14 @@ process:
         assert_eq!(parse_scalar("-3.5"), Value::Float(-3.5));
         assert_eq!(parse_scalar("true"), Value::Bool(true));
         assert_eq!(parse_scalar("~"), Value::Null);
-        assert_eq!(parse_scalar("hello world"), Value::Str("hello world".into()));
-        assert_eq!(parse_scalar("'quoted: str'"), Value::Str("quoted: str".into()));
+        assert_eq!(
+            parse_scalar("hello world"),
+            Value::Str("hello world".into())
+        );
+        assert_eq!(
+            parse_scalar("'quoted: str'"),
+            Value::Str("quoted: str".into())
+        );
         assert_eq!(parse_scalar("\"a\\nb\""), Value::Str("a\nb".into()));
     }
 

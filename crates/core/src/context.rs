@@ -82,10 +82,7 @@ impl SampleContext {
     pub fn lines(&mut self, text: &str) -> &[String] {
         if self.lines.as_ref().map(|(v, _)| *v) != Some(self.version) {
             self.compute_count += 1;
-            self.lines = Some((
-                self.version,
-                text.split('\n').map(str::to_string).collect(),
-            ));
+            self.lines = Some((self.version, text.split('\n').map(str::to_string).collect()));
         }
         &self.lines.as_ref().expect("just set").1
     }

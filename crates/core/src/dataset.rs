@@ -125,6 +125,20 @@ impl Dataset {
         }
     }
 
+    /// Split into `n` contiguous shards of near-equal size, preserving
+    /// sample order: `Dataset::from_shards(d.into_shards(n)) == d` for any
+    /// `n >= 1`. This is the unit of work of the sharded pipeline executor
+    /// (each worker drives a whole plan stage over one shard).
+    pub fn into_shards(self, n: usize) -> Vec<Dataset> {
+        self.partition(n)
+    }
+
+    /// Reassemble shards produced by [`Dataset::into_shards`], preserving
+    /// shard order (and therefore the original sample order).
+    pub fn from_shards(shards: Vec<Dataset>) -> Dataset {
+        Dataset::concat(shards)
+    }
+
     /// Partition into `n` contiguous shards of near-equal size.
     ///
     /// Used by the distributed backends for automatic data partitioning.
@@ -259,7 +273,10 @@ mod tests {
         let d = ds();
         let original = d.clone();
         let shards = d.partition(3);
-        assert_eq!(shards.iter().map(Dataset::len).collect::<Vec<_>>(), vec![2, 2, 1]);
+        assert_eq!(
+            shards.iter().map(Dataset::len).collect::<Vec<_>>(),
+            vec![2, 2, 1]
+        );
         let merged = Dataset::concat(shards);
         assert_eq!(merged, original);
     }

@@ -161,8 +161,7 @@ impl Parser {
                             if !(0xDC00..0xE000).contains(&lo) {
                                 return Err(self.err("invalid low surrogate"));
                             }
-                            let code =
-                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                            let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
                             char::from_u32(code)
                         } else {
                             char::from_u32(hi)
@@ -182,7 +181,9 @@ impl Parser {
     fn parse_hex4(&mut self) -> Result<u32> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let c = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = c
                 .to_digit(16)
                 .ok_or_else(|| self.err("non-hex digit in \\u escape"))?;
@@ -268,10 +269,7 @@ mod tests {
 
     #[test]
     fn surrogate_pairs() {
-        assert_eq!(
-            parse_json(r#""😀""#).unwrap(),
-            Value::Str("😀".into())
-        );
+        assert_eq!(parse_json(r#""😀""#).unwrap(), Value::Str("😀".into()));
         assert!(parse_json(r#""\ud83d""#).is_err());
         assert!(parse_json(r#""\ud83dx""#).is_err());
     }
@@ -279,8 +277,17 @@ mod tests {
     #[test]
     fn rejects_malformed_input() {
         for bad in [
-            "", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "01x", "\"unterminated",
-            "{\"a\":1} extra", "[1 2]", "nan",
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "01x",
+            "\"unterminated",
+            "{\"a\":1} extra",
+            "[1 2]",
+            "nan",
         ] {
             assert!(parse_json(bad).is_err(), "should reject {bad:?}");
         }
@@ -289,7 +296,8 @@ mod tests {
     #[test]
     fn roundtrip_display_then_parse() {
         let mut v = Value::map();
-        v.set_path("text", Value::from("line1\nline2\t\"quoted\"")).unwrap();
+        v.set_path("text", Value::from("line1\nline2\t\"quoted\""))
+            .unwrap();
         v.set_path("meta.count", Value::Int(5)).unwrap();
         v.set_path("stats.ratio", Value::Float(0.25)).unwrap();
         v.set_path("tags", Value::from(vec!["a", "b"])).unwrap();

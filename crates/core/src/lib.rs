@@ -26,6 +26,7 @@ pub mod error;
 pub mod json;
 pub mod op;
 pub mod sample;
+pub mod shard;
 pub mod value;
 
 pub use context::{is_cjk, segment_sentences, segment_words, ContextNeeds, SampleContext};
@@ -37,4 +38,5 @@ pub use op::{
     OpRegistry,
 };
 pub use sample::{Sample, META_KEY, STATS_KEY, TEXT_KEY};
+pub use shard::ShardStats;
 pub use value::Value;

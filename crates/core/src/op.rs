@@ -209,7 +209,10 @@ pub mod params {
         match p.get(key) {
             None => Ok(default),
             Some(v) => v.as_float().ok_or_else(|| {
-                DjError::Config(format!("parameter `{key}` must be numeric, got {}", v.kind()))
+                DjError::Config(format!(
+                    "parameter `{key}` must be numeric, got {}",
+                    v.kind()
+                ))
             }),
         }
     }
@@ -231,7 +234,10 @@ pub mod params {
         match p.get(key) {
             None => Ok(default),
             Some(v) => v.as_bool().ok_or_else(|| {
-                DjError::Config(format!("parameter `{key}` must be a bool, got {}", v.kind()))
+                DjError::Config(format!(
+                    "parameter `{key}` must be a bool, got {}",
+                    v.kind()
+                ))
             }),
         }
     }
@@ -240,7 +246,10 @@ pub mod params {
         match p.get(key) {
             None => Ok(default),
             Some(v) => v.as_str().ok_or_else(|| {
-                DjError::Config(format!("parameter `{key}` must be a string, got {}", v.kind()))
+                DjError::Config(format!(
+                    "parameter `{key}` must be a string, got {}",
+                    v.kind()
+                ))
             }),
         }
     }
@@ -251,9 +260,9 @@ pub mod params {
             Some(Value::List(l)) => l
                 .iter()
                 .map(|v| {
-                    v.as_str().map(str::to_string).ok_or_else(|| {
-                        DjError::Config(format!("`{key}` entries must be strings"))
-                    })
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| DjError::Config(format!("`{key}` entries must be strings")))
                 })
                 .collect(),
             Some(v) => Err(DjError::Config(format!(

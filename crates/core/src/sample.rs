@@ -124,9 +124,7 @@ impl Sample {
 
     /// True when the statistic has already been computed.
     pub fn has_stat(&self, key: &str) -> bool {
-        self.root
-            .get_path(&format!("{STATS_KEY}.{key}"))
-            .is_some()
+        self.root.get_path(&format!("{STATS_KEY}.{key}")).is_some()
     }
 
     /// All recorded statistics as `(key, value)` pairs.

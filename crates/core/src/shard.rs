@@ -1,0 +1,83 @@
+//! Per-shard statistics accumulation for the sharded pipeline executor.
+//!
+//! Each worker drives a whole plan stage over one shard and records, per
+//! step, how many samples it saw, kept, removed and edited, plus the CPU
+//! time it spent in that step. After the stage joins, the executor merges
+//! the per-shard accumulators into one dataset-level view per step:
+//! counts add up, durations take the maximum across shards (the step's
+//! contribution to the stage's critical path).
+
+use std::time::Duration;
+
+/// Counters one shard accumulates for one plan step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Samples that entered this step on this shard.
+    pub samples_in: usize,
+    /// Samples that survived this step on this shard.
+    pub samples_out: usize,
+    /// Samples removed by this step on this shard (filters/dedups).
+    pub removed: usize,
+    /// Samples whose text this step rewrote (mappers).
+    pub changed: usize,
+    /// CPU time this shard spent inside this step.
+    pub duration: Duration,
+}
+
+impl ShardStats {
+    /// Merge another shard's counters for the same step into this one.
+    ///
+    /// Counts are additive; the duration takes the per-shard maximum, which
+    /// approximates the step's wall-clock contribution when shards run in
+    /// parallel.
+    pub fn merge(&mut self, other: &ShardStats) {
+        self.samples_in += other.samples_in;
+        self.samples_out += other.samples_out;
+        self.removed += other.removed;
+        self.changed += other.changed;
+        self.duration = self.duration.max(other.duration);
+    }
+
+    /// Fold a sequence of per-shard accumulators into one.
+    pub fn merged<'a>(all: impl IntoIterator<Item = &'a ShardStats>) -> ShardStats {
+        let mut out = ShardStats::default();
+        for s in all {
+            out.merge(s);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counts_and_maxes_duration() {
+        let a = ShardStats {
+            samples_in: 10,
+            samples_out: 8,
+            removed: 2,
+            changed: 3,
+            duration: Duration::from_millis(5),
+        };
+        let b = ShardStats {
+            samples_in: 7,
+            samples_out: 7,
+            removed: 0,
+            changed: 1,
+            duration: Duration::from_millis(9),
+        };
+        let m = ShardStats::merged([&a, &b]);
+        assert_eq!(m.samples_in, 17);
+        assert_eq!(m.samples_out, 15);
+        assert_eq!(m.removed, 2);
+        assert_eq!(m.changed, 4);
+        assert_eq!(m.duration, Duration::from_millis(9));
+    }
+
+    #[test]
+    fn merged_of_empty_is_default() {
+        assert_eq!(ShardStats::merged([]), ShardStats::default());
+    }
+}

@@ -124,16 +124,14 @@ impl Value {
         let mut segs = path.split('.').peekable();
         while let Some(seg) = segs.next() {
             let is_last = segs.peek().is_none();
-            let map = cur
-                .as_map_mut()
-                .ok_or_else(|| DjError::Field(format!("`{path}`: segment before `{seg}` is not a map")))?;
+            let map = cur.as_map_mut().ok_or_else(|| {
+                DjError::Field(format!("`{path}`: segment before `{seg}` is not a map"))
+            })?;
             if is_last {
                 map.insert(seg.to_string(), value);
                 return Ok(());
             }
-            cur = map
-                .entry(seg.to_string())
-                .or_insert_with(Value::map);
+            cur = map.entry(seg.to_string()).or_insert_with(Value::map);
         }
         Err(DjError::Field(format!("empty path `{path}`")))
     }
@@ -141,10 +139,7 @@ impl Value {
     /// Remove the value at a dotted path; returns the removed value if present.
     pub fn remove_path(&mut self, path: &str) -> Option<Value> {
         match path.rsplit_once('.') {
-            Some((parent, leaf)) => self
-                .get_path_mut(parent)?
-                .as_map_mut()?
-                .remove(leaf),
+            Some((parent, leaf)) => self.get_path_mut(parent)?.as_map_mut()?.remove(leaf),
             None => self.as_map_mut()?.remove(path),
         }
     }
@@ -299,14 +294,8 @@ mod tests {
     fn nested_get_set_roundtrip() {
         let v = sample_tree();
         assert_eq!(v.get_path("text").unwrap().as_str(), Some("hello"));
-        assert_eq!(
-            v.get_path("meta.language").unwrap().as_str(),
-            Some("en")
-        );
-        assert_eq!(
-            v.get_path("stats.word_count").unwrap().as_int(),
-            Some(2)
-        );
+        assert_eq!(v.get_path("meta.language").unwrap().as_str(), Some("en"));
+        assert_eq!(v.get_path("stats.word_count").unwrap().as_int(), Some(2));
         assert!(v.get_path("meta.missing").is_none());
         assert!(v.get_path("text.sub").is_none());
     }

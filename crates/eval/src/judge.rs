@@ -33,9 +33,7 @@ impl TunedModel {
     /// logarithmically with rapidly diminishing returns.
     pub fn utility(&self) -> f64 {
         let volume = (self.profile.samples.max(1) as f64).log10() / 8.0;
-        0.5 * self.profile.diversity
-            + 0.3 * self.profile.cleanliness
-            + 0.2 * volume.min(1.0)
+        0.5 * self.profile.diversity + 0.3 * self.profile.cleanliness + 0.2 * volume.min(1.0)
             - 0.15 * self.profile.dup_rate
     }
 }

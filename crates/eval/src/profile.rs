@@ -68,9 +68,9 @@ pub fn measure_profile(dataset: &mut Dataset, token_scale: f64) -> DataProfile {
     let word_rep = (mean("word_rep_ratio") * 2.5).min(1.0);
     let char_rep = (mean("char_rep_ratio") * 2.0).min(1.0);
     let special_excess = ((mean("special_char_ratio") - 0.05).max(0.0) * 8.0).min(1.0);
-    let cleanliness =
-        (1.0 - (0.35 * flagged + 0.3 * word_rep + 0.2 * char_rep + 0.15 * special_excess))
-            .clamp(0.0, 1.0);
+    let cleanliness = (1.0
+        - (0.35 * flagged + 0.3 * word_rep + 0.2 * char_rep + 0.15 * special_excess))
+        .clamp(0.0, 1.0);
 
     // Diversity: per-sample lexical entropy plus dataset-level
     // instruction-style (verb-noun) entropy.
@@ -112,7 +112,12 @@ mod tests {
 
     fn noisy_ds() -> Dataset {
         let mut texts: Vec<String> = (0..20)
-            .map(|i| format!("buy now buy now flagged{} winbig casino $$$ ### {i} {i} {i}", i % 10))
+            .map(|i| {
+                format!(
+                    "buy now buy now flagged{} winbig casino $$$ ### {i} {i} {i}",
+                    i % 10
+                )
+            })
             .collect();
         // Exact duplicates.
         for _ in 0..20 {

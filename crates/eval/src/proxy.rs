@@ -109,8 +109,8 @@ impl ProxyLlm {
         }
         let et_eff = et * (1.0 - ep.dup_rate);
         let sat = et_eff / (et_eff + 2.0);
-        let quality = (0.5 * ep.cleanliness + 0.5 * ep.diversity - 0.5 * ep.dup_rate)
-            .clamp(0.0, 1.0);
+        let quality =
+            (0.5 * ep.cleanliness + 0.5 * ep.diversity - 0.5 * ep.dup_rate).clamp(0.0, 1.0);
         let instr_value = sat * quality.powi(4);
         let blended = DataProfile {
             tokens_b: bt + et,
@@ -183,8 +183,7 @@ mod tests {
         let ift_refined = profile(0.95, 0.9, 0.0);
         let plain = llm.evaluate("plain", &base, 150.0);
         let with_raw = llm.evaluate_continued("raw-ift", (&base, 150.0), (&ift_raw, 15.0));
-        let with_refined =
-            llm.evaluate_continued("dj-ift", (&base, 150.0), (&ift_refined, 4.7));
+        let with_refined = llm.evaluate_continued("dj-ift", (&base, 150.0), (&ift_refined, 4.7));
         assert!(with_raw.average() > plain.average());
         // Refined IFT wins despite ~30% of the volume (Table 2's last rows).
         assert!(

@@ -109,7 +109,13 @@ impl Leaderboard {
                 let tasks: Vec<String> = self
                     .models
                     .first()
-                    .map(|m| m.result.task_scores.iter().map(|(n, _)| n.clone()).collect())
+                    .map(|m| {
+                        m.result
+                            .task_scores
+                            .iter()
+                            .map(|(n, _)| n.clone())
+                            .collect()
+                    })
                     .unwrap_or_default();
                 let mut rank_sum: BTreeMap<&str, f64> =
                     self.models.iter().map(|m| (m.name.as_str(), 0.0)).collect();
@@ -137,7 +143,13 @@ impl Leaderboard {
                 let tasks: Vec<String> = self
                     .models
                     .first()
-                    .map(|m| m.result.task_scores.iter().map(|(n, _)| n.clone()).collect())
+                    .map(|m| {
+                        m.result
+                            .task_scores
+                            .iter()
+                            .map(|(n, _)| n.clone())
+                            .collect()
+                    })
                     .unwrap_or_default();
                 let mut z_sum: BTreeMap<&str, f64> =
                     self.models.iter().map(|m| (m.name.as_str(), 0.0)).collect();
@@ -149,8 +161,7 @@ impl Leaderboard {
                         .collect();
                     let n = scores.len().max(1) as f64;
                     let mean = scores.iter().sum::<f64>() / n;
-                    let std =
-                        (scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n).sqrt();
+                    let std = (scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n).sqrt();
                     for m in &self.models {
                         if let Some(s) = m.result.score_of(task) {
                             let z = if std > 0.0 { (s - mean) / std } else { 0.0 };
@@ -210,8 +221,16 @@ mod tests {
         let falcon = lb.get("Falcon-1.3B").unwrap();
         let pythia = lb.get("Pythia-1.4B").unwrap();
         // Table 2 reports 33.97 and 33.96.
-        assert!((falcon.result.average() - 33.97).abs() < 0.05, "falcon={}", falcon.result.average());
-        assert!((pythia.result.average() - 33.96).abs() < 0.05, "pythia={}", pythia.result.average());
+        assert!(
+            (falcon.result.average() - 33.97).abs() < 0.05,
+            "falcon={}",
+            falcon.result.average()
+        );
+        assert!(
+            (pythia.result.average() - 33.96).abs() < 0.05,
+            "pythia={}",
+            pythia.result.average()
+        );
     }
 
     #[test]

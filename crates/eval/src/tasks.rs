@@ -38,22 +38,134 @@ pub fn helm_core_tasks() -> Vec<Task> {
     // LLaMA-1.3B (Data-Juicer): e.g. MMLU ≈ 26 (near floor), NarrativeQA ≈
     // 38, IMDB ≈ 80, XSUM ≈ 5.
     vec![
-        Task { name: "MMLU", floor: 24.0, gain: 6.0, half_sat_b: 120.0, w_clean: 0.5, w_div: 0.5 },
-        Task { name: "BoolQ", floor: 38.0, gain: 24.0, half_sat_b: 80.0, w_clean: 0.6, w_div: 0.4 },
-        Task { name: "NarrativeQA", floor: 18.0, gain: 38.0, half_sat_b: 70.0, w_clean: 0.5, w_div: 0.5 },
-        Task { name: "NaturalQuestions (closed-book)", floor: 6.0, gain: 9.0, half_sat_b: 100.0, w_clean: 0.5, w_div: 0.5 },
-        Task { name: "NaturalQuestions (open-book)", floor: 30.0, gain: 34.0, half_sat_b: 60.0, w_clean: 0.55, w_div: 0.45 },
-        Task { name: "QuAC", floor: 16.0, gain: 18.0, half_sat_b: 80.0, w_clean: 0.5, w_div: 0.5 },
-        Task { name: "HellaSwag", floor: 33.0, gain: 42.0, half_sat_b: 90.0, w_clean: 0.65, w_div: 0.35 },
-        Task { name: "OpenbookQA", floor: 26.0, gain: 26.0, half_sat_b: 75.0, w_clean: 0.5, w_div: 0.5 },
-        Task { name: "TruthfulQA", floor: 16.0, gain: 28.0, half_sat_b: 70.0, w_clean: 0.75, w_div: 0.25 },
-        Task { name: "MS MARCO (regular)", floor: 6.0, gain: 11.0, half_sat_b: 90.0, w_clean: 0.5, w_div: 0.5 },
-        Task { name: "MS MARCO (TREC)", floor: 16.0, gain: 20.0, half_sat_b: 90.0, w_clean: 0.5, w_div: 0.5 },
-        Task { name: "IMDB", floor: 48.0, gain: 52.0, half_sat_b: 50.0, w_clean: 0.45, w_div: 0.55 },
-        Task { name: "XSUM", floor: 3.0, gain: 4.5, half_sat_b: 110.0, w_clean: 0.5, w_div: 0.5 },
-        Task { name: "CNN/DailyMail", floor: 3.0, gain: 9.0, half_sat_b: 100.0, w_clean: 0.45, w_div: 0.55 },
-        Task { name: "CivilComments", floor: 46.0, gain: 7.0, half_sat_b: 90.0, w_clean: 0.8, w_div: 0.2 },
-        Task { name: "RAFT", floor: 32.0, gain: 18.0, half_sat_b: 85.0, w_clean: 0.4, w_div: 0.6 },
+        Task {
+            name: "MMLU",
+            floor: 24.0,
+            gain: 6.0,
+            half_sat_b: 120.0,
+            w_clean: 0.5,
+            w_div: 0.5,
+        },
+        Task {
+            name: "BoolQ",
+            floor: 38.0,
+            gain: 24.0,
+            half_sat_b: 80.0,
+            w_clean: 0.6,
+            w_div: 0.4,
+        },
+        Task {
+            name: "NarrativeQA",
+            floor: 18.0,
+            gain: 38.0,
+            half_sat_b: 70.0,
+            w_clean: 0.5,
+            w_div: 0.5,
+        },
+        Task {
+            name: "NaturalQuestions (closed-book)",
+            floor: 6.0,
+            gain: 9.0,
+            half_sat_b: 100.0,
+            w_clean: 0.5,
+            w_div: 0.5,
+        },
+        Task {
+            name: "NaturalQuestions (open-book)",
+            floor: 30.0,
+            gain: 34.0,
+            half_sat_b: 60.0,
+            w_clean: 0.55,
+            w_div: 0.45,
+        },
+        Task {
+            name: "QuAC",
+            floor: 16.0,
+            gain: 18.0,
+            half_sat_b: 80.0,
+            w_clean: 0.5,
+            w_div: 0.5,
+        },
+        Task {
+            name: "HellaSwag",
+            floor: 33.0,
+            gain: 42.0,
+            half_sat_b: 90.0,
+            w_clean: 0.65,
+            w_div: 0.35,
+        },
+        Task {
+            name: "OpenbookQA",
+            floor: 26.0,
+            gain: 26.0,
+            half_sat_b: 75.0,
+            w_clean: 0.5,
+            w_div: 0.5,
+        },
+        Task {
+            name: "TruthfulQA",
+            floor: 16.0,
+            gain: 28.0,
+            half_sat_b: 70.0,
+            w_clean: 0.75,
+            w_div: 0.25,
+        },
+        Task {
+            name: "MS MARCO (regular)",
+            floor: 6.0,
+            gain: 11.0,
+            half_sat_b: 90.0,
+            w_clean: 0.5,
+            w_div: 0.5,
+        },
+        Task {
+            name: "MS MARCO (TREC)",
+            floor: 16.0,
+            gain: 20.0,
+            half_sat_b: 90.0,
+            w_clean: 0.5,
+            w_div: 0.5,
+        },
+        Task {
+            name: "IMDB",
+            floor: 48.0,
+            gain: 52.0,
+            half_sat_b: 50.0,
+            w_clean: 0.45,
+            w_div: 0.55,
+        },
+        Task {
+            name: "XSUM",
+            floor: 3.0,
+            gain: 4.5,
+            half_sat_b: 110.0,
+            w_clean: 0.5,
+            w_div: 0.5,
+        },
+        Task {
+            name: "CNN/DailyMail",
+            floor: 3.0,
+            gain: 9.0,
+            half_sat_b: 100.0,
+            w_clean: 0.45,
+            w_div: 0.55,
+        },
+        Task {
+            name: "CivilComments",
+            floor: 46.0,
+            gain: 7.0,
+            half_sat_b: 90.0,
+            w_clean: 0.8,
+            w_div: 0.2,
+        },
+        Task {
+            name: "RAFT",
+            floor: 32.0,
+            gain: 18.0,
+            half_sat_b: 85.0,
+            w_clean: 0.4,
+            w_div: 0.6,
+        },
     ]
 }
 
@@ -102,11 +214,8 @@ mod tests {
         // A decent mixed corpus at 150B tokens should average near the
         // low-to-mid 30s as Table 2 reports for 1.3B-class models.
         let tasks = helm_core_tasks();
-        let avg: f64 = tasks
-            .iter()
-            .map(|t| t.score(150.0, 0.8, 0.6))
-            .sum::<f64>()
-            / tasks.len() as f64;
+        let avg: f64 =
+            tasks.iter().map(|t| t.score(150.0, 0.8, 0.6)).sum::<f64>() / tasks.len() as f64;
         assert!((28.0..40.0).contains(&avg), "avg={avg}");
     }
 }

@@ -1,12 +1,22 @@
-//! The pipeline executor: parallel OP execution with context management,
-//! optional fusion/reordering, per-OP tracing and cache/checkpoint resume.
+//! The sharded, pipelined executor: whole-plan-per-shard execution with
+//! context management, optional fusion/reordering, per-OP tracing and
+//! stage-boundary cache/checkpoint resume.
+//!
+//! See the crate docs for the stage/shard execution model.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use dj_core::{Dataset, Op, Result, Sample, SampleContext, Value};
+use dj_core::{Dataset, Op, Result, Sample, SampleContext, ShardStats, Value};
 use dj_store::CacheManager;
 
-use crate::fusion::{plan_fused, plan_unfused, Plan, PlanStep};
+use crate::fusion::{plan_fused, plan_unfused, Plan, PlanStep, Stage};
+
+/// How many shards to cut per worker when `shard_size` is on auto.
+/// Over-partitioning lets fast workers steal extra shards (morsel-driven
+/// scheduling) instead of idling at the stage join.
+const AUTO_SHARDS_PER_WORKER: usize = 4;
 
 /// Executor configuration.
 #[derive(Debug, Clone)]
@@ -17,15 +27,47 @@ pub struct ExecOptions {
     pub op_fusion: bool,
     /// How many trace examples to keep per OP (0 disables tracing).
     pub trace_examples: usize,
+    /// Target samples per shard. `None` = auto: cut
+    /// `num_workers * 4` shards so workers can steal work from stragglers.
+    pub shard_size: Option<usize>,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
         ExecOptions {
-            num_workers: 1,
+            num_workers: default_parallelism(),
             op_fusion: true,
             trace_examples: 0,
+            shard_size: None,
         }
+    }
+}
+
+/// The machine's available parallelism (fallback 1).
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+impl ExecOptions {
+    /// How many shards to cut for a dataset of `len` samples.
+    fn shard_count(&self, len: usize) -> usize {
+        if len == 0 {
+            return 1;
+        }
+        let n = match self.shard_size {
+            Some(size) => len.div_ceil(size.max(1)),
+            None => {
+                let workers = self.num_workers.max(1);
+                if workers == 1 {
+                    1
+                } else {
+                    workers * AUTO_SHARDS_PER_WORKER
+                }
+            }
+        };
+        n.clamp(1, len)
     }
 }
 
@@ -33,7 +75,10 @@ impl Default for ExecOptions {
 #[derive(Debug, Clone)]
 pub enum TraceEvent {
     /// A sample a Filter discarded, with the stats that decided it.
-    Discarded { text: String, stats: Vec<(String, f64)> },
+    Discarded {
+        text: String,
+        stats: Vec<(String, f64)>,
+    },
     /// A Mapper edit: before/after pair.
     Edited { before: String, after: String },
     /// A Deduplicator drop: the dropped near-duplicate's text.
@@ -50,6 +95,8 @@ pub struct OpReport {
     pub removed: usize,
     /// Samples whose text a mapper changed.
     pub changed: usize,
+    /// The step's critical-path time: the maximum across shards of the
+    /// time each shard spent inside this step.
     pub duration: Duration,
     pub fused: bool,
     pub trace: Vec<TraceEvent>,
@@ -63,11 +110,16 @@ pub struct RunReport {
     pub total_duration: Duration,
     pub initial_samples: usize,
     pub final_samples: usize,
-    /// Peak approximate dataset heap footprint observed between steps.
+    /// Peak approximate dataset heap footprint observed at stage
+    /// boundaries (inside a stage only one shard per worker is hot).
     pub peak_bytes: usize,
     pub fused_groups: usize,
-    /// Steps that were resumed from cache instead of executed.
+    /// Plan steps that were resumed from cache instead of executed.
     pub resumed_steps: usize,
+    /// Pipeline stages the plan was segmented into.
+    pub stages: usize,
+    /// Shards cut for the largest pipeline stage.
+    pub shards: usize,
 }
 
 impl RunReport {
@@ -118,7 +170,7 @@ impl Executor {
     }
 
     /// Execute with cache/checkpoint support: resumes from the longest
-    /// cached prefix and saves after every step (§4.1.1).
+    /// cached stage prefix and saves after every stage (§4.1.1).
     pub fn run_with_cache(
         &self,
         dataset: Dataset,
@@ -133,50 +185,45 @@ impl Executor {
         cache: Option<&CacheManager>,
     ) -> Result<(Dataset, RunReport)> {
         let plan = self.plan();
+        let stages = plan.stages();
         let start = Instant::now();
         let mut report = RunReport {
             initial_samples: dataset.len(),
             peak_bytes: dataset.approx_bytes(),
             fused_groups: plan.fused_groups,
+            stages: stages.len(),
             ..RunReport::default()
         };
 
-        // Resume from the longest cached prefix. A corrupt or unreadable
-        // cache must never fail the run — fall back to fresh execution
-        // (the §4.1.1 resilience goal).
-        let mut first_step = 0;
+        // Resume from the longest cached stage prefix. A corrupt or
+        // unreadable cache must never fail the run — fall back to fresh
+        // execution (the §4.1.1 resilience goal).
+        let mut first_stage = 0;
         if let Some(cm) = cache {
-            let keys: Vec<(usize, String)> = plan
-                .steps
+            let keys: Vec<(usize, String)> = stages
                 .iter()
                 .enumerate()
                 .map(|(i, s)| (i, s.name()))
                 .collect();
             if let Ok(Some((idx, cached))) = cm.latest_match(&keys) {
                 dataset = cached;
-                first_step = idx + 1;
-                report.resumed_steps = first_step;
+                first_stage = idx + 1;
+                report.resumed_steps = stages[..first_stage].iter().map(Stage::step_count).sum();
             }
         }
 
-        for (i, step) in plan.steps.iter().enumerate().skip(first_step) {
-            let in_len = dataset.len();
-            let t0 = Instant::now();
-            let (removed, changed, trace) = self.run_step(step, &mut dataset)?;
-            let duration = t0.elapsed();
+        for (i, stage) in stages.iter().enumerate().skip(first_stage) {
+            match stage {
+                Stage::Pipeline { steps, .. } => {
+                    self.run_pipeline_stage(steps, &mut dataset, &mut report)?;
+                }
+                Stage::Barrier { dedup, .. } => {
+                    self.run_dedup_stage(dedup.as_ref(), &mut dataset, &mut report)?;
+                }
+            }
             report.peak_bytes = report.peak_bytes.max(dataset.approx_bytes());
-            report.ops.push(OpReport {
-                name: step.name(),
-                samples_in: in_len,
-                samples_out: dataset.len(),
-                removed,
-                changed,
-                duration,
-                fused: step.is_fused(),
-                trace,
-            });
             if let Some(cm) = cache {
-                cm.save(i, &step.name(), &dataset)?;
+                cm.save(i, &stage.name(), &dataset)?;
             }
         }
         report.final_samples = dataset.len();
@@ -184,151 +231,277 @@ impl Executor {
         Ok((dataset, report))
     }
 
-    fn run_step(
+    /// Drive a run of sample-local steps whole-stage-per-shard: every
+    /// worker claims shards from a shared queue and pushes each shard
+    /// through *all* steps before touching the next shard — no per-op
+    /// barrier, no intermediate whole-dataset materialization.
+    fn run_pipeline_stage(
         &self,
-        step: &PlanStep,
+        steps: &[PlanStep],
         dataset: &mut Dataset,
-    ) -> Result<(usize, usize, Vec<TraceEvent>)> {
+        report: &mut RunReport,
+    ) -> Result<()> {
+        if steps.is_empty() {
+            return Ok(());
+        }
         let cap = self.options.trace_examples;
-        match step {
-            PlanStep::Mapper(m) => {
-                let results = par_map(
-                    dataset.samples_mut(),
-                    self.options.num_workers,
-                    |sample, ctx| {
-                        let before = if cap > 0 {
-                            Some(sample.text().to_string())
-                        } else {
-                            None
-                        };
-                        let changed = m.process(sample, ctx)?;
-                        if changed {
-                            ctx.invalidate();
-                        }
-                        Ok((changed, before))
-                    },
-                )?;
-                let mut changed = 0;
-                let mut trace = Vec::new();
-                for (i, (did_change, before)) in results.into_iter().enumerate() {
-                    if did_change {
-                        changed += 1;
-                        if trace.len() < cap {
-                            if let Some(b) = before {
-                                trace.push(TraceEvent::Edited {
-                                    before: snippet(&b),
-                                    after: snippet(dataset.get(i).expect("index valid").text()),
-                                });
-                            }
+        let shard_count = self.options.shard_count(dataset.len());
+        let workers = self.options.num_workers.max(1).min(shard_count);
+        report.shards = report.shards.max(shard_count);
+
+        let shards = std::mem::take(dataset).into_shards(shard_count);
+        let results: Vec<Mutex<Option<Result<ShardOutcome>>>> =
+            shards.iter().map(|_| Mutex::new(None)).collect();
+        let queue: Vec<Mutex<Option<Dataset>>> =
+            shards.into_iter().map(|s| Mutex::new(Some(s))).collect();
+        let next = AtomicUsize::new(0);
+
+        if workers == 1 {
+            // Sequential fast path: same code path, no thread overhead.
+            drive_shards(steps, &queue, &results, &next, cap);
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| drive_shards(steps, &queue, &results, &next, cap));
+                }
+            });
+        }
+
+        // Merge per-shard outcomes in shard order: output order is
+        // independent of worker scheduling, so any shard count produces
+        // byte-identical results.
+        let mut merged: Vec<Dataset> = Vec::with_capacity(results.len());
+        let mut stats = vec![ShardStats::default(); steps.len()];
+        let mut traces: Vec<Vec<TraceEvent>> = vec![Vec::new(); steps.len()];
+        for slot in results {
+            let outcome = slot
+                .into_inner()
+                .expect("result mutex")
+                .expect("every shard processed")?;
+            merged.push(outcome.shard);
+            for (k, s) in outcome.stats.iter().enumerate() {
+                stats[k].merge(s);
+            }
+            for (k, t) in outcome.traces.into_iter().enumerate() {
+                let room = cap.saturating_sub(traces[k].len());
+                traces[k].extend(t.into_iter().take(room));
+            }
+        }
+        *dataset = Dataset::from_shards(merged);
+
+        for ((step, stat), trace) in steps.iter().zip(&stats).zip(traces) {
+            report.ops.push(OpReport {
+                name: step.name(),
+                samples_in: stat.samples_in,
+                samples_out: stat.samples_out,
+                removed: stat.removed,
+                changed: stat.changed,
+                duration: stat.duration,
+                fused: step.is_fused(),
+                trace,
+            });
+        }
+        Ok(())
+    }
+
+    /// A dedup barrier: fingerprints are computed shard-parallel, then one
+    /// dataset-level `keep_mask` decides survivors.
+    fn run_dedup_stage(
+        &self,
+        dedup: &dyn dj_core::Deduplicator,
+        dataset: &mut Dataset,
+        report: &mut RunReport,
+    ) -> Result<()> {
+        let cap = self.options.trace_examples;
+        let in_len = dataset.len();
+        let t0 = Instant::now();
+        let hashes = self.parallel_hashes(dedup, dataset)?;
+        let mask = dedup.keep_mask(dataset, &hashes)?;
+        let mut trace = Vec::new();
+        for (i, &keep) in mask.iter().enumerate() {
+            if !keep && trace.len() < cap {
+                trace.push(TraceEvent::Duplicate {
+                    dropped: snippet(dataset.get(i).expect("index valid").text()),
+                });
+            }
+        }
+        let removed = mask.iter().filter(|&&k| !k).count();
+        dataset.retain_mask(&mask);
+        report.ops.push(OpReport {
+            name: dedup.name().to_string(),
+            samples_in: in_len,
+            samples_out: dataset.len(),
+            removed,
+            changed: 0,
+            duration: t0.elapsed(),
+            fused: false,
+            trace,
+        });
+        Ok(())
+    }
+
+    /// Shard-parallel `compute_hash` over immutable sample chunks: exactly
+    /// one thread per worker, each hashing one contiguous chunk (an
+    /// explicit `shard_size` must never translate into thread count).
+    fn parallel_hashes(
+        &self,
+        dedup: &dyn dj_core::Deduplicator,
+        dataset: &Dataset,
+    ) -> Result<Vec<Value>> {
+        let samples = dataset.samples();
+        let workers = self.options.num_workers.max(1).min(samples.len().max(1));
+        let hash_chunk = |chunk: &[Sample]| -> Result<Vec<Value>> {
+            let mut ctx = SampleContext::new();
+            let mut out = Vec::with_capacity(chunk.len());
+            for s in chunk {
+                ctx.invalidate();
+                out.push(dedup.compute_hash(s, &mut ctx)?);
+                ctx.clear();
+            }
+            Ok(out)
+        };
+        if workers == 1 || samples.len() < 2 {
+            return hash_chunk(samples);
+        }
+        let chunk_size = samples.len().div_ceil(workers);
+        let chunk_results: Vec<Result<Vec<Value>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = samples
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move || hash_chunk(chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("hash worker panicked"))
+                .collect()
+        });
+        let mut hashes = Vec::with_capacity(samples.len());
+        for r in chunk_results {
+            hashes.extend(r?);
+        }
+        Ok(hashes)
+    }
+}
+
+/// What one shard produces after running a whole pipeline stage.
+struct ShardOutcome {
+    shard: Dataset,
+    stats: Vec<ShardStats>,
+    traces: Vec<Vec<TraceEvent>>,
+}
+
+/// Worker loop: claim shards off the shared queue until it drains, pushing
+/// each through every step of the stage (morsel-driven scheduling).
+fn drive_shards(
+    steps: &[PlanStep],
+    queue: &[Mutex<Option<Dataset>>],
+    results: &[Mutex<Option<Result<ShardOutcome>>>],
+    next: &AtomicUsize,
+    trace_cap: usize,
+) {
+    let mut ctx = SampleContext::new();
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= queue.len() {
+            return;
+        }
+        let shard = queue[i]
+            .lock()
+            .expect("shard mutex")
+            .take()
+            .expect("shard claimed once");
+        let outcome = run_stage_on_shard(steps, shard, &mut ctx, trace_cap);
+        *results[i].lock().expect("result mutex") = Some(outcome);
+    }
+}
+
+/// Run every step of a stage over one shard, sample by sample: each sample
+/// flows through the full mapper/filter chain while it is hot in cache,
+/// and dropped samples never reach later steps.
+fn run_stage_on_shard(
+    steps: &[PlanStep],
+    shard: Dataset,
+    ctx: &mut SampleContext,
+    trace_cap: usize,
+) -> Result<ShardOutcome> {
+    let mut stats = vec![ShardStats::default(); steps.len()];
+    let mut traces: Vec<Vec<TraceEvent>> = vec![Vec::new(); steps.len()];
+    let mut kept = Vec::with_capacity(shard.len());
+
+    'samples: for mut sample in shard {
+        ctx.invalidate();
+        // One clock read per step boundary: each step's end timestamp is
+        // the next step's start, halving timing overhead in this hot loop.
+        let mut step_start = Instant::now();
+        for (k, step) in steps.iter().enumerate() {
+            stats[k].samples_in += 1;
+            match step {
+                PlanStep::Mapper(m) => {
+                    let before = if trace_cap > traces[k].len() {
+                        Some(sample.text().to_string())
+                    } else {
+                        None
+                    };
+                    let changed = m.process(&mut sample, ctx)?;
+                    if changed {
+                        ctx.invalidate();
+                        stats[k].changed += 1;
+                        if let Some(b) = before {
+                            traces[k].push(TraceEvent::Edited {
+                                before: snippet(&b),
+                                after: snippet(sample.text()),
+                            });
                         }
                     }
+                    let now = Instant::now();
+                    stats[k].duration += now - step_start;
+                    step_start = now;
+                    stats[k].samples_out += 1;
                 }
-                Ok((0, changed, trace))
-            }
-            PlanStep::Filters(filters) => {
-                // Phase 1 (parallel): compute stats for every member filter
-                // with one shared context per sample — this is where fusion
-                // pays: the words/lines views are derived once.
-                par_map(dataset.samples_mut(), self.options.num_workers, |sample, ctx| {
+                PlanStep::Filters(filters) => {
+                    // Phase 1: stats for every member filter with one shared
+                    // context — fused filters derive words/lines views once.
                     for f in filters.iter() {
-                        f.compute_stats(sample, ctx)?;
+                        f.compute_stats(&mut sample, ctx)?;
                     }
                     // Fused-OP contract: contexts are cleaned after the op.
                     ctx.clear();
-                    Ok(())
-                })?;
-                // Phase 2 (cheap): boolean decisions from recorded stats.
-                let mut mask = Vec::with_capacity(dataset.len());
-                let mut trace = Vec::new();
-                for sample in dataset.iter() {
+                    // Phase 2: boolean decisions from recorded stats only.
                     let mut keep = true;
                     for f in filters.iter() {
-                        if !f.process(sample)? {
+                        if !f.process(&sample)? {
                             keep = false;
                             break;
                         }
                     }
-                    if !keep && trace.len() < cap {
-                        trace.push(TraceEvent::Discarded {
-                            text: snippet(sample.text()),
-                            stats: sample.stats(),
-                        });
-                    }
-                    mask.push(keep);
-                }
-                let removed = mask.iter().filter(|&&k| !k).count();
-                dataset.retain_mask(&mask);
-                Ok((removed, 0, trace))
-            }
-            PlanStep::Dedup(d) => {
-                let hashes: Vec<Value> =
-                    par_map(dataset.samples_mut(), self.options.num_workers, |sample, ctx| {
-                        let h = d.compute_hash(sample, ctx)?;
-                        ctx.clear();
-                        Ok(h)
-                    })?;
-                let mask = d.keep_mask(dataset, &hashes)?;
-                let mut trace = Vec::new();
-                for (i, &keep) in mask.iter().enumerate() {
-                    if !keep && trace.len() < cap {
-                        trace.push(TraceEvent::Duplicate {
-                            dropped: snippet(dataset.get(i).expect("index valid").text()),
-                        });
+                    let now = Instant::now();
+                    stats[k].duration += now - step_start;
+                    step_start = now;
+                    if keep {
+                        stats[k].samples_out += 1;
+                    } else {
+                        stats[k].removed += 1;
+                        if traces[k].len() < trace_cap {
+                            traces[k].push(TraceEvent::Discarded {
+                                text: snippet(sample.text()),
+                                stats: sample.stats(),
+                            });
+                        }
+                        continue 'samples;
                     }
                 }
-                let removed = mask.iter().filter(|&&k| !k).count();
-                dataset.retain_mask(&mask);
-                Ok((removed, 0, trace))
+                PlanStep::Dedup(_) => {
+                    unreachable!("dedup steps are barriers, not pipeline steps")
+                }
             }
         }
+        kept.push(sample);
     }
-}
 
-/// Parallel in-order map over samples with one [`SampleContext`] per sample.
-/// Results come back in sample order; the first error aborts the step.
-fn par_map<T, F>(samples: &mut [Sample], workers: usize, f: F) -> Result<Vec<T>>
-where
-    T: Send,
-    F: Fn(&mut Sample, &mut SampleContext) -> Result<T> + Sync,
-{
-    let workers = workers.max(1);
-    if workers == 1 || samples.len() < 2 {
-        let mut out = Vec::with_capacity(samples.len());
-        let mut ctx = SampleContext::new();
-        for s in samples.iter_mut() {
-            ctx.invalidate();
-            out.push(f(s, &mut ctx)?);
-        }
-        return Ok(out);
-    }
-    let chunk_size = samples.len().div_ceil(workers);
-    let f = &f;
-    let results: Vec<Result<Vec<T>>> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = samples
-            .chunks_mut(chunk_size)
-            .map(|chunk| {
-                scope.spawn(move |_| {
-                    let mut out = Vec::with_capacity(chunk.len());
-                    let mut ctx = SampleContext::new();
-                    for s in chunk.iter_mut() {
-                        ctx.invalidate();
-                        out.push(f(s, &mut ctx)?);
-                    }
-                    Ok(out)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
+    Ok(ShardOutcome {
+        shard: Dataset::from_samples(kept),
+        stats,
+        traces,
     })
-    .expect("crossbeam scope");
-    let mut out = Vec::with_capacity(samples.len());
-    for r in results {
-        out.extend(r?);
-    }
-    Ok(out)
 }
 
 fn snippet(text: &str) -> String {
@@ -341,7 +514,8 @@ fn snippet(text: &str) -> String {
     }
 }
 
-/// Convenience: build an executor straight from a recipe + registry.
+/// Convenience: build an executor straight from a recipe + registry,
+/// threading the recipe's `np` and `shard_size` knobs through.
 pub fn executor_from_recipe(
     recipe: &dj_config::Recipe,
     registry: &dj_core::OpRegistry,
@@ -352,6 +526,7 @@ pub fn executor_from_recipe(
         num_workers: recipe.np,
         op_fusion: fusion,
         trace_examples: 0,
+        shard_size: recipe.shard_size,
     }))
 }
 
@@ -378,7 +553,8 @@ mod tests {
     fn noisy_dataset() -> Dataset {
         let mut texts = vec![
             "The committee reviewed the annual report and found the analysis sound.".to_string(),
-            "  The committee   reviewed the annual report and found the analysis sound.".to_string(),
+            "  The committee   reviewed the annual report and found the analysis sound."
+                .to_string(),
             "short".to_string(),
             "buy now buy now buy now buy now buy now buy now buy now buy now".to_string(),
             "A completely different fluent document describing the budget process.".to_string(),
@@ -398,11 +574,17 @@ mod tests {
                 ("whitespace_normalization_mapper", OpParams::new()),
                 (
                     "text_length_filter",
-                    p(&[("min_len", Value::Float(20.0)), ("max_len", Value::Float(10000.0))]),
+                    p(&[
+                        ("min_len", Value::Float(20.0)),
+                        ("max_len", Value::Float(10000.0)),
+                    ]),
                 ),
                 (
                     "word_num_filter",
-                    p(&[("min_num", Value::Float(5.0)), ("max_num", Value::Float(10000.0))]),
+                    p(&[
+                        ("min_num", Value::Float(5.0)),
+                        ("max_num", Value::Float(10000.0)),
+                    ]),
                 ),
                 (
                     "word_repetition_filter",
@@ -412,19 +594,27 @@ mod tests {
                         ("max_ratio", Value::Float(0.3)),
                     ]),
                 ),
-                ("document_deduplicator", p(&[("lowercase", Value::Bool(true))])),
+                (
+                    "document_deduplicator",
+                    p(&[("lowercase", Value::Bool(true))]),
+                ),
             ],
         )
+    }
+
+    fn opts(np: usize, fusion: bool, trace: usize) -> ExecOptions {
+        ExecOptions {
+            num_workers: np,
+            op_fusion: fusion,
+            trace_examples: trace,
+            shard_size: None,
+        }
     }
 
     #[test]
     fn pipeline_runs_and_reports() {
         let reg = builtin_registry();
-        let exec = Executor::new(pipeline(&reg)).with_options(ExecOptions {
-            num_workers: 1,
-            op_fusion: false,
-            trace_examples: 4,
-        });
+        let exec = Executor::new(pipeline(&reg)).with_options(opts(1, false, 4));
         let (out, report) = exec.run(noisy_dataset()).unwrap();
         assert_eq!(report.initial_samples, 25);
         assert_eq!(report.final_samples, out.len());
@@ -433,6 +623,7 @@ mod tests {
         assert!(report.ops.iter().any(|r| r.removed > 0));
         assert!(report.ops[0].changed >= 1, "whitespace mapper edited");
         assert!(report.peak_bytes > 0);
+        assert_eq!(report.stages, 2, "mapper+filters stage, dedup barrier");
         // Funnel is monotone non-increasing.
         let funnel = report.funnel();
         assert!(funnel.windows(2).all(|w| w[1].1 <= w[0].1));
@@ -442,16 +633,8 @@ mod tests {
     fn fused_and_unfused_produce_identical_output() {
         let reg = builtin_registry();
         let base = noisy_dataset();
-        let unfused = Executor::new(pipeline(&reg)).with_options(ExecOptions {
-            num_workers: 1,
-            op_fusion: false,
-            trace_examples: 0,
-        });
-        let fused = Executor::new(pipeline(&reg)).with_options(ExecOptions {
-            num_workers: 1,
-            op_fusion: true,
-            trace_examples: 0,
-        });
+        let unfused = Executor::new(pipeline(&reg)).with_options(opts(1, false, 0));
+        let fused = Executor::new(pipeline(&reg)).with_options(opts(1, true, 0));
         let (a, ra) = unfused.run(base.clone()).unwrap();
         let (b, rb) = fused.run(base).unwrap();
         // Same surviving texts (order preserved).
@@ -466,14 +649,8 @@ mod tests {
     fn parallel_equals_serial() {
         let reg = builtin_registry();
         let base = noisy_dataset();
-        let serial = Executor::new(pipeline(&reg)).with_options(ExecOptions {
-            num_workers: 1,
-            ..ExecOptions::default()
-        });
-        let parallel = Executor::new(pipeline(&reg)).with_options(ExecOptions {
-            num_workers: 4,
-            ..ExecOptions::default()
-        });
+        let serial = Executor::new(pipeline(&reg)).with_options(opts(1, true, 0));
+        let parallel = Executor::new(pipeline(&reg)).with_options(opts(4, true, 0));
         let (a, _) = serial.run(base.clone()).unwrap();
         let (b, _) = parallel.run(base).unwrap();
         assert_eq!(
@@ -483,13 +660,28 @@ mod tests {
     }
 
     #[test]
+    fn shard_count_never_changes_output() {
+        let reg = builtin_registry();
+        let base = noisy_dataset();
+        let baseline = Executor::new(pipeline(&reg)).with_options(opts(1, false, 0));
+        let (expected, _) = baseline.run(base.clone()).unwrap();
+        for shard_size in [1usize, 2, 7, 1000] {
+            let exec = Executor::new(pipeline(&reg)).with_options(ExecOptions {
+                num_workers: 3,
+                op_fusion: true,
+                trace_examples: 0,
+                shard_size: Some(shard_size),
+            });
+            let (out, report) = exec.run(base.clone()).unwrap();
+            assert_eq!(out, expected, "shard_size {shard_size} diverged");
+            assert!(report.shards >= 1);
+        }
+    }
+
+    #[test]
     fn trace_captures_events() {
         let reg = builtin_registry();
-        let exec = Executor::new(pipeline(&reg)).with_options(ExecOptions {
-            num_workers: 1,
-            op_fusion: false,
-            trace_examples: 8,
-        });
+        let exec = Executor::new(pipeline(&reg)).with_options(opts(1, false, 8));
         let (_, report) = exec.run(noisy_dataset()).unwrap();
         let edited = report
             .ops
@@ -515,15 +707,14 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("dj-exec-cache-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let cache = CacheManager::new(&dir, 777, dj_store::CacheMode::Cache);
-        let exec = Executor::new(pipeline(&reg)).with_options(ExecOptions {
-            num_workers: 1,
-            op_fusion: false,
-            trace_examples: 0,
-        });
+        let exec = Executor::new(pipeline(&reg)).with_options(opts(1, false, 0));
         let (out1, r1) = exec.run_with_cache(noisy_dataset(), &cache).unwrap();
         assert_eq!(r1.resumed_steps, 0);
         let (out2, r2) = exec.run_with_cache(noisy_dataset(), &cache).unwrap();
-        assert_eq!(r2.resumed_steps, 5, "all steps cached");
+        assert_eq!(
+            r2.resumed_steps, 5,
+            "all plan steps covered by cached stages"
+        );
         assert!(r2.ops.is_empty());
         assert_eq!(
             out1.iter().map(|s| s.text()).collect::<Vec<_>>(),
@@ -551,5 +742,12 @@ mod tests {
         let exec2 = Executor::new(pipeline(&reg));
         let (out2, _) = exec2.run(Dataset::new()).unwrap();
         assert!(out2.is_empty());
+    }
+
+    #[test]
+    fn default_options_use_available_parallelism() {
+        let opts = ExecOptions::default();
+        assert_eq!(opts.num_workers, default_parallelism());
+        assert!(opts.num_workers >= 1);
     }
 }

@@ -62,6 +62,104 @@ pub struct Plan {
     pub fused_ops: usize,
 }
 
+/// One pipeline stage of a segmented plan.
+///
+/// Mappers and filters are sample-local, so a run of them can be driven
+/// end-to-end over one shard by one worker with no cross-shard
+/// synchronization. Deduplicators need every sample's fingerprint before
+/// they can decide anything, so each one is a barrier: shard-parallel
+/// hashing followed by a single dataset-level mask.
+#[derive(Clone)]
+pub enum Stage {
+    /// A maximal run of sample-local steps, executed whole-stage-per-shard.
+    Pipeline {
+        /// Index of the first member step within `Plan::steps`.
+        first_step: usize,
+        steps: Vec<PlanStep>,
+    },
+    /// A deduplication barrier.
+    Barrier {
+        /// Index of the dedup step within `Plan::steps`.
+        step_index: usize,
+        dedup: Arc<dyn dj_core::Deduplicator>,
+    },
+}
+
+impl Stage {
+    /// Number of plan steps this stage covers.
+    pub fn step_count(&self) -> usize {
+        match self {
+            Stage::Pipeline { steps, .. } => steps.len(),
+            Stage::Barrier { .. } => 1,
+        }
+    }
+
+    /// Stable cache key for the dataset state *after* this stage: the
+    /// member step names joined with `+`. Step boundaries inside a stage
+    /// no longer materialize the dataset, so the cache is keyed on stage
+    /// boundaries — the only points where a full dataset exists.
+    ///
+    /// Tradeoff vs the old per-op cache: editing any step *inside* a
+    /// mapper/filter run changes that stage's key and recomputes the whole
+    /// stage, where per-op caching could resume mid-run. Appending steps
+    /// after a barrier still resumes everything before it. Finer-grained
+    /// intra-stage checkpoints are a ROADMAP open item.
+    pub fn name(&self) -> String {
+        match self {
+            Stage::Pipeline { steps, .. } => steps
+                .iter()
+                .map(PlanStep::name)
+                .collect::<Vec<_>>()
+                .join("+"),
+            Stage::Barrier { dedup, .. } => dedup.name().to_string(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Stage::Pipeline { steps, .. } => write!(f, "Pipeline({})", self.name())
+                .and_then(|_| write!(f, "[{} steps]", steps.len())),
+            Stage::Barrier { .. } => write!(f, "Barrier({})", self.name()),
+        }
+    }
+}
+
+impl Plan {
+    /// Segment the plan into pipeline stages at dedup barriers.
+    pub fn stages(&self) -> Vec<Stage> {
+        let mut stages = Vec::new();
+        let mut run: Vec<PlanStep> = Vec::new();
+        let mut run_start = 0;
+        for (i, step) in self.steps.iter().enumerate() {
+            match step {
+                PlanStep::Dedup(d) => {
+                    if !run.is_empty() {
+                        stages.push(Stage::Pipeline {
+                            first_step: run_start,
+                            steps: std::mem::take(&mut run),
+                        });
+                    }
+                    stages.push(Stage::Barrier {
+                        step_index: i,
+                        dedup: Arc::clone(d),
+                    });
+                    run_start = i + 1;
+                }
+                other => run.push(other.clone()),
+            }
+        }
+        if !run.is_empty() {
+            stages.push(Stage::Pipeline {
+                first_step: run_start,
+                steps: run,
+            });
+        }
+        stages
+    }
+}
+
 /// Build an execution plan without fusion: one step per OP, original order.
 pub fn plan_unfused(ops: &[Op]) -> Plan {
     let steps = ops
@@ -87,15 +185,14 @@ pub fn plan_fused(ops: &[Op]) -> Plan {
     let mut group: Vec<Arc<dyn Filter>> = Vec::new();
 
     let flush = |group: &mut Vec<Arc<dyn Filter>>,
-                     steps: &mut Vec<PlanStep>,
-                     fused_groups: &mut usize,
-                     fused_ops: &mut usize| {
+                 steps: &mut Vec<PlanStep>,
+                 fused_groups: &mut usize,
+                 fused_ops: &mut usize| {
         if group.is_empty() {
             return;
         }
-        let (fusible, contextless): (Vec<_>, Vec<_>) = group
-            .drain(..)
-            .partition(|f| !f.context_needs().is_empty());
+        let (fusible, contextless): (Vec<_>, Vec<_>) =
+            group.drain(..).partition(|f| !f.context_needs().is_empty());
         // Cluster fusible filters into connected components under the
         // "shares a derived view" relation (transitively merged).
         let mut components: Vec<(ContextNeeds, Vec<Arc<dyn Filter>>)> = Vec::new();
@@ -175,8 +272,8 @@ pub fn cost_rank(c: OpCost) -> u8 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dj_ops::builtin_registry;
     use dj_core::OpParams;
+    use dj_ops::builtin_registry;
 
     fn build(names: &[&str]) -> Vec<Op> {
         let reg = builtin_registry();
@@ -196,10 +293,10 @@ mod tests {
             "remove_long_words_mapper",
             "alphanumeric_ratio_filter",
             "text_length_filter",
-            "word_num_filter",          // fusible (WORDS)
-            "word_repetition_filter",   // fusible (WORDS)
-            "stopwords_filter",         // fusible (WORDS)
-            "flagged_words_filter",     // fusible (WORDS)
+            "word_num_filter",        // fusible (WORDS)
+            "word_repetition_filter", // fusible (WORDS)
+            "stopwords_filter",       // fusible (WORDS)
+            "flagged_words_filter",   // fusible (WORDS)
             "special_characters_filter",
             "average_line_length_filter", // fusible (LINES)? separate view
             "document_deduplicator",
@@ -234,10 +331,7 @@ mod tests {
         assert!(word_fused.name().contains("flagged_words_filter"));
         // Mappers and dedup survive in order.
         assert_eq!(plan.steps[0].name(), "whitespace_normalization_mapper");
-        assert_eq!(
-            plan.steps.last().unwrap().name(),
-            "document_deduplicator"
-        );
+        assert_eq!(plan.steps.last().unwrap().name(), "document_deduplicator");
     }
 
     #[test]
@@ -250,7 +344,10 @@ mod tests {
             .iter()
             .position(|s| s.name() == "text_length_filter")
             .unwrap();
-        assert!(cheap_idx < fused_idx, "cheap filter should precede fused op");
+        assert!(
+            cheap_idx < fused_idx,
+            "cheap filter should precede fused op"
+        );
     }
 
     #[test]
@@ -275,5 +372,58 @@ mod tests {
         assert_eq!(plan.steps.len(), 1);
         assert_eq!(plan.fused_groups, 0);
         assert!(!plan.steps[0].is_fused());
+    }
+
+    #[test]
+    fn stages_split_at_dedup_barriers() {
+        let ops = fig9_ops();
+        let plan = plan_fused(&ops);
+        let stages = plan.stages();
+        // 5 mappers + filter groups form one pipeline stage; the trailing
+        // dedup is its own barrier.
+        assert_eq!(stages.len(), 2);
+        assert!(matches!(&stages[0], Stage::Pipeline { first_step: 0, .. }));
+        match &stages[1] {
+            Stage::Barrier { step_index, dedup } => {
+                assert_eq!(*step_index, plan.steps.len() - 1);
+                assert_eq!(dedup.name(), "document_deduplicator");
+            }
+            other => panic!("expected barrier, got {other:?}"),
+        }
+        // Step coverage is exact and ordered.
+        let covered: usize = stages.iter().map(Stage::step_count).sum();
+        assert_eq!(covered, plan.steps.len());
+    }
+
+    #[test]
+    fn stages_handle_interior_and_leading_dedups() {
+        let ops = build(&[
+            "document_deduplicator",
+            "word_num_filter",
+            "lowercase_mapper",
+            "document_simhash_deduplicator",
+            "word_repetition_filter",
+        ]);
+        let plan = plan_unfused(&ops);
+        let stages = plan.stages();
+        assert_eq!(stages.len(), 4, "{stages:?}");
+        assert!(matches!(stages[0], Stage::Barrier { step_index: 0, .. }));
+        assert!(matches!(stages[1], Stage::Pipeline { first_step: 1, .. }));
+        assert!(matches!(stages[2], Stage::Barrier { step_index: 3, .. }));
+        assert!(matches!(stages[3], Stage::Pipeline { first_step: 4, .. }));
+        // Stage names are stable cache keys.
+        assert_eq!(stages[1].name(), "word_num_filter+lowercase_mapper");
+        assert_eq!(stages[2].name(), "document_simhash_deduplicator");
+    }
+
+    #[test]
+    fn stage_names_distinguish_fused_plans() {
+        let ops = fig9_ops();
+        let fused_name = plan_fused(&ops).stages()[0].name();
+        let unfused_name = plan_unfused(&ops).stages()[0].name();
+        assert_ne!(
+            fused_name, unfused_name,
+            "fused and unfused stages must not share cache entries"
+        );
     }
 }

@@ -45,7 +45,7 @@ pub fn simhash_tokens<S: AsRef<str>>(tokens: &[S]) -> u64 {
     for t in tokens {
         *freq.entry(t.as_ref()).or_insert(0.0) += 1.0;
     }
-    simhash_weighted(freq.into_iter())
+    simhash_weighted(freq)
 }
 
 /// Number of differing bits between two fingerprints.

@@ -1,9 +1,9 @@
 //! Disjoint-set forest for duplicate clustering.
 //!
-//! Near-duplicate detection produces candidate *pairs*; deduplication keeps
-//! one representative per connected component. This union-find (path halving
-//! + union by size) turns pairs into components in near-constant amortized
-//! time.
+//! Near-duplicate detection produces candidate *pairs*; deduplication
+//! keeps one representative per connected component. This union-find
+//! (path halving + union by size) turns pairs into components in
+//! near-constant amortized time.
 
 /// Union-find over `0..n` with path halving and union by size.
 #[derive(Debug, Clone)]

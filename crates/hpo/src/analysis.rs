@@ -45,7 +45,9 @@ impl SweepAnalysis {
         for (name, imp) in self.ranked() {
             let corr = self.params[name].correlation;
             let bar = "█".repeat((imp * 30.0).round() as usize);
-            out.push_str(&format!("  {name:<16} {bar:<30} imp={imp:.3} corr={corr:+.3}\n"));
+            out.push_str(&format!(
+                "  {name:<16} {bar:<30} imp={imp:.3} corr={corr:+.3}\n"
+            ));
         }
         if !self.interactions.is_empty() {
             out.push_str("pairwise interactions (|corr| of products)\n");

@@ -40,7 +40,12 @@ impl SweepResult {
 }
 
 /// Random search: `n_trials` independent draws.
-pub fn random_search<F>(space: &SearchSpace, n_trials: usize, seed: u64, mut objective: F) -> SweepResult
+pub fn random_search<F>(
+    space: &SearchSpace,
+    n_trials: usize,
+    seed: u64,
+    mut objective: F,
+) -> SweepResult
 where
     F: FnMut(&Trial) -> f64,
 {
@@ -103,16 +108,14 @@ where
             let cand = space.sample(&mut rng);
             let c = space.coordinates(&cand);
             // k nearest completed trials.
-            let mut dists: Vec<(f64, f64)> = coords
-                .iter()
-                .map(|(x, s)| (euclid(&c, x), *s))
-                .collect();
+            let mut dists: Vec<(f64, f64)> =
+                coords.iter().map(|(x, s)| (euclid(&c, x), *s)).collect();
             dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
             let near = &dists[..k.min(dists.len())];
             let mean = near.iter().map(|(_, s)| s).sum::<f64>() / near.len() as f64;
             let nearest = near.first().map(|(d, _)| *d).unwrap_or(1.0);
             let acq = mean + 0.5 * nearest; // exploration bonus
-            if best_cand.as_ref().map_or(true, |(_, a)| acq > *a) {
+            if best_cand.as_ref().is_none_or(|(_, a)| acq > *a) {
                 best_cand = Some((cand, acq));
             }
         }

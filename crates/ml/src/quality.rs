@@ -76,7 +76,8 @@ impl QualityClassifier {
         for n in negatives {
             data.push((tf.transform(&tokenizer.tokenize(n.as_ref())), false));
         }
-        let model = LogisticRegression::train(&data, num_features as usize, &TrainConfig::default());
+        let model =
+            LogisticRegression::train(&data, num_features as usize, &TrainConfig::default());
         QualityClassifier {
             name: name.to_string(),
             tokenizer,
@@ -198,7 +199,11 @@ mod tests {
             KeepMethod::Label,
             &mut rng
         ));
-        assert!(!qc.keep("casino jackpot winbig clickbait", KeepMethod::Label, &mut rng));
+        assert!(!qc.keep(
+            "casino jackpot winbig clickbait",
+            KeepMethod::Label,
+            &mut rng
+        ));
     }
 
     #[test]

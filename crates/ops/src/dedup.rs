@@ -7,9 +7,7 @@
 //! first occurrence of each duplicate cluster.
 
 use dj_core::{Dataset, Deduplicator, DjError, Result, Sample, SampleContext, Value, TEXT_KEY};
-use dj_hash::{
-    hash128, simhash_tokens, LshIndex, MinHasher, SimHashIndex, UnionFind,
-};
+use dj_hash::{hash128, simhash_tokens, LshIndex, MinHasher, SimHashIndex, UnionFind};
 
 /// Exact document deduplication by 128-bit content hash
 /// (`document_deduplicator`).
@@ -100,7 +98,12 @@ pub struct MinHashDeduplicator {
 impl MinHashDeduplicator {
     /// `bands * rows` hash functions; the candidate S-curve midpoint is
     /// approximately `(1/bands)^(1/rows)`.
-    pub fn new(jaccard_threshold: f64, bands: usize, rows: usize, shingle_size: usize) -> Result<Self> {
+    pub fn new(
+        jaccard_threshold: f64,
+        bands: usize,
+        rows: usize,
+        shingle_size: usize,
+    ) -> Result<Self> {
         if !(0.0..=1.0).contains(&jaccard_threshold) {
             return Err(DjError::Config(
                 "minhash: jaccard_threshold must be in [0,1]".into(),
@@ -350,8 +353,7 @@ mod tests {
         assert_eq!(out2.len(), 3);
     }
 
-    const LONG_BASE: &str =
-        "the data juicer system processes massive heterogeneous corpora for \
+    const LONG_BASE: &str = "the data juicer system processes massive heterogeneous corpora for \
          large language model pretraining with composable operators and tools \
          the pipeline applies filters mappers and deduplicators in sequence \
          producing refined recipes that improve downstream model quality";
@@ -387,7 +389,7 @@ mod tests {
             "para one\n\npara two",
             "para two\n\npara three", // has a new paragraph → kept
             "para one\n\npara three", // all paragraphs already seen → dropped
-            "",                        // empty → kept
+            "",                       // empty → kept
         ]);
         let (out, removed) = run_dedup(&ParagraphDeduplicator::new(), d).unwrap();
         assert_eq!(removed, 1);

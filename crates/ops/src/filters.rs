@@ -5,9 +5,7 @@
 
 use std::sync::Arc;
 
-use dj_core::{
-    ContextNeeds, DjError, Filter, OpCost, Result, Sample, SampleContext, TEXT_KEY,
-};
+use dj_core::{ContextNeeds, DjError, Filter, OpCost, Result, Sample, SampleContext, TEXT_KEY};
 use dj_hash::FxHashSet;
 use dj_ml::QualityClassifier;
 use dj_text::lexicon;
@@ -206,7 +204,9 @@ pub struct CharRepetitionFilter {
 impl CharRepetitionFilter {
     pub fn new(ngram: usize, min: f64, max: f64) -> Result<Self> {
         if ngram == 0 {
-            return Err(DjError::Config("character_repetition_filter: ngram must be positive".into()));
+            return Err(DjError::Config(
+                "character_repetition_filter: ngram must be positive".into(),
+            ));
         }
         Ok(CharRepetitionFilter {
             field: TEXT_KEY.to_string(),
@@ -237,7 +237,9 @@ impl Filter for CharRepetitionFilter {
         Ok(())
     }
     fn process(&self, sample: &Sample) -> Result<bool> {
-        Ok(self.range.contains(stat(sample, "char_rep_ratio", self.name())?))
+        Ok(self
+            .range
+            .contains(stat(sample, "char_rep_ratio", self.name())?))
     }
 }
 
@@ -253,7 +255,9 @@ pub struct WordRepetitionFilter {
 impl WordRepetitionFilter {
     pub fn new(rep_len: usize, min: f64, max: f64) -> Result<Self> {
         if rep_len == 0 {
-            return Err(DjError::Config("word_repetition_filter: rep_len must be positive".into()));
+            return Err(DjError::Config(
+                "word_repetition_filter: rep_len must be positive".into(),
+            ));
         }
         Ok(WordRepetitionFilter {
             field: TEXT_KEY.to_string(),
@@ -285,7 +289,9 @@ impl Filter for WordRepetitionFilter {
         Ok(())
     }
     fn process(&self, sample: &Sample) -> Result<bool> {
-        Ok(self.range.contains(stat(sample, "word_rep_ratio", self.name())?))
+        Ok(self
+            .range
+            .contains(stat(sample, "word_rep_ratio", self.name())?))
     }
 }
 
@@ -421,7 +427,9 @@ impl Filter for LanguageIdScoreFilter {
     }
     fn compute_stats(&self, sample: &mut Sample, _ctx: &mut SampleContext) -> Result<()> {
         if !sample.has_stat("lang_score") {
-            let v = self.model.score_for(sample.text_at(&self.field), &self.lang);
+            let v = self
+                .model
+                .score_for(sample.text_at(&self.field), &self.lang);
             sample.set_stat("lang_score", v);
         }
         Ok(())
@@ -533,7 +541,9 @@ impl Filter for TokenNumFilter {
         Ok(())
     }
     fn process(&self, sample: &Sample) -> Result<bool> {
-        Ok(self.range.contains(stat(sample, "num_tokens", self.name())?))
+        Ok(self
+            .range
+            .contains(stat(sample, "num_tokens", self.name())?))
     }
 }
 
@@ -597,7 +607,9 @@ pub struct MetaTagFilter {
 impl MetaTagFilter {
     pub fn new(key: &str, allowed: Vec<String>) -> Result<Self> {
         if allowed.is_empty() {
-            return Err(DjError::Config("meta_tag_filter: allowed set must be non-empty".into()));
+            return Err(DjError::Config(
+                "meta_tag_filter: allowed set must be non-empty".into(),
+            ));
         }
         Ok(MetaTagFilter {
             key: key.to_string(),
@@ -721,7 +733,9 @@ pub struct SuffixFilter {
 impl SuffixFilter {
     pub fn new(allowed: Vec<String>) -> Result<Self> {
         if allowed.is_empty() {
-            return Err(DjError::Config("suffix_filter: allowed set must be non-empty".into()));
+            return Err(DjError::Config(
+                "suffix_filter: allowed set must be non-empty".into(),
+            ));
         }
         Ok(SuffixFilter { allowed })
     }
@@ -864,7 +878,10 @@ mod tests {
     #[test]
     fn langid_filter() {
         let f = LanguageIdScoreFilter::new("en", 0.4);
-        assert!(keeps(&f, "this is an english sentence about the weather and the news"));
+        assert!(keeps(
+            &f,
+            "this is an english sentence about the weather and the news"
+        ));
         assert!(!keeps(&f, "今天的天气非常好我们一起去公园散步吧"));
     }
 
@@ -883,7 +900,10 @@ mod tests {
     #[test]
     fn quality_filter() {
         let f = QualityScoreFilter::new(0.5);
-        assert!(keeps(&f, "the committee agreed the analysis of the report was sound"));
+        assert!(keeps(
+            &f,
+            "the committee agreed the analysis of the report was sound"
+        ));
         assert!(!keeps(&f, "click here free casino jackpot winbig buy now"));
     }
 
@@ -959,7 +979,10 @@ mod tests {
     #[test]
     fn entropy_and_digit_filters() {
         let e = WordEntropyFilter::new(1.0, 100.0).unwrap();
-        assert!(keeps(&e, "many different interesting words appear here today"));
+        assert!(keeps(
+            &e,
+            "many different interesting words appear here today"
+        ));
         assert!(!keeps(&e, "spam spam spam spam"));
         let d = DigitRatioFilter::new(0.0, 0.3).unwrap();
         assert!(keeps(&d, "year 2023 was fine"));

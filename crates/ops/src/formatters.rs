@@ -49,12 +49,11 @@ impl Formatter for JsonlFormatter {
             if line.trim().is_empty() {
                 continue;
             }
-            let v = parse_json(line).map_err(|e| {
-                DjError::Parse(format!("jsonl line {}: {e}", lineno + 1))
+            let v = parse_json(line)
+                .map_err(|e| DjError::Parse(format!("jsonl line {}: {e}", lineno + 1)))?;
+            let obj = v.as_map().ok_or_else(|| {
+                DjError::Parse(format!("jsonl line {}: not an object", lineno + 1))
             })?;
-            let obj = v
-                .as_map()
-                .ok_or_else(|| DjError::Parse(format!("jsonl line {}: not an object", lineno + 1)))?;
             let mut s = Sample::new();
             for (k, val) in obj {
                 if k == &self.text_key {
@@ -106,7 +105,9 @@ impl Formatter for TextFormatter {
             return Ok(Dataset::from_texts([raw]));
         }
         Ok(Dataset::from_texts(
-            raw.split("\n\n").filter(|p| !p.trim().is_empty()).map(str::trim),
+            raw.split("\n\n")
+                .filter(|p| !p.trim().is_empty())
+                .map(str::trim),
         ))
     }
 }
@@ -380,13 +381,18 @@ mod tests {
         assert_eq!(ds.len(), 2);
         assert_eq!(ds.get(0).unwrap().text(), "doc one");
         assert_eq!(ds.get(0).unwrap().meta("stars").unwrap().as_int(), Some(5));
-        assert_eq!(ds.get(1).unwrap().meta("lang").unwrap().as_str(), Some("zh"));
+        assert_eq!(
+            ds.get(1).unwrap().meta("lang").unwrap().as_str(),
+            Some("zh")
+        );
     }
 
     #[test]
     fn jsonl_custom_text_key() {
         let raw = "{\"content\": \"hello\"}";
-        let ds = JsonlFormatter::with_text_key("content").load_dataset(raw).unwrap();
+        let ds = JsonlFormatter::with_text_key("content")
+            .load_dataset(raw)
+            .unwrap();
         assert_eq!(ds.get(0).unwrap().text(), "hello");
     }
 
@@ -415,7 +421,10 @@ mod tests {
         assert_eq!(ds.len(), 2);
         assert_eq!(ds.get(0).unwrap().text(), "hello, world");
         assert_eq!(ds.get(1).unwrap().text(), "say \"hi\"");
-        assert_eq!(ds.get(0).unwrap().meta("source").unwrap().as_str(), Some("web"));
+        assert_eq!(
+            ds.get(0).unwrap().meta("source").unwrap().as_str(),
+            Some("web")
+        );
     }
 
     #[test]
@@ -459,13 +468,24 @@ mod tests {
 
     #[test]
     fn code_suffix_inference() {
-        let py = CodeFormatter::new().load_dataset("def f():\n    return 1").unwrap();
-        assert_eq!(py.get(0).unwrap().meta("suffix").unwrap().as_str(), Some("py"));
+        let py = CodeFormatter::new()
+            .load_dataset("def f():\n    return 1")
+            .unwrap();
+        assert_eq!(
+            py.get(0).unwrap().meta("suffix").unwrap().as_str(),
+            Some("py")
+        );
         let rs = CodeFormatter::new()
             .load_dataset("fn main() -> i32 { 0 }")
             .unwrap();
-        assert_eq!(rs.get(0).unwrap().meta("suffix").unwrap().as_str(), Some("rs"));
+        assert_eq!(
+            rs.get(0).unwrap().meta("suffix").unwrap().as_str(),
+            Some("rs")
+        );
         let c = CodeFormatter::new().load_dataset("#include <x.h>").unwrap();
-        assert_eq!(c.get(0).unwrap().meta("suffix").unwrap().as_str(), Some("c"));
+        assert_eq!(
+            c.get(0).unwrap().meta("suffix").unwrap().as_str(),
+            Some("c")
+        );
     }
 }

@@ -6,18 +6,12 @@
 //! text (so the executor can invalidate the sample context), and registers
 //! a factory in [`crate::registry`].
 
-use dj_core::{
-    ContextNeeds, DjError, Mapper, OpCost, Result, Sample, SampleContext, TEXT_KEY,
-};
+use dj_core::{ContextNeeds, DjError, Mapper, OpCost, Result, Sample, SampleContext, TEXT_KEY};
 use dj_text::normalize;
 
 /// Shared plumbing: read the configured field, transform, write back.
 /// Returns whether the text changed.
-fn edit_field(
-    sample: &mut Sample,
-    field: &str,
-    f: impl FnOnce(&str) -> String,
-) -> Result<bool> {
+fn edit_field(sample: &mut Sample, field: &str, f: impl FnOnce(&str) -> String) -> Result<bool> {
     let old = sample.text_at(field).to_string();
     let new = f(&old);
     if new == old {
@@ -233,7 +227,12 @@ impl Mapper for RemoveBibliographyMapper {
 
     fn process(&self, sample: &mut Sample, _ctx: &mut SampleContext) -> Result<bool> {
         edit_field(sample, &self.field, |t| {
-            const MARKERS: &[&str] = &["\\bibliography", "\\begin{thebibliography}", "\nReferences\n", "\nREFERENCES\n"];
+            const MARKERS: &[&str] = &[
+                "\\bibliography",
+                "\\begin{thebibliography}",
+                "\nReferences\n",
+                "\nREFERENCES\n",
+            ];
             let cut = MARKERS.iter().filter_map(|m| t.find(m)).min();
             match cut {
                 Some(pos) => t[..pos].trim_end().to_string(),
@@ -472,9 +471,7 @@ impl Mapper for ExpandMacroMapper {
                 let trimmed = line.trim_start();
                 if let Some(rest) = trimmed.strip_prefix("\\newcommand{") {
                     if let Some((name, tail)) = rest.split_once('}') {
-                        if let Some(body) = tail
-                            .strip_prefix('{')
-                            .and_then(|b| b.strip_suffix('}'))
+                        if let Some(body) = tail.strip_prefix('{').and_then(|b| b.strip_suffix('}'))
                         {
                             macros.push((name.to_string(), body.to_string()));
                             continue;
@@ -514,7 +511,10 @@ mod tests {
 
     #[test]
     fn punctuation_and_unicode_mappers() {
-        assert_eq!(run(&PunctuationNormalizationMapper::new(), "“x”").0, "\"x\"");
+        assert_eq!(
+            run(&PunctuationNormalizationMapper::new(), "“x”").0,
+            "\"x\""
+        );
         assert_eq!(run(&FixUnicodeMapper::new(), "donâ€™t").0, "don't");
     }
 
@@ -526,7 +526,10 @@ mod tests {
         );
         assert_eq!(run(&CleanEmailMapper::new(), "hi a@b.com bye").0, "hi bye");
         assert_eq!(run(&CleanIpMapper::new(), "ip 10.0.0.1 end").0, "ip end");
-        assert_eq!(run(&CleanHtmlMapper::new(), "<b>bold</b> text").0, "bold text");
+        assert_eq!(
+            run(&CleanHtmlMapper::new(), "<b>bold</b> text").0,
+            "bold text"
+        );
     }
 
     #[test]
@@ -658,12 +661,28 @@ impl TextAugmentMapper {
 
     fn synonym(word: &str) -> Option<&'static str> {
         const THESAURUS: &[(&str, &str)] = &[
-            ("big", "large"), ("large", "big"), ("small", "little"), ("little", "small"),
-            ("fast", "quick"), ("quick", "fast"), ("good", "fine"), ("fine", "good"),
-            ("begin", "start"), ("start", "begin"), ("show", "display"), ("display", "show"),
-            ("make", "create"), ("create", "make"), ("help", "assist"), ("assist", "help"),
-            ("important", "crucial"), ("crucial", "important"), ("method", "approach"),
-            ("approach", "method"), ("result", "outcome"), ("outcome", "result"),
+            ("big", "large"),
+            ("large", "big"),
+            ("small", "little"),
+            ("little", "small"),
+            ("fast", "quick"),
+            ("quick", "fast"),
+            ("good", "fine"),
+            ("fine", "good"),
+            ("begin", "start"),
+            ("start", "begin"),
+            ("show", "display"),
+            ("display", "show"),
+            ("make", "create"),
+            ("create", "make"),
+            ("help", "assist"),
+            ("assist", "help"),
+            ("important", "crucial"),
+            ("crucial", "important"),
+            ("method", "approach"),
+            ("approach", "method"),
+            ("result", "outcome"),
+            ("outcome", "result"),
         ];
         let lower = word.to_lowercase();
         THESAURUS.iter().find(|(k, _)| *k == lower).map(|(_, v)| *v)

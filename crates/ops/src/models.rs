@@ -22,8 +22,17 @@ fn fluent_seed() -> Vec<String> {
         "we describe the SUBJ and evaluate the OBJ on several benchmarks",
         "in recent years the SUBJ has become central to the OBJ of language",
     ];
-    const SUBJECTS: &[&str] = &["method", "system", "model", "analysis", "approach", "design"];
-    const OBJECTS: &[&str] = &["performance", "accuracy", "pipeline", "result", "dataset", "metric"];
+    const SUBJECTS: &[&str] = &[
+        "method", "system", "model", "analysis", "approach", "design",
+    ];
+    const OBJECTS: &[&str] = &[
+        "performance",
+        "accuracy",
+        "pipeline",
+        "result",
+        "dataset",
+        "metric",
+    ];
     let mut out = Vec::with_capacity(TEMPLATES.len() * SUBJECTS.len() * OBJECTS.len());
     for t in TEMPLATES {
         for s in SUBJECTS {
@@ -81,9 +90,14 @@ mod tests {
     #[test]
     fn default_models_initialize_once_and_work() {
         let lid = default_langid();
-        assert_eq!(lid.classify("a normal english sentence about the data").0, "en");
+        assert_eq!(
+            lid.classify("a normal english sentence about the data").0,
+            "en"
+        );
         let lm = default_perplexity_model();
-        assert!(lm.perplexity("the method improves the accuracy") < lm.perplexity("zxq vbn mlk pqr"));
+        assert!(
+            lm.perplexity("the method improves the accuracy") < lm.perplexity("zxq vbn mlk pqr")
+        );
         let qc = default_quality_classifier();
         assert!(qc.score("the committee agreed the analysis was sound") > 0.5);
         assert!(qc.score("click here free casino jackpot winbig") < 0.5);

@@ -46,12 +46,20 @@ pub fn builtin_registry() -> OpRegistry {
     reg.register("punctuation_normalization_mapper", |p| {
         mapper_factory!(p, PunctuationNormalizationMapper)
     });
-    reg.register("fix_unicode_mapper", |p| mapper_factory!(p, FixUnicodeMapper));
-    reg.register("clean_links_mapper", |p| mapper_factory!(p, CleanLinksMapper));
-    reg.register("clean_email_mapper", |p| mapper_factory!(p, CleanEmailMapper));
+    reg.register("fix_unicode_mapper", |p| {
+        mapper_factory!(p, FixUnicodeMapper)
+    });
+    reg.register("clean_links_mapper", |p| {
+        mapper_factory!(p, CleanLinksMapper)
+    });
+    reg.register("clean_email_mapper", |p| {
+        mapper_factory!(p, CleanEmailMapper)
+    });
     reg.register("clean_ip_mapper", |p| mapper_factory!(p, CleanIpMapper));
     reg.register("clean_html_mapper", |p| mapper_factory!(p, CleanHtmlMapper));
-    reg.register("remove_header_mapper", |p| mapper_factory!(p, RemoveHeaderMapper));
+    reg.register("remove_header_mapper", |p| {
+        mapper_factory!(p, RemoveHeaderMapper)
+    });
     reg.register("remove_comments_mapper", |p| {
         mapper_factory!(p, RemoveCommentsMapper)
     });

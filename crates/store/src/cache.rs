@@ -62,11 +62,13 @@ impl CacheManager {
     }
 
     fn dir(&self) -> PathBuf {
-        self.root.join(format!("recipe-{:016x}", self.recipe_fingerprint))
+        self.root
+            .join(format!("recipe-{:016x}", self.recipe_fingerprint))
     }
 
     fn entry_path(&self, op_index: usize, op_name: &str) -> PathBuf {
-        self.dir().join(format!("{op_index:04}-{op_name}.djc"))
+        self.dir()
+            .join(format!("{op_index:04}-{}.djc", safe_name(op_name)))
     }
 
     /// Persist the dataset state after OP `op_index`. In checkpoint mode,
@@ -116,7 +118,7 @@ impl CacheManager {
         for (idx, name) in ops.iter().rev() {
             if let Some(e) = entries
                 .iter()
-                .find(|e| e.op_index == *idx && e.op_name == *name)
+                .find(|e| e.op_index == *idx && e.op_name == safe_name(name))
             {
                 let frame = fs::read(&e.path)?;
                 let ds = from_bytes(&decompress(&frame)?)?;
@@ -162,6 +164,38 @@ struct Entry {
     op_index: usize,
     op_name: String,
     path: PathBuf,
+}
+
+/// Encode an op/stage name into a filesystem-safe filename component.
+///
+/// Stage-keyed entries concatenate every member step name, which can
+/// exceed the 255-byte filename limit; long names keep a readable prefix
+/// and append a stable hash of the full name.
+fn safe_name(name: &str) -> String {
+    const MAX: usize = 96;
+    let clean: String = name
+        .chars()
+        .map(|c| {
+            if c == '/' || c == '\\' || c == '\0' {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect();
+    if clean.len() <= MAX {
+        return clean;
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in clean.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut prefix_end = MAX - 17; // room for `~` + 16 hex digits
+    while !clean.is_char_boundary(prefix_end) {
+        prefix_end -= 1;
+    }
+    format!("{}~{h:016x}", &clean[..prefix_end])
 }
 
 fn list_entries(dir: &Path) -> Result<Vec<Entry>> {
@@ -300,6 +334,35 @@ mod tests {
         assert!(cm.disk_usage().unwrap() > 0);
         cm.clear().unwrap();
         assert_eq!(cm.entry_count().unwrap(), 0);
+        remove_cache_root(&dir);
+    }
+
+    #[test]
+    fn long_stage_names_are_hashed_into_safe_filenames() {
+        // Stage-keyed entries join every member step name; a 20-op stage
+        // easily exceeds the 255-byte filename limit.
+        let long_a: String = (0..24)
+            .map(|i| format!("some_rather_long_operator_name_{i}"))
+            .collect::<Vec<_>>()
+            .join("+");
+        let long_b = format!("{long_a}+one_more_op");
+        assert!(safe_name(&long_a).len() <= 96);
+        assert_ne!(safe_name(&long_a), safe_name(&long_b));
+        assert_eq!(safe_name("short_op"), "short_op");
+
+        let dir = tmpdir("longnames");
+        let cm = CacheManager::new(&dir, 21, CacheMode::Cache);
+        cm.save(0, &long_a, &ds(4)).unwrap();
+        assert_eq!(cm.load(0, &long_a).unwrap().unwrap(), ds(4));
+        // latest_match resolves through the same encoding.
+        let (idx, d) = cm
+            .latest_match(&[(0usize, long_a.clone())])
+            .unwrap()
+            .unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(d, ds(4));
+        // A different long name does not collide.
+        assert!(cm.load(0, &long_b).unwrap().is_none());
         remove_cache_root(&dir);
     }
 

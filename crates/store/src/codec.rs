@@ -136,7 +136,7 @@ fn rle_decompress(body: &[u8], expected: usize) -> Result<Vec<u8>> {
             let n = (c - 0x80) as usize + 2;
             let b = body[i];
             i += 1;
-            out.extend(std::iter::repeat(b).take(n));
+            out.extend(std::iter::repeat_n(b, n));
         }
     }
     Ok(out)
@@ -168,7 +168,9 @@ fn djz_compress(data: &[u8], out: &mut Vec<u8>) {
         let cand = table[h];
         table[h] = i;
         let mut match_len = 0;
-        if cand != usize::MAX && i - cand <= WINDOW && data[cand..cand + MIN_MATCH] == data[i..i + MIN_MATCH]
+        if cand != usize::MAX
+            && i - cand <= WINDOW
+            && data[cand..cand + MIN_MATCH] == data[i..i + MIN_MATCH]
         {
             let max = (data.len() - i).min(MAX_MATCH);
             let mut l = MIN_MATCH;
@@ -288,7 +290,7 @@ mod tests {
     fn rle_compresses_runs() {
         let mut data = Vec::new();
         for b in 0..50u8 {
-            data.extend(std::iter::repeat(b).take(100));
+            data.extend(std::iter::repeat_n(b, 100));
         }
         let frame = compress(&data, Codec::Rle);
         assert!(frame.len() < data.len() / 10);

@@ -136,8 +136,7 @@ fn read_string(buf: &mut Bytes) -> Result<String> {
     let n = buf.get_u32_le() as usize;
     ensure(buf, n)?;
     let bytes = buf.split_to(n);
-    String::from_utf8(bytes.to_vec())
-        .map_err(|_| DjError::Storage("invalid utf8 in string".into()))
+    String::from_utf8(bytes.to_vec()).map_err(|_| DjError::Storage("invalid utf8 in string".into()))
 }
 
 fn ensure(buf: &Bytes, n: usize) -> Result<()> {
@@ -164,8 +163,8 @@ pub fn from_jsonl(text: &str) -> Result<Dataset> {
         if line.trim().is_empty() {
             continue;
         }
-        let v = parse_json(line)
-            .map_err(|e| DjError::Parse(format!("jsonl line {}: {e}", no + 1)))?;
+        let v =
+            parse_json(line).map_err(|e| DjError::Parse(format!("jsonl line {}: {e}", no + 1)))?;
         samples.push(Sample::from_value(v)?);
     }
     Ok(Dataset::from_samples(samples))

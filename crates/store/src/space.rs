@@ -69,11 +69,7 @@ pub enum StoragePlan {
 }
 
 /// Choose a storage plan from the predicted footprints.
-pub fn plan_storage(
-    shape: PipelineShape,
-    dataset_bytes: u64,
-    available_bytes: u64,
-) -> StoragePlan {
+pub fn plan_storage(shape: PipelineShape, dataset_bytes: u64, available_bytes: u64) -> StoragePlan {
     if cache_mode_bytes(shape, dataset_bytes) <= available_bytes {
         StoragePlan::FullCache
     } else if checkpoint_mode_peak_bytes(dataset_bytes) <= available_bytes {

@@ -280,11 +280,17 @@ mod tests {
         let texts: Vec<&str> = ds.iter().map(|s| s.text()).collect();
         let unique: FxHashSet<&str> = texts.iter().copied().collect();
         assert!(unique.len() < texts.len(), "expected exact duplicates");
-        assert!(texts.iter().any(|t| t.contains("flagged")), "expected toxic docs");
-        assert!(texts.iter().any(|t| t.contains("https://")), "expected links");
         assert!(
-            ds.iter().all(|s| s.meta("source").unwrap().as_str() == Some("commoncrawl"))
+            texts.iter().any(|t| t.contains("flagged")),
+            "expected toxic docs"
         );
+        assert!(
+            texts.iter().any(|t| t.contains("https://")),
+            "expected links"
+        );
+        assert!(ds
+            .iter()
+            .all(|s| s.meta("source").unwrap().as_str() == Some("commoncrawl")));
     }
 
     #[test]

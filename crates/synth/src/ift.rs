@@ -20,13 +20,39 @@ pub const TASK_TAGS: &[&str] = &["Multi-Task", "Task-Specific"];
 pub const GEN_TAGS: &[&str] = &["Human-Generated", "Self-Instruct", "Mixed", "Collection"];
 
 const INSTRUCTION_VERBS: &[&str] = &[
-    "Write", "Explain", "Summarize", "Translate", "List", "Describe", "Generate", "Classify",
-    "Rewrite", "Compare", "Answer", "Compose", "Outline", "Identify", "Convert",
+    "Write",
+    "Explain",
+    "Summarize",
+    "Translate",
+    "List",
+    "Describe",
+    "Generate",
+    "Classify",
+    "Rewrite",
+    "Compare",
+    "Answer",
+    "Compose",
+    "Outline",
+    "Identify",
+    "Convert",
 ];
 
 const INSTRUCTION_OBJECTS: &[&str] = &[
-    "story", "poem", "essay", "summary", "email", "list", "function", "paragraph", "report",
-    "question", "recipe", "plan", "review", "explanation", "table",
+    "story",
+    "poem",
+    "essay",
+    "summary",
+    "email",
+    "list",
+    "function",
+    "paragraph",
+    "report",
+    "question",
+    "recipe",
+    "plan",
+    "review",
+    "explanation",
+    "table",
 ];
 
 /// Configuration of one generated fine-tuning subset.
@@ -98,7 +124,11 @@ pub fn ift_subset(seed: u64, spec: &IftSubsetSpec) -> Dataset {
         let obj = INSTRUCTION_OBJECTS[rng.gen_range(0..obj_pool)];
         let junk = rng.gen_bool(spec.junk_rate);
         let (instruction, response) = if spec.language == "ZH" {
-            let instr = format!("请{}一段关于{}的内容", verb_zh(verb), chinese_sentence(&mut rng, 4));
+            let instr = format!(
+                "请{}一段关于{}的内容",
+                verb_zh(verb),
+                chinese_sentence(&mut rng, 4)
+            );
             let resp = if junk {
                 chinese_sentence(&mut rng, 3)
             } else {
@@ -116,7 +146,9 @@ pub fn ift_subset(seed: u64, spec: &IftSubsetSpec) -> Dataset {
             let topic = rng.gen_range(0..6);
             let instr = format!(
                 "{verb} a {obj} about {}",
-                english_sentence(&mut rng, topic, 4).trim_end_matches('.').to_lowercase()
+                english_sentence(&mut rng, topic, 4)
+                    .trim_end_matches('.')
+                    .to_lowercase()
             );
             let resp = if junk {
                 "ok".to_string()
@@ -130,7 +162,8 @@ pub fn ift_subset(seed: u64, spec: &IftSubsetSpec) -> Dataset {
         // Structured fields for field-targeted OPs (the paper's
         // "text.instructions" example maps to the `instruction` field here,
         // keeping the default `text` key as the flat view OPs process).
-        s.set_text_at("instruction", &instruction).expect("fresh sample");
+        s.set_text_at("instruction", &instruction)
+            .expect("fresh sample");
         s.set_text_at("response", &response).expect("fresh sample");
         s.set_text(format!("{instruction}\n{response}"));
         s.set_meta("dataset", spec.name.as_str());
@@ -156,22 +189,45 @@ pub fn alpaca_cot_collection(seed: u64, scale: usize) -> Vec<(IftSubsetSpec, Dat
         IftSubsetSpec::new("alpaca", 5 * scale).gen_method("Self-Instruct"),
         IftSubsetSpec::new("gpteacher", 3 * scale).diversity(0.5),
         IftSubsetSpec::new("fastchat", 3 * scale).usage("CFT-MR"),
-        IftSubsetSpec::new("guanaco", 2 * scale).diversity(0.4).junk_rate(0.2),
+        IftSubsetSpec::new("guanaco", 2 * scale)
+            .diversity(0.4)
+            .junk_rate(0.2),
         IftSubsetSpec::new("codealpaca", 2 * scale).task_type("Task-Specific"),
-        IftSubsetSpec::new("flan", 6 * scale).usage("IFT").gen_method("Collection"),
-        IftSubsetSpec::new("p3", 5 * scale).usage("IFT").gen_method("Collection").diversity(0.6),
+        IftSubsetSpec::new("flan", 6 * scale)
+            .usage("IFT")
+            .gen_method("Collection"),
+        IftSubsetSpec::new("p3", 5 * scale)
+            .usage("IFT")
+            .gen_method("Collection")
+            .diversity(0.6),
         IftSubsetSpec::new("natural-instructions", 4 * scale)
             .usage("IFT")
             .gen_method("Human-Generated"),
         IftSubsetSpec::new("dolly", 2 * scale).gen_method("Human-Generated"),
-        IftSubsetSpec::new("oasst", 3 * scale).usage("CFT-MR").gen_method("Human-Generated"),
-        IftSubsetSpec::new("hh-rlhf", 2 * scale).usage("CFT-P").gen_method("Mixed"),
-        IftSubsetSpec::new("belle", 8 * scale).language("ZH").junk_rate(0.25).diversity(0.45),
+        IftSubsetSpec::new("oasst", 3 * scale)
+            .usage("CFT-MR")
+            .gen_method("Human-Generated"),
+        IftSubsetSpec::new("hh-rlhf", 2 * scale)
+            .usage("CFT-P")
+            .gen_method("Mixed"),
+        IftSubsetSpec::new("belle", 8 * scale)
+            .language("ZH")
+            .junk_rate(0.25)
+            .diversity(0.45),
         IftSubsetSpec::new("alpacagpt4-zh", 3 * scale).language("ZH"),
-        IftSubsetSpec::new("instinwild-zh", 2 * scale).language("ZH").diversity(0.5),
-        IftSubsetSpec::new("firefly", 3 * scale).language("ZH").usage("IFT").gen_method("Collection"),
-        IftSubsetSpec::new("xp3", 3 * scale).language("Multilingual").usage("IFT"),
-        IftSubsetSpec::new("sharegpt", 4 * scale).usage("CFT-MR").gen_method("Mixed"),
+        IftSubsetSpec::new("instinwild-zh", 2 * scale)
+            .language("ZH")
+            .diversity(0.5),
+        IftSubsetSpec::new("firefly", 3 * scale)
+            .language("ZH")
+            .usage("IFT")
+            .gen_method("Collection"),
+        IftSubsetSpec::new("xp3", 3 * scale)
+            .language("Multilingual")
+            .usage("IFT"),
+        IftSubsetSpec::new("sharegpt", 4 * scale)
+            .usage("CFT-MR")
+            .gen_method("Mixed"),
     ];
     specs
         .into_iter()
@@ -257,8 +313,7 @@ mod tests {
     fn collection_covers_all_tag_axes() {
         let coll = alpaca_cot_collection(5, 4);
         assert_eq!(coll.len(), 17);
-        let langs: std::collections::BTreeSet<_> =
-            coll.iter().map(|(s, _)| s.language).collect();
+        let langs: std::collections::BTreeSet<_> = coll.iter().map(|(s, _)| s.language).collect();
         let usages: std::collections::BTreeSet<_> = coll.iter().map(|(s, _)| s.usage).collect();
         assert!(langs.contains("EN") && langs.contains("ZH") && langs.contains("Multilingual"));
         assert_eq!(usages.len(), 4);
@@ -270,6 +325,8 @@ mod tests {
     fn multi_round_samples_have_rounds_meta() {
         let spec = IftSubsetSpec::new("mr", 5).usage("CFT-MR");
         let ds = ift_subset(6, &spec);
-        assert!(ds.iter().all(|s| s.meta("rounds").unwrap().as_int() == Some(2)));
+        assert!(ds
+            .iter()
+            .all(|s| s.meta("rounds").unwrap().as_int() == Some(2)));
     }
 }

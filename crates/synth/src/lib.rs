@@ -12,7 +12,7 @@ pub mod ift;
 pub mod words;
 
 pub use corpora::{
-    arxiv_corpus, book_corpus, chinese_corpus, code_corpus, dialog_corpus, web_corpus,
-    wiki_corpus, WebNoise,
+    arxiv_corpus, book_corpus, chinese_corpus, code_corpus, dialog_corpus, web_corpus, wiki_corpus,
+    WebNoise,
 };
 pub use ift::{alpaca_cot_collection, ift_subset, IftSubsetSpec};

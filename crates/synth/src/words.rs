@@ -15,49 +15,142 @@ pub const FUNCTION_WORDS: &[&str] = &[
 /// Topical content words, grouped loosely so documents look coherent.
 pub const TOPICS: &[&[&str]] = &[
     &[
-        "research", "method", "results", "analysis", "experiment", "model", "data", "evaluation",
-        "baseline", "approach", "performance", "accuracy", "training", "benchmark", "metric",
+        "research",
+        "method",
+        "results",
+        "analysis",
+        "experiment",
+        "model",
+        "data",
+        "evaluation",
+        "baseline",
+        "approach",
+        "performance",
+        "accuracy",
+        "training",
+        "benchmark",
+        "metric",
     ],
     &[
-        "government", "policy", "election", "committee", "budget", "report", "minister",
-        "parliament", "decision", "public", "citizens", "reform", "economy", "taxes", "debate",
+        "government",
+        "policy",
+        "election",
+        "committee",
+        "budget",
+        "report",
+        "minister",
+        "parliament",
+        "decision",
+        "public",
+        "citizens",
+        "reform",
+        "economy",
+        "taxes",
+        "debate",
     ],
     &[
-        "river", "mountain", "forest", "climate", "species", "habitat", "ocean", "weather",
-        "ecosystem", "wildlife", "conservation", "temperature", "rainfall", "glacier", "valley",
+        "river",
+        "mountain",
+        "forest",
+        "climate",
+        "species",
+        "habitat",
+        "ocean",
+        "weather",
+        "ecosystem",
+        "wildlife",
+        "conservation",
+        "temperature",
+        "rainfall",
+        "glacier",
+        "valley",
     ],
     &[
-        "software", "system", "network", "server", "database", "protocol", "algorithm",
-        "interface", "library", "framework", "deployment", "latency", "throughput", "cache",
+        "software",
+        "system",
+        "network",
+        "server",
+        "database",
+        "protocol",
+        "algorithm",
+        "interface",
+        "library",
+        "framework",
+        "deployment",
+        "latency",
+        "throughput",
+        "cache",
         "pipeline",
     ],
     &[
-        "novel", "character", "story", "chapter", "author", "narrative", "poetry", "drama",
-        "literature", "reader", "plot", "theme", "metaphor", "dialogue", "manuscript",
+        "novel",
+        "character",
+        "story",
+        "chapter",
+        "author",
+        "narrative",
+        "poetry",
+        "drama",
+        "literature",
+        "reader",
+        "plot",
+        "theme",
+        "metaphor",
+        "dialogue",
+        "manuscript",
     ],
     &[
-        "market", "company", "investment", "revenue", "profit", "shares", "trading", "finance",
-        "customers", "product", "strategy", "growth", "startup", "merger", "quarterly",
+        "market",
+        "company",
+        "investment",
+        "revenue",
+        "profit",
+        "shares",
+        "trading",
+        "finance",
+        "customers",
+        "product",
+        "strategy",
+        "growth",
+        "startup",
+        "merger",
+        "quarterly",
     ],
 ];
 
 /// Spam/boilerplate vocabulary for noisy web documents; includes the
 /// flagged placeholder tokens recognized by `dj_text::lexicon::flagged_words`.
 pub const SPAM_WORDS: &[&str] = &[
-    "click", "here", "free", "casino", "jackpot", "winbig", "hotdeal", "clickbait", "buy",
-    "now", "subscribe", "offer", "discount", "limited", "freemoney", "xxxad", "spamword",
-    "scamword", "toxicword",
+    "click",
+    "here",
+    "free",
+    "casino",
+    "jackpot",
+    "winbig",
+    "hotdeal",
+    "clickbait",
+    "buy",
+    "now",
+    "subscribe",
+    "offer",
+    "discount",
+    "limited",
+    "freemoney",
+    "xxxad",
+    "spamword",
+    "scamword",
+    "toxicword",
 ];
 
 /// Common simplified-Chinese characters for ZH text generation.
 pub const HANZI: &[char] = &[
-    '的', '一', '是', '了', '我', '不', '人', '在', '他', '有', '这', '个', '上', '们', '来',
-    '到', '时', '大', '地', '为', '子', '中', '你', '说', '生', '国', '年', '着', '就', '那',
-    '和', '要', '她', '出', '也', '得', '里', '后', '自', '以', '会', '家', '可', '下', '而',
-    '过', '天', '去', '能', '对', '小', '多', '然', '于', '心', '学', '么', '之', '都', '好',
-    '看', '起', '发', '当', '没', '成', '只', '如', '事', '把', '还', '用', '第', '样', '道',
-    '想', '作', '种', '开', '美', '总', '从', '无', '情', '己', '面', '最', '女', '但', '现',
-    '前', '些', '所', '同', '日', '手', '又', '行', '意', '动', '方', '期', '它', '头', '经',
+    '的', '一', '是', '了', '我', '不', '人', '在', '他', '有', '这', '个', '上', '们', '来', '到',
+    '时', '大', '地', '为', '子', '中', '你', '说', '生', '国', '年', '着', '就', '那', '和', '要',
+    '她', '出', '也', '得', '里', '后', '自', '以', '会', '家', '可', '下', '而', '过', '天', '去',
+    '能', '对', '小', '多', '然', '于', '心', '学', '么', '之', '都', '好', '看', '起', '发', '当',
+    '没', '成', '只', '如', '事', '把', '还', '用', '第', '样', '道', '想', '作', '种', '开', '美',
+    '总', '从', '无', '情', '己', '面', '最', '女', '但', '现', '前', '些', '所', '同', '日', '手',
+    '又', '行', '意', '动', '方', '期', '它', '头', '经',
 ];
 
 /// Pick a random element of a slice.
@@ -135,7 +228,10 @@ mod tests {
     fn deterministic_generation() {
         let mut a = StdRng::seed_from_u64(1);
         let mut b = StdRng::seed_from_u64(1);
-        assert_eq!(english_sentence(&mut a, 0, 10), english_sentence(&mut b, 0, 10));
+        assert_eq!(
+            english_sentence(&mut a, 0, 10),
+            english_sentence(&mut b, 0, 10)
+        );
     }
 
     #[test]

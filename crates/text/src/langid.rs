@@ -199,7 +199,8 @@ mod tests {
     #[test]
     fn classifies_english() {
         let m = LangIdModel::builtin();
-        let (lang, conf) = m.classify("this is a perfectly normal english sentence about the weather");
+        let (lang, conf) =
+            m.classify("this is a perfectly normal english sentence about the weather");
         assert_eq!(lang, "en");
         assert!(conf > 0.4, "conf={conf}");
     }

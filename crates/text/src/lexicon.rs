@@ -14,12 +14,12 @@ pub fn english_stopwords() -> FxHashSet<String> {
         "against", "between", "into", "through", "during", "before", "after", "above", "below",
         "to", "from", "up", "down", "in", "out", "on", "off", "over", "under", "again", "then",
         "once", "here", "there", "when", "where", "why", "how", "all", "any", "both", "each",
-        "few", "more", "most", "other", "some", "such", "no", "nor", "not", "only", "own",
-        "same", "so", "than", "too", "very", "can", "will", "just", "should", "now", "is",
-        "are", "was", "were", "be", "been", "being", "have", "has", "had", "do", "does", "did",
-        "i", "you", "he", "she", "it", "we", "they", "this", "that", "these", "those", "as",
-        "their", "them", "his", "her", "its", "our", "your", "my", "me", "him", "us", "what",
-        "which", "who", "whom", "whose", "also", "because", "while", "until",
+        "few", "more", "most", "other", "some", "such", "no", "nor", "not", "only", "own", "same",
+        "so", "than", "too", "very", "can", "will", "just", "should", "now", "is", "are", "was",
+        "were", "be", "been", "being", "have", "has", "had", "do", "does", "did", "i", "you", "he",
+        "she", "it", "we", "they", "this", "that", "these", "those", "as", "their", "them", "his",
+        "her", "its", "our", "your", "my", "me", "him", "us", "what", "which", "who", "whom",
+        "whose", "also", "because", "while", "until",
     ])
 }
 
@@ -28,9 +28,26 @@ pub fn english_stopwords() -> FxHashSet<String> {
 /// *placeholder* tokens the generators inject to mark "toxic" documents.
 pub fn flagged_words() -> FxHashSet<String> {
     to_set(&[
-        "flagged0", "flagged1", "flagged2", "flagged3", "flagged4", "flagged5", "flagged6",
-        "flagged7", "flagged8", "flagged9", "spamword", "scamword", "toxicword", "casino",
-        "jackpot", "clickbait", "xxxad", "freemoney", "hotdeal", "winbig",
+        "flagged0",
+        "flagged1",
+        "flagged2",
+        "flagged3",
+        "flagged4",
+        "flagged5",
+        "flagged6",
+        "flagged7",
+        "flagged8",
+        "flagged9",
+        "spamword",
+        "scamword",
+        "toxicword",
+        "casino",
+        "jackpot",
+        "clickbait",
+        "xxxad",
+        "freemoney",
+        "hotdeal",
+        "winbig",
     ])
 }
 
@@ -38,22 +55,92 @@ pub fn flagged_words() -> FxHashSet<String> {
 /// verbs", Fig. 5).
 pub fn common_verbs() -> FxHashSet<String> {
     to_set(&[
-        "write", "create", "explain", "describe", "summarize", "translate", "list", "give",
-        "generate", "make", "find", "tell", "show", "answer", "compare", "classify", "identify",
-        "rewrite", "convert", "calculate", "analyze", "design", "suggest", "provide", "edit",
-        "compose", "draft", "outline", "evaluate", "predict", "solve", "implement", "build",
-        "improve", "fix", "extract", "label", "rank", "sort", "plan",
+        "write",
+        "create",
+        "explain",
+        "describe",
+        "summarize",
+        "translate",
+        "list",
+        "give",
+        "generate",
+        "make",
+        "find",
+        "tell",
+        "show",
+        "answer",
+        "compare",
+        "classify",
+        "identify",
+        "rewrite",
+        "convert",
+        "calculate",
+        "analyze",
+        "design",
+        "suggest",
+        "provide",
+        "edit",
+        "compose",
+        "draft",
+        "outline",
+        "evaluate",
+        "predict",
+        "solve",
+        "implement",
+        "build",
+        "improve",
+        "fix",
+        "extract",
+        "label",
+        "rank",
+        "sort",
+        "plan",
     ])
 }
 
 /// Common English nouns accepted as direct objects in the diversity probe.
 pub fn common_nouns() -> FxHashSet<String> {
     to_set(&[
-        "story", "poem", "essay", "summary", "list", "email", "letter", "code", "function",
-        "program", "sentence", "paragraph", "article", "report", "question", "answer", "recipe",
-        "plan", "review", "description", "explanation", "translation", "example", "table",
-        "outline", "speech", "script", "headline", "title", "joke", "song", "response", "text",
-        "document", "message", "argument", "proof", "solution", "algorithm", "class",
+        "story",
+        "poem",
+        "essay",
+        "summary",
+        "list",
+        "email",
+        "letter",
+        "code",
+        "function",
+        "program",
+        "sentence",
+        "paragraph",
+        "article",
+        "report",
+        "question",
+        "answer",
+        "recipe",
+        "plan",
+        "review",
+        "description",
+        "explanation",
+        "translation",
+        "example",
+        "table",
+        "outline",
+        "speech",
+        "script",
+        "headline",
+        "title",
+        "joke",
+        "song",
+        "response",
+        "text",
+        "document",
+        "message",
+        "argument",
+        "proof",
+        "solution",
+        "algorithm",
+        "class",
     ])
 }
 

@@ -129,10 +129,7 @@ impl NgramModel {
 fn gram_key(words: &[String]) -> u64 {
     let mut key = 0xcbf2_9ce4_8422_2325u64;
     for w in words {
-        key = key
-            .rotate_left(13)
-            .wrapping_mul(0x0100_0000_01b3)
-            ^ hash64(w.as_bytes());
+        key = key.rotate_left(13).wrapping_mul(0x0100_0000_01b3) ^ hash64(w.as_bytes());
     }
     key
 }

@@ -101,9 +101,7 @@ pub fn remove_emails(text: &str) -> String {
     remove_token_matches(text, |tok| {
         let t = tok.trim_matches(|c: char| !c.is_alphanumeric() && c != '@' && c != '.');
         match t.split_once('@') {
-            Some((user, host)) => {
-                !user.is_empty() && host.contains('.') && !host.ends_with('.')
-            }
+            Some((user, host)) => !user.is_empty() && host.contains('.') && !host.ends_with('.'),
             None => false,
         }
     })
@@ -114,7 +112,10 @@ pub fn remove_ips(text: &str) -> String {
     remove_token_matches(text, |tok| {
         let t = tok.trim_matches(|c: char| !c.is_ascii_digit() && c != '.');
         let parts: Vec<&str> = t.split('.').collect();
-        parts.len() == 4 && parts.iter().all(|p| !p.is_empty() && p.len() <= 3 && p.chars().all(|c| c.is_ascii_digit()))
+        parts.len() == 4
+            && parts
+                .iter()
+                .all(|p| !p.is_empty() && p.len() <= 3 && p.chars().all(|c| c.is_ascii_digit()))
     })
 }
 
@@ -308,7 +309,10 @@ mod tests {
 
     #[test]
     fn emails_removed() {
-        assert_eq!(remove_emails("mail me at bob@example.com today"), "mail me at today");
+        assert_eq!(
+            remove_emails("mail me at bob@example.com today"),
+            "mail me at today"
+        );
         assert_eq!(remove_emails("not@anemail"), "not@anemail");
         assert_eq!(remove_emails("a @ b"), "a @ b");
     }

@@ -19,8 +19,22 @@ pub fn special_char_ratio(text: &str) -> f64 {
             || c.is_whitespace()
             || matches!(
                 c,
-                '.' | ',' | '!' | '?' | ';' | ':' | '\'' | '"' | '-' | '(' | ')'
-                    | '。' | '，' | '！' | '？' | '；' | '：'
+                '.' | ','
+                    | '!'
+                    | '?'
+                    | ';'
+                    | ':'
+                    | '\''
+                    | '"'
+                    | '-'
+                    | '('
+                    | ')'
+                    | '。'
+                    | '，'
+                    | '！'
+                    | '？'
+                    | '；'
+                    | '：'
             ))
     })
 }
@@ -85,11 +99,7 @@ pub fn char_rep_ratio(text: &str, n: usize) -> f64 {
         *counts.entry(dj_hash::hash64(buf.as_bytes())).or_insert(0) += 1;
     }
     let total: u64 = counts.values().map(|&c| c as u64).sum();
-    let repeated: u64 = counts
-        .values()
-        .filter(|&&c| c > 1)
-        .map(|&c| c as u64)
-        .sum();
+    let repeated: u64 = counts.values().filter(|&&c| c > 1).map(|&c| c as u64).sum();
     repeated as f64 / total as f64
 }
 
@@ -110,11 +120,7 @@ pub fn word_rep_ratio(words: &[String], n: usize) -> f64 {
         *counts.entry(dj_hash::hash64(buf.as_bytes())).or_insert(0) += 1;
     }
     let total: u64 = counts.values().map(|&c| c as u64).sum();
-    let repeated: u64 = counts
-        .values()
-        .filter(|&&c| c > 1)
-        .map(|&c| c as u64)
-        .sum();
+    let repeated: u64 = counts.values().filter(|&&c| c > 1).map(|&c| c as u64).sum();
     repeated as f64 / total as f64
 }
 
@@ -128,11 +134,7 @@ pub fn avg_line_length(lines: &[String]) -> f64 {
 
 /// Longest line length in characters.
 pub fn max_line_length(lines: &[String]) -> f64 {
-    lines
-        .iter()
-        .map(|l| l.chars().count())
-        .max()
-        .unwrap_or(0) as f64
+    lines.iter().map(|l| l.chars().count()).max().unwrap_or(0) as f64
 }
 
 /// Mean word length in characters.

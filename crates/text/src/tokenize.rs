@@ -129,7 +129,7 @@ impl BpeTokenizer {
                 let mut best: Option<(u32, usize)> = None; // (rank, position)
                 for (i, win) in syms.windows(2).enumerate() {
                     if let Some(&r) = self.ranks.get(&(win[0], win[1])) {
-                        if best.map_or(true, |(br, _)| r < br) {
+                        if best.is_none_or(|(br, _)| r < br) {
                             best = Some((r, i));
                         }
                     }
@@ -281,6 +281,9 @@ mod tests {
     fn training_is_deterministic() {
         let a = BpeTokenizer::train(&corpus(), 350);
         let b = BpeTokenizer::train(&corpus(), 350);
-        assert_eq!(a.encode("the quick brown fox"), b.encode("the quick brown fox"));
+        assert_eq!(
+            a.encode("the quick brown fox"),
+            b.encode("the quick brown fox")
+        );
     }
 }

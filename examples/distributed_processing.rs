@@ -12,7 +12,11 @@ fn main() -> Result<()> {
     let ops = Recipe::new("dist-example")
         .then(OpSpec::new("whitespace_normalization_mapper"))
         .then(OpSpec::new("clean_links_mapper"))
-        .then(OpSpec::new("word_num_filter").with("min_num", 5.0).with("max_num", 1e9))
+        .then(
+            OpSpec::new("word_num_filter")
+                .with("min_num", 5.0)
+                .with("max_num", 1e9),
+        )
         .then(OpSpec::new("document_deduplicator"))
         .build_ops(&builtin_registry())?;
     let data = dialog_corpus(99, 2000);
@@ -23,9 +27,15 @@ fn main() -> Result<()> {
     );
 
     let (single, wall) = run_single_node(&ops, data.clone(), 4)?;
-    println!("single node (np=4): {} docs out in {wall:.3}s\n", single.len());
+    println!(
+        "single node (np=4): {} docs out in {wall:.3}s\n",
+        single.len()
+    );
 
-    println!("{:>6} {:>14} {:>14}", "nodes", "Ray wall (s)", "Beam wall (s)");
+    println!(
+        "{:>6} {:>14} {:>14}",
+        "nodes", "Ray wall (s)", "Beam wall (s)"
+    );
     for nodes in [1usize, 2, 4, 8, 16] {
         let spec = ClusterSpec {
             per_node_overhead_s: 0.0,
@@ -39,7 +49,10 @@ fn main() -> Result<()> {
             single.iter().map(|s| s.text()).collect::<Vec<_>>(),
             "distributed output must equal single-node output"
         );
-        println!("{nodes:>6} {:>14.4} {:>14.4}", ray.modeled_wall_s, beam.modeled_wall_s);
+        println!(
+            "{nodes:>6} {:>14.4} {:>14.4}",
+            ray.modeled_wall_s, beam.modeled_wall_s
+        );
     }
     println!("\nRay scales with nodes; Beam is pinned by its serialized loader (Fig. 10).");
     Ok(())

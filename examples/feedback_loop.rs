@@ -19,12 +19,17 @@ fn main() -> Result<()> {
     // expression diversity and junky short responses.
     let mut original = ift_subset(
         5,
-        &IftSubsetSpec::new("raw-ift", 1500).diversity(0.25).junk_rate(0.3),
+        &IftSubsetSpec::new("raw-ift", 1500)
+            .diversity(0.25)
+            .junk_rate(0.3),
     );
 
     // ---- Step 1: analyze the original dataset -------------------------
     let probe = Analyzer::new().probe(&mut original);
-    println!("STEP 1 — original data probe ({} samples)", probe.sample_count);
+    println!(
+        "STEP 1 — original data probe ({} samples)",
+        probe.sample_count
+    );
     print!(
         "{}",
         visualize::verb_noun_tree(
@@ -40,8 +45,16 @@ fn main() -> Result<()> {
     // (rep_len 10→3, max_ratio 0.5→0.23).
     let mut recipe = Recipe::new("ift-refine")
         .then(OpSpec::new("whitespace_normalization_mapper"))
-        .then(OpSpec::new("word_repetition_filter").with("rep_len", 10i64).with("max_ratio", 0.5))
-        .then(OpSpec::new("text_length_filter").with("min_len", 5.0).with("max_len", 1e6))
+        .then(
+            OpSpec::new("word_repetition_filter")
+                .with("rep_len", 10i64)
+                .with("max_ratio", 0.5),
+        )
+        .then(
+            OpSpec::new("text_length_filter")
+                .with("min_len", 5.0)
+                .with("max_len", 1e6),
+        )
         .then(OpSpec::new("document_deduplicator"));
     println!("STEP 2 — refining recipe parameters");
     recipe.set_param("word_repetition_filter", "rep_len", Value::Int(3))?;
@@ -54,7 +67,8 @@ fn main() -> Result<()> {
     let (mut refined, report) = Executor::new(ops).run(original.clone())?;
     println!(
         "STEP 3 — processed: {} -> {} samples",
-        report.initial_samples, refined.len()
+        report.initial_samples,
+        refined.len()
     );
 
     // ---- Step 4: analyze the refined dataset --------------------------
@@ -86,7 +100,10 @@ fn main() -> Result<()> {
     });
     println!("\nSTEP 6 — data leaderboard:\n{}", lb.render());
 
-    assert!(after.average() >= before.average(), "the loop must not regress");
+    assert!(
+        after.average() >= before.average(),
+        "the loop must not regress"
+    );
     println!("feedback loop complete: refined recipe registered as a reference model.");
     Ok(())
 }

@@ -30,7 +30,7 @@ impl data_juicer::core::Mapper for EmojiStripMapper {
                 !matches!(*c as u32,
                     0x1F300..=0x1FAFF          // emoji blocks
                     | 0x2600..=0x27BF          // misc symbols
-                    | 0xFE00..=0xFE0F)         // variation selectors
+                    | 0xFE00..=0xFE0F) // variation selectors
             })
             .collect();
         let changed = cleaned != sample.text();
@@ -59,10 +59,10 @@ fn main() -> data_juicer::core::Result<()> {
             OpKind::Deduplicator => "deduplicators",
             OpKind::Formatter => "formatters",
         };
-        by_kind.entry(kind).or_default().push(format!(
-            "{name} (cost: {:?})",
-            op.cost()
-        ));
+        by_kind
+            .entry(kind)
+            .or_default()
+            .push(format!("{name} (cost: {:?})", op.cost()));
     }
     let mut total = formatter_names().len();
     for (kind, names) in &by_kind {

@@ -15,7 +15,11 @@ use data_juicer::synth::{web_corpus, WebNoise};
 
 fn main() -> Result<()> {
     let mut raw = web_corpus(2024, 800, WebNoise::default());
-    println!("raw corpus: {} docs, {:.2} MB", raw.len(), raw.text_bytes() as f64 / 1e6);
+    println!(
+        "raw corpus: {} docs, {:.2} MB",
+        raw.len(),
+        raw.text_bytes() as f64 / 1e6
+    );
 
     // Probe the raw data (step 1 of the Fig. 5 loop).
     let probe_before = Analyzer::new().probe(&mut raw);
@@ -36,11 +40,12 @@ fn main() -> Result<()> {
         num_workers: 4,
         op_fusion: true,
         trace_examples: 0,
+        shard_size: None,
     });
     let (mut refined, report) = exec.run_with_cache(raw.clone(), &cache)?;
     println!(
         "\nrefinement: {} -> {} docs in {:.2?} ({} steps resumed from cache)",
-        report.initial_samples + report.resumed_steps.min(1) * 0, // resumed runs report 0 initial work
+        report.initial_samples,
         refined.len(),
         report.total_duration,
         report.resumed_steps

@@ -46,6 +46,7 @@ process:
         num_workers: recipe.np,
         op_fusion: true,
         trace_examples: 2,
+        shard_size: None,
     });
     let (output, report) = exec.run(dataset)?;
 
@@ -56,9 +57,17 @@ process:
     }
     println!("\nsurviving documents:");
     for s in output.iter() {
-        println!("  [{}] {}", s.meta("source").and_then(|v| v.as_str()).unwrap_or("?"), s.text());
+        println!(
+            "  [{}] {}",
+            s.meta("source").and_then(|v| v.as_str()).unwrap_or("?"),
+            s.text()
+        );
     }
     assert_eq!(output.len(), 2, "spam, tiny and the duplicate are gone");
-    println!("\nquickstart finished: {} -> {} samples", report.initial_samples, output.len());
+    println!(
+        "\nquickstart finished: {} -> {} samples",
+        report.initial_samples,
+        output.len()
+    );
     Ok(())
 }

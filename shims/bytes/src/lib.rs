@@ -1,0 +1,173 @@
+//! Offline stand-in for the `bytes` crate: just enough of `Bytes`/`BytesMut`
+//! and the `Buf`/`BufMut` traits for dj-store's binary dataset codec.
+//! Backed by a plain `Vec<u8>` plus a read cursor — no refcounted slices.
+
+/// Read-side buffer operations (API subset).
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+    fn get_u8(&mut self) -> u8;
+    fn get_u32_le(&mut self) -> u32;
+    fn get_u64_le(&mut self) -> u64;
+    fn get_i64_le(&mut self) -> i64;
+    fn get_f64_le(&mut self) -> f64;
+}
+
+/// Write-side buffer operations (API subset).
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_i64_le(&mut self, v: i64);
+    fn put_f64_le(&mut self, v: f64);
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// Growable byte buffer (stand-in for `bytes::BytesMut`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.inner,
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.inner.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.inner.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_i64_le(&mut self, v: i64) {
+        self.inner.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.inner.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+/// Immutable byte view with a consuming cursor (stand-in for `bytes::Bytes`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Split off the next `n` bytes as an owned buffer, advancing the cursor.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.remaining(), "split_to out of bounds");
+        let out = Bytes {
+            data: self.data[self.pos..self.pos + n].to_vec(),
+            pos: 0,
+        };
+        self.pos += n;
+        out
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(self.remaining() >= n, "buffer underrun");
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_u8(7);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(u64::MAX - 1);
+        b.put_i64_le(-42);
+        b.put_f64_le(3.5);
+        b.put_slice(b"tail");
+        let mut r = Bytes::copy_from_slice(&b.to_vec());
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.get_i64_le(), -42);
+        assert_eq!(r.get_f64_le(), 3.5);
+        assert_eq!(r.split_to(4).to_vec(), b"tail");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to out of bounds")]
+    fn split_past_end_panics() {
+        Bytes::copy_from_slice(b"ab").split_to(3);
+    }
+}

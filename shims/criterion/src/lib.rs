@@ -1,0 +1,200 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `iter`/`iter_batched`, `Throughput`,
+//! `black_box` and the `criterion_group!`/`criterion_main!` macros — with a
+//! plain median-of-samples timing loop and one stdout line per benchmark.
+//! No plots, no statistics beyond median/min/max, no HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Re-exported so `criterion::black_box(x)` works as in the real crate.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are sized (ignored by this shim; one input per iter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation attached to a group (printed with results).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Harness configuration (API subset: `default` + `sample_size`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let mut g = self.benchmark_group("standalone");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed);
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = *samples.last().expect("non-empty");
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  {:.2} MiB/s",
+                    n as f64 / median.as_secs_f64() / (1 << 20) as f64
+                )
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:.0} elem/s", n as f64 / median.as_secs_f64())
+            }
+            None => String::new(),
+        };
+        println!(
+            "  {}/{id}: median {median:?} (min {min:?}, max {max:?}){rate}",
+            self.name
+        );
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Per-sample timing context handed to the benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time one call of `routine` for this sample.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let t0 = Instant::now();
+        black_box(routine());
+        self.elapsed = t0.elapsed();
+    }
+
+    /// Time `routine` on a freshly set-up input (setup excluded).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        self.elapsed = t0.elapsed();
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim_smoke");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("iter", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_function("iter_batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = sample_bench
+    }
+
+    criterion_group!(plain, sample_bench);
+
+    #[test]
+    fn groups_run() {
+        benches();
+        plain();
+    }
+}

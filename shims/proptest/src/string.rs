@@ -1,0 +1,231 @@
+//! Tiny regex-subset string generator backing `&str` strategies.
+//!
+//! Supports exactly the pattern features the workspace's tests use:
+//! literal characters, `.` (printable char), character classes `[...]` with
+//! ranges and `\n`/`\t`/`\"`/`\\` escapes, and the quantifiers `*`, `+`,
+//! `?`, `{m}`, `{m,n}` — applied to the immediately preceding atom.
+//! Unsupported syntax falls back to emitting the characters literally.
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// `.` — any printable character from a representative pool.
+    AnyChar,
+    /// `[...]` — one of an explicit character pool.
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generate one string matching `pattern`.
+pub fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for p in &pieces {
+        let n = p.min + rng.below((p.max - p.min + 1) as u64) as usize;
+        for _ in 0..n {
+            out.push(gen_atom(&p.atom, rng));
+        }
+    }
+    out
+}
+
+/// Pool for `.`: printable ASCII plus a few multi-byte characters so UTF-8
+/// handling is exercised.
+const ANY_EXTRA: &[char] = &['é', '中', 'λ', '—', '“'];
+
+fn gen_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::AnyChar => {
+            let roll = rng.below(100);
+            if roll < 92 {
+                char::from_u32(0x20 + rng.below(0x5F) as u32).expect("printable ascii")
+            } else {
+                ANY_EXTRA[rng.below(ANY_EXTRA.len() as u64) as usize]
+            }
+        }
+        Atom::Class(pool) => pool[rng.below(pool.len() as u64) as usize],
+    }
+}
+
+/// Default repetition cap for unbounded quantifiers (`*`, `+`).
+const UNBOUNDED_MAX: usize = 8;
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces: Vec<Piece> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyChar
+            }
+            '[' => {
+                let (pool, next) = parse_class(&chars, i + 1);
+                i = next;
+                Atom::Class(pool)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Atom::Literal(unescape(chars[i - 1]))
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Quantifier attached to this atom?
+        let (min, max, next) = parse_quantifier(&chars, i);
+        i = next;
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_quantifier(chars: &[char], i: usize) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('*') => (0, UNBOUNDED_MAX, i + 1),
+        Some('+') => (1, UNBOUNDED_MAX, i + 1),
+        Some('?') => (0, 1, i + 1),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or(i);
+            if close == i {
+                return (1, 1, i); // malformed; treat `{` as consumed elsewhere
+            }
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                None => {
+                    let n = body.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+                Some((lo, hi)) => {
+                    let lo = lo.trim().parse().unwrap_or(0);
+                    let hi = hi.trim().parse().unwrap_or(lo + UNBOUNDED_MAX);
+                    (lo, hi.max(lo))
+                }
+            };
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+/// Parse a `[...]` class starting just after `[`; returns (pool, index past `]`).
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut pool = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' && i + 1 < chars.len() {
+            i += 2;
+            unescape(chars[i - 1])
+        } else {
+            i += 1;
+            chars[i - 1]
+        };
+        // Range `a-z` (a `-` immediately before `]` is a literal).
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&n| n != ']') {
+            let hi = if chars[i + 1] == '\\' && i + 2 < chars.len() {
+                i += 3;
+                unescape(chars[i - 1])
+            } else {
+                i += 2;
+                chars[i - 1]
+            };
+            for u in (c as u32)..=(hi as u32) {
+                if let Some(ch) = char::from_u32(u) {
+                    pool.push(ch);
+                }
+            }
+        } else {
+            pool.push(c);
+        }
+    }
+    if pool.is_empty() {
+        pool.push('x'); // degenerate class; keep the generator total
+    }
+    (pool, (i + 1).min(chars.len()))
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: &str) -> String {
+        let mut rng = TestRng::from_name(seed);
+        gen_from_pattern(pattern, &mut rng)
+    }
+
+    #[test]
+    fn fixed_counts_and_classes() {
+        for seed in ["a", "b", "c", "d"] {
+            let s = gen("[a-z]{3}", seed);
+            assert_eq!(s.chars().count(), 3);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn bounded_ranges_respected() {
+        for seed in 0..20 {
+            let s = gen("[a-z][a-z0-9_]{0,10}", &seed.to_string());
+            let n = s.chars().count();
+            assert!((1..=11).contains(&n), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn dot_star_generates_varied_lengths() {
+        let lens: std::collections::HashSet<usize> = (0..40)
+            .map(|i| gen(".*", &format!("s{i}")).chars().count())
+            .collect();
+        assert!(lens.len() > 3, "expected varied lengths, got {lens:?}");
+    }
+
+    #[test]
+    fn class_escapes_and_trailing_dash() {
+        for seed in 0..30 {
+            let s = gen("[a\\n\\t\"\\\\-]{5}", &seed.to_string());
+            assert!(
+                s.chars()
+                    .all(|c| matches!(c, 'a' | '\n' | '\t' | '"' | '\\' | '-')),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        for seed in 0..20 {
+            let s = gen("[ -~]{8}", &seed.to_string());
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        assert_eq!(gen("abc", "x"), "abc");
+    }
+}

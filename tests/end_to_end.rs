@@ -15,7 +15,10 @@ fn every_catalog_recipe_resolves_against_the_registry() {
     for name in recipes::catalog() {
         let recipe = recipes::by_name(name).expect("catalog entry exists");
         let unknown = recipe.validate(&registry);
-        assert!(unknown.is_empty(), "recipe `{name}` references unknown ops: {unknown:?}");
+        assert!(
+            unknown.is_empty(),
+            "recipe `{name}` references unknown ops: {unknown:?}"
+        );
         recipe
             .build_ops(&registry)
             .unwrap_or_else(|e| panic!("recipe `{name}` fails to build: {e}"));
@@ -33,11 +36,15 @@ fn every_catalog_recipe_runs_on_mixed_data() {
             num_workers: 2,
             op_fusion: true,
             trace_examples: 0,
+            shard_size: None,
         });
         let (out, report) = exec
             .run(data.clone())
             .unwrap_or_else(|e| panic!("recipe `{name}` fails to run: {e}"));
-        assert!(out.len() <= data.len(), "`{name}` must not grow the dataset");
+        assert!(
+            out.len() <= data.len(),
+            "`{name}` must not grow the dataset"
+        );
         assert_eq!(report.final_samples, out.len());
     }
 }
@@ -64,7 +71,10 @@ fn refinement_improves_measured_quality_and_proxy_score() {
     let mut refined_m = refined;
     let p_raw = measure_profile(&mut raw_m, 1.0);
     let p_ref = measure_profile(&mut refined_m, 1.0);
-    assert!(p_ref.cleanliness > p_raw.cleanliness, "{p_ref:?} vs {p_raw:?}");
+    assert!(
+        p_ref.cleanliness > p_raw.cleanliness,
+        "{p_ref:?} vs {p_raw:?}"
+    );
     assert!(p_ref.dup_rate < p_raw.dup_rate);
 
     let llm = ProxyLlm::new();

@@ -22,6 +22,7 @@ fn run(ops: Vec<data_juicer::core::Op>, data: Dataset, np: usize, fusion: bool) 
             num_workers: np,
             op_fusion: fusion,
             trace_examples: 0,
+            shard_size: None,
         })
         .run(data)
         .expect("pipeline runs")
@@ -35,10 +36,18 @@ fn spec_pool() -> Vec<OpSpec> {
         OpSpec::new("punctuation_normalization_mapper"),
         OpSpec::new("clean_links_mapper"),
         OpSpec::new("lowercase_mapper"),
-        OpSpec::new("text_length_filter").with("min_len", 10.0).with("max_len", 1e9),
-        OpSpec::new("word_num_filter").with("min_num", 3.0).with("max_num", 1e9),
-        OpSpec::new("alphanumeric_ratio_filter").with("min_ratio", 0.1).with("max_ratio", 1.0),
-        OpSpec::new("word_repetition_filter").with("rep_len", 4i64).with("max_ratio", 0.6),
+        OpSpec::new("text_length_filter")
+            .with("min_len", 10.0)
+            .with("max_len", 1e9),
+        OpSpec::new("word_num_filter")
+            .with("min_num", 3.0)
+            .with("max_num", 1e9),
+        OpSpec::new("alphanumeric_ratio_filter")
+            .with("min_ratio", 0.1)
+            .with("max_ratio", 1.0),
+        OpSpec::new("word_repetition_filter")
+            .with("rep_len", 4i64)
+            .with("max_ratio", 0.6),
         OpSpec::new("stopwords_filter").with("min_ratio", 0.0),
         OpSpec::new("flagged_words_filter").with("max_ratio", 0.2),
         OpSpec::new("document_deduplicator"),
@@ -84,10 +93,12 @@ fn cache_resume_after_recipe_extension_matches_fresh_run() {
 
     let base = Recipe::new("resume")
         .then(OpSpec::new("whitespace_normalization_mapper"))
-        .then(OpSpec::new("text_length_filter").with("min_len", 20.0).with("max_len", 1e9));
-    let extended = base
-        .clone()
-        .then(OpSpec::new("document_deduplicator"));
+        .then(
+            OpSpec::new("text_length_filter")
+                .with("min_len", 20.0)
+                .with("max_len", 1e9),
+        );
+    let extended = base.clone().then(OpSpec::new("document_deduplicator"));
 
     // The two recipes share a fingerprinted cache only if keyed identically;
     // here we reuse one cache space keyed by the *base* fingerprint to
@@ -97,16 +108,22 @@ fn cache_resume_after_recipe_extension_matches_fresh_run() {
         num_workers: 1,
         op_fusion: false,
         trace_examples: 0,
+        shard_size: None,
     });
     exec_base.run_with_cache(data.clone(), &cache).unwrap();
 
-    let exec_ext = Executor::new(extended.build_ops(&registry).unwrap()).with_options(ExecOptions {
-        num_workers: 1,
-        op_fusion: false,
-        trace_examples: 0,
-    });
+    let exec_ext =
+        Executor::new(extended.build_ops(&registry).unwrap()).with_options(ExecOptions {
+            num_workers: 1,
+            op_fusion: false,
+            trace_examples: 0,
+            shard_size: None,
+        });
     let (resumed, report) = exec_ext.run_with_cache(data.clone(), &cache).unwrap();
-    assert_eq!(report.resumed_steps, 2, "the shared prefix must come from cache");
+    assert_eq!(
+        report.resumed_steps, 2,
+        "the shared prefix must come from cache"
+    );
 
     let (fresh, _) = Executor::new(extended.build_ops(&registry).unwrap())
         .run(data)
@@ -120,7 +137,11 @@ fn distributed_backends_agree_with_local_execution() {
     let registry = builtin_registry();
     let recipe = Recipe::new("dist-eq")
         .then(OpSpec::new("whitespace_normalization_mapper"))
-        .then(OpSpec::new("word_num_filter").with("min_num", 4.0).with("max_num", 1e9))
+        .then(
+            OpSpec::new("word_num_filter")
+                .with("min_num", 4.0)
+                .with("max_num", 1e9),
+        )
         .then(OpSpec::new("document_deduplicator"))
         .then(OpSpec::new("lowercase_mapper"));
     let ops = recipe.build_ops(&registry).unwrap();

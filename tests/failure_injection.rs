@@ -5,9 +5,7 @@
 use std::sync::Arc;
 
 use data_juicer::config::{OpSpec, Recipe};
-use data_juicer::core::{
-    DjError, Filter, Mapper, Op, Result, Sample, SampleContext,
-};
+use data_juicer::core::{DjError, Filter, Mapper, Op, Result, Sample, SampleContext};
 use data_juicer::exec::{ExecOptions, Executor};
 use data_juicer::ops::builtin_registry;
 use data_juicer::store::{CacheManager, CacheMode};
@@ -60,18 +58,15 @@ fn poisoned_dataset() -> data_juicer::core::Dataset {
 #[test]
 fn mapper_error_propagates_serial_and_parallel() {
     for np in [1usize, 4] {
-        let exec = Executor::new(vec![Op::Mapper(Arc::new(FailingMapper))]).with_options(
-            ExecOptions {
+        let exec =
+            Executor::new(vec![Op::Mapper(Arc::new(FailingMapper))]).with_options(ExecOptions {
                 num_workers: np,
                 op_fusion: false,
                 trace_examples: 0,
-            },
-        );
+                shard_size: None,
+            });
         let err = exec.run(poisoned_dataset()).unwrap_err();
-        assert!(
-            err.to_string().contains("failing_mapper"),
-            "np={np}: {err}"
-        );
+        assert!(err.to_string().contains("failing_mapper"), "np={np}: {err}");
     }
 }
 
@@ -87,14 +82,12 @@ fn filter_error_propagates_through_fused_plan() {
         };
         f
     };
-    let ops = vec![
-        Op::Filter(word_filter),
-        Op::Filter(Arc::new(FailingFilter)),
-    ];
+    let ops = vec![Op::Filter(word_filter), Op::Filter(Arc::new(FailingFilter))];
     let exec = Executor::new(ops).with_options(ExecOptions {
         num_workers: 2,
         op_fusion: true,
         trace_examples: 0,
+        shard_size: None,
     });
     let err = exec.run(poisoned_dataset()).unwrap_err();
     assert!(err.to_string().contains("failing_filter"), "{err}");
@@ -117,12 +110,18 @@ fn corrupt_cache_entry_falls_back_to_fresh_execution() {
         num_workers: 1,
         op_fusion: false,
         trace_examples: 0,
+        shard_size: None,
     });
     let (expected, _) = exec.run_with_cache(data.clone(), &cache).unwrap();
 
     // Corrupt every cache file.
     for entry in std::fs::read_dir(
-        std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path(),
+        std::fs::read_dir(&dir)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path(),
     )
     .unwrap()
     {
@@ -132,7 +131,10 @@ fn corrupt_cache_entry_falls_back_to_fresh_execution() {
 
     // The run must still succeed (fresh execution) and match.
     let (out, report) = exec.run_with_cache(data, &cache).unwrap();
-    assert_eq!(report.resumed_steps, 0, "corrupt cache must not be resumed from");
+    assert_eq!(
+        report.resumed_steps, 0,
+        "corrupt cache must not be resumed from"
+    );
     assert_eq!(
         out.iter().map(|s| s.text()).collect::<Vec<_>>(),
         expected.iter().map(|s| s.text()).collect::<Vec<_>>()
@@ -146,7 +148,10 @@ fn unknown_op_in_recipe_is_a_config_error() {
     let recipe = Recipe::new("bad").then(OpSpec::new("nonexistent_op"));
     let err = recipe.build_ops(&registry).unwrap_err();
     assert!(matches!(err, DjError::Config(_)), "{err}");
-    assert_eq!(recipe.validate(&registry), vec!["nonexistent_op".to_string()]);
+    assert_eq!(
+        recipe.validate(&registry),
+        vec!["nonexistent_op".to_string()]
+    );
 }
 
 #[test]
