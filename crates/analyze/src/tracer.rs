@@ -137,7 +137,7 @@ pub fn trace_op(op: &Op, dataset: &Dataset) -> Result<TraceReport> {
                 ctx.invalidate();
                 hashes.push(d.compute_hash(s, &mut ctx)?);
             }
-            let mask = d.keep_mask(dataset, &hashes)?;
+            let mask = d.keep_mask(dataset.len(), &hashes)?;
             // Attribute each drop to the nearest earlier kept sample with an
             // identical fingerprint when possible; otherwise to the first
             // kept sample (an approximation adequate for inspection).

@@ -35,6 +35,7 @@ fn bench_fusion(c: &mut Criterion) {
             op_fusion: fusion,
             trace_examples: 0,
             shard_size: None,
+            ..ExecOptions::default()
         });
         group.bench_function(label, |b| {
             b.iter_batched(
@@ -59,6 +60,7 @@ fn bench_parallelism(c: &mut Criterion) {
             op_fusion: true,
             trace_examples: 0,
             shard_size: None,
+            ..ExecOptions::default()
         });
         group.bench_function(format!("np{np}"), |b| {
             b.iter_batched(

@@ -44,6 +44,7 @@ fn bench_worker_scaling(c: &mut Criterion) {
                 op_fusion: fusion,
                 trace_examples: 0,
                 shard_size: None,
+                ..ExecOptions::default()
             });
             group.bench_function(format!("np{np}_{mode}"), |b| {
                 b.iter_batched(
@@ -69,8 +70,42 @@ fn bench_shard_size(c: &mut Criterion) {
             op_fusion: true,
             trace_examples: 0,
             shard_size: Some(len.div_ceil(shards)),
+            ..ExecOptions::default()
         });
         group.bench_function(format!("shards{shards}"), |b| {
+            b.iter_batched(
+                || data.clone(),
+                |d| exec.run(d).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Out-of-core vs in-memory: the cost of streaming every shard through the
+/// disk spool (spill + double-buffered reload per stage) relative to the
+/// pure in-memory pipeline, at matching shard layouts.
+fn bench_out_of_core(c: &mut Criterion) {
+    let ops = recipe().build_ops(&dj_ops::builtin_registry()).unwrap();
+    let data = web_corpus(19, 600, WebNoise::default());
+    let len = data.len();
+    let mut group = c.benchmark_group("out_of_core");
+    group.throughput(Throughput::Elements(len as u64));
+    for (label, budget) in [
+        ("in_memory", None),
+        ("spill_forced", Some(1u64)),
+        ("spill_1MiB", Some(1 << 20)),
+    ] {
+        let exec = Executor::new(ops.clone()).with_options(ExecOptions {
+            num_workers: 4,
+            op_fusion: true,
+            trace_examples: 0,
+            shard_size: Some(len.div_ceil(16)),
+            memory_budget: budget,
+            spill_dir: None,
+        });
+        group.bench_function(label, |b| {
             b.iter_batched(
                 || data.clone(),
                 |d| exec.run(d).unwrap(),
@@ -84,6 +119,6 @@ fn bench_shard_size(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_worker_scaling, bench_shard_size
+    targets = bench_worker_scaling, bench_shard_size, bench_out_of_core
 }
 criterion_main!(benches);

@@ -355,6 +355,7 @@ mod tests {
                 op_fusion: true,
                 trace_examples: 0,
                 shard_size: None,
+                ..ExecOptions::default()
             })
             .run(data.clone())
             .unwrap()

@@ -73,6 +73,7 @@ fn main() {
         op_fusion: false,
         trace_examples: 0,
         shard_size: None,
+        ..ExecOptions::default()
     });
     let (_, report) = exec
         .run_with_cache(data.clone(), &cache)

@@ -22,6 +22,7 @@ fn main() {
         op_fusion: true,
         trace_examples: 3,
         shard_size: None,
+        ..ExecOptions::default()
     });
     let (out, report) = exec.run(data).expect("pipeline runs");
     let mut after = out;

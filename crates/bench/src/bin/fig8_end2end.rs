@@ -73,6 +73,7 @@ fn main() {
                 op_fusion: true,
                 trace_examples: 0,
                 shard_size: None,
+                ..ExecOptions::default()
             });
             let t0 = Instant::now();
             let (out, report) = exec.run(data.clone()).expect("pipeline runs");
@@ -113,6 +114,39 @@ fn main() {
                 in_len: data.len(),
             });
         }
+
+        // Data-Juicer out-of-core: a budget far below the dataset size
+        // forces every stage to stream spilled shards from disk. Output
+        // must stay byte-identical to the in-memory engine; reported
+        // memory is the peak *resident* footprint of the streaming
+        // machinery — the constant-memory headline of the spill mode.
+        let np = *nps.last().expect("np sweep non-empty");
+        let exec = Executor::new(matched_dj_ops(p)).with_options(ExecOptions {
+            num_workers: np,
+            op_fusion: true,
+            trace_examples: 0,
+            shard_size: Some(data.len().div_ceil(4 * np.max(1) * 4)),
+            memory_budget: Some(1),
+            spill_dir: None,
+        });
+        let t0 = Instant::now();
+        let (out, report) = exec.run(data.clone()).expect("spilled pipeline runs");
+        assert!(report.spilled, "1-byte budget must spill");
+        let dj_out = rows
+            .iter()
+            .find(|r| r.dataset == *name && r.system == "Data-Juicer")
+            .expect("in-memory row present")
+            .out_len;
+        assert_eq!(out.len(), dj_out, "out-of-core output diverged ({name})");
+        rows.push(Row {
+            dataset: name,
+            np,
+            system: "Data-Juicer-OOC",
+            seconds: t0.elapsed().as_secs_f64(),
+            mem_mb: report.peak_resident_bytes as f64 / 1e6,
+            out_len: out.len(),
+            in_len: data.len(),
+        });
     }
 
     println!(

@@ -67,6 +67,7 @@ fn run(data: Dataset, np: usize, fusion: bool) -> (f64, f64, usize) {
         op_fusion: fusion,
         trace_examples: 0,
         shard_size: None,
+        ..ExecOptions::default()
     });
     let t0 = Instant::now();
     let (out, report) = exec.run(data).expect("pipeline runs");

@@ -46,6 +46,7 @@ pub fn dj_refine(dataset: Dataset, np: usize) -> Result<Dataset> {
             op_fusion: true,
             trace_examples: 0,
             shard_size: None,
+            ..ExecOptions::default()
         })
         .run(dataset)?;
     Ok(out)

@@ -10,6 +10,31 @@
 //! * [`recipes`] — a catalog of 20+ built-in recipe templates covering
 //!   pre-training, fine-tuning, English, Chinese and domain-specific
 //!   scenarios.
+//!
+//! ## Out-of-core execution
+//!
+//! Two recipe keys control the executor's spill-to-disk mode for corpora
+//! larger than RAM:
+//!
+//! ```yaml
+//! project_name: refine-web-xl
+//! np: 8
+//! shard_size: 4096          # optional; auto-sized from the budget if omitted
+//! memory_budget: 8589934592 # bytes; spill when the dataset estimate exceeds it
+//! spill_dir: /scratch/dj    # optional; defaults to the system temp dir
+//! process:
+//!   - whitespace_normalization_mapper:
+//! ```
+//!
+//! Spilling engages automatically when the dataset's estimated byte size
+//! exceeds `memory_budget`: shards stream through each pipeline stage from
+//! checksummed frame files with double-buffered prefetch, holding at most
+//! `np × 2 × shard_size` samples in memory, and the output is byte-identical
+//! to an in-memory run. Omit `memory_budget` (or leave it larger than the
+//! dataset) to keep everything in memory. `DJ_MEMORY_BUDGET=<bytes>` in the
+//! environment overrides an unset budget — CI uses it to force the spill
+//! path through the whole test suite. Both keys participate in the recipe
+//! fingerprint, so cached stages invalidate when they change.
 
 pub mod recipe;
 pub mod recipes;

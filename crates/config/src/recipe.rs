@@ -43,6 +43,12 @@ pub struct Recipe {
     /// Target samples per shard for the pipelined executor; `None` lets the
     /// executor auto-shard from `np` (morsel-driven over-partitioning).
     pub shard_size: Option<usize>,
+    /// Peak dataset bytes the executor may hold in memory; datasets whose
+    /// estimated size exceeds it are spilled to disk and streamed through
+    /// stages (out-of-core mode). `None` disables spilling.
+    pub memory_budget: Option<u64>,
+    /// Directory for spilled shard frames; `None` = the system temp dir.
+    pub spill_dir: Option<String>,
     /// Default text field OPs process.
     pub text_key: String,
     /// The ordered OP pipeline.
@@ -55,6 +61,8 @@ impl Default for Recipe {
             project_name: "data-juicer".to_string(),
             np: 1,
             shard_size: None,
+            memory_budget: None,
+            spill_dir: None,
             text_key: "text".to_string(),
             process: Vec::new(),
         }
@@ -84,6 +92,19 @@ impl Recipe {
     /// Builder: set the target shard size for the pipelined executor.
     pub fn with_shard_size(mut self, shard_size: usize) -> Recipe {
         self.shard_size = Some(shard_size.max(1));
+        self
+    }
+
+    /// Builder: set the executor's memory budget in bytes (enables
+    /// out-of-core spilling when the dataset estimate exceeds it).
+    pub fn with_memory_budget(mut self, bytes: u64) -> Recipe {
+        self.memory_budget = Some(bytes.max(1));
+        self
+    }
+
+    /// Builder: set the directory spilled shard frames are written under.
+    pub fn with_spill_dir(mut self, dir: impl Into<String>) -> Recipe {
+        self.spill_dir = Some(dir.into());
         self
     }
 
@@ -159,6 +180,15 @@ impl Recipe {
             }
             recipe.shard_size = Some(sz as usize);
         }
+        if let Some(mb) = v.get_path("memory_budget").and_then(Value::as_int) {
+            if mb < 1 {
+                return Err(DjError::Config("memory_budget must be >= 1 byte".into()));
+            }
+            recipe.memory_budget = Some(mb as u64);
+        }
+        if let Some(dir) = v.get_path("spill_dir").and_then(Value::as_str) {
+            recipe.spill_dir = Some(dir.to_string());
+        }
         if let Some(tk) = v.get_path("text_key").and_then(Value::as_str) {
             recipe.text_key = tk.to_string();
         }
@@ -193,6 +223,14 @@ impl Recipe {
         root.set_path("np", Value::from(self.np)).expect("map root");
         if let Some(sz) = self.shard_size {
             root.set_path("shard_size", Value::from(sz))
+                .expect("map root");
+        }
+        if let Some(mb) = self.memory_budget {
+            root.set_path("memory_budget", Value::Int(mb as i64))
+                .expect("map root");
+        }
+        if let Some(dir) = &self.spill_dir {
+            root.set_path("spill_dir", Value::from(dir.clone()))
                 .expect("map root");
         }
         root.set_path("text_key", Value::from(self.text_key.clone()))
@@ -383,6 +421,29 @@ process:
         assert_eq!(r.shard_size, None);
         assert_eq!(r.text_key, "text");
         assert!(r.process.is_empty());
+    }
+
+    #[test]
+    fn out_of_core_knobs_roundtrip_and_validate() {
+        let r = sample_recipe()
+            .with_memory_budget(64 << 20)
+            .with_spill_dir("/tmp/dj-spill");
+        assert_eq!(r.memory_budget, Some(64 << 20));
+        assert_eq!(r.spill_dir.as_deref(), Some("/tmp/dj-spill"));
+        let parsed = Recipe::from_yaml(&r.to_yaml()).unwrap();
+        assert_eq!(parsed, r);
+        assert_ne!(
+            r.fingerprint(),
+            sample_recipe().fingerprint(),
+            "out-of-core knobs participate in the cache key"
+        );
+        let y = Recipe::from_yaml("memory_budget: 1048576\nspill_dir: spill\n").unwrap();
+        assert_eq!(y.memory_budget, Some(1 << 20));
+        assert_eq!(y.spill_dir.as_deref(), Some("spill"));
+        assert!(Recipe::from_yaml("memory_budget: 0\n").is_err());
+        let none = Recipe::from_yaml("np: 2\n").unwrap();
+        assert_eq!(none.memory_budget, None);
+        assert_eq!(none.spill_dir, None);
     }
 
     #[test]

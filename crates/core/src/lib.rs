@@ -38,5 +38,5 @@ pub use op::{
     OpRegistry,
 };
 pub use sample::{Sample, META_KEY, STATS_KEY, TEXT_KEY};
-pub use shard::ShardStats;
+pub use shard::{MemShardStore, ResidencyGauge, ShardSink, ShardSource, ShardStats};
 pub use value::Value;

@@ -91,7 +91,14 @@ pub trait Deduplicator: Send + Sync {
     /// Dataset-level keep mask from all fingerprints. `mask[i]` is `true`
     /// when sample `i` survives. Must be deterministic (first occurrence of a
     /// duplicate cluster is kept).
-    fn keep_mask(&self, dataset: &Dataset, hashes: &[Value]) -> Result<Vec<bool>>;
+    ///
+    /// `samples` is the number of samples the fingerprints were computed
+    /// from (always `hashes.len()` when the executor drives the call; the
+    /// pair lets implementations sanity-check the contract). Decisions are
+    /// made from fingerprints alone — never from sample data — which is
+    /// what allows the out-of-core executor to spill shards to disk between
+    /// the hashing pass and the mask application pass.
+    fn keep_mask(&self, samples: usize, hashes: &[Value]) -> Result<Vec<bool>>;
 }
 
 /// A type-erased operator, the unit the executor schedules.

@@ -1,4 +1,5 @@
-//! Per-shard statistics accumulation for the sharded pipeline executor.
+//! Per-shard statistics accumulation and shard I/O abstractions for the
+//! sharded pipeline executor.
 //!
 //! Each worker drives a whole plan stage over one shard and records, per
 //! step, how many samples it saw, kept, removed and edited, plus the CPU
@@ -6,8 +7,20 @@
 //! the per-shard accumulators into one dataset-level view per step:
 //! counts add up, durations take the maximum across shards (the step's
 //! contribution to the stage's critical path).
+//!
+//! [`ShardSource`]/[`ShardSink`] abstract *where* shards live while a stage
+//! streams them: [`MemShardStore`] keeps them in memory (the default), and
+//! `dj-store`'s spool keeps them on disk so datasets larger than RAM flow
+//! through stages with bounded peak memory. [`ResidencyGauge`] counts the
+//! samples currently resident in the streaming machinery so tests can
+//! assert the out-of-core memory ceiling.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
+
+use crate::dataset::Dataset;
+use crate::error::{DjError, Result};
 
 /// Counters one shard accumulates for one plan step.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -48,6 +61,126 @@ impl ShardStats {
     }
 }
 
+/// Where a streaming stage reads its input shards from.
+///
+/// Implementations may hand out each index destructively (the in-memory
+/// store moves the shard out of its slot), so a streaming pass loads every
+/// index at most once. Disk-backed sources re-read from their files and can
+/// therefore be streamed multiple times (the dedup barrier hashes in one
+/// pass and applies the keep mask in a second).
+pub trait ShardSource: Send + Sync {
+    /// How many shards this source holds.
+    fn shard_count(&self) -> usize;
+    /// Load shard `idx`.
+    fn load_shard(&self, idx: usize) -> Result<Dataset>;
+}
+
+/// Where a streaming stage writes its output shards to.
+///
+/// `idx` preserves shard order: reassembling a sink's shards in index order
+/// must reproduce the order-preserving concatenation the merge step relies
+/// on for byte-identical output.
+pub trait ShardSink: Send + Sync {
+    fn store_shard(&self, idx: usize, shard: Dataset) -> Result<()>;
+}
+
+/// In-memory shard store: the default (non-spilling) backing of the stage
+/// driver. One mutex-guarded slot per shard; loads take the shard out.
+#[derive(Debug, Default)]
+pub struct MemShardStore {
+    slots: Vec<Mutex<Option<Dataset>>>,
+}
+
+impl MemShardStore {
+    /// A store pre-filled with input shards.
+    pub fn from_shards(shards: Vec<Dataset>) -> MemShardStore {
+        MemShardStore {
+            slots: shards.into_iter().map(|s| Mutex::new(Some(s))).collect(),
+        }
+    }
+
+    /// An empty store with `n` output slots.
+    pub fn with_capacity(n: usize) -> MemShardStore {
+        MemShardStore {
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Drain the stored shards in index order. Errors if a slot was never
+    /// filled (a worker died before storing its shard).
+    pub fn into_shards(self) -> Result<Vec<Dataset>> {
+        self.slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.into_inner()
+                    .expect("shard slot mutex")
+                    .ok_or_else(|| DjError::Storage(format!("shard {i} was never stored")))
+            })
+            .collect()
+    }
+}
+
+impl ShardSource for MemShardStore {
+    fn shard_count(&self) -> usize {
+        self.slots.len()
+    }
+    fn load_shard(&self, idx: usize) -> Result<Dataset> {
+        self.slots[idx]
+            .lock()
+            .expect("shard slot mutex")
+            .take()
+            .ok_or_else(|| DjError::Storage(format!("shard {idx} already loaded")))
+    }
+}
+
+impl ShardSink for MemShardStore {
+    fn store_shard(&self, idx: usize, shard: Dataset) -> Result<()> {
+        *self.slots[idx].lock().expect("shard slot mutex") = Some(shard);
+        Ok(())
+    }
+}
+
+/// Live-sample accounting for the streaming stage driver.
+///
+/// The loader acquires when it pulls a shard into memory; the worker
+/// releases once the shard has been handed to the sink. The recorded peaks
+/// are the engine's constant-memory evidence: with double-buffered prefetch
+/// the peak must stay ≤ `num_workers × 2 × shard_size` samples.
+#[derive(Debug, Default)]
+pub struct ResidencyGauge {
+    live_samples: AtomicUsize,
+    peak_samples: AtomicUsize,
+    live_bytes: AtomicUsize,
+    peak_bytes: AtomicUsize,
+}
+
+impl ResidencyGauge {
+    pub fn acquire(&self, samples: usize, bytes: usize) {
+        let s = self.live_samples.fetch_add(samples, Ordering::Relaxed) + samples;
+        self.peak_samples.fetch_max(s, Ordering::Relaxed);
+        let b = self.live_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_bytes.fetch_max(b, Ordering::Relaxed);
+    }
+
+    pub fn release(&self, samples: usize, bytes: usize) {
+        self.live_samples.fetch_sub(samples, Ordering::Relaxed);
+        self.live_bytes.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    pub fn live_samples(&self) -> usize {
+        self.live_samples.load(Ordering::Relaxed)
+    }
+
+    pub fn peak_samples(&self) -> usize {
+        self.peak_samples.load(Ordering::Relaxed)
+    }
+
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +212,43 @@ mod tests {
     #[test]
     fn merged_of_empty_is_default() {
         assert_eq!(ShardStats::merged([]), ShardStats::default());
+    }
+
+    #[test]
+    fn mem_store_roundtrips_in_order() {
+        let shards = vec![
+            Dataset::from_texts(["a", "b"]),
+            Dataset::from_texts(["c"]),
+            Dataset::new(),
+        ];
+        let store = MemShardStore::from_shards(shards.clone());
+        assert_eq!(store.shard_count(), 3);
+        let out = MemShardStore::with_capacity(3);
+        for i in [2usize, 0, 1] {
+            // Out-of-order store, in-order drain.
+            out.store_shard(i, store.load_shard(i).unwrap()).unwrap();
+        }
+        assert_eq!(out.into_shards().unwrap(), shards);
+    }
+
+    #[test]
+    fn mem_store_detects_double_load_and_missing_slot() {
+        let store = MemShardStore::from_shards(vec![Dataset::new()]);
+        store.load_shard(0).unwrap();
+        assert!(store.load_shard(0).is_err());
+        let empty = MemShardStore::with_capacity(2);
+        assert!(empty.into_shards().is_err());
+    }
+
+    #[test]
+    fn residency_gauge_tracks_peak() {
+        let g = ResidencyGauge::default();
+        g.acquire(10, 100);
+        g.acquire(5, 50);
+        g.release(10, 100);
+        g.acquire(2, 20);
+        assert_eq!(g.live_samples(), 7);
+        assert_eq!(g.peak_samples(), 15);
+        assert_eq!(g.peak_bytes(), 150);
     }
 }

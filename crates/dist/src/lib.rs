@@ -75,6 +75,7 @@ pub fn run_single_node(ops: &[Op], data: Dataset, np: usize) -> Result<(Dataset,
         op_fusion: true,
         trace_examples: 0,
         shard_size: None,
+        ..ExecOptions::default()
     });
     let t0 = Instant::now();
     let (out, _) = exec.run(data)?;
@@ -98,6 +99,7 @@ pub fn run_distributed(
         op_fusion: true,
         trace_examples: 0,
         shard_size: Some(data.len().div_ceil(spec.nodes.max(1)).max(1)),
+        ..ExecOptions::default()
     });
     let t0 = Instant::now();
     let (out, _) = exec.run(data)?;

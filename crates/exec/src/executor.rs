@@ -1,15 +1,21 @@
 //! The sharded, pipelined executor: whole-plan-per-shard execution with
-//! context management, optional fusion/reordering, per-OP tracing and
-//! stage-boundary cache/checkpoint resume.
+//! context management, optional fusion/reordering, per-OP tracing,
+//! stage-boundary cache/checkpoint resume, and spill-to-disk streaming for
+//! datasets larger than the memory budget.
 //!
-//! See the crate docs for the stage/shard execution model.
+//! See the crate docs for the stage/shard execution model and the
+//! out-of-core mode.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
-use dj_core::{Dataset, Op, Result, Sample, SampleContext, ShardStats, Value};
-use dj_store::CacheManager;
+use dj_core::{
+    Dataset, DjError, MemShardStore, Op, ResidencyGauge, Result, Sample, SampleContext, ShardSink,
+    ShardSource, ShardStats, Value,
+};
+use dj_store::{CacheManager, CachedStage, Codec, ShardSpool};
 
 use crate::fusion::{plan_fused, plan_unfused, Plan, PlanStep, Stage};
 
@@ -17,6 +23,19 @@ use crate::fusion::{plan_fused, plan_unfused, Plan, PlanStep, Stage};
 /// Over-partitioning lets fast workers steal extra shards (morsel-driven
 /// scheduling) instead of idling at the stage join.
 const AUTO_SHARDS_PER_WORKER: usize = 4;
+
+/// Codec for spilled shard frames (cheap LZ77: spill IO shrinks without a
+/// zstd-class CPU bill).
+const SPILL_CODEC: Codec = Codec::Djz;
+
+/// Environment override for [`ExecOptions::memory_budget`] (bytes). Lets CI
+/// force the spill path through the whole test suite without touching any
+/// recipe (`DJ_MEMORY_BUDGET=1 cargo test`).
+pub const MEMORY_BUDGET_ENV: &str = "DJ_MEMORY_BUDGET";
+
+/// Monotonic suffix so concurrent runs in one process never share a spill
+/// directory.
+static SPILL_SEQ: AtomicUsize = AtomicUsize::new(0);
 
 /// Executor configuration.
 #[derive(Debug, Clone)]
@@ -30,6 +49,14 @@ pub struct ExecOptions {
     /// Target samples per shard. `None` = auto: cut
     /// `num_workers * 4` shards so workers can steal work from stragglers.
     pub shard_size: Option<usize>,
+    /// Peak dataset bytes the engine may keep in memory. When the estimated
+    /// dataset size exceeds this, shards spill to disk and stages stream
+    /// them with double-buffered prefetch (out-of-core mode). `None`
+    /// disables spilling unless the `DJ_MEMORY_BUDGET` env var is set.
+    pub memory_budget: Option<u64>,
+    /// Directory for spilled shard frames; `None` = the system temp dir.
+    /// Each run creates (and removes on completion) its own subdirectories.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl Default for ExecOptions {
@@ -39,6 +66,8 @@ impl Default for ExecOptions {
             op_fusion: true,
             trace_examples: 0,
             shard_size: None,
+            memory_budget: None,
+            spill_dir: None,
         }
     }
 }
@@ -111,7 +140,8 @@ pub struct RunReport {
     pub initial_samples: usize,
     pub final_samples: usize,
     /// Peak approximate dataset heap footprint observed at stage
-    /// boundaries (inside a stage only one shard per worker is hot).
+    /// boundaries while the dataset was held in memory (inside a stage only
+    /// one shard per worker is hot).
     pub peak_bytes: usize,
     pub fused_groups: usize,
     /// Plan steps that were resumed from cache instead of executed.
@@ -120,6 +150,15 @@ pub struct RunReport {
     pub stages: usize,
     /// Shards cut for the largest pipeline stage.
     pub shards: usize,
+    /// Whether the run spilled shards to disk (out-of-core mode).
+    pub spilled: bool,
+    /// Peak samples simultaneously resident in the streaming stage
+    /// machinery. With double-buffered prefetch this stays ≤
+    /// `num_workers × 2 × shard_size` — the engine's constant-memory bound
+    /// while stages stream spilled shards.
+    pub peak_resident_samples: usize,
+    /// Approximate heap bytes of those resident samples at the peak.
+    pub peak_resident_bytes: usize,
 }
 
 impl RunReport {
@@ -129,6 +168,22 @@ impl RunReport {
             .iter()
             .map(|r| (r.name.clone(), r.samples_out))
             .collect()
+    }
+}
+
+/// Where the dataset lives between stages: in memory (default) or spilled
+/// to a disk spool of checksummed shard frames (out-of-core mode).
+enum StageData {
+    Mem(Dataset),
+    Spilled(ShardSpool),
+}
+
+impl StageData {
+    fn len(&self) -> usize {
+        match self {
+            StageData::Mem(d) => d.len(),
+            StageData::Spilled(s) => s.total_samples(),
+        }
     }
 }
 
@@ -179,14 +234,96 @@ impl Executor {
         self.run_inner(dataset, Some(cache))
     }
 
+    /// The memory budget in force: the explicit option, else the
+    /// `DJ_MEMORY_BUDGET` env override (bytes), else none. A malformed
+    /// override is a configuration error — silently ignoring it would run
+    /// the exact corpus the knob was set to protect fully in memory.
+    fn effective_memory_budget(&self) -> Result<Option<u64>> {
+        if let Some(b) = self.options.memory_budget {
+            return Ok(Some(b));
+        }
+        let Ok(raw) = std::env::var(MEMORY_BUDGET_ENV) else {
+            return Ok(None);
+        };
+        let raw = raw.trim();
+        if raw.is_empty() {
+            return Ok(None);
+        }
+        match raw.parse::<u64>() {
+            Ok(b) if b >= 1 => Ok(Some(b)),
+            _ => Err(DjError::Config(format!(
+                "{MEMORY_BUDGET_ENV} must be a positive integer byte count, got `{raw}`"
+            ))),
+        }
+    }
+
+    /// A unique, run-private directory for one spill spool.
+    fn fresh_spill_dir(&self) -> PathBuf {
+        let base = self
+            .options
+            .spill_dir
+            .clone()
+            .unwrap_or_else(std::env::temp_dir);
+        base.join(format!(
+            "dj-spill-{}-{}",
+            std::process::id(),
+            SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    /// Shard count for the spill cut: honor an explicit `shard_size`,
+    /// otherwise size shards so the streaming live set (2 per worker,
+    /// double-buffered) stays under the budget.
+    fn spill_shard_count(&self, ds: &Dataset, budget: u64) -> usize {
+        let len = ds.len();
+        if len == 0 {
+            return 1;
+        }
+        if let Some(size) = self.options.shard_size {
+            return len.div_ceil(size.max(1)).clamp(1, len);
+        }
+        let workers = self.options.num_workers.max(1) as u64;
+        let avg = ((ds.approx_bytes() / len).max(1)) as u64;
+        let per_shard_bytes = (budget / (2 * workers + 2)).max(1);
+        let shard_size = ((per_shard_bytes / avg).max(1)) as usize;
+        len.div_ceil(shard_size).clamp(1, len)
+    }
+
+    /// Spill an in-memory dataset to a shard spool when it exceeds the
+    /// budget (`dj-store`'s `approx_bytes` estimate drives the decision).
+    fn maybe_spill(
+        &self,
+        data: StageData,
+        budget: Option<u64>,
+        report: &mut RunReport,
+    ) -> Result<StageData> {
+        let Some(budget) = budget else {
+            return Ok(data);
+        };
+        match data {
+            StageData::Mem(ds) if !ds.is_empty() && ds.approx_bytes() as u64 > budget => {
+                let shard_count = self.spill_shard_count(&ds, budget);
+                let spool = ShardSpool::create(self.fresh_spill_dir(), shard_count, SPILL_CODEC)?;
+                for (i, shard) in ds.into_shards(shard_count).into_iter().enumerate() {
+                    spool.write_shard(i, &shard)?;
+                }
+                report.spilled = true;
+                Ok(StageData::Spilled(spool))
+            }
+            other => Ok(other),
+        }
+    }
+
     fn run_inner(
         &self,
-        mut dataset: Dataset,
+        dataset: Dataset,
         cache: Option<&CacheManager>,
     ) -> Result<(Dataset, RunReport)> {
         let plan = self.plan();
         let stages = plan.stages();
         let start = Instant::now();
+        let gauge = ResidencyGauge::default();
+        let budget = self.effective_memory_budget()?;
         let mut report = RunReport {
             initial_samples: dataset.len(),
             peak_bytes: dataset.approx_bytes(),
@@ -194,6 +331,7 @@ impl Executor {
             stages: stages.len(),
             ..RunReport::default()
         };
+        let mut data = StageData::Mem(dataset);
 
         // Resume from the longest cached stage prefix. A corrupt or
         // unreadable cache must never fail the run — fall back to fresh
@@ -205,90 +343,152 @@ impl Executor {
                 .enumerate()
                 .map(|(i, s)| (i, s.name()))
                 .collect();
-            if let Ok(Some((idx, cached))) = cm.latest_match(&keys) {
-                dataset = cached;
+            // With a budget in force, streamed (spilled) entries rehydrate
+            // into a spool so resume never materializes the dataset either.
+            let resumed = if budget.is_some() {
+                cm.latest_match_streamed(&keys, self.fresh_spill_dir())
+            } else {
+                cm.latest_match(&keys)
+                    .map(|o| o.map(|(idx, ds)| (idx, CachedStage::Mem(ds))))
+            };
+            if let Ok(Some((idx, cached))) = resumed {
+                data = match cached {
+                    CachedStage::Mem(ds) => StageData::Mem(ds),
+                    CachedStage::Spooled(spool) => {
+                        report.spilled = true;
+                        StageData::Spilled(spool)
+                    }
+                };
                 first_stage = idx + 1;
                 report.resumed_steps = stages[..first_stage].iter().map(Stage::step_count).sum();
             }
         }
 
         for (i, stage) in stages.iter().enumerate().skip(first_stage) {
-            match stage {
-                Stage::Pipeline { steps, .. } => {
-                    self.run_pipeline_stage(steps, &mut dataset, &mut report)?;
-                }
-                Stage::Barrier { dedup, .. } => {
-                    self.run_dedup_stage(dedup.as_ref(), &mut dataset, &mut report)?;
-                }
+            data = self.maybe_spill(data, budget, &mut report)?;
+            data = match stage {
+                Stage::Pipeline { steps, .. } => match data {
+                    StageData::Mem(mut ds) => {
+                        self.run_pipeline_stage(steps, &mut ds, &gauge, &mut report)?;
+                        StageData::Mem(ds)
+                    }
+                    StageData::Spilled(spool) => StageData::Spilled(
+                        self.run_pipeline_stage_spilled(steps, &spool, &gauge, &mut report)?,
+                    ),
+                },
+                Stage::Barrier { dedup, .. } => match data {
+                    StageData::Mem(mut ds) => {
+                        self.run_dedup_stage(dedup.as_ref(), &mut ds, &mut report)?;
+                        StageData::Mem(ds)
+                    }
+                    StageData::Spilled(spool) => StageData::Spilled(self.run_dedup_stage_spilled(
+                        dedup.as_ref(),
+                        &spool,
+                        &gauge,
+                        &mut report,
+                    )?),
+                },
+            };
+            if let StageData::Mem(ds) = &data {
+                report.peak_bytes = report.peak_bytes.max(ds.approx_bytes());
             }
-            report.peak_bytes = report.peak_bytes.max(dataset.approx_bytes());
             if let Some(cm) = cache {
-                cm.save(i, &stage.name(), &dataset)?;
+                match &data {
+                    StageData::Mem(ds) => {
+                        cm.save(i, &stage.name(), ds)?;
+                    }
+                    // Spilled stages persist without materializing: the
+                    // spool's raw frame files concatenate into the entry —
+                    // no decode/re-encode, one sequential copy per shard.
+                    StageData::Spilled(spool) => {
+                        cm.save_spool(i, &stage.name(), spool)?;
+                    }
+                }
             }
         }
-        report.final_samples = dataset.len();
+        report.final_samples = data.len();
+        report.peak_resident_samples = gauge.peak_samples();
+        report.peak_resident_bytes = gauge.peak_bytes();
         report.total_duration = start.elapsed();
-        Ok((dataset, report))
+        // The caller asked for an in-memory dataset back; this final merge
+        // is the one deliberate materialization point of an out-of-core run.
+        let out = match data {
+            StageData::Mem(d) => d,
+            StageData::Spilled(spool) => spool.materialize()?,
+        };
+        Ok((out, report))
     }
 
-    /// Drive a run of sample-local steps whole-stage-per-shard: every
-    /// worker claims shards from a shared queue and pushes each shard
-    /// through *all* steps before touching the next shard — no per-op
-    /// barrier, no intermediate whole-dataset materialization.
+    /// In-memory pipeline stage: shard the dataset, stream through the
+    /// stage via the shared driver, merge shards back in order.
     fn run_pipeline_stage(
         &self,
         steps: &[PlanStep],
         dataset: &mut Dataset,
+        gauge: &ResidencyGauge,
         report: &mut RunReport,
     ) -> Result<()> {
         if steps.is_empty() {
             return Ok(());
         }
-        let cap = self.options.trace_examples;
         let shard_count = self.options.shard_count(dataset.len());
-        let workers = self.options.num_workers.max(1).min(shard_count);
-        report.shards = report.shards.max(shard_count);
-
-        let shards = std::mem::take(dataset).into_shards(shard_count);
-        let results: Vec<Mutex<Option<Result<ShardOutcome>>>> =
-            shards.iter().map(|_| Mutex::new(None)).collect();
-        let queue: Vec<Mutex<Option<Dataset>>> =
-            shards.into_iter().map(|s| Mutex::new(Some(s))).collect();
-        let next = AtomicUsize::new(0);
-
-        if workers == 1 {
-            // Sequential fast path: same code path, no thread overhead.
-            drive_shards(steps, &queue, &results, &next, cap);
-        } else {
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| drive_shards(steps, &queue, &results, &next, cap));
-                }
-            });
-        }
-
+        let source = MemShardStore::from_shards(std::mem::take(dataset).into_shards(shard_count));
+        let sink = MemShardStore::with_capacity(shard_count);
+        self.run_pipeline_stage_streamed(steps, &source, &sink, false, gauge, report)?;
         // Merge per-shard outcomes in shard order: output order is
         // independent of worker scheduling, so any shard count produces
         // byte-identical results.
-        let mut merged: Vec<Dataset> = Vec::with_capacity(results.len());
+        *dataset = Dataset::from_shards(sink.into_shards()?);
+        Ok(())
+    }
+
+    /// Disk-backed pipeline stage: stream shards spool→spool with
+    /// IO-overlapped (double-buffered) prefetch.
+    fn run_pipeline_stage_spilled(
+        &self,
+        steps: &[PlanStep],
+        spool: &ShardSpool,
+        gauge: &ResidencyGauge,
+        report: &mut RunReport,
+    ) -> Result<ShardSpool> {
+        let out = ShardSpool::create(self.fresh_spill_dir(), spool.shard_count(), SPILL_CODEC)?;
+        self.run_pipeline_stage_streamed(steps, spool, &out, true, gauge, report)?;
+        Ok(out)
+    }
+
+    /// Drive a run of sample-local steps whole-stage-per-shard over any
+    /// source/sink pair, merging per-shard stats and traces in shard order.
+    fn run_pipeline_stage_streamed(
+        &self,
+        steps: &[PlanStep],
+        source: &dyn ShardSource,
+        sink: &dyn ShardSink,
+        overlap_io: bool,
+        gauge: &ResidencyGauge,
+        report: &mut RunReport,
+    ) -> Result<()> {
+        let cap = self.options.trace_examples;
+        let n = source.shard_count();
+        report.shards = report.shards.max(n);
+        let workers = self.options.num_workers.max(1).min(n.max(1));
+        let per_shard = stream_shards(source, workers, overlap_io, gauge, |i, shard| {
+            let mut ctx = SampleContext::new();
+            let outcome = run_stage_on_shard(steps, shard, &mut ctx, cap)?;
+            sink.store_shard(i, outcome.shard)?;
+            Ok((outcome.stats, outcome.traces))
+        })?;
+
         let mut stats = vec![ShardStats::default(); steps.len()];
         let mut traces: Vec<Vec<TraceEvent>> = vec![Vec::new(); steps.len()];
-        for slot in results {
-            let outcome = slot
-                .into_inner()
-                .expect("result mutex")
-                .expect("every shard processed")?;
-            merged.push(outcome.shard);
-            for (k, s) in outcome.stats.iter().enumerate() {
+        for (shard_stats, shard_traces) in per_shard {
+            for (k, s) in shard_stats.iter().enumerate() {
                 stats[k].merge(s);
             }
-            for (k, t) in outcome.traces.into_iter().enumerate() {
+            for (k, t) in shard_traces.into_iter().enumerate() {
                 let room = cap.saturating_sub(traces[k].len());
                 traces[k].extend(t.into_iter().take(room));
             }
         }
-        *dataset = Dataset::from_shards(merged);
-
         for ((step, stat), trace) in steps.iter().zip(&stats).zip(traces) {
             report.ops.push(OpReport {
                 name: step.name(),
@@ -316,7 +516,7 @@ impl Executor {
         let in_len = dataset.len();
         let t0 = Instant::now();
         let hashes = self.parallel_hashes(dedup, dataset)?;
-        let mask = dedup.keep_mask(dataset, &hashes)?;
+        let mask = dedup.keep_mask(dataset.len(), &hashes)?;
         let mut trace = Vec::new();
         for (i, &keep) in mask.iter().enumerate() {
             if !keep && trace.len() < cap {
@@ -338,6 +538,88 @@ impl Executor {
             trace,
         });
         Ok(())
+    }
+
+    /// A dedup barrier over spilled data, in two streaming passes: hash
+    /// every shard (fingerprints stay in memory — they are tiny relative to
+    /// sample text), build the dataset-level mask from fingerprints alone,
+    /// then re-stream the shards against their slice of the mask.
+    fn run_dedup_stage_spilled(
+        &self,
+        dedup: &dyn dj_core::Deduplicator,
+        spool: &ShardSpool,
+        gauge: &ResidencyGauge,
+        report: &mut RunReport,
+    ) -> Result<ShardSpool> {
+        let cap = self.options.trace_examples;
+        let n = spool.shard_count();
+        let in_len = spool.total_samples();
+        let t0 = Instant::now();
+        let workers = self.options.num_workers.max(1).min(n.max(1));
+
+        // Pass 1: shard-parallel fingerprints, streamed from disk.
+        let hash_chunks = stream_shards(spool, workers, true, gauge, |_, shard| {
+            let mut ctx = SampleContext::new();
+            let mut out = Vec::with_capacity(shard.len());
+            for s in shard.iter() {
+                ctx.invalidate();
+                out.push(dedup.compute_hash(s, &mut ctx)?);
+                ctx.clear();
+            }
+            Ok(out)
+        })?;
+        let hashes: Vec<Value> = hash_chunks.into_iter().flatten().collect();
+        let mask = dedup.keep_mask(in_len, &hashes)?;
+        drop(hashes);
+
+        // Shard offsets into the dataset-level mask (the shards were
+        // spilled with their lengths recorded — the fingerprint tags that
+        // let the mask slice back onto each shard).
+        let mut offsets = Vec::with_capacity(n);
+        let mut acc = 0usize;
+        for i in 0..n {
+            offsets.push(acc);
+            acc += spool.shard_len(i).unwrap_or(0);
+        }
+
+        // Pass 2: re-stream each shard against its mask slice.
+        let out = ShardSpool::create(self.fresh_spill_dir(), n, SPILL_CODEC)?;
+        let mask_ref = &mask;
+        let offsets_ref = &offsets;
+        let out_ref = &out;
+        let drop_traces = stream_shards(spool, workers, true, gauge, move |i, mut shard| {
+            let start = offsets_ref[i];
+            let slice = &mask_ref[start..start + shard.len()];
+            let mut trace = Vec::new();
+            for (j, &keep) in slice.iter().enumerate() {
+                if !keep && trace.len() < cap {
+                    trace.push(TraceEvent::Duplicate {
+                        dropped: snippet(shard.get(j).expect("index valid").text()),
+                    });
+                }
+            }
+            shard.retain_mask(slice);
+            out_ref.store_shard(i, shard)?;
+            Ok(trace)
+        })?;
+
+        let mut trace = Vec::new();
+        for t in drop_traces {
+            let room = cap.saturating_sub(trace.len());
+            trace.extend(t.into_iter().take(room));
+        }
+        let removed = mask.iter().filter(|&&k| !k).count();
+        report.ops.push(OpReport {
+            name: dedup.name().to_string(),
+            samples_in: in_len,
+            samples_out: out.total_samples(),
+            removed,
+            changed: 0,
+            duration: t0.elapsed(),
+            fused: false,
+            trace,
+        });
+        Ok(out)
     }
 
     /// Shard-parallel `compute_hash` over immutable sample chunks: exactly
@@ -382,36 +664,115 @@ impl Executor {
     }
 }
 
+/// Stream every shard of `source` through `work`, returning the per-shard
+/// results in shard order.
+///
+/// With `overlap_io` (or more than one worker) a dedicated loader thread
+/// prefetches shards into a bounded channel while workers process them —
+/// double buffering: the channel capacity (`workers − 1`), one shard in
+/// each worker's hands and one in the (blocked) loader's hand cap the live
+/// set at `2 × workers` shards, and disk reads overlap compute. Without it
+/// a single worker runs the loop inline with no thread overhead.
+fn stream_shards<R, F>(
+    source: &dyn ShardSource,
+    workers: usize,
+    overlap_io: bool,
+    gauge: &ResidencyGauge,
+    work: F,
+) -> Result<Vec<R>>
+where
+    R: Send,
+    F: Fn(usize, Dataset) -> Result<R> + Sync,
+{
+    let n = source.shard_count();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let workers = workers.max(1).min(n);
+    if workers == 1 && !overlap_io {
+        // Sequential fast path: same code path semantics, no threads.
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let shard = source.load_shard(i)?;
+            let (s, b) = (shard.len(), shard.approx_bytes());
+            gauge.acquire(s, b);
+            let r = work(i, shard);
+            gauge.release(s, b);
+            out.push(r?);
+        }
+        return Ok(out);
+    }
+
+    let results: Vec<Mutex<Option<Result<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let (tx, rx) = mpsc::sync_channel::<(usize, Dataset, usize, usize)>(workers - 1);
+    let rx = Mutex::new(rx);
+    let abort = AtomicBool::new(false);
+    let loader_err: Mutex<Option<DjError>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        let (abort, loader_err, rx, results, work) = (&abort, &loader_err, &rx, &results, &work);
+        scope.spawn(move || {
+            for i in 0..n {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                match source.load_shard(i) {
+                    Ok(shard) => {
+                        let (s, b) = (shard.len(), shard.approx_bytes());
+                        gauge.acquire(s, b);
+                        if tx.send((i, shard, s, b)).is_err() {
+                            gauge.release(s, b);
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        *loader_err.lock().expect("loader err mutex") = Some(e);
+                        break;
+                    }
+                }
+            }
+            // `tx` drops here: workers drain the channel and exit.
+        });
+        for _ in 0..workers {
+            scope.spawn(move || loop {
+                // Holding the lock across the blocking recv is fine: only
+                // one worker can receive at a time anyway, and the lock is
+                // released as soon as a shard is claimed.
+                let msg = rx.lock().expect("shard rx mutex").recv();
+                let Ok((i, shard, s, b)) = msg else { return };
+                let r = work(i, shard);
+                gauge.release(s, b);
+                if r.is_err() {
+                    abort.store(true, Ordering::Relaxed);
+                }
+                *results[i].lock().expect("result slot mutex") = Some(r);
+            });
+        }
+    });
+
+    if let Some(e) = loader_err.into_inner().expect("loader err mutex") {
+        return Err(e);
+    }
+    let mut out = Vec::with_capacity(n);
+    for (i, slot) in results.into_iter().enumerate() {
+        match slot.into_inner().expect("result slot mutex") {
+            Some(Ok(r)) => out.push(r),
+            Some(Err(e)) => return Err(e),
+            None => {
+                return Err(DjError::Storage(format!(
+                    "shard {i} streaming aborted before processing"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// What one shard produces after running a whole pipeline stage.
 struct ShardOutcome {
     shard: Dataset,
     stats: Vec<ShardStats>,
     traces: Vec<Vec<TraceEvent>>,
-}
-
-/// Worker loop: claim shards off the shared queue until it drains, pushing
-/// each through every step of the stage (morsel-driven scheduling).
-fn drive_shards(
-    steps: &[PlanStep],
-    queue: &[Mutex<Option<Dataset>>],
-    results: &[Mutex<Option<Result<ShardOutcome>>>],
-    next: &AtomicUsize,
-    trace_cap: usize,
-) {
-    let mut ctx = SampleContext::new();
-    loop {
-        let i = next.fetch_add(1, Ordering::Relaxed);
-        if i >= queue.len() {
-            return;
-        }
-        let shard = queue[i]
-            .lock()
-            .expect("shard mutex")
-            .take()
-            .expect("shard claimed once");
-        let outcome = run_stage_on_shard(steps, shard, &mut ctx, trace_cap);
-        *results[i].lock().expect("result mutex") = Some(outcome);
-    }
 }
 
 /// Run every step of a stage over one shard, sample by sample: each sample
@@ -515,7 +876,7 @@ fn snippet(text: &str) -> String {
 }
 
 /// Convenience: build an executor straight from a recipe + registry,
-/// threading the recipe's `np` and `shard_size` knobs through.
+/// threading the recipe's `np`, `shard_size` and out-of-core knobs through.
 pub fn executor_from_recipe(
     recipe: &dj_config::Recipe,
     registry: &dj_core::OpRegistry,
@@ -527,6 +888,8 @@ pub fn executor_from_recipe(
         op_fusion: fusion,
         trace_examples: 0,
         shard_size: recipe.shard_size,
+        memory_budget: recipe.memory_budget,
+        spill_dir: recipe.spill_dir.as_ref().map(PathBuf::from),
     }))
 }
 
@@ -607,7 +970,18 @@ mod tests {
             num_workers: np,
             op_fusion: fusion,
             trace_examples: trace,
-            shard_size: None,
+            ..ExecOptions::default()
+        }
+    }
+
+    fn spill_opts(np: usize, shard_size: usize, budget: u64) -> ExecOptions {
+        ExecOptions {
+            num_workers: np,
+            op_fusion: true,
+            trace_examples: 0,
+            shard_size: Some(shard_size),
+            memory_budget: Some(budget),
+            spill_dir: None,
         }
     }
 
@@ -671,11 +1045,45 @@ mod tests {
                 op_fusion: true,
                 trace_examples: 0,
                 shard_size: Some(shard_size),
+                ..ExecOptions::default()
             });
             let (out, report) = exec.run(base.clone()).unwrap();
             assert_eq!(out, expected, "shard_size {shard_size} diverged");
             assert!(report.shards >= 1);
         }
+    }
+
+    #[test]
+    fn spilled_run_matches_in_memory_run() {
+        let reg = builtin_registry();
+        let base = noisy_dataset();
+        // u64::MAX pins the reference in memory even when CI forces
+        // spilling everywhere via DJ_MEMORY_BUDGET.
+        let mut base_opts = opts(1, false, 0);
+        base_opts.memory_budget = Some(u64::MAX);
+        let baseline = Executor::new(pipeline(&reg)).with_options(base_opts);
+        let (expected, _) = baseline.run(base.clone()).unwrap();
+        for np in [1usize, 3] {
+            let exec = Executor::new(pipeline(&reg)).with_options(spill_opts(np, 4, 1));
+            let (out, report) = exec.run(base.clone()).unwrap();
+            assert_eq!(out, expected, "np {np} spilled run diverged");
+            assert!(report.spilled, "budget of 1 byte must force spilling");
+            assert!(report.peak_resident_samples > 0);
+            assert!(
+                report.peak_resident_samples <= np * 2 * 4,
+                "np {np}: resident {} > {}",
+                report.peak_resident_samples,
+                np * 2 * 4
+            );
+        }
+    }
+
+    #[test]
+    fn large_budget_never_spills() {
+        let reg = builtin_registry();
+        let exec = Executor::new(pipeline(&reg)).with_options(spill_opts(2, 1000, u64::MAX));
+        let (_, report) = exec.run(noisy_dataset()).unwrap();
+        assert!(!report.spilled);
     }
 
     #[test]
@@ -702,6 +1110,28 @@ mod tests {
     }
 
     #[test]
+    fn spilled_trace_captures_events_too() {
+        let reg = builtin_registry();
+        let mut options = spill_opts(2, 4, 1);
+        options.trace_examples = 8;
+        options.op_fusion = false;
+        let exec = Executor::new(pipeline(&reg)).with_options(options);
+        let (_, report) = exec.run(noisy_dataset()).unwrap();
+        assert!(report.spilled);
+        let dup = report
+            .ops
+            .iter()
+            .flat_map(|r| &r.trace)
+            .any(|e| matches!(e, TraceEvent::Duplicate { .. }));
+        let discarded = report
+            .ops
+            .iter()
+            .flat_map(|r| &r.trace)
+            .any(|e| matches!(e, TraceEvent::Discarded { .. }));
+        assert!(dup && discarded);
+    }
+
+    #[test]
     fn cache_resume_skips_completed_steps() {
         let reg = builtin_registry();
         let dir = std::env::temp_dir().join(format!("dj-exec-cache-{}", std::process::id()));
@@ -724,6 +1154,30 @@ mod tests {
     }
 
     #[test]
+    fn spilled_cache_entries_resume_like_in_memory_ones() {
+        let reg = builtin_registry();
+        let dir = std::env::temp_dir().join(format!("dj-exec-spillcache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = CacheManager::new(&dir, 778, dj_store::CacheMode::Cache);
+        let exec = Executor::new(pipeline(&reg)).with_options(spill_opts(2, 4, 1));
+        let (out1, r1) = exec.run_with_cache(noisy_dataset(), &cache).unwrap();
+        assert!(r1.spilled);
+        let (out2, r2) = exec.run_with_cache(noisy_dataset(), &cache).unwrap();
+        assert_eq!(
+            r2.resumed_steps,
+            exec.plan().steps.len(),
+            "streamed entries must resume every step"
+        );
+        assert!(r2.ops.is_empty());
+        assert!(
+            r2.spilled,
+            "a budgeted resume must rehydrate into a spool, not materialize"
+        );
+        assert_eq!(out1, out2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn executor_from_recipe_builds() {
         let reg = builtin_registry();
         let recipe = dj_config::recipes::by_name("minimal-clean").unwrap();
@@ -742,6 +1196,11 @@ mod tests {
         let exec2 = Executor::new(pipeline(&reg));
         let (out2, _) = exec2.run(Dataset::new()).unwrap();
         assert!(out2.is_empty());
+        // An empty dataset never spills, whatever the budget says.
+        let exec3 = Executor::new(pipeline(&reg)).with_options(spill_opts(2, 4, 1));
+        let (out3, r3) = exec3.run(Dataset::new()).unwrap();
+        assert!(out3.is_empty());
+        assert!(!r3.spilled);
     }
 
     #[test]
@@ -749,5 +1208,7 @@ mod tests {
         let opts = ExecOptions::default();
         assert_eq!(opts.num_workers, default_parallelism());
         assert!(opts.num_workers >= 1);
+        assert_eq!(opts.memory_budget, None);
+        assert_eq!(opts.spill_dir, None);
     }
 }

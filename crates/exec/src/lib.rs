@@ -37,6 +37,40 @@
 //!   [`executor_from_recipe`]).
 //! * [`ExecOptions::shard_size`] — samples per shard; `None` auto-shards
 //!   to `4 × num_workers` shards. Exposed in recipe YAML as `shard_size`.
+//! * [`ExecOptions::memory_budget`] / [`ExecOptions::spill_dir`] — the
+//!   out-of-core knobs (recipe YAML `memory_budget` / `spill_dir`); see
+//!   below.
+//!
+//! ## Out-of-core execution (spill-to-disk)
+//!
+//! When a `memory_budget` (bytes) is set — per options, per recipe, or via
+//! the `DJ_MEMORY_BUDGET` env var — and the estimated dataset size exceeds
+//! it, the engine spills the shard queue to disk and streams it:
+//!
+//! 1. The dataset is cut into shards sized so the streaming live set fits
+//!    the budget (an explicit `shard_size` is honored as-is) and each shard
+//!    is written to a `dj-store` [`ShardSpool`](dj_store::ShardSpool) — a
+//!    directory of length-prefixed, checksummed, atomically-renamed frame
+//!    files under `spill_dir` (default: the system temp dir).
+//! 2. Each pipeline stage streams spool→spool: a loader thread prefetches
+//!    shards into a bounded channel while workers drive them through the
+//!    whole stage and spill the results — double buffering, so disk IO
+//!    overlaps compute and at most `2 × num_workers` shards
+//!    (`RunReport::peak_resident_samples` ≤ `num_workers × 2 ×
+//!    shard_size`) are ever resident.
+//! 3. A dedup barrier streams twice: one pass computes fingerprints
+//!    shard-parallel (only the tiny fingerprints stay in memory), the
+//!    dataset-level `keep_mask` is built from fingerprints alone, and a
+//!    second pass re-streams each shard against its slice of the mask.
+//! 4. Cache/checkpoint entries of spilled stages are written as multi-frame
+//!    shard streams (`CacheManager::save_streamed`), so persistence and
+//!    resume also never materialize the dataset.
+//!
+//! Output is byte-identical to the in-memory path for every budget, worker
+//! count and shard size (property-tested in `tests/properties.rs`); spools
+//! delete themselves when the run finishes or fails. The final dataset
+//! returned by `run()` is materialized once, at the very end, for the
+//! caller.
 //!
 //! ## Reporting & caching
 //!
@@ -52,6 +86,6 @@ pub mod fusion;
 
 pub use executor::{
     default_parallelism, executor_from_recipe, ExecOptions, Executor, OpReport, RunReport,
-    TraceEvent,
+    TraceEvent, MEMORY_BUDGET_ENV,
 };
 pub use fusion::{plan_fused, plan_unfused, Plan, PlanStep, Stage};

@@ -72,8 +72,8 @@ impl Deduplicator for DocumentDeduplicator {
         ]))
     }
 
-    fn keep_mask(&self, dataset: &Dataset, hashes: &[Value]) -> Result<Vec<bool>> {
-        check_len(self.name(), dataset, hashes)?;
+    fn keep_mask(&self, samples: usize, hashes: &[Value]) -> Result<Vec<bool>> {
+        check_len(self.name(), samples, hashes)?;
         let mut seen = dj_hash::FxHashSet::default();
         let mut mask = Vec::with_capacity(hashes.len());
         for h in hashes {
@@ -143,8 +143,8 @@ impl Deduplicator for MinHashDeduplicator {
         ))
     }
 
-    fn keep_mask(&self, dataset: &Dataset, hashes: &[Value]) -> Result<Vec<bool>> {
-        check_len(self.name(), dataset, hashes)?;
+    fn keep_mask(&self, samples: usize, hashes: &[Value]) -> Result<Vec<bool>> {
+        check_len(self.name(), samples, hashes)?;
         let sigs: Vec<Vec<u64>> = hashes
             .iter()
             .map(|h| signature(h, self.name()))
@@ -195,8 +195,8 @@ impl Deduplicator for SimHashDeduplicator {
         Ok(Value::Int(fp as i64))
     }
 
-    fn keep_mask(&self, dataset: &Dataset, hashes: &[Value]) -> Result<Vec<bool>> {
-        check_len(self.name(), dataset, hashes)?;
+    fn keep_mask(&self, samples: usize, hashes: &[Value]) -> Result<Vec<bool>> {
+        check_len(self.name(), samples, hashes)?;
         let mut index = SimHashIndex::new(self.max_distance);
         let mut uf = UnionFind::new(hashes.len());
         for (i, h) in hashes.iter().enumerate() {
@@ -249,8 +249,8 @@ impl Deduplicator for ParagraphDeduplicator {
         Ok(Value::List(hashes))
     }
 
-    fn keep_mask(&self, dataset: &Dataset, hashes: &[Value]) -> Result<Vec<bool>> {
-        check_len(self.name(), dataset, hashes)?;
+    fn keep_mask(&self, samples: usize, hashes: &[Value]) -> Result<Vec<bool>> {
+        check_len(self.name(), samples, hashes)?;
         let mut seen = dj_hash::FxHashSet::default();
         let mut mask = Vec::with_capacity(hashes.len());
         for h in hashes {
@@ -276,11 +276,11 @@ impl Deduplicator for ParagraphDeduplicator {
     }
 }
 
-fn check_len(op: &str, dataset: &Dataset, hashes: &[Value]) -> Result<()> {
-    if dataset.len() != hashes.len() {
+fn check_len(op: &str, samples: usize, hashes: &[Value]) -> Result<()> {
+    if samples != hashes.len() {
         return Err(DjError::op(
             op,
-            format!("{} hashes for {} samples", hashes.len(), dataset.len()),
+            format!("{} hashes for {samples} samples", hashes.len()),
         ));
     }
     Ok(())
@@ -318,7 +318,7 @@ pub fn run_dedup(dedup: &dyn Deduplicator, mut dataset: Dataset) -> Result<(Data
         ctx.invalidate();
         hashes.push(dedup.compute_hash(s, &mut ctx)?);
     }
-    let mask = dedup.keep_mask(&dataset, &hashes)?;
+    let mask = dedup.keep_mask(dataset.len(), &hashes)?;
     let removed = mask.iter().filter(|&&k| !k).count();
     dataset.retain_mask(&mask);
     Ok((dataset, removed))
@@ -425,7 +425,7 @@ mod tests {
     fn mask_length_mismatch_is_error() {
         let dedup = DocumentDeduplicator::new();
         let d = ds(&["a", "b"]);
-        let err = dedup.keep_mask(&d, &[]).unwrap_err();
+        let err = dedup.keep_mask(d.len(), &[]).unwrap_err();
         assert!(err.to_string().contains("0 hashes for 2 samples"));
     }
 

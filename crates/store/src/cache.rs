@@ -20,6 +20,10 @@ use dj_core::{Dataset, Result};
 
 use crate::codec::{compress, decompress, Codec};
 use crate::serialize::{from_bytes, to_bytes};
+use crate::shard_stream::{
+    count_frames, read_shard_stream, ShardSpool, ShardStreamReader, ShardStreamWriter,
+    SHARD_FRAME_MAGIC,
+};
 
 /// Cache retention policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,15 +99,94 @@ impl CacheManager {
         Ok(path)
     }
 
+    /// Persist a stage that lives on disk as spilled shards without ever
+    /// materializing it: shard frames are appended to the entry as a
+    /// multi-frame stream (each `shards` item is loaded, written, and
+    /// dropped). The entry loads back through the same `load`/
+    /// `latest_match` calls as a monolithic one.
+    pub fn save_streamed<I>(&self, op_index: usize, op_name: &str, shards: I) -> Result<PathBuf>
+    where
+        I: IntoIterator<Item = Result<Dataset>>,
+    {
+        if self.mode == CacheMode::Disabled {
+            return Ok(PathBuf::new());
+        }
+        let dir = self.dir();
+        fs::create_dir_all(&dir)?;
+        let path = self.entry_path(op_index, op_name);
+        let tmp = path.with_extension("tmp");
+        let mut writer =
+            ShardStreamWriter::new(std::io::BufWriter::new(fs::File::create(&tmp)?), self.codec);
+        let mut failed = None;
+        for shard in shards {
+            if let Err(e) = shard.and_then(|s| writer.write(&s)) {
+                failed = Some(e);
+                break;
+            }
+        }
+        if let Some(e) = failed {
+            drop(writer);
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+        writer.finish()?;
+        fs::rename(&tmp, &path)?;
+        if self.mode == CacheMode::Checkpoint {
+            for entry in list_entries(&dir)? {
+                if entry.op_index != op_index {
+                    let _ = fs::remove_file(&entry.path);
+                }
+            }
+        }
+        Ok(path)
+    }
+
+    /// Persist a spilled stage by concatenating its spool's raw frame
+    /// files into a multi-frame entry — no decode/re-encode round-trip and
+    /// no materialization; one sequential copy per shard.
+    pub fn save_spool(
+        &self,
+        op_index: usize,
+        op_name: &str,
+        spool: &ShardSpool,
+    ) -> Result<PathBuf> {
+        if self.mode == CacheMode::Disabled {
+            return Ok(PathBuf::new());
+        }
+        let dir = self.dir();
+        fs::create_dir_all(&dir)?;
+        let path = self.entry_path(op_index, op_name);
+        let tmp = path.with_extension("tmp");
+        let copy_all = || -> Result<()> {
+            let mut out = std::io::BufWriter::new(fs::File::create(&tmp)?);
+            for i in 0..spool.shard_count() {
+                spool.copy_shard_frame_into(i, &mut out)?;
+            }
+            std::io::Write::flush(&mut out)?;
+            Ok(())
+        };
+        if let Err(e) = copy_all() {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+        fs::rename(&tmp, &path)?;
+        if self.mode == CacheMode::Checkpoint {
+            for entry in list_entries(&dir)? {
+                if entry.op_index != op_index {
+                    let _ = fs::remove_file(&entry.path);
+                }
+            }
+        }
+        Ok(path)
+    }
+
     /// Load the dataset state after OP `op_index`, if cached.
     pub fn load(&self, op_index: usize, op_name: &str) -> Result<Option<Dataset>> {
         let path = self.entry_path(op_index, op_name);
         if !path.exists() {
             return Ok(None);
         }
-        let frame = fs::read(&path)?;
-        let bytes = decompress(&frame)?;
-        Ok(Some(from_bytes(&bytes)?))
+        Ok(Some(read_entry(&fs::read(&path)?)?))
     }
 
     /// The most recent cached state whose `(index, name)` matches a prefix
@@ -120,10 +203,57 @@ impl CacheManager {
                 .iter()
                 .find(|e| e.op_index == *idx && e.op_name == safe_name(name))
             {
-                let frame = fs::read(&e.path)?;
-                let ds = from_bytes(&decompress(&frame)?)?;
+                let ds = read_entry(&fs::read(&e.path)?)?;
                 return Ok(Some((*idx, ds)));
             }
+        }
+        Ok(None)
+    }
+
+    /// Like [`CacheManager::latest_match`], but an entry saved as a
+    /// multi-frame shard stream (a spilled stage) is rehydrated frame by
+    /// frame into a [`ShardSpool`] under `spool_dir` instead of being
+    /// materialized — at most one shard is in memory at a time, preserving
+    /// the out-of-core memory ceiling across resume. Monolithic entries
+    /// still come back as in-memory datasets; `spool_dir` is only created
+    /// when a streamed entry is actually found.
+    pub fn latest_match_streamed(
+        &self,
+        ops: &[(usize, String)],
+        spool_dir: PathBuf,
+    ) -> Result<Option<(usize, CachedStage)>> {
+        let dir = self.dir();
+        if !dir.exists() {
+            return Ok(None);
+        }
+        let entries = list_entries(&dir)?;
+        for (idx, name) in ops.iter().rev() {
+            let Some(e) = entries
+                .iter()
+                .find(|e| e.op_index == *idx && e.op_name == safe_name(name))
+            else {
+                continue;
+            };
+            use std::io::{Read, Seek, SeekFrom};
+            let mut file = fs::File::open(&e.path)?;
+            let mut magic = [0u8; 4];
+            let n = file.read(&mut magic)?;
+            if n < 4 || &magic != SHARD_FRAME_MAGIC {
+                let ds = read_entry(&fs::read(&e.path)?)?;
+                return Ok(Some((*idx, CachedStage::Mem(ds))));
+            }
+            file.seek(SeekFrom::Start(0))?;
+            let frames = count_frames(&mut file)?;
+            file.seek(SeekFrom::Start(0))?;
+            let spool = ShardSpool::create(spool_dir, frames as usize, self.codec)?;
+            let mut reader = ShardStreamReader::new(std::io::BufReader::new(file));
+            for i in 0..frames as usize {
+                let shard = reader.next_shard()?.ok_or_else(|| {
+                    dj_core::DjError::Storage(format!("cache entry lost frame {i} of {frames}"))
+                })?;
+                spool.write_shard(i, &shard)?;
+            }
+            return Ok(Some((*idx, CachedStage::Spooled(spool))));
         }
         Ok(None)
     }
@@ -157,6 +287,24 @@ impl CacheManager {
             fs::remove_dir_all(&dir)?;
         }
         Ok(())
+    }
+}
+
+/// A resumed stage as [`CacheManager::latest_match_streamed`] hands it
+/// back: in memory for monolithic entries, rehydrated into a disk spool
+/// for streamed (spilled) ones.
+pub enum CachedStage {
+    Mem(Dataset),
+    Spooled(ShardSpool),
+}
+
+/// Decode a cache entry: either a single compressed dataset frame (the
+/// in-memory save path) or a multi-frame shard stream (the spilled path).
+fn read_entry(bytes: &[u8]) -> Result<Dataset> {
+    if bytes.starts_with(SHARD_FRAME_MAGIC) {
+        read_shard_stream(bytes)
+    } else {
+        from_bytes(&decompress(bytes)?)
     }
 }
 
@@ -363,6 +511,31 @@ mod tests {
         assert_eq!(d, ds(4));
         // A different long name does not collide.
         assert!(cm.load(0, &long_b).unwrap().is_none());
+        remove_cache_root(&dir);
+    }
+
+    #[test]
+    fn streamed_entries_load_like_monolithic_ones() {
+        let dir = tmpdir("streamed");
+        let cm = CacheManager::new(&dir, 31, CacheMode::Cache);
+        let full = ds(10);
+        let shards: Vec<Dataset> = full.clone().into_shards(3);
+        cm.save_streamed(0, "stage_a", shards.into_iter().map(Ok))
+            .unwrap();
+        assert_eq!(cm.load(0, "stage_a").unwrap().unwrap(), full);
+        let (idx, back) = cm
+            .latest_match(&[(0usize, "stage_a".to_string())])
+            .unwrap()
+            .unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(back, full);
+        // A failing shard iterator aborts the save and leaves no entry.
+        let err_iter = vec![
+            Ok(ds(2)),
+            Err(dj_core::DjError::Storage("spill read failed".into())),
+        ];
+        assert!(cm.save_streamed(1, "stage_b", err_iter).is_err());
+        assert!(cm.load(1, "stage_b").unwrap().is_none());
         remove_cache_root(&dir);
     }
 

@@ -6,16 +6,24 @@
 //! * [`cache`] — per-OP cache & checkpoint management with resume-from-
 //!   longest-prefix, the backbone of the feedback-loop acceleration;
 //! * [`space`] — the Appendix A.2 space-usage model and the automatic
-//!   cache/checkpoint deployment policy.
+//!   cache/checkpoint deployment policy;
+//! * [`shard_stream`] — length-prefixed, checksummed shard frames and the
+//!   disk-backed [`ShardSpool`], the storage substrate of the out-of-core
+//!   (spill-to-disk) execution mode.
 
 pub mod cache;
 pub mod codec;
 pub mod serialize;
+pub mod shard_stream;
 pub mod space;
 
-pub use cache::{remove_cache_root, CacheManager, CacheMode};
+pub use cache::{remove_cache_root, CacheManager, CacheMode, CachedStage};
 pub use codec::{compress, decompress, Codec};
 pub use serialize::{from_bytes, from_jsonl, to_bytes, to_jsonl};
+pub use shard_stream::{
+    count_frames, encode_shard_frame, read_shard_frame, read_shard_stream, write_shard_frame,
+    ShardSpool, ShardStreamReader, ShardStreamWriter, SHARD_FRAME_MAGIC,
+};
 pub use space::{
     cache_mode_bytes, checkpoint_mode_peak_bytes, plan_storage, PipelineShape, StoragePlan,
 };

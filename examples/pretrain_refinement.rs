@@ -41,6 +41,7 @@ fn main() -> Result<()> {
         op_fusion: true,
         trace_examples: 0,
         shard_size: None,
+        ..ExecOptions::default()
     });
     let (mut refined, report) = exec.run_with_cache(raw.clone(), &cache)?;
     println!(

@@ -47,6 +47,7 @@ process:
         op_fusion: true,
         trace_examples: 2,
         shard_size: None,
+        ..ExecOptions::default()
     });
     let (output, report) = exec.run(dataset)?;
 

@@ -37,6 +37,7 @@ fn every_catalog_recipe_runs_on_mixed_data() {
             op_fusion: true,
             trace_examples: 0,
             shard_size: None,
+            ..ExecOptions::default()
         });
         let (out, report) = exec
             .run(data.clone())

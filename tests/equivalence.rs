@@ -23,6 +23,7 @@ fn run(ops: Vec<data_juicer::core::Op>, data: Dataset, np: usize, fusion: bool) 
             op_fusion: fusion,
             trace_examples: 0,
             shard_size: None,
+            ..ExecOptions::default()
         })
         .run(data)
         .expect("pipeline runs")
@@ -109,6 +110,7 @@ fn cache_resume_after_recipe_extension_matches_fresh_run() {
         op_fusion: false,
         trace_examples: 0,
         shard_size: None,
+        ..ExecOptions::default()
     });
     exec_base.run_with_cache(data.clone(), &cache).unwrap();
 
@@ -118,6 +120,7 @@ fn cache_resume_after_recipe_extension_matches_fresh_run() {
             op_fusion: false,
             trace_examples: 0,
             shard_size: None,
+            ..ExecOptions::default()
         });
     let (resumed, report) = exec_ext.run_with_cache(data.clone(), &cache).unwrap();
     assert_eq!(

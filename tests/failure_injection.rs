@@ -64,10 +64,102 @@ fn mapper_error_propagates_serial_and_parallel() {
                 op_fusion: false,
                 trace_examples: 0,
                 shard_size: None,
+                ..ExecOptions::default()
             });
         let err = exec.run(poisoned_dataset()).unwrap_err();
         assert!(err.to_string().contains("failing_mapper"), "np={np}: {err}");
     }
+}
+
+#[test]
+fn mapper_error_propagates_through_spilled_execution() {
+    // The streaming (out-of-core) driver must fail fast with the same
+    // clean operator error as the in-memory paths — no panic, no hang.
+    for np in [1usize, 4] {
+        let exec =
+            Executor::new(vec![Op::Mapper(Arc::new(FailingMapper))]).with_options(ExecOptions {
+                num_workers: np,
+                op_fusion: false,
+                trace_examples: 0,
+                shard_size: Some(8),
+                memory_budget: Some(1),
+                spill_dir: None,
+            });
+        let err = exec.run(poisoned_dataset()).unwrap_err();
+        assert!(err.to_string().contains("failing_mapper"), "np={np}: {err}");
+    }
+}
+
+#[test]
+fn truncated_and_corrupted_spill_frames_are_clean_storage_errors() {
+    use data_juicer::store::{Codec, ShardSpool};
+    let dir = std::env::temp_dir().join(format!("dj-it-spill-frames-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spool = ShardSpool::create(&dir, 2, Codec::Djz).unwrap();
+    let shard = web_corpus(3, 20, WebNoise::default());
+    spool.write_shard(0, &shard).unwrap();
+    spool.write_shard(1, &shard).unwrap();
+    let path0 = dir.join("shard-00000.djs");
+    let path1 = dir.join("shard-00001.djs");
+
+    // Truncation (a torn write / mid-stage kill): detected, not read short.
+    let bytes = std::fs::read(&path0).unwrap();
+    std::fs::write(&path0, &bytes[..bytes.len() - 7]).unwrap();
+    let err = spool.read_shard(0).unwrap_err();
+    assert!(matches!(err, DjError::Storage(_)), "{err}");
+    assert!(err.to_string().contains("truncated"), "{err}");
+
+    // Bit rot: the per-frame checksum catches silent corruption.
+    let mut bytes = std::fs::read(&path1).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path1, &bytes).unwrap();
+    let err = spool.read_shard(1).unwrap_err();
+    assert!(
+        err.to_string().contains("checksum") || err.to_string().contains("truncated"),
+        "{err}"
+    );
+    drop(spool);
+    assert!(!dir.exists(), "spool cleans up even after errors");
+}
+
+#[test]
+fn run_restarts_cleanly_after_simulated_mid_stage_kill() {
+    // A killed run leaves spill debris behind (its Drop never ran). A
+    // fresh run pointed at the same spill_dir must neither read the
+    // partial frames nor trip over them — every run spools into its own
+    // unique subdirectory.
+    let dir = std::env::temp_dir().join(format!("dj-it-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let debris = dir.join("dj-spill-99999-0");
+    std::fs::create_dir_all(&debris).unwrap();
+    std::fs::write(debris.join("shard-00000.djs"), b"DJSF\x20partial garbage").unwrap();
+    std::fs::write(debris.join("shard-00001.djs.tmp"), b"half a frame").unwrap();
+
+    let registry = builtin_registry();
+    let recipe = Recipe::new("restart")
+        .then(OpSpec::new("whitespace_normalization_mapper"))
+        .then(OpSpec::new("document_deduplicator"));
+    let ops = recipe.build_ops(&registry).unwrap();
+    let data = web_corpus(11, 60, WebNoise::default());
+    let baseline = Executor::new(ops.clone()).with_options(ExecOptions {
+        memory_budget: Some(u64::MAX), // in-memory reference under forced-spill CI
+        ..ExecOptions::default()
+    });
+    let (expected, _) = baseline.run(data.clone()).unwrap();
+
+    let exec = Executor::new(ops).with_options(ExecOptions {
+        num_workers: 2,
+        op_fusion: false,
+        trace_examples: 0,
+        shard_size: Some(8),
+        memory_budget: Some(1),
+        spill_dir: Some(dir.clone()),
+    });
+    let (out, report) = exec.run(data).unwrap();
+    assert!(report.spilled);
+    assert_eq!(out, expected, "restart must not be polluted by debris");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
@@ -88,6 +180,7 @@ fn filter_error_propagates_through_fused_plan() {
         op_fusion: true,
         trace_examples: 0,
         shard_size: None,
+        ..ExecOptions::default()
     });
     let err = exec.run(poisoned_dataset()).unwrap_err();
     assert!(err.to_string().contains("failing_filter"), "{err}");
@@ -111,6 +204,7 @@ fn corrupt_cache_entry_falls_back_to_fresh_execution() {
         op_fusion: false,
         trace_examples: 0,
         shard_size: None,
+        ..ExecOptions::default()
     });
     let (expected, _) = exec.run_with_cache(data.clone(), &cache).unwrap();
 

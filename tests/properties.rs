@@ -237,12 +237,17 @@ proptest! {
         let ops = recipe.build_ops(&builtin_registry()).unwrap();
         let data = duplicated_corpus(seed);
 
-        // Sequential, unfused, single-shard baseline.
+        // Sequential, unfused, single-shard baseline. The u64::MAX budget
+        // pins it in memory even under a DJ_MEMORY_BUDGET override (CI
+        // forces spilling suite-wide), keeping this a true in-memory
+        // reference.
         let baseline = Executor::new(ops.clone()).with_options(ExecOptions {
             num_workers: 1,
             op_fusion: false,
             trace_examples: 0,
             shard_size: None,
+            memory_budget: Some(u64::MAX),
+            spill_dir: None,
         });
         let (expected, _) = baseline.run(data.clone()).unwrap();
         let expected_bytes = data_juicer::store::to_bytes(&expected);
@@ -255,6 +260,7 @@ proptest! {
                     op_fusion: fusion,
                     trace_examples: 0,
                     shard_size: Some(shard_size),
+                    ..ExecOptions::default()
                 });
                 let (out, report) = exec.run(data.clone()).unwrap();
                 // Byte-identical: same texts, same stats, same order.
@@ -266,5 +272,75 @@ proptest! {
                 prop_assert_eq!(report.final_samples, expected.len());
             }
         }
+    }
+
+    /// Out-of-core execution is byte-identical to in-memory execution for
+    /// random recipes, arbitrary shard sizes, worker counts and memory
+    /// budgets — whether the budget actually forces a spill or not — and
+    /// leaves the spill directory empty afterwards.
+    #[test]
+    fn prop_spilled_execution_matches_in_memory(
+        indices in proptest::collection::vec(0usize..8, 1..5),
+        seed in 0u64..500,
+        shard_size in 1usize..40,
+        workers in 1usize..5,
+        budget_exp in 0u32..22,
+    ) {
+        let pool = shard_spec_pool();
+        let mut recipe = Recipe::new("spill-prop");
+        for &i in &indices {
+            recipe = recipe.then(pool[i].clone());
+        }
+        let ops = recipe.build_ops(&builtin_registry()).unwrap();
+        let data = duplicated_corpus(seed);
+
+        // In-memory reference: identical shard layout, budget pinned to
+        // u64::MAX so a DJ_MEMORY_BUDGET override cannot spill it (the
+        // comparison must stay spilled-vs-in-memory under forced-spill CI).
+        let reference = Executor::new(ops.clone()).with_options(ExecOptions {
+            num_workers: workers,
+            op_fusion: true,
+            trace_examples: 0,
+            shard_size: Some(shard_size),
+            memory_budget: Some(u64::MAX),
+            spill_dir: None,
+        });
+        let (expected, _) = reference.run(data.clone()).unwrap();
+        let expected_bytes = data_juicer::store::to_bytes(&expected);
+
+        let spill_dir = std::env::temp_dir().join(format!(
+            "dj-prop-spill-{}-{seed}-{shard_size}-{workers}-{budget_exp}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&spill_dir);
+        std::fs::create_dir_all(&spill_dir).unwrap();
+        let budget = 1u64 << budget_exp; // 1 byte … 2 MiB
+        let spilled = Executor::new(ops).with_options(ExecOptions {
+            num_workers: workers,
+            op_fusion: true,
+            trace_examples: 0,
+            shard_size: Some(shard_size),
+            memory_budget: Some(budget),
+            spill_dir: Some(spill_dir.clone()),
+        });
+        let (out, report) = spilled.run(data.clone()).unwrap();
+        prop_assert_eq!(
+            data_juicer::store::to_bytes(&out).as_slice(),
+            expected_bytes.as_slice(),
+            "budget={} workers={} shard_size={} diverged", budget, workers, shard_size
+        );
+        // Oversized input must engage spilling (stats columns added
+        // mid-run can also push a smaller input over the budget later, so
+        // this is an implication, not an equivalence).
+        if data.approx_bytes() as u64 > budget {
+            prop_assert!(report.spilled);
+        }
+        if report.spilled {
+            prop_assert!(report.peak_resident_samples <= workers * 2 * shard_size,
+                "resident {} > bound {}", report.peak_resident_samples, workers * 2 * shard_size);
+        }
+        // Spools clean up after themselves.
+        prop_assert_eq!(std::fs::read_dir(&spill_dir).unwrap().count(), 0);
+        let _ = std::fs::remove_dir_all(&spill_dir);
     }
 }
