@@ -1,0 +1,59 @@
+//! Dedup-barrier bench: the clustering step (`keep_mask`) of each
+//! deduplicator, sequential vs the banded worker-parallel exchange, on a
+//! corpus seeded with exact and near duplicates. Fingerprints are computed
+//! once outside the timer — the barrier's clustering is the serial section
+//! this group tracks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dj_core::{Deduplicator, SampleContext, Value};
+use dj_ops::{
+    DocumentDeduplicator, MinHashDeduplicator, ParagraphDeduplicator, SimHashDeduplicator,
+};
+use dj_synth::{web_corpus, WebNoise};
+
+fn bench_dedup_barrier(c: &mut Criterion) {
+    let data = web_corpus(
+        23,
+        600,
+        WebNoise {
+            dup_rate: 0.15,
+            near_dup_rate: 0.15,
+            ..WebNoise::default()
+        },
+    );
+    let dedups: Vec<Box<dyn Deduplicator>> = vec![
+        Box::new(DocumentDeduplicator::new()),
+        Box::new(MinHashDeduplicator::default_config()),
+        Box::new(SimHashDeduplicator::new(3).unwrap()),
+        Box::new(ParagraphDeduplicator::new()),
+    ];
+    let mut group = c.benchmark_group("dedup_barrier");
+    for dedup in &dedups {
+        let mut ctx = SampleContext::new();
+        let hashes: Vec<Value> = data
+            .iter()
+            .map(|s| {
+                ctx.invalidate();
+                dedup.compute_hash(s, &mut ctx).unwrap()
+            })
+            .collect();
+        for workers in [1usize, 2, 4] {
+            group.bench_function(format!("{}/np{workers}", dedup.name()), |b| {
+                b.iter(|| {
+                    dedup
+                        .keep_mask_parallel(data.len(), &hashes, workers)
+                        .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(12);
+    targets = bench_dedup_barrier
+}
+criterion_main!(benches);

@@ -104,6 +104,7 @@ fn bench_out_of_core(c: &mut Criterion) {
             shard_size: Some(len.div_ceil(16)),
             memory_budget: budget,
             spill_dir: None,
+            ..ExecOptions::default()
         });
         group.bench_function(label, |b| {
             b.iter_batched(

@@ -22,6 +22,9 @@ struct Row {
     mem_mb: f64,
     out_len: usize,
     in_len: usize,
+    /// Wall time spent inside dedup barriers (0 for baselines that do not
+    /// report per-op timings).
+    barrier_seconds: f64,
 }
 
 /// Emit machine-readable results so the perf trajectory is tracked across
@@ -30,10 +33,12 @@ fn write_bench_json(rows: &[Row], path: &str) {
     let mut out = String::from("{\n  \"benchmark\": \"fig8_end2end\",\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let samples_per_sec = r.in_len as f64 / r.seconds.max(1e-9);
+        let barrier_share = r.barrier_seconds / r.seconds.max(1e-9);
         out.push_str(&format!(
             "    {{\"dataset\": \"{}\", \"np\": {}, \"system\": \"{}\", \
              \"seconds\": {:.6}, \"mem_mb\": {:.3}, \"samples_in\": {}, \
-             \"samples_out\": {}, \"samples_per_sec\": {:.1}}}{}\n",
+             \"samples_out\": {}, \"samples_per_sec\": {:.1}, \
+             \"barrier_seconds\": {:.6}, \"barrier_share\": {:.4}}}{}\n",
             r.dataset,
             r.np,
             r.system,
@@ -42,6 +47,8 @@ fn write_bench_json(rows: &[Row], path: &str) {
             r.in_len,
             r.out_len,
             samples_per_sec,
+            r.barrier_seconds,
+            barrier_share,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -85,6 +92,7 @@ fn main() {
                 mem_mb: report.peak_bytes as f64 / 1e6,
                 out_len: out.len(),
                 in_len: data.len(),
+                barrier_seconds: report.barrier_duration.as_secs_f64(),
             });
 
             // RedPajama-style (np is irrelevant to its whole-dataset copies;
@@ -99,6 +107,7 @@ fn main() {
                 mem_mb: rp.peak_bytes as f64 / 1e6,
                 out_len: rp.output.len(),
                 in_len: data.len(),
+                barrier_seconds: 0.0,
             });
 
             // Dolma-style (requires pre-sharding to np shards).
@@ -112,6 +121,7 @@ fn main() {
                 mem_mb: dol.peak_bytes as f64 / 1e6,
                 out_len: dol.output.len(),
                 in_len: data.len(),
+                barrier_seconds: 0.0,
             });
         }
 
@@ -128,6 +138,7 @@ fn main() {
             shard_size: Some(data.len().div_ceil(4 * np.max(1) * 4)),
             memory_budget: Some(1),
             spill_dir: None,
+            ..ExecOptions::default()
         });
         let t0 = Instant::now();
         let (out, report) = exec.run(data.clone()).expect("spilled pipeline runs");
@@ -146,17 +157,44 @@ fn main() {
             mem_mb: report.peak_resident_bytes as f64 / 1e6,
             out_len: out.len(),
             in_len: data.len(),
+            barrier_seconds: report.barrier_duration.as_secs_f64(),
+        });
+
+        // Data-Juicer with the banded exchange disabled: same workers,
+        // sequential barrier clustering. Comparing this row's
+        // barrier_seconds against the matching "Data-Juicer" row isolates
+        // what the parallel dedup barrier buys on multi-core hosts.
+        let exec = Executor::new(matched_dj_ops(p)).with_options(ExecOptions {
+            num_workers: np,
+            op_fusion: true,
+            trace_examples: 0,
+            shard_size: None,
+            dedup_parallel: false,
+            ..ExecOptions::default()
+        });
+        let t0 = Instant::now();
+        let (out, report) = exec.run(data.clone()).expect("seq-barrier pipeline runs");
+        assert_eq!(out.len(), dj_out, "sequential barrier diverged ({name})");
+        rows.push(Row {
+            dataset: name,
+            np,
+            system: "Data-Juicer-seq-barrier",
+            seconds: t0.elapsed().as_secs_f64(),
+            mem_mb: report.peak_bytes as f64 / 1e6,
+            out_len: out.len(),
+            in_len: data.len(),
+            barrier_seconds: report.barrier_duration.as_secs_f64(),
         });
     }
 
     println!(
-        "{:<8} {:>3} {:<18} {:>10} {:>10} {:>8}",
-        "dataset", "np", "system", "time (s)", "mem (MB)", "docs out"
+        "{:<8} {:>3} {:<24} {:>10} {:>10} {:>8} {:>11}",
+        "dataset", "np", "system", "time (s)", "mem (MB)", "docs out", "barrier (s)"
     );
     for r in &rows {
         println!(
-            "{:<8} {:>3} {:<18} {:>10.3} {:>10.2} {:>8}",
-            r.dataset, r.np, r.system, r.seconds, r.mem_mb, r.out_len
+            "{:<8} {:>3} {:<24} {:>10.3} {:>10.2} {:>8} {:>11.4}",
+            r.dataset, r.np, r.system, r.seconds, r.mem_mb, r.out_len, r.barrier_seconds
         );
     }
 

@@ -49,6 +49,15 @@ pub struct Recipe {
     pub memory_budget: Option<u64>,
     /// Directory for spilled shard frames; `None` = the system temp dir.
     pub spill_dir: Option<String>,
+    /// Run dedup-barrier clustering (the banded hash exchange) on the
+    /// worker pool. `false` forces sequential clustering; the output is
+    /// identical either way.
+    pub dedup_parallel: bool,
+    /// Post-barrier shard fill threshold in `[0, 1]`: shards a dedup mask
+    /// thins below this fraction of the pre-barrier average are merged
+    /// into a neighbor. `None` uses the executor default (0.5); `0.0`
+    /// disables rebalancing.
+    pub shard_fill: Option<f64>,
     /// Default text field OPs process.
     pub text_key: String,
     /// The ordered OP pipeline.
@@ -63,6 +72,8 @@ impl Default for Recipe {
             shard_size: None,
             memory_budget: None,
             spill_dir: None,
+            dedup_parallel: true,
+            shard_fill: None,
             text_key: "text".to_string(),
             process: Vec::new(),
         }
@@ -105,6 +116,19 @@ impl Recipe {
     /// Builder: set the directory spilled shard frames are written under.
     pub fn with_spill_dir(mut self, dir: impl Into<String>) -> Recipe {
         self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Builder: toggle worker-parallel dedup-barrier clustering.
+    pub fn with_dedup_parallel(mut self, enabled: bool) -> Recipe {
+        self.dedup_parallel = enabled;
+        self
+    }
+
+    /// Builder: set the post-barrier shard fill threshold (clamped to
+    /// `[0, 1]`).
+    pub fn with_shard_fill(mut self, fill: f64) -> Recipe {
+        self.shard_fill = Some(fill.clamp(0.0, 1.0));
         self
     }
 
@@ -189,6 +213,15 @@ impl Recipe {
         if let Some(dir) = v.get_path("spill_dir").and_then(Value::as_str) {
             recipe.spill_dir = Some(dir.to_string());
         }
+        if let Some(dp) = v.get_path("dedup_parallel").and_then(Value::as_bool) {
+            recipe.dedup_parallel = dp;
+        }
+        if let Some(fill) = v.get_path("shard_fill").and_then(Value::as_float) {
+            if !(0.0..=1.0).contains(&fill) {
+                return Err(DjError::Config("shard_fill must be in [0, 1]".into()));
+            }
+            recipe.shard_fill = Some(fill);
+        }
         if let Some(tk) = v.get_path("text_key").and_then(Value::as_str) {
             recipe.text_key = tk.to_string();
         }
@@ -231,6 +264,14 @@ impl Recipe {
         }
         if let Some(dir) = &self.spill_dir {
             root.set_path("spill_dir", Value::from(dir.clone()))
+                .expect("map root");
+        }
+        if !self.dedup_parallel {
+            root.set_path("dedup_parallel", Value::Bool(false))
+                .expect("map root");
+        }
+        if let Some(fill) = self.shard_fill {
+            root.set_path("shard_fill", Value::Float(fill))
                 .expect("map root");
         }
         root.set_path("text_key", Value::from(self.text_key.clone()))
@@ -444,6 +485,29 @@ process:
         let none = Recipe::from_yaml("np: 2\n").unwrap();
         assert_eq!(none.memory_budget, None);
         assert_eq!(none.spill_dir, None);
+    }
+
+    #[test]
+    fn dedup_knobs_roundtrip_and_validate() {
+        let r = sample_recipe()
+            .with_dedup_parallel(false)
+            .with_shard_fill(0.25);
+        assert!(!r.dedup_parallel);
+        assert_eq!(r.shard_fill, Some(0.25));
+        let parsed = Recipe::from_yaml(&r.to_yaml()).unwrap();
+        assert_eq!(parsed, r);
+        assert_ne!(
+            r.fingerprint(),
+            sample_recipe().fingerprint(),
+            "dedup knobs participate in the cache key"
+        );
+        let y = Recipe::from_yaml("dedup_parallel: false\nshard_fill: 0.75\n").unwrap();
+        assert!(!y.dedup_parallel);
+        assert_eq!(y.shard_fill, Some(0.75));
+        assert!(Recipe::from_yaml("shard_fill: 1.5\n").is_err());
+        let defaults = Recipe::from_yaml("np: 2\n").unwrap();
+        assert!(defaults.dedup_parallel, "parallel barrier is the default");
+        assert_eq!(defaults.shard_fill, None);
     }
 
     #[test]

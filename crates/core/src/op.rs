@@ -99,6 +99,23 @@ pub trait Deduplicator: Send + Sync {
     /// what allows the out-of-core executor to spill shards to disk between
     /// the hashing pass and the mask application pass.
     fn keep_mask(&self, samples: usize, hashes: &[Value]) -> Result<Vec<bool>>;
+
+    /// [`keep_mask`](Deduplicator::keep_mask) computed with up to
+    /// `num_workers` threads (the banded hash exchange). The mask MUST be
+    /// identical to the sequential one for every worker count — the
+    /// executor treats worker count as a pure performance knob.
+    ///
+    /// The default ignores `num_workers` and runs sequentially, so custom
+    /// deduplicators stay correct without opting in.
+    fn keep_mask_parallel(
+        &self,
+        samples: usize,
+        hashes: &[Value],
+        num_workers: usize,
+    ) -> Result<Vec<bool>> {
+        let _ = num_workers;
+        self.keep_mask(samples, hashes)
+    }
 }
 
 /// A type-erased operator, the unit the executor schedules.

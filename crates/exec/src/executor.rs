@@ -57,6 +57,16 @@ pub struct ExecOptions {
     /// Directory for spilled shard frames; `None` = the system temp dir.
     /// Each run creates (and removes on completion) its own subdirectories.
     pub spill_dir: Option<PathBuf>,
+    /// Run the dedup barrier's clustering (the banded hash exchange) on
+    /// the worker pool. When false — or when `num_workers == 1` — the
+    /// barrier clusters sequentially. The mask is identical either way.
+    pub dedup_parallel: bool,
+    /// Post-barrier shard fill threshold in `[0, 1]`: after a dedup mask
+    /// is applied per shard, adjacent shards whose fill ratio (relative to
+    /// the pre-barrier average shard size) falls below this are merged, so
+    /// a low-duplicate dataset keeps its shard boundaries intact instead
+    /// of paying a full merge + re-split. `0.0` disables rebalancing.
+    pub shard_fill: f64,
 }
 
 impl Default for ExecOptions {
@@ -68,9 +78,14 @@ impl Default for ExecOptions {
             shard_size: None,
             memory_budget: None,
             spill_dir: None,
+            dedup_parallel: true,
+            shard_fill: DEFAULT_SHARD_FILL,
         }
     }
 }
+
+/// Default post-barrier shard fill threshold.
+pub const DEFAULT_SHARD_FILL: f64 = 0.5;
 
 /// The machine's available parallelism (fallback 1).
 pub fn default_parallelism() -> usize {
@@ -159,6 +174,10 @@ pub struct RunReport {
     pub peak_resident_samples: usize,
     /// Approximate heap bytes of those resident samples at the peak.
     pub peak_resident_bytes: usize,
+    /// Total wall time spent inside dedup barriers (fingerprinting,
+    /// clustering and mask application) — the serial-section share the
+    /// banded exchange attacks.
+    pub barrier_duration: Duration,
 }
 
 impl RunReport {
@@ -171,18 +190,31 @@ impl RunReport {
     }
 }
 
-/// Where the dataset lives between stages: in memory (default) or spilled
-/// to a disk spool of checksummed shard frames (out-of-core mode).
+/// Where the dataset lives between stages: in memory as ordered shards
+/// (default) or spilled to a disk spool of checksummed shard frames
+/// (out-of-core mode).
+///
+/// The in-memory representation stays sharded *across* stage boundaries —
+/// including through dedup barriers — so the engine never pays a full
+/// merge + re-split between stages; concatenating the shards in index
+/// order is the dataset.
 enum StageData {
-    Mem(Dataset),
+    Mem(Vec<Dataset>),
     Spilled(ShardSpool),
 }
 
 impl StageData {
     fn len(&self) -> usize {
         match self {
-            StageData::Mem(d) => d.len(),
+            StageData::Mem(shards) => shards.iter().map(Dataset::len).sum(),
             StageData::Spilled(s) => s.total_samples(),
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        match self {
+            StageData::Mem(shards) => shards.iter().map(Dataset::approx_bytes).sum(),
+            StageData::Spilled(_) => 0,
         }
     }
 }
@@ -289,8 +321,10 @@ impl Executor {
         len.div_ceil(shard_size).clamp(1, len)
     }
 
-    /// Spill an in-memory dataset to a shard spool when it exceeds the
+    /// Spill in-memory shards to a shard spool when they exceed the
     /// budget (`dj-store`'s `approx_bytes` estimate drives the decision).
+    /// The spill cut is budget-derived, so carried boundaries are redrawn
+    /// here — the spool must respect the streaming live-set bound.
     fn maybe_spill(
         &self,
         data: StageData,
@@ -300,8 +334,12 @@ impl Executor {
         let Some(budget) = budget else {
             return Ok(data);
         };
+        if data.len() == 0 || data.approx_bytes() as u64 <= budget {
+            return Ok(data);
+        }
         match data {
-            StageData::Mem(ds) if !ds.is_empty() && ds.approx_bytes() as u64 > budget => {
+            StageData::Mem(shards) => {
+                let ds = Dataset::from_shards(shards);
                 let shard_count = self.spill_shard_count(&ds, budget);
                 let spool = ShardSpool::create(self.fresh_spill_dir(), shard_count, SPILL_CODEC)?;
                 for (i, shard) in ds.into_shards(shard_count).into_iter().enumerate() {
@@ -331,7 +369,7 @@ impl Executor {
             stages: stages.len(),
             ..RunReport::default()
         };
-        let mut data = StageData::Mem(dataset);
+        let mut data = StageData::Mem(vec![dataset]);
 
         // Resume from the longest cached stage prefix. A corrupt or
         // unreadable cache must never fail the run — fall back to fresh
@@ -353,10 +391,22 @@ impl Executor {
             };
             if let Ok(Some((idx, cached))) = resumed {
                 data = match cached {
-                    CachedStage::Mem(ds) => StageData::Mem(ds),
+                    CachedStage::Mem(ds) => StageData::Mem(vec![ds]),
+                    // A multi-frame entry may come from carried in-memory
+                    // shards (`save_shards`), not only from a spill — pull
+                    // it back into memory when it fits the budget so an
+                    // under-budget run never downgrades to out-of-core on
+                    // resume. The probe loads shard by shard and bails the
+                    // moment the budget is exceeded, so it never holds
+                    // more than `budget` bytes.
                     CachedStage::Spooled(spool) => {
-                        report.spilled = true;
-                        StageData::Spilled(spool)
+                        match materialize_within(&spool, budget.unwrap_or(u64::MAX))? {
+                            Some(shards) => StageData::Mem(shards),
+                            None => {
+                                report.spilled = true;
+                                StageData::Spilled(spool)
+                            }
+                        }
                     }
                 };
                 first_stage = idx + 1;
@@ -368,18 +418,19 @@ impl Executor {
             data = self.maybe_spill(data, budget, &mut report)?;
             data = match stage {
                 Stage::Pipeline { steps, .. } => match data {
-                    StageData::Mem(mut ds) => {
-                        self.run_pipeline_stage(steps, &mut ds, &gauge, &mut report)?;
-                        StageData::Mem(ds)
-                    }
+                    StageData::Mem(shards) => StageData::Mem(self.run_pipeline_stage(
+                        steps,
+                        shards,
+                        &gauge,
+                        &mut report,
+                    )?),
                     StageData::Spilled(spool) => StageData::Spilled(
                         self.run_pipeline_stage_spilled(steps, &spool, &gauge, &mut report)?,
                     ),
                 },
                 Stage::Barrier { dedup, .. } => match data {
-                    StageData::Mem(mut ds) => {
-                        self.run_dedup_stage(dedup.as_ref(), &mut ds, &mut report)?;
-                        StageData::Mem(ds)
+                    StageData::Mem(shards) => {
+                        StageData::Mem(self.run_dedup_stage(dedup.as_ref(), shards, &mut report)?)
                     }
                     StageData::Spilled(spool) => StageData::Spilled(self.run_dedup_stage_spilled(
                         dedup.as_ref(),
@@ -389,13 +440,22 @@ impl Executor {
                     )?),
                 },
             };
-            if let StageData::Mem(ds) = &data {
-                report.peak_bytes = report.peak_bytes.max(ds.approx_bytes());
-            }
+            report.peak_bytes = report.peak_bytes.max(data.approx_bytes());
             if let Some(cm) = cache {
                 match &data {
-                    StageData::Mem(ds) => {
-                        cm.save(i, &stage.name(), ds)?;
+                    // Carried shards persist as a multi-frame stream
+                    // straight from the borrowed shards, so caching never
+                    // forces the merge (or a clone) the carry-through
+                    // avoided.
+                    StageData::Mem(shards) if shards.len() > 1 => {
+                        cm.save_shards(i, &stage.name(), shards)?;
+                    }
+                    StageData::Mem(shards) => {
+                        if let Some(ds) = shards.first() {
+                            cm.save(i, &stage.name(), ds)?;
+                        } else {
+                            cm.save(i, &stage.name(), &Dataset::new())?;
+                        }
                     }
                     // Spilled stages persist without materializing: the
                     // spool's raw frame files concatenate into the entry —
@@ -411,35 +471,73 @@ impl Executor {
         report.peak_resident_bytes = gauge.peak_bytes();
         report.total_duration = start.elapsed();
         // The caller asked for an in-memory dataset back; this final merge
-        // is the one deliberate materialization point of an out-of-core run.
+        // is the one deliberate materialization point of the run.
         let out = match data {
-            StageData::Mem(d) => d,
+            StageData::Mem(shards) => Dataset::from_shards(shards),
             StageData::Spilled(spool) => spool.materialize()?,
         };
         Ok((out, report))
     }
 
-    /// In-memory pipeline stage: shard the dataset, stream through the
-    /// stage via the shared driver, merge shards back in order.
+    /// Cut fresh (single-shard) data to the configured shard count; reuse
+    /// carried multi-shard boundaries as-is — unless barrier rebalancing
+    /// merged them below the worker count, in which case carrying them
+    /// further would cap stage and hashing parallelism, so the data is
+    /// recut. (The recut moves samples, it does not copy their text.)
+    fn reshard(&self, mut shards: Vec<Dataset>) -> Vec<Dataset> {
+        let desired = self
+            .options
+            .shard_count(shards.iter().map(Dataset::len).sum());
+        let floor = desired.min(self.options.num_workers.max(1));
+        let recut = match shards.len() {
+            1 => desired > 1,
+            n => n < floor,
+        };
+        if !recut {
+            return shards;
+        }
+        let ds = if shards.len() == 1 {
+            shards.pop().expect("one shard")
+        } else {
+            Dataset::from_shards(shards)
+        };
+        if desired <= 1 {
+            vec![ds]
+        } else {
+            ds.into_shards(desired)
+        }
+    }
+
+    /// Worker count for barrier clustering: the pool size when the
+    /// `dedup_parallel` knob is on, sequential otherwise.
+    fn mask_workers(&self) -> usize {
+        if self.options.dedup_parallel {
+            self.options.num_workers.max(1)
+        } else {
+            1
+        }
+    }
+
+    /// In-memory pipeline stage: stream the carried shards through the
+    /// stage via the shared driver, carrying per-shard outcomes onward in
+    /// shard order (output order is independent of worker scheduling, so
+    /// any shard count produces byte-identical results).
     fn run_pipeline_stage(
         &self,
         steps: &[PlanStep],
-        dataset: &mut Dataset,
+        shards: Vec<Dataset>,
         gauge: &ResidencyGauge,
         report: &mut RunReport,
-    ) -> Result<()> {
+    ) -> Result<Vec<Dataset>> {
         if steps.is_empty() {
-            return Ok(());
+            return Ok(shards);
         }
-        let shard_count = self.options.shard_count(dataset.len());
-        let source = MemShardStore::from_shards(std::mem::take(dataset).into_shards(shard_count));
-        let sink = MemShardStore::with_capacity(shard_count);
+        let shards = self.reshard(shards);
+        let n = shards.len();
+        let source = MemShardStore::from_shards(shards);
+        let sink = MemShardStore::with_capacity(n);
         self.run_pipeline_stage_streamed(steps, &source, &sink, false, gauge, report)?;
-        // Merge per-shard outcomes in shard order: output order is
-        // independent of worker scheduling, so any shard count produces
-        // byte-identical results.
-        *dataset = Dataset::from_shards(sink.into_shards()?);
-        Ok(())
+        sink.into_shards()
     }
 
     /// Disk-backed pipeline stage: stream shards spool→spool with
@@ -504,40 +602,101 @@ impl Executor {
         Ok(())
     }
 
-    /// A dedup barrier: fingerprints are computed shard-parallel, then one
-    /// dataset-level `keep_mask` decides survivors.
+    /// A dedup barrier with shard carry-through: fingerprints are computed
+    /// shard-parallel, the keep mask is clustered on the worker pool (the
+    /// banded hash exchange), each existing shard applies its slice of the
+    /// mask in parallel, and only shards that fall below the fill
+    /// threshold are merged into a neighbor — a low-duplicate dataset
+    /// keeps its shard boundaries and pays near-zero materialization.
     fn run_dedup_stage(
         &self,
         dedup: &dyn dj_core::Deduplicator,
-        dataset: &mut Dataset,
+        shards: Vec<Dataset>,
         report: &mut RunReport,
-    ) -> Result<()> {
+    ) -> Result<Vec<Dataset>> {
         let cap = self.options.trace_examples;
-        let in_len = dataset.len();
         let t0 = Instant::now();
-        let hashes = self.parallel_hashes(dedup, dataset)?;
-        let mask = dedup.keep_mask(dataset.len(), &hashes)?;
+        let mut shards = self.reshard(shards);
+        let nshards = shards.len();
+        report.shards = report.shards.max(nshards);
+        let in_len: usize = shards.iter().map(Dataset::len).sum();
+        let pre_target = in_len.div_ceil(nshards.max(1)).max(1);
+
+        // Pass 1: shard-parallel fingerprints.
+        let hashes = self.parallel_hashes(dedup, &shards)?;
+        // Clustering: banded exchange on the worker pool (sequential when
+        // the knob is off — the mask is identical either way).
+        let mask = dedup.keep_mask_parallel(in_len, &hashes, self.mask_workers())?;
+        drop(hashes);
+
+        // Pass 2: per-shard mask application, in parallel over contiguous
+        // shard chunks. Offsets slice the dataset-level mask back onto
+        // the existing shard boundaries.
+        let mut offsets = Vec::with_capacity(nshards);
+        let mut acc = 0usize;
+        for s in &shards {
+            offsets.push(acc);
+            acc += s.len();
+        }
+        let workers = self.options.num_workers.max(1).min(nshards.max(1));
+        let chunk_size = nshards.div_ceil(workers).max(1);
+        let mask_ref = &mask;
+        let offsets_ref = &offsets[..];
+        let chunk_traces: Vec<Vec<Vec<TraceEvent>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .chunks_mut(chunk_size)
+                .enumerate()
+                .map(|(c, chunk)| {
+                    scope.spawn(move || {
+                        let mut traces = Vec::with_capacity(chunk.len());
+                        for (k, shard) in chunk.iter_mut().enumerate() {
+                            let start = offsets_ref[c * chunk_size + k];
+                            let slice = &mask_ref[start..start + shard.len()];
+                            let mut t = Vec::new();
+                            for (j, &keep) in slice.iter().enumerate() {
+                                if !keep && t.len() < cap {
+                                    t.push(TraceEvent::Duplicate {
+                                        dropped: snippet(shard.get(j).expect("index valid").text()),
+                                    });
+                                }
+                            }
+                            shard.retain_mask(slice);
+                            traces.push(t);
+                        }
+                        traces
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("mask worker panicked"))
+                .collect()
+        });
         let mut trace = Vec::new();
-        for (i, &keep) in mask.iter().enumerate() {
-            if !keep && trace.len() < cap {
-                trace.push(TraceEvent::Duplicate {
-                    dropped: snippet(dataset.get(i).expect("index valid").text()),
-                });
-            }
+        for t in chunk_traces.into_iter().flatten() {
+            let room = cap.saturating_sub(trace.len());
+            trace.extend(t.into_iter().take(room));
         }
         let removed = mask.iter().filter(|&&k| !k).count();
-        dataset.retain_mask(&mask);
+
+        // Carry-through: merge only shards the mask thinned below the
+        // fill threshold into their left neighbor.
+        let min_len = (pre_target as f64 * self.options.shard_fill.clamp(0.0, 1.0)).ceil() as usize;
+        let shards = rebalance_shards(shards, min_len);
+
+        let elapsed = t0.elapsed();
+        report.barrier_duration += elapsed;
         report.ops.push(OpReport {
             name: dedup.name().to_string(),
             samples_in: in_len,
-            samples_out: dataset.len(),
+            samples_out: in_len - removed,
             removed,
             changed: 0,
-            duration: t0.elapsed(),
+            duration: elapsed,
             fused: false,
             trace,
         });
-        Ok(())
+        Ok(shards)
     }
 
     /// A dedup barrier over spilled data, in two streaming passes: hash
@@ -569,7 +728,10 @@ impl Executor {
             Ok(out)
         })?;
         let hashes: Vec<Value> = hash_chunks.into_iter().flatten().collect();
-        let mask = dedup.keep_mask(in_len, &hashes)?;
+        // Clustering: the same banded exchange as the in-memory barrier —
+        // only the clustering step changes in spilled mode, the
+        // fingerprint and mask-apply passes already stream.
+        let mask = dedup.keep_mask_parallel(in_len, &hashes, self.mask_workers())?;
         drop(hashes);
 
         // Shard offsets into the dataset-level mask (the shards were
@@ -609,59 +771,99 @@ impl Executor {
             trace.extend(t.into_iter().take(room));
         }
         let removed = mask.iter().filter(|&&k| !k).count();
+        let elapsed = t0.elapsed();
+        report.barrier_duration += elapsed;
         report.ops.push(OpReport {
             name: dedup.name().to_string(),
             samples_in: in_len,
             samples_out: out.total_samples(),
             removed,
             changed: 0,
-            duration: t0.elapsed(),
+            duration: elapsed,
             fused: false,
             trace,
         });
         Ok(out)
     }
 
-    /// Shard-parallel `compute_hash` over immutable sample chunks: exactly
-    /// one thread per worker, each hashing one contiguous chunk (an
-    /// explicit `shard_size` must never translate into thread count).
+    /// Shard-parallel `compute_hash` over the carried shards: exactly one
+    /// thread per worker, each hashing a contiguous run of *samples* — an
+    /// explicit `shard_size` (or uneven carried boundaries) must never
+    /// translate into thread count or load imbalance. Fingerprints come
+    /// back flattened in shard order.
     fn parallel_hashes(
         &self,
         dedup: &dyn dj_core::Deduplicator,
-        dataset: &Dataset,
+        shards: &[Dataset],
     ) -> Result<Vec<Value>> {
-        let samples = dataset.samples();
-        let workers = self.options.num_workers.max(1).min(samples.len().max(1));
-        let hash_chunk = |chunk: &[Sample]| -> Result<Vec<Value>> {
+        let total: usize = shards.iter().map(Dataset::len).sum();
+        let workers = self.options.num_workers.max(1).min(total.max(1));
+        let hash_samples = |samples: &mut dyn Iterator<Item = &Sample>| -> Result<Vec<Value>> {
             let mut ctx = SampleContext::new();
-            let mut out = Vec::with_capacity(chunk.len());
-            for s in chunk {
+            let mut out = Vec::new();
+            for s in samples {
                 ctx.invalidate();
                 out.push(dedup.compute_hash(s, &mut ctx)?);
                 ctx.clear();
             }
             Ok(out)
         };
-        if workers == 1 || samples.len() < 2 {
-            return hash_chunk(samples);
+        if workers == 1 || total < 2 {
+            return hash_samples(&mut shards.iter().flat_map(|s| s.samples().iter()));
         }
-        let chunk_size = samples.len().div_ceil(workers);
+        let refs: Vec<&Sample> = shards.iter().flat_map(|s| s.samples().iter()).collect();
+        let chunk_size = total.div_ceil(workers);
         let chunk_results: Vec<Result<Vec<Value>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = samples
+            let hash_samples = &hash_samples;
+            let handles: Vec<_> = refs
                 .chunks(chunk_size)
-                .map(|chunk| scope.spawn(move || hash_chunk(chunk)))
+                .map(|chunk| scope.spawn(move || hash_samples(&mut chunk.iter().copied())))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("hash worker panicked"))
                 .collect()
         });
-        let mut hashes = Vec::with_capacity(samples.len());
+        let mut hashes = Vec::with_capacity(total);
         for r in chunk_results {
             hashes.extend(r?);
         }
         Ok(hashes)
     }
+}
+
+/// Load a spool's shards into memory, preserving shard boundaries, unless
+/// their decoded size exceeds `budget` — in which case `None` is returned
+/// and at most `budget` bytes were ever resident.
+fn materialize_within(spool: &ShardSpool, budget: u64) -> Result<Option<Vec<Dataset>>> {
+    let mut shards = Vec::with_capacity(spool.shard_count());
+    let mut bytes = 0u64;
+    for i in 0..spool.shard_count() {
+        let shard = spool.read_shard(i)?;
+        bytes += shard.approx_bytes() as u64;
+        if bytes > budget {
+            return Ok(None);
+        }
+        shards.push(shard);
+    }
+    Ok(Some(shards))
+}
+
+/// Merge shards the barrier thinned below `min_len` samples into their
+/// left neighbor (the first shard absorbs rightward). Shards at or above
+/// the floor keep their boundaries — the carry-through fast path.
+fn rebalance_shards(shards: Vec<Dataset>, min_len: usize) -> Vec<Dataset> {
+    if min_len == 0 || shards.len() <= 1 {
+        return shards;
+    }
+    let mut out: Vec<Dataset> = Vec::with_capacity(shards.len());
+    for shard in shards {
+        match out.last_mut() {
+            Some(prev) if prev.len() < min_len || shard.len() < min_len => prev.extend(shard),
+            _ => out.push(shard),
+        }
+    }
+    out
 }
 
 /// Stream every shard of `source` through `work`, returning the per-shard
@@ -890,6 +1092,8 @@ pub fn executor_from_recipe(
         shard_size: recipe.shard_size,
         memory_budget: recipe.memory_budget,
         spill_dir: recipe.spill_dir.as_ref().map(PathBuf::from),
+        dedup_parallel: recipe.dedup_parallel,
+        shard_fill: recipe.shard_fill.unwrap_or(DEFAULT_SHARD_FILL),
     }))
 }
 
@@ -981,7 +1185,7 @@ mod tests {
             trace_examples: 0,
             shard_size: Some(shard_size),
             memory_budget: Some(budget),
-            spill_dir: None,
+            ..ExecOptions::default()
         }
     }
 
@@ -1210,5 +1414,89 @@ mod tests {
         assert!(opts.num_workers >= 1);
         assert_eq!(opts.memory_budget, None);
         assert_eq!(opts.spill_dir, None);
+        assert!(opts.dedup_parallel, "parallel barrier is the default");
+        assert_eq!(opts.shard_fill, DEFAULT_SHARD_FILL);
+    }
+
+    #[test]
+    fn rebalance_merges_only_underfilled_shards() {
+        let full = || Dataset::from_texts(["a", "b", "c", "d"]);
+        let thin = || Dataset::from_texts(["x"]);
+        // Threshold 2: full shards keep their boundaries.
+        let kept = rebalance_shards(vec![full(), full(), full()], 2);
+        assert_eq!(kept.len(), 3, "well-filled shards are carried through");
+        // A thinned middle shard merges into its left neighbor.
+        let merged = rebalance_shards(vec![full(), thin(), full()], 2);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].len(), 5);
+        assert_eq!(merged[1].len(), 4);
+        // A thinned leading shard absorbs its right neighbor.
+        let lead = rebalance_shards(vec![thin(), full(), full()], 2);
+        assert_eq!(lead.len(), 2);
+        assert_eq!(lead[0].len(), 5);
+        // Order is preserved across merges.
+        let texts: Vec<_> = rebalance_shards(
+            vec![
+                Dataset::from_texts(["1"]),
+                Dataset::from_texts(["2"]),
+                Dataset::from_texts(["3", "4"]),
+            ],
+            2,
+        )
+        .into_iter()
+        .flat_map(|d| d.iter().map(|s| s.text().to_string()).collect::<Vec<_>>())
+        .collect();
+        assert_eq!(texts, vec!["1", "2", "3", "4"]);
+        // Threshold 0 disables rebalancing entirely.
+        assert_eq!(rebalance_shards(vec![thin(), thin()], 0).len(), 2);
+    }
+
+    #[test]
+    fn under_budget_resume_stays_in_memory() {
+        // Multi-shard in-memory stages cache as multi-frame entries; a
+        // resume under a generous budget must pull them back into memory
+        // rather than downgrading the run to out-of-core.
+        let reg = builtin_registry();
+        let dir = std::env::temp_dir().join(format!("dj-exec-memresume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = CacheManager::new(&dir, 779, dj_store::CacheMode::Cache);
+        let mut options = opts(3, true, 0);
+        options.shard_size = Some(4);
+        options.memory_budget = Some(u64::MAX);
+        let exec = Executor::new(pipeline(&reg)).with_options(options);
+        let (out1, r1) = exec.run_with_cache(noisy_dataset(), &cache).unwrap();
+        assert!(!r1.spilled);
+        let (out2, r2) = exec.run_with_cache(noisy_dataset(), &cache).unwrap();
+        assert!(r2.resumed_steps > 0);
+        assert!(
+            !r2.spilled,
+            "an under-budget resume must not downgrade to out-of-core"
+        );
+        assert_eq!(out1, out2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parallel_barrier_toggle_never_changes_output() {
+        let reg = builtin_registry();
+        let base = noisy_dataset();
+        for dedup_parallel in [false, true] {
+            for shard_fill in [0.0, 0.5, 1.0] {
+                let mut options = opts(4, true, 0);
+                options.dedup_parallel = dedup_parallel;
+                options.shard_fill = shard_fill;
+                options.shard_size = Some(3);
+                let exec = Executor::new(pipeline(&reg)).with_options(options);
+                let (out, report) = exec.run(base.clone()).unwrap();
+                let sequential = Executor::new(pipeline(&reg)).with_options(opts(1, true, 0));
+                let (expected, _) = sequential.run(base.clone()).unwrap();
+                assert_eq!(
+                    out, expected,
+                    "dedup_parallel={dedup_parallel} shard_fill={shard_fill} diverged"
+                );
+                assert!(report.barrier_duration > Duration::ZERO);
+                assert!(report.barrier_duration <= report.total_duration);
+            }
+        }
     }
 }

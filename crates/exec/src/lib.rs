@@ -23,8 +23,17 @@
 //!    mapper/filter chain while hot in cache; samples a filter drops never
 //!    reach later steps; no intermediate dataset is ever materialized.
 //! 4. **Barriers.** At a `Stage::Barrier`, fingerprints are computed
-//!    shard-parallel, then a single dataset-level `keep_mask` decides
-//!    survivors, and the next stage re-shards whatever remains.
+//!    shard-parallel, the dataset-level keep mask is clustered on the
+//!    worker pool (`keep_mask_parallel` — the banded hash exchange:
+//!    candidate generation partitioned by LSH band / SimHash block /
+//!    keyspace range, pairs deduplicated across bands, similarity
+//!    verified in parallel, merged through a lock-free concurrent
+//!    union-find), each existing shard applies its slice of the mask in
+//!    parallel, and shard boundaries **carry through** the barrier: only
+//!    shards the mask thins below [`ExecOptions::shard_fill`] × the
+//!    pre-barrier average are merged into a neighbor, so a low-duplicate
+//!    dataset pays near-zero barrier materialization instead of a full
+//!    merge + re-split.
 //!
 //! Because shards are contiguous and merged in order, the output is
 //! byte-identical to sequential single-shard execution for every shard
@@ -40,6 +49,12 @@
 //! * [`ExecOptions::memory_budget`] / [`ExecOptions::spill_dir`] — the
 //!   out-of-core knobs (recipe YAML `memory_budget` / `spill_dir`); see
 //!   below.
+//! * [`ExecOptions::dedup_parallel`] — cluster dedup barriers on the
+//!   worker pool (default true; recipe YAML `dedup_parallel`). The mask
+//!   is identical either way — workers are a pure performance knob.
+//! * [`ExecOptions::shard_fill`] — post-barrier shard fill threshold in
+//!   `[0, 1]` (default 0.5; recipe YAML `shard_fill`; `0.0` disables
+//!   rebalancing).
 //!
 //! ## Out-of-core execution (spill-to-disk)
 //!
@@ -60,8 +75,9 @@
 //!    shard_size`) are ever resident.
 //! 3. A dedup barrier streams twice: one pass computes fingerprints
 //!    shard-parallel (only the tiny fingerprints stay in memory), the
-//!    dataset-level `keep_mask` is built from fingerprints alone, and a
-//!    second pass re-streams each shard against its slice of the mask.
+//!    dataset-level mask is clustered from fingerprints alone — on the
+//!    worker pool, exactly like the in-memory barrier — and a second
+//!    pass re-streams each shard against its slice of the mask.
 //! 4. Cache/checkpoint entries of spilled stages are written as multi-frame
 //!    shard streams (`CacheManager::save_streamed`), so persistence and
 //!    resume also never materialize the dataset.

@@ -11,7 +11,13 @@
 //! * [`simhash`] — Charikar fingerprints + Hamming-budget index
 //!   (vector-based near-dedup);
 //! * [`unionfind`] — duplicate-pair clustering with deterministic
-//!   first-occurrence retention.
+//!   first-occurrence retention, sequential and lock-free concurrent.
+//!
+//! The banded exchange entry points ([`lsh_band_pairs`],
+//! [`simhash_block_pairs`], [`LshIndex::band_key`]) let the parallel
+//! deduplicators partition candidate generation by band/block across a
+//! worker pool while staying pair-for-pair identical to the sequential
+//! indexes.
 
 pub mod fxhash;
 pub mod minhash;
@@ -19,6 +25,8 @@ pub mod simhash;
 pub mod unionfind;
 
 pub use fxhash::{hash128, hash64, hash64_seeded, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use minhash::{LshIndex, MinHasher};
-pub use simhash::{hamming, simhash_tokens, simhash_weighted, SimHashIndex};
-pub use unionfind::UnionFind;
+pub use minhash::{lsh_band_pairs, LshIndex, MinHasher};
+pub use simhash::{
+    hamming, simhash_block_pairs, simhash_tokens, simhash_weighted, SimHashIndex, SIMHASH_BLOCKS,
+};
+pub use unionfind::{ConcurrentUnionFind, UnionFind};

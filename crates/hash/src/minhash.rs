@@ -116,6 +116,13 @@ impl LshIndex {
         }
     }
 
+    /// The banded sub-signature key used for bucketing: shared by the
+    /// sequential index and the band-sharded parallel exchange so both
+    /// produce identical candidate sets.
+    pub fn band_key(band: usize, rows: usize, signature: &[u64]) -> u64 {
+        band_key_for(band, rows, signature)
+    }
+
     /// Insert a signature under `id`, returning candidate duplicate ids
     /// (every previously-inserted id sharing at least one band).
     pub fn insert(&mut self, id: usize, signature: &[u64]) -> Vec<usize> {
@@ -126,11 +133,7 @@ impl LshIndex {
         );
         let mut candidates = Vec::new();
         for (band, table) in self.tables.iter_mut().enumerate() {
-            let chunk = &signature[band * self.rows..(band + 1) * self.rows];
-            let mut key = band as u64;
-            for &v in chunk {
-                key = remix(key ^ v, 0x6a09_e667_f3bc_c909);
-            }
+            let key = band_key_for(band, self.rows, signature);
             let bucket = table.entry(key).or_default();
             candidates.extend_from_slice(bucket);
             bucket.push(id);
@@ -145,6 +148,52 @@ impl LshIndex {
     pub fn candidate_probability(&self, s: f64) -> f64 {
         1.0 - (1.0 - s.powi(self.rows as i32)).powi(self.bands as i32)
     }
+}
+
+fn band_key_for(band: usize, rows: usize, signature: &[u64]) -> u64 {
+    let chunk = &signature[band * rows..(band + 1) * rows];
+    let mut key = band as u64;
+    for &v in chunk {
+        key = remix(key ^ v, 0x6a09_e667_f3bc_c909);
+    }
+    key
+}
+
+/// One band's share of the LSH exchange: every candidate pair `(i, j)`
+/// with `i < j` whose signatures collide in `band`, sorted ascending.
+///
+/// Equivalent to what the sequential [`LshIndex`] surfaces for this band —
+/// each worker of the parallel dedup runs a disjoint subset of bands and
+/// the union of all bands' pairs (deduplicated) is exactly the sequential
+/// candidate set.
+pub fn lsh_band_pairs(band: usize, rows: usize, signatures: &[Vec<u64>]) -> Vec<(u32, u32)> {
+    assert!(
+        signatures.len() <= u32::MAX as usize,
+        "id count exceeds u32 range"
+    );
+    let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+    for (i, sig) in signatures.iter().enumerate() {
+        assert_eq!(
+            sig.len() % rows,
+            0,
+            "signature length must be a multiple of rows"
+        );
+        buckets
+            .entry(band_key_for(band, rows, sig))
+            .or_default()
+            .push(i as u32);
+    }
+    let mut pairs = Vec::new();
+    for members in buckets.values() {
+        // Members are in ascending id order (insertion order above).
+        for (k, &j) in members.iter().enumerate() {
+            for &i in &members[..k] {
+                pairs.push((i, j));
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs
 }
 
 #[cfg(test)]
@@ -233,5 +282,36 @@ mod tests {
     fn lsh_rejects_wrong_signature_length() {
         let mut idx = LshIndex::new(4, 4);
         idx.insert(0, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn band_pairs_match_sequential_candidates() {
+        let (bands, rows) = (8usize, 2usize);
+        let mh = MinHasher::new(bands * rows, 2);
+        let docs = [
+            "data juicer is a one stop data processing system",
+            "data juicer is a one stop data processing system",
+            "data juicer is a one stop data processing systems",
+            "completely different sentence about cooking pasta",
+            "another unrelated line mentioning tomato gardens",
+        ];
+        let sigs: Vec<Vec<u64>> = docs.iter().map(|d| mh.signature(&words(d))).collect();
+        // Sequential candidate set.
+        let mut idx = LshIndex::new(bands, rows);
+        let mut sequential: Vec<(u32, u32)> = Vec::new();
+        for (i, sig) in sigs.iter().enumerate() {
+            for cand in idx.insert(i, sig) {
+                sequential.push((cand as u32, i as u32));
+            }
+        }
+        sequential.sort_unstable();
+        // Banded candidate set: union of per-band pairs, deduplicated.
+        let mut banded: Vec<(u32, u32)> = (0..bands)
+            .flat_map(|b| lsh_band_pairs(b, rows, &sigs))
+            .collect();
+        banded.sort_unstable();
+        banded.dedup();
+        assert_eq!(banded, sequential);
+        assert!(banded.contains(&(0, 1)), "exact dup must be a candidate");
     }
 }

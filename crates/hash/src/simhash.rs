@@ -54,6 +54,39 @@ pub fn hamming(a: u64, b: u64) -> u32 {
     (a ^ b).count_ones()
 }
 
+/// Number of 16-bit rotation blocks the [`SimHashIndex`] (and the
+/// block-sharded parallel exchange) partitions fingerprints into.
+pub const SIMHASH_BLOCKS: usize = 4;
+
+/// One rotation block's share of the SimHash exchange: every pair
+/// `(i, j)` with `i < j` that agrees exactly on 16-bit `block` AND lies
+/// within the Hamming budget, sorted ascending.
+///
+/// The union over all [`SIMHASH_BLOCKS`] blocks (deduplicated) is exactly
+/// the duplicate-pair set the sequential [`SimHashIndex`] surfaces, so
+/// per-block workers can cluster independently and merge.
+pub fn simhash_block_pairs(block: usize, fps: &[u64], max_distance: u32) -> Vec<(u32, u32)> {
+    assert!(block < SIMHASH_BLOCKS, "block out of range");
+    assert!(fps.len() <= u32::MAX as usize, "id count exceeds u32 range");
+    let mut buckets: FxHashMap<u16, Vec<u32>> = FxHashMap::default();
+    for (i, &fp) in fps.iter().enumerate() {
+        let key = ((fp >> (16 * block)) & 0xFFFF) as u16;
+        buckets.entry(key).or_default().push(i as u32);
+    }
+    let mut pairs = Vec::new();
+    for members in buckets.values() {
+        for (k, &j) in members.iter().enumerate() {
+            for &i in &members[..k] {
+                if hamming(fps[i as usize], fps[j as usize]) <= max_distance {
+                    pairs.push((i, j));
+                }
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs
+}
+
 /// Index that finds previously-inserted fingerprints within a Hamming
 /// distance budget, using the standard 4-block permutation trick: any pair
 /// with distance ≤ 3 must agree exactly on at least one of 4 16-bit blocks.
@@ -172,5 +205,31 @@ mod tests {
         idx.insert(7, 42);
         assert_eq!(idx.insert(8, 42), vec![7]);
         assert!(idx.insert(9, 43).is_empty()); // distance 1 > budget 0
+    }
+
+    #[test]
+    fn block_pairs_match_sequential_index() {
+        let base = 0xDEAD_BEEF_CAFE_F00Du64;
+        let fps = [base, base ^ 0b101, base ^ 0x0101_0101_0101_0101, base, 77];
+        let max_distance = 3;
+        // Sequential pair set.
+        let mut idx = SimHashIndex::new(max_distance);
+        let mut sequential: Vec<(u32, u32)> = Vec::new();
+        for (i, &fp) in fps.iter().enumerate() {
+            for cand in idx.insert(i, fp) {
+                sequential.push((cand as u32, i as u32));
+            }
+        }
+        sequential.sort_unstable();
+        // Block-sharded pair set.
+        let mut banded: Vec<(u32, u32)> = (0..SIMHASH_BLOCKS)
+            .flat_map(|b| simhash_block_pairs(b, &fps, max_distance))
+            .collect();
+        banded.sort_unstable();
+        banded.dedup();
+        assert_eq!(banded, sequential);
+        assert!(banded.contains(&(0, 3)), "exact dup pair present");
+        assert!(banded.contains(&(0, 1)), "distance-2 pair present");
+        assert!(!banded.contains(&(0, 2)), "distance-8 pair absent");
     }
 }

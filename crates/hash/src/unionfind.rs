@@ -1,9 +1,14 @@
-//! Disjoint-set forest for duplicate clustering.
+//! Disjoint-set forests for duplicate clustering.
 //!
 //! Near-duplicate detection produces candidate *pairs*; deduplication
-//! keeps one representative per connected component. This union-find
+//! keeps one representative per connected component. [`UnionFind`]
 //! (path halving + union by size) turns pairs into components in
-//! near-constant amortized time.
+//! near-constant amortized time on a single thread. [`ConcurrentUnionFind`]
+//! is its lock-free sibling for the band-sharded hash exchange: workers
+//! union verified pairs through shared atomic parent links, or build
+//! [`UnionFind`] partials and fold them in via [`ConcurrentUnionFind::merge`].
+
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Union-find over `0..n` with path halving and union by size.
 #[derive(Debug, Clone)]
@@ -76,6 +81,31 @@ impl UnionFind {
         self.size[r] as usize
     }
 
+    /// Representative of `x`'s component without path compression (usable
+    /// through a shared reference, e.g. when folding per-worker partials).
+    pub fn root(&self, mut x: usize) -> usize {
+        loop {
+            let p = self.parent[x] as usize;
+            if p == x {
+                return x;
+            }
+            x = p;
+        }
+    }
+
+    /// Fold another union-find's equivalences into this one: every pair
+    /// `other` considers connected becomes connected here too. Both sides
+    /// must cover the same element range.
+    pub fn merge(&mut self, other: &UnionFind) {
+        assert_eq!(self.len(), other.len(), "merge requires equal lengths");
+        for i in 0..other.len() {
+            let r = other.root(i);
+            if r != i {
+                self.union(i, r);
+            }
+        }
+    }
+
     /// Keep mask retaining exactly the smallest index of each component —
     /// the deterministic "first occurrence wins" rule of the deduplicators.
     pub fn first_occurrence_mask(&mut self) -> Vec<bool> {
@@ -88,6 +118,112 @@ impl UnionFind {
             }
         }
         (0..n).map(|i| first[self.find(i)] == i).collect()
+    }
+}
+
+/// Lock-free union-find over `0..n` for the parallel dedup exchange.
+///
+/// Parent links are atomic and every link points to a strictly smaller
+/// index, so the structure is acyclic under any interleaving and the root
+/// of each component is its minimum element — which makes the
+/// first-occurrence keep mask a root check. Workers either call
+/// [`union`](ConcurrentUnionFind::union) directly on verified pairs or
+/// build local [`UnionFind`] partials and fold them in with
+/// [`merge`](ConcurrentUnionFind::merge); both take `&self`.
+///
+/// The component partition after all unions is independent of thread
+/// interleaving (it is the transitive closure of the unioned pairs), so
+/// masks derived from it are deterministic.
+#[derive(Debug)]
+pub struct ConcurrentUnionFind {
+    parent: Vec<AtomicU32>,
+}
+
+impl ConcurrentUnionFind {
+    pub fn new(n: usize) -> ConcurrentUnionFind {
+        assert!(n <= u32::MAX as usize, "element count exceeds u32 range");
+        ConcurrentUnionFind {
+            parent: (0..n as u32).map(AtomicU32::new).collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative (minimum element) of `x`'s component, with lock-free
+    /// path halving. A failed halving CAS is benign: some other thread
+    /// already shortened the path.
+    pub fn find(&self, mut x: usize) -> usize {
+        loop {
+            let p = self.parent[x].load(Ordering::Acquire) as usize;
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p].load(Ordering::Acquire) as usize;
+            if gp != p {
+                let _ = self.parent[x].compare_exchange_weak(
+                    p as u32,
+                    gp as u32,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                );
+            }
+            x = p;
+        }
+    }
+
+    /// Merge the components of `a` and `b`; returns true when this call
+    /// performed the link. Safe to call concurrently from many threads.
+    pub fn union(&self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        loop {
+            if ra == rb {
+                return false;
+            }
+            // Link the larger root under the smaller one; the CAS only
+            // succeeds while `ra` is still a root, so links always point
+            // downward and never form cycles.
+            if ra < rb {
+                std::mem::swap(&mut ra, &mut rb);
+            }
+            match self.parent[ra].compare_exchange(
+                ra as u32,
+                rb as u32,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => {
+                    ra = self.find(actual as usize);
+                    rb = self.find(rb);
+                }
+            }
+        }
+    }
+
+    /// Fold a per-worker [`UnionFind`] partial into the shared structure.
+    /// Takes `&self`, so workers can merge their partials concurrently.
+    pub fn merge(&self, other: &UnionFind) {
+        assert_eq!(self.len(), other.len(), "merge requires equal lengths");
+        for i in 0..other.len() {
+            let r = other.root(i);
+            if r != i {
+                self.union(i, r);
+            }
+        }
+    }
+
+    /// Keep mask retaining exactly the smallest index of each component.
+    /// Call after all unions have completed (quiescent point): because
+    /// every link points downward, the root *is* the minimum index, so a
+    /// sample survives iff it is its own root.
+    pub fn first_occurrence_mask(&self) -> Vec<bool> {
+        (0..self.len()).map(|i| self.find(i) == i).collect()
     }
 }
 
@@ -138,5 +274,82 @@ mod tests {
         assert!(uf.is_empty());
         assert_eq!(uf.component_count(), 0);
         assert!(uf.first_occurrence_mask().is_empty());
+    }
+
+    #[test]
+    fn merge_folds_partial_equivalences() {
+        let mut a = UnionFind::new(6);
+        a.union(0, 1);
+        let mut b = UnionFind::new(6);
+        b.union(1, 2);
+        b.union(4, 5);
+        a.merge(&b);
+        assert!(a.connected(0, 2));
+        assert!(a.connected(4, 5));
+        assert!(!a.connected(0, 4));
+        assert_eq!(a.component_count(), 3);
+    }
+
+    #[test]
+    fn concurrent_matches_sequential_on_same_pairs() {
+        let pairs = [(0usize, 3usize), (3, 7), (2, 5), (5, 2), (8, 1), (1, 0)];
+        let mut uf = UnionFind::new(10);
+        let cuf = ConcurrentUnionFind::new(10);
+        for &(a, b) in &pairs {
+            uf.union(a, b);
+            cuf.union(a, b);
+        }
+        assert_eq!(uf.first_occurrence_mask(), cuf.first_occurrence_mask());
+        assert_eq!(cuf.find(7), 0, "root is the component minimum");
+    }
+
+    #[test]
+    fn concurrent_union_under_threads_is_deterministic() {
+        // 64 elements chained pairwise from many threads; the final
+        // components must be the single chain regardless of interleaving.
+        let cuf = ConcurrentUnionFind::new(64);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cuf = &cuf;
+                s.spawn(move || {
+                    for i in (t..63).step_by(4) {
+                        cuf.union(i, i + 1);
+                    }
+                });
+            }
+        });
+        let mask = cuf.first_occurrence_mask();
+        assert!(mask[0]);
+        assert!(mask[1..].iter().all(|&k| !k));
+    }
+
+    #[test]
+    fn concurrent_merge_of_partials() {
+        let mut p1 = UnionFind::new(8);
+        p1.union(0, 4);
+        let mut p2 = UnionFind::new(8);
+        p2.union(4, 6);
+        p2.union(3, 7);
+        let cuf = ConcurrentUnionFind::new(8);
+        std::thread::scope(|s| {
+            s.spawn(|| cuf.merge(&p1));
+            s.spawn(|| cuf.merge(&p2));
+        });
+        assert_eq!(cuf.find(6), 0);
+        assert_eq!(cuf.find(7), 3);
+        let mut reference = UnionFind::new(8);
+        reference.merge(&p1);
+        reference.merge(&p2);
+        assert_eq!(
+            reference.first_occurrence_mask(),
+            cuf.first_occurrence_mask()
+        );
+    }
+
+    #[test]
+    fn concurrent_empty() {
+        let cuf = ConcurrentUnionFind::new(0);
+        assert!(cuf.is_empty());
+        assert!(cuf.first_occurrence_mask().is_empty());
     }
 }

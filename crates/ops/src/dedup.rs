@@ -6,8 +6,12 @@
 //! and `keep_mask` clusters fingerprints at dataset level, retaining the
 //! first occurrence of each duplicate cluster.
 
+use std::borrow::Cow;
+
 use dj_core::{Dataset, Deduplicator, DjError, Result, Sample, SampleContext, Value, TEXT_KEY};
-use dj_hash::{hash128, simhash_tokens, LshIndex, MinHasher, SimHashIndex, UnionFind};
+use dj_hash::{hash128, simhash_tokens, MinHasher};
+
+use crate::par_dedup::ParallelDedup;
 
 /// Exact document deduplication by 128-bit content hash
 /// (`document_deduplicator`).
@@ -44,7 +48,12 @@ impl DocumentDeduplicator {
         }
     }
 
-    fn canonical(&self, text: &str) -> String {
+    /// Canonical form for hashing. Borrows when no normalization is
+    /// configured, so the common exact-hash path allocates nothing.
+    fn canonical<'a>(&self, text: &'a str) -> Cow<'a, str> {
+        if !self.lowercase && !self.ignore_non_alnum {
+            return Cow::Borrowed(text);
+        }
         let mut t = if self.lowercase {
             text.to_lowercase()
         } else {
@@ -53,7 +62,7 @@ impl DocumentDeduplicator {
         if self.ignore_non_alnum {
             t.retain(|c| c.is_alphanumeric());
         }
-        t
+        Cow::Owned(t)
     }
 }
 
@@ -73,14 +82,21 @@ impl Deduplicator for DocumentDeduplicator {
     }
 
     fn keep_mask(&self, samples: usize, hashes: &[Value]) -> Result<Vec<bool>> {
+        self.keep_mask_parallel(samples, hashes, 1)
+    }
+
+    fn keep_mask_parallel(
+        &self,
+        samples: usize,
+        hashes: &[Value],
+        num_workers: usize,
+    ) -> Result<Vec<bool>> {
         check_len(self.name(), samples, hashes)?;
-        let mut seen = dj_hash::FxHashSet::default();
-        let mut mask = Vec::with_capacity(hashes.len());
-        for h in hashes {
-            let key = limbs(h, self.name())?;
-            mask.push(seen.insert(key));
-        }
-        Ok(mask)
+        let keys: Vec<(i64, i64)> = hashes
+            .iter()
+            .map(|h| limbs(h, self.name()))
+            .collect::<Result<_>>()?;
+        Ok(ParallelDedup::new(num_workers).exact_mask(&keys))
     }
 }
 
@@ -144,21 +160,26 @@ impl Deduplicator for MinHashDeduplicator {
     }
 
     fn keep_mask(&self, samples: usize, hashes: &[Value]) -> Result<Vec<bool>> {
+        self.keep_mask_parallel(samples, hashes, 1)
+    }
+
+    fn keep_mask_parallel(
+        &self,
+        samples: usize,
+        hashes: &[Value],
+        num_workers: usize,
+    ) -> Result<Vec<bool>> {
         check_len(self.name(), samples, hashes)?;
         let sigs: Vec<Vec<u64>> = hashes
             .iter()
             .map(|h| signature(h, self.name()))
             .collect::<Result<_>>()?;
-        let mut index = LshIndex::new(self.bands, self.rows);
-        let mut uf = UnionFind::new(sigs.len());
-        for (i, sig) in sigs.iter().enumerate() {
-            for cand in index.insert(i, sig) {
-                if MinHasher::similarity(sig, &sigs[cand]) >= self.jaccard_threshold {
-                    uf.union(i, cand);
-                }
-            }
-        }
-        Ok(uf.first_occurrence_mask())
+        Ok(ParallelDedup::new(num_workers).minhash_mask(
+            &sigs,
+            self.bands,
+            self.rows,
+            self.jaccard_threshold,
+        ))
     }
 }
 
@@ -196,19 +217,25 @@ impl Deduplicator for SimHashDeduplicator {
     }
 
     fn keep_mask(&self, samples: usize, hashes: &[Value]) -> Result<Vec<bool>> {
+        self.keep_mask_parallel(samples, hashes, 1)
+    }
+
+    fn keep_mask_parallel(
+        &self,
+        samples: usize,
+        hashes: &[Value],
+        num_workers: usize,
+    ) -> Result<Vec<bool>> {
         check_len(self.name(), samples, hashes)?;
-        let mut index = SimHashIndex::new(self.max_distance);
-        let mut uf = UnionFind::new(hashes.len());
-        for (i, h) in hashes.iter().enumerate() {
-            let fp = h
-                .as_int()
-                .ok_or_else(|| DjError::op(self.name(), "fingerprint must be an int"))?
-                as u64;
-            for cand in index.insert(i, fp) {
-                uf.union(i, cand);
-            }
-        }
-        Ok(uf.first_occurrence_mask())
+        let fps: Vec<u64> = hashes
+            .iter()
+            .map(|h| {
+                h.as_int()
+                    .map(|i| i as u64)
+                    .ok_or_else(|| DjError::op(self.name(), "fingerprint must be an int"))
+            })
+            .collect::<Result<_>>()?;
+        Ok(ParallelDedup::new(num_workers).simhash_mask(&fps, self.max_distance))
     }
 }
 
@@ -243,36 +270,63 @@ impl Deduplicator for ParagraphDeduplicator {
         let hashes: Vec<Value> = sample
             .text_at(&self.field)
             .split("\n\n")
-            .filter(|p| !p.trim().is_empty())
-            .map(|p| Value::Int(dj_hash::hash64(p.trim().as_bytes()) as i64))
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(|p| Value::Int(dj_hash::hash64(p.as_bytes()) as i64))
             .collect();
         Ok(Value::List(hashes))
     }
 
     fn keep_mask(&self, samples: usize, hashes: &[Value]) -> Result<Vec<bool>> {
+        self.keep_mask_parallel(samples, hashes, 1)
+    }
+
+    fn keep_mask_parallel(
+        &self,
+        samples: usize,
+        hashes: &[Value],
+        num_workers: usize,
+    ) -> Result<Vec<bool>> {
         check_len(self.name(), samples, hashes)?;
-        let mut seen = dj_hash::FxHashSet::default();
-        let mut mask = Vec::with_capacity(hashes.len());
-        for h in hashes {
-            let paras = h
-                .as_list()
-                .ok_or_else(|| DjError::op(self.name(), "expected list fingerprint"))?;
-            if paras.is_empty() {
-                mask.push(true); // nothing to compare; keep
-                continue;
-            }
-            let mut any_new = false;
-            for p in paras {
-                let key = p
-                    .as_int()
-                    .ok_or_else(|| DjError::op(self.name(), "expected int paragraph hash"))?;
-                if seen.insert(key) {
-                    any_new = true;
-                }
-            }
-            mask.push(any_new);
+        fn para_list<'a>(op: &str, h: &'a Value) -> Result<&'a [Value]> {
+            h.as_list()
+                .ok_or_else(|| DjError::op(op, "expected list fingerprint"))
         }
-        Ok(mask)
+        fn para_key(op: &str, p: &Value) -> Result<i64> {
+            p.as_int()
+                .ok_or_else(|| DjError::op(op, "expected int paragraph hash"))
+        }
+        if num_workers <= 1 {
+            // Stream the borrowed fingerprints directly — no typed copy of
+            // every paragraph hash on the common sequential path.
+            let mut seen = dj_hash::FxHashSet::default();
+            let mut mask = Vec::with_capacity(hashes.len());
+            for h in hashes {
+                let paras = para_list(self.name(), h)?;
+                if paras.is_empty() {
+                    mask.push(true); // nothing to compare; keep
+                    continue;
+                }
+                let mut any_new = false;
+                for p in paras {
+                    if seen.insert(para_key(self.name(), p)?) {
+                        any_new = true;
+                    }
+                }
+                mask.push(any_new);
+            }
+            return Ok(mask);
+        }
+        let paragraphs: Vec<Vec<i64>> = hashes
+            .iter()
+            .map(|h| {
+                para_list(self.name(), h)?
+                    .iter()
+                    .map(|p| para_key(self.name(), p))
+                    .collect()
+            })
+            .collect::<Result<_>>()?;
+        Ok(ParallelDedup::new(num_workers).paragraph_mask(&paragraphs))
     }
 }
 
@@ -434,5 +488,49 @@ mod tests {
         let (out, removed) = run_dedup(&DocumentDeduplicator::new(), Dataset::new()).unwrap();
         assert!(out.is_empty());
         assert_eq!(removed, 0);
+    }
+
+    /// Every deduplicator's parallel mask must be identical to its
+    /// sequential mask (the executor treats workers as a pure perf knob).
+    #[test]
+    fn parallel_keep_mask_matches_sequential() {
+        let base = LONG_BASE;
+        let near = format!("{base} indeed truly");
+        let texts: Vec<String> = (0..40)
+            .map(|i| match i % 5 {
+                0 => base.to_string(),
+                1 => near.clone(),
+                2 => format!("unique document number {i} about methodology\n\nshared para"),
+                3 => "shared para".to_string(),
+                _ => format!("unique document number {i} about methodology"),
+            })
+            .collect();
+        let d = Dataset::from_texts(texts);
+        let dedups: Vec<Box<dyn Deduplicator>> = vec![
+            Box::new(DocumentDeduplicator::new()),
+            Box::new(MinHashDeduplicator::default_config()),
+            Box::new(SimHashDeduplicator::new(3).unwrap()),
+            Box::new(ParagraphDeduplicator::new()),
+        ];
+        for dedup in &dedups {
+            let mut ctx = SampleContext::new();
+            let hashes: Vec<Value> = d
+                .iter()
+                .map(|s| {
+                    ctx.invalidate();
+                    dedup.compute_hash(s, &mut ctx).unwrap()
+                })
+                .collect();
+            let sequential = dedup.keep_mask(d.len(), &hashes).unwrap();
+            assert!(
+                sequential.iter().any(|&k| !k),
+                "{} must drop something",
+                dedup.name()
+            );
+            for workers in [1usize, 2, 3, 4, 8] {
+                let parallel = dedup.keep_mask_parallel(d.len(), &hashes, workers).unwrap();
+                assert_eq!(parallel, sequential, "{} workers={workers}", dedup.name());
+            }
+        }
     }
 }

@@ -17,12 +17,14 @@ pub mod filters;
 pub mod formatters;
 pub mod mappers;
 pub mod models;
+pub mod par_dedup;
 pub mod registry;
 
 pub use dedup::{
     run_dedup, DocumentDeduplicator, MinHashDeduplicator, ParagraphDeduplicator,
     SimHashDeduplicator,
 };
+pub use par_dedup::ParallelDedup;
 pub use registry::builtin_registry;
 
 /// Names of the formatter OPs (registered separately from the

@@ -1,0 +1,417 @@
+//! The banded, worker-parallel dedup exchange behind every
+//! [`Deduplicator::keep_mask`](dj_core::Deduplicator::keep_mask).
+//!
+//! Each clustering strategy partitions its fingerprint space so workers
+//! can index independently — by LSH band (MinHash), by 16-bit rotation
+//! block (SimHash), or by contiguous index range (exact/paragraph hashes,
+//! whose partial first-occurrence elections merge by range order) — then
+//! merges the per-worker results into one deterministic keep mask:
+//!
+//! 1. workers build local indexes over their partition and emit candidate
+//!    pairs;
+//! 2. pairs are deduplicated across partitions (a pair surfaced by several
+//!    bands is verified once);
+//! 3. surviving pairs are similarity-verified in parallel and merged
+//!    through a lock-free [`ConcurrentUnionFind`] (or per-worker
+//!    [`UnionFind`] partials folded in via `merge`);
+//! 4. the mask keeps the minimum index of each component.
+//!
+//! `workers == 1` takes the original sequential path, so the parallel
+//! exchange is a pure performance knob: the mask is identical for every
+//! worker count (property-tested in `tests/dedup_parallel.rs`).
+
+use dj_hash::{
+    lsh_band_pairs, simhash_block_pairs, ConcurrentUnionFind, FxHashMap, FxHashSet, LshIndex,
+    MinHasher, SimHashIndex, UnionFind, SIMHASH_BLOCKS,
+};
+
+/// Worker-count-aware clustering over precomputed fingerprints.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelDedup {
+    workers: usize,
+}
+
+impl ParallelDedup {
+    pub fn new(workers: usize) -> ParallelDedup {
+        ParallelDedup {
+            workers: workers.max(1),
+        }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// MinHash-LSH keep mask: band-sharded candidate generation, global
+    /// pair dedup, parallel similarity verification, concurrent union.
+    pub fn minhash_mask(
+        &self,
+        signatures: &[Vec<u64>],
+        bands: usize,
+        rows: usize,
+        jaccard_threshold: f64,
+    ) -> Vec<bool> {
+        let n = signatures.len();
+        if self.workers == 1 || n < 2 {
+            // Sequential special case: the original index-as-you-insert
+            // loop, skipping similarity checks for pairs whose endpoints
+            // are already clustered (a connected() probe is far cheaper
+            // than comparing two b*r-long signatures).
+            let mut index = LshIndex::new(bands, rows);
+            let mut uf = UnionFind::new(n);
+            for (i, sig) in signatures.iter().enumerate() {
+                for cand in index.insert(i, sig) {
+                    if uf.connected(i, cand) {
+                        continue;
+                    }
+                    if MinHasher::similarity(sig, &signatures[cand]) >= jaccard_threshold {
+                        uf.union(i, cand);
+                    }
+                }
+            }
+            return uf.first_occurrence_mask();
+        }
+
+        // Band-sharded exchange: worker w owns bands w, w+workers, ...
+        let band_workers = self.workers.min(bands);
+        let per_worker: Vec<Vec<(u32, u32)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..band_workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        let mut band = w;
+                        while band < bands {
+                            local.extend(lsh_band_pairs(band, rows, signatures));
+                            band += band_workers;
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("band worker panicked"))
+                .collect()
+        });
+        // A pair surfaced by multiple bands is verified exactly once.
+        let mut pairs: Vec<(u32, u32)> = per_worker.into_iter().flatten().collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+
+        // Parallel verification straight into the concurrent union-find.
+        let uf = ConcurrentUnionFind::new(n);
+        let chunk = pairs.len().div_ceil(self.workers).max(1);
+        std::thread::scope(|scope| {
+            for chunk in pairs.chunks(chunk) {
+                let uf = &uf;
+                scope.spawn(move || {
+                    for &(a, b) in chunk {
+                        let (a, b) = (a as usize, b as usize);
+                        if uf.find(a) == uf.find(b) {
+                            continue; // already clustered via another pair
+                        }
+                        if MinHasher::similarity(&signatures[a], &signatures[b])
+                            >= jaccard_threshold
+                        {
+                            uf.union(a, b);
+                        }
+                    }
+                });
+            }
+        });
+        uf.first_occurrence_mask()
+    }
+
+    /// SimHash keep mask: block-sharded candidate generation with inline
+    /// Hamming verification; per-block [`UnionFind`] partials merged into
+    /// the shared concurrent structure.
+    pub fn simhash_mask(&self, fingerprints: &[u64], max_distance: u32) -> Vec<bool> {
+        let n = fingerprints.len();
+        if self.workers == 1 || n < 2 {
+            let mut index = SimHashIndex::new(max_distance);
+            let mut uf = UnionFind::new(n);
+            for (i, &fp) in fingerprints.iter().enumerate() {
+                for cand in index.insert(i, fp) {
+                    uf.union(i, cand);
+                }
+            }
+            return uf.first_occurrence_mask();
+        }
+
+        // Round-robin blocks over at most `workers` threads (the trait
+        // contract promises *up to* num_workers threads, never more).
+        let block_workers = self.workers.min(SIMHASH_BLOCKS);
+        let uf = ConcurrentUnionFind::new(n);
+        std::thread::scope(|scope| {
+            for w in 0..block_workers {
+                let uf = &uf;
+                scope.spawn(move || {
+                    // Verification (a popcount) is cheap enough to do
+                    // inline; the partial clusters this worker's blocks
+                    // found merge into the shared structure in one pass.
+                    let mut partial = UnionFind::new(n);
+                    let mut block = w;
+                    while block < SIMHASH_BLOCKS {
+                        for (a, b) in simhash_block_pairs(block, fingerprints, max_distance) {
+                            partial.union(a as usize, b as usize);
+                        }
+                        block += block_workers;
+                    }
+                    uf.merge(&partial);
+                });
+            }
+        });
+        uf.first_occurrence_mask()
+    }
+
+    /// Exact-hash keep mask over 128-bit keys: index-range sharding —
+    /// each worker elects first occurrences within its contiguous key
+    /// range (O(n) total work), partial elections merge by range order
+    /// (earlier ranges hold smaller indices, so first-merged wins), and a
+    /// parallel pass checks each key against its elected winner.
+    pub fn exact_mask(&self, keys: &[(i64, i64)]) -> Vec<bool> {
+        let n = keys.len();
+        if self.workers == 1 || n < 2 {
+            let mut seen = FxHashSet::default();
+            return keys.iter().map(|k| seen.insert(*k)).collect();
+        }
+        assert!(n <= u32::MAX as usize, "sample count exceeds u32 range");
+        let parts = self.workers.min(n);
+        let chunk = n.div_ceil(parts);
+        let maps: Vec<FxHashMap<(i64, i64), u32>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = keys
+                .chunks(chunk)
+                .enumerate()
+                .map(|(c, slice)| {
+                    scope.spawn(move || {
+                        let base = (c * chunk) as u32;
+                        let mut first: FxHashMap<(i64, i64), u32> = FxHashMap::default();
+                        for (off, k) in slice.iter().enumerate() {
+                            first.entry(*k).or_insert(base + off as u32);
+                        }
+                        first
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("range worker panicked"))
+                .collect()
+        });
+        // Merge partial elections in ascending range order: every index in
+        // range c is smaller than any index in range c+1, so the first
+        // insertion per key is the global minimum.
+        let mut maps = maps.into_iter();
+        let mut winner: FxHashMap<(i64, i64), u32> = maps.next().expect("parts >= 1");
+        for m in maps {
+            for (k, i) in m {
+                winner.entry(k).or_insert(i);
+            }
+        }
+        let winner_ref = &winner;
+        let mask_chunks: Vec<Vec<bool>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = keys
+                .chunks(chunk)
+                .enumerate()
+                .map(|(c, slice)| {
+                    scope.spawn(move || {
+                        let base = (c * chunk) as u32;
+                        slice
+                            .iter()
+                            .enumerate()
+                            .map(|(off, k)| winner_ref[k] == base + off as u32)
+                            .collect::<Vec<bool>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("mask worker panicked"))
+                .collect()
+        });
+        mask_chunks.into_iter().flatten().collect()
+    }
+
+    /// Paragraph-level keep mask: a sample survives when any of its
+    /// paragraph hashes first occurs in it. Index-range sharding elects
+    /// each paragraph's owning sample (O(total paragraphs) work), then a
+    /// parallel pass over sample ranges builds the mask.
+    pub fn paragraph_mask(&self, paragraphs: &[Vec<i64>]) -> Vec<bool> {
+        let n = paragraphs.len();
+        if self.workers == 1 || n < 2 {
+            let mut seen = FxHashSet::default();
+            let mut mask = Vec::with_capacity(n);
+            for paras in paragraphs {
+                if paras.is_empty() {
+                    mask.push(true); // nothing to compare; keep
+                    continue;
+                }
+                let mut any_new = false;
+                for &p in paras {
+                    if seen.insert(p) {
+                        any_new = true;
+                    }
+                }
+                mask.push(any_new);
+            }
+            return mask;
+        }
+
+        assert!(n <= u32::MAX as usize, "sample count exceeds u32 range");
+        let parts = self.workers.min(n);
+        let chunk = n.div_ceil(parts);
+        // Pass 1: per-sample-range first-occurrence election; each worker
+        // only scans its own contiguous range.
+        let maps: Vec<FxHashMap<i64, u32>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = paragraphs
+                .chunks(chunk)
+                .enumerate()
+                .map(|(c, slice)| {
+                    scope.spawn(move || {
+                        let base = (c * chunk) as u32;
+                        let mut first: FxHashMap<i64, u32> = FxHashMap::default();
+                        for (off, paras) in slice.iter().enumerate() {
+                            for &p in paras {
+                                first.entry(p).or_insert(base + off as u32);
+                            }
+                        }
+                        first
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("paragraph worker panicked"))
+                .collect()
+        });
+        // Merge in ascending range order: first insertion per key wins,
+        // which is the global minimum sample index.
+        let mut maps = maps.into_iter();
+        let mut owner: FxHashMap<i64, u32> = maps.next().expect("parts >= 1");
+        for m in maps {
+            for (k, i) in m {
+                owner.entry(k).or_insert(i);
+            }
+        }
+
+        // Pass 2: parallel mask over the same contiguous sample ranges.
+        let owner = &owner;
+        let chunks: Vec<Vec<bool>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = paragraphs
+                .chunks(chunk)
+                .enumerate()
+                .map(|(c, slice)| {
+                    scope.spawn(move || {
+                        let base = (c * chunk) as u32;
+                        slice
+                            .iter()
+                            .enumerate()
+                            .map(|(off, paras)| {
+                                paras.is_empty()
+                                    || paras
+                                        .iter()
+                                        .any(|p| owner.get(p) == Some(&(base + off as u32)))
+                            })
+                            .collect::<Vec<bool>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("mask worker panicked"))
+                .collect()
+        });
+        chunks.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sigs_for(texts: &[&str], bands: usize, rows: usize) -> Vec<Vec<u64>> {
+        let mh = MinHasher::new(bands * rows, 2);
+        texts
+            .iter()
+            .map(|t| mh.signature(&t.split_whitespace().collect::<Vec<_>>()))
+            .collect()
+    }
+
+    #[test]
+    fn minhash_mask_identical_across_worker_counts() {
+        let texts = [
+            "data juicer processes massive corpora for language models",
+            "data juicer processes massive corpora for language models",
+            "data juicer processes massive corpora for language model",
+            "a completely different sentence about cooking pasta dinner",
+            "yet another unrelated line mentioning tomato gardens today",
+            "data juicer processes massive corpora for language models",
+        ];
+        let sigs = sigs_for(&texts, 8, 2);
+        let reference = ParallelDedup::new(1).minhash_mask(&sigs, 8, 2, 0.7);
+        assert!(reference.iter().filter(|&&k| !k).count() >= 2);
+        for w in [2, 3, 4, 8] {
+            let mask = ParallelDedup::new(w).minhash_mask(&sigs, 8, 2, 0.7);
+            assert_eq!(mask, reference, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn simhash_mask_identical_across_worker_counts() {
+        let base = 0xABCD_EF01_2345_6789u64;
+        let fps = vec![
+            base,
+            base ^ 0b11,
+            base ^ 0x1111_0000_1111_0000,
+            base,
+            42,
+            43,
+        ];
+        let reference = ParallelDedup::new(1).simhash_mask(&fps, 3);
+        for w in [2, 4, 7] {
+            assert_eq!(ParallelDedup::new(w).simhash_mask(&fps, 3), reference);
+        }
+        // 1 ≡ 0 (distance 2), 3 ≡ 0 (exact), 5 ≡ 4 (distance 1, shared
+        // zero blocks); 2 is distance 8 from 0 and survives.
+        assert_eq!(reference, vec![true, false, true, false, true, false]);
+    }
+
+    #[test]
+    fn exact_mask_identical_across_worker_counts() {
+        let keys = vec![(1, 1), (2, 2), (1, 1), (3, 3), (2, 2), (1, 1), (4, 4)];
+        let reference = ParallelDedup::new(1).exact_mask(&keys);
+        assert_eq!(reference, vec![true, true, false, true, false, false, true]);
+        for w in [2, 3, 5] {
+            assert_eq!(ParallelDedup::new(w).exact_mask(&keys), reference);
+        }
+    }
+
+    #[test]
+    fn paragraph_mask_identical_across_worker_counts() {
+        let paras = vec![
+            vec![10, 20],
+            vec![20, 30],
+            vec![10, 30],
+            vec![],
+            vec![10, 10],
+            vec![40],
+        ];
+        let reference = ParallelDedup::new(1).paragraph_mask(&paras);
+        assert_eq!(reference, vec![true, true, false, true, false, true]);
+        for w in [2, 3, 4] {
+            assert_eq!(ParallelDedup::new(w).paragraph_mask(&paras), reference);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        for w in [1, 4] {
+            let pd = ParallelDedup::new(w);
+            assert!(pd.exact_mask(&[]).is_empty());
+            assert_eq!(pd.exact_mask(&[(5, 5)]), vec![true]);
+            assert!(pd.minhash_mask(&[], 4, 2, 0.5).is_empty());
+            assert!(pd.simhash_mask(&[], 3).is_empty());
+            assert_eq!(pd.paragraph_mask(&[vec![]]), vec![true]);
+        }
+    }
+}

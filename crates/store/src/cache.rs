@@ -108,6 +108,27 @@ impl CacheManager {
     where
         I: IntoIterator<Item = Result<Dataset>>,
     {
+        self.save_frames(op_index, op_name, shards)
+    }
+
+    /// Persist an in-memory sharded stage as a multi-frame entry straight
+    /// from borrowed shards — no clone, no materialization. The entry
+    /// loads back through the same `load`/`latest_match` calls as a
+    /// monolithic one.
+    pub fn save_shards(
+        &self,
+        op_index: usize,
+        op_name: &str,
+        shards: &[Dataset],
+    ) -> Result<PathBuf> {
+        self.save_frames(op_index, op_name, shards.iter().map(Ok))
+    }
+
+    fn save_frames<I, D>(&self, op_index: usize, op_name: &str, shards: I) -> Result<PathBuf>
+    where
+        I: IntoIterator<Item = Result<D>>,
+        D: std::borrow::Borrow<Dataset>,
+    {
         if self.mode == CacheMode::Disabled {
             return Ok(PathBuf::new());
         }
@@ -119,7 +140,7 @@ impl CacheManager {
             ShardStreamWriter::new(std::io::BufWriter::new(fs::File::create(&tmp)?), self.codec);
         let mut failed = None;
         for shard in shards {
-            if let Err(e) = shard.and_then(|s| writer.write(&s)) {
+            if let Err(e) = shard.and_then(|s| writer.write(s.borrow())) {
                 failed = Some(e);
                 break;
             }

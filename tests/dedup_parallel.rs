@@ -1,0 +1,155 @@
+//! Property tests for the parallel dedup barrier (the banded hash
+//! exchange): for every deduplicator, over random datasets × duplicate
+//! rates × worker counts, the parallel keep mask must be identical to the
+//! sequential one — and the executor's barrier must produce byte-identical
+//! output whether it clusters sequentially, on the worker pool, in memory,
+//! or in spilled (`memory_budget = 1`) mode.
+
+use proptest::prelude::*;
+
+use data_juicer::core::{Dataset, Deduplicator, SampleContext, Value};
+use data_juicer::exec::{ExecOptions, Executor};
+use data_juicer::ops::{
+    builtin_registry, DocumentDeduplicator, MinHashDeduplicator, ParagraphDeduplicator,
+    SimHashDeduplicator,
+};
+
+/// A corpus with tunable duplication: each sample is either an exact
+/// duplicate of a pool document, a near duplicate (suffix noise), or a
+/// unique multi-paragraph document.
+fn corpus_strategy() -> impl Strategy<Value = Vec<String>> {
+    (
+        proptest::collection::vec((0usize..12, 0u8..10), 0..60),
+        0u8..11, // duplicate pressure: higher → more exact/near dups
+    )
+        .prop_map(|(picks, pressure)| {
+            picks
+                .into_iter()
+                .enumerate()
+                .map(|(i, (pool, variant))| {
+                    let base = format!(
+                        "document {pool} from the pool talks about data processing \
+                         systems for language models in several words\n\n\
+                         shared paragraph number {pool} with enough text to matter"
+                    );
+                    if variant < pressure {
+                        if variant % 2 == 0 {
+                            base // exact duplicate
+                        } else {
+                            format!("{base} extra token{}", variant % 3) // near dup
+                        }
+                    } else {
+                        format!("unique document {i} about topic {i}\n\nunique para {i}")
+                    }
+                })
+                .collect()
+        })
+}
+
+fn all_dedups() -> Vec<Box<dyn Deduplicator>> {
+    vec![
+        Box::new(DocumentDeduplicator::new()),
+        Box::new(DocumentDeduplicator::normalized()),
+        Box::new(MinHashDeduplicator::new(0.7, 8, 4, 3).unwrap()),
+        Box::new(SimHashDeduplicator::new(3).unwrap()),
+        Box::new(ParagraphDeduplicator::new()),
+    ]
+}
+
+fn hashes_for(dedup: &dyn Deduplicator, data: &Dataset) -> Vec<Value> {
+    let mut ctx = SampleContext::new();
+    data.iter()
+        .map(|s| {
+            ctx.invalidate();
+            dedup.compute_hash(s, &mut ctx).unwrap()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The banded parallel mask is identical to the sequential mask for
+    /// every deduplicator and worker count.
+    #[test]
+    fn prop_parallel_mask_identical_to_sequential(
+        texts in corpus_strategy(),
+        workers in 2usize..9,
+    ) {
+        let data = Dataset::from_texts(texts);
+        for dedup in all_dedups() {
+            let hashes = hashes_for(dedup.as_ref(), &data);
+            let sequential = dedup.keep_mask(data.len(), &hashes).unwrap();
+            let parallel = dedup
+                .keep_mask_parallel(data.len(), &hashes, workers)
+                .unwrap();
+            prop_assert_eq!(
+                &parallel, &sequential,
+                "{} diverged at workers={}", dedup.name(), workers
+            );
+        }
+    }
+
+    /// The executor's barrier — parallel clustering, shard carry-through,
+    /// fill-threshold rebalancing, in-memory and spilled — never changes
+    /// the output relative to the fully sequential engine.
+    #[test]
+    fn prop_executor_barrier_identical_across_modes(
+        texts in corpus_strategy(),
+        np in 2usize..5,
+        shard_size in 1usize..16,
+        shard_fill in 0.0f64..1.001,
+    ) {
+        let reg = builtin_registry();
+        for dedup_op in [
+            "document_deduplicator",
+            "document_minhash_deduplicator",
+            "document_simhash_deduplicator",
+            "paragraph_deduplicator",
+        ] {
+            let recipe = data_juicer::config::Recipe::new("dedup-parallel-prop")
+                .then(data_juicer::config::OpSpec::new(
+                    "whitespace_normalization_mapper",
+                ))
+                .then(data_juicer::config::OpSpec::new(dedup_op));
+            let ops = recipe.build_ops(&reg).unwrap();
+            let data = Dataset::from_texts(texts.iter().cloned());
+
+            // Reference: one worker, sequential clustering, in memory
+            // (u64::MAX budget pins it in memory even when CI forces
+            // spilling via DJ_MEMORY_BUDGET).
+            let reference = Executor::new(ops.clone()).with_options(ExecOptions {
+                num_workers: 1,
+                op_fusion: true,
+                trace_examples: 0,
+                shard_size: Some(shard_size),
+                memory_budget: Some(u64::MAX),
+                dedup_parallel: false,
+                ..ExecOptions::default()
+            });
+            let (expected, _) = reference.run(data.clone()).unwrap();
+
+            for budget in [u64::MAX, 1] {
+                let exec = Executor::new(ops.clone()).with_options(ExecOptions {
+                    num_workers: np,
+                    op_fusion: true,
+                    trace_examples: 0,
+                    shard_size: Some(shard_size),
+                    memory_budget: Some(budget),
+                    dedup_parallel: true,
+                    shard_fill,
+                    ..ExecOptions::default()
+                });
+                let (out, report) = exec.run(data.clone()).unwrap();
+                prop_assert_eq!(
+                    &out, &expected,
+                    "{} np={} budget={} shard_fill={} diverged",
+                    dedup_op, np, budget, shard_fill
+                );
+                if budget == 1 && !data.is_empty() {
+                    prop_assert!(report.spilled);
+                }
+            }
+        }
+    }
+}

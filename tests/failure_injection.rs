@@ -84,6 +84,7 @@ fn mapper_error_propagates_through_spilled_execution() {
                 shard_size: Some(8),
                 memory_budget: Some(1),
                 spill_dir: None,
+                ..ExecOptions::default()
             });
         let err = exec.run(poisoned_dataset()).unwrap_err();
         assert!(err.to_string().contains("failing_mapper"), "np={np}: {err}");
@@ -155,6 +156,7 @@ fn run_restarts_cleanly_after_simulated_mid_stage_kill() {
         shard_size: Some(8),
         memory_budget: Some(1),
         spill_dir: Some(dir.clone()),
+        ..ExecOptions::default()
     });
     let (out, report) = exec.run(data).unwrap();
     assert!(report.spilled);

@@ -52,6 +52,7 @@ fn spill_exec(np: usize, shard_size: usize, budget: u64, dir: Option<PathBuf>) -
         shard_size: Some(shard_size),
         memory_budget: Some(budget),
         spill_dir: dir,
+        ..ExecOptions::default()
     })
 }
 
@@ -76,6 +77,7 @@ fn peak_resident_samples_bounded_by_double_buffering() {
             shard_size: None,
             memory_budget: Some(u64::MAX),
             spill_dir: None,
+            ..ExecOptions::default()
         })
     };
     let (expected, _) = baseline.run(data.clone()).unwrap();
@@ -151,6 +153,7 @@ fn spill_dir_is_cleaned_even_when_the_run_fails() {
         shard_size: Some(8),
         memory_budget: Some(1),
         spill_dir: Some(dir.clone()),
+        ..ExecOptions::default()
     });
     let err = exec.run(data).unwrap_err();
     assert!(err.to_string().contains("poisoned_mapper"), "{err}");

@@ -248,6 +248,7 @@ proptest! {
             shard_size: None,
             memory_budget: Some(u64::MAX),
             spill_dir: None,
+            ..ExecOptions::default()
         });
         let (expected, _) = baseline.run(data.clone()).unwrap();
         let expected_bytes = data_juicer::store::to_bytes(&expected);
@@ -304,6 +305,7 @@ proptest! {
             shard_size: Some(shard_size),
             memory_budget: Some(u64::MAX),
             spill_dir: None,
+            ..ExecOptions::default()
         });
         let (expected, _) = reference.run(data.clone()).unwrap();
         let expected_bytes = data_juicer::store::to_bytes(&expected);
@@ -322,6 +324,7 @@ proptest! {
             shard_size: Some(shard_size),
             memory_budget: Some(budget),
             spill_dir: Some(spill_dir.clone()),
+            ..ExecOptions::default()
         });
         let (out, report) = spilled.run(data.clone()).unwrap();
         prop_assert_eq!(
