@@ -12,7 +12,7 @@ use std::time::Instant;
 use dj_bench::baselines::{matched_dj_ops, DolmaStyle, MatchedPipeline, RedPajamaStyle};
 use dj_bench::{section, workloads};
 use dj_core::Dataset;
-use dj_exec::{ExecOptions, Executor};
+use dj_exec::{EgressManifest, ExecOptions, Executor};
 
 struct Row {
     dataset: &'static str,
@@ -25,6 +25,10 @@ struct Row {
     /// Wall time spent inside dedup barriers (0 for baselines that do not
     /// report per-op timings).
     barrier_seconds: f64,
+    /// Streaming-ingest throughput in MB/s (0 for in-memory systems).
+    ingest_mb_per_sec: f64,
+    /// Streaming-egress throughput in MB/s (0 for in-memory systems).
+    egress_mb_per_sec: f64,
 }
 
 /// Emit machine-readable results so the perf trajectory is tracked across
@@ -38,7 +42,8 @@ fn write_bench_json(rows: &[Row], path: &str) {
             "    {{\"dataset\": \"{}\", \"np\": {}, \"system\": \"{}\", \
              \"seconds\": {:.6}, \"mem_mb\": {:.3}, \"samples_in\": {}, \
              \"samples_out\": {}, \"samples_per_sec\": {:.1}, \
-             \"barrier_seconds\": {:.6}, \"barrier_share\": {:.4}}}{}\n",
+             \"barrier_seconds\": {:.6}, \"barrier_share\": {:.4}, \
+             \"ingest_mb_per_sec\": {:.3}, \"egress_mb_per_sec\": {:.3}}}{}\n",
             r.dataset,
             r.np,
             r.system,
@@ -49,6 +54,8 @@ fn write_bench_json(rows: &[Row], path: &str) {
             samples_per_sec,
             r.barrier_seconds,
             barrier_share,
+            r.ingest_mb_per_sec,
+            r.egress_mb_per_sec,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -93,6 +100,8 @@ fn main() {
                 out_len: out.len(),
                 in_len: data.len(),
                 barrier_seconds: report.barrier_duration.as_secs_f64(),
+                ingest_mb_per_sec: 0.0,
+                egress_mb_per_sec: 0.0,
             });
 
             // RedPajama-style (np is irrelevant to its whole-dataset copies;
@@ -108,6 +117,8 @@ fn main() {
                 out_len: rp.output.len(),
                 in_len: data.len(),
                 barrier_seconds: 0.0,
+                ingest_mb_per_sec: 0.0,
+                egress_mb_per_sec: 0.0,
             });
 
             // Dolma-style (requires pre-sharding to np shards).
@@ -122,6 +133,8 @@ fn main() {
                 out_len: dol.output.len(),
                 in_len: data.len(),
                 barrier_seconds: 0.0,
+                ingest_mb_per_sec: 0.0,
+                egress_mb_per_sec: 0.0,
             });
         }
 
@@ -158,7 +171,62 @@ fn main() {
             out_len: out.len(),
             in_len: data.len(),
             barrier_seconds: report.barrier_duration.as_secs_f64(),
+            ingest_mb_per_sec: 0.0,
+            egress_mb_per_sec: 0.0,
         });
+
+        // Data-Juicer file-backed: the same pipeline, but ingested from
+        // on-disk JSONL through the streaming reader and egressed as
+        // manifest-tracked parts. Each shard is fingerprinted as its
+        // frame is written (fingerprint-on-ingest), so the dedup barrier
+        // runs a single streaming pass — compare this row's
+        // barrier_share against "Data-Juicer-OOC" above, whose barrier
+        // must make a separate fingerprint pass over the spool.
+        let io_dir = std::env::temp_dir().join(format!("dj-fig8-io-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&io_dir);
+        std::fs::create_dir_all(&io_dir).expect("fig8 io scratch dir");
+        let corpus_path = io_dir.join("corpus.jsonl");
+        std::fs::write(&corpus_path, dj_store::to_jsonl(data)).expect("write fig8 corpus");
+        let out_dir = io_dir.join("out");
+        let exec = Executor::new(matched_dj_ops(p)).with_options(ExecOptions {
+            num_workers: np,
+            op_fusion: true,
+            trace_examples: 0,
+            shard_size: Some(data.len().div_ceil(4 * np.max(1) * 4)),
+            input: Some(corpus_path.display().to_string()),
+            output: Some(out_dir.clone()),
+            ..ExecOptions::default()
+        });
+        let t0 = Instant::now();
+        let (none, report) = exec.run_io().expect("file-backed pipeline runs");
+        let seconds = t0.elapsed().as_secs_f64();
+        assert!(none.is_none(), "egress to a directory returns no dataset");
+        assert!(
+            report.fingerprinted_barriers >= 1,
+            "file-backed barrier must consume ingest-time fingerprints"
+        );
+        let manifest = EgressManifest::load(&out_dir).expect("sealed egress manifest");
+        assert_eq!(
+            manifest.total_samples, dj_out,
+            "file-backed output diverged ({name})"
+        );
+        rows.push(Row {
+            dataset: name,
+            np,
+            system: "Data-Juicer-OOC-file",
+            seconds,
+            mem_mb: report.peak_resident_bytes as f64 / 1e6,
+            out_len: manifest.total_samples,
+            in_len: data.len(),
+            barrier_seconds: report.barrier_duration.as_secs_f64(),
+            ingest_mb_per_sec: report.ingest_bytes as f64
+                / 1e6
+                / report.ingest_duration.as_secs_f64().max(1e-9),
+            egress_mb_per_sec: report.egress_bytes as f64
+                / 1e6
+                / report.egress_duration.as_secs_f64().max(1e-9),
+        });
+        let _ = std::fs::remove_dir_all(&io_dir);
 
         // Data-Juicer with the banded exchange disabled: same workers,
         // sequential barrier clustering. Comparing this row's
@@ -184,6 +252,8 @@ fn main() {
             out_len: out.len(),
             in_len: data.len(),
             barrier_seconds: report.barrier_duration.as_secs_f64(),
+            ingest_mb_per_sec: 0.0,
+            egress_mb_per_sec: 0.0,
         });
     }
 

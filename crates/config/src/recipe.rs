@@ -60,6 +60,22 @@ pub struct Recipe {
     pub shard_fill: Option<f64>,
     /// Default text field OPs process.
     pub text_key: String,
+    /// Input corpus path or glob (`data/*.jsonl`) for file-backed
+    /// execution: the corpus streams straight into the shard machinery
+    /// without ever being materialized. `None` = the caller supplies an
+    /// in-memory dataset.
+    pub input_path: Option<String>,
+    /// Output directory for file-backed execution: the processed corpus is
+    /// written as manifest-tracked shard parts. `None` = the result is
+    /// returned in memory.
+    pub output_path: Option<String>,
+    /// Egress format for `output_path`: `"jsonl"` (default) or `"frames"`
+    /// (raw shard frames, re-ingestable without a decode round-trip).
+    pub output_format: Option<String>,
+    /// Streaming prefetch depth: shards in flight per worker while stages
+    /// stream (`2` = double buffering, the default; `1` disables the
+    /// prefetch loader). `None` uses the executor default.
+    pub prefetch_depth: Option<usize>,
     /// The ordered OP pipeline.
     pub process: Vec<OpSpec>,
 }
@@ -75,6 +91,10 @@ impl Default for Recipe {
             dedup_parallel: true,
             shard_fill: None,
             text_key: "text".to_string(),
+            input_path: None,
+            output_path: None,
+            output_format: None,
+            prefetch_depth: None,
             process: Vec::new(),
         }
     }
@@ -129,6 +149,30 @@ impl Recipe {
     /// `[0, 1]`).
     pub fn with_shard_fill(mut self, fill: f64) -> Recipe {
         self.shard_fill = Some(fill.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Builder: set the input corpus path or glob (file-backed execution).
+    pub fn with_input_path(mut self, path: impl Into<String>) -> Recipe {
+        self.input_path = Some(path.into());
+        self
+    }
+
+    /// Builder: set the sharded-output directory (file-backed execution).
+    pub fn with_output_path(mut self, path: impl Into<String>) -> Recipe {
+        self.output_path = Some(path.into());
+        self
+    }
+
+    /// Builder: set the egress format (`"jsonl"` or `"frames"`).
+    pub fn with_output_format(mut self, format: impl Into<String>) -> Recipe {
+        self.output_format = Some(format.into());
+        self
+    }
+
+    /// Builder: set the streaming prefetch depth (floored to 1).
+    pub fn with_prefetch_depth(mut self, depth: usize) -> Recipe {
+        self.prefetch_depth = Some(depth.max(1));
         self
     }
 
@@ -225,6 +269,26 @@ impl Recipe {
         if let Some(tk) = v.get_path("text_key").and_then(Value::as_str) {
             recipe.text_key = tk.to_string();
         }
+        if let Some(p) = v.get_path("input_path").and_then(Value::as_str) {
+            recipe.input_path = Some(p.to_string());
+        }
+        if let Some(p) = v.get_path("output_path").and_then(Value::as_str) {
+            recipe.output_path = Some(p.to_string());
+        }
+        if let Some(f) = v.get_path("output_format").and_then(Value::as_str) {
+            if f != "jsonl" && f != "frames" {
+                return Err(DjError::Config(format!(
+                    "output_format must be `jsonl` or `frames`, got `{f}`"
+                )));
+            }
+            recipe.output_format = Some(f.to_string());
+        }
+        if let Some(d) = v.get_path("prefetch_depth").and_then(Value::as_int) {
+            if d < 1 {
+                return Err(DjError::Config("prefetch_depth must be >= 1".into()));
+            }
+            recipe.prefetch_depth = Some(d as usize);
+        }
         let process = match v.get_path("process") {
             None => Vec::new(),
             Some(Value::List(items)) => items
@@ -276,6 +340,22 @@ impl Recipe {
         }
         root.set_path("text_key", Value::from(self.text_key.clone()))
             .expect("map root");
+        if let Some(p) = &self.input_path {
+            root.set_path("input_path", Value::from(p.clone()))
+                .expect("map root");
+        }
+        if let Some(p) = &self.output_path {
+            root.set_path("output_path", Value::from(p.clone()))
+                .expect("map root");
+        }
+        if let Some(f) = &self.output_format {
+            root.set_path("output_format", Value::from(f.clone()))
+                .expect("map root");
+        }
+        if let Some(d) = self.prefetch_depth {
+            root.set_path("prefetch_depth", Value::from(d))
+                .expect("map root");
+        }
         let ops: Vec<Value> = self
             .process
             .iter()
@@ -322,7 +402,7 @@ impl Recipe {
     /// Stable 64-bit fingerprint of the canonical serialization — the cache
     /// key that lets the executor detect configuration changes (§4.1).
     pub fn fingerprint(&self) -> u64 {
-        dj_hash_stable(self.to_yaml().as_bytes())
+        dj_hash::fnv1a(self.to_yaml().as_bytes())
     }
 }
 
@@ -353,16 +433,6 @@ fn parse_op_spec(item: &Value, index: usize) -> Result<OpSpec> {
         name: name.clone(),
         params,
     })
-}
-
-/// FNV-1a, inlined to keep dj-config free of the dj-hash dependency.
-fn dj_hash_stable(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 #[cfg(test)]
@@ -508,6 +578,40 @@ process:
         let defaults = Recipe::from_yaml("np: 2\n").unwrap();
         assert!(defaults.dedup_parallel, "parallel barrier is the default");
         assert_eq!(defaults.shard_fill, None);
+    }
+
+    #[test]
+    fn io_knobs_roundtrip_and_validate() {
+        let r = sample_recipe()
+            .with_input_path("data/*.jsonl")
+            .with_output_path("out/clean")
+            .with_output_format("frames")
+            .with_prefetch_depth(3);
+        assert_eq!(r.input_path.as_deref(), Some("data/*.jsonl"));
+        assert_eq!(r.output_path.as_deref(), Some("out/clean"));
+        assert_eq!(r.output_format.as_deref(), Some("frames"));
+        assert_eq!(r.prefetch_depth, Some(3));
+        let parsed = Recipe::from_yaml(&r.to_yaml()).unwrap();
+        assert_eq!(parsed, r);
+        assert_ne!(
+            r.fingerprint(),
+            sample_recipe().fingerprint(),
+            "io knobs participate in the cache key"
+        );
+        let y = Recipe::from_yaml(
+            "input_path: corpus/*.csv\noutput_path: out\noutput_format: jsonl\nprefetch_depth: 1\n",
+        )
+        .unwrap();
+        assert_eq!(y.input_path.as_deref(), Some("corpus/*.csv"));
+        assert_eq!(y.output_format.as_deref(), Some("jsonl"));
+        assert_eq!(y.prefetch_depth, Some(1));
+        assert!(Recipe::from_yaml("output_format: parquet\n").is_err());
+        assert!(Recipe::from_yaml("prefetch_depth: 0\n").is_err());
+        let defaults = Recipe::from_yaml("np: 2\n").unwrap();
+        assert_eq!(defaults.input_path, None);
+        assert_eq!(defaults.output_path, None);
+        assert_eq!(defaults.output_format, None);
+        assert_eq!(defaults.prefetch_depth, None);
     }
 
     #[test]

@@ -116,6 +116,31 @@ pub trait Deduplicator: Send + Sync {
         let _ = num_workers;
         self.keep_mask(samples, hashes)
     }
+
+    /// The single dotted text field this deduplicator fingerprints, when
+    /// its hash is a pure function of that field's text. Returning
+    /// `Some(field)` is a contract: for every sample,
+    /// `compute_hash(sample, ctx)` must equal
+    /// [`compute_hash_text`](Deduplicator::compute_hash_text)`(sample.text_at(field), ctx)`.
+    ///
+    /// The executor uses this for zero-copy hash passes: it borrows the
+    /// field's text straight out of a decompressed frame slab instead of
+    /// decoding whole samples. `None` (the default) keeps custom
+    /// deduplicators on the decode-everything path.
+    fn hash_field(&self) -> Option<&str> {
+        None
+    }
+
+    /// Fingerprint raw text (the [`hash_field`](Deduplicator::hash_field)
+    /// fast path). Only called when `hash_field` returns `Some`; the
+    /// default errors so the two methods cannot fall out of sync silently.
+    fn compute_hash_text(&self, text: &str, ctx: &mut SampleContext) -> Result<Value> {
+        let _ = (text, ctx);
+        Err(crate::DjError::op(
+            self.name(),
+            "hash_field() is Some but compute_hash_text is not implemented",
+        ))
+    }
 }
 
 /// A type-erased operator, the unit the executor schedules.

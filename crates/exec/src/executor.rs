@@ -6,15 +6,16 @@
 //! See the crate docs for the stage/shard execution model and the
 //! out-of-core mode.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
 use dj_core::{
-    Dataset, DjError, MemShardStore, Op, ResidencyGauge, Result, Sample, SampleContext, ShardSink,
-    ShardSource, ShardStats, Value,
+    Dataset, Deduplicator, DjError, MemShardStore, Op, ResidencyGauge, Result, Sample,
+    SampleContext, ShardSink, ShardSource, ShardStats, Value,
 };
+use dj_io::{CorpusReader, OutputFormat, ShardedWriter};
 use dj_store::{CacheManager, CachedStage, Codec, ShardSpool};
 
 use crate::fusion::{plan_fused, plan_unfused, Plan, PlanStep, Stage};
@@ -67,6 +68,24 @@ pub struct ExecOptions {
     /// a low-duplicate dataset keeps its shard boundaries intact instead
     /// of paying a full merge + re-split. `0.0` disables rebalancing.
     pub shard_fill: f64,
+    /// Streaming prefetch depth: how many shards may be in flight *per
+    /// worker* while stages stream (loader hand + channel + worker hands),
+    /// bounding the live set at `num_workers × prefetch_depth` shards.
+    /// `2` (the default) is classic double buffering — disk reads overlap
+    /// compute. `1` disables the loader thread entirely: workers pull
+    /// shards themselves, halving the resident bound at the cost of IO
+    /// overlap. Must be ≥ 1; validated at run time.
+    pub prefetch_depth: usize,
+    /// Input corpus for [`Executor::run_io`]: a file path or glob
+    /// (`data/*.jsonl`) of JSONL/CSV files, streamed and cut into
+    /// `shard_size` shards without ever materializing the corpus.
+    pub input: Option<String>,
+    /// Output directory for [`Executor::run_io`]: the processed corpus is
+    /// written as manifest-tracked shard parts (see `dj_io::ShardedWriter`)
+    /// instead of being returned in memory.
+    pub output: Option<PathBuf>,
+    /// Egress file format when `output` is set.
+    pub output_format: OutputFormat,
 }
 
 impl Default for ExecOptions {
@@ -80,12 +99,24 @@ impl Default for ExecOptions {
             spill_dir: None,
             dedup_parallel: true,
             shard_fill: DEFAULT_SHARD_FILL,
+            prefetch_depth: DEFAULT_PREFETCH_DEPTH,
+            input: None,
+            output: None,
+            output_format: OutputFormat::Jsonl,
         }
     }
 }
 
 /// Default post-barrier shard fill threshold.
 pub const DEFAULT_SHARD_FILL: f64 = 0.5;
+
+/// Default streaming prefetch depth (double buffering).
+pub const DEFAULT_PREFETCH_DEPTH: usize = 2;
+
+/// Shard size for file-backed runs when the recipe leaves `shard_size` on
+/// auto — a fixed cut is required because the corpus length is unknown
+/// until the stream is dry.
+pub const DEFAULT_IO_SHARD_SIZE: usize = 1024;
 
 /// The machine's available parallelism (fallback 1).
 pub fn default_parallelism() -> usize {
@@ -178,6 +209,20 @@ pub struct RunReport {
     /// clustering and mask application) — the serial-section share the
     /// banded exchange attacks.
     pub barrier_duration: Duration,
+    /// Spilled dedup barriers that skipped their fingerprint streaming
+    /// pass because every shard carried a fingerprint sidecar
+    /// (fingerprint-on-ingest): the barrier ran as a single mask-apply
+    /// pass instead of two streaming passes.
+    pub fingerprinted_barriers: usize,
+    /// Raw corpus bytes consumed by [`Executor::run_io`]'s ingest stream.
+    pub ingest_bytes: u64,
+    /// Bytes physically written by the egress writer (resumed parts
+    /// excluded).
+    pub egress_bytes: u64,
+    /// Wall time of the ingest stage (read + parse + first pipeline stage).
+    pub ingest_duration: Duration,
+    /// Wall time of the egress stage (serialize + write + manifest).
+    pub egress_duration: Duration,
 }
 
 impl RunReport {
@@ -266,6 +311,153 @@ impl Executor {
         self.run_inner(dataset, Some(cache))
     }
 
+    /// Execute the pipeline file-to-file: stream the corpus named by
+    /// [`ExecOptions::input`] (a JSONL/CSV path or glob), cut it into
+    /// `shard_size` shards that flow straight into the out-of-core stage
+    /// machinery, and — when [`ExecOptions::output`] is set — write the
+    /// result as manifest-tracked shard parts, returning `None` in place
+    /// of a dataset.
+    ///
+    /// Ingest, every stage and egress all stream: the resident set stays
+    /// ≤ `num_workers × prefetch_depth × shard_size` samples no matter how
+    /// large the input is. The plan's first pipeline stage runs *during*
+    /// ingest (samples flow through it as they are parsed), and when the
+    /// stage after it is a dedup barrier each shard is fingerprinted as
+    /// its frame is written (fingerprint-on-ingest), so the barrier runs a
+    /// single streaming pass. Stage caching is not applied on this path —
+    /// file-backed runs are keyed by their input files, not by an
+    /// in-memory dataset.
+    pub fn run_io(&self) -> Result<(Option<Dataset>, RunReport)> {
+        let depth = self.validated_depth()?;
+        let input = self.options.input.as_deref().ok_or_else(|| {
+            DjError::Config("run_io requires ExecOptions::input (a path or glob)".into())
+        })?;
+        let plan = self.plan();
+        let stages = plan.stages();
+        let start = Instant::now();
+        let gauge = ResidencyGauge::default();
+        let budget = self.effective_memory_budget()?;
+        let mut report = RunReport {
+            fused_groups: plan.fused_groups,
+            stages: stages.len(),
+            spilled: true,
+            ..RunReport::default()
+        };
+        let shard_size = self
+            .options
+            .shard_size
+            .unwrap_or(DEFAULT_IO_SHARD_SIZE)
+            .max(1);
+        let workers = self.options.num_workers.max(1);
+        let reader = CorpusReader::from_pattern(input)?;
+
+        // The ingest stage runs the plan's first pipeline stage while the
+        // corpus streams in; a leading barrier ingests raw shards instead.
+        let (ingest_steps, remaining): (&[PlanStep], &[Stage]) = match stages.first() {
+            Some(Stage::Pipeline { steps, .. }) => (steps.as_slice(), &stages[1..]),
+            _ => (&[][..], &stages[..]),
+        };
+        let fp_dedup = next_barrier(remaining, 0);
+        let cap = self.options.trace_examples;
+
+        let ingest_start = Instant::now();
+        // Slot count 0: the spool grows with the stream — the corpus
+        // length is unknown until it is dry.
+        let spool = ShardSpool::create(self.fresh_spill_dir(), 0, SPILL_CODEC)?;
+        let spool_ref = &spool;
+        let (per_shard, ingest_bytes, ingest_samples) =
+            stream_ingest(reader, shard_size, workers, depth, &gauge, |i, shard| {
+                let mut ctx = SampleContext::new();
+                let outcome = run_stage_on_shard(ingest_steps, shard, &mut ctx, cap)?;
+                spool_ref.write_shard(i, &outcome.shard)?;
+                if let Some(dedup) = fp_dedup {
+                    spool_ref.write_fingerprints(i, &hash_shard(dedup, &outcome.shard)?)?;
+                }
+                Ok((outcome.stats, outcome.traces))
+            })?;
+        merge_stage_reports(ingest_steps, per_shard, cap, &mut report);
+        report.ingest_bytes = ingest_bytes;
+        report.initial_samples = ingest_samples as usize;
+        report.ingest_duration = ingest_start.elapsed();
+        report.shards = report.shards.max(spool.shard_count());
+
+        // Remaining stages run exactly like an out-of-core `run`.
+        let mut data = StageData::Spilled(spool);
+        for (k, stage) in remaining.iter().enumerate() {
+            data = self.execute_stage(
+                stage,
+                next_barrier(remaining, k + 1),
+                data,
+                budget,
+                &gauge,
+                &mut report,
+            )?;
+        }
+        report.final_samples = data.len();
+
+        // Egress: manifest-tracked shard parts, or materialize for the
+        // caller when no output directory is configured.
+        let egress_start = Instant::now();
+        let out = match &self.options.output {
+            Some(dir) => {
+                self.write_output(dir, &data, &gauge, &mut report)?;
+                None
+            }
+            None => Some(match data {
+                StageData::Mem(shards) => Dataset::from_shards(shards),
+                StageData::Spilled(spool) => spool.materialize()?,
+            }),
+        };
+        report.egress_duration = egress_start.elapsed();
+        report.peak_resident_samples = gauge.peak_samples();
+        report.peak_resident_bytes = gauge.peak_bytes();
+        report.total_duration = start.elapsed();
+        Ok((out, report))
+    }
+
+    /// Write the final dataset as manifest-tracked shard parts. JSONL
+    /// parts stream shard-by-shard through the worker pool; `frames`
+    /// egress of spilled data copies the raw spool frames byte-for-byte —
+    /// zero decode, zero re-encode.
+    fn write_output(
+        &self,
+        dir: &Path,
+        data: &StageData,
+        gauge: &ResidencyGauge,
+        report: &mut RunReport,
+    ) -> Result<()> {
+        let writer = ShardedWriter::create(dir, self.options.output_format)?;
+        match (data, self.options.output_format) {
+            (StageData::Spilled(spool), OutputFormat::Frames) => {
+                for i in 0..spool.shard_count() {
+                    let mut frame = Vec::new();
+                    spool.copy_shard_frame_into(i, &mut frame)?;
+                    writer.store_frame_bytes(i, &frame, spool.shard_len(i).unwrap_or(0))?;
+                }
+            }
+            (StageData::Spilled(spool), OutputFormat::Jsonl) => {
+                let workers = self.options.num_workers.max(1);
+                let writer_ref = &writer;
+                stream_shards(
+                    spool,
+                    workers,
+                    true,
+                    self.options.prefetch_depth,
+                    gauge,
+                    |i, shard| writer_ref.store_shard(i, &shard),
+                )?;
+            }
+            (StageData::Mem(shards), _) => {
+                for (i, shard) in shards.iter().enumerate() {
+                    writer.store_shard(i, shard)?;
+                }
+            }
+        }
+        report.egress_bytes = writer.bytes_written();
+        writer.finish()?;
+        Ok(())
+    }
+
     /// The memory budget in force: the explicit option, else the
     /// `DJ_MEMORY_BUDGET` env override (bytes), else none. A malformed
     /// override is a configuration error — silently ignoring it would run
@@ -287,6 +479,17 @@ impl Executor {
                 "{MEMORY_BUDGET_ENV} must be a positive integer byte count, got `{raw}`"
             ))),
         }
+    }
+
+    /// The prefetch depth in force, validated: a depth of zero would
+    /// deadlock the streaming machinery, so it is a configuration error.
+    fn validated_depth(&self) -> Result<usize> {
+        if self.options.prefetch_depth < 1 {
+            return Err(DjError::Config(
+                "prefetch_depth must be >= 1 (2 = double buffering)".into(),
+            ));
+        }
+        Ok(self.options.prefetch_depth)
     }
 
     /// A unique, run-private directory for one spill spool.
@@ -325,10 +528,16 @@ impl Executor {
     /// budget (`dj-store`'s `approx_bytes` estimate drives the decision).
     /// The spill cut is budget-derived, so carried boundaries are redrawn
     /// here — the spool must respect the streaming live-set bound.
+    ///
+    /// `upcoming` is the stage about to consume the spool: when it is a
+    /// dedup barrier, each shard is fingerprinted *as its frame is
+    /// written* and the fingerprints persist in a sidecar, so the barrier
+    /// skips its hash streaming pass entirely (fingerprint-on-ingest).
     fn maybe_spill(
         &self,
         data: StageData,
         budget: Option<u64>,
+        upcoming: Option<&dyn Deduplicator>,
         report: &mut RunReport,
     ) -> Result<StageData> {
         let Some(budget) = budget else {
@@ -344,6 +553,9 @@ impl Executor {
                 let spool = ShardSpool::create(self.fresh_spill_dir(), shard_count, SPILL_CODEC)?;
                 for (i, shard) in ds.into_shards(shard_count).into_iter().enumerate() {
                     spool.write_shard(i, &shard)?;
+                    if let Some(dedup) = upcoming {
+                        spool.write_fingerprints(i, &hash_shard(dedup, &shard)?)?;
+                    }
                 }
                 report.spilled = true;
                 Ok(StageData::Spilled(spool))
@@ -362,6 +574,7 @@ impl Executor {
         let start = Instant::now();
         let gauge = ResidencyGauge::default();
         let budget = self.effective_memory_budget()?;
+        self.validated_depth()?;
         let mut report = RunReport {
             initial_samples: dataset.len(),
             peak_bytes: dataset.approx_bytes(),
@@ -415,31 +628,14 @@ impl Executor {
         }
 
         for (i, stage) in stages.iter().enumerate().skip(first_stage) {
-            data = self.maybe_spill(data, budget, &mut report)?;
-            data = match stage {
-                Stage::Pipeline { steps, .. } => match data {
-                    StageData::Mem(shards) => StageData::Mem(self.run_pipeline_stage(
-                        steps,
-                        shards,
-                        &gauge,
-                        &mut report,
-                    )?),
-                    StageData::Spilled(spool) => StageData::Spilled(
-                        self.run_pipeline_stage_spilled(steps, &spool, &gauge, &mut report)?,
-                    ),
-                },
-                Stage::Barrier { dedup, .. } => match data {
-                    StageData::Mem(shards) => {
-                        StageData::Mem(self.run_dedup_stage(dedup.as_ref(), shards, &mut report)?)
-                    }
-                    StageData::Spilled(spool) => StageData::Spilled(self.run_dedup_stage_spilled(
-                        dedup.as_ref(),
-                        &spool,
-                        &gauge,
-                        &mut report,
-                    )?),
-                },
-            };
+            data = self.execute_stage(
+                stage,
+                next_barrier(&stages, i + 1),
+                data,
+                budget,
+                &gauge,
+                &mut report,
+            )?;
             report.peak_bytes = report.peak_bytes.max(data.approx_bytes());
             if let Some(cm) = cache {
                 match &data {
@@ -477,6 +673,48 @@ impl Executor {
             StageData::Spilled(spool) => spool.materialize()?,
         };
         Ok((out, report))
+    }
+
+    /// Run one stage over the dataset, spilling first if the budget
+    /// demands it. `next_dedup` is the following stage's deduplicator, if
+    /// any — spilled pipeline stages fingerprint their output shards for
+    /// it as the frames are written (fingerprint-on-ingest), so the
+    /// barrier that follows runs in a single streaming pass.
+    fn execute_stage(
+        &self,
+        stage: &Stage,
+        next_dedup: Option<&dyn Deduplicator>,
+        data: StageData,
+        budget: Option<u64>,
+        gauge: &ResidencyGauge,
+        report: &mut RunReport,
+    ) -> Result<StageData> {
+        let upcoming = match stage {
+            Stage::Barrier { dedup, .. } => Some(dedup.as_ref()),
+            _ => None,
+        };
+        let data = self.maybe_spill(data, budget, upcoming, report)?;
+        Ok(match stage {
+            Stage::Pipeline { steps, .. } => match data {
+                StageData::Mem(shards) => {
+                    StageData::Mem(self.run_pipeline_stage(steps, shards, gauge, report)?)
+                }
+                StageData::Spilled(spool) => StageData::Spilled(
+                    self.run_pipeline_stage_spilled(steps, &spool, next_dedup, gauge, report)?,
+                ),
+            },
+            Stage::Barrier { dedup, .. } => match data {
+                StageData::Mem(shards) => {
+                    StageData::Mem(self.run_dedup_stage(dedup.as_ref(), shards, report)?)
+                }
+                StageData::Spilled(spool) => StageData::Spilled(self.run_dedup_stage_spilled(
+                    dedup.as_ref(),
+                    &spool,
+                    gauge,
+                    report,
+                )?),
+            },
+        })
     }
 
     /// Cut fresh (single-shard) data to the configured shard count; reuse
@@ -536,32 +774,41 @@ impl Executor {
         let n = shards.len();
         let source = MemShardStore::from_shards(shards);
         let sink = MemShardStore::with_capacity(n);
-        self.run_pipeline_stage_streamed(steps, &source, &sink, false, gauge, report)?;
+        self.run_pipeline_stage_streamed(steps, &source, &sink, false, None, gauge, report)?;
         sink.into_shards()
     }
 
     /// Disk-backed pipeline stage: stream shards spool→spool with
-    /// IO-overlapped (double-buffered) prefetch.
+    /// IO-overlapped prefetch. When the next stage is a dedup barrier,
+    /// output shards are fingerprinted as their frames are written
+    /// (fingerprint-on-ingest) so the barrier skips its hash pass.
     fn run_pipeline_stage_spilled(
         &self,
         steps: &[PlanStep],
         spool: &ShardSpool,
+        next_dedup: Option<&dyn Deduplicator>,
         gauge: &ResidencyGauge,
         report: &mut RunReport,
     ) -> Result<ShardSpool> {
         let out = ShardSpool::create(self.fresh_spill_dir(), spool.shard_count(), SPILL_CODEC)?;
-        self.run_pipeline_stage_streamed(steps, spool, &out, true, gauge, report)?;
+        let fingerprint = next_dedup.map(|d| (d, &out));
+        self.run_pipeline_stage_streamed(steps, spool, &out, true, fingerprint, gauge, report)?;
         Ok(out)
     }
 
     /// Drive a run of sample-local steps whole-stage-per-shard over any
     /// source/sink pair, merging per-shard stats and traces in shard order.
+    /// With `fingerprint`, each output shard is hashed for the given
+    /// deduplicator right after it is stored, and the fingerprints persist
+    /// as a spool sidecar.
+    #[allow(clippy::too_many_arguments)]
     fn run_pipeline_stage_streamed(
         &self,
         steps: &[PlanStep],
         source: &dyn ShardSource,
         sink: &dyn ShardSink,
         overlap_io: bool,
+        fingerprint: Option<(&dyn Deduplicator, &ShardSpool)>,
         gauge: &ResidencyGauge,
         report: &mut RunReport,
     ) -> Result<()> {
@@ -569,36 +816,20 @@ impl Executor {
         let n = source.shard_count();
         report.shards = report.shards.max(n);
         let workers = self.options.num_workers.max(1).min(n.max(1));
-        let per_shard = stream_shards(source, workers, overlap_io, gauge, |i, shard| {
+        let depth = self.options.prefetch_depth;
+        let per_shard = stream_shards(source, workers, overlap_io, depth, gauge, |i, shard| {
             let mut ctx = SampleContext::new();
             let outcome = run_stage_on_shard(steps, shard, &mut ctx, cap)?;
-            sink.store_shard(i, outcome.shard)?;
+            if let Some((dedup, fp_spool)) = fingerprint {
+                let hashes = hash_shard(dedup, &outcome.shard)?;
+                sink.store_shard(i, outcome.shard)?;
+                fp_spool.write_fingerprints(i, &hashes)?;
+            } else {
+                sink.store_shard(i, outcome.shard)?;
+            }
             Ok((outcome.stats, outcome.traces))
         })?;
-
-        let mut stats = vec![ShardStats::default(); steps.len()];
-        let mut traces: Vec<Vec<TraceEvent>> = vec![Vec::new(); steps.len()];
-        for (shard_stats, shard_traces) in per_shard {
-            for (k, s) in shard_stats.iter().enumerate() {
-                stats[k].merge(s);
-            }
-            for (k, t) in shard_traces.into_iter().enumerate() {
-                let room = cap.saturating_sub(traces[k].len());
-                traces[k].extend(t.into_iter().take(room));
-            }
-        }
-        for ((step, stat), trace) in steps.iter().zip(&stats).zip(traces) {
-            report.ops.push(OpReport {
-                name: step.name(),
-                samples_in: stat.samples_in,
-                samples_out: stat.samples_out,
-                removed: stat.removed,
-                changed: stat.changed,
-                duration: stat.duration,
-                fused: step.is_fused(),
-                trace,
-            });
-        }
+        merge_stage_reports(steps, per_shard, cap, report);
         Ok(())
     }
 
@@ -699,10 +930,14 @@ impl Executor {
         Ok(shards)
     }
 
-    /// A dedup barrier over spilled data, in two streaming passes: hash
-    /// every shard (fingerprints stay in memory — they are tiny relative to
-    /// sample text), build the dataset-level mask from fingerprints alone,
-    /// then re-stream the shards against their slice of the mask.
+    /// A dedup barrier over spilled data. With fingerprint-on-ingest
+    /// sidecars present this is a *single* streaming pass: the hashes are
+    /// read from the tiny sidecars, the mask is clustered from them alone,
+    /// and one pass re-streams the shards against their mask slice.
+    /// Without sidecars the hashes are computed first — zero-copy from the
+    /// frame slabs when the dedup hashes a single field, or by a full
+    /// decode streaming pass otherwise (two passes total, the legacy
+    /// behavior).
     fn run_dedup_stage_spilled(
         &self,
         dedup: &dyn dj_core::Deduplicator,
@@ -715,19 +950,37 @@ impl Executor {
         let in_len = spool.total_samples();
         let t0 = Instant::now();
         let workers = self.options.num_workers.max(1).min(n.max(1));
+        let depth = self.options.prefetch_depth;
 
-        // Pass 1: shard-parallel fingerprints, streamed from disk.
-        let hash_chunks = stream_shards(spool, workers, true, gauge, |_, shard| {
-            let mut ctx = SampleContext::new();
-            let mut out = Vec::with_capacity(shard.len());
-            for s in shard.iter() {
-                ctx.invalidate();
-                out.push(dedup.compute_hash(s, &mut ctx)?);
-                ctx.clear();
+        let hashes: Vec<Value> = match spool.read_all_fingerprints()? {
+            // Fingerprint-on-ingest fast path: every shard carried a
+            // sidecar written while its frame was spilled — the hash
+            // streaming pass disappears.
+            Some(h) => {
+                report.fingerprinted_barriers += 1;
+                h
             }
-            Ok(out)
-        })?;
-        let hashes: Vec<Value> = hash_chunks.into_iter().flatten().collect();
+            None => match dedup.hash_field() {
+                // Zero-copy fallback: hash straight out of the frame
+                // slabs — one read + checksum + decompress per shard, the
+                // field text borrowed from the slab, no Sample decode.
+                Some(field) => self.slab_hashes(dedup, spool, field, gauge)?,
+                // Legacy fallback: full-decode streaming hash pass.
+                None => stream_shards(spool, workers, true, depth, gauge, |_, shard| {
+                    let mut ctx = SampleContext::new();
+                    let mut out = Vec::with_capacity(shard.len());
+                    for s in shard.iter() {
+                        ctx.invalidate();
+                        out.push(dedup.compute_hash(s, &mut ctx)?);
+                        ctx.clear();
+                    }
+                    Ok(out)
+                })?
+                .into_iter()
+                .flatten()
+                .collect(),
+            },
+        };
         // Clustering: the same banded exchange as the in-memory barrier —
         // only the clustering step changes in spilled mode, the
         // fingerprint and mask-apply passes already stream.
@@ -749,21 +1002,22 @@ impl Executor {
         let mask_ref = &mask;
         let offsets_ref = &offsets;
         let out_ref = &out;
-        let drop_traces = stream_shards(spool, workers, true, gauge, move |i, mut shard| {
-            let start = offsets_ref[i];
-            let slice = &mask_ref[start..start + shard.len()];
-            let mut trace = Vec::new();
-            for (j, &keep) in slice.iter().enumerate() {
-                if !keep && trace.len() < cap {
-                    trace.push(TraceEvent::Duplicate {
-                        dropped: snippet(shard.get(j).expect("index valid").text()),
-                    });
+        let drop_traces =
+            stream_shards(spool, workers, true, depth, gauge, move |i, mut shard| {
+                let start = offsets_ref[i];
+                let slice = &mask_ref[start..start + shard.len()];
+                let mut trace = Vec::new();
+                for (j, &keep) in slice.iter().enumerate() {
+                    if !keep && trace.len() < cap {
+                        trace.push(TraceEvent::Duplicate {
+                            dropped: snippet(shard.get(j).expect("index valid").text()),
+                        });
+                    }
                 }
-            }
-            shard.retain_mask(slice);
-            out_ref.store_shard(i, shard)?;
-            Ok(trace)
-        })?;
+                shard.retain_mask(slice);
+                out_ref.store_shard(i, shard)?;
+                Ok(trace)
+            })?;
 
         let mut trace = Vec::new();
         for t in drop_traces {
@@ -830,6 +1084,111 @@ impl Executor {
         }
         Ok(hashes)
     }
+
+    /// Shard-parallel fingerprints straight from the spool's frame slabs:
+    /// each worker claims a shard index, loads the frame once (read +
+    /// checksum + decompress into a slab), walks the serialized samples in
+    /// place and hashes the borrowed field text — no `Sample`
+    /// materialization, no second copy of the corpus text.
+    fn slab_hashes(
+        &self,
+        dedup: &dyn Deduplicator,
+        spool: &ShardSpool,
+        field: &str,
+        gauge: &ResidencyGauge,
+    ) -> Result<Vec<Value>> {
+        let n = spool.shard_count();
+        let workers = self.options.num_workers.max(1).min(n.max(1));
+        let results: Vec<Mutex<Option<Result<Vec<Value>>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let (next, results) = (&next, &results);
+            for _ in 0..workers {
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return;
+                    }
+                    let r = (|| {
+                        let slab = spool.read_frame_slab(i)?;
+                        let samples = slab.sample_count()?;
+                        gauge.acquire(samples, slab.payload_len());
+                        let hashed = slab.texts_at(field).and_then(|texts| {
+                            let mut ctx = SampleContext::new();
+                            let mut out = Vec::with_capacity(texts.len());
+                            for t in &texts {
+                                ctx.invalidate();
+                                out.push(dedup.compute_hash_text(t, &mut ctx)?);
+                                ctx.clear();
+                            }
+                            Ok(out)
+                        });
+                        gauge.release(samples, slab.payload_len());
+                        hashed
+                    })();
+                    *results[i].lock().expect("slab result mutex") = Some(r);
+                });
+            }
+        });
+        Ok(collect_stream_results(results)?
+            .into_iter()
+            .flatten()
+            .collect())
+    }
+}
+
+/// The deduplicator of `stages[idx]`, if that stage is a barrier.
+fn next_barrier(stages: &[Stage], idx: usize) -> Option<&dyn Deduplicator> {
+    match stages.get(idx) {
+        Some(Stage::Barrier { dedup, .. }) => Some(dedup.as_ref()),
+        _ => None,
+    }
+}
+
+/// Fingerprint every sample of a shard for `dedup`, in shard order.
+fn hash_shard(dedup: &dyn Deduplicator, shard: &Dataset) -> Result<Vec<Value>> {
+    let mut ctx = SampleContext::new();
+    let mut out = Vec::with_capacity(shard.len());
+    for s in shard.iter() {
+        ctx.invalidate();
+        out.push(dedup.compute_hash(s, &mut ctx)?);
+        ctx.clear();
+    }
+    Ok(out)
+}
+
+/// Merge per-shard stage outcomes (stats + traces, in shard order) into
+/// the run report's per-op entries.
+fn merge_stage_reports(
+    steps: &[PlanStep],
+    per_shard: Vec<(Vec<ShardStats>, Vec<Vec<TraceEvent>>)>,
+    cap: usize,
+    report: &mut RunReport,
+) {
+    let mut stats = vec![ShardStats::default(); steps.len()];
+    let mut traces: Vec<Vec<TraceEvent>> = vec![Vec::new(); steps.len()];
+    for (shard_stats, shard_traces) in per_shard {
+        for (k, s) in shard_stats.iter().enumerate() {
+            stats[k].merge(s);
+        }
+        for (k, t) in shard_traces.into_iter().enumerate() {
+            let room = cap.saturating_sub(traces[k].len());
+            traces[k].extend(t.into_iter().take(room));
+        }
+    }
+    for ((step, stat), trace) in steps.iter().zip(&stats).zip(traces) {
+        report.ops.push(OpReport {
+            name: step.name(),
+            samples_in: stat.samples_in,
+            samples_out: stat.samples_out,
+            removed: stat.removed,
+            changed: stat.changed,
+            duration: stat.duration,
+            fused: step.is_fused(),
+            trace,
+        });
+    }
 }
 
 /// Load a spool's shards into memory, preserving shard boundaries, unless
@@ -869,16 +1228,21 @@ fn rebalance_shards(shards: Vec<Dataset>, min_len: usize) -> Vec<Dataset> {
 /// Stream every shard of `source` through `work`, returning the per-shard
 /// results in shard order.
 ///
-/// With `overlap_io` (or more than one worker) a dedicated loader thread
-/// prefetches shards into a bounded channel while workers process them —
-/// double buffering: the channel capacity (`workers − 1`), one shard in
-/// each worker's hands and one in the (blocked) loader's hand cap the live
-/// set at `2 × workers` shards, and disk reads overlap compute. Without it
-/// a single worker runs the loop inline with no thread overhead.
+/// `depth` is the prefetch depth — the per-worker live-shard budget. With
+/// `depth ≥ 2` (and `overlap_io` or more than one worker) a dedicated
+/// loader thread prefetches shards into a bounded channel while workers
+/// process them: the channel capacity (`workers × (depth − 1) − 1`), one
+/// shard in each worker's hands and one in the (blocked) loader's hand cap
+/// the live set at `workers × depth` shards, and disk reads overlap
+/// compute — `depth = 2` is classic double buffering. With `depth = 1`
+/// there is no loader: workers claim shard indices and load for
+/// themselves, so at most one shard per worker is ever resident (no IO
+/// overlap). A single worker without overlap runs the loop inline.
 fn stream_shards<R, F>(
     source: &dyn ShardSource,
     workers: usize,
     overlap_io: bool,
+    depth: usize,
     gauge: &ResidencyGauge,
     work: F,
 ) -> Result<Vec<R>>
@@ -891,7 +1255,8 @@ where
         return Ok(Vec::new());
     }
     let workers = workers.max(1).min(n);
-    if workers == 1 && !overlap_io {
+    let depth = depth.max(1);
+    if workers == 1 && (!overlap_io || depth == 1) {
         // Sequential fast path: same code path semantics, no threads.
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
@@ -906,7 +1271,40 @@ where
     }
 
     let results: Vec<Mutex<Option<Result<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let (tx, rx) = mpsc::sync_channel::<(usize, Dataset, usize, usize)>(workers - 1);
+    if depth == 1 {
+        // No prefetch: workers claim indices and load for themselves, so
+        // the live set is exactly one shard per busy worker.
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let (next, abort, results, work) = (&next, &abort, &results, &work);
+            for _ in 0..workers {
+                scope.spawn(move || loop {
+                    if abort.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return;
+                    }
+                    let r = source.load_shard(i).and_then(|shard| {
+                        let (s, b) = (shard.len(), shard.approx_bytes());
+                        gauge.acquire(s, b);
+                        let r = work(i, shard);
+                        gauge.release(s, b);
+                        r
+                    });
+                    if r.is_err() {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    *results[i].lock().expect("result slot mutex") = Some(r);
+                });
+            }
+        });
+        return collect_stream_results(results);
+    }
+
+    let (tx, rx) = mpsc::sync_channel::<(usize, Dataset, usize, usize)>(workers * (depth - 1) - 1);
     let rx = Mutex::new(rx);
     let abort = AtomicBool::new(false);
     let loader_err: Mutex<Option<DjError>> = Mutex::new(None);
@@ -955,7 +1353,12 @@ where
     if let Some(e) = loader_err.into_inner().expect("loader err mutex") {
         return Err(e);
     }
-    let mut out = Vec::with_capacity(n);
+    collect_stream_results(results)
+}
+
+/// Unwrap per-shard result slots in shard order, surfacing the first error.
+fn collect_stream_results<R>(results: Vec<Mutex<Option<Result<R>>>>) -> Result<Vec<R>> {
+    let mut out = Vec::with_capacity(results.len());
     for (i, slot) in results.into_iter().enumerate() {
         match slot.into_inner().expect("result slot mutex") {
             Some(Ok(r)) => out.push(r),
@@ -968,6 +1371,139 @@ where
         }
     }
     Ok(out)
+}
+
+/// Stream shards cut off a corpus reader through `work` on a worker pool,
+/// bounding the live set at `workers × depth` shards. Returns the
+/// per-shard results in shard order plus the reader's final byte and
+/// sample counts.
+///
+/// With `depth ≥ 2` a loader thread pulls shards off the (strictly
+/// sequential) reader into a bounded channel so file IO and parsing
+/// overlap pipeline compute — the ingest-side mirror of
+/// [`stream_shards`]'s double buffering. With `depth = 1` workers take
+/// turns pulling the reader directly: one shard per worker, no overlap.
+fn stream_ingest<R, F>(
+    reader: CorpusReader,
+    shard_size: usize,
+    workers: usize,
+    depth: usize,
+    gauge: &ResidencyGauge,
+    work: F,
+) -> Result<(Vec<R>, u64, u64)>
+where
+    R: Send,
+    F: Fn(usize, Dataset) -> Result<R> + Sync,
+{
+    let workers = workers.max(1);
+    let depth = depth.max(1);
+    // The reader and the shard index counter share a lock so indices
+    // always match stream order, whichever thread pulls.
+    let source = Mutex::new((reader, 0usize));
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
+    let first_err: Mutex<Option<DjError>> = Mutex::new(None);
+    let abort = AtomicBool::new(false);
+    let record_err = |e: DjError| {
+        abort.store(true, Ordering::Relaxed);
+        let mut slot = first_err.lock().expect("ingest err mutex");
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    };
+
+    if depth == 1 {
+        std::thread::scope(|scope| {
+            let (source, results, abort, work, record_err) =
+                (&source, &results, &abort, &work, &record_err);
+            for _ in 0..workers {
+                scope.spawn(move || loop {
+                    if abort.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let pulled = {
+                        let mut src = source.lock().expect("ingest reader mutex");
+                        match src.0.next_shard(shard_size) {
+                            Ok(Some(shard)) => {
+                                let i = src.1;
+                                src.1 += 1;
+                                gauge.acquire(shard.len(), shard.approx_bytes());
+                                Some((i, shard))
+                            }
+                            Ok(None) => None,
+                            Err(e) => {
+                                record_err(e);
+                                None
+                            }
+                        }
+                    };
+                    let Some((i, shard)) = pulled else { return };
+                    let (s, b) = (shard.len(), shard.approx_bytes());
+                    match work(i, shard) {
+                        Ok(r) => results.lock().expect("ingest results mutex").push((i, r)),
+                        Err(e) => record_err(e),
+                    }
+                    gauge.release(s, b);
+                });
+            }
+        });
+    } else {
+        let (tx, rx) =
+            mpsc::sync_channel::<(usize, Dataset, usize, usize)>(workers * (depth - 1) - 1);
+        let rx = Mutex::new(rx);
+        std::thread::scope(|scope| {
+            let (source, results, abort, work, record_err, rx) =
+                (&source, &results, &abort, &work, &record_err, &rx);
+            scope.spawn(move || loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let pulled = {
+                    let mut src = source.lock().expect("ingest reader mutex");
+                    match src.0.next_shard(shard_size) {
+                        Ok(Some(shard)) => {
+                            let i = src.1;
+                            src.1 += 1;
+                            Some((i, shard))
+                        }
+                        Ok(None) => None,
+                        Err(e) => {
+                            record_err(e);
+                            None
+                        }
+                    }
+                };
+                let Some((i, shard)) = pulled else { break };
+                let (s, b) = (shard.len(), shard.approx_bytes());
+                gauge.acquire(s, b);
+                if tx.send((i, shard, s, b)).is_err() {
+                    gauge.release(s, b);
+                    break;
+                }
+                // `tx` drops when this loop ends: workers drain and exit.
+            });
+            for _ in 0..workers {
+                scope.spawn(move || loop {
+                    let msg = rx.lock().expect("ingest rx mutex").recv();
+                    let Ok((i, shard, s, b)) = msg else { return };
+                    let r = work(i, shard);
+                    gauge.release(s, b);
+                    match r {
+                        Ok(v) => results.lock().expect("ingest results mutex").push((i, v)),
+                        Err(e) => record_err(e),
+                    }
+                });
+            }
+        });
+    }
+
+    if let Some(e) = first_err.into_inner().expect("ingest err mutex") {
+        return Err(e);
+    }
+    let (reader, _) = source.into_inner().expect("ingest reader mutex");
+    let mut pairs = results.into_inner().expect("ingest results mutex");
+    pairs.sort_by_key(|(i, _)| *i);
+    let out = pairs.into_iter().map(|(_, r)| r).collect();
+    Ok((out, reader.bytes_read(), reader.samples_read()))
 }
 
 /// What one shard produces after running a whole pipeline stage.
@@ -1085,6 +1621,10 @@ pub fn executor_from_recipe(
     fusion: bool,
 ) -> Result<Executor> {
     let ops = recipe.build_ops(registry)?;
+    let output_format = match recipe.output_format.as_deref() {
+        Some(name) => OutputFormat::from_name(name)?,
+        None => OutputFormat::Jsonl,
+    };
     Ok(Executor::new(ops).with_options(ExecOptions {
         num_workers: recipe.np,
         op_fusion: fusion,
@@ -1094,6 +1634,10 @@ pub fn executor_from_recipe(
         spill_dir: recipe.spill_dir.as_ref().map(PathBuf::from),
         dedup_parallel: recipe.dedup_parallel,
         shard_fill: recipe.shard_fill.unwrap_or(DEFAULT_SHARD_FILL),
+        prefetch_depth: recipe.prefetch_depth.unwrap_or(DEFAULT_PREFETCH_DEPTH),
+        input: recipe.input_path.clone(),
+        output: recipe.output_path.as_ref().map(PathBuf::from),
+        output_format,
     }))
 }
 

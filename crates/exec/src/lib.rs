@@ -55,6 +55,14 @@
 //! * [`ExecOptions::shard_fill`] — post-barrier shard fill threshold in
 //!   `[0, 1]` (default 0.5; recipe YAML `shard_fill`; `0.0` disables
 //!   rebalancing).
+//! * [`ExecOptions::prefetch_depth`] — shards buffered per worker while
+//!   streaming (default 2 = double buffering; 1 disables read-ahead;
+//!   recipe YAML `prefetch_depth`). The streaming resident ceiling is
+//!   `num_workers × prefetch_depth × shard_size` samples.
+//! * [`ExecOptions::input`] / [`ExecOptions::output`] /
+//!   [`ExecOptions::output_format`] — the file-backed IO knobs for
+//!   [`Executor::run_io`] (recipe YAML `input_path` / `output_path` /
+//!   `output_format`); see below.
 //!
 //! ## Out-of-core execution (spill-to-disk)
 //!
@@ -69,18 +77,39 @@
 //!    files under `spill_dir` (default: the system temp dir).
 //! 2. Each pipeline stage streams spool→spool: a loader thread prefetches
 //!    shards into a bounded channel while workers drive them through the
-//!    whole stage and spill the results — double buffering, so disk IO
-//!    overlaps compute and at most `2 × num_workers` shards
-//!    (`RunReport::peak_resident_samples` ≤ `num_workers × 2 ×
-//!    shard_size`) are ever resident.
-//! 3. A dedup barrier streams twice: one pass computes fingerprints
-//!    shard-parallel (only the tiny fingerprints stay in memory), the
-//!    dataset-level mask is clustered from fingerprints alone — on the
-//!    worker pool, exactly like the in-memory barrier — and a second
-//!    pass re-streams each shard against its slice of the mask.
+//!    whole stage and spill the results — `prefetch_depth`-deep
+//!    buffering (default 2 = double buffering), so disk IO overlaps
+//!    compute and at most `prefetch_depth × num_workers` shards
+//!    (`RunReport::peak_resident_samples` ≤ `num_workers ×
+//!    prefetch_depth × shard_size`) are ever resident.
+//! 3. When the stage feeding a dedup barrier spills, each shard is
+//!    hashed as its frame is written and the fingerprints persist in a
+//!    sidecar (fingerprint-on-ingest; see `docs/formats.md`). The
+//!    barrier then runs a **single** streaming pass: the dataset-level
+//!    mask is clustered from sidecar fingerprints alone — on the worker
+//!    pool, exactly like the in-memory barrier — and one pass
+//!    re-streams each shard against its slice of the mask
+//!    (`RunReport::fingerprinted_barriers` counts these). Without
+//!    sidecars the barrier falls back to a zero-copy slab hash pass
+//!    (undecoded frames, `Cow` texts) before the mask-apply pass.
 //! 4. Cache/checkpoint entries of spilled stages are written as multi-frame
 //!    shard streams (`CacheManager::save_streamed`), so persistence and
 //!    resume also never materialize the dataset.
+//!
+//! ## File-backed execution ([`Executor::run_io`])
+//!
+//! With [`ExecOptions::input`] set (a JSONL/CSV path or glob), the whole
+//! pipeline runs file-to-file as one continuous stream: ingest parses
+//! samples and cuts `shard_size` shard frames straight into the spool
+//! machinery (the plan's first pipeline stage runs *during* ingest, and
+//! ingest-adjacent barriers get fingerprint-on-ingest sidecars), every
+//! stage streams as above, and with [`ExecOptions::output`] set the
+//! result is written as manifest-tracked shard parts (atomic temp+rename
+//! per part, append-only commit log, resumable after a kill; `jsonl` or
+//! raw-frame `frames` parts). The resident set stays ≤ `num_workers ×
+//! prefetch_depth × shard_size` samples no matter the corpus size, and
+//! the output is byte-identical to the in-memory engine on the
+//! concatenated corpus (property-tested in `tests/io_roundtrip.rs`).
 //!
 //! Output is byte-identical to the in-memory path for every budget, worker
 //! count and shard size (property-tested in `tests/properties.rs`); spools
@@ -102,6 +131,9 @@ pub mod fusion;
 
 pub use executor::{
     default_parallelism, executor_from_recipe, ExecOptions, Executor, OpReport, RunReport,
-    TraceEvent, MEMORY_BUDGET_ENV,
+    TraceEvent, DEFAULT_IO_SHARD_SIZE, DEFAULT_PREFETCH_DEPTH, MEMORY_BUDGET_ENV,
 };
 pub use fusion::{plan_fused, plan_unfused, Plan, PlanStep, Stage};
+pub use io::{CorpusReader, EgressManifest, OutputFormat, ShardedWriter};
+
+pub use dj_io as io;

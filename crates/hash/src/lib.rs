@@ -19,11 +19,13 @@
 //! worker pool while staying pair-for-pair identical to the sequential
 //! indexes.
 
+pub mod fnv;
 pub mod fxhash;
 pub mod minhash;
 pub mod simhash;
 pub mod unionfind;
 
+pub use fnv::{fnv1a, Fnv1a};
 pub use fxhash::{hash128, hash64, hash64_seeded, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use minhash::{lsh_band_pairs, LshIndex, MinHasher};
 pub use simhash::{

@@ -1,0 +1,335 @@
+//! Streaming CSV reader (RFC 4180 dialect): header row names the columns,
+//! quoted fields may contain commas, doubled quotes and embedded newlines.
+//!
+//! Each record becomes one sample; every column value is stored as a
+//! string at the dotted path named by its header (so a `text` column is
+//! the sample text, and a `meta.lang` column nests). CSV carries no type
+//! information, so values stay strings — downstream filters parse what
+//! they need. Structural errors (unterminated quote, wrong field count)
+//! are typed [`DjError::Parse`] errors carrying `path:line`.
+
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::{Path, PathBuf};
+
+use dj_core::{DjError, Result, Sample, Value};
+
+use crate::jsonl::io_at;
+
+#[derive(Debug)]
+pub struct CsvReader {
+    reader: BufReader<File>,
+    path: PathBuf,
+    /// Column names from the header row, in file order.
+    header: Vec<String>,
+    /// 1-based line the *next* byte belongs to.
+    line_no: usize,
+    bytes_read: u64,
+    peeked: Option<u8>,
+    eof: bool,
+}
+
+impl CsvReader {
+    pub fn open(path: impl AsRef<Path>) -> Result<CsvReader> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path).map_err(|e| io_at(&path, "cannot open", e))?;
+        let mut reader = CsvReader {
+            reader: BufReader::new(file),
+            path,
+            header: Vec::new(),
+            line_no: 1,
+            bytes_read: 0,
+            peeked: None,
+            eof: false,
+        };
+        if let Some(header) = reader.next_record()? {
+            if header.iter().any(|h| h.trim().is_empty()) {
+                return Err(reader.record_error(1, "header has an empty column name"));
+            }
+            reader.header = header;
+        }
+        Ok(reader)
+    }
+
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The next sample, or `None` at end of file.
+    pub fn next_sample(&mut self) -> Result<Option<Sample>> {
+        let start_line = self.line_no;
+        let Some(record) = self.next_record()? else {
+            return Ok(None);
+        };
+        if record.len() != self.header.len() {
+            return Err(self.record_error(
+                start_line,
+                &format!(
+                    "expected {} fields, got {}",
+                    self.header.len(),
+                    record.len()
+                ),
+            ));
+        }
+        let mut sample = Sample::new();
+        for (col, value) in self.header.iter().zip(record) {
+            sample
+                .value_mut()
+                .set_path(col, Value::Str(value))
+                .map_err(|e| {
+                    DjError::Parse(format!(
+                        "{}:{start_line}: column `{col}`: {e}",
+                        self.path.display()
+                    ))
+                })?;
+        }
+        Ok(Some(sample))
+    }
+
+    /// One raw record (blank lines skipped), or `None` at EOF.
+    fn next_record(&mut self) -> Result<Option<Vec<String>>> {
+        'record: loop {
+            if self.eof && self.peeked.is_none() {
+                return Ok(None);
+            }
+            let start_line = self.line_no;
+            let mut fields: Vec<String> = Vec::new();
+            let mut field: Vec<u8> = Vec::new();
+            let mut saw_any = false;
+            loop {
+                let Some(b) = self.next_byte()? else {
+                    // EOF: emit the trailing record if it has content.
+                    if !saw_any && field.is_empty() && fields.is_empty() {
+                        return Ok(None);
+                    }
+                    fields.push(self.finish_field(field, start_line)?);
+                    return Ok(Some(fields));
+                };
+                saw_any = true;
+                match b {
+                    b'"' if field.is_empty() => {
+                        self.read_quoted(&mut field, start_line)?;
+                        // After the closing quote only `,`, end-of-line or
+                        // EOF may follow.
+                        match self.peek_byte()? {
+                            None | Some(b',') | Some(b'\n') | Some(b'\r') => {}
+                            Some(_) => {
+                                return Err(self.record_error(
+                                    start_line,
+                                    "unexpected character after closing quote",
+                                ))
+                            }
+                        }
+                        fields.push(String::from_utf8(std::mem::take(&mut field)).map_err(
+                            |_| self.record_error(start_line, "invalid utf-8 in quoted field"),
+                        )?);
+                        match self.next_byte()? {
+                            Some(b',') => {
+                                // A quoted field was already pushed; mark the
+                                // next field as pending even if it is empty.
+                                continue;
+                            }
+                            Some(b'\r') => {
+                                if self.peek_byte()? == Some(b'\n') {
+                                    self.next_byte()?;
+                                }
+                                return Ok(Some(fields));
+                            }
+                            Some(b'\n') | None => return Ok(Some(fields)),
+                            Some(_) => unreachable!("peeked above"),
+                        }
+                    }
+                    b',' => {
+                        fields.push(self.finish_field(std::mem::take(&mut field), start_line)?);
+                    }
+                    b'\n' => {
+                        if fields.is_empty() && field.iter().all(|c| c.is_ascii_whitespace()) {
+                            // Blank line: skip, like the JSONL reader.
+                            continue 'record;
+                        }
+                        fields.push(self.finish_field(field, start_line)?);
+                        return Ok(Some(fields));
+                    }
+                    _ => field.push(b),
+                }
+            }
+        }
+    }
+
+    /// Consume a quoted field body after its opening quote; `""` unescapes
+    /// to a literal quote, newlines are kept verbatim.
+    fn read_quoted(&mut self, field: &mut Vec<u8>, start_line: usize) -> Result<()> {
+        loop {
+            let Some(b) = self.next_byte()? else {
+                return Err(self.record_error(start_line, "unterminated quoted field"));
+            };
+            if b == b'"' {
+                if self.peek_byte()? == Some(b'"') {
+                    self.next_byte()?;
+                    field.push(b'"');
+                } else {
+                    return Ok(());
+                }
+            } else {
+                field.push(b);
+            }
+        }
+    }
+
+    /// Unquoted fields: strip the carriage return of a CRLF line ending.
+    fn finish_field(&self, mut field: Vec<u8>, start_line: usize) -> Result<String> {
+        if field.last() == Some(&b'\r') {
+            field.pop();
+        }
+        String::from_utf8(field)
+            .map_err(|_| self.record_error(start_line, "invalid utf-8 in field"))
+    }
+
+    fn next_byte(&mut self) -> Result<Option<u8>> {
+        if let Some(b) = self.peeked.take() {
+            return Ok(Some(b));
+        }
+        let mut buf = [0u8; 1];
+        loop {
+            match self.reader.read(&mut buf) {
+                Ok(0) => {
+                    self.eof = true;
+                    return Ok(None);
+                }
+                Ok(_) => {
+                    self.bytes_read += 1;
+                    if buf[0] == b'\n' {
+                        self.line_no += 1;
+                    }
+                    return Ok(Some(buf[0]));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(io_at(&self.path, "read", e)),
+            }
+        }
+    }
+
+    fn peek_byte(&mut self) -> Result<Option<u8>> {
+        if self.peeked.is_none() {
+            self.peeked = self.next_byte()?;
+        }
+        Ok(self.peeked)
+    }
+
+    fn record_error(&self, line: usize, msg: &str) -> DjError {
+        DjError::Parse(format!("{}:{line}: csv: {msg}", self.path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmpfile(tag: &str, contents: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!("dj-csv-{tag}-{}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents.as_bytes()).unwrap();
+        path
+    }
+
+    fn read_all(path: &Path) -> Result<Vec<Sample>> {
+        let mut r = CsvReader::open(path)?;
+        let mut out = Vec::new();
+        while let Some(s) = r.next_sample()? {
+            out.push(s);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn plain_and_quoted_fields() {
+        let path = tmpfile(
+            "basic",
+            "text,meta.lang\nhello world,en\n\"quoted, with comma\",de\n\"embedded\nnewline\",fr\n\"double \"\" quote\",es\n",
+        );
+        let samples = read_all(&path).unwrap();
+        assert_eq!(samples.len(), 4);
+        assert_eq!(samples[0].text(), "hello world");
+        assert_eq!(samples[0].meta("lang").unwrap().as_str(), Some("en"));
+        assert_eq!(samples[1].text(), "quoted, with comma");
+        assert_eq!(samples[2].text(), "embedded\nnewline");
+        assert_eq!(samples[3].text(), "double \" quote");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crlf_blank_lines_and_unicode() {
+        let path = tmpfile(
+            "crlf",
+            "text,source\r\n中文文本,web\r\n\r\nsecond,книга\r\n",
+        );
+        let samples = read_all(&path).unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].text(), "中文文本");
+        assert_eq!(
+            samples[1].value().get_path("source").unwrap().as_str(),
+            Some("книга")
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn arity_mismatch_reports_line() {
+        let path = tmpfile("arity", "text,lang\nok,en\nonly-one-field\n");
+        let err = read_all(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains(":3:"), "{msg}");
+        assert!(msg.contains("expected 2 fields, got 1"), "{msg}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unterminated_quote_reports_starting_line() {
+        let path = tmpfile("quote", "text\nfine\n\"never closed...\n");
+        let err = read_all(&path).unwrap_err();
+        assert!(err.to_string().contains("unterminated"), "{err}");
+        assert!(err.to_string().contains(":3:"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn junk_after_closing_quote_is_an_error() {
+        let path = tmpfile("junk", "text\n\"closed\"junk\n");
+        let err = read_all(&path).unwrap_err();
+        assert!(err.to_string().contains("after closing quote"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_file_and_header_only() {
+        let empty = tmpfile("empty", "");
+        assert_eq!(read_all(&empty).unwrap().len(), 0);
+        let header_only = tmpfile("header", "text,lang\n");
+        assert_eq!(read_all(&header_only).unwrap().len(), 0);
+        let _ = std::fs::remove_file(&empty);
+        let _ = std::fs::remove_file(&header_only);
+    }
+
+    #[test]
+    fn trailing_record_without_newline() {
+        let path = tmpfile("tail", "text\nfirst\nlast-no-newline");
+        let samples = read_all(&path).unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[1].text(), "last-no-newline");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_quoted_field_and_trailing_comma() {
+        let path = tmpfile("edge", "a,b\n\"\",x\ny,\n");
+        let samples = read_all(&path).unwrap();
+        assert_eq!(samples[0].value().get_path("a").unwrap().as_str(), Some(""));
+        assert_eq!(samples[1].value().get_path("b").unwrap().as_str(), Some(""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,164 @@
+//! Minimal glob expansion for multi-file corpus input.
+//!
+//! Supports `*` (any run of characters, not crossing `/`) and `?` (any
+//! single character) inside path components — the subset corpus layouts
+//! actually use (`data/*.jsonl`, `shard-??.csv`). Expansion is
+//! deterministic: matches are returned sorted, so shard numbering is
+//! stable across runs and machines.
+
+use std::path::PathBuf;
+
+use dj_core::{DjError, Result};
+
+/// Does `name` match the single-component pattern `pat` (`*`/`?`)?
+fn component_matches(pat: &str, name: &str) -> bool {
+    let p: Vec<char> = pat.chars().collect();
+    let n: Vec<char> = name.chars().collect();
+    // Iterative wildcard match with backtracking over the last `*`.
+    let (mut pi, mut ni) = (0usize, 0usize);
+    let (mut star_pi, mut star_ni) = (usize::MAX, 0usize);
+    while ni < n.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == n[ni]) {
+            pi += 1;
+            ni += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star_pi = pi;
+            star_ni = ni;
+            pi += 1;
+        } else if star_pi != usize::MAX {
+            pi = star_pi + 1;
+            star_ni += 1;
+            ni = star_ni;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+fn has_wildcard(component: &str) -> bool {
+    component.contains('*') || component.contains('?')
+}
+
+/// Expand a glob pattern into a sorted list of matching *files*.
+///
+/// A pattern without wildcards must name an existing file. A wildcard
+/// pattern matching nothing is a [`DjError::Config`] error — a silent
+/// empty corpus is never what the user meant.
+pub fn expand_glob(pattern: &str) -> Result<Vec<PathBuf>> {
+    if pattern.is_empty() {
+        return Err(DjError::Config("input pattern is empty".into()));
+    }
+    if !has_wildcard(pattern) {
+        let path = PathBuf::from(pattern);
+        if !path.is_file() {
+            return Err(DjError::Config(format!("input file not found: {pattern}")));
+        }
+        return Ok(vec![path]);
+    }
+    let (mut roots, components) = split_pattern(pattern);
+    for (i, comp) in components.iter().enumerate() {
+        let last = i + 1 == components.len();
+        let mut next = Vec::new();
+        for root in &roots {
+            if !has_wildcard(comp) {
+                let cand = root.join(comp);
+                if (last && cand.is_file()) || (!last && cand.is_dir()) {
+                    next.push(cand);
+                }
+                continue;
+            }
+            let entries = match std::fs::read_dir(root) {
+                Ok(e) => e,
+                Err(_) => continue,
+            };
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if !component_matches(comp, name) {
+                    continue;
+                }
+                let path = entry.path();
+                if (last && path.is_file()) || (!last && path.is_dir()) {
+                    next.push(path);
+                }
+            }
+        }
+        roots = next;
+    }
+    roots.sort();
+    if roots.is_empty() {
+        return Err(DjError::Config(format!(
+            "input pattern matched no files: {pattern}"
+        )));
+    }
+    Ok(roots)
+}
+
+/// Split a pattern into its starting roots and remaining components.
+fn split_pattern(pattern: &str) -> (Vec<PathBuf>, Vec<String>) {
+    let (root, rest) = if let Some(stripped) = pattern.strip_prefix('/') {
+        (PathBuf::from("/"), stripped)
+    } else {
+        (PathBuf::from("."), pattern)
+    };
+    let components = rest
+        .split('/')
+        .filter(|c| !c.is_empty())
+        .map(str::to_string)
+        .collect();
+    (vec![root], components)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_matching() {
+        assert!(component_matches("*.jsonl", "part-00001.jsonl"));
+        assert!(!component_matches("*.jsonl", "part-00001.csv"));
+        assert!(component_matches("shard-??.csv", "shard-07.csv"));
+        assert!(!component_matches("shard-??.csv", "shard-123.csv"));
+        assert!(component_matches("*", "anything"));
+        assert!(component_matches("a*b*c", "aXXbYYc"));
+        assert!(!component_matches("a*b*c", "aXXbYY"));
+        assert!(component_matches("", ""));
+        assert!(!component_matches("", "x"));
+        assert!(component_matches("中*文", "中间的文"));
+    }
+
+    #[test]
+    fn expands_sorted_and_errors_on_no_match() {
+        let dir = std::env::temp_dir().join(format!("dj-glob-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("sub")).unwrap();
+        for name in ["b.jsonl", "a.jsonl", "c.csv"] {
+            std::fs::write(dir.join(name), "{}\n").unwrap();
+        }
+        std::fs::write(dir.join("sub/d.jsonl"), "{}\n").unwrap();
+        let pat = format!("{}/*.jsonl", dir.display());
+        let files = expand_glob(&pat).unwrap();
+        let names: Vec<_> = files
+            .iter()
+            .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["a.jsonl", "b.jsonl"]);
+        // Wildcard directories descend.
+        let pat = format!("{}/*/*.jsonl", dir.display());
+        assert_eq!(expand_glob(&pat).unwrap().len(), 1);
+        // Literal file path.
+        let lit = format!("{}/c.csv", dir.display());
+        assert_eq!(expand_glob(&lit).unwrap().len(), 1);
+        // No match → typed error naming the pattern.
+        let bad = format!("{}/*.parquet", dir.display());
+        let err = expand_glob(&bad).unwrap_err();
+        assert!(err.to_string().contains("matched no files"), "{err}");
+        let err = expand_glob(&format!("{}/missing.jsonl", dir.display())).unwrap_err();
+        assert!(err.to_string().contains("not found"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,27 @@
+//! # dj-io — streaming corpus ingest and egress
+//!
+//! Makes ingest → pipeline → egress one continuous stream:
+//!
+//! - [`CorpusReader`] glob-expands multi-file JSONL/CSV input and cuts
+//!   `shard_size` shard frames off the stream, feeding the executor's
+//!   prefetch machinery without ever materializing the corpus — resident
+//!   footprint stays bounded by the prefetch window, not the input size.
+//! - [`JsonlReader`] / [`CsvReader`] stream one file each; malformed
+//!   records are typed `path:line` parse errors, never panics.
+//! - [`ShardedWriter`] writes manifest-tracked sharded output (JSONL or
+//!   raw `DJSF` frames), each part committed atomically (temp + rename)
+//!   and logged so a killed run resumes without rewriting finished parts.
+//! - [`EgressManifest`] is the sealed description of an output directory:
+//!   per-part sample counts, byte sizes and FNV-1a checksums.
+
+pub mod csv;
+pub mod glob;
+pub mod jsonl;
+pub mod reader;
+pub mod writer;
+
+pub use csv::CsvReader;
+pub use glob::expand_glob;
+pub use jsonl::JsonlReader;
+pub use reader::{detect_format, CorpusReader, FileFormat};
+pub use writer::{EgressManifest, OutputFormat, PartEntry, ShardedWriter, MANIFEST_FILE};

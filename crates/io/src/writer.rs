@@ -1,0 +1,485 @@
+//! Sharded, manifest-tracked egress writers.
+//!
+//! Output is a directory of `part-NNNNN` files (one per shard, written to
+//! a temp name and atomically renamed) plus a `manifest.json` describing
+//! every part: file name, sample count, byte size and FNV-1a checksum.
+//! While parts are being written, an append-only `manifest.partial` log
+//! records each committed part — so a killed run can be resumed: already
+//! committed parts (verified by size + checksum) are skipped, everything
+//! else is rewritten. `finish()` seals the output by writing the full
+//! manifest and removing the partial log.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use dj_core::{parse_json, Dataset, DjError, Result, ShardSink, Value};
+use dj_hash::fnv1a;
+use dj_store::codec::Codec;
+use dj_store::serialize::to_jsonl;
+use dj_store::shard_stream::encode_shard_frame;
+
+/// Egress file formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// One JSON document per line — the interchange default.
+    Jsonl,
+    /// Checksummed shard frames (`DJSF`) — the zero-copy spool format,
+    /// re-ingestable without a decode/encode round-trip.
+    Frames,
+}
+
+impl OutputFormat {
+    pub fn from_name(name: &str) -> Result<OutputFormat> {
+        match name {
+            "jsonl" => Ok(OutputFormat::Jsonl),
+            "frames" => Ok(OutputFormat::Frames),
+            other => Err(DjError::Config(format!(
+                "unknown output format `{other}` (expected `jsonl` or `frames`)"
+            ))),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            OutputFormat::Jsonl => "jsonl",
+            OutputFormat::Frames => "frames",
+        }
+    }
+
+    fn extension(&self) -> &'static str {
+        match self {
+            OutputFormat::Jsonl => "jsonl",
+            OutputFormat::Frames => "djs",
+        }
+    }
+}
+
+/// One committed output part.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartEntry {
+    pub file: String,
+    pub samples: usize,
+    pub bytes: u64,
+    pub checksum: u64,
+}
+
+impl PartEntry {
+    fn to_value(&self) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert("file".to_string(), Value::Str(self.file.clone()));
+        m.insert("samples".to_string(), Value::Int(self.samples as i64));
+        m.insert("bytes".to_string(), Value::Int(self.bytes as i64));
+        m.insert("checksum".to_string(), Value::Int(self.checksum as i64));
+        Value::Map(m)
+    }
+
+    fn from_value(v: &Value) -> Result<PartEntry> {
+        let bad = || DjError::Storage("malformed manifest part entry".into());
+        let m = v.as_map().ok_or_else(bad)?;
+        Ok(PartEntry {
+            file: m
+                .get("file")
+                .and_then(Value::as_str)
+                .ok_or_else(bad)?
+                .to_string(),
+            samples: m.get("samples").and_then(Value::as_int).ok_or_else(bad)? as usize,
+            bytes: m.get("bytes").and_then(Value::as_int).ok_or_else(bad)? as u64,
+            checksum: m.get("checksum").and_then(Value::as_int).ok_or_else(bad)? as u64,
+        })
+    }
+}
+
+/// The sealed description of a sharded output directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EgressManifest {
+    pub format: OutputFormat,
+    pub parts: Vec<PartEntry>,
+    pub total_samples: usize,
+    pub total_bytes: u64,
+}
+
+pub const MANIFEST_FILE: &str = "manifest.json";
+const PARTIAL_LOG: &str = "manifest.partial";
+
+impl EgressManifest {
+    pub fn to_json(&self) -> String {
+        let mut m = BTreeMap::new();
+        m.insert("format".to_string(), Value::Str(self.format.name().into()));
+        m.insert(
+            "total_samples".to_string(),
+            Value::Int(self.total_samples as i64),
+        );
+        m.insert(
+            "total_bytes".to_string(),
+            Value::Int(self.total_bytes as i64),
+        );
+        m.insert(
+            "parts".to_string(),
+            Value::List(self.parts.iter().map(PartEntry::to_value).collect()),
+        );
+        Value::Map(m).to_string()
+    }
+
+    pub fn from_json(text: &str) -> Result<EgressManifest> {
+        let bad = || DjError::Storage("malformed egress manifest".into());
+        let v = parse_json(text)?;
+        let m = v.as_map().ok_or_else(bad)?;
+        let format =
+            OutputFormat::from_name(m.get("format").and_then(Value::as_str).ok_or_else(bad)?)?;
+        let parts = m
+            .get("parts")
+            .and_then(Value::as_list)
+            .ok_or_else(bad)?
+            .iter()
+            .map(PartEntry::from_value)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(EgressManifest {
+            format,
+            total_samples: m
+                .get("total_samples")
+                .and_then(Value::as_int)
+                .ok_or_else(bad)? as usize,
+            total_bytes: m
+                .get("total_bytes")
+                .and_then(Value::as_int)
+                .ok_or_else(bad)? as u64,
+            parts,
+        })
+    }
+
+    /// Load `manifest.json` from an output directory.
+    pub fn load(dir: &Path) -> Result<EgressManifest> {
+        let path = dir.join(MANIFEST_FILE);
+        let text = fs::read_to_string(&path)
+            .map_err(|e| DjError::Storage(format!("cannot read {}: {e}", path.display())))?;
+        EgressManifest::from_json(&text)
+    }
+}
+
+/// Sharded output writer with atomic parts and a commit log.
+///
+/// Thread-safe: distinct shard indices may be stored concurrently (the
+/// executor's egress workers do), each part committing independently.
+pub struct ShardedWriter {
+    dir: PathBuf,
+    format: OutputFormat,
+    codec: Codec,
+    parts: Mutex<BTreeMap<usize, PartEntry>>,
+    /// Parts found committed by a previous (killed) run — verified
+    /// against size+checksum, skipped on re-store.
+    resumed: BTreeMap<usize, PartEntry>,
+    log: Mutex<File>,
+    bytes_written: AtomicU64,
+}
+
+impl ShardedWriter {
+    /// Open `dir` for sharded output, resuming a previous partial run if
+    /// its commit log is present.
+    pub fn create(dir: impl Into<PathBuf>, format: OutputFormat) -> Result<ShardedWriter> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let resumed = Self::scan_partial(&dir)?;
+        let log = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join(PARTIAL_LOG))?;
+        Ok(ShardedWriter {
+            dir,
+            format,
+            codec: Codec::Djz,
+            parts: Mutex::new(BTreeMap::new()),
+            resumed,
+            log: Mutex::new(log),
+            bytes_written: AtomicU64::new(0),
+        })
+    }
+
+    /// Read the commit log and keep only entries whose part file still
+    /// matches (exists, right size, right checksum).
+    fn scan_partial(dir: &Path) -> Result<BTreeMap<usize, PartEntry>> {
+        let log_path = dir.join(PARTIAL_LOG);
+        let text = match fs::read_to_string(&log_path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut out = BTreeMap::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            // A torn final line (crash mid-append) is not an error — the
+            // part it described is simply rewritten.
+            let Ok(v) = parse_json(line) else { continue };
+            let Some(idx) = v.get_path("part").and_then(Value::as_int) else {
+                continue;
+            };
+            let Ok(entry) = PartEntry::from_value(&v) else {
+                continue;
+            };
+            let path = dir.join(&entry.file);
+            let Ok(contents) = fs::read(&path) else {
+                continue;
+            };
+            if contents.len() as u64 == entry.bytes && fnv1a(&contents) == entry.checksum {
+                out.insert(idx as usize, entry);
+            }
+        }
+        Ok(out)
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Bytes physically written by *this* writer (resumed parts excluded).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Number of parts skipped because a previous run already wrote them.
+    pub fn resumed_parts(&self) -> usize {
+        self.resumed.len()
+    }
+
+    fn part_file(&self, idx: usize) -> String {
+        format!("part-{idx:05}.{}", self.format.extension())
+    }
+
+    /// Serialize and commit shard `idx`.
+    pub fn store_shard(&self, idx: usize, shard: &Dataset) -> Result<()> {
+        if let Some(prev) = self.resumed.get(&idx) {
+            // Already on disk from a previous run, verified at open.
+            self.parts
+                .lock()
+                .expect("parts mutex")
+                .insert(idx, prev.clone());
+            return Ok(());
+        }
+        let bytes = match self.format {
+            OutputFormat::Jsonl => to_jsonl(shard).into_bytes(),
+            OutputFormat::Frames => encode_shard_frame(shard, self.codec),
+        };
+        self.commit_part(idx, &bytes, shard.len())
+    }
+
+    /// Commit raw pre-encoded frame bytes as part `idx` (the zero-copy
+    /// spool→frames egress path; `frames` format only).
+    pub fn store_frame_bytes(&self, idx: usize, frame: &[u8], samples: usize) -> Result<()> {
+        if self.format != OutputFormat::Frames {
+            return Err(DjError::Storage(
+                "store_frame_bytes requires the `frames` output format".into(),
+            ));
+        }
+        if let Some(prev) = self.resumed.get(&idx) {
+            self.parts
+                .lock()
+                .expect("parts mutex")
+                .insert(idx, prev.clone());
+            return Ok(());
+        }
+        self.commit_part(idx, frame, samples)
+    }
+
+    fn commit_part(&self, idx: usize, bytes: &[u8], samples: usize) -> Result<()> {
+        let file = self.part_file(idx);
+        let path = self.dir.join(&file);
+        let tmp = path.with_extension(format!("{}.tmp", self.format.extension()));
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, &path)?;
+        let entry = PartEntry {
+            file,
+            samples,
+            bytes: bytes.len() as u64,
+            checksum: fnv1a(bytes),
+        };
+        // Log after the rename: a crash in between leaves a valid part
+        // file that simply gets rewritten on resume.
+        let mut line = entry.to_value();
+        if let Value::Map(m) = &mut line {
+            m.insert("part".to_string(), Value::Int(idx as i64));
+        }
+        {
+            let mut log = self.log.lock().expect("log mutex");
+            writeln!(log, "{line}")?;
+        }
+        self.bytes_written
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.parts.lock().expect("parts mutex").insert(idx, entry);
+        Ok(())
+    }
+
+    /// Seal the output: verify parts form a contiguous `0..n`, write
+    /// `manifest.json` atomically, drop the commit log.
+    pub fn finish(self) -> Result<EgressManifest> {
+        let parts = self.parts.into_inner().expect("parts mutex");
+        for (expect, &got) in parts.keys().enumerate() {
+            if expect != got {
+                return Err(DjError::Storage(format!(
+                    "egress is missing part {expect} (have {} parts)",
+                    parts.len()
+                )));
+            }
+        }
+        let parts: Vec<PartEntry> = parts.into_values().collect();
+        let manifest = EgressManifest {
+            format: self.format,
+            total_samples: parts.iter().map(|p| p.samples).sum(),
+            total_bytes: parts.iter().map(|p| p.bytes).sum(),
+            parts,
+        };
+        let path = self.dir.join(MANIFEST_FILE);
+        let tmp = self.dir.join("manifest.json.tmp");
+        fs::write(&tmp, manifest.to_json())?;
+        fs::rename(&tmp, &path)?;
+        let _ = fs::remove_file(self.dir.join(PARTIAL_LOG));
+        Ok(manifest)
+    }
+}
+
+impl ShardSink for ShardedWriter {
+    fn store_shard(&self, idx: usize, shard: Dataset) -> Result<()> {
+        ShardedWriter::store_shard(self, idx, &shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dj_core::Sample;
+    use dj_store::from_jsonl;
+    use dj_store::shard_stream::read_shard_frame;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dj-writer-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn shard(texts: &[&str]) -> Dataset {
+        Dataset::from_texts(texts.iter().copied())
+    }
+
+    #[test]
+    fn jsonl_parts_and_manifest_roundtrip() {
+        let dir = tmpdir("jsonl");
+        let w = ShardedWriter::create(&dir, OutputFormat::Jsonl).unwrap();
+        let shards = [shard(&["one", "two"]), shard(&["three"])];
+        // Out-of-order stores are fine — parts are named by index.
+        w.store_shard(1, &shards[1]).unwrap();
+        w.store_shard(0, &shards[0]).unwrap();
+        assert!(w.bytes_written() > 0);
+        let manifest = w.finish().unwrap();
+        assert_eq!(manifest.total_samples, 3);
+        assert_eq!(manifest.parts.len(), 2);
+        assert!(!dir.join(PARTIAL_LOG).exists());
+        // Reload and verify contents.
+        let loaded = EgressManifest::load(&dir).unwrap();
+        assert_eq!(loaded, manifest);
+        let mut all = Dataset::new();
+        for p in &loaded.parts {
+            let text = fs::read_to_string(dir.join(&p.file)).unwrap();
+            assert_eq!(fnv1a(text.as_bytes()), p.checksum);
+            all.extend(from_jsonl(&text).unwrap());
+        }
+        assert_eq!(all, Dataset::from_shards(shards.to_vec()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn frames_parts_decode_back() {
+        let dir = tmpdir("frames");
+        let w = ShardedWriter::create(&dir, OutputFormat::Frames).unwrap();
+        let mut rich = Dataset::new();
+        let mut s = Sample::from_text("hello");
+        s.set_stat("wc", 1.0);
+        rich.push(s);
+        w.store_shard(0, &rich).unwrap();
+        let manifest = w.finish().unwrap();
+        assert_eq!(manifest.format, OutputFormat::Frames);
+        let mut f = File::open(dir.join(&manifest.parts[0].file)).unwrap();
+        let back = read_shard_frame(&mut f).unwrap().unwrap();
+        assert_eq!(back, rich);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn killed_run_resumes_without_rewriting_committed_parts() {
+        let dir = tmpdir("resume");
+        let shards = [shard(&["a"]), shard(&["b"]), shard(&["c"])];
+        {
+            // First run commits parts 0 and 2, then "dies" before finish.
+            let w = ShardedWriter::create(&dir, OutputFormat::Jsonl).unwrap();
+            w.store_shard(0, &shards[0]).unwrap();
+            w.store_shard(2, &shards[2]).unwrap();
+            drop(w);
+        }
+        assert!(dir.join(PARTIAL_LOG).exists());
+        let w = ShardedWriter::create(&dir, OutputFormat::Jsonl).unwrap();
+        assert_eq!(w.resumed_parts(), 2);
+        for (i, s) in shards.iter().enumerate() {
+            w.store_shard(i, s).unwrap();
+        }
+        // Only the missing part was physically written.
+        let part1_len = fs::metadata(dir.join("part-00001.jsonl")).unwrap().len();
+        assert_eq!(w.bytes_written(), part1_len);
+        let manifest = w.finish().unwrap();
+        assert_eq!(manifest.total_samples, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_part_is_rewritten_on_resume() {
+        let dir = tmpdir("corrupt");
+        {
+            let w = ShardedWriter::create(&dir, OutputFormat::Jsonl).unwrap();
+            w.store_shard(0, &shard(&["original"])).unwrap();
+            drop(w);
+        }
+        // Corrupt the committed part; its checksum no longer matches.
+        fs::write(dir.join("part-00000.jsonl"), "tampered\n").unwrap();
+        let w = ShardedWriter::create(&dir, OutputFormat::Jsonl).unwrap();
+        assert_eq!(w.resumed_parts(), 0, "corrupt part must not be trusted");
+        w.store_shard(0, &shard(&["original"])).unwrap();
+        let manifest = w.finish().unwrap();
+        let text = fs::read_to_string(dir.join(&manifest.parts[0].file)).unwrap();
+        assert!(text.contains("original"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_part_fails_finish() {
+        let dir = tmpdir("gap");
+        let w = ShardedWriter::create(&dir, OutputFormat::Jsonl).unwrap();
+        w.store_shard(0, &shard(&["a"])).unwrap();
+        w.store_shard(2, &shard(&["c"])).unwrap();
+        let err = w.finish().unwrap_err();
+        assert!(err.to_string().contains("missing part 1"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_frame_bytes_requires_frames_format() {
+        let dir = tmpdir("fmt");
+        let w = ShardedWriter::create(&dir, OutputFormat::Jsonl).unwrap();
+        assert!(w.store_frame_bytes(0, b"DJSF....", 1).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn output_format_names() {
+        assert_eq!(
+            OutputFormat::from_name("jsonl").unwrap(),
+            OutputFormat::Jsonl
+        );
+        assert_eq!(
+            OutputFormat::from_name("frames").unwrap(),
+            OutputFormat::Frames
+        );
+        assert!(OutputFormat::from_name("parquet").is_err());
+    }
+}

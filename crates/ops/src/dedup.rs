@@ -71,8 +71,16 @@ impl Deduplicator for DocumentDeduplicator {
         "document_deduplicator"
     }
 
-    fn compute_hash(&self, sample: &Sample, _ctx: &mut SampleContext) -> Result<Value> {
-        let canon = self.canonical(sample.text_at(&self.field));
+    fn compute_hash(&self, sample: &Sample, ctx: &mut SampleContext) -> Result<Value> {
+        self.compute_hash_text(sample.text_at(&self.field), ctx)
+    }
+
+    fn hash_field(&self) -> Option<&str> {
+        Some(&self.field)
+    }
+
+    fn compute_hash_text(&self, text: &str, _ctx: &mut SampleContext) -> Result<Value> {
+        let canon = self.canonical(text);
         let h = hash128(canon.as_bytes());
         // 128-bit hash stored as two i64 limbs (Value has no u128).
         Ok(Value::List(vec![
@@ -152,8 +160,15 @@ impl Deduplicator for MinHashDeduplicator {
     }
 
     fn compute_hash(&self, sample: &Sample, ctx: &mut SampleContext) -> Result<Value> {
-        let text = sample.text_at(&self.field).to_string();
-        let sig = self.hasher.signature(ctx.words(&text));
+        self.compute_hash_text(sample.text_at(&self.field), ctx)
+    }
+
+    fn hash_field(&self) -> Option<&str> {
+        Some(&self.field)
+    }
+
+    fn compute_hash_text(&self, text: &str, ctx: &mut SampleContext) -> Result<Value> {
+        let sig = self.hasher.signature(ctx.words(text));
         Ok(Value::List(
             sig.into_iter().map(|v| Value::Int(v as i64)).collect(),
         ))
@@ -211,8 +226,15 @@ impl Deduplicator for SimHashDeduplicator {
     }
 
     fn compute_hash(&self, sample: &Sample, ctx: &mut SampleContext) -> Result<Value> {
-        let text = sample.text_at(&self.field).to_string();
-        let fp = simhash_tokens(ctx.words(&text));
+        self.compute_hash_text(sample.text_at(&self.field), ctx)
+    }
+
+    fn hash_field(&self) -> Option<&str> {
+        Some(&self.field)
+    }
+
+    fn compute_hash_text(&self, text: &str, ctx: &mut SampleContext) -> Result<Value> {
+        let fp = simhash_tokens(ctx.words(text));
         Ok(Value::Int(fp as i64))
     }
 
@@ -266,9 +288,16 @@ impl Deduplicator for ParagraphDeduplicator {
         "paragraph_deduplicator"
     }
 
-    fn compute_hash(&self, sample: &Sample, _ctx: &mut SampleContext) -> Result<Value> {
-        let hashes: Vec<Value> = sample
-            .text_at(&self.field)
+    fn compute_hash(&self, sample: &Sample, ctx: &mut SampleContext) -> Result<Value> {
+        self.compute_hash_text(sample.text_at(&self.field), ctx)
+    }
+
+    fn hash_field(&self) -> Option<&str> {
+        Some(&self.field)
+    }
+
+    fn compute_hash_text(&self, text: &str, _ctx: &mut SampleContext) -> Result<Value> {
+        let hashes: Vec<Value> = text
             .split("\n\n")
             .map(str::trim)
             .filter(|p| !p.is_empty())
@@ -488,6 +517,42 @@ mod tests {
         let (out, removed) = run_dedup(&DocumentDeduplicator::new(), Dataset::new()).unwrap();
         assert!(out.is_empty());
         assert_eq!(removed, 0);
+    }
+
+    /// The `hash_field` contract: for every built-in deduplicator,
+    /// `compute_hash_text(sample.text_at(field))` must equal
+    /// `compute_hash(sample)` — the zero-copy slab hash pass relies on it.
+    #[test]
+    fn compute_hash_text_matches_compute_hash() {
+        let d = ds(&[
+            LONG_BASE,
+            "",
+            "para one\n\npara two",
+            "Ünïcødé ♥ 中文 🦀 mixed-script text",
+            "Hello, World!",
+        ]);
+        let dedups: Vec<Box<dyn Deduplicator>> = vec![
+            Box::new(DocumentDeduplicator::new()),
+            Box::new(DocumentDeduplicator::normalized()),
+            Box::new(MinHashDeduplicator::default_config()),
+            Box::new(SimHashDeduplicator::new(3).unwrap()),
+            Box::new(ParagraphDeduplicator::new()),
+        ];
+        for dedup in &dedups {
+            let field = dedup
+                .hash_field()
+                .expect("built-ins are single-field")
+                .to_string();
+            for s in d.iter() {
+                let mut ctx = SampleContext::new();
+                let whole = dedup.compute_hash(s, &mut ctx).unwrap();
+                let mut ctx = SampleContext::new();
+                let text_only = dedup
+                    .compute_hash_text(s.text_at(&field), &mut ctx)
+                    .unwrap();
+                assert_eq!(whole, text_only, "{}", dedup.name());
+            }
+        }
     }
 
     /// Every deduplicator's parallel mask must be identical to its

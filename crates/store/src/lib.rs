@@ -19,10 +19,14 @@ pub mod space;
 
 pub use cache::{remove_cache_root, CacheManager, CacheMode, CachedStage};
 pub use codec::{compress, decompress, Codec};
-pub use serialize::{from_bytes, from_jsonl, to_bytes, to_jsonl};
+pub use serialize::{
+    from_bytes, from_jsonl, sample_count, texts_at, to_bytes, to_jsonl, values_from_bytes,
+    values_to_bytes,
+};
 pub use shard_stream::{
     count_frames, encode_shard_frame, read_shard_frame, read_shard_stream, write_shard_frame,
-    ShardSpool, ShardStreamReader, ShardStreamWriter, SHARD_FRAME_MAGIC,
+    FrameSlab, ShardSpool, ShardStreamReader, ShardStreamWriter, FINGERPRINT_MAGIC,
+    SHARD_FRAME_MAGIC,
 };
 pub use space::{
     cache_mode_bytes, checkpoint_mode_peak_bytes, plan_storage, PipelineShape, StoragePlan,

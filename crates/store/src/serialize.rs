@@ -2,6 +2,8 @@
 //! JSONL for interchange (the exporter/importer the paper's pipelines end
 //! with).
 
+use std::borrow::Cow;
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use dj_core::{parse_json, Dataset, DjError, Result, Sample, Value};
@@ -146,6 +148,176 @@ fn ensure(buf: &Bytes, n: usize) -> Result<()> {
     Ok(())
 }
 
+/// Serialize a flat list of values (e.g. per-sample dedup fingerprints)
+/// in the same tagged binary format as datasets.
+pub fn values_to_bytes(values: &[Value]) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(values.len() * 16 + 16);
+    buf.put_u8(FORMAT_VERSION);
+    buf.put_u64_le(values.len() as u64);
+    for v in values {
+        write_value(&mut buf, v);
+    }
+    buf.to_vec()
+}
+
+/// Deserialize a value list written by [`values_to_bytes`].
+pub fn values_from_bytes(data: &[u8]) -> Result<Vec<Value>> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 9 {
+        return Err(DjError::Storage("value frame too short".into()));
+    }
+    let version = buf.get_u8();
+    if version != FORMAT_VERSION {
+        return Err(DjError::Storage(format!(
+            "unsupported value format version {version}"
+        )));
+    }
+    let n = buf.get_u64_le() as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(read_value(&mut buf)?);
+    }
+    if buf.has_remaining() {
+        return Err(DjError::Storage("trailing bytes after value list".into()));
+    }
+    Ok(out)
+}
+
+/// Sample count of a serialized dataset, read from the header alone.
+pub fn sample_count(data: &[u8]) -> Result<usize> {
+    if data.len() < 9 {
+        return Err(DjError::Storage("dataset frame too short".into()));
+    }
+    if data[0] != FORMAT_VERSION {
+        return Err(DjError::Storage(format!(
+            "unsupported dataset format version {}",
+            data[0]
+        )));
+    }
+    Ok(u64::from_le_bytes(data[1..9].try_into().expect("8 bytes")) as usize)
+}
+
+/// Borrow the text at dotted path `field` out of every sample of a
+/// serialized dataset, without decoding samples into owned `Value`s.
+///
+/// This is the zero-copy read path: the returned `Cow`s point straight
+/// into `data` (the decompressed frame slab), so a hash pass over a
+/// spilled shard touches each text byte exactly once and allocates
+/// nothing per sample. Semantics mirror [`dj_core::Sample::text_at`]:
+/// a missing path or a non-string value yields `""`.
+pub fn texts_at<'a>(data: &'a [u8], field: &str) -> Result<Vec<Cow<'a, str>>> {
+    let mut cur = data;
+    let version = take_u8(&mut cur)?;
+    if version != FORMAT_VERSION {
+        return Err(DjError::Storage(format!(
+            "unsupported dataset format version {version}"
+        )));
+    }
+    let n = take_u64(&mut cur)? as usize;
+    let segments: Vec<&str> = field.split('.').collect();
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(walk_path(&mut cur, &segments)?);
+    }
+    if !cur.is_empty() {
+        return Err(DjError::Storage("trailing bytes after dataset".into()));
+    }
+    Ok(out)
+}
+
+/// Consume one serialized value, returning the borrowed string at
+/// `segments` (or `""` when the path misses / lands on a non-string).
+fn walk_path<'a>(cur: &mut &'a [u8], segments: &[&str]) -> Result<Cow<'a, str>> {
+    let tag = take_u8(cur)?;
+    if segments.is_empty() {
+        if tag == TAG_STR {
+            return Ok(Cow::Borrowed(take_str(cur)?));
+        }
+        skip_value_body(cur, tag)?;
+        return Ok(Cow::Borrowed(""));
+    }
+    if tag != TAG_MAP {
+        skip_value_body(cur, tag)?;
+        return Ok(Cow::Borrowed(""));
+    }
+    let n = take_u32(cur)? as usize;
+    let mut found = Cow::Borrowed("");
+    for _ in 0..n {
+        let key = take_str(cur)?;
+        if key == segments[0] {
+            found = walk_path(cur, &segments[1..])?;
+        } else {
+            skip_value(cur)?;
+        }
+    }
+    Ok(found)
+}
+
+fn skip_value(cur: &mut &[u8]) -> Result<()> {
+    let tag = take_u8(cur)?;
+    skip_value_body(cur, tag)
+}
+
+fn skip_value_body(cur: &mut &[u8], tag: u8) -> Result<()> {
+    match tag {
+        TAG_NULL | TAG_BOOL_FALSE | TAG_BOOL_TRUE => {}
+        TAG_INT | TAG_FLOAT => {
+            take_bytes(cur, 8)?;
+        }
+        TAG_STR => {
+            let n = take_u32(cur)? as usize;
+            take_bytes(cur, n)?;
+        }
+        TAG_LIST => {
+            let n = take_u32(cur)? as usize;
+            for _ in 0..n {
+                skip_value(cur)?;
+            }
+        }
+        TAG_MAP => {
+            let n = take_u32(cur)? as usize;
+            for _ in 0..n {
+                let k = take_u32(cur)? as usize;
+                take_bytes(cur, k)?;
+                skip_value(cur)?;
+            }
+        }
+        other => return Err(DjError::Storage(format!("unknown value tag {other}"))),
+    }
+    Ok(())
+}
+
+fn take_bytes<'a>(cur: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
+    if cur.len() < n {
+        return Err(DjError::Storage("truncated frame".into()));
+    }
+    let (head, tail) = cur.split_at(n);
+    *cur = tail;
+    Ok(head)
+}
+
+fn take_u8(cur: &mut &[u8]) -> Result<u8> {
+    Ok(take_bytes(cur, 1)?[0])
+}
+
+fn take_u32(cur: &mut &[u8]) -> Result<u32> {
+    Ok(u32::from_le_bytes(
+        take_bytes(cur, 4)?.try_into().expect("4 bytes"),
+    ))
+}
+
+fn take_u64(cur: &mut &[u8]) -> Result<u64> {
+    Ok(u64::from_le_bytes(
+        take_bytes(cur, 8)?.try_into().expect("8 bytes"),
+    ))
+}
+
+fn take_str<'a>(cur: &mut &'a [u8]) -> Result<&'a str> {
+    let n = take_u32(cur)? as usize;
+    std::str::from_utf8(take_bytes(cur, n)?)
+        .map_err(|_| DjError::Storage("invalid utf8 in string".into()))
+}
+
 /// Export a dataset as JSON-Lines text.
 pub fn to_jsonl(dataset: &Dataset) -> String {
     let mut out = String::with_capacity(dataset.approx_bytes());
@@ -229,7 +401,86 @@ mod tests {
         assert!(from_jsonl("[1, 2, 3]\n").is_err()); // root must be a map
     }
 
+    #[test]
+    fn values_roundtrip() {
+        let vals = vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-7),
+            Value::Float(2.5),
+            Value::Str("中文 fingerprint".into()),
+            Value::from(vec!["a", "b"]),
+        ];
+        assert_eq!(values_from_bytes(&values_to_bytes(&vals)).unwrap(), vals);
+        assert_eq!(
+            values_from_bytes(&values_to_bytes(&[])).unwrap(),
+            Vec::<Value>::new()
+        );
+        assert!(values_from_bytes(&[]).is_err());
+        let mut bytes = values_to_bytes(&vals);
+        bytes.push(0);
+        assert!(values_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn texts_at_borrows_what_text_at_returns() {
+        let mut ds = rich_dataset();
+        // A nested text field and a sample where `text` is not a string.
+        let mut nested = Sample::new();
+        nested
+            .value_mut()
+            .set_path("content.body", Value::Str("nested body".into()))
+            .unwrap();
+        ds.push(nested);
+        let mut wrong_type = Sample::new();
+        wrong_type.set_meta("text", 42i64); // meta writes under "meta.text"
+        ds.push(wrong_type);
+        let bytes = to_bytes(&ds);
+        assert_eq!(sample_count(&bytes).unwrap(), ds.len());
+        for field in ["text", "content.body", "meta.text", "missing.path"] {
+            let texts = texts_at(&bytes, field).unwrap();
+            assert_eq!(texts.len(), ds.len());
+            for (cow, sample) in texts.iter().zip(ds.iter()) {
+                assert_eq!(cow.as_ref(), sample.text_at(field), "field {field}");
+                // Non-empty hits must borrow from the slab, not allocate.
+                if !cow.is_empty() {
+                    assert!(matches!(cow, Cow::Borrowed(_)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn texts_at_rejects_corrupt_frames() {
+        let bytes = to_bytes(&rich_dataset());
+        assert!(texts_at(&[], "text").is_err());
+        assert!(texts_at(&bytes[..bytes.len() - 2], "text").is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(texts_at(&extra, "text").is_err());
+        let mut wrong = bytes;
+        wrong[0] = 9;
+        assert!(texts_at(&wrong, "text").is_err());
+    }
+
     proptest! {
+        #[test]
+        fn prop_texts_at_matches_decode(texts in proptest::collection::vec(".{0,40}", 0..16)) {
+            let mut ds = Dataset::new();
+            for (i, t) in texts.iter().enumerate() {
+                let mut s = Sample::from_text(t.clone());
+                s.set_meta("idx", i as i64);
+                ds.push(s);
+            }
+            let bytes = to_bytes(&ds);
+            let borrowed = texts_at(&bytes, "text").unwrap();
+            let expected: Vec<&str> = ds.iter().map(|s| s.text()).collect();
+            prop_assert_eq!(
+                borrowed.iter().map(|c| c.as_ref()).collect::<Vec<_>>(),
+                expected
+            );
+        }
+
         #[test]
         fn prop_binary_roundtrip(texts in proptest::collection::vec(".*", 0..20)) {
             let mut ds = Dataset::new();

@@ -32,28 +32,25 @@ use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-use dj_core::{Dataset, DjError, Result, ShardSink, ShardSource};
+use dj_core::{Dataset, DjError, Result, ShardSink, ShardSource, Value};
+use dj_hash::fnv1a;
 
 use crate::codec::{compress, decompress, Codec};
-use crate::serialize::{from_bytes, to_bytes};
+use crate::serialize::{
+    from_bytes, sample_count, texts_at, to_bytes, values_from_bytes, values_to_bytes,
+};
 
 /// Magic prefix of every shard frame (and of multi-frame stream files).
 pub const SHARD_FRAME_MAGIC: &[u8; 4] = b"DJSF";
+
+/// Magic prefix of fingerprint sidecar files (`shard-N.fpr`).
+pub const FINGERPRINT_MAGIC: &[u8; 4] = b"DJFP";
 
 const HEADER_LEN: usize = 4 + 8 + 8;
 
 /// Refuse to allocate for frames claiming more than this (corrupt length
 /// prefixes must not turn into huge allocations).
 const MAX_FRAME_PAYLOAD: u64 = 1 << 40;
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
 
 /// Encode one shard into a self-contained frame.
 pub fn encode_shard_frame(shard: &Dataset, codec: Codec) -> Vec<u8> {
@@ -227,6 +224,88 @@ pub fn count_frames<R: Read + std::io::Seek>(r: &mut R) -> Result<u64> {
     }
 }
 
+/// A loaded-but-undecoded shard frame: the zero-copy spool read path.
+///
+/// [`FrameSlab::load`] reads a slot file once, verifies its checksum, and
+/// decompresses into a single contiguous payload slab. [`FrameSlab::texts_at`]
+/// then borrows `Cow<'_, str>` text slices straight out of that slab
+/// without constructing `Sample`s — so a dedup hash pass over a spilled
+/// shard touches each text byte once and never copies strings the ops
+/// won't mutate.
+#[derive(Debug)]
+pub struct FrameSlab {
+    payload: Vec<u8>,
+}
+
+impl FrameSlab {
+    /// Parse one frame held fully in memory. Rejects trailing bytes —
+    /// a slab is exactly one frame (the spool slot-file invariant).
+    pub fn from_frame_bytes(frame: &[u8]) -> Result<FrameSlab> {
+        if frame.len() < HEADER_LEN {
+            return Err(DjError::Storage(format!(
+                "truncated shard frame header ({} of {HEADER_LEN} bytes)",
+                frame.len()
+            )));
+        }
+        if &frame[..4] != SHARD_FRAME_MAGIC {
+            return Err(DjError::Storage("bad shard frame magic".into()));
+        }
+        let len = u64::from_le_bytes(frame[4..12].try_into().expect("8 bytes"));
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(DjError::Storage(format!(
+                "implausible shard frame length {len}"
+            )));
+        }
+        let checksum = u64::from_le_bytes(frame[12..20].try_into().expect("8 bytes"));
+        let body = &frame[HEADER_LEN..];
+        if (body.len() as u64) < len {
+            return Err(DjError::Storage(format!(
+                "truncated shard frame payload ({} of {len} bytes)",
+                body.len()
+            )));
+        }
+        if (body.len() as u64) > len {
+            return Err(DjError::Storage("trailing bytes after shard frame".into()));
+        }
+        if fnv1a(body) != checksum {
+            return Err(DjError::Storage(
+                "shard frame checksum mismatch (corrupted spill data)".into(),
+            ));
+        }
+        Ok(FrameSlab {
+            payload: decompress(body)?,
+        })
+    }
+
+    /// Load a single-frame file (a spool slot) into a slab.
+    pub fn load(path: impl AsRef<Path>) -> Result<FrameSlab> {
+        let path = path.as_ref();
+        let bytes = fs::read(path)
+            .map_err(|e| DjError::Storage(format!("shard frame missing at {path:?}: {e}")))?;
+        FrameSlab::from_frame_bytes(&bytes)
+    }
+
+    /// Decompressed payload size in bytes (the slab's memory footprint).
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Sample count, read from the payload header without decoding.
+    pub fn sample_count(&self) -> Result<usize> {
+        sample_count(&self.payload)
+    }
+
+    /// Borrow the text at dotted path `field` for every sample.
+    pub fn texts_at(&self, field: &str) -> Result<Vec<std::borrow::Cow<'_, str>>> {
+        texts_at(&self.payload, field)
+    }
+
+    /// Full decode into an owned dataset (the copying fallback).
+    pub fn decode(&self) -> Result<Dataset> {
+        from_bytes(&self.payload)
+    }
+}
+
 /// A directory of shard frame files: the disk backing of spilled stages.
 ///
 /// Slot `i` lives in `shard-i.djs`, written atomically (temp file + rename)
@@ -238,20 +317,22 @@ pub struct ShardSpool {
     codec: Codec,
     /// Sample count per written slot (`None` until stored) — the shard
     /// layout metadata the dedup barrier needs to slice its dataset-level
-    /// mask back into shards.
-    lens: Vec<Mutex<Option<usize>>>,
+    /// mask back into shards. Grows on demand so streaming ingest can
+    /// append slots before the total shard count is known.
+    lens: Mutex<Vec<Option<usize>>>,
 }
 
 impl ShardSpool {
     /// Create a spool with `slots` shard slots rooted at `dir` (created,
-    /// including parents, if missing).
+    /// including parents, if missing). Writing past `slots` grows the
+    /// spool — pass 0 for a stream of unknown length.
     pub fn create(dir: impl Into<PathBuf>, slots: usize, codec: Codec) -> Result<ShardSpool> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         Ok(ShardSpool {
             dir,
             codec,
-            lens: (0..slots).map(|_| Mutex::new(None)).collect(),
+            lens: Mutex::new(vec![None; slots]),
         })
     }
 
@@ -260,11 +341,15 @@ impl ShardSpool {
     }
 
     pub fn shard_count(&self) -> usize {
-        self.lens.len()
+        self.lens.lock().expect("spool len mutex").len()
     }
 
     fn slot_path(&self, idx: usize) -> PathBuf {
         self.dir.join(format!("shard-{idx:05}.djs"))
+    }
+
+    fn sidecar_path(&self, idx: usize) -> PathBuf {
+        self.dir.join(format!("shard-{idx:05}.fpr"))
     }
 
     /// Serialize `shard` into slot `idx` (atomic: temp file then rename).
@@ -273,8 +358,82 @@ impl ShardSpool {
         let tmp = path.with_extension("djs.tmp");
         fs::write(&tmp, encode_shard_frame(shard, self.codec))?;
         fs::rename(&tmp, &path)?;
-        *self.lens[idx].lock().expect("spool len mutex") = Some(shard.len());
+        let mut lens = self.lens.lock().expect("spool len mutex");
+        if idx >= lens.len() {
+            lens.resize(idx + 1, None);
+        }
+        lens[idx] = Some(shard.len());
         Ok(())
+    }
+
+    /// Persist per-sample dedup fingerprints for slot `idx` in its sidecar
+    /// (`shard-N.fpr`, atomic temp+rename). Fingerprints travel with the
+    /// frame so a later dedup barrier can skip its hash pass entirely.
+    pub fn write_fingerprints(&self, idx: usize, fingerprints: &[Value]) -> Result<()> {
+        let payload = values_to_bytes(fingerprints);
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(FINGERPRINT_MAGIC);
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        let path = self.sidecar_path(idx);
+        let tmp = path.with_extension("fpr.tmp");
+        fs::write(&tmp, out)?;
+        fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    /// Read slot `idx`'s fingerprint sidecar. `Ok(None)` when the sidecar
+    /// was never written; corruption is a [`DjError::Storage`] error.
+    pub fn read_fingerprints(&self, idx: usize) -> Result<Option<Vec<Value>>> {
+        let path = self.sidecar_path(idx);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        if bytes.len() < HEADER_LEN || &bytes[..4] != FINGERPRINT_MAGIC {
+            return Err(DjError::Storage(format!(
+                "bad fingerprint sidecar header at {path:?}"
+            )));
+        }
+        let len = u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes"));
+        let checksum = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        let payload = &bytes[HEADER_LEN..];
+        if payload.len() as u64 != len {
+            return Err(DjError::Storage(format!(
+                "fingerprint sidecar length mismatch at {path:?}: got {}, expected {len}",
+                payload.len()
+            )));
+        }
+        if fnv1a(payload) != checksum {
+            return Err(DjError::Storage(format!(
+                "fingerprint sidecar checksum mismatch at {path:?}"
+            )));
+        }
+        values_from_bytes(payload).map(Some)
+    }
+
+    /// All fingerprints across all slots, flattened in slot order —
+    /// `Ok(None)` unless *every* written slot has a sidecar whose length
+    /// matches its shard (a partial set cannot seed a barrier).
+    pub fn read_all_fingerprints(&self) -> Result<Option<Vec<Value>>> {
+        let mut all = Vec::new();
+        for i in 0..self.shard_count() {
+            let Some(expected) = self.shard_len(i) else {
+                return Ok(None);
+            };
+            match self.read_fingerprints(i)? {
+                Some(fp) if fp.len() == expected => all.extend(fp),
+                _ => return Ok(None),
+            }
+        }
+        Ok(Some(all))
+    }
+
+    /// Load slot `idx` as an undecoded zero-copy slab.
+    pub fn read_frame_slab(&self, idx: usize) -> Result<FrameSlab> {
+        FrameSlab::load(self.slot_path(idx))
     }
 
     /// Read slot `idx` back. Non-destructive: spilled shards can be
@@ -298,7 +457,12 @@ impl ShardSpool {
 
     /// Sample count of slot `idx`, if it has been written.
     pub fn shard_len(&self, idx: usize) -> Option<usize> {
-        *self.lens[idx].lock().expect("spool len mutex")
+        self.lens
+            .lock()
+            .expect("spool len mutex")
+            .get(idx)
+            .copied()
+            .flatten()
     }
 
     /// Total samples across all written slots.
@@ -538,6 +702,83 @@ mod tests {
         assert!(spool.read_shard(0).is_err());
         spool.write_shard(0, &shard(&["recovered"])).unwrap();
         assert_eq!(spool.read_shard(0).unwrap(), shard(&["recovered"]));
+    }
+
+    #[test]
+    fn spool_grows_past_initial_slots() {
+        let dir = tmpdir("spool-grow");
+        let spool = ShardSpool::create(&dir, 0, Codec::Djz).unwrap();
+        assert_eq!(spool.shard_count(), 0);
+        spool.write_shard(0, &shard(&["a"])).unwrap();
+        spool.write_shard(2, &rich_shard()).unwrap();
+        assert_eq!(spool.shard_count(), 3);
+        assert_eq!(spool.shard_len(0), Some(1));
+        assert_eq!(spool.shard_len(1), None);
+        assert_eq!(spool.shard_len(2), Some(2));
+        spool.write_shard(1, &Dataset::new()).unwrap();
+        assert_eq!(spool.total_samples(), 3);
+    }
+
+    #[test]
+    fn fingerprint_sidecars_roundtrip_and_gate_on_completeness() {
+        let dir = tmpdir("spool-fpr");
+        let spool = ShardSpool::create(&dir, 2, Codec::Djz).unwrap();
+        spool.write_shard(0, &shard(&["a", "b"])).unwrap();
+        spool.write_shard(1, &shard(&["c"])).unwrap();
+        let fp0 = vec![Value::Int(7), Value::Str("h".into())];
+        let fp1 = vec![Value::from(vec![Value::Int(1), Value::Int(2)])];
+        spool.write_fingerprints(0, &fp0).unwrap();
+        // One sidecar missing → no flattened set.
+        assert!(spool.read_all_fingerprints().unwrap().is_none());
+        spool.write_fingerprints(1, &fp1).unwrap();
+        assert_eq!(spool.read_fingerprints(0).unwrap(), Some(fp0.clone()));
+        let all = spool.read_all_fingerprints().unwrap().unwrap();
+        assert_eq!(all, vec![fp0[0].clone(), fp0[1].clone(), fp1[0].clone()]);
+        // Length mismatch with its shard disqualifies the whole set.
+        spool.write_fingerprints(1, &[]).unwrap();
+        assert!(spool.read_all_fingerprints().unwrap().is_none());
+        // Corruption is a Storage error, not a silent miss.
+        let path = dir.join("shard-00000.fpr");
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert!(spool.read_fingerprints(0).is_err());
+    }
+
+    #[test]
+    fn frame_slab_matches_full_decode() {
+        let dir = tmpdir("slab");
+        let spool = ShardSpool::create(&dir, 1, Codec::Djz).unwrap();
+        let ds = rich_shard();
+        spool.write_shard(0, &ds).unwrap();
+        let slab = spool.read_frame_slab(0).unwrap();
+        assert_eq!(slab.sample_count().unwrap(), ds.len());
+        assert!(slab.payload_len() > 0);
+        assert_eq!(slab.decode().unwrap(), ds);
+        let texts = slab.texts_at("text").unwrap();
+        let expected: Vec<&str> = ds.iter().map(|s| s.text()).collect();
+        assert_eq!(
+            texts.iter().map(|c| c.as_ref()).collect::<Vec<_>>(),
+            expected
+        );
+    }
+
+    #[test]
+    fn frame_slab_rejects_corruption_and_trailing_bytes() {
+        let frame = encode_shard_frame(&rich_shard(), Codec::None);
+        assert!(FrameSlab::from_frame_bytes(&frame).is_ok());
+        assert!(FrameSlab::from_frame_bytes(&frame[..frame.len() - 1]).is_err());
+        let mut extra = frame.clone();
+        extra.push(0);
+        let err = FrameSlab::from_frame_bytes(&extra).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+        let mut flipped = frame;
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        let err = FrameSlab::from_frame_bytes(&flipped).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        assert!(FrameSlab::load(tmpdir("no-such-slab")).is_err());
     }
 
     proptest! {

@@ -99,6 +99,64 @@ fn peak_resident_samples_bounded_by_double_buffering() {
     }
 }
 
+/// The prefetch window is a knob: for any `prefetch_depth` the resident
+/// ceiling is `num_workers × depth × shard_size` (depth 1 = no read-ahead,
+/// workers load their own shards; depth 2 = the double-buffering default),
+/// and the output never changes.
+#[test]
+fn prefetch_depth_scales_the_resident_ceiling() {
+    let data = corpus();
+    let ops = fig9_style_recipe().build_ops(&builtin_registry()).unwrap();
+    let baseline = Executor::new(ops).with_options(ExecOptions {
+        num_workers: 1,
+        op_fusion: false,
+        trace_examples: 0,
+        memory_budget: Some(u64::MAX),
+        ..ExecOptions::default()
+    });
+    let (expected, _) = baseline.run(data.clone()).unwrap();
+    for (np, shard_size, depth) in [(2usize, 8usize, 1usize), (4, 5, 1), (2, 8, 3), (3, 4, 4)] {
+        let ops = fig9_style_recipe().build_ops(&builtin_registry()).unwrap();
+        let exec = Executor::new(ops).with_options(ExecOptions {
+            num_workers: np,
+            op_fusion: true,
+            trace_examples: 0,
+            shard_size: Some(shard_size),
+            memory_budget: Some(1),
+            prefetch_depth: depth,
+            ..ExecOptions::default()
+        });
+        let (out, report) = exec.run(data.clone()).unwrap();
+        assert_eq!(
+            out, expected,
+            "np={np} shard_size={shard_size} depth={depth} diverged"
+        );
+        assert!(report.spilled);
+        let bound = np * depth * shard_size;
+        assert!(
+            report.peak_resident_samples <= bound,
+            "np={np} shard_size={shard_size} depth={depth}: {} resident samples > bound {bound}",
+            report.peak_resident_samples
+        );
+    }
+}
+
+/// `prefetch_depth: 0` is rejected as a configuration error before any
+/// work runs.
+#[test]
+fn prefetch_depth_zero_is_a_config_error() {
+    let ops = fig9_style_recipe().build_ops(&builtin_registry()).unwrap();
+    let exec = Executor::new(ops).with_options(ExecOptions {
+        prefetch_depth: 0,
+        ..ExecOptions::default()
+    });
+    let err = exec.run(corpus()).unwrap_err();
+    assert!(
+        err.to_string().contains("prefetch_depth"),
+        "error must name the knob: {err}"
+    );
+}
+
 /// Spill spools must remove themselves: after a run with an explicit
 /// `spill_dir`, the directory holds no leftover shard files or temp dirs.
 #[test]
