@@ -1,0 +1,104 @@
+//! Adaptive-planner micro-benchmarks: plan construction from a cold vs
+//! warm cost model (the per-run planning overhead the measured reorder
+//! adds), and DJCS stats-sidecar encode/decode (the per-run persistence
+//! overhead).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dj_config::{OpSpec, Recipe};
+use dj_exec::{plan_fused_measured, CostModel};
+use dj_store::StatsSidecar;
+
+fn planner_recipe() -> Recipe {
+    Recipe::new("planner-bench")
+        .then(
+            OpSpec::new("word_entropy_filter")
+                .with("min_entropy", 0.0)
+                .with("max_entropy", 1e6),
+        )
+        .then(
+            OpSpec::new("average_word_length_filter")
+                .with("min_len", 0.0)
+                .with("max_len", 1e6),
+        )
+        .then(
+            OpSpec::new("alphanumeric_ratio_filter")
+                .with("min_ratio", 0.5)
+                .with("max_ratio", 1.0),
+        )
+        .then(
+            OpSpec::new("special_characters_filter")
+                .with("min_ratio", 0.0)
+                .with("max_ratio", 0.4),
+        )
+        .then(OpSpec::new("document_deduplicator"))
+        .then(
+            OpSpec::new("text_length_filter")
+                .with("min_len", 10.0)
+                .with("max_len", 1e9),
+        )
+}
+
+/// A warm model: every filter of the bench recipe has enough measured
+/// samples to out-rank the static fallback.
+fn warm_model() -> CostModel {
+    let mut model = CostModel::new();
+    let steps: [(&str, usize, u64); 5] = [
+        ("word_entropy_filter", 4000, 9_000),
+        ("average_word_length_filter", 4000, 4_000),
+        ("alphanumeric_ratio_filter", 4000, 1_200),
+        ("special_characters_filter", 1200, 1_500),
+        ("text_length_filter", 1100, 300),
+    ];
+    for (name, out, ns) in steps {
+        model.observe_step(name, 4000, out, Duration::from_nanos(ns * 4000));
+    }
+    model
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let ops = planner_recipe()
+        .build_ops(&dj_ops::builtin_registry())
+        .unwrap();
+    let warm = warm_model();
+    let mut group = c.benchmark_group("planner");
+    group.bench_function("plan_cold", |b| b.iter(|| plan_fused_measured(&ops, None)));
+    group.bench_function("plan_warm", |b| {
+        b.iter(|| plan_fused_measured(&ops, Some(&warm)))
+    });
+    group.finish();
+}
+
+fn bench_sidecar(c: &mut Criterion) {
+    let mut model = CostModel::new();
+    for i in 0..64 {
+        model.observe_step(
+            &format!("op_{i:02}"),
+            5000,
+            4000 - i * 10,
+            Duration::from_micros(40 + i as u64),
+        );
+    }
+    let dir = std::env::temp_dir().join(format!("dj-planner-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench_stats.djcs");
+    model.save(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+
+    let mut group = c.benchmark_group("stats_sidecar");
+    group.bench_function("encode_64_ops", |b| b.iter(|| model.save(&path).unwrap()));
+    group.bench_function("decode_64_ops", |b| {
+        b.iter(|| StatsSidecar::from_bytes(&bytes).unwrap())
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_planning, bench_sidecar
+}
+criterion_main!(benches);

@@ -76,6 +76,22 @@ pub struct Recipe {
     /// stream (`2` = double buffering, the default; `1` disables the
     /// prefetch loader). `None` uses the executor default.
     pub prefetch_depth: Option<usize>,
+    /// Adaptive, measurement-driven planning: plan steps ordered from the
+    /// persisted cost-model sidecar, mid-run re-planning, measured
+    /// barrier gating and knob auto-tuning (default `false`; the
+    /// `DJ_ADAPTIVE` env var forces the run-local parts on).
+    pub adaptive: bool,
+    /// Shards of a pipeline stage to measure before the mid-run replanner
+    /// re-ranks the remaining commutable steps. `None` = auto (a quarter
+    /// of the stage's shards, clamped to `[1, 8]`). Must be ≥ 1.
+    pub replan_after_shards: Option<usize>,
+    /// Directory the cost-model sidecar persists under; `None` = the
+    /// cache root (when `adaptive` is set and a cache is attached).
+    pub stats_dir: Option<String>,
+    /// Per-op prefix caching: cache every plan step's output under a
+    /// chained prefix fingerprint so editing op `k` resumes ops `0..k`
+    /// from cache (default `false`; costs a materialization per step).
+    pub prefix_cache: bool,
     /// The ordered OP pipeline.
     pub process: Vec<OpSpec>,
 }
@@ -95,6 +111,10 @@ impl Default for Recipe {
             output_path: None,
             output_format: None,
             prefetch_depth: None,
+            adaptive: false,
+            replan_after_shards: None,
+            stats_dir: None,
+            prefix_cache: false,
             process: Vec::new(),
         }
     }
@@ -173,6 +193,31 @@ impl Recipe {
     /// Builder: set the streaming prefetch depth (floored to 1).
     pub fn with_prefetch_depth(mut self, depth: usize) -> Recipe {
         self.prefetch_depth = Some(depth.max(1));
+        self
+    }
+
+    /// Builder: toggle adaptive, measurement-driven planning.
+    pub fn with_adaptive(mut self, enabled: bool) -> Recipe {
+        self.adaptive = enabled;
+        self
+    }
+
+    /// Builder: set the mid-run replan trigger (shards measured before
+    /// re-ranking; floored to 1).
+    pub fn with_replan_after_shards(mut self, shards: usize) -> Recipe {
+        self.replan_after_shards = Some(shards.max(1));
+        self
+    }
+
+    /// Builder: set the cost-model sidecar directory.
+    pub fn with_stats_dir(mut self, dir: impl Into<String>) -> Recipe {
+        self.stats_dir = Some(dir.into());
+        self
+    }
+
+    /// Builder: toggle per-op prefix caching.
+    pub fn with_prefix_cache(mut self, enabled: bool) -> Recipe {
+        self.prefix_cache = enabled;
         self
     }
 
@@ -289,6 +334,21 @@ impl Recipe {
             }
             recipe.prefetch_depth = Some(d as usize);
         }
+        if let Some(a) = v.get_path("adaptive").and_then(Value::as_bool) {
+            recipe.adaptive = a;
+        }
+        if let Some(k) = v.get_path("replan_after_shards").and_then(Value::as_int) {
+            if k < 1 {
+                return Err(DjError::Config("replan_after_shards must be >= 1".into()));
+            }
+            recipe.replan_after_shards = Some(k as usize);
+        }
+        if let Some(dir) = v.get_path("stats_dir").and_then(Value::as_str) {
+            recipe.stats_dir = Some(dir.to_string());
+        }
+        if let Some(pc) = v.get_path("prefix_cache").and_then(Value::as_bool) {
+            recipe.prefix_cache = pc;
+        }
         let process = match v.get_path("process") {
             None => Vec::new(),
             Some(Value::List(items)) => items
@@ -354,6 +414,22 @@ impl Recipe {
         }
         if let Some(d) = self.prefetch_depth {
             root.set_path("prefetch_depth", Value::from(d))
+                .expect("map root");
+        }
+        if self.adaptive {
+            root.set_path("adaptive", Value::Bool(true))
+                .expect("map root");
+        }
+        if let Some(k) = self.replan_after_shards {
+            root.set_path("replan_after_shards", Value::from(k))
+                .expect("map root");
+        }
+        if let Some(dir) = &self.stats_dir {
+            root.set_path("stats_dir", Value::from(dir.clone()))
+                .expect("map root");
+        }
+        if self.prefix_cache {
+            root.set_path("prefix_cache", Value::Bool(true))
                 .expect("map root");
         }
         let ops: Vec<Value> = self
@@ -612,6 +688,40 @@ process:
         assert_eq!(defaults.output_path, None);
         assert_eq!(defaults.output_format, None);
         assert_eq!(defaults.prefetch_depth, None);
+    }
+
+    #[test]
+    fn adaptive_knobs_roundtrip_and_validate() {
+        let r = sample_recipe()
+            .with_adaptive(true)
+            .with_replan_after_shards(4)
+            .with_stats_dir("stats")
+            .with_prefix_cache(true);
+        assert!(r.adaptive);
+        assert_eq!(r.replan_after_shards, Some(4));
+        assert_eq!(r.stats_dir.as_deref(), Some("stats"));
+        assert!(r.prefix_cache);
+        let parsed = Recipe::from_yaml(&r.to_yaml()).unwrap();
+        assert_eq!(parsed, r);
+        assert_ne!(
+            r.fingerprint(),
+            sample_recipe().fingerprint(),
+            "adaptive knobs participate in the cache key"
+        );
+        let y = Recipe::from_yaml(
+            "adaptive: true\nreplan_after_shards: 2\nstats_dir: s\nprefix_cache: true\n",
+        )
+        .unwrap();
+        assert!(y.adaptive);
+        assert_eq!(y.replan_after_shards, Some(2));
+        assert_eq!(y.stats_dir.as_deref(), Some("s"));
+        assert!(y.prefix_cache);
+        assert!(Recipe::from_yaml("replan_after_shards: 0\n").is_err());
+        let defaults = Recipe::from_yaml("np: 2\n").unwrap();
+        assert!(!defaults.adaptive, "adaptive planning is opt-in");
+        assert_eq!(defaults.replan_after_shards, None);
+        assert_eq!(defaults.stats_dir, None);
+        assert!(!defaults.prefix_cache);
     }
 
     #[test]

@@ -29,6 +29,34 @@ pub enum OpCost {
     Expensive,
 }
 
+impl OpCost {
+    /// Numeric rank ordered `Cheap < Moderate < Expensive`.
+    ///
+    /// The single source of truth shared by the static reorderer
+    /// (`dj-exec::fusion`) and the measured cost model's unmeasured-op
+    /// fallback — keep any new cost tier ordered here, not in callers.
+    pub fn rank(self) -> u8 {
+        match self {
+            OpCost::Cheap => 0,
+            OpCost::Moderate => 1,
+            OpCost::Expensive => 2,
+        }
+    }
+
+    /// Planner fallback estimate of per-sample cost (ns) for an OP that has
+    /// never been measured, so measured and unmeasured OPs can be ranked on
+    /// one scale. Order-of-magnitude placeholders, decades apart so a real
+    /// measurement of a neighboring tier cannot leapfrog a tier boundary by
+    /// noise alone.
+    pub fn fallback_ns_per_sample(self) -> f64 {
+        match self {
+            OpCost::Cheap => 500.0,
+            OpCost::Moderate => 5_000.0,
+            OpCost::Expensive => 50_000.0,
+        }
+    }
+}
+
 /// Formatter: unify a raw input into the intermediate representation.
 pub trait Formatter: Send + Sync {
     fn name(&self) -> &'static str;
@@ -78,6 +106,15 @@ pub trait Filter: Send + Sync {
 
     fn cost(&self) -> OpCost {
         OpCost::Cheap
+    }
+
+    /// Whether this filter may be reordered relative to *other commutable
+    /// filters* in the same mapper/dedup-free window. Filters decide
+    /// per-sample from their own recorded stats, so they commute by
+    /// default; a filter whose decision depends on stats written by an
+    /// *earlier* filter (or on side effects) must opt out.
+    fn commutable(&self) -> bool {
+        true
     }
 }
 
@@ -181,6 +218,17 @@ impl Op {
             Op::Mapper(m) => m.cost(),
             Op::Filter(f) => f.cost(),
             Op::Deduplicator(_) => OpCost::Expensive,
+        }
+    }
+
+    /// Whether the planner may move this OP past other commutable OPs in
+    /// the same filter window. Mappers rewrite text and deduplicators need
+    /// the whole dataset, so both pin their position; filters delegate to
+    /// [`Filter::commutable`].
+    pub fn commutable(&self) -> bool {
+        match self {
+            Op::Mapper(_) | Op::Deduplicator(_) => false,
+            Op::Filter(f) => f.commutable(),
         }
     }
 }
@@ -360,6 +408,30 @@ mod tests {
 
     fn upper_factory(_: &OpParams) -> Result<Op> {
         Ok(Op::Mapper(Arc::new(Upper)))
+    }
+
+    #[test]
+    fn cost_rank_ordering_is_pinned() {
+        // The one place the Cheap < Moderate < Expensive ordering lives;
+        // planner and cost model both consume `rank()`.
+        assert_eq!(OpCost::Cheap.rank(), 0);
+        assert_eq!(OpCost::Moderate.rank(), 1);
+        assert_eq!(OpCost::Expensive.rank(), 2);
+        assert!(OpCost::Cheap.rank() < OpCost::Moderate.rank());
+        assert!(OpCost::Moderate.rank() < OpCost::Expensive.rank());
+        // `Ord` on the enum agrees with `rank()`.
+        assert!(OpCost::Cheap < OpCost::Moderate && OpCost::Moderate < OpCost::Expensive);
+        // Fallback ns estimates are monotone in rank.
+        assert!(OpCost::Cheap.fallback_ns_per_sample() < OpCost::Moderate.fallback_ns_per_sample());
+        assert!(
+            OpCost::Moderate.fallback_ns_per_sample() < OpCost::Expensive.fallback_ns_per_sample()
+        );
+    }
+
+    #[test]
+    fn commutability_defaults() {
+        assert!(!Op::Mapper(Arc::new(Upper)).commutable());
+        assert!(Op::Filter(Arc::new(MinLen(1))).commutable());
     }
 
     #[test]

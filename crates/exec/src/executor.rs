@@ -8,7 +8,7 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use dj_core::{
@@ -16,9 +16,12 @@ use dj_core::{
     SampleContext, ShardSink, ShardSource, ShardStats, Value,
 };
 use dj_io::{CorpusReader, OutputFormat, ShardedWriter};
-use dj_store::{CacheManager, CachedStage, Codec, ShardSpool};
+use dj_store::{CacheManager, CachedStage, Codec, ShardSpool, STATS_SIDECAR_FILE};
 
-use crate::fusion::{plan_fused, plan_unfused, Plan, PlanStep, Stage};
+use dj_hash::fnv1a;
+
+use crate::cost::{fallback_score, rank_score, CostModel};
+use crate::fusion::{plan_fused_measured, plan_unfused, step_static_cost, Plan, PlanStep, Stage};
 
 /// How many shards to cut per worker when `shard_size` is on auto.
 /// Over-partitioning lets fast workers steal extra shards (morsel-driven
@@ -33,6 +36,34 @@ const SPILL_CODEC: Codec = Codec::Djz;
 /// force the spill path through the whole test suite without touching any
 /// recipe (`DJ_MEMORY_BUDGET=1 cargo test`).
 pub const MEMORY_BUDGET_ENV: &str = "DJ_MEMORY_BUDGET";
+
+/// Environment override forcing [`ExecOptions::adaptive`] on (`1`, `true`
+/// or `yes`; anything else leaves the option as configured). Lets CI run
+/// the whole suite with adaptive planning live (`DJ_ADAPTIVE=1 cargo
+/// test`).
+///
+/// Env-forced adaptive enables every *run-local* adaptation — mid-run
+/// re-planning, measured barrier gating, model accumulation — all of
+/// which are cache-key-neutral and output-identical. Cross-run sidecar
+/// persistence (which lets plan-time step order change between runs, and
+/// therefore changes stage cache keys) additionally requires an explicit
+/// opt-in: `ExecOptions::adaptive = true` with a cache attached, or an
+/// explicit [`ExecOptions::stats_dir`].
+pub const ADAPTIVE_ENV: &str = "DJ_ADAPTIVE";
+
+/// Minimum samples *per worker* before the parallel dedup barrier
+/// clustering pays for its thread-spawn cost; smaller inputs cluster
+/// sequentially (the mask is identical either way).
+pub const MIN_BARRIER_SAMPLES_PER_WORKER: usize = 1024;
+
+/// Auto-tune target: size shards so one shard costs roughly this much
+/// wall time (balances scheduling overhead against work-stealing
+/// granularity).
+const SHARD_TARGET_SECONDS: f64 = 0.05;
+
+/// Tunable keys recorded in the stats sidecar.
+const TUNE_SAMPLES_PER_SEC: &str = "samples_per_sec";
+const TUNE_SHARD_MS: &str = "shard_ms";
 
 /// Monotonic suffix so concurrent runs in one process never share a spill
 /// directory.
@@ -86,6 +117,30 @@ pub struct ExecOptions {
     pub output: Option<PathBuf>,
     /// Egress file format when `output` is set.
     pub output_format: OutputFormat,
+    /// Enable the adaptive, measurement-driven planner: plan-time step
+    /// reordering from the persisted cost model, mid-run re-planning
+    /// after the first shards of a stage, measured barrier gating and
+    /// knob auto-tuning. Also forced on by the `DJ_ADAPTIVE` env var
+    /// (see [`ADAPTIVE_ENV`] for what the env force does *not* enable).
+    pub adaptive: bool,
+    /// After how many shards of a pipeline stage the mid-run replanner
+    /// re-ranks the remaining commutable steps from live measurements.
+    /// `None` = auto (a quarter of the stage's shards, clamped to
+    /// `[1, 8]`). Only meaningful when adaptive planning is in force.
+    pub replan_after_shards: Option<usize>,
+    /// Where the cost-model sidecar lives. `None` = under the cache root
+    /// when [`ExecOptions::adaptive`] is set and a cache is attached;
+    /// set explicitly to persist measurements for cache-less runs (e.g.
+    /// `run_io`).
+    pub stats_dir: Option<PathBuf>,
+    /// Per-op prefix caching: segment the plan into one stage per step so
+    /// every step's output is cached under a chained prefix fingerprint —
+    /// editing op *k* of an *n*-op stage resumes ops `0..k` from cache
+    /// instead of recomputing the whole stage. Costs a dataset
+    /// materialization per step, so it is opt-in (iterative recipe
+    /// development, not production throughput). Only applies to cached
+    /// runs.
+    pub prefix_cache: bool,
 }
 
 impl Default for ExecOptions {
@@ -103,6 +158,10 @@ impl Default for ExecOptions {
             input: None,
             output: None,
             output_format: OutputFormat::Jsonl,
+            adaptive: false,
+            replan_after_shards: None,
+            stats_dir: None,
+            prefix_cache: false,
         }
     }
 }
@@ -223,6 +282,46 @@ pub struct RunReport {
     pub ingest_duration: Duration,
     /// Wall time of the egress stage (serialize + write + manifest).
     pub egress_duration: Duration,
+    /// Whether adaptive planning was in force for this run (option or
+    /// `DJ_ADAPTIVE` env).
+    pub adaptive: bool,
+    /// Plan steps positioned by measured rank at plan time (warm model).
+    pub measured_steps: usize,
+    /// Mid-run re-plans performed (at most one per pipeline stage).
+    pub replans: usize,
+    /// Per-barrier parallel-vs-sequential clustering decisions, in
+    /// execution order.
+    pub barrier_decisions: Vec<BarrierDecision>,
+    /// Shard size the auto-tuner picked from measured throughput, when it
+    /// overrode an unset `shard_size`.
+    pub tuned_shard_size: Option<usize>,
+    /// Prefetch depth the auto-tuner picked, when it overrode the default.
+    pub tuned_prefetch_depth: Option<usize>,
+}
+
+/// How a dedup barrier's clustering was scheduled: on the worker pool or
+/// sequentially, and why.
+#[derive(Debug, Clone)]
+pub struct BarrierDecision {
+    /// The deduplicator's name.
+    pub name: String,
+    /// Samples entering the barrier.
+    pub samples: usize,
+    /// Worker threads the clustering actually used.
+    pub workers: usize,
+    /// Whether the banded parallel exchange ran (`workers > 1`).
+    pub parallel: bool,
+    /// The gating rule that decided (`"parallel"`, `"disabled"`,
+    /// `"single-worker"`, `"small-input"`).
+    pub reason: &'static str,
+}
+
+/// What the auto-tuner overrode for one run (reported back via
+/// [`RunReport::tuned_shard_size`] / [`RunReport::tuned_prefetch_depth`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct TunedKnobs {
+    shard_size: Option<usize>,
+    prefetch_depth: Option<usize>,
 }
 
 impl RunReport {
@@ -288,12 +387,85 @@ impl Executor {
     }
 
     /// The plan this executor will run (exposed for inspection/tests).
+    /// Static ranking — the adaptive path goes through [`Executor::plan_adaptive`].
     pub fn plan(&self) -> Plan {
+        self.plan_adaptive(None)
+    }
+
+    /// The plan with measured ranking from a cost model (when fusion is
+    /// on; unfused plans never reorder).
+    pub fn plan_adaptive(&self, model: Option<&CostModel>) -> Plan {
         if self.options.op_fusion {
-            plan_fused(&self.ops)
+            plan_fused_measured(&self.ops, model)
         } else {
             plan_unfused(&self.ops)
         }
+    }
+
+    /// Whether adaptive planning is in force: the explicit option, or the
+    /// `DJ_ADAPTIVE` env override (`1`/`true`/`yes`).
+    fn effective_adaptive(&self) -> bool {
+        self.options.adaptive
+            || matches!(
+                std::env::var(ADAPTIVE_ENV).ok().as_deref().map(str::trim),
+                Some("1" | "true" | "yes")
+            )
+    }
+
+    /// Where the cost-model sidecar persists, if anywhere: an explicit
+    /// `stats_dir` always wins; otherwise the cache root, but only under
+    /// the explicit `adaptive` option — an env-forced adaptive run stays
+    /// run-local so `DJ_ADAPTIVE=1` across a test suite cannot reorder
+    /// plans (and therefore cache keys) between runs that share a cache.
+    fn stats_path(&self, cache: Option<&CacheManager>) -> Option<PathBuf> {
+        if let Some(dir) = &self.options.stats_dir {
+            return Some(dir.join(STATS_SIDECAR_FILE));
+        }
+        if self.options.adaptive {
+            if let Some(cm) = cache {
+                return Some(cm.stats_sidecar_path());
+            }
+        }
+        None
+    }
+
+    /// Auto-tune unset performance knobs from a warm model's measured
+    /// throughput. Returns a tuned executor clone plus what was tuned, or
+    /// `None` when nothing changed (cold model, or every knob explicit).
+    fn autotuned(&self, model: Option<&CostModel>) -> Option<(Executor, TunedKnobs)> {
+        let model = model.filter(|m| m.is_warm())?;
+        let mut options = self.options.clone();
+        let mut tuned = TunedKnobs::default();
+        if options.shard_size.is_none() {
+            if let Some(sps) = model.tunable(TUNE_SAMPLES_PER_SEC).filter(|s| *s > 0.0) {
+                // Size shards to ~SHARD_TARGET_SECONDS of measured work
+                // each: big enough to amortize scheduling, small enough
+                // that work stealing can absorb stragglers.
+                let size = ((sps * SHARD_TARGET_SECONDS) as usize).clamp(64, 1 << 16);
+                options.shard_size = Some(size);
+                tuned.shard_size = Some(size);
+            }
+        }
+        if options.prefetch_depth == DEFAULT_PREFETCH_DEPTH {
+            if let Some(ms) = model.tunable(TUNE_SHARD_MS) {
+                // Tiny measured shards starve workers on handoff latency —
+                // deepen the buffer. Chunky shards already overlap IO at 2.
+                if ms < 8.0 {
+                    options.prefetch_depth = 4;
+                    tuned.prefetch_depth = Some(4);
+                }
+            }
+        }
+        if tuned.shard_size.is_none() && tuned.prefetch_depth.is_none() {
+            return None;
+        }
+        Some((
+            Executor {
+                ops: self.ops.clone(),
+                options,
+            },
+            tuned,
+        ))
     }
 
     /// Execute the pipeline.
@@ -328,11 +500,47 @@ impl Executor {
     /// file-backed runs are keyed by their input files, not by an
     /// in-memory dataset.
     pub fn run_io(&self) -> Result<(Option<Dataset>, RunReport)> {
+        let adaptive = self.effective_adaptive();
+        // File-backed runs have no cache, so the sidecar only persists
+        // under an explicit `stats_dir`.
+        let stats_path = if adaptive {
+            self.stats_path(None)
+        } else {
+            None
+        };
+        let mut model = if adaptive {
+            Some(match &stats_path {
+                Some(p) => CostModel::load(p),
+                None => CostModel::new(),
+            })
+        } else {
+            None
+        };
+        let tuned = self.autotuned(model.as_ref());
+        let (exec, knobs) = match &tuned {
+            Some((e, k)) => (e, *k),
+            None => (self, TunedKnobs::default()),
+        };
+        let (out, mut report) = exec.run_io_inner(model.as_ref())?;
+        report.adaptive = adaptive;
+        report.tuned_shard_size = knobs.shard_size;
+        report.tuned_prefetch_depth = knobs.prefetch_depth;
+        if let Some(m) = model.as_mut() {
+            m.observe_report(&report);
+            record_tunables(m, &report);
+            if let Some(p) = &stats_path {
+                let _ = m.save(p);
+            }
+        }
+        Ok((out, report))
+    }
+
+    fn run_io_inner(&self, model: Option<&CostModel>) -> Result<(Option<Dataset>, RunReport)> {
         let depth = self.validated_depth()?;
         let input = self.options.input.as_deref().ok_or_else(|| {
             DjError::Config("run_io requires ExecOptions::input (a path or glob)".into())
         })?;
-        let plan = self.plan();
+        let plan = self.plan_adaptive(model);
         let stages = plan.stages();
         let start = Instant::now();
         let gauge = ResidencyGauge::default();
@@ -341,6 +549,7 @@ impl Executor {
             fused_groups: plan.fused_groups,
             stages: stages.len(),
             spilled: true,
+            measured_steps: plan.measured_steps,
             ..RunReport::default()
         };
         let shard_size = self
@@ -564,13 +773,65 @@ impl Executor {
         }
     }
 
+    /// Orchestrate one adaptive-aware run: load the cost model (when
+    /// adaptive is in force and a sidecar location exists), auto-tune
+    /// unset knobs from it, execute, then fold this run's measurements
+    /// back in and persist. Sidecar IO is advisory — it can never fail
+    /// the run.
     fn run_inner(
         &self,
         dataset: Dataset,
         cache: Option<&CacheManager>,
     ) -> Result<(Dataset, RunReport)> {
-        let plan = self.plan();
-        let stages = plan.stages();
+        let adaptive = self.effective_adaptive();
+        let stats_path = if adaptive {
+            self.stats_path(cache)
+        } else {
+            None
+        };
+        let mut model = if adaptive {
+            Some(match &stats_path {
+                Some(p) => CostModel::load(p),
+                None => CostModel::new(),
+            })
+        } else {
+            None
+        };
+        let tuned = self.autotuned(model.as_ref());
+        let (exec, knobs) = match &tuned {
+            Some((e, k)) => (e, *k),
+            None => (self, TunedKnobs::default()),
+        };
+        let (out, mut report) = exec.run_stages(dataset, cache, model.as_ref())?;
+        report.adaptive = adaptive;
+        report.tuned_shard_size = knobs.shard_size;
+        report.tuned_prefetch_depth = knobs.prefetch_depth;
+        if let Some(m) = model.as_mut() {
+            m.observe_report(&report);
+            record_tunables(m, &report);
+            if let Some(p) = &stats_path {
+                let _ = m.save(p);
+            }
+        }
+        Ok((out, report))
+    }
+
+    /// Plan, resume, and execute the stage sequence (the pre-adaptive
+    /// `run_inner`). `model` only influences plan-time step order.
+    fn run_stages(
+        &self,
+        dataset: Dataset,
+        cache: Option<&CacheManager>,
+        model: Option<&CostModel>,
+    ) -> Result<(Dataset, RunReport)> {
+        let plan = self.plan_adaptive(model);
+        let prefix = self.options.prefix_cache && cache.is_some();
+        let stages = if prefix {
+            plan.stages_per_step()
+        } else {
+            plan.stages()
+        };
+        let keys = stage_cache_keys(&stages, prefix);
         let start = Instant::now();
         let gauge = ResidencyGauge::default();
         let budget = self.effective_memory_budget()?;
@@ -580,6 +841,7 @@ impl Executor {
             peak_bytes: dataset.approx_bytes(),
             fused_groups: plan.fused_groups,
             stages: stages.len(),
+            measured_steps: plan.measured_steps,
             ..RunReport::default()
         };
         let mut data = StageData::Mem(vec![dataset]);
@@ -589,11 +851,6 @@ impl Executor {
         // execution (the §4.1.1 resilience goal).
         let mut first_stage = 0;
         if let Some(cm) = cache {
-            let keys: Vec<(usize, String)> = stages
-                .iter()
-                .enumerate()
-                .map(|(i, s)| (i, s.name()))
-                .collect();
             // With a budget in force, streamed (spilled) entries rehydrate
             // into a spool so resume never materializes the dataset either.
             let resumed = if budget.is_some() {
@@ -638,26 +895,27 @@ impl Executor {
             )?;
             report.peak_bytes = report.peak_bytes.max(data.approx_bytes());
             if let Some(cm) = cache {
+                let key = &keys[i].1;
                 match &data {
                     // Carried shards persist as a multi-frame stream
                     // straight from the borrowed shards, so caching never
                     // forces the merge (or a clone) the carry-through
                     // avoided.
                     StageData::Mem(shards) if shards.len() > 1 => {
-                        cm.save_shards(i, &stage.name(), shards)?;
+                        cm.save_shards(i, key, shards)?;
                     }
                     StageData::Mem(shards) => {
                         if let Some(ds) = shards.first() {
-                            cm.save(i, &stage.name(), ds)?;
+                            cm.save(i, key, ds)?;
                         } else {
-                            cm.save(i, &stage.name(), &Dataset::new())?;
+                            cm.save(i, key, &Dataset::new())?;
                         }
                     }
                     // Spilled stages persist without materializing: the
                     // spool's raw frame files concatenate into the entry —
                     // no decode/re-encode, one sequential copy per shard.
                     StageData::Spilled(spool) => {
-                        cm.save_spool(i, &stage.name(), spool)?;
+                        cm.save_spool(i, key, spool)?;
                     }
                 }
             }
@@ -746,14 +1004,63 @@ impl Executor {
         }
     }
 
-    /// Worker count for barrier clustering: the pool size when the
-    /// `dedup_parallel` knob is on, sequential otherwise.
-    fn mask_workers(&self) -> usize {
-        if self.options.dedup_parallel {
-            self.options.num_workers.max(1)
+    /// Worker count for barrier clustering, gated on measured benefit:
+    /// the pool size only when the `dedup_parallel` knob is on, more than
+    /// one worker is available, *and* the input is large enough to
+    /// amortize thread-spawn cost (`MIN_BARRIER_SAMPLES_PER_WORKER`
+    /// samples per worker — below that, the `Data-Juicer-seq-barrier`
+    /// bench rows show parallel masks losing to sequential). The mask is
+    /// identical either way; this is a pure scheduling decision, recorded
+    /// in [`RunReport::barrier_decisions`].
+    fn barrier_workers(&self, samples: usize) -> (usize, &'static str) {
+        let pool = self.options.num_workers.max(1);
+        if !self.options.dedup_parallel {
+            (1, "disabled")
+        } else if pool <= 1 {
+            (1, "single-worker")
+        } else if samples < pool * MIN_BARRIER_SAMPLES_PER_WORKER {
+            (1, "small-input")
         } else {
-            1
+            (pool, "parallel")
         }
+    }
+
+    /// Run the gating decision for one barrier and record it.
+    fn gated_mask_workers(
+        &self,
+        dedup: &dyn Deduplicator,
+        samples: usize,
+        report: &mut RunReport,
+    ) -> usize {
+        let (workers, reason) = self.barrier_workers(samples);
+        report.barrier_decisions.push(BarrierDecision {
+            name: dedup.name().to_string(),
+            samples,
+            workers,
+            parallel: workers > 1,
+            reason,
+        });
+        workers
+    }
+
+    /// Build the mid-run replan schedule for a pipeline stage: present
+    /// only when adaptive planning is in force, the stage contains a
+    /// commutable window (≥ 2 adjacent commutable steps), and the stage
+    /// has enough shards both to measure (`replan_after` shards) and to
+    /// benefit (at least one shard runs under the revised order).
+    fn stage_schedule(&self, steps: &[PlanStep], nshards: usize) -> Option<StageSchedule> {
+        if !self.effective_adaptive() || steps.len() < 2 {
+            return None;
+        }
+        let k = self
+            .options
+            .replan_after_shards
+            .unwrap_or((nshards / 4).clamp(1, 8))
+            .max(1);
+        if nshards <= k {
+            return None;
+        }
+        StageSchedule::new(steps, k)
     }
 
     /// In-memory pipeline stage: stream the carried shards through the
@@ -817,9 +1124,25 @@ impl Executor {
         report.shards = report.shards.max(n);
         let workers = self.options.num_workers.max(1).min(n.max(1));
         let depth = self.options.prefetch_depth;
+        let sched = self.stage_schedule(steps, n);
         let per_shard = stream_shards(source, workers, overlap_io, depth, gauge, |i, shard| {
             let mut ctx = SampleContext::new();
-            let outcome = run_stage_on_shard(steps, shard, &mut ctx, cap)?;
+            // With a schedule, each shard runs whatever step order is
+            // current when it starts; its stats/traces are remapped onto
+            // canonical positions before merging, and feeding them back may
+            // trigger the (single) mid-run replan. Kept samples pass every
+            // filter of a commutable window under any order and collect the
+            // same (key-sorted) stats, so output is byte-identical.
+            let outcome = match &sched {
+                None => run_stage_on_shard(steps, shard, &mut ctx, cap)?,
+                Some(sched) => {
+                    let order = sched.order();
+                    let raw = run_stage_on_shard(&order.steps, shard, &mut ctx, cap)?;
+                    let outcome = remap_outcome(&order, raw);
+                    sched.observe(&outcome.stats);
+                    outcome
+                }
+            };
             if let Some((dedup, fp_spool)) = fingerprint {
                 let hashes = hash_shard(dedup, &outcome.shard)?;
                 sink.store_shard(i, outcome.shard)?;
@@ -830,6 +1153,9 @@ impl Executor {
             Ok((outcome.stats, outcome.traces))
         })?;
         merge_stage_reports(steps, per_shard, cap, report);
+        if let Some(sched) = &sched {
+            report.replans += sched.replans.load(Ordering::Relaxed);
+        }
         Ok(())
     }
 
@@ -856,8 +1182,9 @@ impl Executor {
         // Pass 1: shard-parallel fingerprints.
         let hashes = self.parallel_hashes(dedup, &shards)?;
         // Clustering: banded exchange on the worker pool (sequential when
-        // the knob is off — the mask is identical either way).
-        let mask = dedup.keep_mask_parallel(in_len, &hashes, self.mask_workers())?;
+        // gated off — the mask is identical either way).
+        let mask_pool = self.gated_mask_workers(dedup, in_len, report);
+        let mask = dedup.keep_mask_parallel(in_len, &hashes, mask_pool)?;
         drop(hashes);
 
         // Pass 2: per-shard mask application, in parallel over contiguous
@@ -984,7 +1311,8 @@ impl Executor {
         // Clustering: the same banded exchange as the in-memory barrier —
         // only the clustering step changes in spilled mode, the
         // fingerprint and mask-apply passes already stream.
-        let mask = dedup.keep_mask_parallel(in_len, &hashes, self.mask_workers())?;
+        let mask_pool = self.gated_mask_workers(dedup, in_len, report);
+        let mask = dedup.keep_mask_parallel(in_len, &hashes, mask_pool)?;
         drop(hashes);
 
         // Shard offsets into the dataset-level mask (the shards were
@@ -1188,6 +1516,238 @@ fn merge_stage_reports(
             fused: step.is_fused(),
             trace,
         });
+    }
+}
+
+/// The steps of one pipeline stage in a live execution order, plus the
+/// permutation back to canonical (plan) positions.
+struct StepOrder {
+    /// Steps in execution order.
+    steps: Vec<PlanStep>,
+    /// `canon[pos]` = canonical index of `steps[pos]` — remaps per-shard
+    /// stats/traces onto the plan's step list before merging.
+    canon: Vec<usize>,
+}
+
+/// Live per-step accumulators feeding the mid-run replanner.
+struct LiveStageStats {
+    ns: Vec<u128>,
+    samples_in: Vec<u64>,
+    samples_out: Vec<u64>,
+    shards_done: usize,
+}
+
+/// Mid-run replanner state for one pipeline stage.
+///
+/// The stage starts under its canonical (plan-time) step order. Every
+/// finished shard folds its per-step measurements in; once `replan_after`
+/// shards have been measured, the remaining commutable windows are
+/// re-ranked by the same cheapest-and-most-selective-first score the
+/// plan-time reorderer uses, and later shards run under the revised
+/// order. One replan per stage: measurements beyond the trigger point
+/// keep accumulating into the run's cost model but do not flip the order
+/// again (a mid-run order oscillating per shard would thrash caches for
+/// no measurable gain).
+///
+/// Legality mirrors plan-time reordering exactly: only maximal runs of
+/// adjacent [`commutable`](PlanStep::commutable) steps are permuted, so
+/// mappers and non-commutable filters pin their positions and output is
+/// byte-identical under every order the replanner can pick.
+struct StageSchedule {
+    /// The canonical step list (plan order) — merge target for stats.
+    canonical: Vec<PlanStep>,
+    /// Canonical-index ranges within which steps may be permuted.
+    windows: Vec<std::ops::Range<usize>>,
+    /// The order new shards pick up (swapped atomically at the replan).
+    current: Mutex<Arc<StepOrder>>,
+    live: Mutex<LiveStageStats>,
+    replan_after: usize,
+    /// Latch: the first thread past the measurement threshold replans.
+    replan_armed: AtomicBool,
+    /// Replans that actually changed the order (reported).
+    replans: AtomicUsize,
+}
+
+impl StageSchedule {
+    /// `None` when the stage has no window of ≥ 2 adjacent commutable
+    /// steps — nothing could legally move.
+    fn new(steps: &[PlanStep], replan_after: usize) -> Option<StageSchedule> {
+        let mut windows = Vec::new();
+        let mut start = None;
+        for (i, step) in steps.iter().enumerate() {
+            match (step.commutable(), start) {
+                (true, None) => start = Some(i),
+                (false, Some(b)) => {
+                    if i - b >= 2 {
+                        windows.push(b..i);
+                    }
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(b) = start {
+            if steps.len() - b >= 2 {
+                windows.push(b..steps.len());
+            }
+        }
+        if windows.is_empty() {
+            return None;
+        }
+        let canonical = steps.to_vec();
+        let identity = Arc::new(StepOrder {
+            steps: canonical.clone(),
+            canon: (0..canonical.len()).collect(),
+        });
+        Some(StageSchedule {
+            windows,
+            current: Mutex::new(identity),
+            live: Mutex::new(LiveStageStats {
+                ns: vec![0; canonical.len()],
+                samples_in: vec![0; canonical.len()],
+                samples_out: vec![0; canonical.len()],
+                shards_done: 0,
+            }),
+            canonical,
+            replan_after,
+            replan_armed: AtomicBool::new(true),
+            replans: AtomicUsize::new(0),
+        })
+    }
+
+    /// The order a shard starting now should execute under.
+    fn order(&self) -> Arc<StepOrder> {
+        Arc::clone(&self.current.lock().expect("schedule order mutex"))
+    }
+
+    /// Fold one shard's canonical-order stats in; trigger the replan once
+    /// `replan_after` shards have been measured.
+    fn observe(&self, stats: &[ShardStats]) {
+        let ready = {
+            let mut live = self.live.lock().expect("schedule live mutex");
+            for (k, s) in stats.iter().enumerate() {
+                live.ns[k] += s.duration.as_nanos();
+                live.samples_in[k] += s.samples_in as u64;
+                live.samples_out[k] += s.samples_out as u64;
+            }
+            live.shards_done += 1;
+            live.shards_done >= self.replan_after
+        };
+        if ready && self.replan_armed.swap(false, Ordering::Relaxed) {
+            self.replan();
+        }
+    }
+
+    /// Re-rank each commutable window from live measurements and publish
+    /// the revised order (stable sort: unmeasured steps keep their static
+    /// position among equals).
+    fn replan(&self) {
+        let scores: Vec<f64> = {
+            let live = self.live.lock().expect("schedule live mutex");
+            (0..self.canonical.len())
+                .map(|i| {
+                    if live.samples_in[i] > 0 {
+                        let ns = live.ns[i] as f64 / live.samples_in[i] as f64;
+                        let keep = live.samples_out[i] as f64 / live.samples_in[i] as f64;
+                        rank_score(ns, keep)
+                    } else {
+                        // An earlier step drained the funnel before this one
+                        // saw a sample — fall back to the static tier.
+                        fallback_score(step_static_cost(&self.canonical[i]))
+                    }
+                })
+                .collect()
+        };
+        let mut canon: Vec<usize> = (0..self.canonical.len()).collect();
+        for w in &self.windows {
+            canon[w.clone()].sort_by(|&a, &b| {
+                scores[a]
+                    .partial_cmp(&scores[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+        if canon.iter().enumerate().all(|(pos, &c)| pos == c) {
+            return; // measurements agree with the current order
+        }
+        let steps = canon
+            .iter()
+            .map(|&c| self.canonical[c].clone())
+            .collect::<Vec<_>>();
+        *self.current.lock().expect("schedule order mutex") = Arc::new(StepOrder { steps, canon });
+        self.replans.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Remap a shard outcome produced under `order` back onto canonical step
+/// positions, so per-shard stats and traces merge by plan index no matter
+/// which order each shard actually ran.
+fn remap_outcome(order: &StepOrder, outcome: ShardOutcome) -> ShardOutcome {
+    if order.canon.iter().enumerate().all(|(pos, &c)| pos == c) {
+        return outcome;
+    }
+    let ShardOutcome {
+        shard,
+        stats,
+        traces,
+    } = outcome;
+    let n = order.canon.len();
+    let mut c_stats = vec![ShardStats::default(); n];
+    let mut c_traces: Vec<Vec<TraceEvent>> = vec![Vec::new(); n];
+    for (pos, (s, t)) in stats.into_iter().zip(traces).enumerate() {
+        c_stats[order.canon[pos]] = s;
+        c_traces[order.canon[pos]] = t;
+    }
+    ShardOutcome {
+        shard,
+        stats: c_stats,
+        traces: c_traces,
+    }
+}
+
+/// Cache keys for a stage sequence.
+///
+/// Plain stage names by default (the status-quo keying). With prefix
+/// caching, each key is a chained FNV-1a fingerprint of every stage name
+/// up to and including this one, rendered as `p{chain:016x}` — the key
+/// encodes the *whole op prefix*, so editing, inserting or removing op
+/// `k` changes the keys of `k` and everything after it while ops before
+/// `k` keep hitting their entries, and two recipes sharing a prefix (and
+/// a cache space) can never collide on a same-named step at a different
+/// position.
+fn stage_cache_keys(stages: &[Stage], prefix: bool) -> Vec<(usize, String)> {
+    if !prefix {
+        return stages
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.name()))
+            .collect();
+    }
+    let mut chain = 0u64;
+    stages
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut bytes = chain.to_le_bytes().to_vec();
+            bytes.extend_from_slice(s.name().as_bytes());
+            chain = fnv1a(&bytes);
+            (i, format!("p{chain:016x}"))
+        })
+        .collect()
+}
+
+/// Fold this run's whole-pipeline throughput figures into the model's
+/// tunables — the numbers the next run's auto-tuner sizes shards and
+/// prefetch depth from.
+fn record_tunables(model: &mut CostModel, report: &RunReport) {
+    let secs = report.total_duration.as_secs_f64();
+    if secs <= 0.0 {
+        return;
+    }
+    if report.initial_samples > 0 {
+        model.set_tunable(TUNE_SAMPLES_PER_SEC, report.initial_samples as f64 / secs);
+    }
+    if report.shards > 0 {
+        model.set_tunable(TUNE_SHARD_MS, secs * 1000.0 / report.shards as f64);
     }
 }
 
@@ -1638,6 +2198,10 @@ pub fn executor_from_recipe(
         input: recipe.input_path.clone(),
         output: recipe.output_path.as_ref().map(PathBuf::from),
         output_format,
+        adaptive: recipe.adaptive,
+        replan_after_shards: recipe.replan_after_shards,
+        stats_dir: recipe.stats_dir.as_ref().map(PathBuf::from),
+        prefix_cache: recipe.prefix_cache,
     }))
 }
 

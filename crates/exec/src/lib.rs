@@ -63,6 +63,23 @@
 //!   [`ExecOptions::output_format`] — the file-backed IO knobs for
 //!   [`Executor::run_io`] (recipe YAML `input_path` / `output_path` /
 //!   `output_format`); see below.
+//! * [`ExecOptions::adaptive`] — measurement-driven planning (recipe YAML
+//!   `adaptive`; env `DJ_ADAPTIVE=1` enables the *run-local* parts only).
+//!   Ranks fusible steps by measured ns/sample ÷ selectivity from the
+//!   [`CostModel`], re-plans commutable stage suffixes mid-run, and
+//!   auto-tunes unset streaming knobs from a warm model. Output is
+//!   byte-identical to the static plan; see `docs/planning.md`.
+//! * [`ExecOptions::replan_after_shards`] — shards measured before the
+//!   one mid-run replan of each stage (recipe YAML `replan_after_shards`;
+//!   default: a quarter of the stage's shards, clamped to `[1, 8]`).
+//! * [`ExecOptions::stats_dir`] — directory for the persistent
+//!   `planner_stats.djcs` cost sidecar (recipe YAML `stats_dir`). Without
+//!   it, measurements persist only when `adaptive` is set per options
+//!   *and* a cache is attached (sidecar lives at the cache root).
+//! * [`ExecOptions::prefix_cache`] — per-op cache keying (recipe YAML
+//!   `prefix_cache`): each step becomes its own cache stage keyed by the
+//!   chained fingerprint of every step before it, so editing op *k*
+//!   resumes ops `0..k` from cache.
 //!
 //! ## Out-of-core execution (spill-to-disk)
 //!
@@ -126,14 +143,17 @@
 //! **stage** boundaries — the only points where a full dataset exists —
 //! with `RunReport::resumed_steps` still counting covered plan steps.
 
+pub mod cost;
 pub mod executor;
 pub mod fusion;
 
+pub use cost::{fallback_score, rank_score, CostModel, EWMA_ALPHA, MIN_MEASURED_SAMPLES};
 pub use executor::{
-    default_parallelism, executor_from_recipe, ExecOptions, Executor, OpReport, RunReport,
-    TraceEvent, DEFAULT_IO_SHARD_SIZE, DEFAULT_PREFETCH_DEPTH, MEMORY_BUDGET_ENV,
+    default_parallelism, executor_from_recipe, BarrierDecision, ExecOptions, Executor, OpReport,
+    RunReport, TraceEvent, ADAPTIVE_ENV, DEFAULT_IO_SHARD_SIZE, DEFAULT_PREFETCH_DEPTH,
+    MEMORY_BUDGET_ENV,
 };
-pub use fusion::{plan_fused, plan_unfused, Plan, PlanStep, Stage};
+pub use fusion::{plan_fused, plan_fused_measured, plan_unfused, Plan, PlanStep, Stage};
 pub use io::{CorpusReader, EgressManifest, OutputFormat, ShardedWriter};
 
 pub use dj_io as io;

@@ -65,6 +65,20 @@ impl CacheManager {
         self.mode
     }
 
+    /// The cache root directory (shared across recipes). The adaptive
+    /// planner parks its stats sidecar here so measurements survive across
+    /// runs that share a cache.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Default path of the planner-stats sidecar under this cache root.
+    /// Sidecar knowledge is recipe-independent (ops keep their names across
+    /// recipes), so it lives at the root, not in a `recipe-*` subdir.
+    pub fn stats_sidecar_path(&self) -> PathBuf {
+        self.root.join(crate::sidecar::STATS_SIDECAR_FILE)
+    }
+
     fn dir(&self) -> PathBuf {
         self.root
             .join(format!("recipe-{:016x}", self.recipe_fingerprint))

@@ -9,12 +9,16 @@
 //!   cache/checkpoint deployment policy;
 //! * [`shard_stream`] — length-prefixed, checksummed shard frames and the
 //!   disk-backed [`ShardSpool`], the storage substrate of the out-of-core
-//!   (spill-to-disk) execution mode.
+//!   (spill-to-disk) execution mode;
+//! * [`sidecar`] — the checksummed `DJCS` planner-stats sidecar: EWMA
+//!   per-op cost/selectivity aggregates persisted under the cache root so
+//!   the adaptive planner (`dj-exec`) learns across runs.
 
 pub mod cache;
 pub mod codec;
 pub mod serialize;
 pub mod shard_stream;
+pub mod sidecar;
 pub mod space;
 
 pub use cache::{remove_cache_root, CacheManager, CacheMode, CachedStage};
@@ -23,6 +27,10 @@ pub use serialize::{
     from_bytes, from_jsonl, sample_count, texts_at, to_bytes, to_jsonl, values_from_bytes,
     values_to_bytes,
 };
+pub use sidecar::{
+    OpAggregate, StatsSidecar, STATS_SIDECAR_FILE, STATS_SIDECAR_MAGIC, STATS_SIDECAR_VERSION,
+};
+
 pub use shard_stream::{
     count_frames, encode_shard_frame, read_shard_frame, read_shard_stream, write_shard_frame,
     FrameSlab, ShardSpool, ShardStreamReader, ShardStreamWriter, FINGERPRINT_MAGIC,

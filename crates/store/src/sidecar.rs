@@ -1,0 +1,301 @@
+//! Checksummed planner-stats sidecar (`DJCS`) — the on-disk memory of the
+//! adaptive planner.
+//!
+//! The executor measures per-op cost (ns/sample) and selectivity
+//! (keep ratio) on every run; `dj-exec`'s `CostModel` folds those
+//! observations into EWMA aggregates and persists them here, under the
+//! cache root (or an explicit stats dir), so the *next* run can plan from
+//! measurements instead of the static `OpCost` table.
+//!
+//! ## On-disk format (version 1)
+//!
+//! ```text
+//! magic    b"DJCS"                      4 bytes
+//! version  u16 LE                       2 bytes
+//! op_count u32 LE
+//! per op:
+//!   name_len u16 LE, name utf8 bytes
+//!   ns_per_sample f64 LE   (EWMA)
+//!   keep_ratio    f64 LE   (EWMA, samples_out / samples_in)
+//!   samples       u64 LE   (total samples observed)
+//!   runs          u64 LE   (number of runs folded in)
+//! tunable_count u32 LE
+//! per tunable:
+//!   name_len u16 LE, name utf8 bytes
+//!   value    f64 LE
+//! checksum u64 LE — FNV-1a over every preceding byte
+//! ```
+//!
+//! A sidecar is *advisory*: a missing, truncated, version-skewed, or
+//! checksum-failing file decodes to `None` and the planner simply starts
+//! cold. Corruption can never fail a run. Writes are atomic
+//! (temp file + rename) so a killed run leaves either the old sidecar or
+//! the new one, never a torn file.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use dj_core::{DjError, Result};
+use dj_hash::fnv1a;
+
+/// Magic prefix of a planner-stats sidecar file.
+pub const STATS_SIDECAR_MAGIC: &[u8; 4] = b"DJCS";
+/// Current sidecar format version.
+pub const STATS_SIDECAR_VERSION: u16 = 1;
+/// Default sidecar file name under a cache/stats root.
+pub const STATS_SIDECAR_FILE: &str = "planner_stats.djcs";
+
+/// EWMA aggregate for one plan step (keyed by step name, e.g.
+/// `"text_length_filter"` or `"fused(word_num_filter+stopwords_filter)"`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpAggregate {
+    /// Smoothed per-sample cost in nanoseconds.
+    pub ns_per_sample: f64,
+    /// Smoothed keep ratio in `[0, 1]` (1.0 = drops nothing).
+    pub keep_ratio: f64,
+    /// Total samples folded into the aggregate.
+    pub samples: u64,
+    /// Number of runs folded into the aggregate.
+    pub runs: u64,
+}
+
+/// The decoded sidecar: per-op aggregates plus scalar tunables
+/// (e.g. measured `samples_per_sec` used to auto-size shards).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsSidecar {
+    pub ops: BTreeMap<String, OpAggregate>,
+    pub tunables: BTreeMap<String, f64>,
+}
+
+impl StatsSidecar {
+    pub fn new() -> StatsSidecar {
+        StatsSidecar::default()
+    }
+
+    /// Encode to the checksummed `DJCS` byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + self.ops.len() * 48);
+        buf.extend_from_slice(STATS_SIDECAR_MAGIC);
+        buf.extend_from_slice(&STATS_SIDECAR_VERSION.to_le_bytes());
+        buf.extend_from_slice(&(self.ops.len() as u32).to_le_bytes());
+        for (name, agg) in &self.ops {
+            push_str(&mut buf, name);
+            buf.extend_from_slice(&agg.ns_per_sample.to_le_bytes());
+            buf.extend_from_slice(&agg.keep_ratio.to_le_bytes());
+            buf.extend_from_slice(&agg.samples.to_le_bytes());
+            buf.extend_from_slice(&agg.runs.to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.tunables.len() as u32).to_le_bytes());
+        for (name, value) in &self.tunables {
+            push_str(&mut buf, name);
+            buf.extend_from_slice(&value.to_le_bytes());
+        }
+        let checksum = fnv1a(&buf);
+        buf.extend_from_slice(&checksum.to_le_bytes());
+        buf
+    }
+
+    /// Decode a `DJCS` byte buffer. Returns `None` on any structural
+    /// problem — wrong magic, version skew, truncation, trailing garbage,
+    /// or checksum mismatch — because a sidecar is advisory state.
+    pub fn from_bytes(bytes: &[u8]) -> Option<StatsSidecar> {
+        if bytes.len() < STATS_SIDECAR_MAGIC.len() + 2 + 8 {
+            return None;
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().ok()?);
+        if fnv1a(body) != stored {
+            return None;
+        }
+        let mut cur = Cursor { buf: body, pos: 0 };
+        if cur.take(4)? != &STATS_SIDECAR_MAGIC[..] {
+            return None;
+        }
+        if u16::from_le_bytes(cur.take(2)?.try_into().ok()?) != STATS_SIDECAR_VERSION {
+            return None;
+        }
+        let op_count = u32::from_le_bytes(cur.take(4)?.try_into().ok()?) as usize;
+        let mut ops = BTreeMap::new();
+        for _ in 0..op_count {
+            let name = cur.take_str()?;
+            let ns_per_sample = cur.take_f64()?;
+            let keep_ratio = cur.take_f64()?;
+            let samples = cur.take_u64()?;
+            let runs = cur.take_u64()?;
+            ops.insert(
+                name,
+                OpAggregate {
+                    ns_per_sample,
+                    keep_ratio,
+                    samples,
+                    runs,
+                },
+            );
+        }
+        let tunable_count = u32::from_le_bytes(cur.take(4)?.try_into().ok()?) as usize;
+        let mut tunables = BTreeMap::new();
+        for _ in 0..tunable_count {
+            let name = cur.take_str()?;
+            let value = cur.take_f64()?;
+            tunables.insert(name, value);
+        }
+        if cur.pos != body.len() {
+            return None; // trailing garbage
+        }
+        Some(StatsSidecar { ops, tunables })
+    }
+
+    /// Read a sidecar file; `None` when missing or invalid in any way.
+    pub fn read(path: &Path) -> Option<StatsSidecar> {
+        let bytes = fs::read(path).ok()?;
+        StatsSidecar::from_bytes(&bytes)
+    }
+
+    /// Atomically write the sidecar (temp file + rename in the target dir).
+    pub fn write(&self, path: &Path) -> Result<()> {
+        let dir = path.parent().unwrap_or_else(|| Path::new("."));
+        fs::create_dir_all(dir)
+            .map_err(|e| DjError::Storage(format!("create stats dir {}: {e}", dir.display())))?;
+        let tmp = path.with_extension("djcs.tmp");
+        {
+            let mut f = fs::File::create(&tmp)
+                .map_err(|e| DjError::Storage(format!("create {}: {e}", tmp.display())))?;
+            f.write_all(&self.to_bytes())
+                .map_err(|e| DjError::Storage(format!("write {}: {e}", tmp.display())))?;
+            f.sync_all().ok();
+        }
+        fs::rename(&tmp, path)
+            .map_err(|e| DjError::Storage(format!("rename {}: {e}", path.display())))
+    }
+}
+
+fn push_str(buf: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    buf.extend_from_slice(&(len as u16).to_le_bytes());
+    buf.extend_from_slice(&bytes[..len]);
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn take_u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn take_f64(&mut self) -> Option<f64> {
+        Some(f64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn take_str(&mut self) -> Option<String> {
+        let len = u16::from_le_bytes(self.take(2)?.try_into().ok()?) as usize;
+        String::from_utf8(self.take(len)?.to_vec()).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_sidecar() -> StatsSidecar {
+        let mut s = StatsSidecar::new();
+        s.ops.insert(
+            "text_length_filter".into(),
+            OpAggregate {
+                ns_per_sample: 120.5,
+                keep_ratio: 0.4,
+                samples: 10_000,
+                runs: 3,
+            },
+        );
+        s.ops.insert(
+            "fused(word_num_filter+stopwords_filter)".into(),
+            OpAggregate {
+                ns_per_sample: 8_400.0,
+                keep_ratio: 0.97,
+                samples: 4_000,
+                runs: 3,
+            },
+        );
+        s.tunables.insert("samples_per_sec".into(), 35_000.0);
+        s
+    }
+
+    #[test]
+    fn roundtrips_bytes() {
+        let s = sample_sidecar();
+        let decoded = StatsSidecar::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(decoded, s);
+    }
+
+    #[test]
+    fn roundtrips_empty() {
+        let s = StatsSidecar::new();
+        assert_eq!(StatsSidecar::from_bytes(&s.to_bytes()).unwrap(), s);
+    }
+
+    #[test]
+    fn rejects_corruption_everywhere() {
+        let bytes = sample_sidecar().to_bytes();
+        // Flip every single byte: decode must fail (checksum) or at minimum
+        // never panic.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x5a;
+            assert!(
+                StatsSidecar::from_bytes(&bad).is_none(),
+                "byte {i} flip survived decode"
+            );
+        }
+        // Truncations at every length.
+        for n in 0..bytes.len() {
+            assert!(StatsSidecar::from_bytes(&bytes[..n]).is_none());
+        }
+        // Trailing garbage (re-checksummed) is rejected too.
+        let mut long = sample_sidecar().to_bytes();
+        long.truncate(long.len() - 8);
+        long.push(0);
+        let sum = fnv1a(&long);
+        long.extend_from_slice(&sum.to_le_bytes());
+        assert!(StatsSidecar::from_bytes(&long).is_none());
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut bytes = sample_sidecar().to_bytes();
+        bytes.truncate(bytes.len() - 8);
+        bytes[4] = 99; // version lo byte
+        let sum = fnv1a(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        assert!(StatsSidecar::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn file_roundtrip_and_missing_file() {
+        let dir = std::env::temp_dir().join(format!("djcs-test-{}", std::process::id()));
+        let path = dir.join(STATS_SIDECAR_FILE);
+        assert!(StatsSidecar::read(&path).is_none());
+        let s = sample_sidecar();
+        s.write(&path).unwrap();
+        assert_eq!(StatsSidecar::read(&path).unwrap(), s);
+        // Corrupt file on disk → read yields None, not an error.
+        std::fs::write(&path, b"DJCSgarbage").unwrap();
+        assert!(StatsSidecar::read(&path).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
