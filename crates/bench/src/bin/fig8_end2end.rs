@@ -31,6 +31,10 @@ struct Row {
     ingest_mb_per_sec: f64,
     /// Streaming-egress throughput in MB/s (0 for in-memory systems).
     egress_mb_per_sec: f64,
+    /// Raw bytes decoded from spilled frames (columnar runs only).
+    bytes_decoded: u64,
+    /// Raw bytes spliced through without decoding (columnar runs only).
+    bytes_passthrough: u64,
 }
 
 /// Planner convergence on the misordered fixture recipe: how close the
@@ -86,7 +90,8 @@ fn write_bench_json(rows: &[Row], planner: &PlannerConvergence, path: &str) {
              \"seconds\": {:.6}, \"mem_mb\": {:.3}, \"samples_in\": {}, \
              \"samples_out\": {}, \"samples_per_sec\": {:.1}, \
              \"barrier_seconds\": {:.6}, \"barrier_share\": {:.4}, \
-             \"ingest_mb_per_sec\": {:.3}, \"egress_mb_per_sec\": {:.3}}}{}\n",
+             \"ingest_mb_per_sec\": {:.3}, \"egress_mb_per_sec\": {:.3}, \
+             \"bytes_decoded\": {}, \"bytes_passthrough\": {}}}{}\n",
             r.dataset,
             r.np,
             r.system,
@@ -99,6 +104,8 @@ fn write_bench_json(rows: &[Row], planner: &PlannerConvergence, path: &str) {
             barrier_share,
             r.ingest_mb_per_sec,
             r.egress_mb_per_sec,
+            r.bytes_decoded,
+            r.bytes_passthrough,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -246,6 +253,8 @@ fn main() {
                 barrier_seconds: report.barrier_duration.as_secs_f64(),
                 ingest_mb_per_sec: 0.0,
                 egress_mb_per_sec: 0.0,
+                bytes_decoded: 0,
+                bytes_passthrough: 0,
             });
 
             // RedPajama-style (np is irrelevant to its whole-dataset copies;
@@ -263,6 +272,8 @@ fn main() {
                 barrier_seconds: 0.0,
                 ingest_mb_per_sec: 0.0,
                 egress_mb_per_sec: 0.0,
+                bytes_decoded: 0,
+                bytes_passthrough: 0,
             });
 
             // Dolma-style (requires pre-sharding to np shards).
@@ -279,6 +290,8 @@ fn main() {
                 barrier_seconds: 0.0,
                 ingest_mb_per_sec: 0.0,
                 egress_mb_per_sec: 0.0,
+                bytes_decoded: 0,
+                bytes_passthrough: 0,
             });
         }
 
@@ -317,6 +330,8 @@ fn main() {
             barrier_seconds: report.barrier_duration.as_secs_f64(),
             ingest_mb_per_sec: 0.0,
             egress_mb_per_sec: 0.0,
+            bytes_decoded: 0,
+            bytes_passthrough: 0,
         });
 
         // Data-Juicer file-backed: the same pipeline, but ingested from
@@ -369,6 +384,8 @@ fn main() {
             egress_mb_per_sec: report.egress_bytes as f64
                 / 1e6
                 / report.egress_duration.as_secs_f64().max(1e-9),
+            bytes_decoded: 0,
+            bytes_passthrough: 0,
         });
         let _ = std::fs::remove_dir_all(&io_dir);
 
@@ -398,6 +415,8 @@ fn main() {
             barrier_seconds: report.barrier_duration.as_secs_f64(),
             ingest_mb_per_sec: 0.0,
             egress_mb_per_sec: 0.0,
+            bytes_decoded: 0,
+            bytes_passthrough: 0,
         });
 
         // Data-Juicer adaptive: same pipeline planned from a warm stats
@@ -433,8 +452,89 @@ fn main() {
             barrier_seconds: report.barrier_duration.as_secs_f64(),
             ingest_mb_per_sec: 0.0,
             egress_mb_per_sec: 0.0,
+            bytes_decoded: 0,
+            bytes_passthrough: 0,
         });
         let _ = std::fs::remove_dir_all(&stats_dir);
+    }
+
+    // Columnar projection on a metadata-heavy corpus: the same C4-style
+    // pipeline over samples dragging provenance columns (url, headers,
+    // render log) the ops never read. Row-format OOC decodes every byte
+    // of every frame; columnar OOC decodes only the projected columns
+    // and splices the metadata through verbatim — the row pair isolates
+    // what projection pushdown buys.
+    section("Columnar projection: metadata-heavy C4");
+    {
+        use dj_core::Value;
+        let np = *nps.last().expect("np sweep non-empty");
+        let mut data = workloads::fig8_c4(scale * 2);
+        for (i, s) in data.samples_mut().iter_mut().enumerate() {
+            let root = s.value_mut();
+            root.set_path("url", Value::Str(format!("https://c4.example.org/doc/{i}")))
+                .expect("sample root is a map");
+            root.set_path(
+                "headers",
+                Value::Str(
+                    "content-type: text/plain; charset=utf-8; server: nginx/1.18; ".repeat(40),
+                ),
+            )
+            .expect("sample root is a map");
+            root.set_path(
+                "render_log",
+                Value::Str(format!("fetch {i}: dns 12ms connect 30ms ttfb 140ms; ").repeat(50)),
+            )
+            .expect("sample root is a map");
+        }
+        let ooc_opts = |columnar: bool| ExecOptions {
+            num_workers: np,
+            op_fusion: true,
+            trace_examples: 0,
+            shard_size: Some(data.len().div_ceil(4 * np.max(1) * 4)),
+            memory_budget: Some(1),
+            columnar,
+            ..ExecOptions::default()
+        };
+        let mut timed = |system: &'static str, columnar: bool| {
+            let exec = Executor::new(matched_dj_ops(p)).with_options(ooc_opts(columnar));
+            let t0 = Instant::now();
+            let (out, report) = exec.run(data.clone()).expect("meta-heavy pipeline runs");
+            let seconds = t0.elapsed().as_secs_f64();
+            assert!(report.spilled, "1-byte budget must spill");
+            rows.push(Row {
+                dataset: "C4-meta",
+                np,
+                system,
+                seconds,
+                mem_mb: report.peak_resident_bytes as f64 / 1e6,
+                out_len: out.len(),
+                in_len: data.len(),
+                barrier_seconds: report.barrier_duration.as_secs_f64(),
+                ingest_mb_per_sec: 0.0,
+                egress_mb_per_sec: 0.0,
+                bytes_decoded: report.bytes_decoded,
+                bytes_passthrough: report.bytes_passthrough,
+            });
+            (out, report, seconds)
+        };
+        let (row_out, _, row_s) = timed("Data-Juicer-OOC", false);
+        let (col_out, col_report, col_s) = timed("Data-Juicer-columnar", true);
+        assert_eq!(col_out, row_out, "columnar OOC output diverged");
+        assert!(col_report.columnar);
+        println!(
+            "row OOC {row_s:.3}s | columnar OOC {col_s:.3}s | decoded {:.2} MB, \
+             passthrough {:.2} MB",
+            col_report.bytes_decoded as f64 / 1e6,
+            col_report.bytes_passthrough as f64 / 1e6,
+        );
+        println!("per-op decode accounting (columnar run):");
+        for op in &col_report.ops {
+            println!(
+                "  {:<56} {:>10.3} MB decoded",
+                op.name,
+                op.bytes_decoded as f64 / 1e6
+            );
+        }
     }
 
     let planner = planner_convergence();

@@ -92,6 +92,13 @@ pub struct Recipe {
     /// chained prefix fingerprint so editing op `k` resumes ops `0..k`
     /// from cache (default `false`; costs a materialization per step).
     pub prefix_cache: bool,
+    /// Columnar shard frames with field-projection pushdown: spilled
+    /// shards are stored as per-column `DJSC` frames and each stage
+    /// decodes only the columns its OPs' field footprints name, splicing
+    /// every other column through byte-for-byte (default `false`; the
+    /// `DJ_COLUMNAR` env var forces it on). Output is byte-identical to
+    /// the row format.
+    pub columnar: bool,
     /// The ordered OP pipeline.
     pub process: Vec<OpSpec>,
 }
@@ -115,6 +122,7 @@ impl Default for Recipe {
             replan_after_shards: None,
             stats_dir: None,
             prefix_cache: false,
+            columnar: false,
             process: Vec::new(),
         }
     }
@@ -218,6 +226,13 @@ impl Recipe {
     /// Builder: toggle per-op prefix caching.
     pub fn with_prefix_cache(mut self, enabled: bool) -> Recipe {
         self.prefix_cache = enabled;
+        self
+    }
+
+    /// Builder: toggle columnar spilled-shard frames with field-projection
+    /// pushdown.
+    pub fn with_columnar(mut self, enabled: bool) -> Recipe {
+        self.columnar = enabled;
         self
     }
 
@@ -349,6 +364,9 @@ impl Recipe {
         if let Some(pc) = v.get_path("prefix_cache").and_then(Value::as_bool) {
             recipe.prefix_cache = pc;
         }
+        if let Some(c) = v.get_path("columnar").and_then(Value::as_bool) {
+            recipe.columnar = c;
+        }
         let process = match v.get_path("process") {
             None => Vec::new(),
             Some(Value::List(items)) => items
@@ -430,6 +448,12 @@ impl Recipe {
         }
         if self.prefix_cache {
             root.set_path("prefix_cache", Value::Bool(true))
+                .expect("map root");
+        }
+        // Emitted only when non-default so existing recipe fingerprints
+        // (and therefore cache keys) are unchanged for row-format runs.
+        if self.columnar {
+            root.set_path("columnar", Value::Bool(true))
                 .expect("map root");
         }
         let ops: Vec<Value> = self
@@ -722,6 +746,29 @@ process:
         assert_eq!(defaults.replan_after_shards, None);
         assert_eq!(defaults.stats_dir, None);
         assert!(!defaults.prefix_cache);
+    }
+
+    #[test]
+    fn columnar_knob_roundtrips_and_validates() {
+        let r = sample_recipe().with_columnar(true);
+        assert!(r.columnar);
+        assert!(r.to_yaml().contains("columnar"));
+        let parsed = Recipe::from_yaml(&r.to_yaml()).unwrap();
+        assert_eq!(parsed, r);
+        assert_ne!(
+            r.fingerprint(),
+            sample_recipe().fingerprint(),
+            "columnar participates in the cache key"
+        );
+        let y = Recipe::from_yaml("columnar: true\n").unwrap();
+        assert!(y.columnar);
+        let defaults = Recipe::from_yaml("np: 2\n").unwrap();
+        assert!(!defaults.columnar, "columnar frames are opt-in");
+        assert!(
+            !defaults.to_yaml().contains("columnar"),
+            "default stays out of the canonical serialization so row-format \
+             recipe fingerprints are unchanged"
+        );
     }
 
     #[test]

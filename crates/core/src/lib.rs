@@ -34,8 +34,8 @@ pub use dataset::Dataset;
 pub use error::{DjError, Result};
 pub use json::parse_json;
 pub use op::{
-    params, Deduplicator, Filter, Formatter, Mapper, Op, OpCost, OpFactory, OpKind, OpParams,
-    OpRegistry,
+    params, Deduplicator, FieldSet, Filter, Formatter, Mapper, Op, OpCost, OpFactory, OpKind,
+    OpParams, OpRegistry,
 };
 pub use sample::{Sample, META_KEY, STATS_KEY, TEXT_KEY};
 pub use shard::{MemShardStore, ResidencyGauge, ShardSink, ShardSource, ShardStats};

@@ -57,6 +57,83 @@ impl OpCost {
     }
 }
 
+/// The set of sample fields an OP touches — its *field footprint*.
+///
+/// Footprints drive the columnar projection pushdown: when every step of a
+/// pipeline stage declares a bounded footprint, the out-of-core executor
+/// decodes only the named top-level columns of each `DJSC` shard frame and
+/// splices every other column through byte-for-byte. `All` (the
+/// conservative default on every trait) keeps undeclared OPs correct: the
+/// stage decodes whole samples exactly as before.
+///
+/// Fields are dotted paths (`"text"`, `"meta.lang"`); projection resolves
+/// each path to its top-level column (`"meta.lang"` → `"meta"`), since
+/// columns are the unit of storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldSet {
+    /// The OP may read or write any field — decode everything.
+    All,
+    /// The OP touches only these dotted field paths.
+    Fields(Vec<String>),
+}
+
+impl FieldSet {
+    /// The empty footprint (touches nothing).
+    pub fn none() -> FieldSet {
+        FieldSet::Fields(Vec::new())
+    }
+
+    /// A footprint of the given dotted field paths.
+    pub fn of<I, S>(fields: I) -> FieldSet
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        FieldSet::Fields(fields.into_iter().map(Into::into).collect())
+    }
+
+    pub fn is_all(&self) -> bool {
+        matches!(self, FieldSet::All)
+    }
+
+    /// Union of two footprints. `All` absorbs everything.
+    pub fn union(self, other: FieldSet) -> FieldSet {
+        match (self, other) {
+            (FieldSet::All, _) | (_, FieldSet::All) => FieldSet::All,
+            (FieldSet::Fields(mut a), FieldSet::Fields(b)) => {
+                for f in b {
+                    if !a.contains(&f) {
+                        a.push(f);
+                    }
+                }
+                FieldSet::Fields(a)
+            }
+        }
+    }
+
+    /// The top-level columns this footprint projects to (`"meta.lang"` →
+    /// `"meta"`), or `None` for `All` (every column is needed).
+    pub fn top_level_columns(&self) -> Option<std::collections::BTreeSet<String>> {
+        match self {
+            FieldSet::All => None,
+            FieldSet::Fields(fields) => Some(
+                fields
+                    .iter()
+                    .map(|f| f.split('.').next().unwrap_or(f).to_string())
+                    .collect(),
+            ),
+        }
+    }
+
+    /// The single dotted field path, when the footprint names exactly one.
+    pub fn single_field(&self) -> Option<&str> {
+        match self {
+            FieldSet::Fields(fields) if fields.len() == 1 => Some(&fields[0]),
+            _ => None,
+        }
+    }
+}
+
 /// Formatter: unify a raw input into the intermediate representation.
 pub trait Formatter: Send + Sync {
     fn name(&self) -> &'static str;
@@ -81,6 +158,17 @@ pub trait Mapper: Send + Sync {
 
     fn cost(&self) -> OpCost {
         OpCost::Cheap
+    }
+
+    /// Dotted field paths this mapper reads. Defaults to [`FieldSet::All`]
+    /// so undeclared mappers stay on the decode-everything path.
+    fn fields_read(&self) -> FieldSet {
+        FieldSet::All
+    }
+
+    /// Dotted field paths this mapper writes. Defaults to [`FieldSet::All`].
+    fn fields_written(&self) -> FieldSet {
+        FieldSet::All
     }
 }
 
@@ -115,6 +203,18 @@ pub trait Filter: Send + Sync {
     /// *earlier* filter (or on side effects) must opt out.
     fn commutable(&self) -> bool {
         true
+    }
+
+    /// Dotted field paths `compute_stats`/`process` read. Defaults to
+    /// [`FieldSet::All`] so undeclared filters stay correct.
+    fn fields_read(&self) -> FieldSet {
+        FieldSet::All
+    }
+
+    /// Dotted field paths this filter writes (normally just its stats).
+    /// Defaults to [`FieldSet::All`].
+    fn fields_written(&self) -> FieldSet {
+        FieldSet::All
     }
 }
 
@@ -178,6 +278,19 @@ pub trait Deduplicator: Send + Sync {
             "hash_field() is Some but compute_hash_text is not implemented",
         ))
     }
+
+    /// Dotted field paths `compute_hash` reads — the same footprint API the
+    /// other OP kinds use. The default derives it from
+    /// [`hash_field`](Deduplicator::hash_field): a single-field fingerprint
+    /// footprint when that contract holds, `All` otherwise. The executor's
+    /// projection and zero-copy hash passes consult *this* method, so a
+    /// custom deduplicator only needs to declare its footprint in one place.
+    fn fields_read(&self) -> FieldSet {
+        match self.hash_field() {
+            Some(field) => FieldSet::of([field]),
+            None => FieldSet::All,
+        }
+    }
 }
 
 /// A type-erased operator, the unit the executor schedules.
@@ -229,6 +342,25 @@ impl Op {
         match self {
             Op::Mapper(_) | Op::Deduplicator(_) => false,
             Op::Filter(f) => f.commutable(),
+        }
+    }
+
+    /// Dotted field paths this OP reads (projection pushdown input).
+    pub fn fields_read(&self) -> FieldSet {
+        match self {
+            Op::Mapper(m) => m.fields_read(),
+            Op::Filter(f) => f.fields_read(),
+            Op::Deduplicator(d) => d.fields_read(),
+        }
+    }
+
+    /// Dotted field paths this OP writes. Deduplicators only drop whole
+    /// samples, so their write footprint is empty.
+    pub fn fields_written(&self) -> FieldSet {
+        match self {
+            Op::Mapper(m) => m.fields_written(),
+            Op::Filter(f) => f.fields_written(),
+            Op::Deduplicator(_) => FieldSet::none(),
         }
     }
 }
@@ -426,6 +558,51 @@ mod tests {
         assert!(
             OpCost::Moderate.fallback_ns_per_sample() < OpCost::Expensive.fallback_ns_per_sample()
         );
+    }
+
+    #[test]
+    fn field_set_union_projection_and_defaults() {
+        // Defaults keep every OP on the conservative decode-everything path.
+        assert!(Op::Mapper(Arc::new(Upper)).fields_read().is_all());
+        assert!(Op::Filter(Arc::new(MinLen(1))).fields_written().is_all());
+
+        // All absorbs unions in either direction.
+        assert!(FieldSet::All.union(FieldSet::of(["text"])).is_all());
+        assert!(FieldSet::of(["text"]).union(FieldSet::All).is_all());
+
+        // Unions deduplicate, and dotted paths project to top-level columns.
+        let u = FieldSet::of(["text", "meta.lang"]).union(FieldSet::of(["meta.url", "text"]));
+        let cols = u.top_level_columns().unwrap();
+        assert_eq!(
+            cols.iter().map(String::as_str).collect::<Vec<_>>(),
+            vec!["meta", "text"]
+        );
+
+        // single_field only fires on exactly one path.
+        assert_eq!(FieldSet::of(["text"]).single_field(), Some("text"));
+        assert_eq!(FieldSet::of(["a", "b"]).single_field(), None);
+        assert_eq!(FieldSet::All.single_field(), None);
+        assert_eq!(FieldSet::none().single_field(), None);
+        assert!(FieldSet::none().top_level_columns().unwrap().is_empty());
+
+        // A hash_field-declaring deduplicator derives its read footprint.
+        struct HashText;
+        impl Deduplicator for HashText {
+            fn name(&self) -> &'static str {
+                "hash_text"
+            }
+            fn compute_hash(&self, s: &Sample, _ctx: &mut SampleContext) -> Result<Value> {
+                Ok(Value::from(s.text()))
+            }
+            fn keep_mask(&self, samples: usize, _hashes: &[Value]) -> Result<Vec<bool>> {
+                Ok(vec![true; samples])
+            }
+            fn hash_field(&self) -> Option<&str> {
+                Some("text")
+            }
+        }
+        assert_eq!(HashText.fields_read().single_field(), Some("text"));
+        assert!(Op::Deduplicator(Arc::new(HashText)).fields_written() == FieldSet::none());
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub struct ShardStats {
     pub changed: usize,
     /// CPU time this shard spent inside this step.
     pub duration: Duration,
+    /// Decoded (decompressed) payload bytes this step's stage read to run
+    /// this shard. Only columnar stages attribute bytes; row-format stages
+    /// leave it zero. Every step of a fused stage reports the same shard
+    /// decode — the stage decodes once for all of them.
+    pub bytes_decoded: u64,
 }
 
 impl ShardStats {
@@ -49,6 +54,7 @@ impl ShardStats {
         self.removed += other.removed;
         self.changed += other.changed;
         self.duration = self.duration.max(other.duration);
+        self.bytes_decoded += other.bytes_decoded;
     }
 
     /// Fold a sequence of per-shard accumulators into one.
@@ -193,6 +199,7 @@ mod tests {
             removed: 2,
             changed: 3,
             duration: Duration::from_millis(5),
+            bytes_decoded: 100,
         };
         let b = ShardStats {
             samples_in: 7,
@@ -200,6 +207,7 @@ mod tests {
             removed: 0,
             changed: 1,
             duration: Duration::from_millis(9),
+            bytes_decoded: 40,
         };
         let m = ShardStats::merged([&a, &b]);
         assert_eq!(m.samples_in, 17);
@@ -207,6 +215,7 @@ mod tests {
         assert_eq!(m.removed, 2);
         assert_eq!(m.changed, 4);
         assert_eq!(m.duration, Duration::from_millis(9));
+        assert_eq!(m.bytes_decoded, 140);
     }
 
     #[test]

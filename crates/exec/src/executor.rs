@@ -6,17 +6,20 @@
 //! See the crate docs for the stage/shard execution model and the
 //! out-of-core mode.
 
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use dj_core::{
-    Dataset, Deduplicator, DjError, MemShardStore, Op, ResidencyGauge, Result, Sample,
+    Dataset, Deduplicator, DjError, FieldSet, MemShardStore, Op, ResidencyGauge, Result, Sample,
     SampleContext, ShardSink, ShardSource, ShardStats, Value,
 };
 use dj_io::{CorpusReader, OutputFormat, ShardedWriter};
-use dj_store::{CacheManager, CachedStage, Codec, ShardSpool, STATS_SIDECAR_FILE};
+use dj_store::{
+    split_column_path, CacheManager, CachedStage, Codec, ShardSpool, STATS_SIDECAR_FILE,
+};
 
 use dj_hash::fnv1a;
 
@@ -50,6 +53,13 @@ pub const MEMORY_BUDGET_ENV: &str = "DJ_MEMORY_BUDGET";
 /// opt-in: `ExecOptions::adaptive = true` with a cache attached, or an
 /// explicit [`ExecOptions::stats_dir`].
 pub const ADAPTIVE_ENV: &str = "DJ_ADAPTIVE";
+
+/// Environment override forcing [`ExecOptions::columnar`] on (`1`, `true`
+/// or `yes`; anything else leaves the option as configured). Lets CI run
+/// the whole suite over columnar `DJSC` spill frames with field-projection
+/// pushdown (`DJ_COLUMNAR=1 cargo test`). Output is byte-identical to the
+/// row format, so the override is safe suite-wide.
+pub const COLUMNAR_ENV: &str = "DJ_COLUMNAR";
 
 /// Minimum samples *per worker* before the parallel dedup barrier
 /// clustering pays for its thread-spawn cost; smaller inputs cluster
@@ -141,6 +151,13 @@ pub struct ExecOptions {
     /// development, not production throughput). Only applies to cached
     /// runs.
     pub prefix_cache: bool,
+    /// Store spilled shards as columnar `DJSC` frames and push field
+    /// projections down into the spill reads: each pipeline stage decodes
+    /// only the columns its OPs' declared footprints
+    /// ([`dj_core::Mapper::fields_read`] and friends) name, splicing every
+    /// untouched column through byte-for-byte. Output is byte-identical
+    /// to the row format. Also forced on by the `DJ_COLUMNAR` env var.
+    pub columnar: bool,
 }
 
 impl Default for ExecOptions {
@@ -162,6 +179,7 @@ impl Default for ExecOptions {
             replan_after_shards: None,
             stats_dir: None,
             prefix_cache: false,
+            columnar: false,
         }
     }
 }
@@ -233,6 +251,9 @@ pub struct OpReport {
     /// time each shard spent inside this step.
     pub duration: Duration,
     pub fused: bool,
+    /// Decompressed spill bytes decoded to run this step (columnar stages
+    /// only; every step of a stage reports the stage's shared decode).
+    pub bytes_decoded: u64,
     pub trace: Vec<TraceEvent>,
 }
 
@@ -297,6 +318,17 @@ pub struct RunReport {
     pub tuned_shard_size: Option<usize>,
     /// Prefetch depth the auto-tuner picked, when it overrode the default.
     pub tuned_prefetch_depth: Option<usize>,
+    /// Whether columnar spill frames with projection pushdown were in
+    /// force (option or `DJ_COLUMNAR` env).
+    pub columnar: bool,
+    /// Decompressed bytes the columnar stages actually decoded — the
+    /// projected columns' share of the spilled data (plus full decodes
+    /// where a step declared `FieldSet::All` or tracing was on).
+    pub bytes_decoded: u64,
+    /// Decompressed bytes of untouched columns that crossed stage
+    /// input→output as byte-for-byte splices, never materialized into
+    /// `Value`s — the work projection pushdown avoided.
+    pub bytes_passthrough: u64,
 }
 
 /// How a dedup barrier's clustering was scheduled: on the worker pool or
@@ -410,6 +442,26 @@ impl Executor {
                 std::env::var(ADAPTIVE_ENV).ok().as_deref().map(str::trim),
                 Some("1" | "true" | "yes")
             )
+    }
+
+    /// Whether columnar spill frames are in force: the explicit option, or
+    /// the `DJ_COLUMNAR` env override (`1`/`true`/`yes`).
+    fn effective_columnar(&self) -> bool {
+        self.options.columnar
+            || matches!(
+                std::env::var(COLUMNAR_ENV).ok().as_deref().map(str::trim),
+                Some("1" | "true" | "yes")
+            )
+    }
+
+    /// A fresh spill spool in the mode in force — columnar `DJSC` frames
+    /// when columnar execution is on, row `DJSF` frames otherwise.
+    fn new_spool(&self, slots: usize) -> Result<ShardSpool> {
+        if self.effective_columnar() {
+            ShardSpool::create_columnar(self.fresh_spill_dir(), slots, SPILL_CODEC)
+        } else {
+            ShardSpool::create(self.fresh_spill_dir(), slots, SPILL_CODEC)
+        }
     }
 
     /// Where the cost-model sidecar persists, if anywhere: an explicit
@@ -550,6 +602,7 @@ impl Executor {
             stages: stages.len(),
             spilled: true,
             measured_steps: plan.measured_steps,
+            columnar: self.effective_columnar(),
             ..RunReport::default()
         };
         let shard_size = self
@@ -572,7 +625,7 @@ impl Executor {
         let ingest_start = Instant::now();
         // Slot count 0: the spool grows with the stream — the corpus
         // length is unknown until it is dry.
-        let spool = ShardSpool::create(self.fresh_spill_dir(), 0, SPILL_CODEC)?;
+        let spool = self.new_spool(0)?;
         let spool_ref = &spool;
         let (per_shard, ingest_bytes, ingest_samples) =
             stream_ingest(reader, shard_size, workers, depth, &gauge, |i, shard| {
@@ -637,6 +690,21 @@ impl Executor {
     ) -> Result<()> {
         let writer = ShardedWriter::create(dir, self.options.output_format)?;
         match (data, self.options.output_format) {
+            // A columnar spool's slots hold `DJSC` frames; the frame
+            // output contract is row (`DJSF`) frames byte-identical to a
+            // row-format run, so decode and re-encode instead of copying
+            // slot bytes through.
+            (StageData::Spilled(spool), OutputFormat::Frames) if spool.is_columnar() => {
+                let writer_ref = &writer;
+                stream_shards(
+                    spool,
+                    self.options.num_workers.max(1),
+                    true,
+                    self.options.prefetch_depth,
+                    gauge,
+                    |i, shard| writer_ref.store_shard(i, &shard),
+                )?;
+            }
             (StageData::Spilled(spool), OutputFormat::Frames) => {
                 for i in 0..spool.shard_count() {
                     let mut frame = Vec::new();
@@ -759,7 +827,7 @@ impl Executor {
             StageData::Mem(shards) => {
                 let ds = Dataset::from_shards(shards);
                 let shard_count = self.spill_shard_count(&ds, budget);
-                let spool = ShardSpool::create(self.fresh_spill_dir(), shard_count, SPILL_CODEC)?;
+                let spool = self.new_spool(shard_count)?;
                 for (i, shard) in ds.into_shards(shard_count).into_iter().enumerate() {
                     spool.write_shard(i, &shard)?;
                     if let Some(dedup) = upcoming {
@@ -842,6 +910,7 @@ impl Executor {
             fused_groups: plan.fused_groups,
             stages: stages.len(),
             measured_steps: plan.measured_steps,
+            columnar: self.effective_columnar(),
             ..RunReport::default()
         };
         let mut data = StageData::Mem(vec![dataset]);
@@ -1097,9 +1166,108 @@ impl Executor {
         gauge: &ResidencyGauge,
         report: &mut RunReport,
     ) -> Result<ShardSpool> {
-        let out = ShardSpool::create(self.fresh_spill_dir(), spool.shard_count(), SPILL_CODEC)?;
+        // Projection pushdown needs the input slots to actually hold
+        // columnar frames; a row-mode spool (e.g. rehydrated from a cache
+        // entry saved by a row run) streams through the full-decode path
+        // and converts at the output spool.
+        if self.effective_columnar() && spool.is_columnar() {
+            return self.run_pipeline_stage_columnar(steps, spool, next_dedup, gauge, report);
+        }
+        let out = self.new_spool(spool.shard_count())?;
         let fingerprint = next_dedup.map(|d| (d, &out));
         self.run_pipeline_stage_streamed(steps, spool, &out, true, fingerprint, gauge, report)?;
+        Ok(out)
+    }
+
+    /// Projection-aware pipeline stage over a columnar spool: compute the
+    /// stage's needed-column set from the steps' field footprints, decode
+    /// only those regions of each `DJSC` frame, run the stage on the
+    /// projected samples, and splice every untouched column from the input
+    /// frame into the output frame byte-for-byte. When the next stage is a
+    /// dedup barrier its read footprint joins the decode set so the
+    /// fingerprint-on-spill pass sees the hashed field.
+    fn run_pipeline_stage_columnar(
+        &self,
+        steps: &[PlanStep],
+        spool: &ShardSpool,
+        next_dedup: Option<&dyn Deduplicator>,
+        gauge: &ResidencyGauge,
+        report: &mut RunReport,
+    ) -> Result<ShardSpool> {
+        let cap = self.options.trace_examples;
+        let n = spool.shard_count();
+        report.shards = report.shards.max(n);
+        let workers = self.options.num_workers.max(1).min(n.max(1));
+        let cols = stage_decode_columns(steps, next_dedup, cap);
+        let out = ShardSpool::create_columnar(self.fresh_spill_dir(), n, SPILL_CODEC)?;
+        // Mid-run replanning composes with projection: reordering only
+        // permutes commutable steps, which never changes the stage's
+        // union footprint, so the decode set stays valid under any order.
+        let sched = self.stage_schedule(steps, n);
+
+        type ColShard = (Vec<ShardStats>, Vec<Vec<TraceEvent>>, u64, u64);
+        let results: Vec<Mutex<Option<Result<ColShard>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let (next, results, out, cols, sched) = (&next, &results, &out, &cols, &sched);
+            for _ in 0..workers {
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return;
+                    }
+                    let r = (|| {
+                        let slab = spool.read_columnar_slab(i)?;
+                        let (projected, decoded) = slab.decode_projected(cols.as_ref())?;
+                        let (s, b) = (projected.len(), slab.payload_len());
+                        gauge.acquire(s, b);
+                        let run = (|| {
+                            let mut ctx = SampleContext::new();
+                            let mut outcome = match sched {
+                                None => run_stage_on_shard(steps, projected, &mut ctx, cap)?,
+                                Some(sched) => {
+                                    let order = sched.order();
+                                    let raw =
+                                        run_stage_on_shard(&order.steps, projected, &mut ctx, cap)?;
+                                    let outcome = remap_outcome(&order, raw);
+                                    sched.observe(&outcome.stats);
+                                    outcome
+                                }
+                            };
+                            let (frame, passthrough) = slab.splice(
+                                &outcome.shard,
+                                cols.as_ref(),
+                                &outcome.keep,
+                                SPILL_CODEC,
+                            )?;
+                            out.write_frame_bytes(i, &frame, outcome.shard.len())?;
+                            if let Some(dedup) = next_dedup {
+                                out.write_fingerprints(i, &hash_shard(dedup, &outcome.shard)?)?;
+                            }
+                            for st in &mut outcome.stats {
+                                st.bytes_decoded = decoded;
+                            }
+                            Ok((outcome.stats, outcome.traces, decoded, passthrough))
+                        })();
+                        gauge.release(s, b);
+                        run
+                    })();
+                    *results[i].lock().expect("columnar result mutex") = Some(r);
+                });
+            }
+        });
+        let per_shard = collect_stream_results(results)?;
+        let mut merged = Vec::with_capacity(per_shard.len());
+        for (stats, traces, decoded, passthrough) in per_shard {
+            report.bytes_decoded += decoded;
+            report.bytes_passthrough += passthrough;
+            merged.push((stats, traces));
+        }
+        merge_stage_reports(steps, merged, cap, report);
+        if let Some(sched) = &sched {
+            report.replans += sched.replans.load(Ordering::Relaxed);
+        }
         Ok(out)
     }
 
@@ -1252,6 +1420,7 @@ impl Executor {
             changed: 0,
             duration: elapsed,
             fused: false,
+            bytes_decoded: 0,
             trace,
         });
         Ok(shards)
@@ -1279,6 +1448,7 @@ impl Executor {
         let workers = self.options.num_workers.max(1).min(n.max(1));
         let depth = self.options.prefetch_depth;
 
+        let mut barrier_bytes = 0u64;
         let hashes: Vec<Value> = match spool.read_all_fingerprints()? {
             // Fingerprint-on-ingest fast path: every shard carried a
             // sidecar written while its frame was spilled — the hash
@@ -1288,6 +1458,14 @@ impl Executor {
                 h
             }
             None => match dedup.hash_field() {
+                // Columnar fast path: read only the hashed field's column
+                // region out of each `DJSC` frame — every other column's
+                // bytes never leave disk compression.
+                Some(field) if spool.is_columnar() => {
+                    let (h, bytes) = self.columnar_hashes(dedup, spool, field, gauge)?;
+                    barrier_bytes = bytes;
+                    h
+                }
                 // Zero-copy fallback: hash straight out of the frame
                 // slabs — one read + checksum + decompress per shard, the
                 // field text borrowed from the slab, no Sample decode.
@@ -1326,31 +1504,71 @@ impl Executor {
         }
 
         // Pass 2: re-stream each shard against its mask slice.
-        let out = ShardSpool::create(self.fresh_spill_dir(), n, SPILL_CODEC)?;
+        let out = self.new_spool(n)?;
         let mask_ref = &mask;
         let offsets_ref = &offsets;
         let out_ref = &out;
-        let drop_traces =
-            stream_shards(spool, workers, true, depth, gauge, move |i, mut shard| {
-                let start = offsets_ref[i];
-                let slice = &mask_ref[start..start + shard.len()];
-                let mut trace = Vec::new();
-                for (j, &keep) in slice.iter().enumerate() {
-                    if !keep && trace.len() < cap {
-                        trace.push(TraceEvent::Duplicate {
-                            dropped: snippet(shard.get(j).expect("index valid").text()),
-                        });
-                    }
-                }
-                shard.retain_mask(slice);
-                out_ref.store_shard(i, shard)?;
-                Ok(trace)
-            })?;
-
         let mut trace = Vec::new();
-        for t in drop_traces {
-            let room = cap.saturating_sub(trace.len());
-            trace.extend(t.into_iter().take(room));
+        if spool.is_columnar() && cap == 0 {
+            // Columnar fast path: drop masked-out samples by re-writing
+            // each frame's entry ranges — no column is ever decoded into
+            // `Value`s, so the surviving bytes splice through verbatim.
+            // (Duplicate traces need sample text, so a non-zero cap takes
+            // the decode path below instead.)
+            let results: Vec<Mutex<Option<Result<u64>>>> =
+                (0..n).map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let (next, results) = (&next, &results);
+                for _ in 0..workers {
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return;
+                        }
+                        let r = (|| {
+                            let slab = spool.read_columnar_slab(i)?;
+                            let samples = slab.sample_count();
+                            gauge.acquire(samples, slab.payload_len());
+                            let run = (|| {
+                                let start = offsets_ref[i];
+                                let slice = &mask_ref[start..start + samples];
+                                let kept = slice.iter().filter(|&&k| k).count();
+                                let (frame, passthrough) = slab.filter_frame(slice, SPILL_CODEC)?;
+                                out_ref.write_frame_bytes(i, &frame, kept)?;
+                                Ok(passthrough)
+                            })();
+                            gauge.release(samples, slab.payload_len());
+                            run
+                        })();
+                        *results[i].lock().expect("columnar mask mutex") = Some(r);
+                    });
+                }
+            });
+            for passthrough in collect_stream_results(results)? {
+                report.bytes_passthrough += passthrough;
+            }
+        } else {
+            let drop_traces =
+                stream_shards(spool, workers, true, depth, gauge, move |i, mut shard| {
+                    let start = offsets_ref[i];
+                    let slice = &mask_ref[start..start + shard.len()];
+                    let mut trace = Vec::new();
+                    for (j, &keep) in slice.iter().enumerate() {
+                        if !keep && trace.len() < cap {
+                            trace.push(TraceEvent::Duplicate {
+                                dropped: snippet(shard.get(j).expect("index valid").text()),
+                            });
+                        }
+                    }
+                    shard.retain_mask(slice);
+                    out_ref.store_shard(i, shard)?;
+                    Ok(trace)
+                })?;
+            for t in drop_traces {
+                let room = cap.saturating_sub(trace.len());
+                trace.extend(t.into_iter().take(room));
+            }
         }
         let removed = mask.iter().filter(|&&k| !k).count();
         let elapsed = t0.elapsed();
@@ -1363,8 +1581,10 @@ impl Executor {
             changed: 0,
             duration: elapsed,
             fused: false,
+            bytes_decoded: barrier_bytes,
             trace,
         });
+        report.bytes_decoded += barrier_bytes;
         Ok(out)
     }
 
@@ -1464,6 +1684,81 @@ impl Executor {
             .flatten()
             .collect())
     }
+
+    /// Shard-parallel fingerprints from columnar frames: decompress only
+    /// the hashed field's column region per shard and hash the borrowed
+    /// texts. Returns the flattened hashes plus the raw bytes decoded (the
+    /// projected column's share of the corpus).
+    fn columnar_hashes(
+        &self,
+        dedup: &dyn Deduplicator,
+        spool: &ShardSpool,
+        field: &str,
+        gauge: &ResidencyGauge,
+    ) -> Result<(Vec<Value>, u64)> {
+        let n = spool.shard_count();
+        let workers = self.options.num_workers.max(1).min(n.max(1));
+        let (top, rest) = split_column_path(field);
+        type ColHashes = (Vec<Value>, u64);
+        let results: Vec<Mutex<Option<Result<ColHashes>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let (next, results) = (&next, &results);
+            for _ in 0..workers {
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return;
+                    }
+                    let r = (|| {
+                        let slab = spool.read_columnar_slab(i)?;
+                        let samples = slab.sample_count();
+                        gauge.acquire(samples, slab.payload_len());
+                        let run = (|| {
+                            let mut ctx = SampleContext::new();
+                            match slab.read_column(top)? {
+                                Some(region) => {
+                                    let bytes = region.raw_len();
+                                    let texts = region.texts_at(rest)?;
+                                    let mut out = Vec::with_capacity(texts.len());
+                                    for t in texts.iter() {
+                                        ctx.invalidate();
+                                        out.push(dedup.compute_hash_text(t, &mut ctx)?);
+                                        ctx.clear();
+                                    }
+                                    Ok((out, bytes))
+                                }
+                                // Column absent from this frame: every
+                                // sample hashes the empty string, matching
+                                // the missing-field semantics of the
+                                // full-decode path.
+                                None => {
+                                    let mut out = Vec::with_capacity(samples);
+                                    for _ in 0..samples {
+                                        ctx.invalidate();
+                                        out.push(dedup.compute_hash_text("", &mut ctx)?);
+                                        ctx.clear();
+                                    }
+                                    Ok((out, 0))
+                                }
+                            }
+                        })();
+                        gauge.release(samples, slab.payload_len());
+                        run
+                    })();
+                    *results[i].lock().expect("columnar hash mutex") = Some(r);
+                });
+            }
+        });
+        let mut hashes = Vec::new();
+        let mut bytes = 0u64;
+        for (h, b) in collect_stream_results(results)? {
+            hashes.extend(h);
+            bytes += b;
+        }
+        Ok((hashes, bytes))
+    }
 }
 
 /// The deduplicator of `stages[idx]`, if that stage is a barrier.
@@ -1514,9 +1809,35 @@ fn merge_stage_reports(
             changed: stat.changed,
             duration: stat.duration,
             fused: step.is_fused(),
+            bytes_decoded: stat.bytes_decoded,
             trace,
         });
     }
+}
+
+/// The top-level columns a columnar pipeline stage must decode, or `None`
+/// for every column.
+///
+/// The set is the union of every step's read+write footprint, plus the
+/// next barrier's read footprint when fingerprints are computed on spill.
+/// Tracing reads sample text and stats outside any op's declared fields,
+/// so a non-zero trace cap disables projection rather than producing
+/// truncated trace events.
+fn stage_decode_columns(
+    steps: &[PlanStep],
+    next_dedup: Option<&dyn Deduplicator>,
+    trace_cap: usize,
+) -> Option<BTreeSet<String>> {
+    if trace_cap > 0 {
+        return None;
+    }
+    let mut fields = steps
+        .iter()
+        .fold(FieldSet::none(), |acc, s| acc.union(s.footprint()));
+    if let Some(dedup) = next_dedup {
+        fields = fields.union(dedup.fields_read());
+    }
+    fields.top_level_columns()
 }
 
 /// The steps of one pipeline stage in a live execution order, plus the
@@ -1689,6 +2010,7 @@ fn remap_outcome(order: &StepOrder, outcome: ShardOutcome) -> ShardOutcome {
         shard,
         stats,
         traces,
+        keep,
     } = outcome;
     let n = order.canon.len();
     let mut c_stats = vec![ShardStats::default(); n];
@@ -1701,6 +2023,7 @@ fn remap_outcome(order: &StepOrder, outcome: ShardOutcome) -> ShardOutcome {
         shard,
         stats: c_stats,
         traces: c_traces,
+        keep,
     }
 }
 
@@ -2071,6 +2394,10 @@ struct ShardOutcome {
     shard: Dataset,
     stats: Vec<ShardStats>,
     traces: Vec<Vec<TraceEvent>>,
+    /// Per input sample, whether it survived the stage (in input order).
+    /// The columnar splice path uses this to filter passthrough columns
+    /// without ever decoding them.
+    keep: Vec<bool>,
 }
 
 /// Run every step of a stage over one shard, sample by sample: each sample
@@ -2085,6 +2412,7 @@ fn run_stage_on_shard(
     let mut stats = vec![ShardStats::default(); steps.len()];
     let mut traces: Vec<Vec<TraceEvent>> = vec![Vec::new(); steps.len()];
     let mut kept = Vec::with_capacity(shard.len());
+    let mut keep_mask = Vec::with_capacity(shard.len());
 
     'samples: for mut sample in shard {
         ctx.invalidate();
@@ -2145,6 +2473,7 @@ fn run_stage_on_shard(
                                 stats: sample.stats(),
                             });
                         }
+                        keep_mask.push(false);
                         continue 'samples;
                     }
                 }
@@ -2154,12 +2483,14 @@ fn run_stage_on_shard(
             }
         }
         kept.push(sample);
+        keep_mask.push(true);
     }
 
     Ok(ShardOutcome {
         shard: Dataset::from_samples(kept),
         stats,
         traces,
+        keep: keep_mask,
     })
 }
 
@@ -2202,6 +2533,7 @@ pub fn executor_from_recipe(
         replan_after_shards: recipe.replan_after_shards,
         stats_dir: recipe.stats_dir.as_ref().map(PathBuf::from),
         prefix_cache: recipe.prefix_cache,
+        columnar: recipe.columnar,
     }))
 }
 

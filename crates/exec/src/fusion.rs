@@ -25,7 +25,7 @@
 
 use std::sync::Arc;
 
-use dj_core::{ContextNeeds, Filter, Mapper, Op, OpCost};
+use dj_core::{ContextNeeds, FieldSet, Filter, Mapper, Op, OpCost};
 
 use crate::cost::CostModel;
 
@@ -64,6 +64,20 @@ impl PlanStep {
         match self {
             PlanStep::Filters(fs) => fs.iter().all(|f| f.commutable()),
             PlanStep::Mapper(_) | PlanStep::Dedup(_) => false,
+        }
+    }
+
+    /// Union of every field this step reads or writes — the projection the
+    /// columnar executor must decode for a stage containing it. Fused
+    /// steps union their members; any member declaring
+    /// [`FieldSet::All`] makes the whole step opaque.
+    pub fn footprint(&self) -> FieldSet {
+        match self {
+            PlanStep::Mapper(m) => m.fields_read().union(m.fields_written()),
+            PlanStep::Filters(fs) => fs.iter().fold(FieldSet::none(), |acc, f| {
+                acc.union(f.fields_read()).union(f.fields_written())
+            }),
+            PlanStep::Dedup(d) => d.fields_read(),
         }
     }
 }

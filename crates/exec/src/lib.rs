@@ -112,6 +112,15 @@
 //! 4. Cache/checkpoint entries of spilled stages are written as multi-frame
 //!    shard streams (`CacheManager::save_streamed`), so persistence and
 //!    resume also never materialize the dataset.
+//! 5. With [`ExecOptions::columnar`] (recipe `columnar: true`, or
+//!    `DJ_COLUMNAR=1`) spilled shards use the columnar `DJSC` frame
+//!    format and every pipeline stage decodes only the top-level columns
+//!    named by its steps' field footprints
+//!    ([`Mapper::fields_read`](dj_core::Mapper::fields_read) et al.);
+//!    untouched columns splice into the output frame byte-for-byte
+//!    without ever materializing values. `RunReport::bytes_decoded` /
+//!    `RunReport::bytes_passthrough` account the split, and outputs stay
+//!    byte-identical to row-format runs.
 //!
 //! ## File-backed execution ([`Executor::run_io`])
 //!
@@ -150,8 +159,8 @@ pub mod fusion;
 pub use cost::{fallback_score, rank_score, CostModel, EWMA_ALPHA, MIN_MEASURED_SAMPLES};
 pub use executor::{
     default_parallelism, executor_from_recipe, BarrierDecision, ExecOptions, Executor, OpReport,
-    RunReport, TraceEvent, ADAPTIVE_ENV, DEFAULT_IO_SHARD_SIZE, DEFAULT_PREFETCH_DEPTH,
-    MEMORY_BUDGET_ENV,
+    RunReport, TraceEvent, ADAPTIVE_ENV, COLUMNAR_ENV, DEFAULT_IO_SHARD_SIZE,
+    DEFAULT_PREFETCH_DEPTH, MEMORY_BUDGET_ENV,
 };
 pub use fusion::{plan_fused, plan_fused_measured, plan_unfused, Plan, PlanStep, Stage};
 pub use io::{CorpusReader, EgressManifest, OutputFormat, ShardedWriter};

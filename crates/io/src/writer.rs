@@ -19,7 +19,7 @@ use std::sync::Mutex;
 use dj_core::{parse_json, Dataset, DjError, Result, ShardSink, Value};
 use dj_hash::fnv1a;
 use dj_store::codec::Codec;
-use dj_store::serialize::to_jsonl;
+use dj_store::serialize::write_jsonl_into;
 use dj_store::shard_stream::encode_shard_frame;
 
 /// Egress file formats.
@@ -174,6 +174,10 @@ pub struct ShardedWriter {
     resumed: BTreeMap<usize, PartEntry>,
     log: Mutex<File>,
     bytes_written: AtomicU64,
+    /// Reusable JSONL serialization buffers, one checked out per
+    /// in-flight `store_shard` — capacity warms up to the largest part
+    /// instead of a fresh allocation per shard.
+    bufs: Mutex<Vec<String>>,
 }
 
 impl ShardedWriter {
@@ -195,6 +199,7 @@ impl ShardedWriter {
             resumed,
             log: Mutex::new(log),
             bytes_written: AtomicU64::new(0),
+            bufs: Mutex::new(Vec::new()),
         })
     }
 
@@ -260,11 +265,25 @@ impl ShardedWriter {
                 .insert(idx, prev.clone());
             return Ok(());
         }
-        let bytes = match self.format {
-            OutputFormat::Jsonl => to_jsonl(shard).into_bytes(),
-            OutputFormat::Frames => encode_shard_frame(shard, self.codec),
-        };
-        self.commit_part(idx, &bytes, shard.len())
+        match self.format {
+            OutputFormat::Jsonl => {
+                let mut buf = self
+                    .bufs
+                    .lock()
+                    .expect("buffer pool mutex")
+                    .pop()
+                    .unwrap_or_default();
+                buf.clear();
+                write_jsonl_into(shard, &mut buf);
+                let result = self.commit_part(idx, buf.as_bytes(), shard.len());
+                self.bufs.lock().expect("buffer pool mutex").push(buf);
+                result
+            }
+            OutputFormat::Frames => {
+                let bytes = encode_shard_frame(shard, self.codec);
+                self.commit_part(idx, &bytes, shard.len())
+            }
+        }
     }
 
     /// Commit raw pre-encoded frame bytes as part `idx` (the zero-copy

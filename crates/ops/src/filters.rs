@@ -5,7 +5,10 @@
 
 use std::sync::Arc;
 
-use dj_core::{ContextNeeds, DjError, Filter, OpCost, Result, Sample, SampleContext, TEXT_KEY};
+use dj_core::{
+    ContextNeeds, DjError, FieldSet, Filter, OpCost, Result, Sample, SampleContext, META_KEY,
+    STATS_KEY, TEXT_KEY,
+};
 use dj_hash::FxHashSet;
 use dj_ml::QualityClassifier;
 use dj_text::lexicon;
@@ -34,6 +37,32 @@ impl RangeBound {
     pub fn contains(&self, v: f64) -> bool {
         v >= self.min && v <= self.max
     }
+}
+
+/// Stats-driven filters read their configured text field plus the `stats`
+/// column (statistics may be pre-seeded by an analyzer pass) and write only
+/// into `stats` — the footprint the columnar executor projects on.
+macro_rules! stat_filter_footprint {
+    () => {
+        fn fields_read(&self) -> FieldSet {
+            FieldSet::of([self.field.as_str(), STATS_KEY])
+        }
+        fn fields_written(&self) -> FieldSet {
+            FieldSet::of([STATS_KEY])
+        }
+    };
+}
+
+/// Footprint for filters that decide from a `meta` key instead of text.
+macro_rules! meta_filter_footprint {
+    () => {
+        fn fields_read(&self) -> FieldSet {
+            FieldSet::of([META_KEY, STATS_KEY])
+        }
+        fn fields_written(&self) -> FieldSet {
+            FieldSet::of([STATS_KEY])
+        }
+    };
 }
 
 macro_rules! range_filter {
@@ -94,6 +123,8 @@ macro_rules! range_filter {
                 })?;
                 Ok(self.range.contains(v))
             }
+
+            stat_filter_footprint!();
         }
     };
 }
@@ -217,6 +248,7 @@ impl CharRepetitionFilter {
 }
 
 impl Filter for CharRepetitionFilter {
+    stat_filter_footprint!();
     fn name(&self) -> &'static str {
         "character_repetition_filter"
     }
@@ -268,6 +300,7 @@ impl WordRepetitionFilter {
 }
 
 impl Filter for WordRepetitionFilter {
+    stat_filter_footprint!();
     fn name(&self) -> &'static str {
         "word_repetition_filter"
     }
@@ -320,6 +353,7 @@ impl StopwordsFilter {
 }
 
 impl Filter for StopwordsFilter {
+    stat_filter_footprint!();
     fn name(&self) -> &'static str {
         "stopwords_filter"
     }
@@ -367,6 +401,7 @@ impl FlaggedWordsFilter {
 }
 
 impl Filter for FlaggedWordsFilter {
+    stat_filter_footprint!();
     fn name(&self) -> &'static str {
         "flagged_words_filter"
     }
@@ -416,6 +451,7 @@ impl LanguageIdScoreFilter {
 }
 
 impl Filter for LanguageIdScoreFilter {
+    stat_filter_footprint!();
     fn name(&self) -> &'static str {
         "language_id_score_filter"
     }
@@ -463,6 +499,7 @@ impl PerplexityFilter {
 }
 
 impl Filter for PerplexityFilter {
+    stat_filter_footprint!();
     fn name(&self) -> &'static str {
         "perplexity_filter"
     }
@@ -516,6 +553,7 @@ impl TokenNumFilter {
 }
 
 impl Filter for TokenNumFilter {
+    stat_filter_footprint!();
     fn name(&self) -> &'static str {
         "token_num_filter"
     }
@@ -572,6 +610,7 @@ impl QualityScoreFilter {
 }
 
 impl Filter for QualityScoreFilter {
+    stat_filter_footprint!();
     fn name(&self) -> &'static str {
         "quality_score_filter"
     }
@@ -619,6 +658,7 @@ impl MetaTagFilter {
 }
 
 impl Filter for MetaTagFilter {
+    meta_filter_footprint!();
     fn name(&self) -> &'static str {
         "meta_tag_filter"
     }
@@ -654,6 +694,7 @@ impl StarCountFilter {
 }
 
 impl Filter for StarCountFilter {
+    meta_filter_footprint!();
     fn name(&self) -> &'static str {
         "star_count_filter"
     }
@@ -698,6 +739,7 @@ impl ActionVerbFilter {
 }
 
 impl Filter for ActionVerbFilter {
+    stat_filter_footprint!();
     fn name(&self) -> &'static str {
         "action_verb_filter"
     }
@@ -742,6 +784,7 @@ impl SuffixFilter {
 }
 
 impl Filter for SuffixFilter {
+    meta_filter_footprint!();
     fn name(&self) -> &'static str {
         "suffix_filter"
     }

@@ -6,8 +6,24 @@
 //! text (so the executor can invalidate the sample context), and registers
 //! a factory in [`crate::registry`].
 
-use dj_core::{ContextNeeds, DjError, Mapper, OpCost, Result, Sample, SampleContext, TEXT_KEY};
+use dj_core::{
+    ContextNeeds, DjError, FieldSet, Mapper, OpCost, Result, Sample, SampleContext, TEXT_KEY,
+};
 use dj_text::normalize;
+
+/// Every mapper in this catalog reads and rewrites exactly its configured
+/// text field — declare that footprint so the columnar executor can decode
+/// only that column and splice the rest through untouched.
+macro_rules! field_footprint {
+    () => {
+        fn fields_read(&self) -> FieldSet {
+            FieldSet::of([self.field.as_str()])
+        }
+        fn fields_written(&self) -> FieldSet {
+            FieldSet::of([self.field.as_str()])
+        }
+    };
+}
 
 /// Shared plumbing: read the configured field, transform, write back.
 /// Returns whether the text changed.
@@ -53,6 +69,8 @@ macro_rules! simple_mapper {
             fn process(&self, sample: &mut Sample, _ctx: &mut SampleContext) -> Result<bool> {
                 edit_field(sample, &self.field, $func)
             }
+
+            field_footprint!();
         }
     };
 }
@@ -156,6 +174,7 @@ impl RemoveLongWordsMapper {
 }
 
 impl Mapper for RemoveLongWordsMapper {
+    field_footprint!();
     fn name(&self) -> &'static str {
         "remove_long_words_mapper"
     }
@@ -194,6 +213,7 @@ impl RemoveSpecificCharsMapper {
 }
 
 impl Mapper for RemoveSpecificCharsMapper {
+    field_footprint!();
     fn name(&self) -> &'static str {
         "remove_specific_chars_mapper"
     }
@@ -221,6 +241,7 @@ impl RemoveBibliographyMapper {
 }
 
 impl Mapper for RemoveBibliographyMapper {
+    field_footprint!();
     fn name(&self) -> &'static str {
         "remove_bibliography_mapper"
     }
@@ -257,6 +278,7 @@ impl RemoveTableTextMapper {
 }
 
 impl Mapper for RemoveTableTextMapper {
+    field_footprint!();
     fn name(&self) -> &'static str {
         "remove_table_text_mapper"
     }
@@ -295,6 +317,7 @@ impl SentenceSplitMapper {
 }
 
 impl Mapper for SentenceSplitMapper {
+    field_footprint!();
     fn name(&self) -> &'static str {
         "sentence_split_mapper"
     }
@@ -340,6 +363,7 @@ impl TextTruncateMapper {
 }
 
 impl Mapper for TextTruncateMapper {
+    field_footprint!();
     fn name(&self) -> &'static str {
         "text_truncate_mapper"
     }
@@ -379,6 +403,7 @@ impl ReplaceContentMapper {
 }
 
 impl Mapper for ReplaceContentMapper {
+    field_footprint!();
     fn name(&self) -> &'static str {
         "replace_content_mapper"
     }
@@ -409,6 +434,7 @@ impl RemoveRepeatSentencesMapper {
 }
 
 impl Mapper for RemoveRepeatSentencesMapper {
+    field_footprint!();
     fn name(&self) -> &'static str {
         "remove_repeat_sentences_mapper"
     }
@@ -458,6 +484,7 @@ impl ExpandMacroMapper {
 }
 
 impl Mapper for ExpandMacroMapper {
+    field_footprint!();
     fn name(&self) -> &'static str {
         "expand_macro_mapper"
     }
@@ -690,6 +717,7 @@ impl TextAugmentMapper {
 }
 
 impl Mapper for TextAugmentMapper {
+    field_footprint!();
     fn name(&self) -> &'static str {
         "text_augment_mapper"
     }
@@ -767,6 +795,7 @@ impl CleanCopyrightMapper {
 }
 
 impl Mapper for CleanCopyrightMapper {
+    field_footprint!();
     fn name(&self) -> &'static str {
         "clean_copyright_mapper"
     }

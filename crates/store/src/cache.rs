@@ -19,6 +19,7 @@ use std::path::{Path, PathBuf};
 use dj_core::{Dataset, Result};
 
 use crate::codec::{compress, decompress, Codec};
+use crate::columnar::COLUMNAR_FRAME_MAGIC;
 use crate::serialize::{from_bytes, to_bytes};
 use crate::shard_stream::{
     count_frames, read_shard_stream, ShardSpool, ShardStreamReader, ShardStreamWriter,
@@ -273,7 +274,10 @@ impl CacheManager {
             let mut file = fs::File::open(&e.path)?;
             let mut magic = [0u8; 4];
             let n = file.read(&mut magic)?;
-            if n < 4 || &magic != SHARD_FRAME_MAGIC {
+            // Streamed entries may mix row (`DJSF`) and columnar (`DJSC`)
+            // frames — e.g. saved by a columnar run; anything else is a
+            // legacy whole-dataset entry.
+            if n < 4 || (&magic != SHARD_FRAME_MAGIC && &magic != COLUMNAR_FRAME_MAGIC) {
                 let ds = read_entry(&fs::read(&e.path)?)?;
                 return Ok(Some((*idx, CachedStage::Mem(ds))));
             }
@@ -336,7 +340,7 @@ pub enum CachedStage {
 /// Decode a cache entry: either a single compressed dataset frame (the
 /// in-memory save path) or a multi-frame shard stream (the spilled path).
 fn read_entry(bytes: &[u8]) -> Result<Dataset> {
-    if bytes.starts_with(SHARD_FRAME_MAGIC) {
+    if bytes.starts_with(SHARD_FRAME_MAGIC) || bytes.starts_with(COLUMNAR_FRAME_MAGIC) {
         read_shard_stream(bytes)
     } else {
         from_bytes(&decompress(bytes)?)

@@ -1,0 +1,849 @@
+//! Columnar shard frames (`DJSC`): decode only the bytes an OP touches.
+//!
+//! A row frame (`DJSF`) serializes whole samples, so a stage whose OPs read
+//! one field still decodes (and re-encodes) every metadata column. A
+//! columnar frame stores each *top-level column* of the samples' root maps
+//! as its own contiguous, individually compressed and checksummed region,
+//! addressable from an offset table:
+//!
+//! ```text
+//! ┌──────────┬──────────────┬──────────────┬─────────────────────┐
+//! │ "DJSC"   │ payload_len  │ checksum     │ payload             │
+//! │ 4 bytes  │ u64 LE       │ u64 LE (FNV) │ (not compressed)    │
+//! └──────────┴──────────────┴──────────────┴─────────────────────┘
+//!
+//! payload:
+//!   version       u8 (= 1)
+//!   sample_count  u64 LE
+//!   column_count  u32 LE
+//!   directory, one entry per column, sorted by name:
+//!     name_len  u32 LE, name bytes (UTF-8)
+//!     offset    u64 LE   region start, relative to the end of the directory
+//!     len       u64 LE   compressed region length
+//!     raw_len   u64 LE   decompressed region length
+//!     checksum  u64 LE   FNV-1a of the compressed region
+//!   regions, concatenated in directory order
+//!
+//! region (before compression), one entry per sample:
+//!   presence  u8 (0 = column absent in this sample, 1 = present)
+//!   value     tagged value (same encoding as `serialize`), iff present
+//! ```
+//!
+//! The presence byte distinguishes a *missing* column from an explicit
+//! `null`, so columnar↔row round-trips are value-identical. The envelope
+//! shares the row frame's header shape (magic, length, FNV checksum), so
+//! spool slots and multi-frame cache streams can mix both formats — readers
+//! sniff the 4-byte magic.
+//!
+//! Two access patterns motivate the format:
+//!
+//! * **projection** — [`ColumnarSlab::decode_projected`] materializes only
+//!   the columns a stage's field footprints name (and
+//!   [`ColumnarSlab::read_column`] feeds dedup hash passes a single column's
+//!   texts as borrowed `Cow`s without building samples at all);
+//! * **passthrough splice** — [`ColumnarSlab::splice`] copies the regions of
+//!   untouched columns into the output frame byte-for-byte (verbatim when no
+//!   sample was dropped; entry-skipped, never value-decoded, when a filter
+//!   dropped samples).
+
+use std::borrow::Cow;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::Path;
+
+use bytes::{BufMut, BytesMut};
+
+use dj_core::{Dataset, DjError, Result, Sample, Value};
+use dj_hash::fnv1a;
+
+use crate::codec::{compress, decompress, Codec};
+use crate::serialize::{
+    read_value_slice, skip_value, take_str, take_u32, take_u64, take_u8, walk_path, write_value,
+};
+use crate::shard_stream::{HEADER_LEN, MAX_FRAME_PAYLOAD};
+
+/// Magic prefix of columnar shard frames.
+pub const COLUMNAR_FRAME_MAGIC: &[u8; 4] = b"DJSC";
+
+const COLUMNAR_VERSION: u8 = 1;
+
+/// Encode one shard as a columnar frame.
+pub fn encode_columnar_frame(shard: &Dataset, codec: Codec) -> Vec<u8> {
+    // Column set = union of top-level keys across all samples, sorted.
+    let mut names: BTreeSet<&str> = BTreeSet::new();
+    for s in shard.iter() {
+        if let Value::Map(m) = s.value() {
+            names.extend(m.keys().map(String::as_str));
+        }
+    }
+
+    // Build each column's (compressed) region.
+    let mut regions: Vec<(&str, Vec<u8>, u64)> = Vec::with_capacity(names.len());
+    for name in &names {
+        let mut body = BytesMut::new();
+        for s in shard.iter() {
+            match s.value() {
+                Value::Map(m) => match m.get(*name) {
+                    Some(v) => {
+                        body.put_u8(1);
+                        write_value(&mut body, v);
+                    }
+                    None => body.put_u8(0),
+                },
+                _ => body.put_u8(0),
+            }
+        }
+        let raw_len = body.len() as u64;
+        regions.push((name, compress(&body, codec), raw_len));
+    }
+
+    // Directory + concatenated regions form the payload.
+    let mut payload = BytesMut::new();
+    payload.put_u8(COLUMNAR_VERSION);
+    payload.put_u64_le(shard.len() as u64);
+    payload.put_u32_le(regions.len() as u32);
+    let mut offset = 0u64;
+    for (name, region, raw_len) in &regions {
+        payload.put_u32_le(name.len() as u32);
+        payload.put_slice(name.as_bytes());
+        payload.put_u64_le(offset);
+        payload.put_u64_le(region.len() as u64);
+        payload.put_u64_le(*raw_len);
+        payload.put_u64_le(fnv1a(region));
+        offset += region.len() as u64;
+    }
+    for (_, region, _) in &regions {
+        payload.put_slice(region);
+    }
+
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(COLUMNAR_FRAME_MAGIC);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decode a columnar frame *payload* (envelope already stripped and
+/// checksum-verified) into a dataset — the multi-frame stream reader's
+/// entry point.
+pub(crate) fn decode_columnar_payload(payload: &[u8]) -> Result<Dataset> {
+    ColumnarSlab::from_payload(payload.to_vec())?.decode()
+}
+
+/// One column's directory entry.
+#[derive(Debug, Clone)]
+struct ColumnEntry {
+    name: String,
+    /// Absolute byte range of the compressed region within the payload.
+    start: usize,
+    len: usize,
+    raw_len: u64,
+    checksum: u64,
+}
+
+/// A loaded-but-undecoded columnar frame.
+///
+/// The payload stays as one owned byte buffer; every accessor decompresses
+/// and decodes only the regions it is asked for.
+#[derive(Debug)]
+pub struct ColumnarSlab {
+    payload: Vec<u8>,
+    samples: usize,
+    columns: Vec<ColumnEntry>,
+}
+
+impl ColumnarSlab {
+    /// Parse one columnar frame held fully in memory (envelope + payload).
+    pub fn from_frame_bytes(frame: &[u8]) -> Result<ColumnarSlab> {
+        if frame.len() < HEADER_LEN {
+            return Err(DjError::Storage(format!(
+                "truncated columnar frame header ({} of {HEADER_LEN} bytes)",
+                frame.len()
+            )));
+        }
+        if &frame[..4] != COLUMNAR_FRAME_MAGIC {
+            return Err(DjError::Storage("bad columnar frame magic".into()));
+        }
+        let len = u64::from_le_bytes(frame[4..12].try_into().expect("8 bytes"));
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(DjError::Storage(format!(
+                "implausible columnar frame length {len}"
+            )));
+        }
+        let checksum = u64::from_le_bytes(frame[12..20].try_into().expect("8 bytes"));
+        let body = &frame[HEADER_LEN..];
+        if (body.len() as u64) < len {
+            return Err(DjError::Storage(format!(
+                "truncated columnar frame payload ({} of {len} bytes)",
+                body.len()
+            )));
+        }
+        if (body.len() as u64) > len {
+            return Err(DjError::Storage(
+                "trailing bytes after columnar frame".into(),
+            ));
+        }
+        if fnv1a(body) != checksum {
+            return Err(DjError::Storage(
+                "columnar frame checksum mismatch (corrupted spill data)".into(),
+            ));
+        }
+        ColumnarSlab::from_payload(body.to_vec())
+    }
+
+    /// Load a single-frame file (a spool slot) into a slab.
+    pub fn load(path: impl AsRef<Path>) -> Result<ColumnarSlab> {
+        let path = path.as_ref();
+        let bytes = fs::read(path)
+            .map_err(|e| DjError::Storage(format!("columnar frame missing at {path:?}: {e}")))?;
+        ColumnarSlab::from_frame_bytes(&bytes)
+    }
+
+    fn from_payload(payload: Vec<u8>) -> Result<ColumnarSlab> {
+        let mut cur: &[u8] = &payload;
+        let version = take_u8(&mut cur)?;
+        if version != COLUMNAR_VERSION {
+            return Err(DjError::Storage(format!(
+                "unsupported columnar format version {version}"
+            )));
+        }
+        let samples = take_u64(&mut cur)? as usize;
+        let count = take_u32(&mut cur)? as usize;
+        let mut raw_columns = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            let name = take_str(&mut cur)?.to_string();
+            let offset = take_u64(&mut cur)?;
+            let len = take_u64(&mut cur)?;
+            let raw_len = take_u64(&mut cur)?;
+            let checksum = take_u64(&mut cur)?;
+            raw_columns.push((name, offset, len, raw_len, checksum));
+        }
+        // Regions base = everything after the directory.
+        let regions_base = payload.len() - cur.len();
+        let regions_len = cur.len() as u64;
+        let mut columns = Vec::with_capacity(raw_columns.len());
+        for (name, offset, len, raw_len, checksum) in raw_columns {
+            let end = offset.checked_add(len).ok_or_else(|| {
+                DjError::Storage(format!("columnar region overflow for column `{name}`"))
+            })?;
+            if end > regions_len {
+                return Err(DjError::Storage(format!(
+                    "columnar region for column `{name}` out of bounds ({end} > {regions_len})"
+                )));
+            }
+            columns.push(ColumnEntry {
+                name,
+                start: regions_base + offset as usize,
+                len: len as usize,
+                raw_len,
+                checksum,
+            });
+        }
+        Ok(ColumnarSlab {
+            payload,
+            samples,
+            columns,
+        })
+    }
+
+    /// Sample count, from the payload header.
+    pub fn sample_count(&self) -> usize {
+        self.samples
+    }
+
+    /// Payload size in bytes (the slab's memory footprint).
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Column names in directory (sorted) order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Decompressed size of one column's region, if present.
+    pub fn column_raw_len(&self, name: &str) -> Option<u64> {
+        self.entry(name).map(|c| c.raw_len)
+    }
+
+    /// Total decompressed bytes across all column regions.
+    pub fn total_raw_len(&self) -> u64 {
+        self.columns.iter().map(|c| c.raw_len).sum()
+    }
+
+    fn entry(&self, name: &str) -> Option<&ColumnEntry> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    fn region_bytes(&self, c: &ColumnEntry) -> Result<&[u8]> {
+        let region = &self.payload[c.start..c.start + c.len];
+        if fnv1a(region) != c.checksum {
+            return Err(DjError::Storage(format!(
+                "columnar region checksum mismatch for column `{}`",
+                c.name
+            )));
+        }
+        Ok(region)
+    }
+
+    /// Decompress one column's region (checksum-verified), or `Ok(None)`
+    /// when the frame has no such column.
+    pub fn read_column(&self, name: &str) -> Result<Option<ColumnRegion>> {
+        let Some(c) = self.entry(name) else {
+            return Ok(None);
+        };
+        let data = decompress(self.region_bytes(c)?)?;
+        if data.len() as u64 != c.raw_len {
+            return Err(DjError::Storage(format!(
+                "columnar region size mismatch for column `{}`: got {}, expected {}",
+                c.name,
+                data.len(),
+                c.raw_len
+            )));
+        }
+        Ok(Some(ColumnRegion {
+            data,
+            samples: self.samples,
+        }))
+    }
+
+    /// Materialize samples from the named columns only (`None` = all).
+    ///
+    /// Returns the dataset and `bytes_decoded` — the decompressed bytes of
+    /// every region that had to be decoded to build it. Columns requested
+    /// but absent from the frame are simply missing from the samples, and
+    /// frame columns not requested are skipped entirely (their regions are
+    /// never decompressed).
+    pub fn decode_projected(&self, cols: Option<&BTreeSet<String>>) -> Result<(Dataset, u64)> {
+        let mut maps: Vec<BTreeMap<String, Value>> = vec![BTreeMap::new(); self.samples];
+        let mut bytes_decoded = 0u64;
+        for c in &self.columns {
+            if let Some(wanted) = cols {
+                if !wanted.contains(&c.name) {
+                    continue;
+                }
+            }
+            let region = decompress(self.region_bytes(c)?)?;
+            bytes_decoded += c.raw_len;
+            let mut cur: &[u8] = &region;
+            for map in maps.iter_mut() {
+                let present = take_u8(&mut cur)?;
+                if present == 1 {
+                    map.insert(c.name.clone(), read_value_slice(&mut cur)?);
+                } else if present != 0 {
+                    return Err(DjError::Storage(format!(
+                        "bad presence byte {present} in column `{}`",
+                        c.name
+                    )));
+                }
+            }
+            if !cur.is_empty() {
+                return Err(DjError::Storage(format!(
+                    "trailing bytes after column `{}`",
+                    c.name
+                )));
+            }
+        }
+        let samples = maps
+            .into_iter()
+            .map(|m| Sample::from_value(Value::Map(m)))
+            .collect::<Result<Vec<_>>>()?;
+        Ok((Dataset::from_samples(samples), bytes_decoded))
+    }
+
+    /// Full decode into an owned dataset.
+    pub fn decode(&self) -> Result<Dataset> {
+        Ok(self.decode_projected(None)?.0)
+    }
+
+    /// Re-encode this frame with `keep`-masked samples, splicing
+    /// `decoded`-column data from `processed` and every other column
+    /// byte-for-byte from this frame.
+    ///
+    /// * `processed` holds the *kept* samples (`processed.len()` must equal
+    ///   the number of `true`s in `keep`) carrying only decoded/written
+    ///   columns;
+    /// * `decoded` names the columns that were materialized for the stage
+    ///   (`None` = everything was decoded, no passthrough);
+    /// * `keep[i]` says whether input sample `i` survived the stage.
+    ///
+    /// Returns the new frame plus `bytes_passthrough`: decompressed bytes
+    /// of passthrough data that crossed input→output without a `Value`
+    /// ever being built (whole regions when nothing was dropped, surviving
+    /// entries otherwise). A processed sample carrying a column that was
+    /// *not* decoded is a field-footprint violation and errors — silent
+    /// column collisions must never reach disk.
+    pub fn splice(
+        &self,
+        processed: &Dataset,
+        decoded: Option<&BTreeSet<String>>,
+        keep: &[bool],
+        codec: Codec,
+    ) -> Result<(Vec<u8>, u64)> {
+        if keep.len() != self.samples {
+            return Err(DjError::Storage(format!(
+                "splice keep mask covers {} samples, frame has {}",
+                keep.len(),
+                self.samples
+            )));
+        }
+        let kept = keep.iter().filter(|k| **k).count();
+        if processed.len() != kept {
+            return Err(DjError::Storage(format!(
+                "splice got {} processed samples, keep mask kept {kept}",
+                processed.len()
+            )));
+        }
+
+        let passthrough: Vec<&ColumnEntry> = match decoded {
+            None => Vec::new(),
+            Some(set) => self
+                .columns
+                .iter()
+                .filter(|c| !set.contains(&c.name))
+                .collect(),
+        };
+
+        // Columns re-encoded from the processed samples.
+        let mut encoded_names: BTreeSet<&str> = BTreeSet::new();
+        for s in processed.iter() {
+            if let Value::Map(m) = s.value() {
+                encoded_names.extend(m.keys().map(String::as_str));
+            }
+        }
+        for c in &passthrough {
+            if encoded_names.contains(c.name.as_str()) {
+                return Err(DjError::Storage(format!(
+                    "field-footprint violation: stage wrote undeclared column `{}`",
+                    c.name
+                )));
+            }
+        }
+
+        // (name, compressed region or verbatim range, raw_len, passthrough?)
+        enum Region<'a> {
+            Verbatim(&'a [u8]),
+            Fresh(Vec<u8>),
+        }
+        let mut out_regions: Vec<(&str, Region<'_>, u64, bool)> = Vec::new();
+        let mut bytes_passthrough = 0u64;
+
+        for c in &passthrough {
+            if kept == self.samples {
+                // Nothing dropped: the compressed region crosses verbatim.
+                out_regions.push((
+                    &c.name,
+                    Region::Verbatim(self.region_bytes(c)?),
+                    c.raw_len,
+                    true,
+                ));
+                bytes_passthrough += c.raw_len;
+            } else {
+                // Entry-level splice: walk presence+value byte ranges and
+                // copy surviving entries — no Value is ever materialized.
+                let region = decompress(self.region_bytes(c)?)?;
+                let mut body = Vec::with_capacity(region.len());
+                let mut cur: &[u8] = &region;
+                for keep_it in keep {
+                    let entry_start = region.len() - cur.len();
+                    let present = take_u8(&mut cur)?;
+                    if present == 1 {
+                        skip_value(&mut cur)?;
+                    } else if present != 0 {
+                        return Err(DjError::Storage(format!(
+                            "bad presence byte {present} in column `{}`",
+                            c.name
+                        )));
+                    }
+                    let entry_end = region.len() - cur.len();
+                    if *keep_it {
+                        body.extend_from_slice(&region[entry_start..entry_end]);
+                    }
+                }
+                if !cur.is_empty() {
+                    return Err(DjError::Storage(format!(
+                        "trailing bytes after column `{}`",
+                        c.name
+                    )));
+                }
+                let raw_len = body.len() as u64;
+                bytes_passthrough += raw_len;
+                out_regions.push((
+                    &c.name,
+                    Region::Fresh(compress(&body, codec)),
+                    raw_len,
+                    true,
+                ));
+            }
+        }
+
+        for name in &encoded_names {
+            let mut body = BytesMut::new();
+            for s in processed.iter() {
+                match s.value() {
+                    Value::Map(m) => match m.get(*name) {
+                        Some(v) => {
+                            body.put_u8(1);
+                            write_value(&mut body, v);
+                        }
+                        None => body.put_u8(0),
+                    },
+                    _ => body.put_u8(0),
+                }
+            }
+            let raw_len = body.len() as u64;
+            out_regions.push((name, Region::Fresh(compress(&body, codec)), raw_len, false));
+        }
+
+        // Directory order is sorted by name.
+        out_regions.sort_by(|a, b| a.0.cmp(b.0));
+
+        let mut payload = BytesMut::new();
+        payload.put_u8(COLUMNAR_VERSION);
+        payload.put_u64_le(kept as u64);
+        payload.put_u32_le(out_regions.len() as u32);
+        let mut offset = 0u64;
+        for (name, region, raw_len, _) in &out_regions {
+            let bytes: &[u8] = match region {
+                Region::Verbatim(b) => b,
+                Region::Fresh(v) => v,
+            };
+            payload.put_u32_le(name.len() as u32);
+            payload.put_slice(name.as_bytes());
+            payload.put_u64_le(offset);
+            payload.put_u64_le(bytes.len() as u64);
+            payload.put_u64_le(*raw_len);
+            payload.put_u64_le(fnv1a(bytes));
+            offset += bytes.len() as u64;
+        }
+        for (_, region, _, _) in &out_regions {
+            let bytes: &[u8] = match region {
+                Region::Verbatim(b) => b,
+                Region::Fresh(v) => v,
+            };
+            payload.put_slice(bytes);
+        }
+
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(COLUMNAR_FRAME_MAGIC);
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        Ok((out, bytes_passthrough))
+    }
+
+    /// Apply a keep mask to *every* column by entry splice — the dedup
+    /// barrier's mask-apply pass, which never materializes a `Value`.
+    /// Returns the new frame plus the passthrough byte count.
+    pub fn filter_frame(&self, keep: &[bool], codec: Codec) -> Result<(Vec<u8>, u64)> {
+        // With `decoded = ∅`, every column is passthrough; `processed` is a
+        // run of columnless samples standing in for the kept count.
+        let nothing_decoded: BTreeSet<String> = BTreeSet::new();
+        let kept = keep.iter().filter(|k| **k).count();
+        let empties = Dataset::from_samples(
+            (0..kept)
+                .map(|_| Sample::from_value(Value::Map(BTreeMap::new())))
+                .collect::<Result<Vec<_>>>()?,
+        );
+        self.splice(&empties, Some(&nothing_decoded), keep, codec)
+    }
+}
+
+/// One decompressed column region, ready for zero-copy text borrowing.
+#[derive(Debug)]
+pub struct ColumnRegion {
+    data: Vec<u8>,
+    samples: usize,
+}
+
+impl ColumnRegion {
+    /// Decompressed size of this region.
+    pub fn raw_len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Borrow the text at dotted path `rest` *within* this column for every
+    /// sample (`""` = the column value itself). Semantics mirror
+    /// [`dj_core::Sample::text_at`]: a missing path, an absent column entry
+    /// or a non-string value yields `""`.
+    pub fn texts_at(&self, rest: &str) -> Result<Vec<Cow<'_, str>>> {
+        let segments: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split('.').collect()
+        };
+        let mut cur: &[u8] = &self.data;
+        let mut out = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let present = take_u8(&mut cur)?;
+            match present {
+                0 => out.push(Cow::Borrowed("")),
+                1 => out.push(walk_path(&mut cur, &segments)?),
+                other => {
+                    return Err(DjError::Storage(format!("bad presence byte {other}")));
+                }
+            }
+        }
+        if !cur.is_empty() {
+            return Err(DjError::Storage("trailing bytes after column".into()));
+        }
+        Ok(out)
+    }
+}
+
+/// Split a dotted field path into (top-level column, rest-of-path) for
+/// column-region access: `"meta.lang"` → `("meta", "lang")`, `"text"` →
+/// `("text", "")`.
+pub fn split_column_path(field: &str) -> (&str, &str) {
+    match field.split_once('.') {
+        Some((head, rest)) => (head, rest),
+        None => (field, ""),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rich_shard() -> Dataset {
+        let mut ds = Dataset::new();
+        let mut a = Sample::from_text("hello\nworld \"quoted\"");
+        a.set_meta("language", "EN");
+        a.set_meta("stars", 42i64);
+        a.set_meta("tags", Value::from(vec!["a", "b"]));
+        a.set_stat("word_count", 2.0);
+        ds.push(a);
+        ds.push(Sample::from_text("中文文本 🦀"));
+        // A sample with no text at all (missing column) and one with an
+        // explicit null — the presence byte must keep them distinct.
+        ds.push(Sample::new());
+        let mut n = Sample::new();
+        n.value_mut().set_path("text", Value::Null).unwrap();
+        n.value_mut()
+            .set_path(
+                "extra.nested.deep",
+                Value::from(vec![Value::Int(1), Value::Null]),
+            )
+            .unwrap();
+        ds.push(n);
+        ds
+    }
+
+    #[test]
+    fn roundtrip_all_codecs() {
+        for codec in [Codec::None, Codec::Rle, Codec::Djz] {
+            for ds in [Dataset::new(), rich_shard()] {
+                let frame = encode_columnar_frame(&ds, codec);
+                let slab = ColumnarSlab::from_frame_bytes(&frame).unwrap();
+                assert_eq!(slab.sample_count(), ds.len());
+                assert_eq!(slab.decode().unwrap(), ds, "codec {codec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn projection_decodes_only_named_columns() {
+        let ds = rich_shard();
+        let frame = encode_columnar_frame(&ds, Codec::Djz);
+        let slab = ColumnarSlab::from_frame_bytes(&frame).unwrap();
+        assert_eq!(slab.column_names(), vec!["extra", "meta", "stats", "text"]);
+
+        let cols: BTreeSet<String> = ["text".to_string()].into();
+        let (projected, bytes) = slab.decode_projected(Some(&cols)).unwrap();
+        assert_eq!(bytes, slab.column_raw_len("text").unwrap());
+        assert!(bytes < slab.total_raw_len());
+        assert_eq!(projected.len(), ds.len());
+        for (p, full) in projected.iter().zip(ds.iter()) {
+            assert_eq!(p.text(), full.text());
+            // Only the text column came along.
+            if let Value::Map(m) = p.value() {
+                assert!(!m.contains_key("meta"));
+                assert!(!m.contains_key("stats"));
+            }
+        }
+        // Full decode accounts for every region.
+        let (_, all_bytes) = slab.decode_projected(None).unwrap();
+        assert_eq!(all_bytes, slab.total_raw_len());
+    }
+
+    #[test]
+    fn column_texts_match_text_at() {
+        let ds = rich_shard();
+        let frame = encode_columnar_frame(&ds, Codec::Djz);
+        let slab = ColumnarSlab::from_frame_bytes(&frame).unwrap();
+        for field in ["text", "meta.language", "meta.missing", "extra.nested.deep"] {
+            let (col, rest) = split_column_path(field);
+            let texts: Vec<String> = match slab.read_column(col).unwrap() {
+                Some(region) => region
+                    .texts_at(rest)
+                    .unwrap()
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect(),
+                None => vec![String::new(); ds.len()],
+            };
+            let expected: Vec<&str> = ds.iter().map(|s| s.text_at(field)).collect();
+            assert_eq!(texts, expected, "field {field}");
+        }
+        assert!(slab.read_column("no_such_column").unwrap().is_none());
+    }
+
+    #[test]
+    fn splice_passes_untouched_columns_verbatim() {
+        let ds = rich_shard();
+        let frame = encode_columnar_frame(&ds, Codec::Djz);
+        let slab = ColumnarSlab::from_frame_bytes(&frame).unwrap();
+
+        // Decode only `text`, uppercase it, keep all samples.
+        let cols: BTreeSet<String> = ["text".to_string()].into();
+        let (mut projected, _) = slab.decode_projected(Some(&cols)).unwrap();
+        for s in projected.samples_mut() {
+            let up = s.text().to_uppercase();
+            if !up.is_empty() {
+                s.set_text(up);
+            }
+        }
+        let keep = vec![true; ds.len()];
+        let (out_frame, passthrough) = slab
+            .splice(&projected, Some(&cols), &keep, Codec::Djz)
+            .unwrap();
+        // Everything except the text region crossed without decode.
+        assert_eq!(
+            passthrough,
+            slab.total_raw_len() - slab.column_raw_len("text").unwrap()
+        );
+
+        let out = ColumnarSlab::from_frame_bytes(&out_frame).unwrap();
+        let decoded = out.decode().unwrap();
+        assert_eq!(decoded.len(), ds.len());
+        for (got, orig) in decoded.iter().zip(ds.iter()) {
+            let up = orig.text().to_uppercase();
+            if !up.is_empty() {
+                assert_eq!(got.text(), up);
+            }
+            // Metadata survived byte-for-byte.
+            assert_eq!(got.value().get_path("meta"), orig.value().get_path("meta"));
+            assert_eq!(
+                got.value().get_path("extra"),
+                orig.value().get_path("extra")
+            );
+        }
+    }
+
+    #[test]
+    fn splice_with_drops_keeps_surviving_entries() {
+        let ds = rich_shard();
+        let frame = encode_columnar_frame(&ds, Codec::Djz);
+        let slab = ColumnarSlab::from_frame_bytes(&frame).unwrap();
+        let keep = vec![true, false, true, false];
+
+        let cols: BTreeSet<String> = ["text".to_string()].into();
+        let (projected, _) = slab.decode_projected(Some(&cols)).unwrap();
+        let kept_proj = Dataset::from_samples(
+            projected
+                .iter()
+                .zip(&keep)
+                .filter(|(_, k)| **k)
+                .map(|(s, _)| s.clone())
+                .collect(),
+        );
+        let (out_frame, _) = slab
+            .splice(&kept_proj, Some(&cols), &keep, Codec::Djz)
+            .unwrap();
+        let out = ColumnarSlab::from_frame_bytes(&out_frame)
+            .unwrap()
+            .decode()
+            .unwrap();
+        let expected = Dataset::from_samples(
+            ds.iter()
+                .zip(&keep)
+                .filter(|(_, k)| **k)
+                .map(|(s, _)| s.clone())
+                .collect(),
+        );
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn filter_frame_masks_without_decoding() {
+        let ds = rich_shard();
+        let frame = encode_columnar_frame(&ds, Codec::Djz);
+        let slab = ColumnarSlab::from_frame_bytes(&frame).unwrap();
+        let keep = vec![false, true, true, false];
+        let (out_frame, passthrough) = slab.filter_frame(&keep, Codec::Djz).unwrap();
+        assert!(passthrough > 0);
+        let out = ColumnarSlab::from_frame_bytes(&out_frame)
+            .unwrap()
+            .decode()
+            .unwrap();
+        let expected = Dataset::from_samples(
+            ds.iter()
+                .zip(&keep)
+                .filter(|(_, k)| **k)
+                .map(|(s, _)| s.clone())
+                .collect(),
+        );
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn footprint_violation_is_rejected() {
+        let ds = rich_shard();
+        let frame = encode_columnar_frame(&ds, Codec::None);
+        let slab = ColumnarSlab::from_frame_bytes(&frame).unwrap();
+        // Stage claimed to decode only `text` but wrote `meta`.
+        let cols: BTreeSet<String> = ["text".to_string()].into();
+        let mut bad = Sample::from_text("x");
+        bad.set_meta("smuggled", 1i64);
+        let processed = Dataset::from_samples(vec![bad]);
+        let keep = vec![true, false, false, false];
+        let err = slab
+            .splice(&processed, Some(&cols), &keep, Codec::None)
+            .unwrap_err();
+        assert!(err.to_string().contains("footprint"), "{err}");
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let ds = rich_shard();
+        let frame = encode_columnar_frame(&ds, Codec::Djz);
+        // Envelope checksum.
+        let mut flipped = frame.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        assert!(ColumnarSlab::from_frame_bytes(&flipped).is_err());
+        // Truncation at several prefixes.
+        for cut in [0, 3, HEADER_LEN - 1, HEADER_LEN + 4, frame.len() - 2] {
+            assert!(
+                ColumnarSlab::from_frame_bytes(&frame[..cut]).is_err(),
+                "cut={cut}"
+            );
+        }
+        // Trailing bytes.
+        let mut extra = frame.clone();
+        extra.push(0);
+        assert!(ColumnarSlab::from_frame_bytes(&extra).is_err());
+        // Bad magic.
+        let mut bad = frame.clone();
+        bad[0] = b'X';
+        assert!(ColumnarSlab::from_frame_bytes(&bad).is_err());
+        // Per-region corruption: flip a payload byte but fix the envelope
+        // checksum so only the region checksum can catch it.
+        let mut region_flip = frame.clone();
+        let last = region_flip.len() - 1;
+        region_flip[last] ^= 0x01;
+        let body_checksum = fnv1a(&region_flip[HEADER_LEN..]);
+        region_flip[12..20].copy_from_slice(&body_checksum.to_le_bytes());
+        let slab = ColumnarSlab::from_frame_bytes(&region_flip).unwrap();
+        assert!(slab.decode().is_err());
+        assert!(ColumnarSlab::load("/no/such/columnar-frame").is_err());
+    }
+
+    #[test]
+    fn split_column_path_examples() {
+        assert_eq!(split_column_path("text"), ("text", ""));
+        assert_eq!(split_column_path("meta.lang"), ("meta", "lang"));
+        assert_eq!(split_column_path("a.b.c"), ("a", "b.c"));
+    }
+}

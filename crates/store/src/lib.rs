@@ -10,12 +10,17 @@
 //! * [`shard_stream`] — length-prefixed, checksummed shard frames and the
 //!   disk-backed [`ShardSpool`], the storage substrate of the out-of-core
 //!   (spill-to-disk) execution mode;
+//! * [`columnar`] — columnar `DJSC` shard frames: per-column compressed,
+//!   checksummed regions behind an offset table, so projection-aware
+//!   stages decode only the columns their OPs' field footprints name and
+//!   splice the rest through byte-for-byte;
 //! * [`sidecar`] — the checksummed `DJCS` planner-stats sidecar: EWMA
 //!   per-op cost/selectivity aggregates persisted under the cache root so
 //!   the adaptive planner (`dj-exec`) learns across runs.
 
 pub mod cache;
 pub mod codec;
+pub mod columnar;
 pub mod serialize;
 pub mod shard_stream;
 pub mod sidecar;
@@ -23,9 +28,12 @@ pub mod space;
 
 pub use cache::{remove_cache_root, CacheManager, CacheMode, CachedStage};
 pub use codec::{compress, decompress, Codec};
+pub use columnar::{
+    encode_columnar_frame, split_column_path, ColumnRegion, ColumnarSlab, COLUMNAR_FRAME_MAGIC,
+};
 pub use serialize::{
     from_bytes, from_jsonl, sample_count, texts_at, to_bytes, to_jsonl, values_from_bytes,
-    values_to_bytes,
+    values_to_bytes, write_jsonl_into,
 };
 pub use sidecar::{
     OpAggregate, StatsSidecar, STATS_SIDECAR_FILE, STATS_SIDECAR_MAGIC, STATS_SIDECAR_VERSION,

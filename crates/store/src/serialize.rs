@@ -54,7 +54,7 @@ const TAG_STR: u8 = 5;
 const TAG_LIST: u8 = 6;
 const TAG_MAP: u8 = 7;
 
-fn write_value(buf: &mut BytesMut, v: &Value) {
+pub(crate) fn write_value(buf: &mut BytesMut, v: &Value) {
     match v {
         Value::Null => buf.put_u8(TAG_NULL),
         Value::Bool(false) => buf.put_u8(TAG_BOOL_FALSE),
@@ -227,7 +227,7 @@ pub fn texts_at<'a>(data: &'a [u8], field: &str) -> Result<Vec<Cow<'a, str>>> {
 
 /// Consume one serialized value, returning the borrowed string at
 /// `segments` (or `""` when the path misses / lands on a non-string).
-fn walk_path<'a>(cur: &mut &'a [u8], segments: &[&str]) -> Result<Cow<'a, str>> {
+pub(crate) fn walk_path<'a>(cur: &mut &'a [u8], segments: &[&str]) -> Result<Cow<'a, str>> {
     let tag = take_u8(cur)?;
     if segments.is_empty() {
         if tag == TAG_STR {
@@ -253,9 +253,47 @@ fn walk_path<'a>(cur: &mut &'a [u8], segments: &[&str]) -> Result<Cow<'a, str>> 
     Ok(found)
 }
 
-fn skip_value(cur: &mut &[u8]) -> Result<()> {
+pub(crate) fn skip_value(cur: &mut &[u8]) -> Result<()> {
     let tag = take_u8(cur)?;
     skip_value_body(cur, tag)
+}
+
+/// Decode one tagged value from a slice cursor (the owned-`Value` twin of
+/// [`skip_value`], used by the columnar codec to decode projected column
+/// regions without going through `Bytes`).
+pub(crate) fn read_value_slice(cur: &mut &[u8]) -> Result<Value> {
+    let tag = take_u8(cur)?;
+    Ok(match tag {
+        TAG_NULL => Value::Null,
+        TAG_BOOL_FALSE => Value::Bool(false),
+        TAG_BOOL_TRUE => Value::Bool(true),
+        TAG_INT => Value::Int(i64::from_le_bytes(
+            take_bytes(cur, 8)?.try_into().expect("8 bytes"),
+        )),
+        TAG_FLOAT => Value::Float(f64::from_le_bytes(
+            take_bytes(cur, 8)?.try_into().expect("8 bytes"),
+        )),
+        TAG_STR => Value::Str(take_str(cur)?.to_string()),
+        TAG_LIST => {
+            let n = take_u32(cur)? as usize;
+            let mut items = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                items.push(read_value_slice(cur)?);
+            }
+            Value::List(items)
+        }
+        TAG_MAP => {
+            let n = take_u32(cur)? as usize;
+            let mut m = std::collections::BTreeMap::new();
+            for _ in 0..n {
+                let k = take_str(cur)?.to_string();
+                let v = read_value_slice(cur)?;
+                m.insert(k, v);
+            }
+            Value::Map(m)
+        }
+        other => return Err(DjError::Storage(format!("unknown value tag {other}"))),
+    })
 }
 
 fn skip_value_body(cur: &mut &[u8], tag: u8) -> Result<()> {
@@ -287,7 +325,7 @@ fn skip_value_body(cur: &mut &[u8], tag: u8) -> Result<()> {
     Ok(())
 }
 
-fn take_bytes<'a>(cur: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
+pub(crate) fn take_bytes<'a>(cur: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
     if cur.len() < n {
         return Err(DjError::Storage("truncated frame".into()));
     }
@@ -296,23 +334,23 @@ fn take_bytes<'a>(cur: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
     Ok(head)
 }
 
-fn take_u8(cur: &mut &[u8]) -> Result<u8> {
+pub(crate) fn take_u8(cur: &mut &[u8]) -> Result<u8> {
     Ok(take_bytes(cur, 1)?[0])
 }
 
-fn take_u32(cur: &mut &[u8]) -> Result<u32> {
+pub(crate) fn take_u32(cur: &mut &[u8]) -> Result<u32> {
     Ok(u32::from_le_bytes(
         take_bytes(cur, 4)?.try_into().expect("4 bytes"),
     ))
 }
 
-fn take_u64(cur: &mut &[u8]) -> Result<u64> {
+pub(crate) fn take_u64(cur: &mut &[u8]) -> Result<u64> {
     Ok(u64::from_le_bytes(
         take_bytes(cur, 8)?.try_into().expect("8 bytes"),
     ))
 }
 
-fn take_str<'a>(cur: &mut &'a [u8]) -> Result<&'a str> {
+pub(crate) fn take_str<'a>(cur: &mut &'a [u8]) -> Result<&'a str> {
     let n = take_u32(cur)? as usize;
     std::str::from_utf8(take_bytes(cur, n)?)
         .map_err(|_| DjError::Storage("invalid utf8 in string".into()))
@@ -321,11 +359,22 @@ fn take_str<'a>(cur: &mut &'a [u8]) -> Result<&'a str> {
 /// Export a dataset as JSON-Lines text.
 pub fn to_jsonl(dataset: &Dataset) -> String {
     let mut out = String::with_capacity(dataset.approx_bytes());
+    write_jsonl_into(dataset, &mut out);
+    out
+}
+
+/// Append a dataset's JSON-Lines text to `out`, formatting each sample
+/// straight into the buffer. Sharded egress writers reuse one buffer across
+/// shards, so the hot path allocates nothing per sample (the old path built
+/// a fresh escaped `String` per sample via `Value::to_string`).
+pub fn write_jsonl_into(dataset: &Dataset, out: &mut String) {
+    use std::fmt::Write as _;
+    out.reserve(dataset.approx_bytes());
     for s in dataset.iter() {
-        out.push_str(&s.value().to_string());
+        // Writing into a String cannot fail.
+        let _ = write!(out, "{}", s.value());
         out.push('\n');
     }
-    out
 }
 
 /// Import a dataset from JSON-Lines text.

@@ -36,6 +36,9 @@ use dj_core::{Dataset, DjError, Result, ShardSink, ShardSource, Value};
 use dj_hash::fnv1a;
 
 use crate::codec::{compress, decompress, Codec};
+use crate::columnar::{
+    decode_columnar_payload, encode_columnar_frame, ColumnarSlab, COLUMNAR_FRAME_MAGIC,
+};
 use crate::serialize::{
     from_bytes, sample_count, texts_at, to_bytes, values_from_bytes, values_to_bytes,
 };
@@ -46,11 +49,11 @@ pub const SHARD_FRAME_MAGIC: &[u8; 4] = b"DJSF";
 /// Magic prefix of fingerprint sidecar files (`shard-N.fpr`).
 pub const FINGERPRINT_MAGIC: &[u8; 4] = b"DJFP";
 
-const HEADER_LEN: usize = 4 + 8 + 8;
+pub(crate) const HEADER_LEN: usize = 4 + 8 + 8;
 
 /// Refuse to allocate for frames claiming more than this (corrupt length
 /// prefixes must not turn into huge allocations).
-const MAX_FRAME_PAYLOAD: u64 = 1 << 40;
+pub(crate) const MAX_FRAME_PAYLOAD: u64 = 1 << 40;
 
 /// Encode one shard into a self-contained frame.
 pub fn encode_shard_frame(shard: &Dataset, codec: Codec) -> Vec<u8> {
@@ -70,7 +73,8 @@ pub fn write_shard_frame<W: Write>(w: &mut W, shard: &Dataset, codec: Codec) -> 
     Ok(frame.len() as u64)
 }
 
-/// Read the next shard frame from a reader.
+/// Read the next shard frame from a reader — row (`DJSF`) or columnar
+/// (`DJSC`), sniffed from the magic; both share the same envelope shape.
 ///
 /// Returns `Ok(None)` on a clean end-of-stream (EOF exactly at a frame
 /// boundary). A frame cut off mid-header or mid-payload, a bad magic, an
@@ -87,9 +91,13 @@ pub fn read_shard_frame<R: Read>(r: &mut R) -> Result<Option<Dataset>> {
             "truncated shard frame header ({got} of {HEADER_LEN} bytes)"
         )));
     }
-    if &header[..4] != SHARD_FRAME_MAGIC {
+    let columnar = if &header[..4] == SHARD_FRAME_MAGIC {
+        false
+    } else if &header[..4] == COLUMNAR_FRAME_MAGIC {
+        true
+    } else {
         return Err(DjError::Storage("bad shard frame magic".into()));
-    }
+    };
     let len = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
     if len > MAX_FRAME_PAYLOAD {
         return Err(DjError::Storage(format!(
@@ -109,7 +117,11 @@ pub fn read_shard_frame<R: Read>(r: &mut R) -> Result<Option<Dataset>> {
             "shard frame checksum mismatch (corrupted spill data)".into(),
         ));
     }
-    from_bytes(&decompress(&payload)?).map(Some)
+    if columnar {
+        decode_columnar_payload(&payload).map(Some)
+    } else {
+        from_bytes(&decompress(&payload)?).map(Some)
+    }
 }
 
 /// Fill `buf` as far as the reader allows; returns bytes read (< `buf.len()`
@@ -210,7 +222,7 @@ pub fn count_frames<R: Read + std::io::Seek>(r: &mut R) -> Result<u64> {
                 "truncated shard frame header ({got} of {HEADER_LEN} bytes)"
             )));
         }
-        if &header[..4] != SHARD_FRAME_MAGIC {
+        if &header[..4] != SHARD_FRAME_MAGIC && &header[..4] != COLUMNAR_FRAME_MAGIC {
             return Err(DjError::Storage("bad shard frame magic".into()));
         }
         let len = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
@@ -315,6 +327,10 @@ impl FrameSlab {
 pub struct ShardSpool {
     dir: PathBuf,
     codec: Codec,
+    /// Write shards as columnar (`DJSC`) frames instead of row frames.
+    /// Reads sniff the per-file magic either way, so a resumed or
+    /// rehydrated spool can mix formats.
+    columnar: bool,
     /// Sample count per written slot (`None` until stored) — the shard
     /// layout metadata the dedup barrier needs to slice its dataset-level
     /// mask back into shards. Grows on demand so streaming ingest can
@@ -332,8 +348,29 @@ impl ShardSpool {
         Ok(ShardSpool {
             dir,
             codec,
+            columnar: false,
             lens: Mutex::new(vec![None; slots]),
         })
+    }
+
+    /// Like [`create`](ShardSpool::create), but shards written through
+    /// [`write_shard`](ShardSpool::write_shard) are stored as columnar
+    /// `DJSC` frames, enabling projection ([`read_columnar_slab`]
+    /// (ShardSpool::read_columnar_slab)) and byte-for-byte column splicing
+    /// ([`write_frame_bytes`](ShardSpool::write_frame_bytes)).
+    pub fn create_columnar(
+        dir: impl Into<PathBuf>,
+        slots: usize,
+        codec: Codec,
+    ) -> Result<ShardSpool> {
+        let mut spool = ShardSpool::create(dir, slots, codec)?;
+        spool.columnar = true;
+        Ok(spool)
+    }
+
+    /// Whether this spool writes columnar frames.
+    pub fn is_columnar(&self) -> bool {
+        self.columnar
     }
 
     pub fn dir(&self) -> &Path {
@@ -353,16 +390,29 @@ impl ShardSpool {
     }
 
     /// Serialize `shard` into slot `idx` (atomic: temp file then rename).
+    /// Row or columnar frame per the spool's mode.
     pub fn write_shard(&self, idx: usize, shard: &Dataset) -> Result<()> {
+        let frame = if self.columnar {
+            encode_columnar_frame(shard, self.codec)
+        } else {
+            encode_shard_frame(shard, self.codec)
+        };
+        self.write_frame_bytes(idx, &frame, shard.len())
+    }
+
+    /// Store a pre-encoded frame (row or columnar — e.g. the output of a
+    /// column splice) into slot `idx` atomically, recording `samples` as
+    /// the slot's sample count.
+    pub fn write_frame_bytes(&self, idx: usize, frame: &[u8], samples: usize) -> Result<()> {
         let path = self.slot_path(idx);
         let tmp = path.with_extension("djs.tmp");
-        fs::write(&tmp, encode_shard_frame(shard, self.codec))?;
+        fs::write(&tmp, frame)?;
         fs::rename(&tmp, &path)?;
         let mut lens = self.lens.lock().expect("spool len mutex");
         if idx >= lens.len() {
             lens.resize(idx + 1, None);
         }
-        lens[idx] = Some(shard.len());
+        lens[idx] = Some(samples);
         Ok(())
     }
 
@@ -431,28 +481,33 @@ impl ShardSpool {
         Ok(Some(all))
     }
 
-    /// Load slot `idx` as an undecoded zero-copy slab.
+    /// Load slot `idx` as an undecoded zero-copy row slab. Errors when the
+    /// slot holds a columnar frame — use
+    /// [`read_columnar_slab`](ShardSpool::read_columnar_slab) for those.
     pub fn read_frame_slab(&self, idx: usize) -> Result<FrameSlab> {
         FrameSlab::load(self.slot_path(idx))
     }
 
-    /// Read slot `idx` back. Non-destructive: spilled shards can be
-    /// re-streamed (the dedup barrier reads twice — hash pass, mask pass).
+    /// Load slot `idx` as an undecoded columnar slab.
+    pub fn read_columnar_slab(&self, idx: usize) -> Result<ColumnarSlab> {
+        ColumnarSlab::load(self.slot_path(idx))
+    }
+
+    /// Read slot `idx` back, sniffing the frame format from its magic.
+    /// Non-destructive: spilled shards can be re-streamed (the dedup
+    /// barrier reads twice — hash pass, mask pass).
     pub fn read_shard(&self, idx: usize) -> Result<Dataset> {
         let path = self.slot_path(idx);
-        let mut file = fs::File::open(&path).map_err(|e| {
+        let bytes = fs::read(&path).map_err(|e| {
             DjError::Storage(format!("spilled shard {idx} missing at {path:?}: {e}"))
         })?;
-        let shard = read_shard_frame(&mut file)?
-            .ok_or_else(|| DjError::Storage(format!("spilled shard {idx} file is empty")))?;
-        // Exactly one frame per slot file.
-        let mut trailing = [0u8; 1];
-        if read_up_to(&mut file, &mut trailing)? != 0 {
-            return Err(DjError::Storage(format!(
-                "trailing bytes after spilled shard {idx}"
-            )));
+        // Exactly one frame per slot file (both slab parsers reject
+        // trailing bytes).
+        if bytes.len() >= 4 && &bytes[..4] == COLUMNAR_FRAME_MAGIC {
+            ColumnarSlab::from_frame_bytes(&bytes)?.decode()
+        } else {
+            FrameSlab::from_frame_bytes(&bytes)?.decode()
         }
-        Ok(shard)
     }
 
     /// Sample count of slot `idx`, if it has been written.
@@ -744,6 +799,46 @@ mod tests {
         bytes[last] ^= 0xff;
         fs::write(&path, &bytes).unwrap();
         assert!(spool.read_fingerprints(0).is_err());
+    }
+
+    #[test]
+    fn columnar_spool_roundtrips_and_streams() {
+        let dir = tmpdir("spool-columnar");
+        let shards = vec![shard(&["a", "b", "c"]), Dataset::new(), rich_shard()];
+        let spool = ShardSpool::create_columnar(&dir, 3, Codec::Djz).unwrap();
+        assert!(spool.is_columnar());
+        for (i, s) in shards.iter().enumerate() {
+            spool.write_shard(i, s).unwrap();
+        }
+        // read_shard sniffs DJSC and decodes whole samples.
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(&spool.read_shard(i).unwrap(), s);
+        }
+        assert_eq!(
+            spool.materialize().unwrap(),
+            Dataset::from_shards(shards.clone())
+        );
+        // The columnar slab path sees the same data.
+        let slab = spool.read_columnar_slab(2).unwrap();
+        assert_eq!(slab.decode().unwrap(), shards[2]);
+        // Row slab loads must refuse columnar slots.
+        assert!(spool.read_frame_slab(0).is_err());
+        // Raw frame concatenation (the cache save path) stays readable: the
+        // multi-frame stream reader sniffs per-frame magic.
+        let mut buf = Vec::new();
+        for i in 0..3 {
+            spool.copy_shard_frame_into(i, &mut buf).unwrap();
+        }
+        assert_eq!(
+            read_shard_stream(buf.as_slice()).unwrap(),
+            Dataset::from_shards(shards.clone())
+        );
+        assert_eq!(count_frames(&mut std::io::Cursor::new(&buf)).unwrap(), 3);
+        // A pre-encoded splice output lands like any other write.
+        let frame = crate::columnar::encode_columnar_frame(&shards[0], Codec::Djz);
+        spool.write_frame_bytes(1, &frame, shards[0].len()).unwrap();
+        assert_eq!(spool.read_shard(1).unwrap(), shards[0]);
+        assert_eq!(spool.shard_len(1), Some(3));
     }
 
     #[test]

@@ -62,6 +62,21 @@ impl BytesMut {
     }
 }
 
+// The real `bytes::BytesMut` derefs to `[u8]`; mirror that so callers can
+// pass `&buf` anywhere a byte slice is expected.
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
 impl BufMut for BytesMut {
     fn put_u8(&mut self, v: u8) {
         self.inner.push(v);

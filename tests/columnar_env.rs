@@ -1,0 +1,57 @@
+//! `DJ_COLUMNAR=1` environment override: the whole-suite CI mode in
+//! miniature. Kept in its own test binary (one process) because the env
+//! var is process-global.
+
+use data_juicer::config::{OpSpec, Recipe};
+use data_juicer::exec::{ExecOptions, Executor, COLUMNAR_ENV};
+use data_juicer::ops::builtin_registry;
+use data_juicer::synth::{web_corpus, WebNoise};
+
+/// With `DJ_COLUMNAR=1` set, a spilled run flips to columnar frames and
+/// still matches the in-memory result; an unset/odd value does not.
+#[test]
+fn env_override_engages_columnar_and_preserves_output() {
+    let registry = builtin_registry();
+    let recipe = Recipe::new("env-columnar")
+        .then(OpSpec::new("whitespace_normalization_mapper"))
+        .then(
+            OpSpec::new("text_length_filter")
+                .with("min_len", 10.0)
+                .with("max_len", 1e9),
+        )
+        .then(OpSpec::new("document_deduplicator"));
+    let ops = recipe.build_ops(&registry).unwrap();
+    let data = web_corpus(23, 80, WebNoise::default());
+    let (expected, _) = Executor::new(ops.clone())
+        .with_options(ExecOptions {
+            num_workers: 1,
+            op_fusion: false,
+            trace_examples: 0,
+            memory_budget: Some(u64::MAX),
+            ..ExecOptions::default()
+        })
+        .run(data.clone())
+        .unwrap();
+
+    std::env::set_var(COLUMNAR_ENV, "1");
+    let spilled = || {
+        Executor::new(ops.clone()).with_options(ExecOptions {
+            num_workers: 2,
+            op_fusion: true,
+            trace_examples: 0,
+            shard_size: Some(8),
+            memory_budget: Some(1),
+            ..ExecOptions::default()
+        })
+    };
+    let (out, report) = spilled().run(data.clone()).unwrap();
+    assert!(report.spilled);
+    assert!(report.columnar, "DJ_COLUMNAR=1 must engage columnar mode");
+    assert_eq!(out, expected);
+
+    std::env::set_var(COLUMNAR_ENV, "0");
+    let (out_off, report_off) = spilled().run(data).unwrap();
+    assert!(!report_off.columnar, "DJ_COLUMNAR=0 must stay row-format");
+    assert_eq!(out_off, expected);
+    std::env::remove_var(COLUMNAR_ENV);
+}
