@@ -16,6 +16,7 @@ use dj_core::Dataset;
 use dj_exec::{EgressManifest, ExecOptions, Executor};
 use dj_ops::builtin_registry;
 
+#[derive(Default)]
 struct Row {
     dataset: &'static str,
     np: usize,
@@ -35,6 +36,10 @@ struct Row {
     bytes_decoded: u64,
     /// Raw bytes spliced through without decoding (columnar runs only).
     bytes_passthrough: u64,
+    /// Median per-job submit-to-done latency (service rows only).
+    p50_seconds: f64,
+    /// Tail per-job submit-to-done latency (service rows only).
+    p99_seconds: f64,
 }
 
 /// Planner convergence on the misordered fixture recipe: how close the
@@ -91,7 +96,8 @@ fn write_bench_json(rows: &[Row], planner: &PlannerConvergence, path: &str) {
              \"samples_out\": {}, \"samples_per_sec\": {:.1}, \
              \"barrier_seconds\": {:.6}, \"barrier_share\": {:.4}, \
              \"ingest_mb_per_sec\": {:.3}, \"egress_mb_per_sec\": {:.3}, \
-             \"bytes_decoded\": {}, \"bytes_passthrough\": {}}}{}\n",
+             \"bytes_decoded\": {}, \"bytes_passthrough\": {}, \
+             \"p50_seconds\": {:.6}, \"p99_seconds\": {:.6}}}{}\n",
             r.dataset,
             r.np,
             r.system,
@@ -106,6 +112,8 @@ fn write_bench_json(rows: &[Row], planner: &PlannerConvergence, path: &str) {
             r.egress_mb_per_sec,
             r.bytes_decoded,
             r.bytes_passthrough,
+            r.p50_seconds,
+            r.p99_seconds,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -255,6 +263,7 @@ fn main() {
                 egress_mb_per_sec: 0.0,
                 bytes_decoded: 0,
                 bytes_passthrough: 0,
+                ..Row::default()
             });
 
             // RedPajama-style (np is irrelevant to its whole-dataset copies;
@@ -274,6 +283,7 @@ fn main() {
                 egress_mb_per_sec: 0.0,
                 bytes_decoded: 0,
                 bytes_passthrough: 0,
+                ..Row::default()
             });
 
             // Dolma-style (requires pre-sharding to np shards).
@@ -292,6 +302,7 @@ fn main() {
                 egress_mb_per_sec: 0.0,
                 bytes_decoded: 0,
                 bytes_passthrough: 0,
+                ..Row::default()
             });
         }
 
@@ -332,6 +343,7 @@ fn main() {
             egress_mb_per_sec: 0.0,
             bytes_decoded: 0,
             bytes_passthrough: 0,
+            ..Row::default()
         });
 
         // Data-Juicer file-backed: the same pipeline, but ingested from
@@ -386,6 +398,7 @@ fn main() {
                 / report.egress_duration.as_secs_f64().max(1e-9),
             bytes_decoded: 0,
             bytes_passthrough: 0,
+            ..Row::default()
         });
         let _ = std::fs::remove_dir_all(&io_dir);
 
@@ -417,6 +430,7 @@ fn main() {
             egress_mb_per_sec: 0.0,
             bytes_decoded: 0,
             bytes_passthrough: 0,
+            ..Row::default()
         });
 
         // Data-Juicer adaptive: same pipeline planned from a warm stats
@@ -454,6 +468,7 @@ fn main() {
             egress_mb_per_sec: 0.0,
             bytes_decoded: 0,
             bytes_passthrough: 0,
+            ..Row::default()
         });
         let _ = std::fs::remove_dir_all(&stats_dir);
     }
@@ -514,6 +529,7 @@ fn main() {
                 egress_mb_per_sec: 0.0,
                 bytes_decoded: report.bytes_decoded,
                 bytes_passthrough: report.bytes_passthrough,
+                ..Row::default()
             });
             (out, report, seconds)
         };
@@ -535,6 +551,97 @@ fn main() {
                 op.bytes_decoded as f64 / 1e6
             );
         }
+    }
+
+    // Service runtime: four tenant jobs submitted concurrently through one
+    // persistent runtime — the engine behind `dj serve`. Each tenant's
+    // output must match its solo "Data-Juicer" row above (fair shard
+    // scheduling interleaves morsels but never mixes jobs); the row
+    // reports aggregate samples/sec plus per-job p50/p99 submit-to-done
+    // latency under multi-tenant load.
+    section("Service runtime: 4 concurrent tenants");
+    {
+        use dj_exec::{Runtime, RuntimeConfig};
+        let np = *nps.last().expect("np sweep non-empty");
+        let tenants: Vec<(&'static str, &Dataset)> = vec![
+            ("Books", &datasets[0].1),
+            ("arXiv", &datasets[1].1),
+            ("C4", &datasets[2].1),
+            ("Books", &datasets[0].1),
+        ];
+        let solo: Vec<usize> = tenants
+            .iter()
+            .map(|(name, _)| {
+                rows.iter()
+                    .find(|r| r.dataset == *name && r.np == np && r.system == "Data-Juicer")
+                    .expect("solo row present")
+                    .out_len
+            })
+            .collect();
+        let rt = Runtime::new(RuntimeConfig {
+            max_jobs: tenants.len(),
+            memory_budget: None,
+        });
+        const ROUNDS: usize = 5;
+        let mut latencies = Vec::with_capacity(tenants.len() * ROUNDS);
+        let mut agg_seconds = 0.0f64;
+        let mut peak_bytes = 0usize;
+        let (mut in_total, mut out_total) = (0usize, 0usize);
+        for round in 0..ROUNDS {
+            let t0 = Instant::now();
+            let handles: Vec<_> = tenants
+                .iter()
+                .map(|(_, data)| {
+                    let exec = Executor::new(matched_dj_ops(p)).with_options(ExecOptions {
+                        num_workers: np,
+                        op_fusion: true,
+                        trace_examples: 0,
+                        shard_size: None,
+                        ..ExecOptions::default()
+                    });
+                    (Instant::now(), rt.submit(exec, (*data).clone()))
+                })
+                .collect();
+            for (i, (submitted, h)) in handles.into_iter().enumerate() {
+                let out = h.wait().expect("service job runs");
+                latencies.push(submitted.elapsed().as_secs_f64());
+                peak_bytes = peak_bytes.max(out.report.peak_bytes);
+                let got = out.dataset.expect("in-memory job returns a dataset");
+                assert_eq!(
+                    got.len(),
+                    solo[i],
+                    "service tenant {i} diverged from its solo run"
+                );
+                if round == 0 {
+                    in_total += tenants[i].1.len();
+                    out_total += got.len();
+                }
+            }
+            agg_seconds += t0.elapsed().as_secs_f64();
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let pct = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
+        let (p50, p99) = (pct(0.50), pct(0.99));
+        println!(
+            "{} tenants x {ROUNDS} rounds: p50 {:.1} ms | p99 {:.1} ms | \
+             aggregate {:.0} samples/s",
+            tenants.len(),
+            p50 * 1e3,
+            p99 * 1e3,
+            (in_total * ROUNDS) as f64 / agg_seconds.max(1e-9),
+        );
+        rows.push(Row {
+            dataset: "multi-tenant",
+            np,
+            system: "Data-Juicer-serve",
+            seconds: agg_seconds / ROUNDS as f64,
+            mem_mb: peak_bytes as f64 / 1e6,
+            out_len: out_total,
+            in_len: in_total,
+            p50_seconds: p50,
+            p99_seconds: p99,
+            ..Row::default()
+        });
     }
 
     let planner = planner_convergence();

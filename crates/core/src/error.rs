@@ -17,6 +17,8 @@ pub enum DjError {
     Io(std::io::Error),
     /// Cache/checkpoint storage failure (corrupt file, version mismatch...).
     Storage(String),
+    /// The job was cancelled (service runtime `JobHandle::cancel`).
+    Cancelled,
 }
 
 impl fmt::Display for DjError {
@@ -28,6 +30,7 @@ impl fmt::Display for DjError {
             DjError::Field(m) => write!(f, "field error: {m}"),
             DjError::Io(e) => write!(f, "io error: {e}"),
             DjError::Storage(m) => write!(f, "storage error: {m}"),
+            DjError::Cancelled => write!(f, "job cancelled"),
         }
     }
 }

@@ -25,6 +25,7 @@ pub mod dataset;
 pub mod error;
 pub mod json;
 pub mod op;
+pub mod pool;
 pub mod sample;
 pub mod shard;
 pub mod value;
@@ -37,6 +38,7 @@ pub use op::{
     params, Deduplicator, FieldSet, Filter, Formatter, Mapper, Op, OpCost, OpFactory, OpKind,
     OpParams, OpRegistry,
 };
+pub use pool::{Step, WorkerPool};
 pub use sample::{Sample, META_KEY, STATS_KEY, TEXT_KEY};
 pub use shard::{MemShardStore, ResidencyGauge, ShardSink, ShardSource, ShardStats};
 pub use value::Value;

@@ -65,12 +65,27 @@ pub fn fallback_score(cost: OpCost) -> f64 {
     rank_score(cost.fallback_ns_per_sample(), FALLBACK_KEEP_RATIO)
 }
 
+/// One raw step observation from this process, kept for merge-on-save.
+#[derive(Debug, Clone)]
+struct Observation {
+    name: String,
+    samples_in: usize,
+    samples_out: usize,
+    duration: Duration,
+}
+
 /// EWMA cost/selectivity aggregates per plan-step name, with scalar
 /// tunables (measured throughput figures the executor uses to auto-size
 /// shards and prefetch depth).
 #[derive(Debug, Clone, Default)]
 pub struct CostModel {
     stats: StatsSidecar,
+    /// Raw observations made since load (or since the last save).
+    /// [`CostModel::save`] replays these into a *fresh read* of the
+    /// sidecar, so concurrent jobs sharing one stats file accumulate
+    /// each other's measurements instead of last-writer-wins erasing
+    /// them.
+    pending: Vec<Observation>,
 }
 
 impl CostModel {
@@ -83,12 +98,36 @@ impl CostModel {
     pub fn load(path: &Path) -> CostModel {
         CostModel {
             stats: StatsSidecar::read(path).unwrap_or_default(),
+            pending: Vec::new(),
         }
     }
 
-    /// Persist as a checksummed `DJCS` sidecar (atomic temp + rename).
-    pub fn save(&self, path: &Path) -> Result<()> {
-        self.stats.write(path)
+    /// Persist as a checksummed `DJCS` sidecar (atomic temp + rename),
+    /// merging rather than overwriting: the sidecar is re-read first and
+    /// only this model's own observations since load are folded on top.
+    /// Two service-runtime jobs (or two processes) saving to the same
+    /// stats file therefore both contribute — whichever rename lands last
+    /// carries the other's aggregates, not a stale snapshot of them.
+    pub fn save(&mut self, path: &Path) -> Result<()> {
+        let mut merged = StatsSidecar::read(path).unwrap_or_default();
+        for obs in &self.pending {
+            fold_observation(
+                &mut merged,
+                &obs.name,
+                obs.samples_in,
+                obs.samples_out,
+                obs.duration,
+            );
+        }
+        // Tunables are point measurements, not accumulators: this
+        // process's latest values win; keys it never set pass through.
+        for (name, value) in &self.stats.tunables {
+            merged.tunables.insert(name.clone(), *value);
+        }
+        merged.write(path)?;
+        self.stats = merged;
+        self.pending.clear();
+        Ok(())
     }
 
     /// Whether any step has trusted measurements — a warm model is what
@@ -111,7 +150,8 @@ impl CostModel {
         }
     }
 
-    /// Fold a single step observation into its EWMA aggregate.
+    /// Fold a single step observation into its EWMA aggregate (and keep
+    /// the raw observation for merge-on-save).
     pub fn observe_step(
         &mut self,
         name: &str,
@@ -122,27 +162,13 @@ impl CostModel {
         if samples_in == 0 {
             return; // an earlier step drained the funnel; nothing measured
         }
-        let ns = duration.as_nanos() as f64 / samples_in as f64;
-        let keep = (samples_out as f64 / samples_in as f64).clamp(0.0, 1.0);
-        match self.stats.ops.get_mut(name) {
-            None => {
-                self.stats.ops.insert(
-                    name.to_string(),
-                    OpAggregate {
-                        ns_per_sample: ns,
-                        keep_ratio: keep,
-                        samples: samples_in as u64,
-                        runs: 1,
-                    },
-                );
-            }
-            Some(agg) => {
-                agg.ns_per_sample = EWMA_ALPHA * ns + (1.0 - EWMA_ALPHA) * agg.ns_per_sample;
-                agg.keep_ratio = EWMA_ALPHA * keep + (1.0 - EWMA_ALPHA) * agg.keep_ratio;
-                agg.samples = agg.samples.saturating_add(samples_in as u64);
-                agg.runs = agg.runs.saturating_add(1);
-            }
-        }
+        self.pending.push(Observation {
+            name: name.to_string(),
+            samples_in,
+            samples_out,
+            duration,
+        });
+        fold_observation(&mut self.stats, name, samples_in, samples_out, duration);
     }
 
     /// Trusted measurement for a step, if any.
@@ -177,6 +203,37 @@ impl CostModel {
 
     pub fn is_empty(&self) -> bool {
         self.stats.ops.is_empty()
+    }
+}
+
+/// The EWMA fold shared by live observation and merge-on-save replay.
+fn fold_observation(
+    stats: &mut StatsSidecar,
+    name: &str,
+    samples_in: usize,
+    samples_out: usize,
+    duration: Duration,
+) {
+    let ns = duration.as_nanos() as f64 / samples_in as f64;
+    let keep = (samples_out as f64 / samples_in as f64).clamp(0.0, 1.0);
+    match stats.ops.get_mut(name) {
+        None => {
+            stats.ops.insert(
+                name.to_string(),
+                OpAggregate {
+                    ns_per_sample: ns,
+                    keep_ratio: keep,
+                    samples: samples_in as u64,
+                    runs: 1,
+                },
+            );
+        }
+        Some(agg) => {
+            agg.ns_per_sample = EWMA_ALPHA * ns + (1.0 - EWMA_ALPHA) * agg.ns_per_sample;
+            agg.keep_ratio = EWMA_ALPHA * keep + (1.0 - EWMA_ALPHA) * agg.keep_ratio;
+            agg.samples = agg.samples.saturating_add(samples_in as u64);
+            agg.runs = agg.runs.saturating_add(1);
+        }
     }
 }
 
@@ -231,6 +288,44 @@ mod tests {
         // Zero-sample observations are ignored entirely.
         m.observe_step("g", 0, 0, Duration::from_micros(5));
         assert!(!m.stats.ops.contains_key("g"));
+    }
+
+    #[test]
+    fn concurrent_models_merge_instead_of_overwriting() {
+        let dir = std::env::temp_dir().join(format!("dj-cost-merge-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("planner_stats.djcs");
+        // Two jobs load the (empty) sidecar, observe different steps, and
+        // save in sequence — the old blind overwrite would make job B's
+        // save erase job A's aggregates.
+        let mut a = CostModel::load(&path);
+        let mut b = CostModel::load(&path);
+        a.observe_step("step_a", 1000, 500, Duration::from_micros(100));
+        a.set_tunable("samples_per_sec", 1_000.0);
+        b.observe_step("step_b", 2000, 1500, Duration::from_micros(400));
+        a.save(&path).unwrap();
+        b.save(&path).unwrap();
+        let back = CostModel::load(&path);
+        assert!(back.measured("step_a").is_some(), "job A's step survived");
+        assert!(back.measured("step_b").is_some(), "job B's step survived");
+        assert_eq!(back.tunable("samples_per_sec"), Some(1_000.0));
+        // Both jobs observing the *same* step folds, not duplicates: B's
+        // replay lands as a second EWMA run on A's aggregate.
+        let mut c = CostModel::load(&path);
+        c.observe_step("step_a", 1000, 500, Duration::from_micros(300));
+        c.save(&path).unwrap();
+        let folded = CostModel::load(&path);
+        assert_eq!(folded.measured("step_a").unwrap().runs, 2);
+        // Saving twice must not double-fold pending observations.
+        let before = folded.measured("step_a").unwrap().runs;
+        let mut d = CostModel::load(&path);
+        d.observe_step("step_d", 100, 50, Duration::from_micros(10));
+        d.save(&path).unwrap();
+        d.save(&path).unwrap();
+        let after = CostModel::load(&path);
+        assert_eq!(after.measured("step_a").unwrap().runs, before);
+        assert_eq!(after.measured("step_d").unwrap().runs, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

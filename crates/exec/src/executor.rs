@@ -6,15 +6,15 @@
 //! See the crate docs for the stage/shard execution model and the
 //! out-of-core mode.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use dj_core::{
     Dataset, Deduplicator, DjError, FieldSet, MemShardStore, Op, ResidencyGauge, Result, Sample,
-    SampleContext, ShardSink, ShardSource, ShardStats, Value,
+    SampleContext, ShardSink, ShardSource, ShardStats, Step, Value, WorkerPool,
 };
 use dj_io::{CorpusReader, OutputFormat, ShardedWriter};
 use dj_store::{
@@ -25,6 +25,7 @@ use dj_hash::fnv1a;
 
 use crate::cost::{fallback_score, rank_score, CostModel};
 use crate::fusion::{plan_fused_measured, plan_unfused, step_static_cost, Plan, PlanStep, Stage};
+use crate::runtime::JobControl;
 
 /// How many shards to cut per worker when `shard_size` is on auto.
 /// Over-partitioning lets fast workers steal extra shards (morsel-driven
@@ -60,6 +61,120 @@ pub const ADAPTIVE_ENV: &str = "DJ_ADAPTIVE";
 /// pushdown (`DJ_COLUMNAR=1 cargo test`). Output is byte-identical to the
 /// row format, so the override is safe suite-wide.
 pub const COLUMNAR_ENV: &str = "DJ_COLUMNAR";
+
+/// Environment override routing [`Executor::run`] through the
+/// process-wide service runtime (`1`/`true`/`yes`): the dataset is
+/// submitted as a job to [`crate::runtime::global_runtime`] and executes
+/// on the shared persistent worker pool instead of ad-hoc scoped threads.
+/// Output is byte-identical to a direct run, so CI can exercise the
+/// pooled path suite-wide (`DJ_RUNTIME=1 cargo test`).
+pub const RUNTIME_ENV: &str = "DJ_RUNTIME";
+
+/// Environment fallback for [`ExecOptions::input`] (a JSONL/CSV path or
+/// glob), used by [`Executor::run_io`] when the option is unset. Like
+/// every other env knob it is snapshotted once at `ExecOptions`
+/// construction — a long-lived `dj serve` process gives every job the
+/// view that existed when its options were built.
+pub const INPUT_ENV: &str = "DJ_INPUT";
+
+/// A one-shot snapshot of every executor env knob, captured when
+/// [`ExecOptions`] is constructed.
+///
+/// The knobs used to be read straight from the environment at varying
+/// points mid-run, which has two failure modes the service runtime makes
+/// acute: (a) a long-lived `dj serve` process would hand different jobs
+/// different views if the environment changed between reads, and (b) a
+/// malformed value was silently ignored by some knobs (`DJ_ADAPTIVE=typo`
+/// meant "off") while a hard error in others. The snapshot pins the view
+/// per-options-construction, and [`EnvKnobs::validate`] makes every
+/// malformed value a hard [`DjError::Config`].
+#[derive(Debug, Clone, Default)]
+pub struct EnvKnobs {
+    memory_budget: Option<String>,
+    adaptive: Option<String>,
+    columnar: Option<String>,
+    runtime: Option<String>,
+    input: Option<String>,
+}
+
+impl EnvKnobs {
+    /// Snapshot the current environment.
+    pub fn capture() -> EnvKnobs {
+        let grab = |name: &str| std::env::var(name).ok();
+        EnvKnobs {
+            memory_budget: grab(MEMORY_BUDGET_ENV),
+            adaptive: grab(ADAPTIVE_ENV),
+            columnar: grab(COLUMNAR_ENV),
+            runtime: grab(RUNTIME_ENV),
+            input: grab(INPUT_ENV),
+        }
+    }
+
+    /// Parse a boolean force-on knob: `1`/`true`/`yes` forces the option
+    /// on, unset/empty/`0`/`false`/`no` leaves it as configured, anything
+    /// else is a hard config error.
+    fn flag(raw: &Option<String>, name: &str) -> Result<bool> {
+        match raw.as_deref().map(str::trim) {
+            None | Some("" | "0" | "false" | "no") => Ok(false),
+            Some("1" | "true" | "yes") => Ok(true),
+            Some(junk) => Err(DjError::Config(format!(
+                "{name} must be one of 1/true/yes/0/false/no, got `{junk}`"
+            ))),
+        }
+    }
+
+    /// The `DJ_MEMORY_BUDGET` override in bytes, if set. A malformed
+    /// value is a configuration error — silently ignoring it would run
+    /// the exact corpus the knob was set to protect fully in memory.
+    pub fn memory_budget(&self) -> Result<Option<u64>> {
+        let Some(raw) = self.memory_budget.as_deref().map(str::trim) else {
+            return Ok(None);
+        };
+        if raw.is_empty() {
+            return Ok(None);
+        }
+        match raw.parse::<u64>() {
+            Ok(b) if b >= 1 => Ok(Some(b)),
+            _ => Err(DjError::Config(format!(
+                "{MEMORY_BUDGET_ENV} must be a positive integer byte count, got `{raw}`"
+            ))),
+        }
+    }
+
+    /// Whether `DJ_ADAPTIVE` forces adaptive planning on.
+    pub fn adaptive(&self) -> Result<bool> {
+        Self::flag(&self.adaptive, ADAPTIVE_ENV)
+    }
+
+    /// Whether `DJ_COLUMNAR` forces columnar spill frames on.
+    pub fn columnar(&self) -> Result<bool> {
+        Self::flag(&self.columnar, COLUMNAR_ENV)
+    }
+
+    /// Whether `DJ_RUNTIME` routes `run` through the service runtime.
+    pub fn runtime(&self) -> Result<bool> {
+        Self::flag(&self.runtime, RUNTIME_ENV)
+    }
+
+    /// The `DJ_INPUT` corpus pattern fallback, if set and non-empty.
+    pub fn input(&self) -> Option<&str> {
+        self.input
+            .as_deref()
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+    }
+
+    /// Hard-validate every knob at once (run entry points call this so a
+    /// typo fails the run up front, not at whichever point first consults
+    /// the knob).
+    pub fn validate(&self) -> Result<()> {
+        self.memory_budget()?;
+        self.adaptive()?;
+        self.columnar()?;
+        self.runtime()?;
+        Ok(())
+    }
+}
 
 /// Minimum samples *per worker* before the parallel dedup barrier
 /// clustering pays for its thread-spawn cost; smaller inputs cluster
@@ -158,6 +273,14 @@ pub struct ExecOptions {
     /// untouched column through byte-for-byte. Output is byte-identical
     /// to the row format. Also forced on by the `DJ_COLUMNAR` env var.
     pub columnar: bool,
+    /// Snapshot of the executor env knobs, captured when these options
+    /// were constructed. All env reads go through this snapshot so a
+    /// long-lived service process gives every job a consistent view.
+    pub env: EnvKnobs,
+    /// The owning service job, when this run was submitted through the
+    /// runtime: cancellation checks, shard-progress counters and
+    /// admission-control accounting hang off it. `None` for direct runs.
+    pub job: Option<Arc<JobControl>>,
 }
 
 impl Default for ExecOptions {
@@ -180,6 +303,8 @@ impl Default for ExecOptions {
             stats_dir: None,
             prefix_cache: false,
             columnar: false,
+            env: EnvKnobs::capture(),
+            job: None,
         }
     }
 }
@@ -366,6 +491,67 @@ impl RunReport {
     }
 }
 
+/// Per-run control block: the residency gauge plus the owning service
+/// job (when the run was submitted through the runtime). Threaded through
+/// every streaming pass so that (a) resident-sample accounting also
+/// mirrors into the job's admission-control counters and the runtime's
+/// aggregate gauge, (b) cancellation is observed at every shard
+/// boundary, and (c) shard completions feed the job's progress API.
+/// Direct runs construct one with no job attached — the gauge behaves
+/// exactly as before.
+pub(crate) struct RunCtl {
+    gauge: ResidencyGauge,
+    job: Option<Arc<JobControl>>,
+}
+
+impl RunCtl {
+    fn new(job: Option<Arc<JobControl>>) -> RunCtl {
+        RunCtl {
+            gauge: ResidencyGauge::default(),
+            job,
+        }
+    }
+
+    /// Fail the current shard with [`DjError::Cancelled`] if the owning
+    /// job was cancelled. Checked at every shard claim, so a cancelled
+    /// job stops within one shard of work per stepper.
+    fn check(&self) -> Result<()> {
+        match &self.job {
+            Some(job) if job.is_cancelled() => Err(DjError::Cancelled),
+            _ => Ok(()),
+        }
+    }
+
+    fn acquire(&self, samples: usize, bytes: usize) {
+        self.gauge.acquire(samples, bytes);
+        if let Some(job) = &self.job {
+            job.acquire(samples, bytes);
+        }
+    }
+
+    fn release(&self, samples: usize, bytes: usize) {
+        self.gauge.release(samples, bytes);
+        if let Some(job) = &self.job {
+            job.release(samples, bytes);
+        }
+    }
+
+    /// Record one finished shard toward the job's progress counters.
+    fn shard_done(&self) {
+        if let Some(job) = &self.job {
+            job.note_shard_done();
+        }
+    }
+
+    fn peak_samples(&self) -> usize {
+        self.gauge.peak_samples()
+    }
+
+    fn peak_bytes(&self) -> usize {
+        self.gauge.peak_bytes()
+    }
+}
+
 /// Where the dataset lives between stages: in memory as ordered shards
 /// (default) or spilled to a disk spool of checksummed shard frames
 /// (out-of-core mode).
@@ -396,9 +582,10 @@ impl StageData {
 }
 
 /// Pipeline executor over a fixed OP list.
+#[derive(Clone)]
 pub struct Executor {
     ops: Vec<Op>,
-    options: ExecOptions,
+    pub(crate) options: ExecOptions,
 }
 
 impl Executor {
@@ -435,29 +622,21 @@ impl Executor {
     }
 
     /// Whether adaptive planning is in force: the explicit option, or the
-    /// `DJ_ADAPTIVE` env override (`1`/`true`/`yes`).
-    fn effective_adaptive(&self) -> bool {
-        self.options.adaptive
-            || matches!(
-                std::env::var(ADAPTIVE_ENV).ok().as_deref().map(str::trim),
-                Some("1" | "true" | "yes")
-            )
+    /// `DJ_ADAPTIVE` snapshot (`1`/`true`/`yes`).
+    fn effective_adaptive(&self) -> Result<bool> {
+        Ok(self.options.adaptive || self.options.env.adaptive()?)
     }
 
     /// Whether columnar spill frames are in force: the explicit option, or
-    /// the `DJ_COLUMNAR` env override (`1`/`true`/`yes`).
-    fn effective_columnar(&self) -> bool {
-        self.options.columnar
-            || matches!(
-                std::env::var(COLUMNAR_ENV).ok().as_deref().map(str::trim),
-                Some("1" | "true" | "yes")
-            )
+    /// the `DJ_COLUMNAR` snapshot (`1`/`true`/`yes`).
+    fn effective_columnar(&self) -> Result<bool> {
+        Ok(self.options.columnar || self.options.env.columnar()?)
     }
 
     /// A fresh spill spool in the mode in force — columnar `DJSC` frames
     /// when columnar execution is on, row `DJSF` frames otherwise.
     fn new_spool(&self, slots: usize) -> Result<ShardSpool> {
-        if self.effective_columnar() {
+        if self.effective_columnar()? {
             ShardSpool::create_columnar(self.fresh_spill_dir(), slots, SPILL_CODEC)
         } else {
             ShardSpool::create(self.fresh_spill_dir(), slots, SPILL_CODEC)
@@ -520,8 +699,14 @@ impl Executor {
         ))
     }
 
-    /// Execute the pipeline.
+    /// Execute the pipeline. With `DJ_RUNTIME` set (and no job already
+    /// attached) the dataset is submitted to the process-wide service
+    /// runtime and executes on the shared persistent pool; the result is
+    /// byte-identical either way.
     pub fn run(&self, dataset: Dataset) -> Result<(Dataset, RunReport)> {
+        if self.options.job.is_none() && self.options.env.runtime()? {
+            return crate::runtime::global_runtime().run_direct(self.clone(), dataset);
+        }
         self.run_inner(dataset, None)
     }
 
@@ -552,7 +737,8 @@ impl Executor {
     /// file-backed runs are keyed by their input files, not by an
     /// in-memory dataset.
     pub fn run_io(&self) -> Result<(Option<Dataset>, RunReport)> {
-        let adaptive = self.effective_adaptive();
+        self.options.env.validate()?;
+        let adaptive = self.effective_adaptive()?;
         // File-backed runs have no cache, so the sidecar only persists
         // under an explicit `stats_dir`.
         let stats_path = if adaptive {
@@ -589,20 +775,25 @@ impl Executor {
 
     fn run_io_inner(&self, model: Option<&CostModel>) -> Result<(Option<Dataset>, RunReport)> {
         let depth = self.validated_depth()?;
-        let input = self.options.input.as_deref().ok_or_else(|| {
-            DjError::Config("run_io requires ExecOptions::input (a path or glob)".into())
-        })?;
+        let input = match self.options.input.as_deref() {
+            Some(p) => p,
+            None => self.options.env.input().ok_or_else(|| {
+                DjError::Config(
+                    "run_io requires ExecOptions::input (a path or glob) or DJ_INPUT".into(),
+                )
+            })?,
+        };
         let plan = self.plan_adaptive(model);
         let stages = plan.stages();
         let start = Instant::now();
-        let gauge = ResidencyGauge::default();
+        let ctl = RunCtl::new(self.options.job.clone());
         let budget = self.effective_memory_budget()?;
         let mut report = RunReport {
             fused_groups: plan.fused_groups,
             stages: stages.len(),
             spilled: true,
             measured_steps: plan.measured_steps,
-            columnar: self.effective_columnar(),
+            columnar: self.effective_columnar()?,
             ..RunReport::default()
         };
         let shard_size = self
@@ -628,7 +819,7 @@ impl Executor {
         let spool = self.new_spool(0)?;
         let spool_ref = &spool;
         let (per_shard, ingest_bytes, ingest_samples) =
-            stream_ingest(reader, shard_size, workers, depth, &gauge, |i, shard| {
+            stream_ingest(reader, shard_size, workers, depth, &ctl, |i, shard| {
                 let mut ctx = SampleContext::new();
                 let outcome = run_stage_on_shard(ingest_steps, shard, &mut ctx, cap)?;
                 spool_ref.write_shard(i, &outcome.shard)?;
@@ -651,7 +842,7 @@ impl Executor {
                 next_barrier(remaining, k + 1),
                 data,
                 budget,
-                &gauge,
+                &ctl,
                 &mut report,
             )?;
         }
@@ -662,7 +853,7 @@ impl Executor {
         let egress_start = Instant::now();
         let out = match &self.options.output {
             Some(dir) => {
-                self.write_output(dir, &data, &gauge, &mut report)?;
+                self.write_output(dir, &data, &ctl, &mut report)?;
                 None
             }
             None => Some(match data {
@@ -671,8 +862,8 @@ impl Executor {
             }),
         };
         report.egress_duration = egress_start.elapsed();
-        report.peak_resident_samples = gauge.peak_samples();
-        report.peak_resident_bytes = gauge.peak_bytes();
+        report.peak_resident_samples = ctl.peak_samples();
+        report.peak_resident_bytes = ctl.peak_bytes();
         report.total_duration = start.elapsed();
         Ok((out, report))
     }
@@ -685,7 +876,7 @@ impl Executor {
         &self,
         dir: &Path,
         data: &StageData,
-        gauge: &ResidencyGauge,
+        ctl: &RunCtl,
         report: &mut RunReport,
     ) -> Result<()> {
         let writer = ShardedWriter::create(dir, self.options.output_format)?;
@@ -701,7 +892,7 @@ impl Executor {
                     self.options.num_workers.max(1),
                     true,
                     self.options.prefetch_depth,
-                    gauge,
+                    ctl,
                     |i, shard| writer_ref.store_shard(i, &shard),
                 )?;
             }
@@ -720,7 +911,7 @@ impl Executor {
                     workers,
                     true,
                     self.options.prefetch_depth,
-                    gauge,
+                    ctl,
                     |i, shard| writer_ref.store_shard(i, &shard),
                 )?;
             }
@@ -743,19 +934,7 @@ impl Executor {
         if let Some(b) = self.options.memory_budget {
             return Ok(Some(b));
         }
-        let Ok(raw) = std::env::var(MEMORY_BUDGET_ENV) else {
-            return Ok(None);
-        };
-        let raw = raw.trim();
-        if raw.is_empty() {
-            return Ok(None);
-        }
-        match raw.parse::<u64>() {
-            Ok(b) if b >= 1 => Ok(Some(b)),
-            _ => Err(DjError::Config(format!(
-                "{MEMORY_BUDGET_ENV} must be a positive integer byte count, got `{raw}`"
-            ))),
-        }
+        self.options.env.memory_budget()
     }
 
     /// The prefetch depth in force, validated: a depth of zero would
@@ -851,7 +1030,8 @@ impl Executor {
         dataset: Dataset,
         cache: Option<&CacheManager>,
     ) -> Result<(Dataset, RunReport)> {
-        let adaptive = self.effective_adaptive();
+        self.options.env.validate()?;
+        let adaptive = self.effective_adaptive()?;
         let stats_path = if adaptive {
             self.stats_path(cache)
         } else {
@@ -901,7 +1081,7 @@ impl Executor {
         };
         let keys = stage_cache_keys(&stages, prefix);
         let start = Instant::now();
-        let gauge = ResidencyGauge::default();
+        let ctl = RunCtl::new(self.options.job.clone());
         let budget = self.effective_memory_budget()?;
         self.validated_depth()?;
         let mut report = RunReport {
@@ -910,7 +1090,7 @@ impl Executor {
             fused_groups: plan.fused_groups,
             stages: stages.len(),
             measured_steps: plan.measured_steps,
-            columnar: self.effective_columnar(),
+            columnar: self.effective_columnar()?,
             ..RunReport::default()
         };
         let mut data = StageData::Mem(vec![dataset]);
@@ -954,12 +1134,13 @@ impl Executor {
         }
 
         for (i, stage) in stages.iter().enumerate().skip(first_stage) {
+            ctl.check()?;
             data = self.execute_stage(
                 stage,
                 next_barrier(&stages, i + 1),
                 data,
                 budget,
-                &gauge,
+                &ctl,
                 &mut report,
             )?;
             report.peak_bytes = report.peak_bytes.max(data.approx_bytes());
@@ -990,8 +1171,8 @@ impl Executor {
             }
         }
         report.final_samples = data.len();
-        report.peak_resident_samples = gauge.peak_samples();
-        report.peak_resident_bytes = gauge.peak_bytes();
+        report.peak_resident_samples = ctl.peak_samples();
+        report.peak_resident_bytes = ctl.peak_bytes();
         report.total_duration = start.elapsed();
         // The caller asked for an in-memory dataset back; this final merge
         // is the one deliberate materialization point of the run.
@@ -1013,7 +1194,7 @@ impl Executor {
         next_dedup: Option<&dyn Deduplicator>,
         data: StageData,
         budget: Option<u64>,
-        gauge: &ResidencyGauge,
+        ctl: &RunCtl,
         report: &mut RunReport,
     ) -> Result<StageData> {
         let upcoming = match stage {
@@ -1024,10 +1205,10 @@ impl Executor {
         Ok(match stage {
             Stage::Pipeline { steps, .. } => match data {
                 StageData::Mem(shards) => {
-                    StageData::Mem(self.run_pipeline_stage(steps, shards, gauge, report)?)
+                    StageData::Mem(self.run_pipeline_stage(steps, shards, ctl, report)?)
                 }
                 StageData::Spilled(spool) => StageData::Spilled(
-                    self.run_pipeline_stage_spilled(steps, &spool, next_dedup, gauge, report)?,
+                    self.run_pipeline_stage_spilled(steps, &spool, next_dedup, ctl, report)?,
                 ),
             },
             Stage::Barrier { dedup, .. } => match data {
@@ -1037,7 +1218,7 @@ impl Executor {
                 StageData::Spilled(spool) => StageData::Spilled(self.run_dedup_stage_spilled(
                     dedup.as_ref(),
                     &spool,
-                    gauge,
+                    ctl,
                     report,
                 )?),
             },
@@ -1118,7 +1299,9 @@ impl Executor {
     /// has enough shards both to measure (`replan_after` shards) and to
     /// benefit (at least one shard runs under the revised order).
     fn stage_schedule(&self, steps: &[PlanStep], nshards: usize) -> Option<StageSchedule> {
-        if !self.effective_adaptive() || steps.len() < 2 {
+        // Validation already ran at the run entry point; a malformed knob
+        // cannot reach here, so a parse failure just means "not forced".
+        if !self.effective_adaptive().unwrap_or(false) || steps.len() < 2 {
             return None;
         }
         let k = self
@@ -1140,7 +1323,7 @@ impl Executor {
         &self,
         steps: &[PlanStep],
         shards: Vec<Dataset>,
-        gauge: &ResidencyGauge,
+        ctl: &RunCtl,
         report: &mut RunReport,
     ) -> Result<Vec<Dataset>> {
         if steps.is_empty() {
@@ -1150,7 +1333,7 @@ impl Executor {
         let n = shards.len();
         let source = MemShardStore::from_shards(shards);
         let sink = MemShardStore::with_capacity(n);
-        self.run_pipeline_stage_streamed(steps, &source, &sink, false, None, gauge, report)?;
+        self.run_pipeline_stage_streamed(steps, &source, &sink, false, None, ctl, report)?;
         sink.into_shards()
     }
 
@@ -1163,19 +1346,19 @@ impl Executor {
         steps: &[PlanStep],
         spool: &ShardSpool,
         next_dedup: Option<&dyn Deduplicator>,
-        gauge: &ResidencyGauge,
+        ctl: &RunCtl,
         report: &mut RunReport,
     ) -> Result<ShardSpool> {
         // Projection pushdown needs the input slots to actually hold
         // columnar frames; a row-mode spool (e.g. rehydrated from a cache
         // entry saved by a row run) streams through the full-decode path
         // and converts at the output spool.
-        if self.effective_columnar() && spool.is_columnar() {
-            return self.run_pipeline_stage_columnar(steps, spool, next_dedup, gauge, report);
+        if self.effective_columnar()? && spool.is_columnar() {
+            return self.run_pipeline_stage_columnar(steps, spool, next_dedup, ctl, report);
         }
         let out = self.new_spool(spool.shard_count())?;
         let fingerprint = next_dedup.map(|d| (d, &out));
-        self.run_pipeline_stage_streamed(steps, spool, &out, true, fingerprint, gauge, report)?;
+        self.run_pipeline_stage_streamed(steps, spool, &out, true, fingerprint, ctl, report)?;
         Ok(out)
     }
 
@@ -1191,7 +1374,7 @@ impl Executor {
         steps: &[PlanStep],
         spool: &ShardSpool,
         next_dedup: Option<&dyn Deduplicator>,
-        gauge: &ResidencyGauge,
+        ctl: &RunCtl,
         report: &mut RunReport,
     ) -> Result<ShardSpool> {
         let cap = self.options.trace_examples;
@@ -1206,58 +1389,40 @@ impl Executor {
         let sched = self.stage_schedule(steps, n);
 
         type ColShard = (Vec<ShardStats>, Vec<Vec<TraceEvent>>, u64, u64);
-        let results: Vec<Mutex<Option<Result<ColShard>>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            let (next, results, out, cols, sched) = (&next, &results, &out, &cols, &sched);
-            for _ in 0..workers {
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        return;
+        let slots: Vec<Result<ColShard>> = WorkerPool::global().run_indexed(workers, n, |i| {
+            ctl.check()?;
+            let slab = spool.read_columnar_slab(i)?;
+            let (projected, decoded) = slab.decode_projected(cols.as_ref())?;
+            let (s, b) = (projected.len(), slab.payload_len());
+            ctl.acquire(s, b);
+            let run = (|| {
+                let mut ctx = SampleContext::new();
+                let mut outcome = match &sched {
+                    None => run_stage_on_shard(steps, projected, &mut ctx, cap)?,
+                    Some(sched) => {
+                        let order = sched.order();
+                        let raw = run_stage_on_shard(&order.steps, projected, &mut ctx, cap)?;
+                        let outcome = remap_outcome(&order, raw);
+                        sched.observe(&outcome.stats);
+                        outcome
                     }
-                    let r = (|| {
-                        let slab = spool.read_columnar_slab(i)?;
-                        let (projected, decoded) = slab.decode_projected(cols.as_ref())?;
-                        let (s, b) = (projected.len(), slab.payload_len());
-                        gauge.acquire(s, b);
-                        let run = (|| {
-                            let mut ctx = SampleContext::new();
-                            let mut outcome = match sched {
-                                None => run_stage_on_shard(steps, projected, &mut ctx, cap)?,
-                                Some(sched) => {
-                                    let order = sched.order();
-                                    let raw =
-                                        run_stage_on_shard(&order.steps, projected, &mut ctx, cap)?;
-                                    let outcome = remap_outcome(&order, raw);
-                                    sched.observe(&outcome.stats);
-                                    outcome
-                                }
-                            };
-                            let (frame, passthrough) = slab.splice(
-                                &outcome.shard,
-                                cols.as_ref(),
-                                &outcome.keep,
-                                SPILL_CODEC,
-                            )?;
-                            out.write_frame_bytes(i, &frame, outcome.shard.len())?;
-                            if let Some(dedup) = next_dedup {
-                                out.write_fingerprints(i, &hash_shard(dedup, &outcome.shard)?)?;
-                            }
-                            for st in &mut outcome.stats {
-                                st.bytes_decoded = decoded;
-                            }
-                            Ok((outcome.stats, outcome.traces, decoded, passthrough))
-                        })();
-                        gauge.release(s, b);
-                        run
-                    })();
-                    *results[i].lock().expect("columnar result mutex") = Some(r);
-                });
-            }
+                };
+                let (frame, passthrough) =
+                    slab.splice(&outcome.shard, cols.as_ref(), &outcome.keep, SPILL_CODEC)?;
+                out.write_frame_bytes(i, &frame, outcome.shard.len())?;
+                if let Some(dedup) = next_dedup {
+                    out.write_fingerprints(i, &hash_shard(dedup, &outcome.shard)?)?;
+                }
+                for st in &mut outcome.stats {
+                    st.bytes_decoded = decoded;
+                }
+                Ok((outcome.stats, outcome.traces, decoded, passthrough))
+            })();
+            ctl.release(s, b);
+            ctl.shard_done();
+            run
         });
-        let per_shard = collect_stream_results(results)?;
+        let per_shard = slots.into_iter().collect::<Result<Vec<_>>>()?;
         let mut merged = Vec::with_capacity(per_shard.len());
         for (stats, traces, decoded, passthrough) in per_shard {
             report.bytes_decoded += decoded;
@@ -1284,7 +1449,7 @@ impl Executor {
         sink: &dyn ShardSink,
         overlap_io: bool,
         fingerprint: Option<(&dyn Deduplicator, &ShardSpool)>,
-        gauge: &ResidencyGauge,
+        ctl: &RunCtl,
         report: &mut RunReport,
     ) -> Result<()> {
         let cap = self.options.trace_examples;
@@ -1293,7 +1458,7 @@ impl Executor {
         let workers = self.options.num_workers.max(1).min(n.max(1));
         let depth = self.options.prefetch_depth;
         let sched = self.stage_schedule(steps, n);
-        let per_shard = stream_shards(source, workers, overlap_io, depth, gauge, |i, shard| {
+        let per_shard = stream_shards(source, workers, overlap_io, depth, ctl, |i, shard| {
             let mut ctx = SampleContext::new();
             // With a schedule, each shard runs whatever step order is
             // current when it starts; its stats/traces are remapped onto
@@ -1368,36 +1533,32 @@ impl Executor {
         let chunk_size = nshards.div_ceil(workers).max(1);
         let mask_ref = &mask;
         let offsets_ref = &offsets[..];
-        let chunk_traces: Vec<Vec<Vec<TraceEvent>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .chunks_mut(chunk_size)
-                .enumerate()
-                .map(|(c, chunk)| {
-                    scope.spawn(move || {
-                        let mut traces = Vec::with_capacity(chunk.len());
-                        for (k, shard) in chunk.iter_mut().enumerate() {
-                            let start = offsets_ref[c * chunk_size + k];
-                            let slice = &mask_ref[start..start + shard.len()];
-                            let mut t = Vec::new();
-                            for (j, &keep) in slice.iter().enumerate() {
-                                if !keep && t.len() < cap {
-                                    t.push(TraceEvent::Duplicate {
-                                        dropped: snippet(shard.get(j).expect("index valid").text()),
-                                    });
-                                }
-                            }
-                            shard.retain_mask(slice);
-                            traces.push(t);
+        // Contiguous shard chunks behind per-chunk mutexes: the pool's
+        // indexed claim hands each chunk to exactly one stepper, so the
+        // `&mut` access is exclusive even though the closure is `Fn`.
+        let chunks: Vec<Mutex<&mut [Dataset]>> =
+            shards.chunks_mut(chunk_size).map(Mutex::new).collect();
+        let chunk_traces: Vec<Vec<Vec<TraceEvent>>> =
+            WorkerPool::global().run_indexed(workers, chunks.len(), |c| {
+                let mut chunk = chunks[c].lock().expect("mask chunk mutex");
+                let mut traces = Vec::with_capacity(chunk.len());
+                for (k, shard) in chunk.iter_mut().enumerate() {
+                    let start = offsets_ref[c * chunk_size + k];
+                    let slice = &mask_ref[start..start + shard.len()];
+                    let mut t = Vec::new();
+                    for (j, &keep) in slice.iter().enumerate() {
+                        if !keep && t.len() < cap {
+                            t.push(TraceEvent::Duplicate {
+                                dropped: snippet(shard.get(j).expect("index valid").text()),
+                            });
                         }
-                        traces
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("mask worker panicked"))
-                .collect()
-        });
+                    }
+                    shard.retain_mask(slice);
+                    traces.push(t);
+                }
+                traces
+            });
+        drop(chunks);
         let mut trace = Vec::new();
         for t in chunk_traces.into_iter().flatten() {
             let room = cap.saturating_sub(trace.len());
@@ -1438,7 +1599,7 @@ impl Executor {
         &self,
         dedup: &dyn dj_core::Deduplicator,
         spool: &ShardSpool,
-        gauge: &ResidencyGauge,
+        ctl: &RunCtl,
         report: &mut RunReport,
     ) -> Result<ShardSpool> {
         let cap = self.options.trace_examples;
@@ -1462,16 +1623,16 @@ impl Executor {
                 // region out of each `DJSC` frame — every other column's
                 // bytes never leave disk compression.
                 Some(field) if spool.is_columnar() => {
-                    let (h, bytes) = self.columnar_hashes(dedup, spool, field, gauge)?;
+                    let (h, bytes) = self.columnar_hashes(dedup, spool, field, ctl)?;
                     barrier_bytes = bytes;
                     h
                 }
                 // Zero-copy fallback: hash straight out of the frame
                 // slabs — one read + checksum + decompress per shard, the
                 // field text borrowed from the slab, no Sample decode.
-                Some(field) => self.slab_hashes(dedup, spool, field, gauge)?,
+                Some(field) => self.slab_hashes(dedup, spool, field, ctl)?,
                 // Legacy fallback: full-decode streaming hash pass.
-                None => stream_shards(spool, workers, true, depth, gauge, |_, shard| {
+                None => stream_shards(spool, workers, true, depth, ctl, |_, shard| {
                     let mut ctx = SampleContext::new();
                     let mut out = Vec::with_capacity(shard.len());
                     for s in shard.iter() {
@@ -1515,42 +1676,29 @@ impl Executor {
             // `Value`s, so the surviving bytes splice through verbatim.
             // (Duplicate traces need sample text, so a non-zero cap takes
             // the decode path below instead.)
-            let results: Vec<Mutex<Option<Result<u64>>>> =
-                (0..n).map(|_| Mutex::new(None)).collect();
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                let (next, results) = (&next, &results);
-                for _ in 0..workers {
-                    scope.spawn(move || loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            return;
-                        }
-                        let r = (|| {
-                            let slab = spool.read_columnar_slab(i)?;
-                            let samples = slab.sample_count();
-                            gauge.acquire(samples, slab.payload_len());
-                            let run = (|| {
-                                let start = offsets_ref[i];
-                                let slice = &mask_ref[start..start + samples];
-                                let kept = slice.iter().filter(|&&k| k).count();
-                                let (frame, passthrough) = slab.filter_frame(slice, SPILL_CODEC)?;
-                                out_ref.write_frame_bytes(i, &frame, kept)?;
-                                Ok(passthrough)
-                            })();
-                            gauge.release(samples, slab.payload_len());
-                            run
-                        })();
-                        *results[i].lock().expect("columnar mask mutex") = Some(r);
-                    });
-                }
+            let slots: Vec<Result<u64>> = WorkerPool::global().run_indexed(workers, n, |i| {
+                ctl.check()?;
+                let slab = spool.read_columnar_slab(i)?;
+                let samples = slab.sample_count();
+                ctl.acquire(samples, slab.payload_len());
+                let run = (|| {
+                    let start = offsets_ref[i];
+                    let slice = &mask_ref[start..start + samples];
+                    let kept = slice.iter().filter(|&&k| k).count();
+                    let (frame, passthrough) = slab.filter_frame(slice, SPILL_CODEC)?;
+                    out_ref.write_frame_bytes(i, &frame, kept)?;
+                    Ok(passthrough)
+                })();
+                ctl.release(samples, slab.payload_len());
+                ctl.shard_done();
+                run
             });
-            for passthrough in collect_stream_results(results)? {
+            for passthrough in slots.into_iter().collect::<Result<Vec<_>>>()? {
                 report.bytes_passthrough += passthrough;
             }
         } else {
             let drop_traces =
-                stream_shards(spool, workers, true, depth, gauge, move |i, mut shard| {
+                stream_shards(spool, workers, true, depth, ctl, move |i, mut shard| {
                     let start = offsets_ref[i];
                     let slice = &mask_ref[start..start + shard.len()];
                     let mut trace = Vec::new();
@@ -1615,17 +1763,11 @@ impl Executor {
         }
         let refs: Vec<&Sample> = shards.iter().flat_map(|s| s.samples().iter()).collect();
         let chunk_size = total.div_ceil(workers);
-        let chunk_results: Vec<Result<Vec<Value>>> = std::thread::scope(|scope| {
-            let hash_samples = &hash_samples;
-            let handles: Vec<_> = refs
-                .chunks(chunk_size)
-                .map(|chunk| scope.spawn(move || hash_samples(&mut chunk.iter().copied())))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("hash worker panicked"))
-                .collect()
-        });
+        let chunks: Vec<&[&Sample]> = refs.chunks(chunk_size).collect();
+        let chunk_results: Vec<Result<Vec<Value>>> =
+            WorkerPool::global().run_indexed(workers, chunks.len(), |c| {
+                hash_samples(&mut chunks[c].iter().copied())
+            });
         let mut hashes = Vec::with_capacity(total);
         for r in chunk_results {
             hashes.extend(r?);
@@ -1643,43 +1785,31 @@ impl Executor {
         dedup: &dyn Deduplicator,
         spool: &ShardSpool,
         field: &str,
-        gauge: &ResidencyGauge,
+        ctl: &RunCtl,
     ) -> Result<Vec<Value>> {
         let n = spool.shard_count();
         let workers = self.options.num_workers.max(1).min(n.max(1));
-        let results: Vec<Mutex<Option<Result<Vec<Value>>>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            let (next, results) = (&next, &results);
-            for _ in 0..workers {
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        return;
-                    }
-                    let r = (|| {
-                        let slab = spool.read_frame_slab(i)?;
-                        let samples = slab.sample_count()?;
-                        gauge.acquire(samples, slab.payload_len());
-                        let hashed = slab.texts_at(field).and_then(|texts| {
-                            let mut ctx = SampleContext::new();
-                            let mut out = Vec::with_capacity(texts.len());
-                            for t in &texts {
-                                ctx.invalidate();
-                                out.push(dedup.compute_hash_text(t, &mut ctx)?);
-                                ctx.clear();
-                            }
-                            Ok(out)
-                        });
-                        gauge.release(samples, slab.payload_len());
-                        hashed
-                    })();
-                    *results[i].lock().expect("slab result mutex") = Some(r);
-                });
-            }
+        let slots: Vec<Result<Vec<Value>>> = WorkerPool::global().run_indexed(workers, n, |i| {
+            ctl.check()?;
+            let slab = spool.read_frame_slab(i)?;
+            let samples = slab.sample_count()?;
+            ctl.acquire(samples, slab.payload_len());
+            let hashed = slab.texts_at(field).and_then(|texts| {
+                let mut ctx = SampleContext::new();
+                let mut out = Vec::with_capacity(texts.len());
+                for t in &texts {
+                    ctx.invalidate();
+                    out.push(dedup.compute_hash_text(t, &mut ctx)?);
+                    ctx.clear();
+                }
+                Ok(out)
+            });
+            ctl.release(samples, slab.payload_len());
+            hashed
         });
-        Ok(collect_stream_results(results)?
+        Ok(slots
+            .into_iter()
+            .collect::<Result<Vec<_>>>()?
             .into_iter()
             .flatten()
             .collect())
@@ -1694,66 +1824,51 @@ impl Executor {
         dedup: &dyn Deduplicator,
         spool: &ShardSpool,
         field: &str,
-        gauge: &ResidencyGauge,
+        ctl: &RunCtl,
     ) -> Result<(Vec<Value>, u64)> {
         let n = spool.shard_count();
         let workers = self.options.num_workers.max(1).min(n.max(1));
         let (top, rest) = split_column_path(field);
         type ColHashes = (Vec<Value>, u64);
-        let results: Vec<Mutex<Option<Result<ColHashes>>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            let (next, results) = (&next, &results);
-            for _ in 0..workers {
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        return;
+        let slots: Vec<Result<ColHashes>> = WorkerPool::global().run_indexed(workers, n, |i| {
+            ctl.check()?;
+            let slab = spool.read_columnar_slab(i)?;
+            let samples = slab.sample_count();
+            ctl.acquire(samples, slab.payload_len());
+            let run = (|| {
+                let mut ctx = SampleContext::new();
+                match slab.read_column(top)? {
+                    Some(region) => {
+                        let bytes = region.raw_len();
+                        let texts = region.texts_at(rest)?;
+                        let mut out = Vec::with_capacity(texts.len());
+                        for t in texts.iter() {
+                            ctx.invalidate();
+                            out.push(dedup.compute_hash_text(t, &mut ctx)?);
+                            ctx.clear();
+                        }
+                        Ok((out, bytes))
                     }
-                    let r = (|| {
-                        let slab = spool.read_columnar_slab(i)?;
-                        let samples = slab.sample_count();
-                        gauge.acquire(samples, slab.payload_len());
-                        let run = (|| {
-                            let mut ctx = SampleContext::new();
-                            match slab.read_column(top)? {
-                                Some(region) => {
-                                    let bytes = region.raw_len();
-                                    let texts = region.texts_at(rest)?;
-                                    let mut out = Vec::with_capacity(texts.len());
-                                    for t in texts.iter() {
-                                        ctx.invalidate();
-                                        out.push(dedup.compute_hash_text(t, &mut ctx)?);
-                                        ctx.clear();
-                                    }
-                                    Ok((out, bytes))
-                                }
-                                // Column absent from this frame: every
-                                // sample hashes the empty string, matching
-                                // the missing-field semantics of the
-                                // full-decode path.
-                                None => {
-                                    let mut out = Vec::with_capacity(samples);
-                                    for _ in 0..samples {
-                                        ctx.invalidate();
-                                        out.push(dedup.compute_hash_text("", &mut ctx)?);
-                                        ctx.clear();
-                                    }
-                                    Ok((out, 0))
-                                }
-                            }
-                        })();
-                        gauge.release(samples, slab.payload_len());
-                        run
-                    })();
-                    *results[i].lock().expect("columnar hash mutex") = Some(r);
-                });
-            }
+                    // Column absent from this frame: every sample hashes
+                    // the empty string, matching the missing-field
+                    // semantics of the full-decode path.
+                    None => {
+                        let mut out = Vec::with_capacity(samples);
+                        for _ in 0..samples {
+                            ctx.invalidate();
+                            out.push(dedup.compute_hash_text("", &mut ctx)?);
+                            ctx.clear();
+                        }
+                        Ok((out, 0))
+                    }
+                }
+            })();
+            ctl.release(samples, slab.payload_len());
+            run
         });
         let mut hashes = Vec::new();
         let mut bytes = 0u64;
-        for (h, b) in collect_stream_results(results)? {
+        for (h, b) in slots.into_iter().collect::<Result<Vec<_>>>()? {
             hashes.extend(h);
             bytes += b;
         }
@@ -2108,25 +2223,28 @@ fn rebalance_shards(shards: Vec<Dataset>, min_len: usize) -> Vec<Dataset> {
     out
 }
 
-/// Stream every shard of `source` through `work`, returning the per-shard
-/// results in shard order.
+/// Stream every shard of `source` through `work` on the shared persistent
+/// [`WorkerPool`], returning the per-shard results in shard order.
 ///
 /// `depth` is the prefetch depth — the per-worker live-shard budget. With
-/// `depth ≥ 2` (and `overlap_io` or more than one worker) a dedicated
-/// loader thread prefetches shards into a bounded channel while workers
-/// process them: the channel capacity (`workers × (depth − 1) − 1`), one
-/// shard in each worker's hands and one in the (blocked) loader's hand cap
-/// the live set at `workers × depth` shards, and disk reads overlap
-/// compute — `depth = 2` is classic double buffering. With `depth = 1`
-/// there is no loader: workers claim shard indices and load for
-/// themselves, so at most one shard per worker is ever resident (no IO
-/// overlap). A single worker without overlap runs the loop inline.
+/// `overlap_io` and `depth ≥ 2` the section's steppers interleave two
+/// kinds of step: load the next shard into a prefetch queue (when the
+/// live-set reservation allows) or pop a queued shard and process it —
+/// so disk reads overlap compute exactly like the old dedicated loader
+/// thread, while the reservation caps shards acquired-but-not-released at
+/// `workers × depth` (the engine's constant-memory streaming bound).
+/// Without overlap (or `depth = 1`) there is no queue: each step loads
+/// and processes one shard, so at most one shard per stepper is ever
+/// resident. A single worker without overlap runs the loop inline.
+///
+/// Cancellation is observed at every step: a cancelled job stops loading,
+/// drains its prefetch queue, and surfaces [`DjError::Cancelled`].
 fn stream_shards<R, F>(
     source: &dyn ShardSource,
     workers: usize,
     overlap_io: bool,
     depth: usize,
-    gauge: &ResidencyGauge,
+    ctl: &RunCtl,
     work: F,
 ) -> Result<Vec<R>>
 where
@@ -2143,109 +2261,132 @@ where
         // Sequential fast path: same code path semantics, no threads.
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
+            ctl.check()?;
             let shard = source.load_shard(i)?;
             let (s, b) = (shard.len(), shard.approx_bytes());
-            gauge.acquire(s, b);
+            ctl.acquire(s, b);
             let r = work(i, shard);
-            gauge.release(s, b);
+            ctl.release(s, b);
+            ctl.shard_done();
             out.push(r?);
         }
         return Ok(out);
     }
 
-    let results: Vec<Mutex<Option<Result<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    if depth == 1 {
-        // No prefetch: workers claim indices and load for themselves, so
-        // the live set is exactly one shard per busy worker.
-        let next = AtomicUsize::new(0);
-        let abort = AtomicBool::new(false);
-        std::thread::scope(|scope| {
-            let (next, abort, results, work) = (&next, &abort, &results, &work);
-            for _ in 0..workers {
-                scope.spawn(move || loop {
-                    if abort.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        return;
-                    }
-                    let r = source.load_shard(i).and_then(|shard| {
-                        let (s, b) = (shard.len(), shard.approx_bytes());
-                        gauge.acquire(s, b);
-                        let r = work(i, shard);
-                        gauge.release(s, b);
-                        r
-                    });
-                    if r.is_err() {
-                        abort.store(true, Ordering::Relaxed);
-                    }
-                    *results[i].lock().expect("result slot mutex") = Some(r);
-                });
-            }
-        });
-        return collect_stream_results(results);
-    }
-
-    let (tx, rx) = mpsc::sync_channel::<(usize, Dataset, usize, usize)>(workers * (depth - 1) - 1);
-    let rx = Mutex::new(rx);
+    let use_queue = overlap_io && depth >= 2;
+    // The extra stepper is the old loader thread's hands: with IO overlap
+    // one stepper can always be inside `load_shard` while `workers`
+    // others process.
+    let (width, cap_live) = if use_queue {
+        (workers + 1, workers * depth)
+    } else {
+        (workers, workers)
+    };
+    let queue: Mutex<VecDeque<(usize, Dataset, usize, usize)>> = Mutex::new(VecDeque::new());
+    let next_load = AtomicUsize::new(0);
+    // Live-set reservations: shards loading, queued, or being processed.
+    // Reserving *before* the load means the resident bound can never
+    // overshoot, however many steppers race.
+    let reserved = AtomicUsize::new(0);
+    let processed = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
-    let loader_err: Mutex<Option<DjError>> = Mutex::new(None);
+    let first_err: Mutex<Option<DjError>> = Mutex::new(None);
+    let record_err = |e: DjError| {
+        abort.store(true, Ordering::Relaxed);
+        let mut slot = first_err.lock().expect("stream err mutex");
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    };
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let finish = |i: usize, shard: Dataset, s: usize, b: usize| {
+        let r = work(i, shard);
+        ctl.release(s, b);
+        reserved.fetch_sub(1, Ordering::Relaxed);
+        ctl.shard_done();
+        match r {
+            Ok(v) => *results[i].lock().expect("result slot mutex") = Some(v),
+            Err(e) => record_err(e),
+        }
+        processed.fetch_add(1, Ordering::Relaxed);
+    };
 
-    std::thread::scope(|scope| {
-        let (abort, loader_err, rx, results, work) = (&abort, &loader_err, &rx, &results, &work);
-        scope.spawn(move || {
-            for i in 0..n {
-                if abort.load(Ordering::Relaxed) {
-                    break;
-                }
+    WorkerPool::global().run_section(width, &|| {
+        if abort.load(Ordering::Relaxed) {
+            return Step::Done;
+        }
+        if let Err(e) = ctl.check() {
+            record_err(e);
+            return Step::Done;
+        }
+        // Claim a load if the live-set budget and the index space allow.
+        let mut res = reserved.load(Ordering::Relaxed);
+        let reserved_ok = loop {
+            if res >= cap_live || next_load.load(Ordering::Relaxed) >= n {
+                break false;
+            }
+            match reserved.compare_exchange_weak(res, res + 1, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break true,
+                Err(seen) => res = seen,
+            }
+        };
+        if reserved_ok {
+            let i = next_load.fetch_add(1, Ordering::Relaxed);
+            if i < n {
                 match source.load_shard(i) {
                     Ok(shard) => {
                         let (s, b) = (shard.len(), shard.approx_bytes());
-                        gauge.acquire(s, b);
-                        if tx.send((i, shard, s, b)).is_err() {
-                            gauge.release(s, b);
-                            break;
+                        ctl.acquire(s, b);
+                        if use_queue {
+                            queue
+                                .lock()
+                                .expect("stream queue mutex")
+                                .push_back((i, shard, s, b));
+                        } else {
+                            finish(i, shard, s, b);
                         }
+                        return Step::Worked;
                     }
                     Err(e) => {
-                        *loader_err.lock().expect("loader err mutex") = Some(e);
-                        break;
+                        reserved.fetch_sub(1, Ordering::Relaxed);
+                        record_err(e);
+                        return Step::Done;
                     }
                 }
             }
-            // `tx` drops here: workers drain the channel and exit.
-        });
-        for _ in 0..workers {
-            scope.spawn(move || loop {
-                // Holding the lock across the blocking recv is fine: only
-                // one worker can receive at a time anyway, and the lock is
-                // released as soon as a shard is claimed.
-                let msg = rx.lock().expect("shard rx mutex").recv();
-                let Ok((i, shard, s, b)) = msg else { return };
-                let r = work(i, shard);
-                gauge.release(s, b);
-                if r.is_err() {
-                    abort.store(true, Ordering::Relaxed);
-                }
-                *results[i].lock().expect("result slot mutex") = Some(r);
-            });
+            reserved.fetch_sub(1, Ordering::Relaxed);
+        }
+        // Nothing loadable — process a prefetched shard instead.
+        let popped = if use_queue {
+            queue.lock().expect("stream queue mutex").pop_front()
+        } else {
+            None
+        };
+        if let Some((i, shard, s, b)) = popped {
+            finish(i, shard, s, b);
+            return Step::Worked;
+        }
+        if processed.load(Ordering::Relaxed) >= n {
+            Step::Done
+        } else {
+            Step::Idle
         }
     });
 
-    if let Some(e) = loader_err.into_inner().expect("loader err mutex") {
+    // A cancelled or failed run may leave prefetched shards behind; their
+    // residency must be released before the caller drops its spool.
+    for (_, shard, s, b) in queue.into_inner().expect("stream queue mutex").drain(..) {
+        drop(shard);
+        ctl.release(s, b);
+    }
+    if let Some(e) = first_err.into_inner().expect("stream err mutex") {
         return Err(e);
     }
-    collect_stream_results(results)
-}
-
-/// Unwrap per-shard result slots in shard order, surfacing the first error.
-fn collect_stream_results<R>(results: Vec<Mutex<Option<Result<R>>>>) -> Result<Vec<R>> {
-    let mut out = Vec::with_capacity(results.len());
+    let mut out = Vec::with_capacity(n);
     for (i, slot) in results.into_iter().enumerate() {
         match slot.into_inner().expect("result slot mutex") {
-            Some(Ok(r)) => out.push(r),
-            Some(Err(e)) => return Err(e),
+            Some(r) => out.push(r),
             None => {
                 return Err(DjError::Storage(format!(
                     "shard {i} streaming aborted before processing"
@@ -2256,22 +2397,23 @@ fn collect_stream_results<R>(results: Vec<Mutex<Option<Result<R>>>>) -> Result<V
     Ok(out)
 }
 
-/// Stream shards cut off a corpus reader through `work` on a worker pool,
-/// bounding the live set at `workers × depth` shards. Returns the
-/// per-shard results in shard order plus the reader's final byte and
-/// sample counts.
+/// Stream shards cut off a corpus reader through `work` on the shared
+/// persistent [`WorkerPool`], bounding the live set at `workers × depth`
+/// shards. Returns the per-shard results in shard order plus the reader's
+/// final byte and sample counts.
 ///
-/// With `depth ≥ 2` a loader thread pulls shards off the (strictly
-/// sequential) reader into a bounded channel so file IO and parsing
-/// overlap pipeline compute — the ingest-side mirror of
-/// [`stream_shards`]'s double buffering. With `depth = 1` workers take
-/// turns pulling the reader directly: one shard per worker, no overlap.
+/// With `depth ≥ 2` section steppers interleave pulling shards off the
+/// (strictly sequential, lock-guarded) reader into a prefetch queue with
+/// processing queued shards, so file IO and parsing overlap pipeline
+/// compute — the ingest-side mirror of [`stream_shards`]'s double
+/// buffering. With `depth = 1` each step pulls the reader directly and
+/// processes in place: one shard per stepper, no overlap.
 fn stream_ingest<R, F>(
     reader: CorpusReader,
     shard_size: usize,
     workers: usize,
     depth: usize,
-    gauge: &ResidencyGauge,
+    ctl: &RunCtl,
     work: F,
 ) -> Result<(Vec<R>, u64, u64)>
 where
@@ -2281,7 +2423,7 @@ where
     let workers = workers.max(1);
     let depth = depth.max(1);
     // The reader and the shard index counter share a lock so indices
-    // always match stream order, whichever thread pulls.
+    // always match stream order, whichever stepper pulls.
     let source = Mutex::new((reader, 0usize));
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
     let first_err: Mutex<Option<DjError>> = Mutex::new(None);
@@ -2294,91 +2436,119 @@ where
         }
     };
 
-    if depth == 1 {
-        std::thread::scope(|scope| {
-            let (source, results, abort, work, record_err) =
-                (&source, &results, &abort, &work, &record_err);
-            for _ in 0..workers {
-                scope.spawn(move || loop {
-                    if abort.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    let pulled = {
-                        let mut src = source.lock().expect("ingest reader mutex");
-                        match src.0.next_shard(shard_size) {
-                            Ok(Some(shard)) => {
-                                let i = src.1;
-                                src.1 += 1;
-                                gauge.acquire(shard.len(), shard.approx_bytes());
-                                Some((i, shard))
-                            }
-                            Ok(None) => None,
-                            Err(e) => {
-                                record_err(e);
-                                None
-                            }
-                        }
-                    };
-                    let Some((i, shard)) = pulled else { return };
-                    let (s, b) = (shard.len(), shard.approx_bytes());
-                    match work(i, shard) {
-                        Ok(r) => results.lock().expect("ingest results mutex").push((i, r)),
-                        Err(e) => record_err(e),
-                    }
-                    gauge.release(s, b);
-                });
-            }
-        });
+    let use_queue = depth >= 2;
+    let (width, cap_live) = if use_queue {
+        (workers + 1, workers * depth)
     } else {
-        let (tx, rx) =
-            mpsc::sync_channel::<(usize, Dataset, usize, usize)>(workers * (depth - 1) - 1);
-        let rx = Mutex::new(rx);
-        std::thread::scope(|scope| {
-            let (source, results, abort, work, record_err, rx) =
-                (&source, &results, &abort, &work, &record_err, &rx);
-            scope.spawn(move || loop {
-                if abort.load(Ordering::Relaxed) {
-                    break;
-                }
-                let pulled = {
-                    let mut src = source.lock().expect("ingest reader mutex");
-                    match src.0.next_shard(shard_size) {
-                        Ok(Some(shard)) => {
-                            let i = src.1;
-                            src.1 += 1;
-                            Some((i, shard))
-                        }
-                        Ok(None) => None,
-                        Err(e) => {
-                            record_err(e);
-                            None
-                        }
-                    }
-                };
-                let Some((i, shard)) = pulled else { break };
-                let (s, b) = (shard.len(), shard.approx_bytes());
-                gauge.acquire(s, b);
-                if tx.send((i, shard, s, b)).is_err() {
-                    gauge.release(s, b);
-                    break;
-                }
-                // `tx` drops when this loop ends: workers drain and exit.
-            });
-            for _ in 0..workers {
-                scope.spawn(move || loop {
-                    let msg = rx.lock().expect("ingest rx mutex").recv();
-                    let Ok((i, shard, s, b)) = msg else { return };
-                    let r = work(i, shard);
-                    gauge.release(s, b);
-                    match r {
-                        Ok(v) => results.lock().expect("ingest results mutex").push((i, v)),
-                        Err(e) => record_err(e),
-                    }
-                });
-            }
-        });
-    }
+        (workers, workers)
+    };
+    let queue: Mutex<VecDeque<(usize, Dataset, usize, usize)>> = Mutex::new(VecDeque::new());
+    // Live-set reservations (pulling, queued, or processing shards).
+    let reserved = AtomicUsize::new(0);
+    let pulled_count = AtomicUsize::new(0);
+    let processed = AtomicUsize::new(0);
+    // Set once the reader returns `None`; afterwards no stepper pulls.
+    let dry = AtomicBool::new(false);
+    let finish = |i: usize, shard: Dataset, s: usize, b: usize| {
+        let r = work(i, shard);
+        ctl.release(s, b);
+        reserved.fetch_sub(1, Ordering::Relaxed);
+        ctl.shard_done();
+        match r {
+            Ok(v) => results.lock().expect("ingest results mutex").push((i, v)),
+            Err(e) => record_err(e),
+        }
+        processed.fetch_add(1, Ordering::Relaxed);
+    };
 
+    WorkerPool::global().run_section(width, &|| {
+        if abort.load(Ordering::Relaxed) {
+            return Step::Done;
+        }
+        if let Err(e) = ctl.check() {
+            record_err(e);
+            return Step::Done;
+        }
+        // Claim a pull if the reader may still have data and the live-set
+        // budget allows. Reserving before the pull keeps the resident
+        // bound tight however many steppers race.
+        let mut res = reserved.load(Ordering::Relaxed);
+        let reserved_ok = loop {
+            if dry.load(Ordering::Relaxed) || res >= cap_live {
+                break false;
+            }
+            match reserved.compare_exchange_weak(res, res + 1, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break true,
+                Err(seen) => res = seen,
+            }
+        };
+        if reserved_ok {
+            let next = {
+                let mut src = source.lock().expect("ingest reader mutex");
+                match src.0.next_shard(shard_size) {
+                    Ok(Some(shard)) => {
+                        let i = src.1;
+                        src.1 += 1;
+                        pulled_count.fetch_add(1, Ordering::Relaxed);
+                        Some((i, shard))
+                    }
+                    Ok(None) => {
+                        dry.store(true, Ordering::Relaxed);
+                        None
+                    }
+                    Err(e) => {
+                        record_err(e);
+                        None
+                    }
+                }
+            };
+            match next {
+                Some((i, shard)) => {
+                    let (s, b) = (shard.len(), shard.approx_bytes());
+                    ctl.acquire(s, b);
+                    if use_queue {
+                        queue
+                            .lock()
+                            .expect("ingest queue mutex")
+                            .push_back((i, shard, s, b));
+                    } else {
+                        finish(i, shard, s, b);
+                    }
+                    return Step::Worked;
+                }
+                None => {
+                    reserved.fetch_sub(1, Ordering::Relaxed);
+                    if abort.load(Ordering::Relaxed) {
+                        return Step::Done;
+                    }
+                    // Reader dry: fall through to drain the queue.
+                }
+            }
+        }
+        let popped = if use_queue {
+            queue.lock().expect("ingest queue mutex").pop_front()
+        } else {
+            None
+        };
+        if let Some((i, shard, s, b)) = popped {
+            finish(i, shard, s, b);
+            return Step::Worked;
+        }
+        if dry.load(Ordering::Relaxed)
+            && processed.load(Ordering::Relaxed) >= pulled_count.load(Ordering::Relaxed)
+        {
+            Step::Done
+        } else {
+            Step::Idle
+        }
+    });
+
+    // Release any prefetched-but-unprocessed shards (cancel/error paths).
+    for (_, shard, s, b) in queue.into_inner().expect("ingest queue mutex").drain(..) {
+        drop(shard);
+        ctl.release(s, b);
+    }
     if let Some(e) = first_err.into_inner().expect("ingest err mutex") {
         return Err(e);
     }
@@ -2534,6 +2704,7 @@ pub fn executor_from_recipe(
         stats_dir: recipe.stats_dir.as_ref().map(PathBuf::from),
         prefix_cache: recipe.prefix_cache,
         columnar: recipe.columnar,
+        ..ExecOptions::default()
     }))
 }
 

@@ -155,14 +155,18 @@
 pub mod cost;
 pub mod executor;
 pub mod fusion;
+pub mod runtime;
 
 pub use cost::{fallback_score, rank_score, CostModel, EWMA_ALPHA, MIN_MEASURED_SAMPLES};
 pub use executor::{
-    default_parallelism, executor_from_recipe, BarrierDecision, ExecOptions, Executor, OpReport,
-    RunReport, TraceEvent, ADAPTIVE_ENV, COLUMNAR_ENV, DEFAULT_IO_SHARD_SIZE,
-    DEFAULT_PREFETCH_DEPTH, MEMORY_BUDGET_ENV,
+    default_parallelism, executor_from_recipe, BarrierDecision, EnvKnobs, ExecOptions, Executor,
+    OpReport, RunReport, TraceEvent, ADAPTIVE_ENV, COLUMNAR_ENV, DEFAULT_IO_SHARD_SIZE,
+    DEFAULT_PREFETCH_DEPTH, INPUT_ENV, MEMORY_BUDGET_ENV, RUNTIME_ENV,
 };
 pub use fusion::{plan_fused, plan_fused_measured, plan_unfused, Plan, PlanStep, Stage};
 pub use io::{CorpusReader, EgressManifest, OutputFormat, ShardedWriter};
+pub use runtime::{
+    global_runtime, JobControl, JobHandle, JobOutput, JobProgress, Runtime, RuntimeConfig,
+};
 
 pub use dj_io as io;

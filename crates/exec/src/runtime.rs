@@ -1,0 +1,545 @@
+//! # Service runtime — persistent multi-tenant job scheduling
+//!
+//! The paper positions Data-Juicer as a *one-stop system*: many recipes,
+//! many users, one deployment. This module is that deployment surface for
+//! the Rust engine — a long-lived [`Runtime`] that accepts concurrent job
+//! submissions, executes them over the process-wide persistent
+//! [`WorkerPool`](dj_core::WorkerPool) (no per-pass thread spawning), and
+//! arbitrates memory between tenants:
+//!
+//! * **Admission control** — at most [`RuntimeConfig::max_jobs`] jobs run
+//!   at once; further submissions queue FIFO. When a global
+//!   [`RuntimeConfig::memory_budget`] is set, each admitted job runs
+//!   under `global / max_jobs` bytes (or its own tighter budget), so the
+//!   sum of per-job streaming live sets stays inside the global budget.
+//! * **Fair shard scheduling** — all running jobs share one worker pool;
+//!   the pool's round-robin section scan interleaves shard-sized morsels
+//!   across jobs, so a small job makes progress alongside a huge one
+//!   instead of queueing behind it.
+//! * **Cancellation** — [`JobHandle::cancel`] flips a flag the executor
+//!   observes at every shard claim. A cancelled job stops within one
+//!   shard of work per worker, releases its residency accounting, and
+//!   drops its spill spools (the spool's remove-on-drop guarantees no
+//!   leaked files).
+//! * **Progress** — [`JobHandle::progress`] reports shards completed and
+//!   samples/bytes currently resident, live while the job runs.
+//!
+//! `DJ_RUNTIME=1` routes every plain [`Executor::run`] through
+//! [`global_runtime`], which keeps no global budget and therefore
+//! executes byte- and spill-identically to a direct run — the CI lever
+//! for exercising the pooled path suite-wide.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use dj_core::{Dataset, DjError, ResidencyGauge, Result};
+
+use crate::executor::{Executor, RunReport};
+
+/// Configuration of a [`Runtime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Maximum jobs executing simultaneously; further submissions queue
+    /// FIFO and start as running jobs finish. Clamped to ≥ 1.
+    pub max_jobs: usize,
+    /// Global memory budget (bytes) partitioned across admitted jobs:
+    /// each job runs under `memory_budget / max_jobs` unless its own
+    /// options specify something tighter. `None` leaves every job's own
+    /// budget (or lack of one) in force.
+    pub memory_budget: Option<u64>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            max_jobs: 4,
+            memory_budget: None,
+        }
+    }
+}
+
+/// Per-job control block shared between the runtime, the executor's
+/// streaming passes (via `RunCtl`) and the caller's [`JobHandle`].
+#[derive(Debug, Default)]
+pub struct JobControl {
+    cancelled: AtomicBool,
+    shards_done: AtomicUsize,
+    live_samples: AtomicUsize,
+    live_bytes: AtomicUsize,
+    /// The runtime's cross-job gauge, mirrored on every acquire/release
+    /// so aggregate residency (and its peak) is observable at the
+    /// runtime level. `None` for control blocks made outside a runtime.
+    aggregate: Option<Arc<ResidencyGauge>>,
+}
+
+impl JobControl {
+    fn new(aggregate: Option<Arc<ResidencyGauge>>) -> JobControl {
+        JobControl {
+            aggregate,
+            ..JobControl::default()
+        }
+    }
+
+    /// Whether [`JobHandle::cancel`] has been called. The executor checks
+    /// this at every shard claim.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Request cancellation (same flag [`JobHandle::cancel`] flips).
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Shards this job has driven through a full stage pass so far.
+    pub fn shards_done(&self) -> usize {
+        self.shards_done.load(Ordering::Relaxed)
+    }
+
+    /// Samples currently resident in this job's streaming machinery.
+    pub fn live_samples(&self) -> usize {
+        self.live_samples.load(Ordering::Relaxed)
+    }
+
+    /// Approximate heap bytes of those resident samples.
+    pub fn live_bytes(&self) -> usize {
+        self.live_bytes.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn acquire(&self, samples: usize, bytes: usize) {
+        self.live_samples.fetch_add(samples, Ordering::Relaxed);
+        self.live_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if let Some(g) = &self.aggregate {
+            g.acquire(samples, bytes);
+        }
+    }
+
+    pub(crate) fn release(&self, samples: usize, bytes: usize) {
+        self.live_samples.fetch_sub(samples, Ordering::Relaxed);
+        self.live_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        if let Some(g) = &self.aggregate {
+            g.release(samples, bytes);
+        }
+    }
+
+    pub(crate) fn note_shard_done(&self) {
+        self.shards_done.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time progress snapshot of a submitted job.
+#[derive(Debug, Clone, Copy)]
+pub struct JobProgress {
+    /// Shards driven through a full stage pass so far.
+    pub shards_done: usize,
+    /// Samples currently resident in the job's streaming machinery.
+    pub live_samples: usize,
+    /// Approximate heap bytes of those resident samples.
+    pub live_bytes: usize,
+    /// Whether the job's result is available ([`JobHandle::wait`] will
+    /// not block).
+    pub finished: bool,
+    /// Whether the job has been cancelled.
+    pub cancelled: bool,
+}
+
+/// What a finished job produced.
+#[derive(Debug)]
+pub struct JobOutput {
+    /// The processed dataset — `None` for file-to-file jobs that wrote
+    /// their output to disk ([`Runtime::submit_io`] with
+    /// `ExecOptions::output` set).
+    pub dataset: Option<Dataset>,
+    pub report: RunReport,
+}
+
+/// One-shot result cell a driver thread resolves and any number of
+/// waiters can block on.
+struct JobSlot {
+    cell: Mutex<Option<Result<JobOutput>>>,
+    cv: Condvar,
+    done: AtomicBool,
+}
+
+impl JobSlot {
+    fn new() -> JobSlot {
+        JobSlot {
+            cell: Mutex::new(None),
+            cv: Condvar::new(),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    fn resolve(&self, r: Result<JobOutput>) {
+        *self.cell.lock().expect("job slot mutex") = Some(r);
+        self.done.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<JobOutput> {
+        let mut cell = self.cell.lock().expect("job slot mutex");
+        loop {
+            if let Some(r) = cell.take() {
+                return r;
+            }
+            cell = self.cv.wait(cell).expect("job slot condvar");
+        }
+    }
+}
+
+/// The caller's handle on a submitted job.
+pub struct JobHandle {
+    id: u64,
+    ctl: Arc<JobControl>,
+    slot: Arc<JobSlot>,
+}
+
+impl JobHandle {
+    /// Runtime-assigned job id (monotonic per runtime).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Request cancellation. The job observes the flag at its next shard
+    /// claim, fails with [`DjError::Cancelled`], releases its residency
+    /// accounting and drops its spill spools. Cancelling a still-queued
+    /// job resolves it without ever running. Idempotent.
+    pub fn cancel(&self) {
+        self.ctl.cancel();
+    }
+
+    /// Whether the result is available (i.e. [`JobHandle::wait`] will
+    /// return immediately).
+    pub fn is_finished(&self) -> bool {
+        self.slot.done.load(Ordering::Acquire)
+    }
+
+    /// Live progress counters.
+    pub fn progress(&self) -> JobProgress {
+        JobProgress {
+            shards_done: self.ctl.shards_done(),
+            live_samples: self.ctl.live_samples(),
+            live_bytes: self.ctl.live_bytes(),
+            finished: self.is_finished(),
+            cancelled: self.ctl.is_cancelled(),
+        }
+    }
+
+    /// The job's control block (shared with the executor).
+    pub fn control(&self) -> Arc<JobControl> {
+        Arc::clone(&self.ctl)
+    }
+
+    /// Block until the job finishes and take its result. A cancelled job
+    /// yields `Err(DjError::Cancelled)`.
+    pub fn wait(self) -> Result<JobOutput> {
+        self.slot.wait()
+    }
+}
+
+/// What kind of run a queued job performs once admitted.
+enum JobSpec {
+    /// In-memory dataset through [`Executor::run`].
+    Mem(Executor, Dataset),
+    /// File-to-file through [`Executor::run_io`].
+    Io(Executor),
+}
+
+impl JobSpec {
+    fn run(self) -> Result<JobOutput> {
+        match self {
+            JobSpec::Mem(exec, dataset) => {
+                let (out, report) = exec.run(dataset)?;
+                Ok(JobOutput {
+                    dataset: Some(out),
+                    report,
+                })
+            }
+            JobSpec::Io(exec) => {
+                let (out, report) = exec.run_io()?;
+                Ok(JobOutput {
+                    dataset: out,
+                    report,
+                })
+            }
+        }
+    }
+}
+
+struct PendingJob {
+    ctl: Arc<JobControl>,
+    slot: Arc<JobSlot>,
+    spec: JobSpec,
+}
+
+struct Sched {
+    running: usize,
+    pending: VecDeque<PendingJob>,
+    next_id: u64,
+}
+
+struct RuntimeInner {
+    cfg: RuntimeConfig,
+    aggregate: Arc<ResidencyGauge>,
+    sched: Mutex<Sched>,
+}
+
+/// A persistent, multi-tenant job scheduler over the process-wide worker
+/// pool. See the module docs for the admission/fairness/cancellation
+/// model.
+pub struct Runtime {
+    inner: Arc<RuntimeInner>,
+}
+
+impl Runtime {
+    pub fn new(cfg: RuntimeConfig) -> Runtime {
+        Runtime {
+            inner: Arc::new(RuntimeInner {
+                cfg,
+                aggregate: Arc::new(ResidencyGauge::default()),
+                sched: Mutex::new(Sched {
+                    running: 0,
+                    pending: VecDeque::new(),
+                    next_id: 0,
+                }),
+            }),
+        }
+    }
+
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.inner.cfg
+    }
+
+    /// Peak samples simultaneously resident across *all* jobs this
+    /// runtime has ever run.
+    pub fn peak_resident_samples(&self) -> usize {
+        self.inner.aggregate.peak_samples()
+    }
+
+    /// Peak approximate heap bytes simultaneously resident across all
+    /// jobs — the number admission control keeps under
+    /// [`RuntimeConfig::memory_budget`].
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.inner.aggregate.peak_bytes()
+    }
+
+    /// Jobs currently executing plus jobs queued for admission.
+    pub fn jobs_in_flight(&self) -> usize {
+        let sched = self.inner.sched.lock().expect("runtime sched mutex");
+        sched.running + sched.pending.len()
+    }
+
+    /// Submit an in-memory dataset job. Returns immediately; the job runs
+    /// (or queues) on the runtime.
+    pub fn submit(&self, exec: Executor, dataset: Dataset) -> JobHandle {
+        self.submit_spec(exec, |exec| JobSpec::Mem(exec, dataset))
+    }
+
+    /// Submit a file-to-file job ([`Executor::run_io`] semantics: input
+    /// from `ExecOptions::input`/`DJ_INPUT`, output to
+    /// `ExecOptions::output` when set).
+    pub fn submit_io(&self, exec: Executor) -> JobHandle {
+        self.submit_spec(exec, JobSpec::Io)
+    }
+
+    fn submit_spec(&self, mut exec: Executor, make: impl FnOnce(Executor) -> JobSpec) -> JobHandle {
+        let ctl = Arc::new(JobControl::new(Some(Arc::clone(&self.inner.aggregate))));
+        let slot = Arc::new(JobSlot::new());
+        // Attach the control block (routing the executor's residency,
+        // cancellation and progress through it) and partition the global
+        // budget. The job's own budget only ever tightens further.
+        exec.options.job = Some(Arc::clone(&ctl));
+        if let Some(global) = self.inner.cfg.memory_budget {
+            let share = (global / self.inner.cfg.max_jobs.max(1) as u64).max(1);
+            exec.options.memory_budget = Some(match exec.options.memory_budget {
+                Some(own) => own.min(share),
+                None => share,
+            });
+        }
+        let job = PendingJob {
+            ctl: Arc::clone(&ctl),
+            slot: Arc::clone(&slot),
+            spec: make(exec),
+        };
+        let id = {
+            let mut sched = self.inner.sched.lock().expect("runtime sched mutex");
+            let id = sched.next_id;
+            sched.next_id += 1;
+            if sched.running < self.inner.cfg.max_jobs.max(1) {
+                sched.running += 1;
+                drop(sched);
+                RuntimeInner::spawn_driver(&self.inner, job);
+            } else {
+                sched.pending.push_back(job);
+            }
+            id
+        };
+        JobHandle { id, ctl, slot }
+    }
+
+    /// Submit + wait, unwrapping the in-memory result — the redirect
+    /// target for `DJ_RUNTIME=1` direct runs.
+    pub(crate) fn run_direct(
+        &self,
+        exec: Executor,
+        dataset: Dataset,
+    ) -> Result<(Dataset, RunReport)> {
+        let out = self.submit(exec, dataset).wait()?;
+        let dataset = out.dataset.ok_or_else(|| {
+            DjError::op("service-job", "in-memory job resolved without a dataset")
+        })?;
+        Ok((dataset, out.report))
+    }
+}
+
+impl RuntimeInner {
+    /// Drive one admitted job to completion on a dedicated thread, then
+    /// keep pulling queued jobs until none remain — completion-driven
+    /// admission, no scheduler thread. The driver thread itself does
+    /// little work: the executor's streaming sections run on the shared
+    /// worker pool, the driver just participates as one stepper.
+    fn spawn_driver(inner: &Arc<RuntimeInner>, job: PendingJob) {
+        let inner = Arc::clone(inner);
+        std::thread::Builder::new()
+            .name("dj-job-driver".into())
+            .spawn(move || {
+                let mut job = Some(job);
+                while let Some(PendingJob { ctl, slot, spec }) = job.take() {
+                    let result = if ctl.is_cancelled() {
+                        // Cancelled while queued: resolve without running.
+                        Err(DjError::Cancelled)
+                    } else {
+                        match catch_unwind(AssertUnwindSafe(|| spec.run())) {
+                            Ok(r) => r,
+                            Err(_) => Err(DjError::op("service-job", "job thread panicked")),
+                        }
+                    };
+                    // Update the schedule *before* resolving, so a waiter
+                    // that wakes on the result already sees this slot
+                    // freed (or handed to the next queued job).
+                    {
+                        let mut sched = inner.sched.lock().expect("runtime sched mutex");
+                        match sched.pending.pop_front() {
+                            Some(next) => job = Some(next),
+                            None => sched.running -= 1,
+                        }
+                    }
+                    slot.resolve(result);
+                }
+            })
+            .expect("spawn job driver thread");
+    }
+}
+
+/// The process-wide runtime `DJ_RUNTIME=1` routes [`Executor::run`]
+/// through: up to 4 concurrent jobs, **no** global memory budget — so a
+/// redirected run keeps its own budget (or lack of one) and stays byte-
+/// and spill-identical to a direct run.
+pub fn global_runtime() -> &'static Runtime {
+    static GLOBAL: OnceLock<Runtime> = OnceLock::new();
+    GLOBAL.get_or_init(|| Runtime::new(RuntimeConfig::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::ExecOptions;
+    use dj_ops::builtin_registry;
+
+    fn exec(np: usize) -> Executor {
+        let reg = builtin_registry();
+        let ops = vec![reg
+            .build("whitespace_normalization_mapper", &Default::default())
+            .unwrap()];
+        Executor::new(ops).with_options(ExecOptions {
+            num_workers: np,
+            ..ExecOptions::default()
+        })
+    }
+
+    fn dataset(n: usize, tag: &str) -> Dataset {
+        Dataset::from_texts(
+            (0..n)
+                .map(|i| format!("sample   {tag}   number {i} with   spaces"))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn submit_runs_one_job() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let out = rt.submit(exec(2), dataset(64, "a")).wait().unwrap();
+        let ds = out.dataset.unwrap();
+        assert_eq!(ds.len(), 64);
+        assert!(ds.iter().all(|s| !s.text().contains("  ")));
+    }
+
+    #[test]
+    fn queueing_respects_max_jobs_and_all_jobs_finish() {
+        let rt = Runtime::new(RuntimeConfig {
+            max_jobs: 2,
+            memory_budget: None,
+        });
+        let handles: Vec<JobHandle> = (0..6)
+            .map(|i| rt.submit(exec(2), dataset(32, &format!("j{i}"))))
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let out = h.wait().unwrap();
+            let ds = out.dataset.unwrap();
+            assert_eq!(ds.len(), 32, "job {i}");
+            assert!(ds.samples()[0].text().contains(&format!("j{i}")));
+        }
+        assert_eq!(rt.jobs_in_flight(), 0);
+    }
+
+    #[test]
+    fn cancel_before_admission_resolves_cancelled() {
+        let rt = Runtime::new(RuntimeConfig {
+            max_jobs: 1,
+            memory_budget: None,
+        });
+        // Occupy the single slot with a big job, queue a second, cancel it.
+        let big = rt.submit(exec(2), dataset(4096, "big"));
+        let queued = rt.submit(exec(2), dataset(32, "victim"));
+        queued.cancel();
+        assert!(matches!(queued.wait(), Err(DjError::Cancelled)));
+        assert!(big.wait().is_ok());
+    }
+
+    #[test]
+    fn global_budget_partitions_across_jobs() {
+        let rt = Runtime::new(RuntimeConfig {
+            max_jobs: 4,
+            memory_budget: Some(1 << 20),
+        });
+        let h = rt.submit(exec(1), dataset(16, "b"));
+        assert!(h.wait().is_ok());
+        // 16 tiny samples under a 256 KiB share: never spills, and the
+        // aggregate gauge saw at most the whole dataset.
+        assert!(rt.peak_resident_bytes() <= 1 << 20);
+    }
+
+    #[test]
+    fn failed_job_resolves_as_error_and_frees_the_slot() {
+        let rt = Runtime::new(RuntimeConfig {
+            max_jobs: 1,
+            memory_budget: None,
+        });
+        // A file-to-file job with no input fails with a config error; the
+        // slot must still resolve and admit the queued job behind it.
+        let reg = builtin_registry();
+        let ops = vec![reg
+            .build("whitespace_normalization_mapper", &Default::default())
+            .unwrap()];
+        let bad = rt.submit_io(Executor::new(ops).with_options(ExecOptions {
+            input: None,
+            env: crate::executor::EnvKnobs::default(),
+            ..ExecOptions::default()
+        }));
+        let good = rt.submit(exec(1), dataset(8, "after"));
+        assert!(bad.wait().is_err());
+        assert!(good.wait().is_ok());
+    }
+}

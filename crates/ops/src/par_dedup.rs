@@ -20,6 +20,7 @@
 //! exchange is a pure performance knob: the mask is identical for every
 //! worker count (property-tested in `tests/dedup_parallel.rs`).
 
+use dj_core::WorkerPool;
 use dj_hash::{
     lsh_band_pairs, simhash_block_pairs, ConcurrentUnionFind, FxHashMap, FxHashSet, LshIndex,
     MinHasher, SimHashIndex, UnionFind, SIMHASH_BLOCKS,
@@ -74,25 +75,16 @@ impl ParallelDedup {
 
         // Band-sharded exchange: worker w owns bands w, w+workers, ...
         let band_workers = self.workers.min(bands);
-        let per_worker: Vec<Vec<(u32, u32)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..band_workers)
-                .map(|w| {
-                    scope.spawn(move || {
-                        let mut local = Vec::new();
-                        let mut band = w;
-                        while band < bands {
-                            local.extend(lsh_band_pairs(band, rows, signatures));
-                            band += band_workers;
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("band worker panicked"))
-                .collect()
-        });
+        let per_worker: Vec<Vec<(u32, u32)>> =
+            WorkerPool::global().run_indexed(band_workers, band_workers, |w| {
+                let mut local = Vec::new();
+                let mut band = w;
+                while band < bands {
+                    local.extend(lsh_band_pairs(band, rows, signatures));
+                    band += band_workers;
+                }
+                local
+            });
         // A pair surfaced by multiple bands is verified exactly once.
         let mut pairs: Vec<(u32, u32)> = per_worker.into_iter().flatten().collect();
         pairs.sort_unstable();
@@ -101,22 +93,16 @@ impl ParallelDedup {
         // Parallel verification straight into the concurrent union-find.
         let uf = ConcurrentUnionFind::new(n);
         let chunk = pairs.len().div_ceil(self.workers).max(1);
-        std::thread::scope(|scope| {
-            for chunk in pairs.chunks(chunk) {
-                let uf = &uf;
-                scope.spawn(move || {
-                    for &(a, b) in chunk {
-                        let (a, b) = (a as usize, b as usize);
-                        if uf.find(a) == uf.find(b) {
-                            continue; // already clustered via another pair
-                        }
-                        if MinHasher::similarity(&signatures[a], &signatures[b])
-                            >= jaccard_threshold
-                        {
-                            uf.union(a, b);
-                        }
-                    }
-                });
+        let chunks: Vec<&[(u32, u32)]> = pairs.chunks(chunk).collect();
+        WorkerPool::global().run_indexed(self.workers, chunks.len(), |c| {
+            for &(a, b) in chunks[c] {
+                let (a, b) = (a as usize, b as usize);
+                if uf.find(a) == uf.find(b) {
+                    continue; // already clustered via another pair
+                }
+                if MinHasher::similarity(&signatures[a], &signatures[b]) >= jaccard_threshold {
+                    uf.union(a, b);
+                }
             }
         });
         uf.first_occurrence_mask()
@@ -142,24 +128,19 @@ impl ParallelDedup {
         // contract promises *up to* num_workers threads, never more).
         let block_workers = self.workers.min(SIMHASH_BLOCKS);
         let uf = ConcurrentUnionFind::new(n);
-        std::thread::scope(|scope| {
-            for w in 0..block_workers {
-                let uf = &uf;
-                scope.spawn(move || {
-                    // Verification (a popcount) is cheap enough to do
-                    // inline; the partial clusters this worker's blocks
-                    // found merge into the shared structure in one pass.
-                    let mut partial = UnionFind::new(n);
-                    let mut block = w;
-                    while block < SIMHASH_BLOCKS {
-                        for (a, b) in simhash_block_pairs(block, fingerprints, max_distance) {
-                            partial.union(a as usize, b as usize);
-                        }
-                        block += block_workers;
-                    }
-                    uf.merge(&partial);
-                });
+        WorkerPool::global().run_indexed(block_workers, block_workers, |w| {
+            // Verification (a popcount) is cheap enough to do inline; the
+            // partial clusters this worker's blocks found merge into the
+            // shared structure in one pass.
+            let mut partial = UnionFind::new(n);
+            let mut block = w;
+            while block < SIMHASH_BLOCKS {
+                for (a, b) in simhash_block_pairs(block, fingerprints, max_distance) {
+                    partial.union(a as usize, b as usize);
+                }
+                block += block_workers;
             }
+            uf.merge(&partial);
         });
         uf.first_occurrence_mask()
     }
@@ -178,26 +159,16 @@ impl ParallelDedup {
         assert!(n <= u32::MAX as usize, "sample count exceeds u32 range");
         let parts = self.workers.min(n);
         let chunk = n.div_ceil(parts);
-        let maps: Vec<FxHashMap<(i64, i64), u32>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = keys
-                .chunks(chunk)
-                .enumerate()
-                .map(|(c, slice)| {
-                    scope.spawn(move || {
-                        let base = (c * chunk) as u32;
-                        let mut first: FxHashMap<(i64, i64), u32> = FxHashMap::default();
-                        for (off, k) in slice.iter().enumerate() {
-                            first.entry(*k).or_insert(base + off as u32);
-                        }
-                        first
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("range worker panicked"))
-                .collect()
-        });
+        let slices: Vec<&[(i64, i64)]> = keys.chunks(chunk).collect();
+        let maps: Vec<FxHashMap<(i64, i64), u32>> =
+            WorkerPool::global().run_indexed(parts, slices.len(), |c| {
+                let base = (c * chunk) as u32;
+                let mut first: FxHashMap<(i64, i64), u32> = FxHashMap::default();
+                for (off, k) in slices[c].iter().enumerate() {
+                    first.entry(*k).or_insert(base + off as u32);
+                }
+                first
+            });
         // Merge partial elections in ascending range order: every index in
         // range c is smaller than any index in range c+1, so the first
         // insertion per key is the global minimum.
@@ -209,26 +180,15 @@ impl ParallelDedup {
             }
         }
         let winner_ref = &winner;
-        let mask_chunks: Vec<Vec<bool>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = keys
-                .chunks(chunk)
-                .enumerate()
-                .map(|(c, slice)| {
-                    scope.spawn(move || {
-                        let base = (c * chunk) as u32;
-                        slice
-                            .iter()
-                            .enumerate()
-                            .map(|(off, k)| winner_ref[k] == base + off as u32)
-                            .collect::<Vec<bool>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("mask worker panicked"))
-                .collect()
-        });
+        let mask_chunks: Vec<Vec<bool>> =
+            WorkerPool::global().run_indexed(parts, slices.len(), |c| {
+                let base = (c * chunk) as u32;
+                slices[c]
+                    .iter()
+                    .enumerate()
+                    .map(|(off, k)| winner_ref[k] == base + off as u32)
+                    .collect::<Vec<bool>>()
+            });
         mask_chunks.into_iter().flatten().collect()
     }
 
@@ -260,30 +220,20 @@ impl ParallelDedup {
         assert!(n <= u32::MAX as usize, "sample count exceeds u32 range");
         let parts = self.workers.min(n);
         let chunk = n.div_ceil(parts);
+        let slices: Vec<&[Vec<i64>]> = paragraphs.chunks(chunk).collect();
         // Pass 1: per-sample-range first-occurrence election; each worker
         // only scans its own contiguous range.
-        let maps: Vec<FxHashMap<i64, u32>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = paragraphs
-                .chunks(chunk)
-                .enumerate()
-                .map(|(c, slice)| {
-                    scope.spawn(move || {
-                        let base = (c * chunk) as u32;
-                        let mut first: FxHashMap<i64, u32> = FxHashMap::default();
-                        for (off, paras) in slice.iter().enumerate() {
-                            for &p in paras {
-                                first.entry(p).or_insert(base + off as u32);
-                            }
-                        }
-                        first
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("paragraph worker panicked"))
-                .collect()
-        });
+        let maps: Vec<FxHashMap<i64, u32>> =
+            WorkerPool::global().run_indexed(parts, slices.len(), |c| {
+                let base = (c * chunk) as u32;
+                let mut first: FxHashMap<i64, u32> = FxHashMap::default();
+                for (off, paras) in slices[c].iter().enumerate() {
+                    for &p in paras {
+                        first.entry(p).or_insert(base + off as u32);
+                    }
+                }
+                first
+            });
         // Merge in ascending range order: first insertion per key wins,
         // which is the global minimum sample index.
         let mut maps = maps.into_iter();
@@ -296,30 +246,18 @@ impl ParallelDedup {
 
         // Pass 2: parallel mask over the same contiguous sample ranges.
         let owner = &owner;
-        let chunks: Vec<Vec<bool>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = paragraphs
-                .chunks(chunk)
+        let chunks: Vec<Vec<bool>> = WorkerPool::global().run_indexed(parts, slices.len(), |c| {
+            let base = (c * chunk) as u32;
+            slices[c]
+                .iter()
                 .enumerate()
-                .map(|(c, slice)| {
-                    scope.spawn(move || {
-                        let base = (c * chunk) as u32;
-                        slice
+                .map(|(off, paras)| {
+                    paras.is_empty()
+                        || paras
                             .iter()
-                            .enumerate()
-                            .map(|(off, paras)| {
-                                paras.is_empty()
-                                    || paras
-                                        .iter()
-                                        .any(|p| owner.get(p) == Some(&(base + off as u32)))
-                            })
-                            .collect::<Vec<bool>>()
-                    })
+                            .any(|p| owner.get(p) == Some(&(base + off as u32)))
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("mask worker panicked"))
-                .collect()
+                .collect::<Vec<bool>>()
         });
         chunks.into_iter().flatten().collect()
     }

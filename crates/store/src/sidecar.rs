@@ -154,11 +154,23 @@ impl StatsSidecar {
     }
 
     /// Atomically write the sidecar (temp file + rename in the target dir).
+    ///
+    /// The temp name is unique per process *and* per write: concurrent
+    /// writers (service-runtime jobs sharing one stats dir, or separate
+    /// processes) each stage into their own file, so one writer can never
+    /// truncate or rename a half-written file staged by another. The
+    /// rename still races — last writer wins the *content* — but every
+    /// outcome is one complete, checksum-valid sidecar.
     pub fn write(&self, path: &Path) -> Result<()> {
+        static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let dir = path.parent().unwrap_or_else(|| Path::new("."));
         fs::create_dir_all(dir)
             .map_err(|e| DjError::Storage(format!("create stats dir {}: {e}", dir.display())))?;
-        let tmp = path.with_extension("djcs.tmp");
+        let tmp = path.with_extension(format!(
+            "djcs.tmp.{}.{}",
+            std::process::id(),
+            WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
         {
             let mut f = fs::File::create(&tmp)
                 .map_err(|e| DjError::Storage(format!("create {}: {e}", tmp.display())))?;
@@ -166,8 +178,10 @@ impl StatsSidecar {
                 .map_err(|e| DjError::Storage(format!("write {}: {e}", tmp.display())))?;
             f.sync_all().ok();
         }
-        fs::rename(&tmp, path)
-            .map_err(|e| DjError::Storage(format!("rename {}: {e}", path.display())))
+        fs::rename(&tmp, path).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            DjError::Storage(format!("rename {}: {e}", path.display()))
+        })
     }
 }
 
@@ -283,6 +297,36 @@ mod tests {
         let sum = fnv1a(&bytes);
         bytes.extend_from_slice(&sum.to_le_bytes());
         assert!(StatsSidecar::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn concurrent_writers_always_leave_a_valid_sidecar() {
+        let dir = std::env::temp_dir().join(format!("djcs-race-{}", std::process::id()));
+        let path = dir.join(STATS_SIDECAR_FILE);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let path = path.clone();
+                scope.spawn(move || {
+                    for w in 0..10u64 {
+                        let mut s = StatsSidecar::new();
+                        s.tunables.insert("writer".into(), (t * 100 + w) as f64);
+                        s.write(&path).unwrap();
+                        // Every interleaving must read back complete and
+                        // checksum-valid (some writer's content, never torn).
+                        assert!(StatsSidecar::read(&path).is_some());
+                    }
+                });
+            }
+        });
+        // No staged temp files may outlive the writers.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "leaked temp files: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,353 @@
+//! `dj` — the Data-Juicer command-line front-end.
+//!
+//! `dj serve` runs the persistent service runtime: a long-lived process
+//! that accepts concurrent job submissions as line-delimited JSON over
+//! stdin (or a unix domain socket with `--socket PATH`), schedules them
+//! over the shared worker pool with admission control, and emits
+//! line-delimited JSON events on the same channel. See `docs/service.md`
+//! for the protocol.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use data_juicer::config::Recipe;
+use data_juicer::core::{parse_json, Dataset, Value};
+use data_juicer::exec::{executor_from_recipe, JobControl, Runtime, RuntimeConfig};
+use data_juicer::ops::builtin_registry;
+
+const USAGE: &str = "usage: dj serve [--socket PATH] [--max-jobs N] [--memory-budget BYTES]
+
+Commands are line-delimited JSON on stdin (or the socket); events are
+line-delimited JSON on stdout (or the socket). See docs/service.md.";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => match serve_config(&args[1..]) {
+            Ok((cfg, socket)) => serve(cfg, socket),
+            Err(e) => {
+                eprintln!("dj serve: {e}");
+                std::process::exit(2);
+            }
+        },
+        _ => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn serve_config(args: &[String]) -> Result<(RuntimeConfig, Option<String>), String> {
+    let mut cfg = RuntimeConfig::default();
+    let mut socket = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--socket" => socket = Some(value("--socket")?),
+            "--max-jobs" => {
+                cfg.max_jobs = value("--max-jobs")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or("--max-jobs must be a positive integer")?;
+            }
+            "--memory-budget" => {
+                cfg.memory_budget = Some(
+                    value("--memory-budget")?
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or("--memory-budget must be a positive byte count")?,
+                );
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok((cfg, socket))
+}
+
+/// One tracked job: the control block for cancel/progress plus a flag the
+/// waiter thread sets when the result resolves.
+struct ServeJob {
+    ctl: Arc<JobControl>,
+    finished: Arc<AtomicBool>,
+}
+
+struct Service {
+    runtime: Runtime,
+    jobs: Mutex<HashMap<u64, ServeJob>>,
+}
+
+type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+fn serve(cfg: RuntimeConfig, socket: Option<String>) {
+    let service = Arc::new(Service {
+        runtime: Runtime::new(cfg),
+        jobs: Mutex::new(HashMap::new()),
+    });
+    match socket {
+        None => {
+            let out: SharedWriter = Arc::new(Mutex::new(Box::new(std::io::stdout())));
+            serve_channel(&service, BufReader::new(std::io::stdin()), Arc::clone(&out));
+            drain_and_exit(&service);
+        }
+        Some(path) => {
+            let _ = std::fs::remove_file(&path);
+            let listener = match std::os::unix::net::UnixListener::bind(&path) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("dj serve: bind {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            eprintln!("dj serve: listening on {path}");
+            for conn in listener.incoming() {
+                let Ok(conn) = conn else { continue };
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    let reader = BufReader::new(conn.try_clone().expect("clone unix stream"));
+                    let out: SharedWriter = Arc::new(Mutex::new(Box::new(conn)));
+                    if serve_channel(&service, reader, out) == Verdict::Shutdown {
+                        drain_and_exit(&service);
+                    }
+                });
+            }
+        }
+    }
+}
+
+/// Wait for every submitted job's terminal event to hit the wire, then
+/// exit the process.
+fn drain_and_exit(service: &Service) -> ! {
+    loop {
+        let all_done = {
+            let jobs = service.jobs.lock().expect("jobs mutex");
+            jobs.values().all(|j| j.finished.load(Ordering::Acquire))
+        };
+        if all_done && service.runtime.jobs_in_flight() == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    std::process::exit(0);
+}
+
+#[derive(PartialEq)]
+enum Verdict {
+    Eof,
+    Shutdown,
+}
+
+/// Drive one command channel until EOF or a `shutdown` command.
+fn serve_channel(service: &Arc<Service>, reader: impl BufRead, out: SharedWriter) -> Verdict {
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match handle_command(service, &line, &out) {
+            Ok(true) => {
+                emit(&out, &[("event", Value::from("shutdown"))]);
+                return Verdict::Shutdown;
+            }
+            Ok(false) => {}
+            Err(msg) => emit(
+                &out,
+                &[("event", Value::from("error")), ("error", Value::from(msg))],
+            ),
+        }
+    }
+    Verdict::Eof
+}
+
+/// Handle one command line. `Ok(true)` means shutdown was requested.
+fn handle_command(service: &Arc<Service>, line: &str, out: &SharedWriter) -> Result<bool, String> {
+    let cmd = parse_json(line).map_err(|e| format!("malformed command: {e}"))?;
+    let name = cmd
+        .get_path("cmd")
+        .and_then(Value::as_str)
+        .ok_or("missing `cmd` field")?;
+    match name {
+        "submit" => {
+            submit(service, &cmd, out)?;
+            Ok(false)
+        }
+        "cancel" => {
+            let id = job_id(&cmd)?;
+            let jobs = service.jobs.lock().expect("jobs mutex");
+            let job = jobs.get(&id).ok_or(format!("unknown job {id}"))?;
+            job.ctl.cancel();
+            emit(
+                out,
+                &[
+                    ("event", Value::from("cancelling")),
+                    ("job", Value::from(id as i64)),
+                ],
+            );
+            Ok(false)
+        }
+        "status" => {
+            let jobs = service.jobs.lock().expect("jobs mutex");
+            match cmd.get_path("job") {
+                Some(_) => {
+                    let id = job_id(&cmd)?;
+                    let job = jobs.get(&id).ok_or(format!("unknown job {id}"))?;
+                    emit_status(out, id, job);
+                }
+                None => {
+                    let mut ids: Vec<u64> = jobs.keys().copied().collect();
+                    ids.sort_unstable();
+                    for id in ids {
+                        emit_status(out, id, &jobs[&id]);
+                    }
+                }
+            }
+            Ok(false)
+        }
+        "shutdown" => Ok(true),
+        other => Err(format!("unknown cmd `{other}`")),
+    }
+}
+
+fn job_id(cmd: &Value) -> Result<u64, String> {
+    cmd.get_path("job")
+        .and_then(Value::as_int)
+        .filter(|i| *i >= 0)
+        .map(|i| i as u64)
+        .ok_or_else(|| "missing or invalid `job` field".into())
+}
+
+fn submit(service: &Arc<Service>, cmd: &Value, out: &SharedWriter) -> Result<(), String> {
+    let recipe_value = cmd.get_path("recipe").ok_or("submit requires `recipe`")?;
+    let recipe = Recipe::from_value(recipe_value).map_err(|e| format!("bad recipe: {e}"))?;
+    let registry = builtin_registry();
+    let exec =
+        executor_from_recipe(&recipe, &registry, true).map_err(|e| format!("bad recipe: {e}"))?;
+
+    // File-to-file when the recipe names an input; otherwise the command
+    // must carry the samples inline as `texts`.
+    let handle = if recipe.input_path.is_some() {
+        service.runtime.submit_io(exec)
+    } else {
+        let texts = cmd
+            .get_path("texts")
+            .and_then(Value::as_list)
+            .ok_or("submit requires recipe `input_path` or inline `texts`")?;
+        let texts: Vec<String> = texts
+            .iter()
+            .map(|t| {
+                t.as_str()
+                    .map(str::to_string)
+                    .ok_or("`texts` must be strings")
+            })
+            .collect::<Result<_, _>>()?;
+        service.runtime.submit(exec, Dataset::from_texts(texts))
+    };
+
+    let id = handle.id();
+    let finished = Arc::new(AtomicBool::new(false));
+    service.jobs.lock().expect("jobs mutex").insert(
+        id,
+        ServeJob {
+            ctl: handle.control(),
+            finished: Arc::clone(&finished),
+        },
+    );
+    emit(
+        out,
+        &[
+            ("event", Value::from("accepted")),
+            ("job", Value::from(id as i64)),
+        ],
+    );
+
+    // The waiter thread owns the handle; it emits the terminal event.
+    let out = Arc::clone(out);
+    std::thread::spawn(move || {
+        let result = handle.wait();
+        match result {
+            Ok(output) => emit(
+                &out,
+                &[
+                    ("event", Value::from("done")),
+                    ("job", Value::from(id as i64)),
+                    (
+                        "samples_in",
+                        Value::from(output.report.initial_samples as i64),
+                    ),
+                    (
+                        "samples_out",
+                        Value::from(output.report.final_samples as i64),
+                    ),
+                    (
+                        "seconds",
+                        Value::from(output.report.total_duration.as_secs_f64()),
+                    ),
+                    ("spilled", Value::from(output.report.spilled)),
+                ],
+            ),
+            Err(data_juicer::core::DjError::Cancelled) => emit(
+                &out,
+                &[
+                    ("event", Value::from("cancelled")),
+                    ("job", Value::from(id as i64)),
+                ],
+            ),
+            Err(e) => emit(
+                &out,
+                &[
+                    ("event", Value::from("failed")),
+                    ("job", Value::from(id as i64)),
+                    ("error", Value::from(e.to_string())),
+                ],
+            ),
+        }
+        // Set only after the terminal event is written, so a shutdown
+        // drain that waits on this flag never truncates the event stream.
+        finished.store(true, Ordering::Release);
+    });
+    Ok(())
+}
+
+fn emit_status(out: &SharedWriter, id: u64, job: &ServeJob) {
+    emit(
+        out,
+        &[
+            ("event", Value::from("status")),
+            ("job", Value::from(id as i64)),
+            ("shards_done", Value::from(job.ctl.shards_done() as i64)),
+            ("live_samples", Value::from(job.ctl.live_samples() as i64)),
+            ("live_bytes", Value::from(job.ctl.live_bytes() as i64)),
+            (
+                "finished",
+                Value::from(job.finished.load(Ordering::Acquire)),
+            ),
+            ("cancelled", Value::from(job.ctl.is_cancelled())),
+        ],
+    );
+}
+
+/// Write one JSON event line (field order as given — `Value::Map` would
+/// sort keys, so the line is assembled directly).
+fn emit(out: &SharedWriter, fields: &[(&str, Value)]) {
+    let mut line = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&Value::from(*k).to_string());
+        line.push(':');
+        line.push_str(&v.to_string());
+    }
+    line.push('}');
+    let mut w = out.lock().expect("writer mutex");
+    let _ = writeln!(w, "{line}");
+    let _ = w.flush();
+}
