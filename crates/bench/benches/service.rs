@@ -6,13 +6,15 @@
 //! `BENCH_exec.json` is produced by the fig8 harness from the same
 //! construction).
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use dj_config::{OpSpec, Recipe};
+use dj_core::faults::{ErrKind, FaultPlan};
 use dj_core::Dataset;
-use dj_exec::{ExecOptions, Executor, Runtime, RuntimeConfig};
+use dj_exec::{ExecOptions, Executor, RetryPolicy, Runtime, RuntimeConfig};
 use dj_synth::{web_corpus, WebNoise};
 
 fn recipe() -> Recipe {
@@ -74,6 +76,7 @@ fn bench_concurrent_vs_serial(c: &mut Criterion) {
             let rt = Runtime::new(RuntimeConfig {
                 max_jobs: JOBS,
                 memory_budget: None,
+                ..RuntimeConfig::default()
             });
             let handles: Vec<_> = corpora
                 .iter()
@@ -104,6 +107,7 @@ fn bench_latency_distribution(c: &mut Criterion) {
             let rt = Runtime::new(RuntimeConfig {
                 max_jobs: JOBS,
                 memory_budget: None,
+                ..RuntimeConfig::default()
             });
             let mut latencies = Vec::with_capacity(JOBS * ROUNDS);
             let mut agg_seconds = 0.0f64;
@@ -133,9 +137,61 @@ fn bench_latency_distribution(c: &mut Criterion) {
     group.finish();
 }
 
+/// The self-healing overhead: the same 4-tenant fleet, but one tenant
+/// carries a deterministic injected transient IO fault each iteration.
+/// The retrying runtime absorbs it (every job must still succeed), so
+/// the delta against `concurrent_4jobs` prices one failed attempt plus
+/// its backoff under multi-tenant load.
+fn bench_faulty_tenant(c: &mut Criterion) {
+    const JOBS: usize = 4;
+    const DOCS: usize = 300;
+    let corpora = tenant_corpora(JOBS, DOCS);
+    let total: usize = corpora.iter().map(Dataset::len).sum();
+
+    let mut group = c.benchmark_group("service");
+    group.throughput(Throughput::Elements(total as u64));
+    group.sample_size(10);
+
+    group.bench_function(format!("faulty_1of{JOBS}jobs"), |b| {
+        b.iter(|| {
+            let rt = Runtime::new(RuntimeConfig {
+                max_jobs: JOBS,
+                memory_budget: None,
+                retry: RetryPolicy {
+                    max_attempts: 3,
+                    base: Duration::from_millis(1),
+                    cap: Duration::from_millis(5),
+                },
+            });
+            // A fresh single-shot fault per iteration: the first worker
+            // step after install fails with a transient IO error.
+            let plan = Arc::new(FaultPlan::single("exec.worker.step", ErrKind::Io, 1, 11));
+            let handles: Vec<_> = corpora
+                .iter()
+                .enumerate()
+                .map(|(i, ds)| {
+                    let mut exec = exec(2);
+                    if i == 0 {
+                        let mut opts = exec.options().clone();
+                        opts.faults = Some(Arc::clone(&plan));
+                        exec = exec.with_options(opts);
+                    }
+                    rt.submit(exec, ds.clone())
+                })
+                .collect();
+            for h in handles {
+                h.wait().expect("faulted job must recover via retry");
+            }
+        })
+    });
+
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_concurrent_vs_serial,
-    bench_latency_distribution
+    bench_latency_distribution,
+    bench_faulty_tenant
 );
 criterion_main!(benches);

@@ -581,6 +581,7 @@ fn main() {
         let rt = Runtime::new(RuntimeConfig {
             max_jobs: tenants.len(),
             memory_budget: None,
+            ..RuntimeConfig::default()
         });
         const ROUNDS: usize = 5;
         let mut latencies = Vec::with_capacity(tenants.len() * ROUNDS);
@@ -634,6 +635,121 @@ fn main() {
             dataset: "multi-tenant",
             np,
             system: "Data-Juicer-serve",
+            seconds: agg_seconds / ROUNDS as f64,
+            mem_mb: peak_bytes as f64 / 1e6,
+            out_len: out_total,
+            in_len: in_total,
+            p50_seconds: p50,
+            p99_seconds: p99,
+            ..Row::default()
+        });
+    }
+
+    // Same multi-tenant load, but one tenant carries an injected
+    // transient IO fault (deterministic, seeded — see dj-core::faults).
+    // The retrying runtime must absorb it: every job still completes,
+    // every output still matches its solo run, and the row's delta over
+    // `Data-Juicer-serve` is the price of the failed attempt + backoff.
+    section("Service runtime: 4 tenants, one faulty (retry absorbs)");
+    {
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        use dj_core::faults::{ErrKind, FaultPlan};
+        use dj_exec::{RetryPolicy, Runtime, RuntimeConfig};
+
+        let np = *nps.last().expect("np sweep non-empty");
+        let tenants: Vec<(&'static str, &Dataset)> = vec![
+            ("Books", &datasets[0].1),
+            ("arXiv", &datasets[1].1),
+            ("C4", &datasets[2].1),
+            ("Books", &datasets[0].1),
+        ];
+        let solo: Vec<usize> = tenants
+            .iter()
+            .map(|(name, _)| {
+                rows.iter()
+                    .find(|r| r.dataset == *name && r.np == np && r.system == "Data-Juicer")
+                    .expect("solo row present")
+                    .out_len
+            })
+            .collect();
+        let rt = Runtime::new(RuntimeConfig {
+            max_jobs: tenants.len(),
+            memory_budget: None,
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(5),
+            },
+        });
+        const ROUNDS: usize = 5;
+        const FAULT_SITE: &str = "exec.worker.step";
+        let mut latencies = Vec::with_capacity(tenants.len() * ROUNDS);
+        let mut agg_seconds = 0.0f64;
+        let mut peak_bytes = 0usize;
+        let mut fired_rounds = 0usize;
+        let (mut in_total, mut out_total) = (0usize, 0usize);
+        for round in 0..ROUNDS {
+            // One fresh single-shot fault per round: the first worker
+            // step after install fails with a transient IO error.
+            let plan = Arc::new(FaultPlan::single(FAULT_SITE, ErrKind::Io, 1, 11));
+            let t0 = Instant::now();
+            let handles: Vec<_> = tenants
+                .iter()
+                .enumerate()
+                .map(|(i, (_, data))| {
+                    let exec = Executor::new(matched_dj_ops(p)).with_options(ExecOptions {
+                        num_workers: np,
+                        op_fusion: true,
+                        trace_examples: 0,
+                        shard_size: None,
+                        faults: (i == 0).then(|| Arc::clone(&plan)),
+                        ..ExecOptions::default()
+                    });
+                    (Instant::now(), rt.submit(exec, (*data).clone()))
+                })
+                .collect();
+            for (i, (submitted, h)) in handles.into_iter().enumerate() {
+                let out = h.wait().expect("faulted service job must recover");
+                latencies.push(submitted.elapsed().as_secs_f64());
+                peak_bytes = peak_bytes.max(out.report.peak_bytes);
+                let got = out.dataset.expect("in-memory job returns a dataset");
+                assert_eq!(
+                    got.len(),
+                    solo[i],
+                    "chaos tenant {i} diverged from its solo run"
+                );
+                if round == 0 {
+                    in_total += tenants[i].1.len();
+                    out_total += got.len();
+                }
+            }
+            agg_seconds += t0.elapsed().as_secs_f64();
+            if plan.hits(FAULT_SITE) > 0 {
+                fired_rounds += 1;
+            }
+        }
+        assert!(
+            fired_rounds == ROUNDS,
+            "injected fault must fire every round ({fired_rounds}/{ROUNDS})"
+        );
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let pct = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
+        let (p50, p99) = (pct(0.50), pct(0.99));
+        println!(
+            "{} tenants x {ROUNDS} rounds, 1 faulty: p50 {:.1} ms | p99 {:.1} ms | \
+             aggregate {:.0} samples/s | fault fired {fired_rounds}/{ROUNDS} rounds, \
+             all outputs matched solo runs",
+            tenants.len(),
+            p50 * 1e3,
+            p99 * 1e3,
+            (in_total * ROUNDS) as f64 / agg_seconds.max(1e-9),
+        );
+        rows.push(Row {
+            dataset: "multi-tenant",
+            np,
+            system: "Data-Juicer-chaos",
             seconds: agg_seconds / ROUNDS as f64,
             mem_mb: peak_bytes as f64 / 1e6,
             out_len: out_total,

@@ -99,6 +99,16 @@ pub struct Recipe {
     /// `DJ_COLUMNAR` env var forces it on). Output is byte-identical to
     /// the row format.
     pub columnar: bool,
+    /// Record-level error policy: `"fail"` (default), `"skip"` or
+    /// `"quarantine"`. Under `skip`/`quarantine` a malformed ingest
+    /// record or a sample an OP rejects is dropped (and, for quarantine,
+    /// preserved in a checksummed sidecar next to the egress manifest)
+    /// instead of failing the job.
+    pub on_error: Option<String>,
+    /// Error budget for `skip`/`quarantine`: the job fails once the
+    /// bad-record ratio exceeds this (must be in `[0, 1]`; default 1.0
+    /// never trips).
+    pub max_error_ratio: Option<f64>,
     /// The ordered OP pipeline.
     pub process: Vec<OpSpec>,
 }
@@ -123,6 +133,8 @@ impl Default for Recipe {
             stats_dir: None,
             prefix_cache: false,
             columnar: false,
+            on_error: None,
+            max_error_ratio: None,
             process: Vec::new(),
         }
     }
@@ -233,6 +245,19 @@ impl Recipe {
     /// pushdown.
     pub fn with_columnar(mut self, enabled: bool) -> Recipe {
         self.columnar = enabled;
+        self
+    }
+
+    /// Builder: set the record-level error policy (`"fail"`, `"skip"` or
+    /// `"quarantine"`).
+    pub fn with_on_error(mut self, policy: impl Into<String>) -> Recipe {
+        self.on_error = Some(policy.into());
+        self
+    }
+
+    /// Builder: set the error-ratio budget (clamped to `[0, 1]`).
+    pub fn with_max_error_ratio(mut self, ratio: f64) -> Recipe {
+        self.max_error_ratio = Some(ratio.clamp(0.0, 1.0));
         self
     }
 
@@ -367,6 +392,20 @@ impl Recipe {
         if let Some(c) = v.get_path("columnar").and_then(Value::as_bool) {
             recipe.columnar = c;
         }
+        if let Some(p) = v.get_path("on_error").and_then(Value::as_str) {
+            if !matches!(p, "fail" | "skip" | "quarantine") {
+                return Err(DjError::Config(format!(
+                    "on_error must be `fail`, `skip` or `quarantine`, got `{p}`"
+                )));
+            }
+            recipe.on_error = Some(p.to_string());
+        }
+        if let Some(r) = v.get_path("max_error_ratio").and_then(Value::as_float) {
+            if !(0.0..=1.0).contains(&r) {
+                return Err(DjError::Config("max_error_ratio must be in [0, 1]".into()));
+            }
+            recipe.max_error_ratio = Some(r);
+        }
         let process = match v.get_path("process") {
             None => Vec::new(),
             Some(Value::List(items)) => items
@@ -454,6 +493,15 @@ impl Recipe {
         // (and therefore cache keys) are unchanged for row-format runs.
         if self.columnar {
             root.set_path("columnar", Value::Bool(true))
+                .expect("map root");
+        }
+        // Same fingerprint-stability rule: only emitted when set.
+        if let Some(p) = &self.on_error {
+            root.set_path("on_error", Value::from(p.clone()))
+                .expect("map root");
+        }
+        if let Some(r) = self.max_error_ratio {
+            root.set_path("max_error_ratio", Value::Float(r))
                 .expect("map root");
         }
         let ops: Vec<Value> = self

@@ -75,7 +75,10 @@ impl SampleContext {
             self.compute_count += 1;
             self.words = Some((self.version, segment_words(text)));
         }
-        &self.words.as_ref().expect("just set").1
+        match &self.words {
+            Some((_, w)) => w,
+            None => &[], // unreachable: just set above
+        }
     }
 
     /// Lines of `text` (split on `\n`), computed at most once per version.
@@ -84,7 +87,10 @@ impl SampleContext {
             self.compute_count += 1;
             self.lines = Some((self.version, text.split('\n').map(str::to_string).collect()));
         }
-        &self.lines.as_ref().expect("just set").1
+        match &self.lines {
+            Some((_, l)) => l,
+            None => &[], // unreachable: just set above
+        }
     }
 
     /// Sentences of `text` (split on `.!?` and CJK equivalents), memoized.
@@ -93,7 +99,10 @@ impl SampleContext {
             self.compute_count += 1;
             self.sentences = Some((self.version, segment_sentences(text)));
         }
-        &self.sentences.as_ref().expect("just set").1
+        match &self.sentences {
+            Some((_, s)) => s,
+            None => &[], // unreachable: just set above
+        }
     }
 }
 

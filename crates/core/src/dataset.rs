@@ -90,7 +90,9 @@ impl Dataset {
         }
         let before = self.samples.len();
         let mut it = keep.into_iter();
-        self.samples.retain(|_| it.next().expect("mask length"));
+        // `keep` has exactly one entry per sample; an exhausted iterator
+        // would be a bug, and dropping the sample is the safe default.
+        self.samples.retain(|_| it.next().unwrap_or(false));
         Ok(before - self.samples.len())
     }
 
@@ -105,7 +107,8 @@ impl Dataset {
             "mask length must equal dataset length"
         );
         let mut it = mask.iter();
-        self.samples.retain(|_| *it.next().expect("mask length"));
+        // Length equality was asserted above.
+        self.samples.retain(|_| it.next().copied().unwrap_or(false));
     }
 
     /// Select a subset by indices (sampler support). Unknown indices skipped.

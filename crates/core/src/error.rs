@@ -61,6 +61,67 @@ impl DjError {
             message: message.to_string(),
         }
     }
+
+    /// Whether retrying the same work could plausibly succeed. IO and
+    /// storage failures (truncated frames, checksum mismatches, missing
+    /// files) are environmental and worth a retry; config, parse, field
+    /// and operator errors are deterministic — the same input produces
+    /// the same failure — and cancellation is a decision, not a fault.
+    /// The service runtime's `RetryPolicy` keys off this split.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DjError::Io(_) | DjError::Storage(_))
+    }
+}
+
+/// What to do when a single record fails — a malformed ingest line or a
+/// sample an OP cannot process. `Fail` aborts the job on the first bad
+/// record (the historical behaviour and the default); `Skip` drops the
+/// record and keeps going; `Quarantine` drops it *and* writes the
+/// original record plus its error to a checksummed sidecar next to the
+/// egress manifest. `Skip` and `Quarantine` are bounded by
+/// `max_error_ratio` — the job still fails once bad records exceed the
+/// budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnError {
+    #[default]
+    Fail,
+    Skip,
+    Quarantine,
+}
+
+impl OnError {
+    pub fn from_name(name: &str) -> Result<OnError> {
+        match name {
+            "fail" => Ok(OnError::Fail),
+            "skip" => Ok(OnError::Skip),
+            "quarantine" => Ok(OnError::Quarantine),
+            other => Err(DjError::Config(format!(
+                "unknown on_error policy `{other}` (expected `fail`, `skip` or `quarantine`)"
+            ))),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            OnError::Fail => "fail",
+            OnError::Skip => "skip",
+            OnError::Quarantine => "quarantine",
+        }
+    }
+}
+
+/// Render a `catch_unwind` payload as text: the panic message when the
+/// payload is the `&str`/`String` every `panic!` form produces, a
+/// placeholder otherwise. Lets pool- and job-level recovery report *what*
+/// panicked instead of a generic "thread panicked".
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -76,6 +137,31 @@ mod tests {
             e.to_string(),
             "operator `word_count_filter` failed: bad range"
         );
+    }
+
+    #[test]
+    fn transient_split_matches_retry_policy() {
+        assert!(DjError::Io(std::io::Error::other("flaky disk")).is_transient());
+        assert!(DjError::Storage("checksum mismatch".into()).is_transient());
+        for e in [
+            DjError::Config("bad knob".into()),
+            DjError::Parse("bad json".into()),
+            DjError::op("word_count_filter", "poison sample"),
+            DjError::Field("missing".into()),
+            DjError::Cancelled,
+        ] {
+            assert!(!e.is_transient(), "{e} must be deterministic");
+        }
+    }
+
+    #[test]
+    fn panic_message_downcasts_both_string_forms() {
+        let p = std::panic::catch_unwind(|| panic!("static str")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "static str");
+        let p = std::panic::catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "formatted 7");
+        let p = std::panic::catch_unwind(|| std::panic::panic_any(42i32)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "non-string panic payload");
     }
 
     #[test]

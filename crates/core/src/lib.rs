@@ -18,21 +18,32 @@
 //!   that power the context-management optimization of §6;
 //! * the operator traits of Listing 1 ([`Formatter`], [`Mapper`],
 //!   [`Filter`], [`Deduplicator`]) together with the type-erased [`Op`]
-//!   and the [`OpRegistry`] extension point.
+//!   and the [`OpRegistry`] extension point;
+//! * [`faults`] — the deterministic fault-injection plan chaos tests
+//!   replay (`DJ_FAULTS`), with named sites threaded through the
+//!   storage, IO and execution crates.
+
+// Panic-on-error is banned in library code: every unwrap/expect outside
+// tests is either restructured away or carries an explicit `#[allow]`
+// with its infallibility argument.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod context;
 pub mod dataset;
 pub mod error;
+pub mod faults;
 pub mod json;
 pub mod op;
 pub mod pool;
 pub mod sample;
 pub mod shard;
+pub mod sync;
 pub mod value;
 
 pub use context::{is_cjk, segment_sentences, segment_words, ContextNeeds, SampleContext};
 pub use dataset::Dataset;
-pub use error::{DjError, Result};
+pub use error::{panic_message, DjError, OnError, Result};
+pub use faults::{ErrKind, FaultGuard, FaultPlan, FaultSpec};
 pub use json::parse_json;
 pub use op::{
     params, Deduplicator, FieldSet, Filter, Formatter, Mapper, Op, OpCost, OpFactory, OpKind,

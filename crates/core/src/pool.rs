@@ -37,6 +37,9 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
+use crate::error::panic_message;
+use crate::sync;
+
 /// What a section step accomplished; see the module docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Step {
@@ -66,6 +69,9 @@ struct Section {
     drained: AtomicBool,
     /// A pool-thread step panicked; re-raise on the caller.
     panicked: AtomicBool,
+    /// The first panicking step's message, re-raised verbatim on the
+    /// caller so the job error says *what* panicked.
+    panic_msg: Mutex<Option<String>>,
 }
 
 // SAFETY: the raw closure pointer is only dereferenced between registration
@@ -143,16 +149,18 @@ impl WorkerPool {
             done_cv: Condvar::new(),
             handles: Mutex::new(Vec::new()),
         });
-        let mut handles = pool.handles.lock().expect("pool handles mutex");
+        let mut handles = sync::lock(&pool.handles);
         for i in 0..threads {
             let p = Arc::clone(&pool);
-            SPAWNED_TOTAL.fetch_add(1, Ordering::Relaxed);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("dj-pool-{i}"))
-                    .spawn(move || p.worker_loop())
-                    .expect("spawn pool worker"),
-            );
+            let spawned = std::thread::Builder::new()
+                .name(format!("dj-pool-{i}"))
+                .spawn(move || p.worker_loop());
+            // A failed spawn degrades capacity, never correctness: every
+            // section's caller is a stepper of last resort.
+            if let Ok(h) = spawned {
+                SPAWNED_TOTAL.fetch_add(1, Ordering::Relaxed);
+                handles.push(h);
+            }
         }
         drop(handles);
         pool
@@ -207,9 +215,10 @@ impl WorkerPool {
             active: AtomicUsize::new(0),
             drained: AtomicBool::new(false),
             panicked: AtomicBool::new(false),
+            panic_msg: Mutex::new(None),
         });
         {
-            let mut reg = self.registry.lock().expect("pool registry mutex");
+            let mut reg = sync::lock(&self.registry);
             reg.sections.push(Arc::clone(&section));
         }
         self.work_cv.notify_all();
@@ -252,7 +261,10 @@ impl WorkerPool {
         }
         drop(guard); // deregister + wait for in-flight pool steps
         if section.panicked.load(Ordering::Acquire) {
-            panic!("worker pool section panicked");
+            let msg = sync::lock(&section.panic_msg)
+                .take()
+                .unwrap_or_else(|| "no payload captured".into());
+            panic!("worker pool section panicked: {msg}");
         }
     }
 
@@ -272,32 +284,32 @@ impl WorkerPool {
                 return Step::Done;
             }
             let r = f(i);
-            *slots[i].lock().expect("pool slot mutex") = Some(r);
+            *sync::lock(&slots[i]) = Some(r);
             Step::Worked
         });
         slots
             .into_iter()
             .map(|m| {
-                m.into_inner()
-                    .expect("pool slot mutex")
+                // Invariant, not error handling: the section only retires
+                // after every claimed index stored its result, and a
+                // panicked step re-raised above before reaching here.
+                #[allow(clippy::expect_used)]
+                sync::lock(&m)
+                    .take()
                     .expect("every claimed index completes before the section retires")
             })
             .collect()
     }
 
     fn worker_loop(&self) {
-        let mut reg = self.registry.lock().expect("pool registry mutex");
+        let mut reg = sync::lock(&self.registry);
         loop {
             if reg.shutdown {
                 return;
             }
             let picked = Self::pick(&mut reg);
             let Some(section) = picked else {
-                reg = self
-                    .work_cv
-                    .wait_timeout(reg, IDLE_POLL)
-                    .expect("pool registry mutex")
-                    .0;
+                reg = sync::wait_timeout(&self.work_cv, reg, IDLE_POLL);
                 continue;
             };
             drop(reg);
@@ -305,12 +317,17 @@ impl WorkerPool {
             // the closure while `active > 0`.
             let step = unsafe { &*section.step };
             let outcome = catch_unwind(AssertUnwindSafe(step));
-            reg = self.registry.lock().expect("pool registry mutex");
-            match outcome {
+            reg = sync::lock(&self.registry);
+            match &outcome {
                 Ok(Step::Worked) => {}
                 Ok(Step::Idle) => {}
                 Ok(Step::Done) => section.drained.store(true, Ordering::Release),
-                Err(_) => {
+                Err(payload) => {
+                    let mut msg = sync::lock(&section.panic_msg);
+                    if msg.is_none() {
+                        *msg = Some(panic_message(payload.as_ref()));
+                    }
+                    drop(msg);
                     section.panicked.store(true, Ordering::Release);
                     section.drained.store(true, Ordering::Release);
                 }
@@ -321,11 +338,7 @@ impl WorkerPool {
             self.done_cv.notify_all();
             if matches!(outcome, Ok(Step::Idle)) {
                 // The section had nothing claimable; don't spin on it.
-                reg = self
-                    .work_cv
-                    .wait_timeout(reg, IDLE_POLL)
-                    .expect("pool registry mutex")
-                    .0;
+                reg = sync::wait_timeout(&self.work_cv, reg, IDLE_POLL);
             }
         }
     }
@@ -353,11 +366,11 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut reg = self.registry.lock().expect("pool registry mutex");
+            let mut reg = sync::lock(&self.registry);
             reg.shutdown = true;
         }
         self.work_cv.notify_all();
-        for h in self.handles.lock().expect("pool handles mutex").drain(..) {
+        for h in sync::lock(&self.handles).drain(..) {
             let _ = h.join();
         }
     }
@@ -375,15 +388,10 @@ struct SectionGuard<'a> {
 impl Drop for SectionGuard<'_> {
     fn drop(&mut self) {
         self.section.drained.store(true, Ordering::Release);
-        let mut reg = self.pool.registry.lock().expect("pool registry mutex");
+        let mut reg = sync::lock(&self.pool.registry);
         reg.sections.retain(|s| !Arc::ptr_eq(s, self.section));
         while self.section.active.load(Ordering::Acquire) > 0 {
-            reg = self
-                .pool
-                .done_cv
-                .wait_timeout(reg, IDLE_POLL)
-                .expect("pool registry mutex")
-                .0;
+            reg = sync::wait_timeout(&self.pool.done_cv, reg, IDLE_POLL);
         }
     }
 }
@@ -449,12 +457,17 @@ mod tests {
         let hit = std::panic::catch_unwind(AssertUnwindSafe(|| {
             pool.run_indexed(3, 10, |i| {
                 if i == 4 {
-                    panic!("boom");
+                    panic!("boom in step 4");
                 }
                 i
             });
         }));
-        assert!(hit.is_err());
+        // The original payload survives the pool boundary: whether a pool
+        // thread (re-raised with context) or the caller itself hit the
+        // panic, the message names the culprit.
+        let payload = hit.unwrap_err();
+        let msg = panic_message(payload.as_ref());
+        assert!(msg.contains("boom in step 4"), "payload lost: {msg}");
         // The pool survives a panicked section.
         assert_eq!(pool.run_indexed(3, 3, |i| i), vec![0, 1, 2]);
     }

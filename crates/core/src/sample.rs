@@ -81,9 +81,16 @@ impl Sample {
 
     /// Overwrite the default text payload.
     pub fn set_text(&mut self, text: impl Into<String>) {
-        // Root is always a map, so this cannot fail.
+        self.set_root_path(TEXT_KEY, Value::Str(text.into()));
+    }
+
+    /// Dotted write under the root. The root is constructed as a map and
+    /// no API replaces it wholesale, so this cannot fail — the single
+    /// allow-listed `expect` documenting that invariant.
+    fn set_root_path(&mut self, path: &str, value: Value) {
+        #[allow(clippy::expect_used)]
         self.root
-            .set_path(TEXT_KEY, Value::Str(text.into()))
+            .set_path(path, value)
             .expect("sample root is a map");
     }
 
@@ -99,9 +106,7 @@ impl Sample {
 
     /// Write a metadata field (`meta.<key>`).
     pub fn set_meta(&mut self, key: &str, value: impl Into<Value>) {
-        self.root
-            .set_path(&format!("{META_KEY}.{key}"), value.into())
-            .expect("sample root is a map");
+        self.set_root_path(&format!("{META_KEY}.{key}"), value.into());
     }
 
     /// Read a numeric statistic (`stats.<key>`), coercing ints to floats.
@@ -117,9 +122,7 @@ impl Sample {
     /// `process` — and any later analyzer pass — reads a recorded value
     /// rather than recomputing it (the decoupling of paper §3.2).
     pub fn set_stat(&mut self, key: &str, value: f64) {
-        self.root
-            .set_path(&format!("{STATS_KEY}.{key}"), Value::Float(value))
-            .expect("sample root is a map");
+        self.set_root_path(&format!("{STATS_KEY}.{key}"), Value::Float(value));
     }
 
     /// True when the statistic has already been computed.

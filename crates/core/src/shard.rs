@@ -120,7 +120,7 @@ impl MemShardStore {
             .enumerate()
             .map(|(i, slot)| {
                 slot.into_inner()
-                    .expect("shard slot mutex")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .ok_or_else(|| DjError::Storage(format!("shard {i} was never stored")))
             })
             .collect()
@@ -132,9 +132,7 @@ impl ShardSource for MemShardStore {
         self.slots.len()
     }
     fn load_shard(&self, idx: usize) -> Result<Dataset> {
-        self.slots[idx]
-            .lock()
-            .expect("shard slot mutex")
+        crate::sync::lock(&self.slots[idx])
             .take()
             .ok_or_else(|| DjError::Storage(format!("shard {idx} already loaded")))
     }
@@ -142,7 +140,7 @@ impl ShardSource for MemShardStore {
 
 impl ShardSink for MemShardStore {
     fn store_shard(&self, idx: usize, shard: Dataset) -> Result<()> {
-        *self.slots[idx].lock().expect("shard slot mutex") = Some(shard);
+        *crate::sync::lock(&self.slots[idx]) = Some(shard);
         Ok(())
     }
 }

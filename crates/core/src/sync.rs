@@ -1,0 +1,79 @@
+//! Poison-tolerant lock helpers.
+//!
+//! A poisoned mutex means *some* thread panicked while holding the guard
+//! — for the executor's bookkeeping locks (hit counters, spool slot
+//! tables, part logs) the protected data is still structurally valid, and
+//! propagating the poison would turn one worker panic into a cascade of
+//! secondary panics on every other thread touching the lock. These
+//! helpers recover the guard instead, so the *original* panic (already
+//! captured and re-raised by the pool / runtime) stays the only failure.
+
+use std::sync::{
+    Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+use std::time::Duration;
+
+/// Lock `m`, recovering the guard if a previous holder panicked.
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-lock `l`, recovering the guard if a writer panicked.
+pub fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-lock `l`, recovering the guard if a holder panicked.
+pub fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Wait on `cv`, recovering the guard if the mutex was poisoned while
+/// parked.
+pub fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`wait`] with a timeout (the timed-out flag is dropped: callers here
+/// re-check their predicate either way).
+pub fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> MutexGuard<'a, T> {
+    cv.wait_timeout(guard, dur)
+        .unwrap_or_else(PoisonError::into_inner)
+        .0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Mutex;
+
+    #[test]
+    fn lock_recovers_after_a_panicked_holder() {
+        let m = Mutex::new(7usize);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m), 7);
+        *lock(&m) += 1;
+        assert_eq!(*lock(&m), 8);
+    }
+
+    #[test]
+    fn rwlock_recovers_after_a_panicked_writer() {
+        let l = RwLock::new(3usize);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _g = l.write().unwrap();
+            panic!("poison it");
+        }));
+        assert_eq!(*read(&l), 3);
+        *write(&l) = 4;
+        assert_eq!(*read(&l), 4);
+    }
+}

@@ -9,14 +9,15 @@
 use std::collections::{BTreeSet, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use dj_core::{
-    Dataset, Deduplicator, DjError, FieldSet, MemShardStore, Op, ResidencyGauge, Result, Sample,
-    SampleContext, ShardSink, ShardSource, ShardStats, Step, Value, WorkerPool,
+    faults, Dataset, Deduplicator, DjError, FaultGuard, FaultPlan, FieldSet, MemShardStore,
+    OnError, Op, ResidencyGauge, Result, Sample, SampleContext, ShardSink, ShardSource, ShardStats,
+    Step, Value, WorkerPool,
 };
-use dj_io::{CorpusReader, OutputFormat, ShardedWriter};
+use dj_io::{CorpusReader, ErrorLedger, OutputFormat, ShardedWriter};
 use dj_store::{
     split_column_path, CacheManager, CachedStage, Codec, ShardSpool, STATS_SIDECAR_FILE,
 };
@@ -77,6 +78,15 @@ pub const RUNTIME_ENV: &str = "DJ_RUNTIME";
 /// view that existed when its options were built.
 pub const INPUT_ENV: &str = "DJ_INPUT";
 
+/// Environment knob installing a deterministic fault plan for the run
+/// (see [`dj_core::faults`] for the grammar: `seed:N` and/or
+/// `site:kind[@n]` clauses). Snapshotted like every other knob; a
+/// malformed plan is a hard config error. The parsed plan is resolved
+/// once per options value, so retry attempts share one plan — and its
+/// hit counters — and a transient injected fault fires once, not once
+/// per attempt.
+pub const FAULTS_ENV: &str = "DJ_FAULTS";
+
 /// A one-shot snapshot of every executor env knob, captured when
 /// [`ExecOptions`] is constructed.
 ///
@@ -95,6 +105,7 @@ pub struct EnvKnobs {
     columnar: Option<String>,
     runtime: Option<String>,
     input: Option<String>,
+    faults: Option<String>,
 }
 
 impl EnvKnobs {
@@ -107,6 +118,7 @@ impl EnvKnobs {
             columnar: grab(COLUMNAR_ENV),
             runtime: grab(RUNTIME_ENV),
             input: grab(INPUT_ENV),
+            faults: grab(FAULTS_ENV),
         }
     }
 
@@ -164,6 +176,19 @@ impl EnvKnobs {
             .filter(|s| !s.is_empty())
     }
 
+    /// The `DJ_FAULTS` fault plan, parsed fresh. Callers that retry must
+    /// parse once and share the plan (see [`FAULTS_ENV`]); the executor
+    /// does this through `ExecOptions::resolved_faults`.
+    pub fn faults(&self) -> Result<Option<Arc<FaultPlan>>> {
+        let Some(raw) = self.faults.as_deref().map(str::trim) else {
+            return Ok(None);
+        };
+        if raw.is_empty() {
+            return Ok(None);
+        }
+        FaultPlan::parse(raw).map(|p| Some(Arc::new(p)))
+    }
+
     /// Hard-validate every knob at once (run entry points call this so a
     /// typo fails the run up front, not at whichever point first consults
     /// the knob).
@@ -172,6 +197,7 @@ impl EnvKnobs {
         self.adaptive()?;
         self.columnar()?;
         self.runtime()?;
+        self.faults()?;
         Ok(())
     }
 }
@@ -281,6 +307,27 @@ pub struct ExecOptions {
     /// runtime: cancellation checks, shard-progress counters and
     /// admission-control accounting hang off it. `None` for direct runs.
     pub job: Option<Arc<JobControl>>,
+    /// What to do when a single record fails — a malformed ingest line
+    /// or a sample an OP rejects. `Fail` (default) aborts the run;
+    /// `Skip` drops the record; `Quarantine` drops it and preserves it
+    /// in a checksummed sidecar next to the egress manifest.
+    pub on_error: OnError,
+    /// Error budget for `Skip`/`Quarantine`: the run fails once
+    /// `(skipped + quarantined) / records_seen` exceeds this ratio.
+    /// `1.0` (default) never trips.
+    pub max_error_ratio: f64,
+    /// Deterministic fault plan for chaos testing. Explicitly set plans
+    /// win over the `DJ_FAULTS` snapshot; the plan's per-site hit
+    /// counters live in the `Arc`, so handing the *same* plan to every
+    /// retry attempt makes an injected transient fault fire exactly on
+    /// its programmed hit and never again.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// One-shot resolution of `faults`-or-env, shared by clones of this
+    /// options value (and therefore by retry attempts). Public only so
+    /// functional-update construction (`..ExecOptions::default()`) works
+    /// outside this crate; leave it defaulted.
+    #[doc(hidden)]
+    pub resolved_faults: OnceLock<Option<Arc<FaultPlan>>>,
 }
 
 impl Default for ExecOptions {
@@ -305,6 +352,10 @@ impl Default for ExecOptions {
             columnar: false,
             env: EnvKnobs::capture(),
             job: None,
+            on_error: OnError::Fail,
+            max_error_ratio: 1.0,
+            faults: None,
+            resolved_faults: OnceLock::new(),
         }
     }
 }
@@ -454,6 +505,14 @@ pub struct RunReport {
     /// input→output as byte-for-byte splices, never materialized into
     /// `Value`s — the work projection pushdown avoided.
     pub bytes_passthrough: u64,
+    /// Records dropped by the `on_error: skip` policy (malformed ingest
+    /// lines plus samples an OP rejected).
+    pub records_skipped: u64,
+    /// Records preserved in the quarantine sidecar by `on_error:
+    /// quarantine`.
+    pub records_quarantined: u64,
+    /// Final bad-record ratio: `(skipped + quarantined) / records seen`.
+    pub error_ratio: f64,
 }
 
 /// How a dedup barrier's clustering was scheduled: on the worker pool or
@@ -502,14 +561,22 @@ impl RunReport {
 pub(crate) struct RunCtl {
     gauge: ResidencyGauge,
     job: Option<Arc<JobControl>>,
+    /// Record-level error policy for this run; shard workers route
+    /// per-sample OP failures through it.
+    ledger: Option<Arc<ErrorLedger>>,
 }
 
 impl RunCtl {
-    fn new(job: Option<Arc<JobControl>>) -> RunCtl {
+    fn new(job: Option<Arc<JobControl>>, ledger: Option<Arc<ErrorLedger>>) -> RunCtl {
         RunCtl {
             gauge: ResidencyGauge::default(),
             job,
+            ledger,
         }
+    }
+
+    fn ledger(&self) -> Option<&ErrorLedger> {
+        self.ledger.as_deref()
     }
 
     /// Fail the current shard with [`DjError::Cancelled`] if the owning
@@ -633,6 +700,40 @@ impl Executor {
         Ok(self.options.columnar || self.options.env.columnar()?)
     }
 
+    /// Install the fault plan in force — the explicit option, else the
+    /// `DJ_FAULTS` snapshot — for the duration of the returned guard.
+    /// Resolution is memoized on the options value so retry attempts
+    /// reinstall the *same* plan and its hit counters carry across
+    /// attempts: an injected transient fault fires on its programmed
+    /// hit, the retry re-runs clean.
+    fn fault_guard(&self) -> Result<Option<FaultGuard>> {
+        let plan = self
+            .options
+            .resolved_faults
+            .get_or_init(|| match &self.options.faults {
+                Some(p) => Some(Arc::clone(p)),
+                // `env.validate()` ran at every entry point before this,
+                // so a malformed DJ_FAULTS already failed the run.
+                None => self.options.env.faults().unwrap_or(None),
+            })
+            .clone();
+        Ok(plan.map(faults::install))
+    }
+
+    /// The error ledger for one run attempt: fresh counters per attempt
+    /// (a retry re-processes every record), quarantine sidecar attached
+    /// next to the egress manifest when one is configured.
+    fn new_ledger(&self) -> Result<Arc<ErrorLedger>> {
+        let ledger = Arc::new(ErrorLedger::new(
+            self.options.on_error,
+            self.options.max_error_ratio,
+        ));
+        if let Some(dir) = &self.options.output {
+            ledger.attach_dir(dir)?;
+        }
+        Ok(ledger)
+    }
+
     /// A fresh spill spool in the mode in force — columnar `DJSC` frames
     /// when columnar execution is on, row `DJSF` frames otherwise.
     fn new_spool(&self, slots: usize) -> Result<ShardSpool> {
@@ -738,6 +839,7 @@ impl Executor {
     /// in-memory dataset.
     pub fn run_io(&self) -> Result<(Option<Dataset>, RunReport)> {
         self.options.env.validate()?;
+        let _faults = self.fault_guard()?;
         let adaptive = self.effective_adaptive()?;
         // File-backed runs have no cache, so the sidecar only persists
         // under an explicit `stats_dir`.
@@ -786,7 +888,8 @@ impl Executor {
         let plan = self.plan_adaptive(model);
         let stages = plan.stages();
         let start = Instant::now();
-        let ctl = RunCtl::new(self.options.job.clone());
+        let ledger = self.new_ledger()?;
+        let ctl = RunCtl::new(self.options.job.clone(), Some(Arc::clone(&ledger)));
         let budget = self.effective_memory_budget()?;
         let mut report = RunReport {
             fused_groups: plan.fused_groups,
@@ -802,7 +905,7 @@ impl Executor {
             .unwrap_or(DEFAULT_IO_SHARD_SIZE)
             .max(1);
         let workers = self.options.num_workers.max(1);
-        let reader = CorpusReader::from_pattern(input)?;
+        let reader = CorpusReader::from_pattern(input)?.with_ledger(Arc::clone(&ledger));
 
         // The ingest stage runs the plan's first pipeline stage while the
         // corpus streams in; a leading barrier ingests raw shards instead.
@@ -821,7 +924,8 @@ impl Executor {
         let (per_shard, ingest_bytes, ingest_samples) =
             stream_ingest(reader, shard_size, workers, depth, &ctl, |i, shard| {
                 let mut ctx = SampleContext::new();
-                let outcome = run_stage_on_shard(ingest_steps, shard, &mut ctx, cap)?;
+                let outcome =
+                    run_stage_on_shard(ingest_steps, shard, &mut ctx, cap, ctl.ledger(), i)?;
                 spool_ref.write_shard(i, &outcome.shard)?;
                 if let Some(dedup) = fp_dedup {
                     spool_ref.write_fingerprints(i, &hash_shard(dedup, &outcome.shard)?)?;
@@ -847,6 +951,14 @@ impl Executor {
             )?;
         }
         report.final_samples = data.len();
+
+        // Seal the error policy before egress: the budget check fails
+        // the run *before* a manifest is written, and a sealed
+        // quarantine sidecar lands next to the manifest on success.
+        ledger.finish()?;
+        report.records_skipped = ledger.records_skipped();
+        report.records_quarantined = ledger.records_quarantined();
+        report.error_ratio = ledger.error_ratio();
 
         // Egress: manifest-tracked shard parts, or materialize for the
         // caller when no output directory is configured.
@@ -1031,6 +1143,7 @@ impl Executor {
         cache: Option<&CacheManager>,
     ) -> Result<(Dataset, RunReport)> {
         self.options.env.validate()?;
+        let _faults = self.fault_guard()?;
         let adaptive = self.effective_adaptive()?;
         let stats_path = if adaptive {
             self.stats_path(cache)
@@ -1081,7 +1194,9 @@ impl Executor {
         };
         let keys = stage_cache_keys(&stages, prefix);
         let start = Instant::now();
-        let ctl = RunCtl::new(self.options.job.clone());
+        let ledger = self.new_ledger()?;
+        ledger.note_seen(dataset.len() as u64);
+        let ctl = RunCtl::new(self.options.job.clone(), Some(Arc::clone(&ledger)));
         let budget = self.effective_memory_budget()?;
         self.validated_depth()?;
         let mut report = RunReport {
@@ -1171,6 +1286,10 @@ impl Executor {
             }
         }
         report.final_samples = data.len();
+        ledger.finish()?;
+        report.records_skipped = ledger.records_skipped();
+        report.records_quarantined = ledger.records_quarantined();
+        report.error_ratio = ledger.error_ratio();
         report.peak_resident_samples = ctl.peak_samples();
         report.peak_resident_bytes = ctl.peak_bytes();
         report.total_duration = start.elapsed();
@@ -1398,10 +1517,17 @@ impl Executor {
             let run = (|| {
                 let mut ctx = SampleContext::new();
                 let mut outcome = match &sched {
-                    None => run_stage_on_shard(steps, projected, &mut ctx, cap)?,
+                    None => run_stage_on_shard(steps, projected, &mut ctx, cap, ctl.ledger(), i)?,
                     Some(sched) => {
                         let order = sched.order();
-                        let raw = run_stage_on_shard(&order.steps, projected, &mut ctx, cap)?;
+                        let raw = run_stage_on_shard(
+                            &order.steps,
+                            projected,
+                            &mut ctx,
+                            cap,
+                            ctl.ledger(),
+                            i,
+                        )?;
                         let outcome = remap_outcome(&order, raw);
                         sched.observe(&outcome.stats);
                         outcome
@@ -1467,10 +1593,11 @@ impl Executor {
             // filter of a commutable window under any order and collect the
             // same (key-sorted) stats, so output is byte-identical.
             let outcome = match &sched {
-                None => run_stage_on_shard(steps, shard, &mut ctx, cap)?,
+                None => run_stage_on_shard(steps, shard, &mut ctx, cap, ctl.ledger(), i)?,
                 Some(sched) => {
                     let order = sched.order();
-                    let raw = run_stage_on_shard(&order.steps, shard, &mut ctx, cap)?;
+                    let raw =
+                        run_stage_on_shard(&order.steps, shard, &mut ctx, cap, ctl.ledger(), i)?;
                     let outcome = remap_outcome(&order, raw);
                     sched.observe(&outcome.stats);
                     outcome
@@ -2262,6 +2389,7 @@ where
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
             ctl.check()?;
+            faults::check("exec.shard.claim")?;
             let shard = source.load_shard(i)?;
             let (s, b) = (shard.len(), shard.approx_bytes());
             ctl.acquire(s, b);
@@ -2334,7 +2462,7 @@ where
         if reserved_ok {
             let i = next_load.fetch_add(1, Ordering::Relaxed);
             if i < n {
-                match source.load_shard(i) {
+                match faults::check("exec.shard.claim").and_then(|()| source.load_shard(i)) {
                     Ok(shard) => {
                         let (s, b) = (shard.len(), shard.approx_bytes());
                         ctl.acquire(s, b);
@@ -2486,7 +2614,8 @@ where
         if reserved_ok {
             let next = {
                 let mut src = source.lock().expect("ingest reader mutex");
-                match src.0.next_shard(shard_size) {
+                match faults::check("exec.shard.claim").and_then(|()| src.0.next_shard(shard_size))
+                {
                     Ok(Some(shard)) => {
                         let i = src.1;
                         src.1 += 1;
@@ -2573,12 +2702,21 @@ struct ShardOutcome {
 /// Run every step of a stage over one shard, sample by sample: each sample
 /// flows through the full mapper/filter chain while it is hot in cache,
 /// and dropped samples never reach later steps.
+///
+/// With a ledger, a sample that makes an OP error is routed through the
+/// `on_error` policy — dropped (and optionally quarantined with
+/// `op@shard-N` provenance) instead of failing the stage — unless the
+/// policy is `fail` or the error budget is spent.
 fn run_stage_on_shard(
     steps: &[PlanStep],
     shard: Dataset,
     ctx: &mut SampleContext,
     trace_cap: usize,
+    ledger: Option<&ErrorLedger>,
+    shard_idx: usize,
 ) -> Result<ShardOutcome> {
+    // Chaos-harness injection point: one fault per stage-shard pass.
+    faults::check("exec.worker.step")?;
     let mut stats = vec![ShardStats::default(); steps.len()];
     let mut traces: Vec<Vec<TraceEvent>> = vec![Vec::new(); steps.len()];
     let mut kept = Vec::with_capacity(shard.len());
@@ -2598,7 +2736,20 @@ fn run_stage_on_shard(
                     } else {
                         None
                     };
-                    let changed = m.process(&mut sample, ctx)?;
+                    let changed = match m.process(&mut sample, ctx) {
+                        Ok(changed) => changed,
+                        Err(e) => match ledger {
+                            Some(l) => {
+                                l.absorb(e, &format!("{}@shard-{shard_idx}", m.name()), || {
+                                    sample.value().clone()
+                                })?;
+                                stats[k].removed += 1;
+                                keep_mask.push(false);
+                                continue 'samples;
+                            }
+                            None => return Err(e),
+                        },
+                    };
                     if changed {
                         ctx.invalidate();
                         stats[k].changed += 1;
@@ -2617,17 +2768,43 @@ fn run_stage_on_shard(
                 PlanStep::Filters(filters) => {
                     // Phase 1: stats for every member filter with one shared
                     // context — fused filters derive words/lines views once.
+                    let mut failed: Option<(DjError, String)> = None;
                     for f in filters.iter() {
-                        f.compute_stats(&mut sample, ctx)?;
+                        if let Err(e) = f.compute_stats(&mut sample, ctx) {
+                            failed = Some((e, f.name().to_string()));
+                            break;
+                        }
                     }
                     // Fused-OP contract: contexts are cleaned after the op.
                     ctx.clear();
                     // Phase 2: boolean decisions from recorded stats only.
                     let mut keep = true;
-                    for f in filters.iter() {
-                        if !f.process(&sample)? {
-                            keep = false;
-                            break;
+                    if failed.is_none() {
+                        for f in filters.iter() {
+                            match f.process(&sample) {
+                                Ok(true) => {}
+                                Ok(false) => {
+                                    keep = false;
+                                    break;
+                                }
+                                Err(e) => {
+                                    failed = Some((e, f.name().to_string()));
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if let Some((e, name)) = failed {
+                        match ledger {
+                            Some(l) => {
+                                l.absorb(e, &format!("{name}@shard-{shard_idx}"), || {
+                                    sample.value().clone()
+                                })?;
+                                stats[k].removed += 1;
+                                keep_mask.push(false);
+                                continue 'samples;
+                            }
+                            None => return Err(e),
                         }
                     }
                     let now = Instant::now();
@@ -2704,6 +2881,11 @@ pub fn executor_from_recipe(
         stats_dir: recipe.stats_dir.as_ref().map(PathBuf::from),
         prefix_cache: recipe.prefix_cache,
         columnar: recipe.columnar,
+        on_error: match recipe.on_error.as_deref() {
+            Some(name) => OnError::from_name(name)?,
+            None => OnError::Fail,
+        },
+        max_error_ratio: recipe.max_error_ratio.unwrap_or(1.0),
         ..ExecOptions::default()
     }))
 }

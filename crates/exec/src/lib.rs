@@ -161,12 +161,13 @@ pub use cost::{fallback_score, rank_score, CostModel, EWMA_ALPHA, MIN_MEASURED_S
 pub use executor::{
     default_parallelism, executor_from_recipe, BarrierDecision, EnvKnobs, ExecOptions, Executor,
     OpReport, RunReport, TraceEvent, ADAPTIVE_ENV, COLUMNAR_ENV, DEFAULT_IO_SHARD_SIZE,
-    DEFAULT_PREFETCH_DEPTH, INPUT_ENV, MEMORY_BUDGET_ENV, RUNTIME_ENV,
+    DEFAULT_PREFETCH_DEPTH, FAULTS_ENV, INPUT_ENV, MEMORY_BUDGET_ENV, RUNTIME_ENV,
 };
 pub use fusion::{plan_fused, plan_fused_measured, plan_unfused, Plan, PlanStep, Stage};
 pub use io::{CorpusReader, EgressManifest, OutputFormat, ShardedWriter};
 pub use runtime::{
-    global_runtime, JobControl, JobHandle, JobOutput, JobProgress, Runtime, RuntimeConfig,
+    global_runtime, JobControl, JobHandle, JobOutput, JobProgress, RetryPolicy, Runtime,
+    RuntimeConfig,
 };
 
 pub use dj_io as io;

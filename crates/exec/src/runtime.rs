@@ -31,10 +31,12 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
-use dj_core::{Dataset, DjError, ResidencyGauge, Result};
+use dj_core::{panic_message, Dataset, DjError, ResidencyGauge, Result};
 
 use crate::executor::{Executor, RunReport};
 
@@ -49,6 +51,9 @@ pub struct RuntimeConfig {
     /// options specify something tighter. `None` leaves every job's own
     /// budget (or lack of one) in force.
     pub memory_budget: Option<u64>,
+    /// Retry policy for *transient* job failures (IO, truncation,
+    /// checksum mismatch). The default of one attempt disables retries.
+    pub retry: RetryPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -56,7 +61,58 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             max_jobs: 4,
             memory_budget: None,
+            retry: RetryPolicy::default(),
         }
+    }
+}
+
+/// How the runtime retries a job that failed with a transient error
+/// ([`DjError::is_transient`]: IO, truncation, checksum mismatch).
+/// Deterministic failures — op errors, config errors, cancellation,
+/// error-budget overruns — are never retried: rerunning the same
+/// recipe over the same bytes reproduces them exactly.
+///
+/// A retried attempt re-enters the executor with the *same* options
+/// value, so anything memoised there (the resolved fault plan and its
+/// per-site hit counters, the prefix cache, spill spools) carries over:
+/// an injected fault that fired on attempt 1 stays consumed, and the
+/// retry runs clean and byte-identical.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first. `1` (default) disables
+    /// retries; clamped to ≥ 1.
+    pub max_attempts: usize,
+    /// Backoff before retry `k` (1-based) is `base * 2^(k-1)`, capped.
+    pub base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` attempts and the default backoff.
+    pub fn attempts(max_attempts: usize) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The capped exponential backoff before 1-based retry `k`.
+    pub fn backoff(&self, k: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(k.saturating_sub(1)).unwrap_or(u32::MAX));
+        exp.min(self.cap)
     }
 }
 
@@ -68,6 +124,9 @@ pub struct JobControl {
     shards_done: AtomicUsize,
     live_samples: AtomicUsize,
     live_bytes: AtomicUsize,
+    /// Execution attempts started so far (1 for a job that never
+    /// needed a retry; 0 until the job is admitted).
+    attempts: AtomicUsize,
     /// The runtime's cross-job gauge, mirrored on every acquire/release
     /// so aggregate residency (and its peak) is observable at the
     /// runtime level. `None` for control blocks made outside a runtime.
@@ -108,6 +167,16 @@ impl JobControl {
         self.live_bytes.load(Ordering::Relaxed)
     }
 
+    /// Execution attempts started so far (> 1 once a transient failure
+    /// has been retried).
+    pub fn attempts(&self) -> usize {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    fn note_attempt(&self) {
+        self.attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn acquire(&self, samples: usize, bytes: usize) {
         self.live_samples.fetch_add(samples, Ordering::Relaxed);
         self.live_bytes.fetch_add(bytes, Ordering::Relaxed);
@@ -143,6 +212,9 @@ pub struct JobProgress {
     pub finished: bool,
     /// Whether the job has been cancelled.
     pub cancelled: bool,
+    /// Execution attempts started so far (> 1 once a transient failure
+    /// has been retried under [`RuntimeConfig::retry`]).
+    pub attempts: usize,
 }
 
 /// What a finished job produced.
@@ -224,6 +296,7 @@ impl JobHandle {
             live_bytes: self.ctl.live_bytes(),
             finished: self.is_finished(),
             cancelled: self.ctl.is_cancelled(),
+            attempts: self.ctl.attempts(),
         }
     }
 
@@ -248,10 +321,14 @@ enum JobSpec {
 }
 
 impl JobSpec {
-    fn run(self) -> Result<JobOutput> {
+    /// Run one attempt. Takes `&self` so a retry can re-run the same
+    /// spec: the in-memory dataset is cloned per attempt (the executor
+    /// consumes it), and the executor — with its memoised fault plan and
+    /// prefix cache — is shared across attempts.
+    fn run(&self) -> Result<JobOutput> {
         match self {
             JobSpec::Mem(exec, dataset) => {
-                let (out, report) = exec.run(dataset)?;
+                let (out, report) = exec.run(dataset.clone())?;
                 Ok(JobOutput {
                     dataset: Some(out),
                     report,
@@ -264,6 +341,14 @@ impl JobSpec {
                     report,
                 })
             }
+        }
+    }
+
+    /// The egress directory this job writes, if any — the target of
+    /// partial-output cleanup when the job fails for good.
+    fn output_dir(&self) -> Option<PathBuf> {
+        match self {
+            JobSpec::Mem(exec, _) | JobSpec::Io(exec) => exec.options.output.clone(),
         }
     }
 }
@@ -395,6 +480,45 @@ impl Runtime {
 }
 
 impl RuntimeInner {
+    /// Run a job spec to a final result under the retry policy: transient
+    /// failures (IO, truncation, checksum — [`DjError::is_transient`])
+    /// are retried with capped exponential backoff up to
+    /// [`RetryPolicy::max_attempts`]; deterministic failures (op errors,
+    /// config errors, error-budget overruns) and panics surface
+    /// immediately. Every attempt re-enters the executor with the same
+    /// options value, so the memoised fault plan's hit counters persist
+    /// across attempts — a seeded fault consumed on attempt 1 does not
+    /// re-fire on attempt 2.
+    fn run_with_retries(
+        retry: &RetryPolicy,
+        ctl: &JobControl,
+        spec: &JobSpec,
+    ) -> Result<JobOutput> {
+        let max_attempts = retry.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            ctl.note_attempt();
+            let result = match catch_unwind(AssertUnwindSafe(|| spec.run())) {
+                Ok(r) => r,
+                Err(payload) => Err(DjError::op(
+                    "service-job",
+                    format!("job thread panicked: {}", panic_message(payload.as_ref())),
+                )),
+            };
+            match result {
+                Err(e)
+                    if e.is_transient()
+                        && (attempt as usize) < max_attempts
+                        && !ctl.is_cancelled() =>
+                {
+                    std::thread::sleep(retry.backoff(attempt));
+                }
+                final_result => return final_result,
+            }
+        }
+    }
+
     /// Drive one admitted job to completion on a dedicated thread, then
     /// keep pulling queued jobs until none remain — completion-driven
     /// admission, no scheduler thread. The driver thread itself does
@@ -411,11 +535,20 @@ impl RuntimeInner {
                         // Cancelled while queued: resolve without running.
                         Err(DjError::Cancelled)
                     } else {
-                        match catch_unwind(AssertUnwindSafe(|| spec.run())) {
-                            Ok(r) => r,
-                            Err(_) => Err(DjError::op("service-job", "job thread panicked")),
-                        }
+                        Self::run_with_retries(&inner.cfg.retry, &ctl, &spec)
                     };
+                    // A job that failed for good leaves no partial
+                    // egress behind: uncommitted part files, tmp files
+                    // and the quarantine sidecar are removed; committed
+                    // manifests are left alone. Cancellation is not a
+                    // failure — a cancelled run's directory is kept
+                    // as-is so a resubmission can be compared against
+                    // whatever it had already committed.
+                    if matches!(&result, Err(e) if !matches!(e, DjError::Cancelled)) {
+                        if let Some(dir) = spec.output_dir() {
+                            let _ = dj_io::cleanup_partial_egress(&dir);
+                        }
+                    }
                     // Update the schedule *before* resolving, so a waiter
                     // that wakes on the result already sees this slot
                     // freed (or handed to the next queued job).
@@ -481,6 +614,7 @@ mod tests {
         let rt = Runtime::new(RuntimeConfig {
             max_jobs: 2,
             memory_budget: None,
+            ..RuntimeConfig::default()
         });
         let handles: Vec<JobHandle> = (0..6)
             .map(|i| rt.submit(exec(2), dataset(32, &format!("j{i}"))))
@@ -499,6 +633,7 @@ mod tests {
         let rt = Runtime::new(RuntimeConfig {
             max_jobs: 1,
             memory_budget: None,
+            ..RuntimeConfig::default()
         });
         // Occupy the single slot with a big job, queue a second, cancel it.
         let big = rt.submit(exec(2), dataset(4096, "big"));
@@ -513,6 +648,7 @@ mod tests {
         let rt = Runtime::new(RuntimeConfig {
             max_jobs: 4,
             memory_budget: Some(1 << 20),
+            ..RuntimeConfig::default()
         });
         let h = rt.submit(exec(1), dataset(16, "b"));
         assert!(h.wait().is_ok());
@@ -526,6 +662,7 @@ mod tests {
         let rt = Runtime::new(RuntimeConfig {
             max_jobs: 1,
             memory_budget: None,
+            ..RuntimeConfig::default()
         });
         // A file-to-file job with no input fails with a config error; the
         // slot must still resolve and admit the queued job behind it.
@@ -541,5 +678,75 @@ mod tests {
         let good = rt.submit(exec(1), dataset(8, "after"));
         assert!(bad.wait().is_err());
         assert!(good.wait().is_ok());
+    }
+
+    #[test]
+    fn transient_failures_burn_every_attempt() {
+        let rt = Runtime::new(RuntimeConfig {
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(2),
+            },
+            ..RuntimeConfig::default()
+        });
+        // The output path collides with an existing *file*: egress fails
+        // with an IO error — transient by classification — so the
+        // runtime retries the job to exhaustion.
+        let dir = std::env::temp_dir().join(format!("dj-retry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.jsonl");
+        std::fs::write(&input, "{\"text\":\"hello\"}\n").unwrap();
+        let occupied = dir.join("not-a-dir");
+        std::fs::write(&occupied, "occupied").unwrap();
+        let reg = builtin_registry();
+        let ops = vec![reg
+            .build("whitespace_normalization_mapper", &Default::default())
+            .unwrap()];
+        let h = rt.submit_io(Executor::new(ops).with_options(ExecOptions {
+            input: Some(input.display().to_string()),
+            output: Some(occupied),
+            env: crate::executor::EnvKnobs::default(),
+            ..ExecOptions::default()
+        }));
+        let ctl = h.control();
+        assert!(matches!(h.wait(), Err(DjError::Io(_))));
+        assert_eq!(ctl.attempts(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deterministic_failures_are_not_retried() {
+        let rt = Runtime::new(RuntimeConfig {
+            retry: RetryPolicy::attempts(5),
+            ..RuntimeConfig::default()
+        });
+        // No input at all is a config error — deterministic, one attempt.
+        let reg = builtin_registry();
+        let ops = vec![reg
+            .build("whitespace_normalization_mapper", &Default::default())
+            .unwrap()];
+        let h = rt.submit_io(Executor::new(ops).with_options(ExecOptions {
+            input: None,
+            env: crate::executor::EnvKnobs::default(),
+            ..ExecOptions::default()
+        }));
+        let ctl = h.control();
+        assert!(matches!(h.wait(), Err(DjError::Config(_))));
+        assert_eq!(ctl.attempts(), 1);
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base: Duration::from_millis(25),
+            cap: Duration::from_millis(150),
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(25));
+        assert_eq!(p.backoff(2), Duration::from_millis(50));
+        assert_eq!(p.backoff(3), Duration::from_millis(100));
+        assert_eq!(p.backoff(4), Duration::from_millis(150));
+        assert_eq!(p.backoff(63), Duration::from_millis(150));
     }
 }

@@ -27,6 +27,10 @@ pub struct CsvReader {
     bytes_read: u64,
     peeked: Option<u8>,
     eof: bool,
+    /// Best-effort reconstruction of the last record that failed, for
+    /// quarantine. `None` for structural errors (unterminated quote)
+    /// where no complete record was ever assembled.
+    bad_record: Option<String>,
 }
 
 impl CsvReader {
@@ -41,6 +45,7 @@ impl CsvReader {
             bytes_read: 0,
             peeked: None,
             eof: false,
+            bad_record: None,
         };
         if let Some(header) = reader.next_record()? {
             if header.iter().any(|h| h.trim().is_empty()) {
@@ -66,28 +71,36 @@ impl CsvReader {
             return Ok(None);
         };
         if record.len() != self.header.len() {
-            return Err(self.record_error(
+            let err = self.record_error(
                 start_line,
                 &format!(
                     "expected {} fields, got {}",
                     self.header.len(),
                     record.len()
                 ),
-            ));
+            );
+            self.bad_record = Some(record.join(","));
+            return Err(err);
         }
         let mut sample = Sample::new();
-        for (col, value) in self.header.iter().zip(record) {
-            sample
-                .value_mut()
-                .set_path(col, Value::Str(value))
-                .map_err(|e| {
-                    DjError::Parse(format!(
-                        "{}:{start_line}: column `{col}`: {e}",
-                        self.path.display()
-                    ))
-                })?;
+        for (col, value) in self.header.iter().zip(&record) {
+            if let Err(e) = sample.value_mut().set_path(col, Value::Str(value.clone())) {
+                let err = DjError::Parse(format!(
+                    "{}:{start_line}: column `{col}`: {e}",
+                    self.path.display()
+                ));
+                self.bad_record = Some(record.join(","));
+                return Err(err);
+            }
         }
         Ok(Some(sample))
+    }
+
+    /// The raw (comma-rejoined) record behind the last parse error, if
+    /// it could be reconstructed. Consumed by the corpus reader when
+    /// routing malformed rows through the `on_error` policy.
+    pub fn take_bad_record(&mut self) -> Option<String> {
+        self.bad_record.take()
     }
 
     /// One raw record (blank lines skipped), or `None` at EOF.

@@ -20,6 +20,8 @@ pub struct JsonlReader {
     line_no: usize,
     bytes_read: u64,
     buf: String,
+    /// Raw text of the last line that failed to parse, for quarantine.
+    bad_record: Option<String>,
 }
 
 impl JsonlReader {
@@ -32,6 +34,7 @@ impl JsonlReader {
             line_no: 0,
             bytes_read: 0,
             buf: String::new(),
+            bad_record: None,
         })
     }
 
@@ -57,11 +60,22 @@ impl JsonlReader {
             if line.trim().is_empty() {
                 continue;
             }
-            let value = parse_json(line).map_err(|e| self.line_error(&e))?;
-            return Sample::from_value(value)
-                .map(Some)
-                .map_err(|e| self.line_error(&e));
+            return match parse_json(line).and_then(Sample::from_value) {
+                Ok(sample) => Ok(Some(sample)),
+                Err(e) => {
+                    let err = self.line_error(&e);
+                    self.bad_record = Some(line.to_string());
+                    Err(err)
+                }
+            };
         }
+    }
+
+    /// The raw text of the line behind the last parse error, if any.
+    /// Consumed by the corpus reader when routing malformed records
+    /// through the `on_error` policy.
+    pub fn take_bad_record(&mut self) -> Option<String> {
+        self.bad_record.take()
     }
 
     fn line_error(&self, inner: &DjError) -> DjError {

@@ -1,0 +1,423 @@
+//! Record-level error policy: the [`ErrorLedger`] that counts bad
+//! records against an error budget, and the checksummed quarantine
+//! sidecar that preserves them.
+//!
+//! Under `on_error: skip` or `on_error: quarantine` a malformed ingest
+//! line or a sample an OP rejects no longer kills the job — it is
+//! dropped (and, for quarantine, written to `quarantine-00000.jsonl`
+//! next to the egress manifest, original record + error + provenance,
+//! each line carrying an FNV-1a checksum of the record so the sidecar
+//! itself is tamper-evident). The job still fails, deterministically,
+//! once the running error ratio exceeds `max_error_ratio` — a corpus
+//! that is 40% garbage should not silently become a clean 60% corpus.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use dj_core::{parse_json, sync, DjError, OnError, Result, Value};
+use dj_hash::fnv1a;
+
+/// File name of the quarantine sidecar, written next to `manifest.json`.
+pub const QUARANTINE_FILE: &str = "quarantine-00000.jsonl";
+
+/// Errors inside the first `GRACE_RECORDS` records never trip the ratio
+/// budget mid-run (a bad first record is 100% of one record); the final
+/// [`ErrorLedger::finish`] check is unconditional.
+const GRACE_RECORDS: u64 = 16;
+
+/// One preserved bad record, as round-tripped by [`read_quarantine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineEntry {
+    /// The original record: the parsed sample for OP errors, a raw
+    /// string for malformed ingest lines, `Null` when the reader could
+    /// not reconstruct the record (e.g. a CSV stream desynced by an
+    /// unterminated quote).
+    pub record: Value,
+    /// The typed error message the record failed with.
+    pub error: String,
+    /// Provenance: `path:line` for ingest records, `op@shard` for
+    /// pipeline rejects.
+    pub source: String,
+}
+
+/// Shared counter of record-level failures, consulted by readers and the
+/// executor. Thread-safe: shard workers absorb errors concurrently.
+#[derive(Debug)]
+pub struct ErrorLedger {
+    policy: OnError,
+    max_ratio: f64,
+    seen: AtomicU64,
+    skipped: AtomicU64,
+    quarantined: AtomicU64,
+    sink: Mutex<Option<QuarantineSink>>,
+}
+
+#[derive(Debug)]
+struct QuarantineSink {
+    file: File,
+    path: PathBuf,
+}
+
+impl ErrorLedger {
+    pub fn new(policy: OnError, max_ratio: f64) -> ErrorLedger {
+        ErrorLedger {
+            policy,
+            max_ratio,
+            seen: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            sink: Mutex::new(None),
+        }
+    }
+
+    /// Point the quarantine sidecar at an output directory. Truncates any
+    /// sidecar a previous attempt left behind — a retried attempt
+    /// re-processes (and re-quarantines) the same records, so the file
+    /// always reflects the last attempt. No-op unless the policy is
+    /// `Quarantine`.
+    pub fn attach_dir(&self, dir: &Path) -> Result<()> {
+        if self.policy != OnError::Quarantine {
+            return Ok(());
+        }
+        fs::create_dir_all(dir)?;
+        let path = dir.join(QUARANTINE_FILE);
+        let file = File::create(&path)?;
+        *sync::lock(&self.sink) = Some(QuarantineSink { file, path });
+        Ok(())
+    }
+
+    pub fn policy(&self) -> OnError {
+        self.policy
+    }
+
+    /// Record `n` records entering the pipeline (parsed or not) — the
+    /// denominator of the error ratio.
+    pub fn note_seen(&self, n: u64) {
+        self.seen.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Route one bad record through the policy. Returns the original
+    /// error under `Fail`; counts (and quarantines) it otherwise, then
+    /// enforces the error budget. `record` is only rendered when a
+    /// quarantine sidecar is attached.
+    pub fn absorb(&self, err: DjError, source: &str, record: impl FnOnce() -> Value) -> Result<()> {
+        match self.policy {
+            OnError::Fail => Err(err),
+            OnError::Skip => {
+                self.skipped.fetch_add(1, Ordering::Relaxed);
+                self.check_budget(false)
+            }
+            OnError::Quarantine => {
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                if let Some(sink) = sync::lock(&self.sink).as_mut() {
+                    let line = quarantine_line(&record(), &err.to_string(), source);
+                    writeln!(sink.file, "{line}")?;
+                }
+                self.check_budget(false)
+            }
+        }
+    }
+
+    pub fn records_skipped(&self) -> u64 {
+        self.skipped.load(Ordering::Relaxed)
+    }
+
+    pub fn records_quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Bad records over records seen; 0.0 before anything was seen.
+    pub fn error_ratio(&self) -> f64 {
+        let seen = self.seen.load(Ordering::Relaxed);
+        if seen == 0 {
+            return 0.0;
+        }
+        let bad = self.records_skipped() + self.records_quarantined();
+        bad as f64 / seen as f64
+    }
+
+    /// The sidecar path, once [`attach_dir`](Self::attach_dir) ran under
+    /// the `Quarantine` policy.
+    pub fn quarantine_path(&self) -> Option<PathBuf> {
+        sync::lock(&self.sink).as_ref().map(|s| s.path.clone())
+    }
+
+    /// Flush the sidecar and enforce the budget one final, unconditional
+    /// time. Call at end of run, before sealing the manifest.
+    pub fn finish(&self) -> Result<()> {
+        if let Some(sink) = sync::lock(&self.sink).as_mut() {
+            sink.file.flush()?;
+            sink.file.sync_data()?;
+        }
+        self.check_budget(true)
+    }
+
+    fn check_budget(&self, finality: bool) -> Result<()> {
+        let seen = self.seen.load(Ordering::Relaxed);
+        if !finality && seen < GRACE_RECORDS {
+            return Ok(());
+        }
+        let ratio = self.error_ratio();
+        if ratio > self.max_ratio {
+            return Err(DjError::op(
+                "error-policy",
+                format!(
+                    "error ratio {ratio:.4} exceeds max_error_ratio {:.4} ({} skipped, {} quarantined of {seen} records)",
+                    self.max_ratio,
+                    self.records_skipped(),
+                    self.records_quarantined(),
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One sidecar line: `{checksum, error, record, source}` with the
+/// checksum covering the rendered record — the loader refuses a sidecar
+/// whose records were tampered with or torn.
+fn quarantine_line(record: &Value, error: &str, source: &str) -> String {
+    let rendered = record.to_string();
+    let mut m = BTreeMap::new();
+    m.insert(
+        "checksum".to_string(),
+        Value::Int(fnv1a(rendered.as_bytes()) as i64),
+    );
+    m.insert("error".to_string(), Value::Str(error.to_string()));
+    m.insert("record".to_string(), record.clone());
+    m.insert("source".to_string(), Value::Str(source.to_string()));
+    Value::Map(m).to_string()
+}
+
+/// Load and verify a quarantine sidecar. Every line's checksum is
+/// recomputed over the record it carries; a mismatch is a typed
+/// [`DjError::Storage`].
+pub fn read_quarantine(path: &Path) -> Result<Vec<QuarantineEntry>> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| DjError::Storage(format!("cannot read {}: {e}", path.display())))?;
+    let bad = |line: usize, what: &str| {
+        DjError::Storage(format!(
+            "{}:{line}: malformed quarantine entry: {what}",
+            path.display()
+        ))
+    };
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse_json(line).map_err(|e| bad(line_no, &e.to_string()))?;
+        let record = v
+            .get_path("record")
+            .cloned()
+            .ok_or_else(|| bad(line_no, "missing record"))?;
+        let checksum = v
+            .get_path("checksum")
+            .and_then(Value::as_int)
+            .ok_or_else(|| bad(line_no, "missing checksum"))? as u64;
+        if fnv1a(record.to_string().as_bytes()) != checksum {
+            return Err(DjError::Storage(format!(
+                "{}:{line_no}: quarantine record checksum mismatch",
+                path.display()
+            )));
+        }
+        out.push(QuarantineEntry {
+            record,
+            error: v
+                .get_path("error")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            source: v
+                .get_path("source")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// Remove the in-flight artifacts of a failed egress run: part files,
+/// temp files, the commit log and any quarantine sidecar. A sealed
+/// `manifest.json` from an earlier successful run is left alone. Used by
+/// the service runtime once a job fails for good (after retries) — a
+/// gracefully failed job must not leave half an output directory behind.
+pub fn cleanup_partial_egress(dir: &Path) -> Result<()> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e.into()),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale = name == "manifest.partial"
+            || name.ends_with(".tmp")
+            || (name.starts_with("part-") && !name.ends_with(".tmp"))
+            || (name.starts_with("quarantine-") && name.ends_with(".jsonl"));
+        if stale {
+            fs::remove_file(entry.path())?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dj-policy-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_record(text: &str) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert("text".to_string(), Value::Str(text.to_string()));
+        Value::Map(m)
+    }
+
+    #[test]
+    fn fail_policy_returns_the_original_error() {
+        let ledger = ErrorLedger::new(OnError::Fail, 1.0);
+        let err = ledger
+            .absorb(DjError::Parse("bad".into()), "x:1", || Value::Null)
+            .unwrap_err();
+        assert!(matches!(err, DjError::Parse(_)));
+        assert_eq!(ledger.records_skipped(), 0);
+    }
+
+    #[test]
+    fn skip_policy_counts_and_stays_within_budget() {
+        let ledger = ErrorLedger::new(OnError::Skip, 0.5);
+        ledger.note_seen(10);
+        ledger
+            .absorb(DjError::Parse("bad".into()), "x:3", || Value::Null)
+            .unwrap();
+        assert_eq!(ledger.records_skipped(), 1);
+        assert!((ledger.error_ratio() - 0.1).abs() < 1e-9);
+        ledger.finish().unwrap();
+    }
+
+    #[test]
+    fn quarantine_roundtrips_through_the_sidecar() {
+        let dir = tmpdir("roundtrip");
+        let ledger = ErrorLedger::new(OnError::Quarantine, 1.0);
+        ledger.attach_dir(&dir).unwrap();
+        ledger.note_seen(4);
+        ledger
+            .absorb(DjError::Parse("not json".into()), "corpus.jsonl:7", || {
+                Value::Str("{broken".into())
+            })
+            .unwrap();
+        ledger
+            .absorb(
+                DjError::op("word_count_filter", "poison"),
+                "word_count_filter@shard-0",
+                || sample_record("poison pill"),
+            )
+            .unwrap();
+        ledger.finish().unwrap();
+
+        let path = ledger.quarantine_path().unwrap();
+        let entries = read_quarantine(&path).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].record, Value::Str("{broken".into()));
+        assert_eq!(entries[0].source, "corpus.jsonl:7");
+        assert!(
+            entries[0].error.contains("not json"),
+            "{}",
+            entries[0].error
+        );
+        assert_eq!(entries[1].record, sample_record("poison pill"));
+        assert!(entries[1].source.contains("word_count_filter"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_sidecar_is_detected() {
+        let dir = tmpdir("tamper");
+        let ledger = ErrorLedger::new(OnError::Quarantine, 1.0);
+        ledger.attach_dir(&dir).unwrap();
+        ledger.note_seen(1);
+        ledger
+            .absorb(DjError::Parse("bad".into()), "x:1", || {
+                Value::Str("original".into())
+            })
+            .unwrap();
+        ledger.finish().unwrap();
+        let path = ledger.quarantine_path().unwrap();
+        let text = fs::read_to_string(&path)
+            .unwrap()
+            .replace("original", "altered!");
+        fs::write(&path, text).unwrap();
+        let err = read_quarantine(&path).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_overrun_is_a_deterministic_failure() {
+        let ledger = ErrorLedger::new(OnError::Skip, 0.1);
+        ledger.note_seen(20);
+        // 2/20 = 10% is within budget (strictly-greater comparison)...
+        for _ in 0..2 {
+            ledger
+                .absorb(DjError::Parse("bad".into()), "x", || Value::Null)
+                .unwrap();
+        }
+        // ...the third overruns it.
+        let err = ledger
+            .absorb(DjError::Parse("bad".into()), "x", || Value::Null)
+            .unwrap_err();
+        assert!(err.to_string().contains("max_error_ratio"), "{err}");
+        assert!(!err.is_transient(), "budget overrun must not be retried");
+    }
+
+    #[test]
+    fn grace_window_defers_but_finish_enforces() {
+        let ledger = ErrorLedger::new(OnError::Skip, 0.1);
+        ledger.note_seen(2);
+        // 1/2 = 50% — over budget, but under the grace window mid-run.
+        ledger
+            .absorb(DjError::Parse("bad".into()), "x", || Value::Null)
+            .unwrap();
+        let err = ledger.finish().unwrap_err();
+        assert!(err.to_string().contains("max_error_ratio"), "{err}");
+    }
+
+    #[test]
+    fn cleanup_removes_inflight_artifacts_only() {
+        let dir = tmpdir("cleanup");
+        for f in [
+            "part-00000.jsonl",
+            "part-00001.jsonl.tmp",
+            "manifest.partial",
+            "quarantine-00000.jsonl",
+        ] {
+            fs::write(dir.join(f), "x").unwrap();
+        }
+        fs::write(dir.join("manifest.json"), "{}").unwrap();
+        fs::write(dir.join("notes.txt"), "keep me").unwrap();
+        cleanup_partial_egress(&dir).unwrap();
+        let left: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        let mut left = left;
+        left.sort();
+        assert_eq!(left, vec!["manifest.json", "notes.txt"]);
+        // A missing directory is not an error.
+        cleanup_partial_egress(Path::new("/no/such/dj-dir")).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -8,12 +8,14 @@
 //! 10 MB one.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-use dj_core::{Dataset, DjError, Result, Sample};
+use dj_core::{faults, Dataset, DjError, Result, Sample, Value};
 
 use crate::csv::CsvReader;
 use crate::glob::expand_glob;
 use crate::jsonl::JsonlReader;
+use crate::policy::ErrorLedger;
 
 /// Input file formats, detected per file by extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +63,13 @@ impl FileReader {
         }
     }
 
+    fn take_bad_record(&mut self) -> Option<String> {
+        match self {
+            FileReader::Jsonl(r) => r.take_bad_record(),
+            FileReader::Csv(r) => r.take_bad_record(),
+        }
+    }
+
     fn bytes_read(&self) -> u64 {
         match self {
             FileReader::Jsonl(r) => r.bytes_read(),
@@ -82,6 +91,9 @@ pub struct CorpusReader {
     current: Option<FileReader>,
     finished_bytes: u64,
     samples_read: u64,
+    /// When set, malformed records are routed through the `on_error`
+    /// policy (skipped/quarantined and counted) instead of aborting.
+    ledger: Option<Arc<ErrorLedger>>,
 }
 
 impl CorpusReader {
@@ -104,7 +116,16 @@ impl CorpusReader {
             current: None,
             finished_bytes: 0,
             samples_read: 0,
+            ledger: None,
         })
+    }
+
+    /// Route malformed records through an error ledger instead of
+    /// failing on the first one. The ledger also counts every record
+    /// seen, the denominator of the error-ratio budget.
+    pub fn with_ledger(mut self, ledger: Arc<ErrorLedger>) -> CorpusReader {
+        self.ledger = Some(ledger);
+        self
     }
 
     /// The files this reader will consume, in order.
@@ -123,26 +144,52 @@ impl CorpusReader {
     }
 
     /// The next sample, crossing file boundaries; `None` when every file
-    /// is exhausted.
+    /// is exhausted. With a ledger attached, malformed records are
+    /// absorbed by the `on_error` policy and the scan continues; without
+    /// one, the first parse error aborts (the `fail` behaviour).
     pub fn next_sample(&mut self) -> Result<Option<Sample>> {
         loop {
-            if self.current.is_none() {
-                if self.next_file >= self.files.len() {
-                    return Ok(None);
+            let reader = match self.current.as_mut() {
+                Some(r) => r,
+                None => {
+                    if self.next_file >= self.files.len() {
+                        return Ok(None);
+                    }
+                    let opened = FileReader::open(&self.files[self.next_file])?;
+                    self.next_file += 1;
+                    self.current.insert(opened)
                 }
-                self.current = Some(FileReader::open(&self.files[self.next_file])?);
-                self.next_file += 1;
-            }
-            let reader = self.current.as_mut().expect("just opened");
-            match reader.next_sample()? {
-                Some(s) => {
+            };
+            faults::check("io.ingest.read")?;
+            match reader.next_sample() {
+                Ok(Some(s)) => {
                     self.samples_read += 1;
+                    if let Some(ledger) = &self.ledger {
+                        ledger.note_seen(1);
+                    }
                     return Ok(Some(s));
                 }
-                None => {
+                Ok(None) => {
                     self.finished_bytes += reader.bytes_read();
                     self.current = None;
                 }
+                // Only parse errors are record-level; IO errors are the
+                // whole file going bad and always propagate.
+                Err(err @ DjError::Parse(_)) => {
+                    let Some(ledger) = self.ledger.clone() else {
+                        return Err(err);
+                    };
+                    ledger.note_seen(1);
+                    let raw = reader.take_bad_record();
+                    // Reader errors are formatted `path:line: message` —
+                    // the prefix is the record's provenance.
+                    let source = match &err {
+                        DjError::Parse(m) => m.splitn(3, ':').take(2).collect::<Vec<_>>().join(":"),
+                        _ => String::new(),
+                    };
+                    ledger.absorb(err, &source, || raw.map_or(Value::Null, Value::Str))?;
+                }
+                Err(err) => return Err(err),
             }
         }
     }
@@ -235,6 +282,72 @@ mod tests {
             err.to_string().contains("unsupported input format"),
             "{err}"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ledger_skip_policy_drops_malformed_records_and_continues() {
+        use dj_core::OnError;
+        let dir = tmpdir("skip");
+        write(
+            &dir.join("a.jsonl"),
+            "{\"text\":\"good\"}\nnot json\n{\"text\":\"also good\"}\n",
+        );
+        let ledger = Arc::new(ErrorLedger::new(OnError::Skip, 1.0));
+        let mut r = CorpusReader::from_pattern(&format!("{}/*.jsonl", dir.display()))
+            .unwrap()
+            .with_ledger(Arc::clone(&ledger));
+        let shard = r.next_shard(10).unwrap().unwrap();
+        assert_eq!(
+            shard.iter().map(|s| s.text()).collect::<Vec<_>>(),
+            vec!["good", "also good"]
+        );
+        assert_eq!(ledger.records_skipped(), 1);
+        assert!((ledger.error_ratio() - 1.0 / 3.0).abs() < 1e-9);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ledger_quarantine_preserves_raw_record_with_provenance() {
+        use crate::policy::read_quarantine;
+        use dj_core::OnError;
+        let dir = tmpdir("quarantine");
+        write(&dir.join("a.jsonl"), "{\"text\":\"fine\"}\n{broken json\n");
+        write(&dir.join("b.csv"), "text,lang\nok,en\nonly-one\n");
+        let ledger = Arc::new(ErrorLedger::new(OnError::Quarantine, 1.0));
+        ledger.attach_dir(&dir).unwrap();
+        let mut r = CorpusReader::from_files(vec![dir.join("a.jsonl"), dir.join("b.csv")])
+            .unwrap()
+            .with_ledger(Arc::clone(&ledger));
+        let shard = r.next_shard(10).unwrap().unwrap();
+        assert_eq!(
+            shard.iter().map(|s| s.text()).collect::<Vec<_>>(),
+            vec!["fine", "ok"]
+        );
+        ledger.finish().unwrap();
+        let entries = read_quarantine(&ledger.quarantine_path().unwrap()).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].record, Value::Str("{broken json".into()));
+        assert!(
+            entries[0].source.contains("a.jsonl:2"),
+            "{}",
+            entries[0].source
+        );
+        assert_eq!(entries[1].record, Value::Str("only-one".into()));
+        assert!(
+            entries[1].source.contains("b.csv:3"),
+            "{}",
+            entries[1].source
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_ledger_keeps_fail_fast_behaviour() {
+        let dir = tmpdir("failfast");
+        write(&dir.join("a.jsonl"), "nope\n");
+        let mut r = CorpusReader::from_pattern(&format!("{}/*.jsonl", dir.display())).unwrap();
+        assert!(matches!(r.next_shard(4).unwrap_err(), DjError::Parse(_)));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

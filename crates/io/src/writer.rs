@@ -16,7 +16,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use dj_core::{parse_json, Dataset, DjError, Result, ShardSink, Value};
+use dj_core::{faults, parse_json, sync, Dataset, DjError, Result, ShardSink, Value};
 use dj_hash::fnv1a;
 use dj_store::codec::Codec;
 use dj_store::serialize::write_jsonl_into;
@@ -259,24 +259,16 @@ impl ShardedWriter {
     pub fn store_shard(&self, idx: usize, shard: &Dataset) -> Result<()> {
         if let Some(prev) = self.resumed.get(&idx) {
             // Already on disk from a previous run, verified at open.
-            self.parts
-                .lock()
-                .expect("parts mutex")
-                .insert(idx, prev.clone());
+            sync::lock(&self.parts).insert(idx, prev.clone());
             return Ok(());
         }
         match self.format {
             OutputFormat::Jsonl => {
-                let mut buf = self
-                    .bufs
-                    .lock()
-                    .expect("buffer pool mutex")
-                    .pop()
-                    .unwrap_or_default();
+                let mut buf = sync::lock(&self.bufs).pop().unwrap_or_default();
                 buf.clear();
                 write_jsonl_into(shard, &mut buf);
                 let result = self.commit_part(idx, buf.as_bytes(), shard.len());
-                self.bufs.lock().expect("buffer pool mutex").push(buf);
+                sync::lock(&self.bufs).push(buf);
                 result
             }
             OutputFormat::Frames => {
@@ -295,10 +287,7 @@ impl ShardedWriter {
             ));
         }
         if let Some(prev) = self.resumed.get(&idx) {
-            self.parts
-                .lock()
-                .expect("parts mutex")
-                .insert(idx, prev.clone());
+            sync::lock(&self.parts).insert(idx, prev.clone());
             return Ok(());
         }
         self.commit_part(idx, frame, samples)
@@ -308,7 +297,14 @@ impl ShardedWriter {
         let file = self.part_file(idx);
         let path = self.dir.join(&file);
         let tmp = path.with_extension(format!("{}.tmp", self.format.extension()));
+        // Injection points for the chaos harness. Both are *control*
+        // sites (typed error, never corrupted bytes): egress parts are
+        // not read back within the run, so silently damaging them would
+        // defeat the atomic temp+rename+checksum protocol instead of
+        // exercising it.
+        faults::check("io.egress.write")?;
         fs::write(&tmp, bytes)?;
+        faults::check("io.egress.rename")?;
         fs::rename(&tmp, &path)?;
         let entry = PartEntry {
             file,
@@ -323,19 +319,22 @@ impl ShardedWriter {
             m.insert("part".to_string(), Value::Int(idx as i64));
         }
         {
-            let mut log = self.log.lock().expect("log mutex");
+            let mut log = sync::lock(&self.log);
             writeln!(log, "{line}")?;
         }
         self.bytes_written
             .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-        self.parts.lock().expect("parts mutex").insert(idx, entry);
+        sync::lock(&self.parts).insert(idx, entry);
         Ok(())
     }
 
     /// Seal the output: verify parts form a contiguous `0..n`, write
     /// `manifest.json` atomically, drop the commit log.
     pub fn finish(self) -> Result<EgressManifest> {
-        let parts = self.parts.into_inner().expect("parts mutex");
+        let parts = self
+            .parts
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for (expect, &got) in parts.keys().enumerate() {
             if expect != got {
                 return Err(DjError::Storage(format!(

@@ -64,7 +64,7 @@ pub fn decompress(frame: &[u8]) -> Result<Vec<u8>> {
         return Err(DjError::Storage("bad compression frame header".into()));
     }
     let codec = Codec::from_id(frame[3])?;
-    let expected = u64::from_le_bytes(frame[4..12].try_into().expect("8 bytes")) as usize;
+    let expected = crate::serialize::le_u64(&frame[4..12]) as usize;
     let body = &frame[12..];
     let out = match codec {
         Codec::None => body.to_vec(),

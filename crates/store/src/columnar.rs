@@ -58,7 +58,8 @@ use dj_hash::fnv1a;
 
 use crate::codec::{compress, decompress, Codec};
 use crate::serialize::{
-    read_value_slice, skip_value, take_str, take_u32, take_u64, take_u8, walk_path, write_value,
+    le_u64, read_value_slice, skip_value, take_str, take_u32, take_u64, take_u8, walk_path,
+    write_value,
 };
 use crate::shard_stream::{HEADER_LEN, MAX_FRAME_PAYLOAD};
 
@@ -165,13 +166,13 @@ impl ColumnarSlab {
         if &frame[..4] != COLUMNAR_FRAME_MAGIC {
             return Err(DjError::Storage("bad columnar frame magic".into()));
         }
-        let len = u64::from_le_bytes(frame[4..12].try_into().expect("8 bytes"));
+        let len = le_u64(&frame[4..12]);
         if len > MAX_FRAME_PAYLOAD {
             return Err(DjError::Storage(format!(
                 "implausible columnar frame length {len}"
             )));
         }
-        let checksum = u64::from_le_bytes(frame[12..20].try_into().expect("8 bytes"));
+        let checksum = le_u64(&frame[12..20]);
         let body = &frame[HEADER_LEN..];
         if (body.len() as u64) < len {
             return Err(DjError::Storage(format!(
@@ -195,8 +196,9 @@ impl ColumnarSlab {
     /// Load a single-frame file (a spool slot) into a slab.
     pub fn load(path: impl AsRef<Path>) -> Result<ColumnarSlab> {
         let path = path.as_ref();
-        let bytes = fs::read(path)
+        let mut bytes = fs::read(path)
             .map_err(|e| DjError::Storage(format!("columnar frame missing at {path:?}: {e}")))?;
+        dj_core::faults::corrupt("store.frame.read", &mut bytes)?;
         ColumnarSlab::from_frame_bytes(&bytes)
     }
 

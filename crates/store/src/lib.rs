@@ -18,6 +18,11 @@
 //!   per-op cost/selectivity aggregates persisted under the cache root so
 //!   the adaptive planner (`dj-exec`) learns across runs.
 
+// Panic-on-error is banned in library code: every unwrap/expect outside
+// tests is either restructured away or carries an explicit `#[allow]`
+// with its infallibility argument.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cache;
 pub mod codec;
 pub mod columnar;

@@ -194,7 +194,26 @@ pub fn sample_count(data: &[u8]) -> Result<usize> {
             data[0]
         )));
     }
-    Ok(u64::from_le_bytes(data[1..9].try_into().expect("8 bytes")) as usize)
+    Ok(le_u64(&data[1..9]) as usize)
+}
+
+/// `u64` from the first 8 little-endian bytes of `b`, zero-padded if
+/// shorter — every caller bound-checks first, so the pad never shows.
+/// (Replaces the `try_into().expect("8 bytes")` idiom: length mistakes
+/// here should decode garbage a checksum catches, not panic a worker.)
+pub(crate) fn le_u64(b: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    let n = b.len().min(8);
+    buf[..n].copy_from_slice(&b[..n]);
+    u64::from_le_bytes(buf)
+}
+
+/// `u32` twin of [`le_u64`].
+pub(crate) fn le_u32(b: &[u8]) -> u32 {
+    let mut buf = [0u8; 4];
+    let n = b.len().min(4);
+    buf[..n].copy_from_slice(&b[..n]);
+    u32::from_le_bytes(buf)
 }
 
 /// Borrow the text at dotted path `field` out of every sample of a
@@ -267,12 +286,8 @@ pub(crate) fn read_value_slice(cur: &mut &[u8]) -> Result<Value> {
         TAG_NULL => Value::Null,
         TAG_BOOL_FALSE => Value::Bool(false),
         TAG_BOOL_TRUE => Value::Bool(true),
-        TAG_INT => Value::Int(i64::from_le_bytes(
-            take_bytes(cur, 8)?.try_into().expect("8 bytes"),
-        )),
-        TAG_FLOAT => Value::Float(f64::from_le_bytes(
-            take_bytes(cur, 8)?.try_into().expect("8 bytes"),
-        )),
+        TAG_INT => Value::Int(le_u64(take_bytes(cur, 8)?) as i64),
+        TAG_FLOAT => Value::Float(f64::from_bits(le_u64(take_bytes(cur, 8)?))),
         TAG_STR => Value::Str(take_str(cur)?.to_string()),
         TAG_LIST => {
             let n = take_u32(cur)? as usize;
@@ -339,15 +354,11 @@ pub(crate) fn take_u8(cur: &mut &[u8]) -> Result<u8> {
 }
 
 pub(crate) fn take_u32(cur: &mut &[u8]) -> Result<u32> {
-    Ok(u32::from_le_bytes(
-        take_bytes(cur, 4)?.try_into().expect("4 bytes"),
-    ))
+    Ok(le_u32(take_bytes(cur, 4)?))
 }
 
 pub(crate) fn take_u64(cur: &mut &[u8]) -> Result<u64> {
-    Ok(u64::from_le_bytes(
-        take_bytes(cur, 8)?.try_into().expect("8 bytes"),
-    ))
+    Ok(le_u64(take_bytes(cur, 8)?))
 }
 
 pub(crate) fn take_str<'a>(cur: &mut &'a [u8]) -> Result<&'a str> {

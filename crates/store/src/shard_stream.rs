@@ -40,7 +40,7 @@ use crate::columnar::{
     decode_columnar_payload, encode_columnar_frame, ColumnarSlab, COLUMNAR_FRAME_MAGIC,
 };
 use crate::serialize::{
-    from_bytes, sample_count, texts_at, to_bytes, values_from_bytes, values_to_bytes,
+    from_bytes, le_u64, sample_count, texts_at, to_bytes, values_from_bytes, values_to_bytes,
 };
 
 /// Magic prefix of every shard frame (and of multi-frame stream files).
@@ -98,13 +98,13 @@ pub fn read_shard_frame<R: Read>(r: &mut R) -> Result<Option<Dataset>> {
     } else {
         return Err(DjError::Storage("bad shard frame magic".into()));
     };
-    let len = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+    let len = le_u64(&header[4..12]);
     if len > MAX_FRAME_PAYLOAD {
         return Err(DjError::Storage(format!(
             "implausible shard frame length {len}"
         )));
     }
-    let checksum = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+    let checksum = le_u64(&header[12..20]);
     let mut payload = vec![0u8; len as usize];
     let got = read_up_to(r, &mut payload)?;
     if got < payload.len() {
@@ -225,7 +225,7 @@ pub fn count_frames<R: Read + std::io::Seek>(r: &mut R) -> Result<u64> {
         if &header[..4] != SHARD_FRAME_MAGIC && &header[..4] != COLUMNAR_FRAME_MAGIC {
             return Err(DjError::Storage("bad shard frame magic".into()));
         }
-        let len = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+        let len = le_u64(&header[4..12]);
         if len > MAX_FRAME_PAYLOAD {
             return Err(DjError::Storage(format!(
                 "implausible shard frame length {len}"
@@ -262,13 +262,13 @@ impl FrameSlab {
         if &frame[..4] != SHARD_FRAME_MAGIC {
             return Err(DjError::Storage("bad shard frame magic".into()));
         }
-        let len = u64::from_le_bytes(frame[4..12].try_into().expect("8 bytes"));
+        let len = le_u64(&frame[4..12]);
         if len > MAX_FRAME_PAYLOAD {
             return Err(DjError::Storage(format!(
                 "implausible shard frame length {len}"
             )));
         }
-        let checksum = u64::from_le_bytes(frame[12..20].try_into().expect("8 bytes"));
+        let checksum = le_u64(&frame[12..20]);
         let body = &frame[HEADER_LEN..];
         if (body.len() as u64) < len {
             return Err(DjError::Storage(format!(
@@ -292,8 +292,9 @@ impl FrameSlab {
     /// Load a single-frame file (a spool slot) into a slab.
     pub fn load(path: impl AsRef<Path>) -> Result<FrameSlab> {
         let path = path.as_ref();
-        let bytes = fs::read(path)
+        let mut bytes = fs::read(path)
             .map_err(|e| DjError::Storage(format!("shard frame missing at {path:?}: {e}")))?;
+        dj_core::faults::corrupt("store.frame.read", &mut bytes)?;
         FrameSlab::from_frame_bytes(&bytes)
     }
 
@@ -378,7 +379,7 @@ impl ShardSpool {
     }
 
     pub fn shard_count(&self) -> usize {
-        self.lens.lock().expect("spool len mutex").len()
+        dj_core::sync::lock(&self.lens).len()
     }
 
     fn slot_path(&self, idx: usize) -> PathBuf {
@@ -406,9 +407,18 @@ impl ShardSpool {
     pub fn write_frame_bytes(&self, idx: usize, frame: &[u8], samples: usize) -> Result<()> {
         let path = self.slot_path(idx);
         let tmp = path.with_extension("djs.tmp");
-        fs::write(&tmp, frame)?;
+        if dj_core::faults::armed("store.frame.write") {
+            // Chaos path: damage the bytes *after* the frame checksum was
+            // computed, like real media corruption — the error surfaces
+            // at whichever read validates this slot.
+            let mut bytes = frame.to_vec();
+            dj_core::faults::corrupt("store.frame.write", &mut bytes)?;
+            fs::write(&tmp, &bytes)?;
+        } else {
+            fs::write(&tmp, frame)?;
+        }
         fs::rename(&tmp, &path)?;
-        let mut lens = self.lens.lock().expect("spool len mutex");
+        let mut lens = dj_core::sync::lock(&self.lens);
         if idx >= lens.len() {
             lens.resize(idx + 1, None);
         }
@@ -426,6 +436,7 @@ impl ShardSpool {
         out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
         out.extend_from_slice(&payload);
+        dj_core::faults::corrupt("store.fpr.write", &mut out)?;
         let path = self.sidecar_path(idx);
         let tmp = path.with_extension("fpr.tmp");
         fs::write(&tmp, out)?;
@@ -437,18 +448,19 @@ impl ShardSpool {
     /// was never written; corruption is a [`DjError::Storage`] error.
     pub fn read_fingerprints(&self, idx: usize) -> Result<Option<Vec<Value>>> {
         let path = self.sidecar_path(idx);
-        let bytes = match fs::read(&path) {
+        let mut bytes = match fs::read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(e.into()),
         };
+        dj_core::faults::corrupt("store.fpr.read", &mut bytes)?;
         if bytes.len() < HEADER_LEN || &bytes[..4] != FINGERPRINT_MAGIC {
             return Err(DjError::Storage(format!(
                 "bad fingerprint sidecar header at {path:?}"
             )));
         }
-        let len = u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes"));
-        let checksum = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        let len = le_u64(&bytes[4..12]);
+        let checksum = le_u64(&bytes[12..20]);
         let payload = &bytes[HEADER_LEN..];
         if payload.len() as u64 != len {
             return Err(DjError::Storage(format!(
@@ -498,9 +510,10 @@ impl ShardSpool {
     /// barrier reads twice — hash pass, mask pass).
     pub fn read_shard(&self, idx: usize) -> Result<Dataset> {
         let path = self.slot_path(idx);
-        let bytes = fs::read(&path).map_err(|e| {
+        let mut bytes = fs::read(&path).map_err(|e| {
             DjError::Storage(format!("spilled shard {idx} missing at {path:?}: {e}"))
         })?;
+        dj_core::faults::corrupt("store.frame.read", &mut bytes)?;
         // Exactly one frame per slot file (both slab parsers reject
         // trailing bytes).
         if bytes.len() >= 4 && &bytes[..4] == COLUMNAR_FRAME_MAGIC {
@@ -512,12 +525,7 @@ impl ShardSpool {
 
     /// Sample count of slot `idx`, if it has been written.
     pub fn shard_len(&self, idx: usize) -> Option<usize> {
-        self.lens
-            .lock()
-            .expect("spool len mutex")
-            .get(idx)
-            .copied()
-            .flatten()
+        dj_core::sync::lock(&self.lens).get(idx).copied().flatten()
     }
 
     /// Total samples across all written slots.

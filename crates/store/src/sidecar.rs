@@ -148,8 +148,14 @@ impl StatsSidecar {
     }
 
     /// Read a sidecar file; `None` when missing or invalid in any way.
+    /// The sidecar is advisory, so an injected fault here degrades to
+    /// "no sidecar" (fresh stats) rather than an error — except `panic`,
+    /// which propagates to exercise the recovery paths.
     pub fn read(path: &Path) -> Option<StatsSidecar> {
-        let bytes = fs::read(path).ok()?;
+        let mut bytes = fs::read(path).ok()?;
+        if dj_core::faults::corrupt("store.sidecar.load", &mut bytes).is_err() {
+            return None;
+        }
         StatsSidecar::from_bytes(&bytes)
     }
 
@@ -172,9 +178,13 @@ impl StatsSidecar {
             WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
         ));
         {
+            let mut bytes = self.to_bytes();
+            // Corrupted saves are caught by the checksummed decode on the
+            // next load, which falls back to fresh stats.
+            dj_core::faults::corrupt("store.sidecar.save", &mut bytes)?;
             let mut f = fs::File::create(&tmp)
                 .map_err(|e| DjError::Storage(format!("create {}: {e}", tmp.display())))?;
-            f.write_all(&self.to_bytes())
+            f.write_all(&bytes)
                 .map_err(|e| DjError::Storage(format!("write {}: {e}", tmp.display())))?;
             f.sync_all().ok();
         }

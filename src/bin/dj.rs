@@ -6,8 +6,17 @@
 //! over the shared worker pool with admission control, and emits
 //! line-delimited JSON events on the same channel. See `docs/service.md`
 //! for the protocol.
+//!
+//! With `--journal PATH` the service appends every submit and every
+//! terminal outcome to an fsynced line-JSON journal. On restart the
+//! journal is replayed: jobs without a terminal event are re-admitted
+//! (recorded as `readmitted` so a second crash replays correctly) and
+//! re-execute deterministically — the committed output is byte-identical
+//! to what an uninterrupted run would have produced. See
+//! `docs/robustness.md`.
 
 use std::collections::HashMap;
+use std::fs::File;
 use std::io::{BufRead, BufReader, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -17,16 +26,18 @@ use data_juicer::core::{parse_json, Dataset, Value};
 use data_juicer::exec::{executor_from_recipe, JobControl, Runtime, RuntimeConfig};
 use data_juicer::ops::builtin_registry;
 
-const USAGE: &str = "usage: dj serve [--socket PATH] [--max-jobs N] [--memory-budget BYTES]
+const USAGE: &str = "usage: dj serve [--socket PATH] [--max-jobs N] [--memory-budget BYTES] [--retries N] [--journal PATH]
 
 Commands are line-delimited JSON on stdin (or the socket); events are
-line-delimited JSON on stdout (or the socket). See docs/service.md.";
+line-delimited JSON on stdout (or the socket). See docs/service.md.
+--retries N retries transiently-failed jobs up to N attempts total;
+--journal PATH makes submissions crash-recoverable (docs/robustness.md).";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("serve") => match serve_config(&args[1..]) {
-            Ok((cfg, socket)) => serve(cfg, socket),
+            Ok(opts) => serve(opts),
             Err(e) => {
                 eprintln!("dj serve: {e}");
                 std::process::exit(2);
@@ -39,9 +50,16 @@ fn main() {
     }
 }
 
-fn serve_config(args: &[String]) -> Result<(RuntimeConfig, Option<String>), String> {
+struct ServeOpts {
+    cfg: RuntimeConfig,
+    socket: Option<String>,
+    journal: Option<String>,
+}
+
+fn serve_config(args: &[String]) -> Result<ServeOpts, String> {
     let mut cfg = RuntimeConfig::default();
     let mut socket = None;
+    let mut journal = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -51,12 +69,20 @@ fn serve_config(args: &[String]) -> Result<(RuntimeConfig, Option<String>), Stri
         };
         match arg.as_str() {
             "--socket" => socket = Some(value("--socket")?),
+            "--journal" => journal = Some(value("--journal")?),
             "--max-jobs" => {
                 cfg.max_jobs = value("--max-jobs")?
                     .parse::<usize>()
                     .ok()
                     .filter(|n| *n >= 1)
                     .ok_or("--max-jobs must be a positive integer")?;
+            }
+            "--retries" => {
+                cfg.retry.max_attempts = value("--retries")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or("--retries must be a positive attempt count")?;
             }
             "--memory-budget" => {
                 cfg.memory_budget = Some(
@@ -70,7 +96,11 @@ fn serve_config(args: &[String]) -> Result<(RuntimeConfig, Option<String>), Stri
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
-    Ok((cfg, socket))
+    Ok(ServeOpts {
+        cfg,
+        socket,
+        journal,
+    })
 }
 
 /// One tracked job: the control block for cancel/progress plus a flag the
@@ -80,19 +110,71 @@ struct ServeJob {
     finished: Arc<AtomicBool>,
 }
 
+/// Crash-recovery journal: one JSON object per line, fsynced after every
+/// append, so a SIGKILL can lose at most the line being written — never
+/// a line that was already acknowledged.
+///
+/// Journaled events: `submit` (with the full original submit command),
+/// the terminal outcomes `done` / `failed` / `cancelled`, and
+/// `readmitted` (a replayed job got a new id — terminal for the *old*
+/// id, so a second crash replays only the new one).
+struct Journal {
+    file: Mutex<File>,
+}
+
+impl Journal {
+    fn open(path: &str) -> Result<Journal, String> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("open journal {path}: {e}"))?;
+        Ok(Journal {
+            file: Mutex::new(file),
+        })
+    }
+
+    fn append(&self, fields: &[(&str, Value)]) {
+        let line = json_line(fields);
+        let mut f = self.file.lock().expect("journal mutex");
+        let _ = writeln!(f, "{line}");
+        let _ = f.flush();
+        let _ = f.sync_data();
+    }
+}
+
 struct Service {
     runtime: Runtime,
     jobs: Mutex<HashMap<u64, ServeJob>>,
+    journal: Option<Arc<Journal>>,
 }
 
 type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
 
-fn serve(cfg: RuntimeConfig, socket: Option<String>) {
+fn serve(opts: ServeOpts) {
+    // Read any prior journal *before* opening the append handle, so
+    // replay sees exactly the pre-crash history.
+    let history = match &opts.journal {
+        Some(path) => std::fs::read_to_string(path).unwrap_or_default(),
+        None => String::new(),
+    };
+    let journal = match &opts.journal {
+        Some(path) => match Journal::open(path) {
+            Ok(j) => Some(Arc::new(j)),
+            Err(e) => {
+                eprintln!("dj serve: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
     let service = Arc::new(Service {
-        runtime: Runtime::new(cfg),
+        runtime: Runtime::new(opts.cfg),
         jobs: Mutex::new(HashMap::new()),
+        journal,
     });
-    match socket {
+    replay_journal(&service, &history);
+    match opts.socket {
         None => {
             let out: SharedWriter = Arc::new(Mutex::new(Box::new(std::io::stdout())));
             serve_channel(&service, BufReader::new(std::io::stdin()), Arc::clone(&out));
@@ -118,6 +200,66 @@ fn serve(cfg: RuntimeConfig, socket: Option<String>) {
                         drain_and_exit(&service);
                     }
                 });
+            }
+        }
+    }
+}
+
+/// Re-admit every journaled job without a terminal outcome. Replayed
+/// jobs re-execute deterministically from their original submit command;
+/// their events go to the journal only (there is no client channel at
+/// startup) and their status is visible to any later `status` command.
+fn replay_journal(service: &Arc<Service>, history: &str) {
+    let Some(journal) = service.journal.clone() else {
+        return;
+    };
+    let mut submits: Vec<(u64, Value)> = Vec::new();
+    let mut terminal: Vec<u64> = Vec::new();
+    for line in history.lines() {
+        // A crash can truncate the final line; skip anything unparseable.
+        let Ok(entry) = parse_json(line) else {
+            continue;
+        };
+        let Some(event) = entry.get_path("event").and_then(Value::as_str) else {
+            continue;
+        };
+        let Some(id) = entry.get_path("job").and_then(Value::as_int) else {
+            continue;
+        };
+        let id = id as u64;
+        match event {
+            "submit" => {
+                if let Some(cmd) = entry.get_path("cmd") {
+                    submits.push((id, cmd.clone()));
+                }
+            }
+            "done" | "failed" | "cancelled" | "readmitted" => terminal.push(id),
+            _ => {}
+        }
+    }
+    let sink: SharedWriter = Arc::new(Mutex::new(Box::new(std::io::sink())));
+    for (old_id, cmd) in submits {
+        if terminal.contains(&old_id) {
+            continue;
+        }
+        match submit(service, &cmd, &sink) {
+            Ok(new_id) => {
+                journal.append(&[
+                    ("event", Value::from("readmitted")),
+                    ("job", Value::from(old_id as i64)),
+                    ("as", Value::from(new_id as i64)),
+                ]);
+                eprintln!("dj serve: journal: readmitted job {old_id} as {new_id}");
+            }
+            Err(msg) => {
+                // Mark terminal so the next restart does not retry a
+                // submission that can no longer be honoured.
+                journal.append(&[
+                    ("event", Value::from("failed")),
+                    ("job", Value::from(old_id as i64)),
+                    ("error", Value::from(msg.clone())),
+                ]);
+                eprintln!("dj serve: journal: job {old_id} not readmitted: {msg}");
             }
         }
     }
@@ -224,7 +366,7 @@ fn job_id(cmd: &Value) -> Result<u64, String> {
         .ok_or_else(|| "missing or invalid `job` field".into())
 }
 
-fn submit(service: &Arc<Service>, cmd: &Value, out: &SharedWriter) -> Result<(), String> {
+fn submit(service: &Arc<Service>, cmd: &Value, out: &SharedWriter) -> Result<u64, String> {
     let recipe_value = cmd.get_path("recipe").ok_or("submit requires `recipe`")?;
     let recipe = Recipe::from_value(recipe_value).map_err(|e| format!("bad recipe: {e}"))?;
     let registry = builtin_registry();
@@ -260,6 +402,16 @@ fn submit(service: &Arc<Service>, cmd: &Value, out: &SharedWriter) -> Result<(),
             finished: Arc::clone(&finished),
         },
     );
+    // Journal the acceptance with the full original command *before*
+    // acknowledging it, so an acknowledged submission is always
+    // recoverable.
+    if let Some(journal) = &service.journal {
+        journal.append(&[
+            ("event", Value::from("submit")),
+            ("job", Value::from(id as i64)),
+            ("cmd", cmd.clone()),
+        ]);
+    }
     emit(
         out,
         &[
@@ -268,52 +420,58 @@ fn submit(service: &Arc<Service>, cmd: &Value, out: &SharedWriter) -> Result<(),
         ],
     );
 
-    // The waiter thread owns the handle; it emits the terminal event.
+    // The waiter thread owns the handle; it emits (and journals) the
+    // terminal event.
     let out = Arc::clone(out);
+    let journal = service.journal.clone();
     std::thread::spawn(move || {
         let result = handle.wait();
-        match result {
-            Ok(output) => emit(
-                &out,
-                &[
-                    ("event", Value::from("done")),
-                    ("job", Value::from(id as i64)),
-                    (
-                        "samples_in",
-                        Value::from(output.report.initial_samples as i64),
-                    ),
-                    (
-                        "samples_out",
-                        Value::from(output.report.final_samples as i64),
-                    ),
-                    (
-                        "seconds",
-                        Value::from(output.report.total_duration.as_secs_f64()),
-                    ),
-                    ("spilled", Value::from(output.report.spilled)),
-                ],
-            ),
-            Err(data_juicer::core::DjError::Cancelled) => emit(
-                &out,
-                &[
-                    ("event", Value::from("cancelled")),
-                    ("job", Value::from(id as i64)),
-                ],
-            ),
-            Err(e) => emit(
-                &out,
-                &[
-                    ("event", Value::from("failed")),
-                    ("job", Value::from(id as i64)),
-                    ("error", Value::from(e.to_string())),
-                ],
-            ),
+        let terminal: Vec<(&str, Value)> = match &result {
+            Ok(output) => vec![
+                ("event", Value::from("done")),
+                ("job", Value::from(id as i64)),
+                (
+                    "samples_in",
+                    Value::from(output.report.initial_samples as i64),
+                ),
+                (
+                    "samples_out",
+                    Value::from(output.report.final_samples as i64),
+                ),
+                (
+                    "seconds",
+                    Value::from(output.report.total_duration.as_secs_f64()),
+                ),
+                ("spilled", Value::from(output.report.spilled)),
+                (
+                    "records_skipped",
+                    Value::from(output.report.records_skipped as i64),
+                ),
+                (
+                    "records_quarantined",
+                    Value::from(output.report.records_quarantined as i64),
+                ),
+            ],
+            Err(data_juicer::core::DjError::Cancelled) => vec![
+                ("event", Value::from("cancelled")),
+                ("job", Value::from(id as i64)),
+            ],
+            Err(e) => vec![
+                ("event", Value::from("failed")),
+                ("job", Value::from(id as i64)),
+                ("error", Value::from(e.to_string())),
+            ],
+        };
+        // Journal first: once the outcome is durable, tell the client.
+        if let Some(journal) = &journal {
+            journal.append(&terminal);
         }
+        emit(&out, &terminal);
         // Set only after the terminal event is written, so a shutdown
         // drain that waits on this flag never truncates the event stream.
         finished.store(true, Ordering::Release);
     });
-    Ok(())
+    Ok(id)
 }
 
 fn emit_status(out: &SharedWriter, id: u64, job: &ServeJob) {
@@ -330,13 +488,14 @@ fn emit_status(out: &SharedWriter, id: u64, job: &ServeJob) {
                 Value::from(job.finished.load(Ordering::Acquire)),
             ),
             ("cancelled", Value::from(job.ctl.is_cancelled())),
+            ("attempts", Value::from(job.ctl.attempts() as i64)),
         ],
     );
 }
 
-/// Write one JSON event line (field order as given — `Value::Map` would
-/// sort keys, so the line is assembled directly).
-fn emit(out: &SharedWriter, fields: &[(&str, Value)]) {
+/// Assemble one JSON object line (field order as given — `Value::Map`
+/// would sort keys, so the line is built directly).
+fn json_line(fields: &[(&str, Value)]) -> String {
     let mut line = String::from("{");
     for (i, (k, v)) in fields.iter().enumerate() {
         if i > 0 {
@@ -347,6 +506,12 @@ fn emit(out: &SharedWriter, fields: &[(&str, Value)]) {
         line.push_str(&v.to_string());
     }
     line.push('}');
+    line
+}
+
+/// Write one JSON event line to the client channel.
+fn emit(out: &SharedWriter, fields: &[(&str, Value)]) {
+    let line = json_line(fields);
     let mut w = out.lock().expect("writer mutex");
     let _ = writeln!(w, "{line}");
     let _ = w.flush();

@@ -60,6 +60,7 @@ pub use dj_eval as eval;
 pub use dj_exec as exec;
 pub use dj_hash as hash;
 pub use dj_hpo as hpo;
+pub use dj_io as io;
 pub use dj_ml as ml;
 pub use dj_ops as ops;
 pub use dj_store as store;

@@ -1,0 +1,338 @@
+//! Chaos property test: for **every** fault-injection site × error kind,
+//! a run executed under the retrying runtime either
+//!
+//! 1. succeeds with output byte-identical to the fault-free run (the
+//!    fault was transient and a retry absorbed it), or
+//! 2. fails with a clean *typed* error — never a harness panic, and
+//!    never partial or corrupt egress left on disk.
+//!
+//! The matrix runs three execution shapes — in-memory, forced-spill and
+//! file-to-file — so the store, IO and exec layers each see their sites
+//! exercised. Fault plans install process-globally, so everything here
+//! serializes through one gate mutex.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use data_juicer::config::{OpSpec, Recipe};
+use data_juicer::core::faults::{self, FaultPlan, KINDS, SITES};
+use data_juicer::core::{Dataset, DjError, Sample};
+use data_juicer::exec::{
+    EnvKnobs, ExecOptions, Executor, OutputFormat, RetryPolicy, Runtime, RuntimeConfig,
+};
+use data_juicer::ops::builtin_registry;
+
+/// Fault plans are process-global; every test that runs with one holds
+/// this gate.
+static GATE: Mutex<()> = Mutex::new(());
+
+const RETRIES: usize = 3;
+
+fn unique_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dj-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A pipeline whose tail dedup barrier forces fingerprint spools on the
+/// file-backed path, so `store.fpr.*` sites are reachable.
+fn recipe() -> Recipe {
+    Recipe::new("chaos")
+        .then(OpSpec::new("whitespace_normalization_mapper"))
+        .then(
+            OpSpec::new("text_length_filter")
+                .with("min_len", 1.0)
+                .with("max_len", 1e9),
+        )
+        .then(OpSpec::new("document_deduplicator"))
+}
+
+fn corpus(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| format!("chaos   sample {i} with   irregular   spacing {}", i % 7))
+        .collect()
+}
+
+fn dataset(n: usize) -> Dataset {
+    Dataset::from_texts(corpus(n))
+}
+
+fn write_corpus(dir: &Path, n: usize) -> PathBuf {
+    let path = dir.join("in.jsonl");
+    let lines: Vec<String> = corpus(n)
+        .into_iter()
+        .map(|t| Sample::from_text(t).value().to_string())
+        .collect();
+    std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+    path
+}
+
+fn runtime() -> Runtime {
+    Runtime::new(RuntimeConfig {
+        max_jobs: 1,
+        retry: RetryPolicy {
+            max_attempts: RETRIES,
+            base: std::time::Duration::from_millis(1),
+            cap: std::time::Duration::from_millis(4),
+        },
+        ..RuntimeConfig::default()
+    })
+}
+
+fn mem_options(spill: bool, plan: Arc<FaultPlan>) -> ExecOptions {
+    ExecOptions {
+        num_workers: 2,
+        shard_size: Some(8),
+        memory_budget: spill.then_some(1),
+        faults: Some(plan),
+        env: EnvKnobs::default(),
+        ..ExecOptions::default()
+    }
+}
+
+/// Concatenated committed egress bytes (manifest must exist and every
+/// part it names must decode), or `None` when no manifest was committed.
+fn egress_bytes(dir: &Path) -> Option<Vec<u8>> {
+    let manifest = data_juicer::io::EgressManifest::load(dir).ok()?;
+    let mut all = Vec::new();
+    for part in &manifest.parts {
+        all.extend(std::fs::read(dir.join(&part.file)).unwrap());
+    }
+    Some(all)
+}
+
+/// No uncommitted debris: a failed job must leave neither temp files,
+/// nor a partial-commit log, nor orphaned part files.
+fn assert_no_partial_egress(dir: &Path, ctx: &str) {
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        let partial = name.ends_with(".tmp")
+            || name == "manifest.partial"
+            || name.starts_with("part-")
+            || name.starts_with("quarantine-");
+        assert!(
+            !partial,
+            "{ctx}: partial egress artifact `{name}` left behind"
+        );
+    }
+}
+
+/// The error a faulted run surfaces must be a typed `DjError` with a
+/// description — the injected fault or its downstream detection — not a
+/// mangled/empty artifact of the harness.
+fn assert_clean_error(err: &DjError, ctx: &str) {
+    let msg = err.to_string();
+    assert!(!msg.is_empty(), "{ctx}: empty error");
+    assert!(
+        !matches!(err, DjError::Cancelled),
+        "{ctx}: fault surfaced as cancellation: {msg}"
+    );
+}
+
+#[test]
+fn every_site_and_kind_holds_the_chaos_property_in_memory() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let ops = recipe().build_ops(&builtin_registry()).unwrap();
+    let baseline = {
+        let exec = Executor::new(ops.clone()).with_options(ExecOptions {
+            num_workers: 2,
+            shard_size: Some(8),
+            env: EnvKnobs::default(),
+            ..ExecOptions::default()
+        });
+        exec.run(dataset(48)).unwrap().0
+    };
+    for spill in [false, true] {
+        for &site in SITES {
+            for &kind in KINDS {
+                let ctx = format!("site={site} kind={} spill={spill}", kind.name());
+                let plan = Arc::new(FaultPlan::single(site, kind, 1, 7));
+                let exec =
+                    Executor::new(ops.clone()).with_options(mem_options(spill, Arc::clone(&plan)));
+                let result = runtime().submit(exec, dataset(48)).wait();
+                match result {
+                    Ok(out) => {
+                        let out = out.dataset.expect("mem job returns a dataset");
+                        assert_eq!(out, baseline, "{ctx}: survived run must be byte-identical");
+                    }
+                    Err(e) => assert_clean_error(&e, &ctx),
+                }
+                assert!(
+                    !faults::armed(site),
+                    "{ctx}: fault plan leaked past the run"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_site_and_kind_holds_the_chaos_property_file_to_file() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let ops = recipe().build_ops(&builtin_registry()).unwrap();
+    let input_dir = unique_dir("input");
+    let input = write_corpus(&input_dir, 48);
+
+    let baseline_dir = unique_dir("baseline");
+    let baseline_exec = Executor::new(ops.clone()).with_options(ExecOptions {
+        num_workers: 2,
+        shard_size: Some(8),
+        input: Some(input.display().to_string()),
+        output: Some(baseline_dir.clone()),
+        output_format: OutputFormat::Jsonl,
+        env: EnvKnobs::default(),
+        ..ExecOptions::default()
+    });
+    baseline_exec.run_io().unwrap();
+    let expected = egress_bytes(&baseline_dir).expect("baseline egress");
+
+    let mut fired = 0u32;
+    for &site in SITES {
+        for &kind in KINDS {
+            let ctx = format!("site={site} kind={} io", kind.name());
+            let out_dir = unique_dir(&format!("{site}-{}", kind.name()));
+            let plan = Arc::new(FaultPlan::single(site, kind, 1, 7));
+            let exec = Executor::new(ops.clone()).with_options(ExecOptions {
+                num_workers: 2,
+                shard_size: Some(8),
+                input: Some(input.display().to_string()),
+                output: Some(out_dir.clone()),
+                output_format: OutputFormat::Jsonl,
+                faults: Some(Arc::clone(&plan)),
+                env: EnvKnobs::default(),
+                ..ExecOptions::default()
+            });
+            let result = runtime().submit_io(exec).wait();
+            if plan.hits(site) > 0 {
+                fired += 1;
+            }
+            match result {
+                Ok(_) => {
+                    let got = egress_bytes(&out_dir)
+                        .unwrap_or_else(|| panic!("{ctx}: success without committed manifest"));
+                    assert_eq!(got, expected, "{ctx}: survived run must be byte-identical");
+                }
+                Err(e) => {
+                    assert_clean_error(&e, &ctx);
+                    assert!(
+                        egress_bytes(&out_dir).is_none(),
+                        "{ctx}: failed run must not commit a manifest"
+                    );
+                    assert_no_partial_egress(&out_dir, &ctx);
+                }
+            }
+            let _ = std::fs::remove_dir_all(&out_dir);
+        }
+    }
+    // The matrix is only meaningful if the file-to-file path actually
+    // reaches its sites: every io.* and exec.* site must have been hit.
+    assert!(
+        fired >= 20,
+        "only {fired} of the armed site/kind pairs were ever reached"
+    );
+
+    let _ = std::fs::remove_dir_all(&input_dir);
+    let _ = std::fs::remove_dir_all(&baseline_dir);
+}
+
+#[test]
+fn env_seed_smoke() {
+    // CI's chaos matrix runs this binary with `DJ_FAULTS=seed:N` for a
+    // range of seeds. The other tests here insulate their executors from
+    // the ambient env, so this test is the one that honors the variable:
+    // it parses the spec (defaulting to `seed:1` for plain local runs)
+    // and drives the derived fault through all three execution shapes,
+    // asserting the chaos property for each.
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let spec = std::env::var("DJ_FAULTS").unwrap_or_else(|_| "seed:1".into());
+    let ops = recipe().build_ops(&builtin_registry()).unwrap();
+
+    // In-memory + forced-spill shapes.
+    let baseline = {
+        let exec = Executor::new(ops.clone()).with_options(ExecOptions {
+            num_workers: 2,
+            shard_size: Some(8),
+            env: EnvKnobs::default(),
+            ..ExecOptions::default()
+        });
+        exec.run(dataset(48)).unwrap().0
+    };
+    for spill in [false, true] {
+        let plan = Arc::new(FaultPlan::parse(&spec).unwrap());
+        let ctx = format!("env spec={spec} spill={spill}");
+        let exec = Executor::new(ops.clone()).with_options(mem_options(spill, Arc::clone(&plan)));
+        match runtime().submit(exec, dataset(48)).wait() {
+            Ok(out) => assert_eq!(
+                out.dataset.expect("mem job returns a dataset"),
+                baseline,
+                "{ctx}: survived run must be byte-identical"
+            ),
+            Err(e) => assert_clean_error(&e, &ctx),
+        }
+    }
+
+    // File-to-file shape.
+    let input_dir = unique_dir("env-input");
+    let input = write_corpus(&input_dir, 48);
+    let baseline_dir = unique_dir("env-baseline");
+    Executor::new(ops.clone())
+        .with_options(ExecOptions {
+            num_workers: 2,
+            shard_size: Some(8),
+            input: Some(input.display().to_string()),
+            output: Some(baseline_dir.clone()),
+            output_format: OutputFormat::Jsonl,
+            env: EnvKnobs::default(),
+            ..ExecOptions::default()
+        })
+        .run_io()
+        .unwrap();
+    let expected = egress_bytes(&baseline_dir).expect("baseline egress");
+
+    let out_dir = unique_dir("env-out");
+    let plan = Arc::new(FaultPlan::parse(&spec).unwrap());
+    let ctx = format!("env spec={spec} io");
+    let exec = Executor::new(ops).with_options(ExecOptions {
+        num_workers: 2,
+        shard_size: Some(8),
+        input: Some(input.display().to_string()),
+        output: Some(out_dir.clone()),
+        output_format: OutputFormat::Jsonl,
+        faults: Some(plan),
+        env: EnvKnobs::default(),
+        ..ExecOptions::default()
+    });
+    match runtime().submit_io(exec).wait() {
+        Ok(_) => {
+            let got = egress_bytes(&out_dir)
+                .unwrap_or_else(|| panic!("{ctx}: success without committed manifest"));
+            assert_eq!(got, expected, "{ctx}: survived run must be byte-identical");
+        }
+        Err(e) => {
+            assert_clean_error(&e, &ctx);
+            assert!(
+                egress_bytes(&out_dir).is_none(),
+                "{ctx}: failed run must not commit a manifest"
+            );
+            assert_no_partial_egress(&out_dir, &ctx);
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&input_dir);
+    let _ = std::fs::remove_dir_all(&baseline_dir);
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+#[test]
+fn seeded_env_plans_reproduce_the_same_fault() {
+    // `DJ_FAULTS=seed:N` (the CI smoke-matrix form) must derive the same
+    // fault on every parse — the contract that makes a failing chaos run
+    // replayable from its seed alone.
+    for seed in 0..32 {
+        let a = FaultPlan::parse(&format!("seed:{seed}")).unwrap();
+        let b = FaultPlan::parse(&format!("seed:{seed}")).unwrap();
+        assert_eq!(a.faults(), b.faults(), "seed {seed} diverged");
+        assert_eq!(a.faults().len(), 1);
+    }
+}

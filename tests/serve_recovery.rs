@@ -1,0 +1,161 @@
+//! Crash recovery for `dj serve --journal`: a serve process is SIGKILLed
+//! mid-job, restarted on the same journal, and must re-admit and finish
+//! the interrupted job — with committed output byte-identical to a run
+//! that was never interrupted.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+use data_juicer::core::Sample;
+use data_juicer::exec::{executor_from_recipe, EgressManifest};
+use data_juicer::ops::builtin_registry;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dj-serve-rec-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A corpus big enough that egress is still in flight when the kill
+/// lands (~60k samples; the job takes hundreds of milliseconds).
+fn write_corpus(path: &Path) {
+    let mut lines = String::new();
+    for i in 0..60_000 {
+        let s = Sample::from_text(format!(
+            "serve   recovery   sample {i} with   spacing {}",
+            i % 97
+        ));
+        lines.push_str(&s.value().to_string());
+        lines.push('\n');
+    }
+    std::fs::write(path, lines).unwrap();
+}
+
+fn recipe_json(input: &Path, output: &Path) -> String {
+    format!(
+        concat!(
+            "{{\"cmd\":\"submit\",\"recipe\":{{\"name\":\"recovery\",",
+            "\"process\":[{{\"whitespace_normalization_mapper\":{{}}}},",
+            "{{\"document_deduplicator\":{{}}}}],",
+            "\"input_path\":\"{}\",\"output_path\":\"{}\"}}}}"
+        ),
+        input.display(),
+        output.display()
+    )
+}
+
+fn spawn_serve(journal: &Path) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_dj"))
+        .args(["serve", "--journal"])
+        .arg(journal)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn dj serve")
+}
+
+/// Concatenated committed egress bytes, in manifest part order.
+fn egress_bytes(dir: &Path) -> Vec<u8> {
+    let manifest = EgressManifest::load(dir).expect("committed manifest");
+    let mut all = Vec::new();
+    for part in &manifest.parts {
+        all.extend(std::fs::read(dir.join(&part.file)).unwrap());
+    }
+    all
+}
+
+#[test]
+fn killed_serve_resumes_from_journal_byte_identically() {
+    let dir = fresh_dir("kill");
+    let input = dir.join("in.jsonl");
+    write_corpus(&input);
+    let out_dir = dir.join("out");
+    let journal = dir.join("journal.jsonl");
+
+    // Reference: the same recipe, run to a different directory by a
+    // process that is never interrupted.
+    let baseline_dir = dir.join("baseline");
+    let recipe = data_juicer::config::Recipe::from_value(
+        &data_juicer::core::parse_json(&recipe_json(&input, &baseline_dir))
+            .unwrap()
+            .get_path("recipe")
+            .unwrap()
+            .clone(),
+    )
+    .unwrap();
+    executor_from_recipe(&recipe, &builtin_registry(), true)
+        .unwrap()
+        .run_io()
+        .unwrap();
+    let expected = egress_bytes(&baseline_dir);
+
+    // Round 1: submit, wait for acceptance, SIGKILL mid-job.
+    let mut serve = spawn_serve(&journal);
+    let mut stdin = serve.stdin.take().unwrap();
+    let stdout = BufReader::new(serve.stdout.take().unwrap());
+    writeln!(stdin, "{}", recipe_json(&input, &out_dir)).unwrap();
+    stdin.flush().unwrap();
+    let mut accepted = false;
+    for line in stdout.lines() {
+        let line = line.unwrap();
+        if line.contains("\"accepted\"") {
+            accepted = true;
+            break;
+        }
+    }
+    assert!(accepted, "serve never acknowledged the submission");
+    serve.kill().unwrap(); // SIGKILL: no destructors, no flush
+    serve.wait().unwrap();
+
+    // The journal survived the kill and the job has no terminal event.
+    let log = std::fs::read_to_string(&journal).unwrap();
+    assert!(log.contains("\"submit\""), "journal lost the submission");
+    assert!(
+        !log.contains("\"done\""),
+        "job finished before the kill — grow the corpus: {log}"
+    );
+
+    // Round 2: restart on the same journal, ask for shutdown right away.
+    // The replay re-admits the orphaned job; shutdown drains it first.
+    let mut serve = spawn_serve(&journal);
+    let mut stdin = serve.stdin.take().unwrap();
+    writeln!(stdin, "{{\"cmd\":\"shutdown\"}}").unwrap();
+    stdin.flush().unwrap();
+    let status = serve.wait().unwrap();
+    assert!(status.success(), "restarted serve exited with {status}");
+
+    let log = std::fs::read_to_string(&journal).unwrap();
+    assert!(
+        log.contains("\"readmitted\""),
+        "restart did not re-admit the orphaned job: {log}"
+    );
+    assert!(
+        log.contains("\"done\""),
+        "re-admitted job never finished: {log}"
+    );
+
+    // The recovered output is byte-identical to the uninterrupted run.
+    assert_eq!(
+        egress_bytes(&out_dir),
+        expected,
+        "recovered egress differs from the uninterrupted run"
+    );
+
+    // A second restart replays nothing: every journaled job is terminal.
+    let mut serve = spawn_serve(&journal);
+    let mut stdin = serve.stdin.take().unwrap();
+    writeln!(stdin, "{{\"cmd\":\"shutdown\"}}").unwrap();
+    stdin.flush().unwrap();
+    serve.wait().unwrap();
+    let log2 = std::fs::read_to_string(&journal).unwrap();
+    assert_eq!(
+        log.matches("\"readmitted\"").count(),
+        log2.matches("\"readmitted\"").count(),
+        "terminal jobs must not be replayed again"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -82,6 +82,7 @@ fn concurrent_jobs_byte_identical_to_solo_runs() {
         let rt = Runtime::new(RuntimeConfig {
             max_jobs: 4,
             memory_budget: None,
+            ..RuntimeConfig::default()
         });
         let handles: Vec<_> = datasets
             .iter()
@@ -117,6 +118,7 @@ fn aggregate_residency_stays_under_the_global_budget() {
     let rt = Runtime::new(RuntimeConfig {
         max_jobs: 4,
         memory_budget: Some(global),
+        ..RuntimeConfig::default()
     });
     let datasets: Vec<Dataset> = (0..4).map(|i| corpus(200 + i as u64, 150)).collect();
     let handles: Vec<_> = datasets
@@ -165,6 +167,7 @@ fn cancellation_releases_resources_and_survivors_complete() {
     let rt = Runtime::new(RuntimeConfig {
         max_jobs: 1,
         memory_budget: None,
+        ..RuntimeConfig::default()
     });
     let victim = rt.submit(
         exec_with(ExecOptions {
@@ -221,6 +224,7 @@ fn queued_jobs_cancel_without_running() {
     let rt = Runtime::new(RuntimeConfig {
         max_jobs: 1,
         memory_budget: None,
+        ..RuntimeConfig::default()
     });
     let front = rt.submit(exec_with(mem_opts(2)), corpus(400, 2000));
     let queued = rt.submit(exec_with(mem_opts(2)), corpus(401, 50));
